@@ -1,0 +1,125 @@
+// Shared setup for the experiment harness (bench_e1..e7): chip and workload
+// construction, controller registry, and the standard measured run.
+//
+// Methodology shared by all experiments:
+//  * every controller is replayed against the *same* recorded workload
+//    trace (identical per-epoch inputs, apples to apples);
+//  * power/performance sensors carry 2% relative noise (RAPL-class
+//    telemetry); evaluation metrics use true power;
+//  * runs measure steady state after a warmup equal to the measured
+//    length, except the convergence experiment (E6) which measures the
+//    ramp itself.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arch/chip_config.hpp"
+#include "baselines/greedy_controller.hpp"
+#include "baselines/maxbips_controller.hpp"
+#include "baselines/pid_controller.hpp"
+#include "baselines/static_uniform.hpp"
+#include "core/odrl_controller.hpp"
+#include "metrics/metrics.hpp"
+#include "sim/runner.hpp"
+#include "sim/system.hpp"
+#include "workload/workload.hpp"
+
+namespace odrl::bench {
+
+inline constexpr double kSensorNoise = 0.02;
+inline constexpr std::uint64_t kSeed = 1;
+
+struct NamedController {
+  std::string name;
+  std::function<std::unique_ptr<sim::Controller>(const arch::ChipConfig&)>
+      make;
+};
+
+/// The paper's comparison set, OD-RL first.
+inline std::vector<NamedController> standard_controllers() {
+  return {
+      {"OD-RL",
+       [](const arch::ChipConfig& c) {
+         return std::make_unique<core::OdrlController>(c);
+       }},
+      {"PID",
+       [](const arch::ChipConfig& c) {
+         return std::make_unique<baselines::PidController>(c);
+       }},
+      {"Greedy",
+       [](const arch::ChipConfig& c) {
+         return std::make_unique<baselines::GreedyController>(c);
+       }},
+      {"MaxBIPS",
+       [](const arch::ChipConfig& c) {
+         return std::make_unique<baselines::MaxBipsController>(c);
+       }},
+      {"Static",
+       [](const arch::ChipConfig& c) {
+         return std::make_unique<baselines::StaticUniformController>(c);
+       }},
+  };
+}
+
+/// Records a trace of the given workload profile set.
+inline workload::RecordedTrace record_trace(
+    std::size_t cores, std::size_t epochs,
+    const std::vector<workload::BenchmarkProfile>& profiles,
+    std::uint64_t seed = kSeed) {
+  workload::GeneratedWorkload gen(cores, profiles, seed);
+  return gen.record(epochs);
+}
+
+inline workload::RecordedTrace record_mixed_trace(std::size_t cores,
+                                                  std::size_t epochs,
+                                                  std::uint64_t seed = kSeed) {
+  workload::GeneratedWorkload gen =
+      workload::GeneratedWorkload::mixed_suite(cores, seed);
+  return gen.record(epochs);
+}
+
+/// Runs one controller over a recorded trace with standard settings.
+inline sim::RunResult run_measured(const arch::ChipConfig& chip,
+                                   const workload::RecordedTrace& trace,
+                                   sim::Controller& controller,
+                                   std::size_t epochs,
+                                   std::size_t warmup_epochs,
+                                   std::vector<sim::BudgetEvent> events = {}) {
+  sim::SimConfig sc;
+  sc.sensor_noise_rel = kSensorNoise;
+  sim::ManyCoreSystem system(
+      chip, std::make_unique<workload::ReplayWorkload>(trace), sc);
+  sim::RunConfig rc;
+  rc.epochs = epochs;
+  rc.warmup_epochs = warmup_epochs;
+  rc.budget_events = std::move(events);
+  return sim::run_closed_loop(system, controller, rc);
+}
+
+/// Standard comparison: all controllers on one trace; returns results in
+/// registry order.
+inline std::vector<sim::RunResult> run_all(const arch::ChipConfig& chip,
+                                           const workload::RecordedTrace& trace,
+                                           std::size_t epochs,
+                                           std::size_t warmup_epochs) {
+  std::vector<sim::RunResult> results;
+  for (const auto& entry : standard_controllers()) {
+    auto controller = entry.make(chip);
+    results.push_back(
+        run_measured(chip, trace, *controller, epochs, warmup_epochs));
+  }
+  return results;
+}
+
+inline void print_header(const char* experiment, const char* claim) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("paper claim: %s\n", claim);
+  std::printf("==============================================================\n\n");
+}
+
+}  // namespace odrl::bench

@@ -1,0 +1,67 @@
+// E2 -- budget-overshoot table (abstract claim: "up to 98% less budget
+// overshoot" than state-of-the-art controllers).
+//
+// For each of the 13 benchmark profiles (all 16 cores run the profile, phase-shifted)
+// plus the heterogeneous mix, every controller is replayed on the same
+// trace; the table reports over-the-budget energy in joules, and the final
+// rows give OD-RL's overshoot reduction vs. each baseline (computed on the
+// totals across benchmarks).
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "util/table.hpp"
+
+using namespace odrl;
+
+int main() {
+  bench::print_header(
+      "E2: over-the-budget energy per benchmark (16 cores, TDP = 60% peak)",
+      "up to 98% less budget overshoot than state-of-the-art");
+
+  constexpr std::size_t kCores = 16;
+  constexpr std::size_t kWarmup = 2500;
+  constexpr std::size_t kEpochs = 2500;
+
+  const arch::ChipConfig chip = arch::ChipConfig::make(kCores, 0.6);
+  const auto controllers = bench::standard_controllers();
+
+  util::Table table({"benchmark", "OD-RL[J]", "PID[J]", "Greedy[J]",
+                     "MaxBIPS[J]", "Static[J]"});
+  std::vector<double> totals(controllers.size(), 0.0);
+
+  auto add_row = [&](const std::string& name,
+                     const workload::RecordedTrace& trace) {
+    std::vector<std::string> row{name};
+    for (std::size_t c = 0; c < controllers.size(); ++c) {
+      auto controller = controllers[c].make(chip);
+      const auto run =
+          bench::run_measured(chip, trace, *controller, kEpochs, kWarmup);
+      totals[c] += run.otb_energy_j;
+      row.push_back(util::Table::fmt(run.otb_energy_j, 3));
+    }
+    table.add_row(std::move(row));
+  };
+
+  std::uint64_t seed = bench::kSeed;
+  for (const auto& profile : workload::benchmark_suite()) {
+    add_row(profile.name,
+            bench::record_trace(kCores, kWarmup + kEpochs, {profile}, ++seed));
+  }
+  add_row("mixed.suite",
+          bench::record_mixed_trace(kCores, kWarmup + kEpochs, ++seed));
+
+  std::vector<std::string> total_row{"TOTAL"};
+  for (double t : totals) total_row.push_back(util::Table::fmt(t, 3));
+  table.add_row(std::move(total_row));
+  std::printf("%s\n", table.render("OTB energy [J], lower is better").c_str());
+
+  std::printf("OD-RL overshoot reduction on totals:\n");
+  for (std::size_t c = 1; c < controllers.size(); ++c) {
+    const double base = std::max(totals[c], 1e-3);
+    const double ours = std::max(totals[0], 1e-3);
+    std::printf("  vs %-8s %6.1f%% less OTB energy\n",
+                controllers[c].name.c_str(), 100.0 * (1.0 - ours / base));
+  }
+  return 0;
+}

@@ -1,0 +1,76 @@
+// E4 -- energy efficiency (abstract claim: "up to 23% higher energy
+// efficiency" than state-of-the-art).
+//
+// BIPS/W (and the voltage-scaling-fair BIPS^3/W) per benchmark profile on
+// 16 cores at 60% TDP; geometric-mean row across benchmarks and OD-RL's
+// efficiency gain vs. each baseline on the geomeans.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace odrl;
+
+int main() {
+  bench::print_header(
+      "E4: energy efficiency (BIPS/W) per benchmark (16 cores, 60% TDP)",
+      "up to 23% higher energy efficiency than state-of-the-art");
+
+  constexpr std::size_t kCores = 16;
+  constexpr std::size_t kWarmup = 2500;
+  constexpr std::size_t kEpochs = 2500;
+
+  const arch::ChipConfig chip = arch::ChipConfig::make(kCores, 0.6);
+  const auto controllers = bench::standard_controllers();
+
+  util::Table table({"benchmark", "OD-RL", "PID", "Greedy", "MaxBIPS",
+                     "Static"});
+  std::vector<std::vector<double>> eff(controllers.size());
+  std::vector<std::vector<double>> eff3(controllers.size());
+
+  std::uint64_t seed = bench::kSeed + 1000;
+  auto add_row = [&](const std::string& name,
+                     const workload::RecordedTrace& trace) {
+    std::vector<std::string> row{name};
+    for (std::size_t c = 0; c < controllers.size(); ++c) {
+      auto controller = controllers[c].make(chip);
+      const auto run =
+          bench::run_measured(chip, trace, *controller, kEpochs, kWarmup);
+      eff[c].push_back(run.bips_per_watt());
+      eff3[c].push_back(run.bips3_per_watt());
+      row.push_back(util::Table::fmt(run.bips_per_watt(), 3));
+    }
+    table.add_row(std::move(row));
+  };
+
+  for (const auto& profile : workload::benchmark_suite()) {
+    add_row(profile.name,
+            bench::record_trace(kCores, kWarmup + kEpochs, {profile}, ++seed));
+  }
+  add_row("mixed.suite",
+          bench::record_mixed_trace(kCores, kWarmup + kEpochs, ++seed));
+
+  std::vector<std::string> geo_row{"GEOMEAN"};
+  std::vector<double> geomeans;
+  for (auto& column : eff) {
+    geomeans.push_back(util::geomean_of(column));
+    geo_row.push_back(util::Table::fmt(geomeans.back(), 3));
+  }
+  table.add_row(std::move(geo_row));
+  std::printf("%s\n", table.render("BIPS/W, higher is better").c_str());
+
+  std::printf("OD-RL efficiency gain on geomeans (BIPS/W):\n");
+  for (std::size_t c = 1; c < controllers.size(); ++c) {
+    std::printf("  vs %-8s %+6.1f%%\n", controllers[c].name.c_str(),
+                100.0 * (geomeans[0] / geomeans[c] - 1.0));
+  }
+
+  std::printf("\nBIPS^3/W geomeans (throughput-weighted efficiency):\n");
+  for (std::size_t c = 0; c < controllers.size(); ++c) {
+    std::printf("  %-8s %10.2f\n", controllers[c].name.c_str(),
+                util::geomean_of(eff3[c]));
+  }
+  return 0;
+}

@@ -1,0 +1,95 @@
+// E5 -- controller decision-latency scalability (the paper's
+// "two orders of magnitude speedup ... for systems with hundreds of cores").
+//
+// Times one decide() call of each controller as a function of core count.
+// The EpochResult fed to the controllers is produced by a real simulator
+// epoch so predictions operate on realistic sensor values; only decide() is
+// inside the timed region, matching how the runner attributes decision time.
+//
+// Expected shape: OD-RL scales ~linearly with a tiny constant; MaxBIPS's
+// knapsack DP pays O(n * levels * bins) and lands 100x+ above OD-RL at 256+
+// cores; Greedy sits in between.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "arch/chip_config.hpp"
+#include "baselines/greedy_controller.hpp"
+#include "baselines/maxbips_controller.hpp"
+#include "baselines/pid_controller.hpp"
+#include "core/odrl_controller.hpp"
+#include "sim/runner.hpp"
+#include "sim/system.hpp"
+#include "workload/workload.hpp"
+
+using namespace odrl;
+
+namespace {
+
+/// Builds a chip + one observed epoch at the given core count.
+struct Fixture {
+  explicit Fixture(std::size_t cores)
+      : chip(arch::ChipConfig::make(cores, 0.6)),
+        system(chip,
+               std::make_unique<workload::GeneratedWorkload>(
+                   workload::GeneratedWorkload::mixed_suite(cores, 42)),
+               sim::SimConfig{}) {
+    const std::vector<std::size_t> levels(cores, chip.vf_table().size() / 2);
+    obs = system.step(levels);
+  }
+
+  arch::ChipConfig chip;
+  sim::ManyCoreSystem system;
+  sim::EpochResult obs;
+};
+
+template <typename MakeController>
+void run_decide_benchmark(benchmark::State& state, MakeController make) {
+  const auto cores = static_cast<std::size_t>(state.range(0));
+  Fixture fx(cores);
+  auto controller = make(fx.chip);
+  // Prime internal state (first decide may lazily initialize).
+  benchmark::DoNotOptimize(controller->decide(fx.obs));
+  for (auto _ : state) {
+    auto levels = controller->decide(fx.obs);
+    benchmark::DoNotOptimize(levels);
+  }
+  state.SetComplexityN(state.range(0));
+}
+
+void BM_OdrlDecide(benchmark::State& state) {
+  run_decide_benchmark(state, [](const arch::ChipConfig& chip) {
+    return std::make_unique<core::OdrlController>(chip);
+  });
+}
+
+void BM_GreedyDecide(benchmark::State& state) {
+  run_decide_benchmark(state, [](const arch::ChipConfig& chip) {
+    return std::make_unique<baselines::GreedyController>(chip);
+  });
+}
+
+void BM_MaxBipsDecide(benchmark::State& state) {
+  run_decide_benchmark(state, [](const arch::ChipConfig& chip) {
+    return std::make_unique<baselines::MaxBipsController>(chip);
+  });
+}
+
+void BM_PidDecide(benchmark::State& state) {
+  run_decide_benchmark(state, [](const arch::ChipConfig& chip) {
+    return std::make_unique<baselines::PidController>(chip);
+  });
+}
+
+}  // namespace
+
+BENCHMARK(BM_OdrlDecide)->RangeMultiplier(2)->Range(16, 1024)->Complexity();
+BENCHMARK(BM_GreedyDecide)->RangeMultiplier(2)->Range(16, 1024)->Complexity();
+// MaxBIPS stops at 256 cores: its knapsack DP is O(n^2 * levels) once the
+// power-axis resolution scales with n (see MaxBipsConfig), and beyond a few
+// hundred cores a single decision takes ~1 s of wall time -- which is the
+// paper's point, and would also make this harness unreasonably slow.
+BENCHMARK(BM_MaxBipsDecide)->RangeMultiplier(2)->Range(16, 256)->Complexity();
+BENCHMARK(BM_PidDecide)->RangeMultiplier(2)->Range(16, 1024)->Complexity();
+
+BENCHMARK_MAIN();

@@ -1,0 +1,133 @@
+// E7 -- ablation of OD-RL's design choices (the design-decision study for
+// the knobs DESIGN.md calls out).
+//
+// Each variant runs the same 16-core mixed trace. Groups:
+//   1. contribution split: full OD-RL vs. local RL only (no global
+//      reallocation) vs. global-only (reallocation with a non-learning
+//      proportional local rule approximated by absolute-action greedy RL
+//      disabled -> represented here by PID for reference);
+//   2. reallocation period;
+//   3. state resolution (headroom x memory bins);
+//   4. reward shaping (lambda, kappa);
+//   5. action space (relative vs. absolute);
+//   6. TD rule (Q-learning vs. SARSA).
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "util/table.hpp"
+
+using namespace odrl;
+
+namespace {
+
+struct Variant {
+  std::string name;
+  core::OdrlConfig config;
+};
+
+std::vector<Variant> variants() {
+  std::vector<Variant> out;
+  const core::OdrlConfig base;
+
+  out.push_back({"full (default)", base});
+
+  {
+    core::OdrlConfig c = base;
+    c.global_realloc = false;
+    out.push_back({"no global realloc", c});
+  }
+  for (std::size_t period : {10u, 200u}) {
+    core::OdrlConfig c = base;
+    c.realloc_period = period;
+    out.push_back({"realloc period " + std::to_string(period), c});
+  }
+  {
+    core::OdrlConfig c = base;
+    c.headroom_bins = 4;
+    c.mem_bins = 2;
+    out.push_back({"coarse state (4x2)", c});
+  }
+  {
+    core::OdrlConfig c = base;
+    c.headroom_bins = 20;
+    c.mem_bins = 10;
+    out.push_back({"fine state (20x10)", c});
+  }
+  for (double lambda : {1.0, 20.0}) {
+    core::OdrlConfig c = base;
+    c.lambda = lambda;
+    out.push_back({"lambda " + util::Table::fmt(lambda, 0), c});
+  }
+  {
+    core::OdrlConfig c = base;
+    c.kappa = 0.0;
+    out.push_back({"no freq shaping", c});
+  }
+  {
+    core::OdrlConfig c = base;
+    c.action_mode = core::ActionMode::kAbsolute;
+    out.push_back({"absolute actions", c});
+  }
+  {
+    core::OdrlConfig c = base;
+    c.td.rule = rl::TdRule::kSarsa;
+    out.push_back({"SARSA", c});
+  }
+  {
+    core::OdrlConfig c = base;
+    c.target_fill = 0.8;
+    out.push_back({"target fill 0.80", c});
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "E7: OD-RL design-choice ablation (16 cores, mixed suite, 60% TDP)",
+      "contribution split and sensitivity of the paper's design knobs");
+
+  constexpr std::size_t kCores = 16;
+  constexpr std::size_t kWarmup = 3000;
+  constexpr std::size_t kEpochs = 3000;
+
+  const arch::ChipConfig chip = arch::ChipConfig::make(kCores, 0.6);
+  const auto trace = bench::record_mixed_trace(kCores, kWarmup + kEpochs);
+
+  util::Table table({"variant", "BIPS", "power[W]", "OTB[J]", "BIPS/W",
+                     "decide[us]"});
+  auto add_run = [&](const std::string& name, const sim::RunResult& run) {
+    table.add_row({name, util::Table::fmt(run.bips(), 2),
+                   util::Table::fmt(run.mean_power_w, 1),
+                   util::Table::fmt(run.otb_energy_j, 3),
+                   util::Table::fmt(run.bips_per_watt(), 3),
+                   util::Table::fmt(run.mean_decision_us(), 2)});
+  };
+  for (const auto& variant : variants()) {
+    core::OdrlController controller(chip, variant.config);
+    add_run(variant.name,
+            bench::run_measured(chip, trace, controller, kEpochs, kWarmup));
+  }
+
+  // Actuation-cost row: same default controller, but level switches stall
+  // the core for 50 us and burn 0.5 mJ each (non-ideal regulators).
+  {
+    core::OdrlController controller(chip);
+    sim::SimConfig sc;
+    sc.sensor_noise_rel = bench::kSensorNoise;
+    sc.switch_penalty_s = 50e-6;
+    sc.switch_energy_j = 0.5e-3;
+    sim::ManyCoreSystem system(
+        chip, std::make_unique<workload::ReplayWorkload>(trace), sc);
+    sim::RunConfig rc;
+    rc.epochs = kEpochs;
+    rc.warmup_epochs = kWarmup;
+    add_run("with actuation cost",
+            sim::run_closed_loop(system, controller, rc));
+  }
+
+  std::printf("%s\n", table.render("ablation variants").c_str());
+  return 0;
+}

@@ -1,0 +1,70 @@
+// E9 (extension) -- voltage/frequency-island granularity study.
+//
+// OD-RL at island granularity via the VfiAdapter: one agent and one budget
+// share per island, members locked to the island's V/F. Sweeps island size
+// from per-core (16 islands) to chip-wide (1 island) on the heterogeneous
+// mixed suite, where granularity matters most: a compute-bound core sharing
+// an island with a memory-bound one cannot get its own operating point.
+//
+// The workload alternates compute-bound and memory-bound tenants across
+// adjacent cores, so every island of size >= 2 mixes both kinds -- the
+// worst case for shared operating points, and the case that makes the
+// granularity trade-off visible (islands of *similar* cores lose little).
+//
+// Expected shape: throughput decreases as islands coarsen; the
+// single-island chip behaves like chip-wide DVFS. This reproduces the
+// classic VFI design-space trade-off (per-core DVFS buys performance,
+// island sharing buys regulator cost) from the VFI line of work the paper
+// builds on.
+#include <cstdio>
+#include <memory>
+
+#include "arch/vfi.hpp"
+#include "bench_common.hpp"
+#include "core/vfi_adapter.hpp"
+#include "util/table.hpp"
+
+using namespace odrl;
+
+int main() {
+  bench::print_header(
+      "E9 (extension): OD-RL at VFI granularity (16 cores, mixed suite)",
+      "per-core DVFS > clustered islands > chip-wide DVFS in throughput");
+
+  constexpr std::size_t kCores = 16;
+  constexpr std::size_t kWarmup = 3000;
+  constexpr std::size_t kEpochs = 3000;
+
+  const arch::ChipConfig chip = arch::ChipConfig::make(kCores, 0.6);
+  // Alternating heterogeneous tenants: every 2nd core is memory-bound.
+  const std::vector<workload::BenchmarkProfile> tenants{
+      workload::benchmark_by_name("compute.dense"),
+      workload::benchmark_by_name("memory.stream"),
+      workload::benchmark_by_name("compute.branchy"),
+      workload::benchmark_by_name("memory.pointer")};
+  const auto trace =
+      bench::record_trace(kCores, kWarmup + kEpochs, tenants);
+
+  util::Table table({"island size", "islands", "BIPS", "power[W]", "OTB[J]",
+                     "BIPS/W", "decide[us]"});
+
+  for (std::size_t island_size : {1u, 2u, 4u, 8u, 16u}) {
+    auto partition = arch::VfiPartition::blocks(kCores, island_size);
+    const std::size_t n_islands = partition.n_islands();
+    const arch::ChipConfig island_chip =
+        core::VfiAdapter::island_chip_config(chip, partition);
+    core::VfiAdapter adapter(
+        std::move(partition),
+        std::make_unique<core::OdrlController>(island_chip));
+    const auto run =
+        bench::run_measured(chip, trace, adapter, kEpochs, kWarmup);
+    table.add_row({std::to_string(island_size), std::to_string(n_islands),
+                   util::Table::fmt(run.bips(), 2),
+                   util::Table::fmt(run.mean_power_w, 1),
+                   util::Table::fmt(run.otb_energy_j, 3),
+                   util::Table::fmt(run.bips_per_watt(), 3),
+                   util::Table::fmt(run.mean_decision_us(), 2)});
+  }
+  std::printf("%s\n", table.render("OD-RL per VFI partition").c_str());
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Example: writing your own DVFS controller against the library's
+// interface, and benchmarking it against OD-RL on the same trace.
+//
+// The controller implemented here ("HeadroomStepper") is a deliberately
+// simple hand-written heuristic -- three virtual functions are all a policy
+// needs:
+//
+//   * per epoch, compute each core's share of the remaining budget;
+//   * step a core up when its measured power is below 70% of its share,
+//     down when above 95%;
+//   * shares are plain fair splits (no learning, no model).
+//
+// It is better than a static setting and far simpler than OD-RL -- and the
+// printed comparison shows exactly what the learning buys over it.
+//
+//   ./custom_controller [--cores=16] [--epochs=4000]
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+#include "arch/chip_config.hpp"
+#include "core/odrl_controller.hpp"
+#include "metrics/metrics.hpp"
+#include "sim/runner.hpp"
+#include "sim/system.hpp"
+#include "util/cli.hpp"
+#include "workload/workload.hpp"
+
+using namespace odrl;
+
+namespace {
+
+/// The whole custom-controller surface: name / initial_levels / decide.
+class HeadroomStepper final : public sim::Controller {
+ public:
+  explicit HeadroomStepper(const arch::ChipConfig& chip)
+      : n_levels_(chip.vf_table().size()) {}
+
+  std::string name() const override { return "HeadroomStepper"; }
+
+  std::vector<std::size_t> initial_levels(std::size_t n_cores) override {
+    return std::vector<std::size_t>(n_cores, n_levels_ / 2);
+  }
+
+  std::vector<std::size_t> decide(const sim::EpochResult& obs) override {
+    const double share =
+        obs.budget_w / static_cast<double>(obs.cores.size());
+    std::vector<std::size_t> next(obs.cores.size());
+    for (std::size_t i = 0; i < obs.cores.size(); ++i) {
+      const sim::CoreObservation& core = obs.cores[i];
+      std::size_t level = core.level;
+      if (core.power_w < 0.70 * share && level + 1 < n_levels_) {
+        ++level;
+      } else if (core.power_w > 0.95 * share && level > 0) {
+        --level;
+      }
+      next[i] = level;
+    }
+    return next;
+  }
+
+ private:
+  std::size_t n_levels_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::CliArgs args(argc, argv);
+  const auto cores = static_cast<std::size_t>(args.get_int("cores", 16));
+  const auto epochs = static_cast<std::size_t>(args.get_int("epochs", 4000));
+
+  const arch::ChipConfig chip = arch::ChipConfig::make(cores, 0.6);
+  workload::GeneratedWorkload gen =
+      workload::GeneratedWorkload::mixed_suite(cores, 33);
+  const workload::RecordedTrace trace = gen.record(2 * epochs);
+
+  auto run = [&](sim::Controller& ctl) {
+    sim::ManyCoreSystem system(
+        chip, std::make_unique<workload::ReplayWorkload>(trace));
+    sim::RunConfig rc;
+    rc.warmup_epochs = epochs;  // steady-state comparison
+    rc.epochs = epochs;
+    return sim::run_closed_loop(system, ctl, rc);
+  };
+
+  HeadroomStepper custom(chip);
+  core::OdrlController odrl_ctl(chip);
+
+  const sim::RunResult runs[] = {run(odrl_ctl), run(custom)};
+  std::cout << metrics::comparison_table(runs).render(
+      "your controller vs. OD-RL (same trace, steady state)");
+
+  std::printf(
+      "\nwhat the learning buys: the stepper divides the budget evenly, so\n"
+      "memory-bound cores hoard watts they cannot use while compute-bound\n"
+      "cores starve; OD-RL's reallocation migrates those watts (and its\n"
+      "agents hold the overshoot margin the stepper's thresholds hard-code).\n");
+  return 0;
+}

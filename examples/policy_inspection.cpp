@@ -1,0 +1,93 @@
+// Example: inspecting what a per-core agent actually learned.
+//
+// Trains OD-RL on a single core (compute-bound or memory-bound, pick with
+// --bench) and dumps the learned greedy policy over the agent's state space
+// -- power-headroom bin x memory-intensity bin -- as an ASCII map. The
+// expected picture is the paper's story in one diagram: "up" ( ^ ) below
+// the budget boundary, "down" ( v ) above it, "hold" ( = ) in the band just
+// underneath, with the unvisited corner states left blank.
+//
+//   ./policy_inspection [--bench=compute.dense] [--epochs=8000] [--budget=0.6]
+#include <cstdio>
+#include <memory>
+
+#include "arch/chip_config.hpp"
+#include "core/odrl_controller.hpp"
+#include "sim/system.hpp"
+#include "util/cli.hpp"
+#include "workload/workload.hpp"
+
+using namespace odrl;
+
+int main(int argc, char** argv) {
+  const util::CliArgs args(argc, argv);
+  const std::string bench = args.get("bench", "compute.dense");
+  const auto epochs = static_cast<std::size_t>(args.get_int("epochs", 8000));
+  const double budget = args.get_double("budget", 0.6);
+
+  const arch::ChipConfig chip = arch::ChipConfig::make(1, budget);
+  sim::ManyCoreSystem system(
+      chip, std::make_unique<workload::GeneratedWorkload>(
+                1, workload::benchmark_by_name(bench), 42));
+  core::OdrlConfig cfg;
+  core::OdrlController controller(chip, cfg);
+
+  std::printf("training 1 agent on '%s' for %zu epochs (TDP %.2f W)...\n\n",
+              bench.c_str(), epochs, chip.tdp_w());
+
+  auto levels = controller.initial_levels(1);
+  for (std::size_t e = 0; e < epochs; ++e) {
+    levels = controller.decide(system.step(levels));
+  }
+
+  const rl::TdAgent& agent = controller.agent(0);
+  const auto& table = agent.table();
+  const std::size_t h_bins = cfg.headroom_bins;
+  const std::size_t m_bins = cfg.mem_bins;
+
+  std::printf("learned greedy policy (rows: power/cap ratio bin, columns: "
+              "memory-stall bin)\n");
+  std::printf("  ^ = raise V/F   = = hold   v = lower   . = state never "
+              "visited\n\n");
+  std::printf("%18s", "");
+  for (std::size_t m = 0; m < m_bins; ++m) {
+    std::printf(" mem%zu", m);
+  }
+  std::printf("\n");
+
+  const char glyphs[3] = {'v', '=', '^'};
+  for (std::size_t h = h_bins; h-- > 0;) {
+    const double lo = 2.0 * static_cast<double>(h) / h_bins;
+    const double hi = 2.0 * static_cast<double>(h + 1) / h_bins;
+    std::printf("ratio %.2f-%.2f |", lo, hi);
+    for (std::size_t m = 0; m < m_bins; ++m) {
+      const std::size_t state = h * m_bins + m;
+      if (table.state_visits(state) == 0) {
+        std::printf("    .");
+      } else {
+        std::printf("    %c", glyphs[table.greedy_action(state)]);
+      }
+    }
+    if (std::abs(hi - 1.0) < 1e-9) {
+      std::printf("   <-- budget boundary");
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nQ-values of the most-visited state:\n");
+  std::size_t hot = 0;
+  for (std::size_t s = 0; s < table.n_states(); ++s) {
+    if (table.state_visits(s) > table.state_visits(hot)) hot = s;
+  }
+  const auto row = table.row(hot);
+  std::printf("  state (ratio bin %zu, mem bin %zu), %zu visits:\n", hot / m_bins,
+              hot % m_bins, table.state_visits(hot));
+  std::printf("    Q(down) = %.4f, Q(hold) = %.4f, Q(up) = %.4f\n", row[0],
+              row[1], row[2]);
+
+  std::printf("\nagent stats: %zu TD updates, epsilon now %.3f, table "
+              "coverage %zu/%zu\n",
+              agent.updates(), agent.epsilon(), table.coverage(),
+              table.n_states() * table.n_actions());
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Quickstart: smallest end-to-end use of the library.
+//
+// Builds a 16-core chip capped at 60% of its peak power, runs the built-in
+// mixed workload suite under the OD-RL controller and under the static
+// worst-case baseline on the *same recorded trace*, and prints the standard
+// comparison table.
+//
+//   ./quickstart [--cores=16] [--epochs=2000] [--budget=0.6] [--seed=1]
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+#include "arch/chip_config.hpp"
+#include "baselines/static_uniform.hpp"
+#include "core/odrl_controller.hpp"
+#include "metrics/metrics.hpp"
+#include "sim/runner.hpp"
+#include "sim/system.hpp"
+#include "util/cli.hpp"
+#include "workload/workload.hpp"
+
+using namespace odrl;
+
+namespace {
+
+sim::RunResult run_one(const arch::ChipConfig& chip,
+                       const workload::RecordedTrace& trace,
+                       sim::Controller& controller, std::size_t epochs) {
+  auto workload = std::make_unique<workload::ReplayWorkload>(trace);
+  sim::ManyCoreSystem system(chip, std::move(workload));
+  sim::RunConfig run_cfg;
+  // Measure steady state: let the learning controller converge first (the
+  // ramp itself is examined in bench_e6_convergence).
+  run_cfg.warmup_epochs = epochs;
+  run_cfg.epochs = epochs;
+  return sim::run_closed_loop(system, controller, run_cfg);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::CliArgs args(argc, argv);
+  const auto cores = static_cast<std::size_t>(args.get_int("cores", 16));
+  const auto epochs = static_cast<std::size_t>(args.get_int("epochs", 2000));
+  const double budget_fraction = args.get_double("budget", 0.6);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+
+  const arch::ChipConfig chip = arch::ChipConfig::make(cores, budget_fraction);
+  std::printf("chip: %zu cores, %zu V/F levels, TDP = %.1f W (%.0f%% of %.1f W peak)\n",
+              chip.n_cores(), chip.vf_table().size(), chip.tdp_w(),
+              100.0 * budget_fraction, chip.max_chip_power_w());
+
+  // Record one workload trace so both controllers see identical inputs
+  // (warmup + measured region).
+  workload::GeneratedWorkload generator =
+      workload::GeneratedWorkload::mixed_suite(cores, seed);
+  const workload::RecordedTrace trace = generator.record(2 * epochs);
+
+  core::OdrlController odrl_ctl(chip);
+  baselines::StaticUniformController static_ctl(chip);
+
+  const sim::RunResult odrl_run = run_one(chip, trace, odrl_ctl, epochs);
+  const sim::RunResult static_run = run_one(chip, trace, static_ctl, epochs);
+
+  const sim::RunResult runs[] = {odrl_run, static_run};
+  std::cout << '\n'
+            << metrics::comparison_table(runs).render(
+                   "OD-RL vs. static worst-case provisioning");
+
+  std::printf("\nOD-RL throughput gain over static: %+.1f%%\n",
+              100.0 * (odrl_run.bips() / static_run.bips() - 1.0));
+  std::printf("OD-RL time over budget: %.2f%% of the run\n",
+              100.0 * odrl_run.overshoot_time_fraction());
+  return 0;
+}

@@ -1,0 +1,90 @@
+#include "arch/chip_config.hpp"
+
+#include <cmath>
+
+namespace odrl::arch {
+
+void CoreParams::validate() const {
+  if (c_eff_nf <= 0.0) throw std::invalid_argument("CoreParams: c_eff_nf <= 0");
+  if (leak_scale_w < 0.0) {
+    throw std::invalid_argument("CoreParams: leak_scale_w < 0");
+  }
+  if (uncore_w < 0.0) throw std::invalid_argument("CoreParams: uncore_w < 0");
+  if (mem_latency_ns < 0.0) {
+    throw std::invalid_argument("CoreParams: mem_latency_ns < 0");
+  }
+  if (mem_overlap < 0.0 || mem_overlap >= 1.0) {
+    throw std::invalid_argument("CoreParams: mem_overlap must be in [0, 1)");
+  }
+  if (issue_width <= 0.0) {
+    throw std::invalid_argument("CoreParams: issue_width <= 0");
+  }
+}
+
+double CoreParams::dynamic_power_w(double voltage_v, double freq_ghz,
+                                   double activity) const {
+  return c_eff_nf * activity * voltage_v * voltage_v * freq_ghz;
+}
+
+double CoreParams::leakage_power_w(double voltage_v, double temp_c) const {
+  return leak_scale_w * voltage_v * std::exp(leak_v_coeff * (voltage_v - 1.0)) *
+         std::exp(leak_t_coeff * (temp_c - 85.0));
+}
+
+double CoreParams::total_power_w(double voltage_v, double freq_ghz,
+                                 double activity, double temp_c) const {
+  return dynamic_power_w(voltage_v, freq_ghz, activity) +
+         leakage_power_w(voltage_v, temp_c) + uncore_w;
+}
+
+void ThermalParams::validate() const {
+  if (r_vertical_c_per_w <= 0.0 || r_lateral_c_per_w <= 0.0 ||
+      c_tile_j_per_c <= 0.0) {
+    throw std::invalid_argument("ThermalParams: RC constants must be > 0");
+  }
+  if (max_junction_c <= ambient_c) {
+    throw std::invalid_argument(
+        "ThermalParams: max_junction_c must exceed ambient_c");
+  }
+}
+
+ChipConfig::ChipConfig(std::size_t n_cores, VfTable vf_table, double tdp_w,
+                       CoreParams core, ThermalParams thermal)
+    : n_cores_(n_cores),
+      vf_table_(std::move(vf_table)),
+      mesh_(Mesh::for_cores(n_cores == 0 ? 1 : n_cores)),
+      tdp_w_(tdp_w),
+      core_(core),
+      thermal_(thermal) {
+  if (n_cores == 0) throw std::invalid_argument("ChipConfig: n_cores == 0");
+  if (tdp_w <= 0.0) throw std::invalid_argument("ChipConfig: tdp_w <= 0");
+  core_.validate();
+  thermal_.validate();
+}
+
+ChipConfig ChipConfig::make(std::size_t n_cores, double budget_fraction) {
+  if (budget_fraction <= 0.0 || budget_fraction > 1.5) {
+    throw std::invalid_argument(
+        "ChipConfig::make: budget_fraction must be in (0, 1.5]");
+  }
+  // Construct once with a placeholder budget to reuse max_chip_power_w().
+  ChipConfig tmp(n_cores, VfTable::default_table(), /*tdp_w=*/1.0);
+  return tmp.with_tdp(budget_fraction * tmp.max_chip_power_w());
+}
+
+double ChipConfig::max_chip_power_w() const {
+  const VfPoint& top = vf_table_[vf_table_.max_level()];
+  const double per_core =
+      core_.total_power_w(top.voltage_v, top.freq_ghz, /*activity=*/1.0,
+                          /*temp_c=*/85.0);
+  return per_core * static_cast<double>(n_cores_);
+}
+
+ChipConfig ChipConfig::with_tdp(double tdp_w) const {
+  ChipConfig copy = *this;
+  if (tdp_w <= 0.0) throw std::invalid_argument("with_tdp: tdp_w <= 0");
+  copy.tdp_w_ = tdp_w;
+  return copy;
+}
+
+}  // namespace odrl::arch

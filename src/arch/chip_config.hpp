@@ -1,0 +1,106 @@
+// Chip-level configuration: core count, operating-point table, floorplan,
+// technology constants, and the power budget (TDP) the controllers must
+// respect. One immutable ChipConfig parameterizes a whole simulation.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+
+#include "arch/mesh.hpp"
+#include "arch/vf_table.hpp"
+
+namespace odrl::arch {
+
+/// Per-core technology/microarchitecture constants (45nm-class defaults,
+/// McPAT-calibrated order of magnitude). See src/power and src/perf for how
+/// each constant enters the models.
+struct CoreParams {
+  /// Effective switched capacitance x activity normalization, in nF:
+  /// P_dyn [W] = c_eff_nf * activity * V^2 * f_ghz.
+  double c_eff_nf = 1.9;
+
+  /// Leakage calibration: P_leak = leak_scale * V * exp(leak_v_coeff*(V-1))
+  ///                               * exp(leak_t_coeff*(T-85C)) watts.
+  double leak_scale_w = 0.9;
+  double leak_v_coeff = 2.0;
+  double leak_t_coeff = 0.02;
+
+  /// Uncore/always-on power per core share (clock tree, router idle), watts.
+  double uncore_w = 0.25;
+
+  /// Round-trip DRAM access latency seen by a stalled core, nanoseconds.
+  /// Fixed in wall-clock time, so the stall grows in *cycles* with frequency
+  /// -- the mechanism that makes memory-bound code DVFS-insensitive.
+  double mem_latency_ns = 80.0;
+
+  /// Fraction of memory stall cycles hidden by MLP/out-of-order overlap,
+  /// in [0, 1).
+  double mem_overlap = 0.3;
+
+  /// Issue width: peak instructions per cycle when nothing stalls.
+  double issue_width = 2.0;
+
+  void validate() const;
+
+  /// Dynamic power at (V, f) with the given switching-activity factor in
+  /// [0, 1]. Defined here, next to the constants, so every layer (power
+  /// model, budget math, controllers' analytical baselines) uses the same
+  /// formula.
+  double dynamic_power_w(double voltage_v, double freq_ghz,
+                         double activity) const;
+
+  /// Leakage power at (V, T).
+  double leakage_power_w(double voltage_v, double temp_c) const;
+
+  /// Total core power including the uncore share.
+  double total_power_w(double voltage_v, double freq_ghz, double activity,
+                       double temp_c) const;
+};
+
+/// Thermal RC constants per tile (HotSpot-class lumped model).
+struct ThermalParams {
+  double ambient_c = 45.0;          ///< package/heat-sink proxy temperature
+  double r_vertical_c_per_w = 1.8;  ///< tile -> heatsink thermal resistance
+  double r_lateral_c_per_w = 4.0;   ///< tile <-> tile lateral resistance
+  double c_tile_j_per_c = 0.03;     ///< tile heat capacity
+  double max_junction_c = 105.0;    ///< thermal emergency threshold
+
+  void validate() const;
+};
+
+/// Complete many-core chip description.
+class ChipConfig {
+ public:
+  ChipConfig(std::size_t n_cores, VfTable vf_table, double tdp_w,
+             CoreParams core = {}, ThermalParams thermal = {});
+
+  /// Canonical experiment chip: n cores, default 8-level table, TDP set to
+  /// `budget_fraction` of the chip's maximum sustained power (all cores at
+  /// top level, fully active, at 85C). The paper's power-limited regime
+  /// corresponds to fractions well below 1.
+  static ChipConfig make(std::size_t n_cores, double budget_fraction = 0.6);
+
+  std::size_t n_cores() const { return n_cores_; }
+  const VfTable& vf_table() const { return vf_table_; }
+  const Mesh& mesh() const { return mesh_; }
+  double tdp_w() const { return tdp_w_; }
+  const CoreParams& core() const { return core_; }
+  const ThermalParams& thermal() const { return thermal_; }
+
+  /// Maximum sustained chip power: every core at the top operating point,
+  /// activity 1.0, junction at 85C. Useful to express budgets as fractions.
+  double max_chip_power_w() const;
+
+  /// Returns a copy with a different power budget (same silicon).
+  ChipConfig with_tdp(double tdp_w) const;
+
+ private:
+  std::size_t n_cores_;
+  VfTable vf_table_;
+  Mesh mesh_;
+  double tdp_w_;
+  CoreParams core_;
+  ThermalParams thermal_;
+};
+
+}  // namespace odrl::arch

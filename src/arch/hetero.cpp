@@ -1,0 +1,77 @@
+#include "arch/hetero.hpp"
+
+#include <stdexcept>
+
+namespace odrl::arch {
+
+CoreType big_core() {
+  CoreParams p;
+  p.c_eff_nf = 2.6;
+  p.leak_scale_w = 1.2;
+  p.uncore_w = 0.35;
+  p.issue_width = 3.0;
+  p.mem_overlap = 0.45;  // deep OoO window hides more of the miss latency
+  return {"big", p};
+}
+
+CoreType little_core() {
+  CoreParams p;
+  p.c_eff_nf = 0.7;
+  p.leak_scale_w = 0.35;
+  p.uncore_w = 0.15;
+  p.issue_width = 1.0;
+  p.mem_overlap = 0.1;  // in-order: misses mostly serialize
+  return {"little", p};
+}
+
+HeteroLayout striped_layout(const std::vector<CoreType>& types,
+                            std::size_t n_cores) {
+  if (types.empty()) {
+    throw std::invalid_argument("striped_layout: no core types");
+  }
+  if (n_cores == 0) throw std::invalid_argument("striped_layout: 0 cores");
+  HeteroLayout layout;
+  layout.params.reserve(n_cores);
+  layout.labels.reserve(n_cores);
+  for (std::size_t i = 0; i < n_cores; ++i) {
+    const CoreType& t = types[i % types.size()];
+    t.params.validate();
+    layout.params.push_back(t.params);
+    layout.labels.push_back(t.name);
+  }
+  return layout;
+}
+
+HeteroLayout clustered_layout(std::size_t n_big, std::size_t n_cores) {
+  if (n_cores == 0) throw std::invalid_argument("clustered_layout: 0 cores");
+  if (n_big > n_cores) {
+    throw std::invalid_argument("clustered_layout: n_big > n_cores");
+  }
+  const CoreType big = big_core();
+  const CoreType little = little_core();
+  HeteroLayout layout;
+  layout.params.reserve(n_cores);
+  layout.labels.reserve(n_cores);
+  for (std::size_t i = 0; i < n_cores; ++i) {
+    const CoreType& t = i < n_big ? big : little;
+    layout.params.push_back(t.params);
+    layout.labels.push_back(t.name);
+  }
+  return layout;
+}
+
+double hetero_max_chip_power_w(const ChipConfig& chip,
+                               const std::vector<CoreParams>& params) {
+  if (params.size() != chip.n_cores()) {
+    throw std::invalid_argument("hetero_max_chip_power_w: size mismatch");
+  }
+  const VfPoint& top = chip.vf_table()[chip.vf_table().max_level()];
+  double total = 0.0;
+  for (const CoreParams& p : params) {
+    total += p.total_power_w(top.voltage_v, top.freq_ghz, /*activity=*/1.0,
+                             /*temp_c=*/85.0);
+  }
+  return total;
+}
+
+}  // namespace odrl::arch

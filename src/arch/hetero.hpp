@@ -1,0 +1,54 @@
+// Heterogeneous core types (big.LITTLE-class chips).
+//
+// The paper evaluates a homogeneous chip, but nothing in OD-RL assumes
+// homogeneity: agents and the budget reallocator consume only per-core
+// sensors, so a chip mixing wide out-of-order cores with narrow in-order
+// ones is handled unmodified -- each agent simply learns its own core's
+// power/performance landscape. (Model-based baselines, by contrast, carry
+// one nominal parameter set.) Experiment E10 demonstrates this.
+//
+// This header provides canonical big/little parameter sets and helpers to
+// lay core types out across a chip.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "arch/chip_config.hpp"
+
+namespace odrl::arch {
+
+/// A named core type: parameters plus a label for reports.
+struct CoreType {
+  std::string name;
+  CoreParams params;
+};
+
+/// Wide out-of-order core: high IPC ceiling, expensive switching.
+CoreType big_core();
+
+/// Narrow in-order core: half the issue width, ~1/4 the dynamic power,
+/// less latency hiding.
+CoreType little_core();
+
+/// Core i gets types[i % types.size()] (striped layout). Returns per-core
+/// parameter vectors plus parallel labels.
+struct HeteroLayout {
+  std::vector<CoreParams> params;
+  std::vector<std::string> labels;
+};
+HeteroLayout striped_layout(const std::vector<CoreType>& types,
+                            std::size_t n_cores);
+
+/// First `n_big` cores are big, the rest little (clustered layout).
+HeteroLayout clustered_layout(std::size_t n_big, std::size_t n_cores);
+
+/// Maximum sustained chip power for per-core parameters (all cores at the
+/// top operating point, activity 1, junction 85C) -- the heterogeneous
+/// analogue of ChipConfig::max_chip_power_w, for expressing TDP as a
+/// fraction of peak.
+double hetero_max_chip_power_w(const ChipConfig& chip,
+                               const std::vector<CoreParams>& params);
+
+}  // namespace odrl::arch

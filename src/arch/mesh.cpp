@@ -1,0 +1,58 @@
+#include "arch/mesh.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace odrl::arch {
+
+Mesh::Mesh(std::size_t width, std::size_t height)
+    : width_(width), height_(height) {
+  if (width == 0 || height == 0) {
+    throw std::invalid_argument("Mesh: dimensions must be >= 1");
+  }
+}
+
+Mesh Mesh::for_cores(std::size_t n) {
+  if (n == 0) throw std::invalid_argument("Mesh::for_cores: n must be >= 1");
+  auto h = static_cast<std::size_t>(std::floor(std::sqrt(static_cast<double>(n))));
+  if (h == 0) h = 1;
+  std::size_t w = (n + h - 1) / h;
+  return Mesh(w, h);
+}
+
+MeshCoord Mesh::coord_of(std::size_t index) const {
+  if (index >= size()) {
+    throw std::out_of_range("Mesh::coord_of: index out of range");
+  }
+  return MeshCoord{index % width_, index / width_};
+}
+
+std::size_t Mesh::index_of(MeshCoord c) const {
+  if (!contains(c)) throw std::out_of_range("Mesh::index_of: coord outside");
+  return c.y * width_ + c.x;
+}
+
+bool Mesh::contains(MeshCoord c) const {
+  return c.x < width_ && c.y < height_;
+}
+
+std::vector<std::size_t> Mesh::neighbors(std::size_t index) const {
+  const MeshCoord c = coord_of(index);
+  std::vector<std::size_t> out;
+  out.reserve(4);
+  if (c.x > 0) out.push_back(index_of({c.x - 1, c.y}));
+  if (c.x + 1 < width_) out.push_back(index_of({c.x + 1, c.y}));
+  if (c.y > 0) out.push_back(index_of({c.x, c.y - 1}));
+  if (c.y + 1 < height_) out.push_back(index_of({c.x, c.y + 1}));
+  return out;
+}
+
+std::size_t Mesh::hop_distance(std::size_t a, std::size_t b) const {
+  const MeshCoord ca = coord_of(a);
+  const MeshCoord cb = coord_of(b);
+  const auto dx = ca.x > cb.x ? ca.x - cb.x : cb.x - ca.x;
+  const auto dy = ca.y > cb.y ? ca.y - cb.y : cb.y - ca.y;
+  return dx + dy;
+}
+
+}  // namespace odrl::arch

@@ -1,0 +1,46 @@
+// 2-D mesh floorplan geometry. Cores are laid out row-major on a
+// width x height grid; the thermal model uses 4-neighbour adjacency for
+// lateral heat conduction, matching the tiled many-core floorplans the paper
+// targets.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace odrl::arch {
+
+struct MeshCoord {
+  std::size_t x = 0;
+  std::size_t y = 0;
+  friend bool operator==(const MeshCoord&, const MeshCoord&) = default;
+};
+
+class Mesh {
+ public:
+  /// width, height >= 1.
+  Mesh(std::size_t width, std::size_t height);
+
+  /// Squarest mesh containing at least n cores (width >= height); callers
+  /// with non-rectangular counts simply leave trailing tiles unused.
+  static Mesh for_cores(std::size_t n);
+
+  std::size_t width() const { return width_; }
+  std::size_t height() const { return height_; }
+  std::size_t size() const { return width_ * height_; }
+
+  MeshCoord coord_of(std::size_t index) const;
+  std::size_t index_of(MeshCoord c) const;
+  bool contains(MeshCoord c) const;
+
+  /// Indices of the 4-neighbours (N/S/E/W) that exist for this tile.
+  std::vector<std::size_t> neighbors(std::size_t index) const;
+
+  /// Manhattan hop distance between tiles (NoC latency proxy).
+  std::size_t hop_distance(std::size_t a, std::size_t b) const;
+
+ private:
+  std::size_t width_;
+  std::size_t height_;
+};
+
+}  // namespace odrl::arch

@@ -1,0 +1,114 @@
+#include "arch/variation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace odrl::arch {
+
+void VariationConfig::validate() const {
+  if (leakage_sigma < 0.0 || leakage_sigma > 1.0) {
+    throw std::invalid_argument("VariationConfig: leakage_sigma in [0, 1]");
+  }
+  if (c_eff_sigma < 0.0 || c_eff_sigma > 0.5) {
+    throw std::invalid_argument("VariationConfig: c_eff_sigma in [0, 0.5]");
+  }
+  if (correlation_length <= 0.0) {
+    throw std::invalid_argument("VariationConfig: correlation_length <= 0");
+  }
+}
+
+VariationMap::VariationMap(std::vector<double> leak, std::vector<double> ceff)
+    : leakage_mult_(std::move(leak)), c_eff_mult_(std::move(ceff)) {}
+
+VariationMap VariationMap::none(std::size_t n_cores) {
+  if (n_cores == 0) throw std::invalid_argument("VariationMap: 0 cores");
+  return VariationMap(std::vector<double>(n_cores, 1.0),
+                      std::vector<double>(n_cores, 1.0));
+}
+
+namespace {
+
+/// Spatially-correlated standard-normal field over the first n tiles of a
+/// mesh: white noise convolved with an exp(-d/rho) kernel over Manhattan
+/// distance, re-normalized to unit variance. O(n^2) -- construction only.
+std::vector<double> correlated_field(const Mesh& mesh, std::size_t n,
+                                     double rho, util::Rng& rng) {
+  std::vector<double> white(n);
+  for (double& w : white) w = rng.gaussian();
+
+  std::vector<double> field(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double weight_sq_sum = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      const double d = static_cast<double>(mesh.hop_distance(i, j));
+      const double w = std::exp(-d / rho);
+      field[i] += w * white[j];
+      weight_sq_sum += w * w;
+    }
+    field[i] /= std::sqrt(weight_sq_sum);  // restore unit variance
+  }
+  return field;
+}
+
+}  // namespace
+
+VariationMap VariationMap::sample(const Mesh& mesh, std::size_t n_cores,
+                                  const VariationConfig& config) {
+  config.validate();
+  if (n_cores == 0 || n_cores > mesh.size()) {
+    throw std::invalid_argument("VariationMap::sample: bad core count");
+  }
+  util::Rng rng(config.seed);
+  const auto z_leak =
+      correlated_field(mesh, n_cores, config.correlation_length, rng);
+  const auto z_ceff =
+      correlated_field(mesh, n_cores, config.correlation_length, rng);
+
+  std::vector<double> leak(n_cores);
+  std::vector<double> ceff(n_cores);
+  const double s = config.leakage_sigma;
+  for (std::size_t i = 0; i < n_cores; ++i) {
+    // Log-normal with E[mult] = 1: exp(s z - s^2/2).
+    leak[i] = std::exp(s * z_leak[i] - 0.5 * s * s);
+    // Normal, clamped away from zero.
+    ceff[i] = std::max(0.5, 1.0 + config.c_eff_sigma * z_ceff[i]);
+  }
+  return VariationMap(std::move(leak), std::move(ceff));
+}
+
+double VariationMap::leakage_mult(std::size_t core) const {
+  if (core >= leakage_mult_.size()) {
+    throw std::out_of_range("VariationMap::leakage_mult");
+  }
+  return leakage_mult_[core];
+}
+
+double VariationMap::c_eff_mult(std::size_t core) const {
+  if (core >= c_eff_mult_.size()) {
+    throw std::out_of_range("VariationMap::c_eff_mult");
+  }
+  return c_eff_mult_[core];
+}
+
+CoreParams VariationMap::apply(const CoreParams& nominal,
+                               std::size_t core) const {
+  CoreParams out = nominal;
+  out.leak_scale_w *= leakage_mult(core);
+  out.c_eff_nf *= c_eff_mult(core);
+  return out;
+}
+
+double VariationMap::mean_leakage_mult() const {
+  double sum = 0.0;
+  for (double m : leakage_mult_) sum += m;
+  return sum / static_cast<double>(leakage_mult_.size());
+}
+
+double VariationMap::max_leakage_mult() const {
+  return *std::max_element(leakage_mult_.begin(), leakage_mult_.end());
+}
+
+}  // namespace odrl::arch

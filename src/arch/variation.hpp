@@ -1,0 +1,71 @@
+// Manufacturing process variation.
+//
+// Scaled technologies exhibit core-to-core (within-die) parameter
+// variation: leakage current varies log-normally and effective switched
+// capacitance varies normally, both with spatial correlation across the
+// die (neighbouring tiles come from the same region of the wafer).
+// A VariationMap samples one chip instance: per-core multipliers applied
+// to the nominal CoreParams.
+//
+// Why this matters for the paper's comparison: model-based controllers
+// predict power from *nominal* datasheet constants, so on a varied chip
+// their predictions are biased per core -- leaky cores draw more than
+// predicted and budget-filling optimizers overshoot. OD-RL never consults
+// a model (it observes measured watts), so variation costs it nothing.
+// Experiment E8 sweeps variation strength to expose exactly this gap.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "arch/chip_config.hpp"
+#include "arch/mesh.hpp"
+
+namespace odrl::arch {
+
+struct VariationConfig {
+  /// Relative sigma of the log-normal per-core leakage multiplier
+  /// (E[mult] = 1). Leakage is the variation-dominated component.
+  double leakage_sigma = 0.15;
+  /// Relative sigma of the (normal, clamped) dynamic-capacitance
+  /// multiplier.
+  double c_eff_sigma = 0.05;
+  /// Spatial correlation length in tiles: multipliers of tiles closer than
+  /// this are strongly correlated (systematic within-die component).
+  double correlation_length = 2.0;
+  std::uint64_t seed = 1;
+
+  void validate() const;
+};
+
+/// One sampled chip instance: per-core multipliers, immutable.
+class VariationMap {
+ public:
+  /// Uniform chip (all multipliers 1): the no-variation identity.
+  static VariationMap none(std::size_t n_cores);
+
+  /// Samples a spatially-correlated instance over the given floorplan.
+  /// n_cores must not exceed mesh.size().
+  static VariationMap sample(const Mesh& mesh, std::size_t n_cores,
+                             const VariationConfig& config);
+
+  std::size_t n_cores() const { return leakage_mult_.size(); }
+  double leakage_mult(std::size_t core) const;
+  double c_eff_mult(std::size_t core) const;
+
+  /// Nominal params adjusted for one core of this instance.
+  CoreParams apply(const CoreParams& nominal, std::size_t core) const;
+
+  /// Summary: mean and max leakage multiplier (for experiment tables).
+  double mean_leakage_mult() const;
+  double max_leakage_mult() const;
+
+ private:
+  VariationMap(std::vector<double> leak, std::vector<double> ceff);
+
+  std::vector<double> leakage_mult_;
+  std::vector<double> c_eff_mult_;
+};
+
+}  // namespace odrl::arch

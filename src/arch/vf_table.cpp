@@ -1,0 +1,72 @@
+#include "arch/vf_table.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace odrl::arch {
+
+VfTable::VfTable(std::vector<VfPoint> points) : points_(std::move(points)) {
+  if (points_.size() < 2) {
+    throw std::invalid_argument("VfTable: need at least 2 operating points");
+  }
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    if (points_[i].voltage_v <= 0.0 || points_[i].freq_ghz <= 0.0) {
+      throw std::invalid_argument("VfTable: voltages/frequencies must be > 0");
+    }
+    if (i > 0) {
+      if (points_[i].freq_ghz <= points_[i - 1].freq_ghz ||
+          points_[i].voltage_v <= points_[i - 1].voltage_v) {
+        throw std::invalid_argument(
+            "VfTable: points must be strictly increasing in V and f");
+      }
+    }
+  }
+}
+
+VfTable VfTable::linear(std::size_t levels, double f_min_ghz, double f_max_ghz,
+                        double v_min_v, double v_max_v) {
+  if (levels < 2) throw std::invalid_argument("VfTable::linear: levels < 2");
+  if (!(f_min_ghz < f_max_ghz) || !(v_min_v < v_max_v)) {
+    throw std::invalid_argument("VfTable::linear: ranges must be increasing");
+  }
+  std::vector<VfPoint> pts;
+  pts.reserve(levels);
+  for (std::size_t i = 0; i < levels; ++i) {
+    const double t =
+        static_cast<double>(i) / static_cast<double>(levels - 1);
+    pts.push_back(VfPoint{v_min_v + t * (v_max_v - v_min_v),
+                          f_min_ghz + t * (f_max_ghz - f_min_ghz)});
+  }
+  return VfTable(std::move(pts));
+}
+
+VfTable VfTable::default_table() {
+  return linear(/*levels=*/8, /*f_min_ghz=*/1.0, /*f_max_ghz=*/3.0,
+                /*v_min_v=*/0.70, /*v_max_v=*/1.10);
+}
+
+const VfPoint& VfTable::operator[](std::size_t level) const {
+  return points_[level];
+}
+
+const VfPoint& VfTable::at(std::size_t level) const {
+  if (level >= points_.size()) {
+    throw std::out_of_range("VfTable::at: level out of range");
+  }
+  return points_[level];
+}
+
+std::size_t VfTable::clamp_level(long level) const {
+  if (level < 0) return 0;
+  return std::min(static_cast<std::size_t>(level), max_level());
+}
+
+std::size_t VfTable::level_for_freq(double freq_ghz) const {
+  std::size_t best = 0;
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    if (points_[i].freq_ghz <= freq_ghz) best = i;
+  }
+  return best;
+}
+
+}  // namespace odrl::arch

@@ -1,0 +1,64 @@
+// Voltage/Frequency operating points.
+//
+// The action space of every DVFS controller in this library is an index into
+// a VfTable: a strictly increasing sequence of (voltage, frequency) pairs,
+// mirroring the discrete P-state tables exposed by real many-core parts.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace odrl::arch {
+
+/// One DVFS operating point. Voltage in volts, frequency in GHz.
+struct VfPoint {
+  double voltage_v = 0.0;
+  double freq_ghz = 0.0;
+
+  friend bool operator==(const VfPoint&, const VfPoint&) = default;
+};
+
+/// An ordered table of operating points, index 0 = slowest/lowest-voltage.
+/// Invariant (checked at construction): at least 2 points, frequencies and
+/// voltages strictly increasing, all values positive.
+class VfTable {
+ public:
+  explicit VfTable(std::vector<VfPoint> points);
+
+  /// Conventional table used across the paper-style experiments: `levels`
+  /// points with frequency spanning [f_min, f_max] GHz and voltage tracking
+  /// frequency linearly from v_min to v_max (the near-linear V-f relation of
+  /// conventional-range DVFS; see Juan et al., CODES+ISSS'13 for why the
+  /// conventional range is well-approximated linearly).
+  static VfTable linear(std::size_t levels, double f_min_ghz, double f_max_ghz,
+                        double v_min_v, double v_max_v);
+
+  /// Default 8-level table: 1.0-3.0 GHz, 0.70-1.10 V (45nm-class part).
+  static VfTable default_table();
+
+  std::size_t size() const { return points_.size(); }
+  const VfPoint& operator[](std::size_t level) const;
+  const VfPoint& at(std::size_t level) const;
+  std::span<const VfPoint> points() const { return points_; }
+
+  std::size_t min_level() const { return 0; }
+  std::size_t max_level() const { return points_.size() - 1; }
+
+  double min_freq_ghz() const { return points_.front().freq_ghz; }
+  double max_freq_ghz() const { return points_.back().freq_ghz; }
+
+  /// Clamps a signed level to the valid range.
+  std::size_t clamp_level(long level) const;
+
+  /// Highest level whose frequency is <= the given frequency; returns 0 when
+  /// even level 0 exceeds it (the table cannot go slower than its floor).
+  std::size_t level_for_freq(double freq_ghz) const;
+
+  friend bool operator==(const VfTable&, const VfTable&) = default;
+
+ private:
+  std::vector<VfPoint> points_;
+};
+
+}  // namespace odrl::arch

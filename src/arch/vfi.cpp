@@ -1,0 +1,79 @@
+#include "arch/vfi.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace odrl::arch {
+
+VfiPartition::VfiPartition(std::vector<std::vector<std::size_t>> islands)
+    : islands_(std::move(islands)) {
+  if (islands_.empty()) {
+    throw std::invalid_argument("VfiPartition: no islands");
+  }
+  std::size_t n = 0;
+  for (const auto& island : islands_) {
+    if (island.empty()) {
+      throw std::invalid_argument("VfiPartition: empty island");
+    }
+    n += island.size();
+  }
+  island_of_.assign(n, n);  // sentinel: not assigned yet
+  for (std::size_t i = 0; i < islands_.size(); ++i) {
+    for (std::size_t core : islands_[i]) {
+      if (core >= n) {
+        throw std::invalid_argument("VfiPartition: core index out of range");
+      }
+      if (island_of_[core] != n) {
+        throw std::invalid_argument("VfiPartition: core in two islands");
+      }
+      island_of_[core] = i;
+    }
+  }
+}
+
+VfiPartition VfiPartition::per_core(std::size_t n_cores) {
+  if (n_cores == 0) throw std::invalid_argument("VfiPartition: 0 cores");
+  std::vector<std::vector<std::size_t>> islands(n_cores);
+  for (std::size_t i = 0; i < n_cores; ++i) islands[i] = {i};
+  return VfiPartition(std::move(islands));
+}
+
+VfiPartition VfiPartition::blocks(std::size_t n_cores,
+                                  std::size_t island_size) {
+  if (n_cores == 0) throw std::invalid_argument("VfiPartition: 0 cores");
+  if (island_size == 0) {
+    throw std::invalid_argument("VfiPartition: island_size == 0");
+  }
+  std::vector<std::vector<std::size_t>> islands;
+  for (std::size_t start = 0; start < n_cores; start += island_size) {
+    std::vector<std::size_t> island;
+    for (std::size_t c = start; c < std::min(start + island_size, n_cores);
+         ++c) {
+      island.push_back(c);
+    }
+    islands.push_back(std::move(island));
+  }
+  return VfiPartition(std::move(islands));
+}
+
+const std::vector<std::size_t>& VfiPartition::island(std::size_t i) const {
+  if (i >= islands_.size()) {
+    throw std::out_of_range("VfiPartition::island: out of range");
+  }
+  return islands_[i];
+}
+
+std::size_t VfiPartition::island_of(std::size_t core) const {
+  if (core >= island_of_.size()) {
+    throw std::out_of_range("VfiPartition::island_of: out of range");
+  }
+  return island_of_[core];
+}
+
+std::size_t VfiPartition::max_island_size() const {
+  std::size_t best = 0;
+  for (const auto& island : islands_) best = std::max(best, island.size());
+  return best;
+}
+
+}  // namespace odrl::arch

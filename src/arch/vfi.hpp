@@ -1,0 +1,44 @@
+// Voltage/Frequency Island (VFI) partitions.
+//
+// Per-core DVFS (one voltage regulator per core) is the paper's default,
+// but real parts often group cores into islands that share one V/F setting
+// to save regulator/clock-tree cost. A VfiPartition names which cores share
+// a domain; the VFI controller adapter (src/core/vfi_adapter.hpp) runs
+// OD-RL at island granularity on top of it. Experiment E9 sweeps island
+// size to reproduce the classic granularity trade-off: coarser islands are
+// cheaper but lose the throughput that per-core allocation buys.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "arch/mesh.hpp"
+
+namespace odrl::arch {
+
+class VfiPartition {
+ public:
+  /// Explicit islands: every core 0..n-1 must appear exactly once.
+  explicit VfiPartition(std::vector<std::vector<std::size_t>> islands);
+
+  /// One island per core (per-core DVFS, the identity partition).
+  static VfiPartition per_core(std::size_t n_cores);
+
+  /// Contiguous blocks of `island_size` cores in mesh index order (the
+  /// usual tiled layout: spatially adjacent cores share a regulator).
+  /// The last island takes the remainder if n_cores is not divisible.
+  static VfiPartition blocks(std::size_t n_cores, std::size_t island_size);
+
+  std::size_t n_cores() const { return island_of_.size(); }
+  std::size_t n_islands() const { return islands_.size(); }
+  const std::vector<std::size_t>& island(std::size_t i) const;
+  std::size_t island_of(std::size_t core) const;
+  /// Largest island size (for sizing worst-case budget shares).
+  std::size_t max_island_size() const;
+
+ private:
+  std::vector<std::vector<std::size_t>> islands_;
+  std::vector<std::size_t> island_of_;
+};
+
+}  // namespace odrl::arch

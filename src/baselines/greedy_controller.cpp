@@ -1,0 +1,76 @@
+#include "baselines/greedy_controller.hpp"
+
+#include <queue>
+#include <stdexcept>
+
+namespace odrl::baselines {
+
+GreedyController::GreedyController(const arch::ChipConfig& chip,
+                                   double fill_target)
+    : chip_(chip), predictor_(chip), fill_target_(fill_target) {
+  if (fill_target <= 0.0 || fill_target > 1.2) {
+    throw std::invalid_argument("GreedyController: fill_target in (0, 1.2]");
+  }
+}
+
+std::string GreedyController::name() const { return "Greedy"; }
+
+std::vector<std::size_t> GreedyController::initial_levels(
+    std::size_t n_cores) {
+  return std::vector<std::size_t>(n_cores, 0);
+}
+
+std::vector<std::size_t> GreedyController::decide(
+    const sim::EpochResult& obs) {
+  const std::size_t n = obs.cores.size();
+  const std::size_t n_levels = predictor_.vf_table().size();
+  const double budget = fill_target_ * obs.budget_w;
+
+  // Predict every (core, level) point once.
+  std::vector<std::vector<LevelPrediction>> pred(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pred[i] = predictor_.predict_all(obs.cores[i]);
+  }
+
+  std::vector<std::size_t> levels(n, 0);
+  double chip_power = 0.0;
+  for (std::size_t i = 0; i < n; ++i) chip_power += pred[i][0].power_w;
+
+  // Max-heap of upgrade candidates by marginal IPS per marginal watt.
+  struct Candidate {
+    double efficiency;
+    std::size_t core;
+    std::size_t to_level;
+    double delta_power;
+  };
+  auto cmp = [](const Candidate& a, const Candidate& b) {
+    return a.efficiency < b.efficiency;
+  };
+  std::priority_queue<Candidate, std::vector<Candidate>, decltype(cmp)> heap(
+      cmp);
+
+  auto push_candidate = [&](std::size_t core, std::size_t from_level) {
+    if (from_level + 1 >= n_levels) return;
+    const auto& lo = pred[core][from_level];
+    const auto& hi = pred[core][from_level + 1];
+    const double d_power = hi.power_w - lo.power_w;
+    const double d_ips = hi.ips - lo.ips;
+    if (d_power <= 0.0) return;  // degenerate; skip
+    heap.push(Candidate{d_ips / d_power, core, from_level + 1, d_power});
+  };
+
+  for (std::size_t i = 0; i < n; ++i) push_candidate(i, 0);
+
+  while (!heap.empty()) {
+    const Candidate c = heap.top();
+    heap.pop();
+    if (levels[c.core] + 1 != c.to_level) continue;  // stale entry
+    if (chip_power + c.delta_power > budget) continue;  // does not fit
+    levels[c.core] = c.to_level;
+    chip_power += c.delta_power;
+    push_candidate(c.core, c.to_level);
+  }
+  return levels;
+}
+
+}  // namespace odrl::baselines

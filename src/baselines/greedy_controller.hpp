@@ -1,0 +1,36 @@
+// Greedy predictive global search (the Isci-style "maximize-then-trim"
+// heuristic family).
+//
+// Each epoch, starting from level 0 everywhere, repeatedly grants +1 level
+// to the core with the highest predicted marginal IPS per marginal watt, as
+// long as the predicted chip power stays within the budget. Per-core
+// predictions come from the shared model-based Predictor. Cost is
+// O(n * levels * log n) per epoch (priority queue of upgrade candidates) --
+// polynomial but markedly heavier than OD-RL's O(n) table walk, and it
+// inherits the predictor's staleness-driven overshoot.
+#pragma once
+
+#include "arch/chip_config.hpp"
+#include "baselines/predictor.hpp"
+#include "sim/controller.hpp"
+
+namespace odrl::baselines {
+
+class GreedyController final : public sim::Controller {
+ public:
+  /// `fill_target` scales the budget the optimizer packs to (1.0 = fill the
+  /// whole budget; the paper-era heuristics fill fully, which is what makes
+  /// them overshoot under prediction error).
+  GreedyController(const arch::ChipConfig& chip, double fill_target = 1.0);
+
+  std::string name() const override;
+  std::vector<std::size_t> initial_levels(std::size_t n_cores) override;
+  std::vector<std::size_t> decide(const sim::EpochResult& obs) override;
+
+ private:
+  arch::ChipConfig chip_;
+  Predictor predictor_;
+  double fill_target_;
+};
+
+}  // namespace odrl::baselines

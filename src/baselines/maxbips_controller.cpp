@@ -1,0 +1,163 @@
+#include "baselines/maxbips_controller.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace odrl::baselines {
+
+void MaxBipsConfig::validate() const {
+  if (power_bins_min < 8) {
+    throw std::invalid_argument("MaxBipsConfig: power_bins_min < 8");
+  }
+  if (bins_per_core == 0) {
+    throw std::invalid_argument("MaxBipsConfig: bins_per_core == 0");
+  }
+  if (exact_core_limit == 0) {
+    throw std::invalid_argument("MaxBipsConfig: exact_core_limit == 0");
+  }
+}
+
+MaxBipsController::MaxBipsController(const arch::ChipConfig& chip,
+                                     MaxBipsConfig config)
+    : chip_(chip), predictor_(chip), config_(config) {
+  config_.validate();
+}
+
+std::string MaxBipsController::name() const {
+  return config_.solver == MaxBipsSolver::kExact ? "MaxBIPS-exact" : "MaxBIPS";
+}
+
+std::vector<std::size_t> MaxBipsController::initial_levels(
+    std::size_t n_cores) {
+  return std::vector<std::size_t>(n_cores, 0);
+}
+
+std::vector<std::size_t> MaxBipsController::decide(
+    const sim::EpochResult& obs) {
+  const std::size_t n = obs.cores.size();
+  std::vector<std::vector<LevelPrediction>> pred(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pred[i] = predictor_.predict_all(obs.cores[i]);
+  }
+  switch (config_.solver) {
+    case MaxBipsSolver::kExact:
+      return solve_exact(pred, obs.budget_w);
+    case MaxBipsSolver::kKnapsackDp:
+      return solve_dp(pred, obs.budget_w);
+  }
+  throw std::logic_error("MaxBipsController: unknown solver");
+}
+
+std::vector<std::size_t> MaxBipsController::solve_exact(
+    const std::vector<std::vector<LevelPrediction>>& pred,
+    double budget_w) const {
+  const std::size_t n = pred.size();
+  if (n > config_.exact_core_limit) {
+    throw std::invalid_argument(
+        "MaxBIPS exact solver: too many cores for exhaustive enumeration");
+  }
+  const std::size_t n_levels = predictor_.vf_table().size();
+
+  std::vector<std::size_t> current(n, 0);
+  std::vector<std::size_t> best(n, 0);
+  double best_ips = -1.0;
+
+  // Odometer enumeration over levels^n.
+  for (;;) {
+    double power = 0.0;
+    double ips = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      power += pred[i][current[i]].power_w;
+      ips += pred[i][current[i]].ips;
+    }
+    if (power <= budget_w && ips > best_ips) {
+      best_ips = ips;
+      best = current;
+    }
+    std::size_t digit = 0;
+    while (digit < n) {
+      if (++current[digit] < n_levels) break;
+      current[digit] = 0;
+      ++digit;
+    }
+    if (digit == n) break;
+  }
+  // If even all-minimum exceeded the budget, best_ips stayed negative;
+  // all-zero is the least-bad assignment.
+  return best_ips < 0.0 ? std::vector<std::size_t>(n, 0) : best;
+}
+
+std::vector<std::size_t> MaxBipsController::solve_dp(
+    const std::vector<std::vector<LevelPrediction>>& pred,
+    double budget_w) const {
+  const std::size_t n = pred.size();
+  const std::size_t n_levels = predictor_.vf_table().size();
+  const std::size_t bins =
+      std::max(config_.power_bins_min, config_.bins_per_core * n);
+  const double delta = budget_w / static_cast<double>(bins);
+  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+  // Integer weight of each (core, level); ceil keeps the solution feasible
+  // against the real-valued budget.
+  auto weight = [&](std::size_t core, std::size_t level) -> std::size_t {
+    return static_cast<std::size_t>(
+        std::ceil(pred[core][level].power_w / delta - 1e-12));
+  };
+
+  std::vector<double> dp(bins + 1, kNegInf);
+  std::vector<double> next(bins + 1, kNegInf);
+  // choice[core * (bins+1) + w]: level picked for `core` when the prefix
+  // through `core` uses weight w.
+  std::vector<std::uint8_t> choice(n * (bins + 1), 0xff);
+
+  dp[0] = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::fill(next.begin(), next.end(), kNegInf);
+    for (std::size_t w = 0; w <= bins; ++w) {
+      if (dp[w] == kNegInf) continue;
+      for (std::size_t l = 0; l < n_levels; ++l) {
+        const std::size_t wl = weight(i, l);
+        const std::size_t w2 = w + wl;
+        if (w2 > bins) break;  // levels sorted by power: heavier only
+        const double ips2 = dp[w] + pred[i][l].ips;
+        if (ips2 > next[w2]) {
+          next[w2] = ips2;
+          choice[i * (bins + 1) + w2] = static_cast<std::uint8_t>(l);
+        }
+      }
+    }
+    dp.swap(next);
+  }
+
+  // Best achievable total IPS within the budget.
+  std::size_t best_w = bins + 1;
+  double best_ips = kNegInf;
+  for (std::size_t w = 0; w <= bins; ++w) {
+    if (dp[w] > best_ips) {
+      best_ips = dp[w];
+      best_w = w;
+    }
+  }
+  if (best_w > bins) {
+    // Even all-minimum does not fit the discretized budget: floor levels.
+    return std::vector<std::size_t>(n, 0);
+  }
+
+  // Walk the choice/used tables backwards to recover the assignment.
+  std::vector<std::size_t> levels(n, 0);
+  std::size_t w = best_w;
+  for (std::size_t i = n; i-- > 0;) {
+    const std::uint8_t l = choice[i * (bins + 1) + w];
+    if (l == 0xff) {
+      // Should not happen on a reachable cell; degrade safely.
+      return std::vector<std::size_t>(n, 0);
+    }
+    levels[i] = l;
+    w -= weight(i, l);
+  }
+  return levels;
+}
+
+}  // namespace odrl::baselines

@@ -1,0 +1,54 @@
+#include "baselines/pid_controller.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace odrl::baselines {
+
+PidController::PidController(const arch::ChipConfig& chip, PidGains gains)
+    : chip_(chip),
+      gains_(gains),
+      u_(static_cast<double>(chip.vf_table().size() - 1) / 2.0) {}
+
+std::string PidController::name() const { return "PID"; }
+
+std::vector<std::size_t> PidController::initial_levels(std::size_t n_cores) {
+  const auto level = chip_.vf_table().clamp_level(
+      static_cast<long>(std::lround(u_)));
+  return std::vector<std::size_t>(n_cores, level);
+}
+
+std::vector<std::size_t> PidController::decide(const sim::EpochResult& obs) {
+  // Positive error = headroom available, push frequency up.
+  const double error = (obs.budget_w - obs.chip_power_w) / obs.budget_w;
+
+  integral_ = std::clamp(integral_ + error, -gains_.integral_limit,
+                         gains_.integral_limit);
+  const double derivative = have_prev_ ? error - prev_error_ : 0.0;
+  prev_error_ = error;
+  have_prev_ = true;
+
+  const double delta =
+      gains_.kp * error + gains_.ki * integral_ + gains_.kd * derivative;
+  const double max_level = static_cast<double>(chip_.vf_table().size() - 1);
+  u_ = std::clamp(u_ + delta, 0.0, max_level);
+
+  const auto level =
+      chip_.vf_table().clamp_level(static_cast<long>(std::lround(u_)));
+  return std::vector<std::size_t>(obs.cores.size(), level);
+}
+
+void PidController::on_budget_change(double /*new_budget_w*/) {
+  // The error signal adapts on its own; just bleed the integral so the old
+  // operating point does not fight the new budget.
+  integral_ = 0.0;
+}
+
+void PidController::reset() {
+  u_ = static_cast<double>(chip_.vf_table().size() - 1) / 2.0;
+  integral_ = 0.0;
+  prev_error_ = 0.0;
+  have_prev_ = false;
+}
+
+}  // namespace odrl::baselines

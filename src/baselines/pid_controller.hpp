@@ -1,0 +1,46 @@
+// Chip-level PID power capping (the RAPL/feedback-governor family).
+//
+// A single PID loop on normalized power error drives one uniform V/F level
+// for the whole chip. Representative of deployed firmware power capping:
+// cheap (O(1) per decision plus an O(n) fan-out), reactive (it only corrects
+// *after* an overshoot is measured -- one full epoch of budget violation per
+// workload upswing), and unable to distinguish cores (memory-bound cores get
+// the same frequency as compute-bound ones).
+#pragma once
+
+#include "arch/chip_config.hpp"
+#include "sim/controller.hpp"
+
+namespace odrl::baselines {
+
+struct PidGains {
+  double kp = 6.0;
+  double ki = 1.5;
+  double kd = 0.5;
+  /// Anti-windup clamp on the integral term (in normalized-error units).
+  double integral_limit = 2.0;
+};
+
+class PidController final : public sim::Controller {
+ public:
+  PidController(const arch::ChipConfig& chip, PidGains gains = {});
+
+  std::string name() const override;
+  std::vector<std::size_t> initial_levels(std::size_t n_cores) override;
+  std::vector<std::size_t> decide(const sim::EpochResult& obs) override;
+  void on_budget_change(double new_budget_w) override;
+  void reset() override;
+
+  /// Continuous control signal (level units) before quantization.
+  double control_signal() const { return u_; }
+
+ private:
+  arch::ChipConfig chip_;
+  PidGains gains_;
+  double u_;  ///< continuous level command in [0, levels-1]
+  double integral_ = 0.0;
+  double prev_error_ = 0.0;
+  bool have_prev_ = false;
+};
+
+}  // namespace odrl::baselines

@@ -1,0 +1,50 @@
+#include "baselines/predictor.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace odrl::baselines {
+
+Predictor::Predictor(const arch::ChipConfig& chip)
+    : vf_(chip.vf_table()), power_(chip.core()) {}
+
+double Predictor::implied_activity(const sim::CoreObservation& obs) const {
+  const arch::VfPoint& at = vf_.at(obs.level);
+  const auto& p = power_.params();
+  const double static_w =
+      p.leakage_power_w(at.voltage_v, obs.temp_c) + p.uncore_w;
+  const double dyn_w = std::max(0.0, obs.power_w - static_w);
+  const double dyn_max =
+      p.dynamic_power_w(at.voltage_v, at.freq_ghz, /*activity=*/1.0);
+  if (dyn_max <= 0.0) return 0.0;
+  return std::clamp(dyn_w / dyn_max, 0.0, 1.0);
+}
+
+LevelPrediction Predictor::predict(const sim::CoreObservation& obs,
+                                   std::size_t target_level) const {
+  const arch::VfPoint& from = vf_.at(obs.level);
+  const arch::VfPoint& to = vf_.at(target_level);
+
+  LevelPrediction out;
+
+  // Performance extrapolation from the observed stall split.
+  const double s = std::clamp(obs.mem_stall_frac, 0.0, 1.0);
+  const double f_ratio = to.freq_ghz / from.freq_ghz;
+  out.ips = obs.ips * f_ratio / ((1.0 - s) + s * f_ratio);
+
+  // Power: re-apply implied activity at the target point.
+  const double activity = implied_activity(obs);
+  const auto pw = power_.core_power_at(to, activity, obs.temp_c);
+  out.power_w = pw.total_w();
+  return out;
+}
+
+std::vector<LevelPrediction> Predictor::predict_all(
+    const sim::CoreObservation& obs) const {
+  std::vector<LevelPrediction> out;
+  out.reserve(vf_.size());
+  for (std::size_t l = 0; l < vf_.size(); ++l) out.push_back(predict(obs, l));
+  return out;
+}
+
+}  // namespace odrl::baselines

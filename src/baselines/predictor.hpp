@@ -1,0 +1,61 @@
+// Model-based per-core power/performance prediction.
+//
+// The state-of-the-art baselines the paper compares against (MaxBIPS-style
+// global optimization, greedy search) are *predictive*: each epoch they use
+// an analytical model plus the last epoch's sensors to extrapolate every
+// core's IPS and watts at every candidate V/F level, then optimize over the
+// predictions. This header is that shared predictor.
+//
+// Predicting from one-epoch-old sensors is exactly the weakness OD-RL's
+// model-free margin-keeping avoids: when the workload changes phase between
+// decision and execution, predictions are stale and budget-filling
+// optimizers overshoot.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "arch/chip_config.hpp"
+#include "power/power_model.hpp"
+#include "sim/observation.hpp"
+
+namespace odrl::baselines {
+
+/// Predicted operating point of one core at one candidate level.
+struct LevelPrediction {
+  double ips = 0.0;
+  double power_w = 0.0;
+};
+
+class Predictor {
+ public:
+  explicit Predictor(const arch::ChipConfig& chip);
+
+  /// Predicts core behaviour at `target_level` given its observation at its
+  /// current level.
+  ///
+  /// Performance: with memory-stall fraction s observed at frequency f,
+  ///   IPS(f') = IPS(f) * (f'/f) / ((1 - s) + s * f'/f)
+  /// (exact for the linear CPI-stack family; a standard DVFS extrapolation).
+  ///
+  /// Power: the observed watts are decomposed with the power model into
+  /// dynamic vs. static at the observed (V, f, T); the implied activity is
+  /// then re-applied at the target (V', f').
+  LevelPrediction predict(const sim::CoreObservation& obs,
+                          std::size_t target_level) const;
+
+  /// All levels at once (the optimizers' inner loop).
+  std::vector<LevelPrediction> predict_all(
+      const sim::CoreObservation& obs) const;
+
+  /// Implied switching activity in [0, 1] backed out of an observation.
+  double implied_activity(const sim::CoreObservation& obs) const;
+
+  const arch::VfTable& vf_table() const { return vf_; }
+
+ private:
+  arch::VfTable vf_;
+  power::PowerModel power_;
+};
+
+}  // namespace odrl::baselines

@@ -1,0 +1,41 @@
+#include "baselines/static_uniform.hpp"
+
+namespace odrl::baselines {
+
+StaticUniformController::StaticUniformController(const arch::ChipConfig& chip)
+    : chip_(chip), level_(safe_level_for(chip.tdp_w())) {}
+
+std::string StaticUniformController::name() const { return "Static"; }
+
+double StaticUniformController::worst_case_chip_power(
+    std::size_t level) const {
+  const arch::VfPoint& vf = chip_.vf_table()[level];
+  const double hot = chip_.thermal().max_junction_c;
+  return chip_.core().total_power_w(vf.voltage_v, vf.freq_ghz,
+                                    /*activity=*/1.0, hot) *
+         static_cast<double>(chip_.n_cores());
+}
+
+std::size_t StaticUniformController::safe_level_for(double budget_w) const {
+  std::size_t best = 0;
+  for (std::size_t l = 0; l < chip_.vf_table().size(); ++l) {
+    if (worst_case_chip_power(l) <= budget_w) best = l;
+  }
+  return best;
+}
+
+std::vector<std::size_t> StaticUniformController::initial_levels(
+    std::size_t n_cores) {
+  return std::vector<std::size_t>(n_cores, level_);
+}
+
+std::vector<std::size_t> StaticUniformController::decide(
+    const sim::EpochResult& obs) {
+  return std::vector<std::size_t>(obs.cores.size(), level_);
+}
+
+void StaticUniformController::on_budget_change(double new_budget_w) {
+  level_ = safe_level_for(new_budget_w);
+}
+
+}  // namespace odrl::baselines

@@ -1,0 +1,35 @@
+// Static uniform baseline: design-time worst-case provisioning.
+//
+// Before the run it picks the highest single V/F level at which the chip
+// cannot exceed the budget even with every core fully active at the thermal
+// design corner, then never moves. Guaranteed zero overshoot; leaves all the
+// workload-dependent headroom on the table. This is the "no DPM" anchor of
+// the comparison.
+#pragma once
+
+#include "arch/chip_config.hpp"
+#include "sim/controller.hpp"
+
+namespace odrl::baselines {
+
+class StaticUniformController final : public sim::Controller {
+ public:
+  explicit StaticUniformController(const arch::ChipConfig& chip);
+
+  std::string name() const override;
+  std::vector<std::size_t> initial_levels(std::size_t n_cores) override;
+  std::vector<std::size_t> decide(const sim::EpochResult& obs) override;
+  void on_budget_change(double new_budget_w) override;
+
+  std::size_t chosen_level() const { return level_; }
+
+ private:
+  /// Worst-case chip power at a uniform level (activity 1, hot junction).
+  double worst_case_chip_power(std::size_t level) const;
+  std::size_t safe_level_for(double budget_w) const;
+
+  arch::ChipConfig chip_;
+  std::size_t level_;
+};
+
+}  // namespace odrl::baselines

@@ -1,0 +1,94 @@
+#include "core/budget_realloc.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace odrl::core {
+
+void ReallocConfig::validate() const {
+  if (floor_fraction < 0.0 || floor_fraction >= 1.0) {
+    throw std::invalid_argument("ReallocConfig: floor_fraction in [0, 1)");
+  }
+  if (saturated_headroom < 1.0) {
+    throw std::invalid_argument("ReallocConfig: saturated_headroom < 1");
+  }
+  if (idle_headroom < saturated_headroom) {
+    throw std::invalid_argument(
+        "ReallocConfig: idle_headroom must be >= saturated_headroom");
+  }
+  if (growth_headroom < idle_headroom) {
+    throw std::invalid_argument(
+        "ReallocConfig: growth_headroom must be >= idle_headroom");
+  }
+}
+
+std::vector<double> reallocate_budget(std::span<const CoreDemand> demands,
+                                      double chip_budget_w,
+                                      const ReallocConfig& config) {
+  config.validate();
+  if (demands.empty()) {
+    throw std::invalid_argument("reallocate_budget: no cores");
+  }
+  if (chip_budget_w <= 0.0) {
+    throw std::invalid_argument("reallocate_budget: budget <= 0");
+  }
+  const std::size_t n = demands.size();
+  const double floor_each =
+      config.floor_fraction * chip_budget_w / static_cast<double>(n);
+
+  // Demand: consumption scaled by a sensitivity-blended headroom factor.
+  // Every unsaturated core gets at least one-level-step headroom; saturated
+  // cores get a guard band only (they cannot grow, and inflated demand from
+  // them would permanently over-subscribe the chip).
+  std::vector<double> demand(n);
+  std::vector<double> utility(n);
+  double demand_sum = 0.0;
+  double utility_sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const CoreDemand& d = demands[i];
+    const double sens = std::clamp(d.sensitivity, 0.0, 1.0);
+    double headroom = config.saturated_headroom;
+    if (d.can_raise) {
+      headroom = config.idle_headroom +
+                 sens * (config.growth_headroom - config.idle_headroom);
+    }
+    demand[i] = std::max(floor_each, std::max(0.0, d.power_w) * headroom);
+    demand_sum += demand[i];
+    // Squared sensitivity skews surplus hard toward cores that convert
+    // watts into instructions; saturated cores cannot use surplus at all.
+    utility[i] = (0.05 + sens * sens) * (d.can_raise ? 1.0 : 0.05);
+    utility_sum += utility[i];
+  }
+
+  std::vector<double> budgets(n);
+  if (demand_sum <= chip_budget_w) {
+    // Everyone gets their demand; surplus follows marginal utility.
+    const double surplus = chip_budget_w - demand_sum;
+    for (std::size_t i = 0; i < n; ++i) {
+      budgets[i] = demand[i] + surplus * utility[i] / utility_sum;
+    }
+  } else {
+    // Over-subscribed: divide by demand weighted with utility, so the cut
+    // falls hardest on the cores that benefit least, subject to per-core
+    // floors. (Floors can push the sum above B; the final renormalization
+    // resolves that -- floors are soft under extreme pressure.)
+    double weight_sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      weight_sum += demand[i] * (0.15 + utility[i]);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      const double w = demand[i] * (0.15 + utility[i]);
+      budgets[i] = std::max(floor_each, chip_budget_w * w / weight_sum);
+    }
+  }
+
+  // Exact renormalization: floating error (or soft floors) must not leak or
+  // mint budget.
+  const double sum = std::accumulate(budgets.begin(), budgets.end(), 0.0);
+  const double scale = chip_budget_w / sum;
+  for (double& b : budgets) b *= scale;
+  return budgets;
+}
+
+}  // namespace odrl::core

@@ -1,0 +1,301 @@
+#include "core/odrl_controller.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+#include "rl/qtable_io.hpp"
+
+namespace odrl::core {
+
+void OdrlConfig::validate() const {
+  td.validate();
+  realloc.validate();
+  if (headroom_bins < 2) {
+    throw std::invalid_argument("OdrlConfig: headroom_bins < 2");
+  }
+  if (mem_bins < 1) throw std::invalid_argument("OdrlConfig: mem_bins < 1");
+  if (lambda < 0.0) throw std::invalid_argument("OdrlConfig: lambda < 0");
+  if (kappa < 0.0) throw std::invalid_argument("OdrlConfig: kappa < 0");
+  if (thermal_weight < 0.0) {
+    throw std::invalid_argument("OdrlConfig: thermal_weight < 0");
+  }
+  if (target_utilization <= 0.0 || target_utilization > 1.0) {
+    throw std::invalid_argument("OdrlConfig: target_utilization in (0, 1]");
+  }
+  if (realloc_period == 0) {
+    throw std::invalid_argument("OdrlConfig: realloc_period == 0");
+  }
+  if (ema_alpha <= 0.0 || ema_alpha > 1.0) {
+    throw std::invalid_argument("OdrlConfig: ema_alpha in (0, 1]");
+  }
+  if (budget_blend <= 0.0 || budget_blend > 1.0) {
+    throw std::invalid_argument("OdrlConfig: budget_blend in (0, 1]");
+  }
+  if (target_fill <= 0.0 || target_fill > 1.0) {
+    throw std::invalid_argument("OdrlConfig: target_fill in (0, 1]");
+  }
+  if (overcommit_gain < 0.0) {
+    throw std::invalid_argument("OdrlConfig: overcommit_gain < 0");
+  }
+  if (overcommit_min < 0.5 || overcommit_max < overcommit_min) {
+    throw std::invalid_argument("OdrlConfig: bad overcommit clamp range");
+  }
+}
+
+namespace {
+std::vector<std::size_t> state_dims(const OdrlConfig& config,
+                                    std::size_t n_levels) {
+  if (config.action_mode == ActionMode::kAbsolute) {
+    return {config.headroom_bins, config.mem_bins, n_levels};
+  }
+  return {config.headroom_bins, config.mem_bins};
+}
+}  // namespace
+
+OdrlController::OdrlController(const arch::ChipConfig& chip, OdrlConfig config)
+    : config_(config),
+      n_cores_(chip.n_cores()),
+      n_levels_(chip.vf_table().size()),
+      headroom_disc_(0.0, 2.0, config.headroom_bins),
+      mem_disc_(0.0, 1.0, config.mem_bins),
+      states_(state_dims(config, chip.vf_table().size())),
+      chip_budget_w_(chip.tdp_w()) {
+  config_.validate();
+  util::Rng root(config_.seed);
+  agents_.reserve(n_cores_);
+  rngs_.reserve(n_cores_);
+  for (std::size_t i = 0; i < n_cores_; ++i) {
+    agents_.emplace_back(states_.size(), n_actions(), config_.td);
+    rngs_.push_back(root.fork());
+  }
+  budgets_.assign(n_cores_, chip_budget_w_ / static_cast<double>(n_cores_));
+  power_ema_.assign(n_cores_, util::Ema(config_.ema_alpha));
+  sens_ema_.assign(n_cores_, util::Ema(config_.ema_alpha));
+  prev_state_.assign(n_cores_, 0);
+  prev_action_.assign(n_cores_, 0);
+  level_freq_ghz_.reserve(n_levels_);
+  for (const auto& point : chip.vf_table().points()) {
+    level_freq_ghz_.push_back(point.freq_ghz);
+  }
+}
+
+std::string OdrlController::name() const { return "OD-RL"; }
+
+std::size_t OdrlController::n_actions() const {
+  return config_.action_mode == ActionMode::kRelative ? 3 : n_levels_;
+}
+
+std::vector<std::size_t> OdrlController::initial_levels(std::size_t n_cores) {
+  if (n_cores != n_cores_) {
+    throw std::invalid_argument("OdrlController: core count mismatch");
+  }
+  // Start mid-table: low enough that a fair budget share is safe, high
+  // enough that the climb to the learned operating point is short.
+  return std::vector<std::size_t>(n_cores_, n_levels_ / 2);
+}
+
+std::size_t OdrlController::encode_state(double headroom_ratio,
+                                         double mem_stall,
+                                         std::size_t level) const {
+  if (config_.action_mode == ActionMode::kAbsolute) {
+    const std::size_t coords[3] = {headroom_disc_.bin(headroom_ratio),
+                                   mem_disc_.bin(mem_stall), level};
+    return states_.encode(coords);
+  }
+  const std::size_t coords[2] = {headroom_disc_.bin(headroom_ratio),
+                                 mem_disc_.bin(mem_stall)};
+  return states_.encode(coords);
+}
+
+std::size_t OdrlController::apply_action(std::size_t level,
+                                         std::size_t action) const {
+  if (config_.action_mode == ActionMode::kAbsolute) {
+    return std::min(action, n_levels_ - 1);
+  }
+  // Relative: 0 = down, 1 = hold, 2 = up.
+  switch (action) {
+    case 0:
+      return level == 0 ? 0 : level - 1;
+    case 1:
+      return level;
+    case 2:
+      return std::min(level + 1, n_levels_ - 1);
+    default:
+      throw std::logic_error("OdrlController: bad relative action");
+  }
+}
+
+double OdrlController::attainment(const sim::CoreObservation& obs) const {
+  // From the observed stall fraction s at frequency f, the linear CPI-stack
+  // identity gives IPS(f_max)/IPS(f) = r / ((1-s) + s*r) with r = f_max/f.
+  // Both s and f come from counters, so this stays model-free in the
+  // paper's sense (no fitted power/perf model).
+  const double s = std::clamp(obs.mem_stall_frac, 0.0, 1.0);
+  const double r = level_freq_ghz_.back() / level_freq_ghz_[obs.level];
+  const double gain_to_max = r / ((1.0 - s) + s * r);
+  return 1.0 / gain_to_max;
+}
+
+double OdrlController::reward(const sim::CoreObservation& obs,
+                              double core_budget_w) const {
+  // Normalized throughput term in (0, 1]: fraction of the attainable
+  // throughput for this phase (stationary across phases and levels), plus
+  // the frequency-shaping term (see OdrlConfig::kappa).
+  const double perf =
+      attainment(obs) +
+      config_.kappa * level_freq_ghz_[obs.level] / level_freq_ghz_.back();
+  // Overshoot term: charged when the core exceeds target_utilization of its
+  // allocation -- agents learn to hold a safety margin *below* the line,
+  // which is where the near-zero chip-level overshoot comes from.
+  const double cap = config_.target_utilization * core_budget_w;
+  double penalty = 0.0;
+  if (cap > 0.0 && obs.power_w > cap) {
+    penalty = (obs.power_w - cap) / cap;
+  }
+  double thermal = 0.0;
+  if (config_.thermal_weight > 0.0 && obs.temp_c > config_.thermal_safe_c) {
+    thermal = config_.thermal_weight *
+              (obs.temp_c - config_.thermal_safe_c) / 20.0;
+  }
+  return perf - config_.lambda * penalty - thermal;
+}
+
+std::vector<std::size_t> OdrlController::decide(const sim::EpochResult& obs) {
+  if (obs.cores.size() != n_cores_) {
+    throw std::invalid_argument("OdrlController::decide: size mismatch");
+  }
+
+  // Track budget moved by the runner (power-cap events reach us through
+  // on_budget_change, but the observation carries it too; trust the obs).
+  if (obs.budget_w > 0.0 && obs.budget_w != chip_budget_w_) {
+    on_budget_change(obs.budget_w);
+  }
+
+  // Smooth the reallocation inputs.
+  for (std::size_t i = 0; i < n_cores_; ++i) {
+    power_ema_[i].update(obs.cores[i].power_w);
+    sens_ema_[i].update(1.0 - obs.cores[i].mem_stall_frac);
+  }
+
+  // Coarse grain: budget reallocation against the virtual (overcommitted)
+  // budget, with mu adapted so measured chip power tracks the fill target.
+  chip_power_ema_.update(obs.chip_power_w);
+  ++epochs_seen_;
+  if (config_.global_realloc && epochs_seen_ % config_.realloc_period == 0) {
+    const double fill_error =
+        (config_.target_fill * chip_budget_w_ - chip_power_ema_.value()) /
+        chip_budget_w_;
+    mu_ = std::clamp(mu_ + config_.overcommit_gain * fill_error,
+                     config_.overcommit_min, config_.overcommit_max);
+    std::vector<CoreDemand> demands(n_cores_);
+    for (std::size_t i = 0; i < n_cores_; ++i) {
+      demands[i].power_w = power_ema_[i].value();
+      demands[i].sensitivity = sens_ema_[i].value();
+      demands[i].budget_w = budgets_[i];
+      demands[i].can_raise = obs.cores[i].level + 1 < n_levels_;
+    }
+    const std::vector<double> target =
+        reallocate_budget(demands, mu_ * chip_budget_w_, config_.realloc);
+    // Damped move toward the target keeps per-core caps quasi-stationary.
+    const double beta = config_.budget_blend;
+    for (std::size_t i = 0; i < n_cores_; ++i) {
+      budgets_[i] = (1.0 - beta) * budgets_[i] + beta * target[i];
+    }
+    ++realloc_count_;
+  }
+
+  // Fine grain: per-core TD step.
+  std::vector<std::size_t> next_levels(n_cores_);
+  double reward_sum = 0.0;
+  for (std::size_t i = 0; i < n_cores_; ++i) {
+    const sim::CoreObservation& core = obs.cores[i];
+    // Headroom relative to the *penalized* cap, so ratio 1.0 (a bin edge)
+    // is exactly where the reward turns negative.
+    const double cap = config_.target_utilization * budgets_[i];
+    const double ratio = cap > 0.0 ? core.power_w / cap : 2.0;
+    const std::size_t state =
+        encode_state(ratio, core.mem_stall_frac, core.level);
+
+    // Select the next action first so SARSA can learn on-policy from the
+    // action actually taken; Q-learning ignores it (max-bootstrap).
+    const std::size_t action = agents_[i].act(state, rngs_[i]);
+    if (have_prev_) {
+      const double r = reward(core, budgets_[i]);
+      reward_sum += r;
+      agents_[i].learn(prev_state_[i], prev_action_[i], r, state, action);
+    }
+    prev_state_[i] = state;
+    prev_action_[i] = action;
+    next_levels[i] = apply_action(core.level, action);
+  }
+  if (have_prev_) {
+    last_mean_reward_ = reward_sum / static_cast<double>(n_cores_);
+  }
+  have_prev_ = true;
+  return next_levels;
+}
+
+void OdrlController::on_budget_change(double new_budget_w) {
+  if (new_budget_w <= 0.0) {
+    throw std::invalid_argument("OdrlController: budget <= 0");
+  }
+  // Rescale allocations immediately so agents see the new headroom next
+  // epoch instead of waiting out the reallocation period.
+  const double scale = new_budget_w / chip_budget_w_;
+  for (double& b : budgets_) b *= scale;
+  chip_budget_w_ = new_budget_w;
+}
+
+void OdrlController::reset() {
+  for (auto& agent : agents_) agent.reset();
+  for (auto& ema : power_ema_) ema.reset();
+  for (auto& ema : sens_ema_) ema.reset();
+  std::fill(budgets_.begin(), budgets_.end(),
+            chip_budget_w_ / static_cast<double>(n_cores_));
+  have_prev_ = false;
+  last_mean_reward_ = 0.0;
+  realloc_count_ = 0;
+  epochs_seen_ = 0;
+  mu_ = 1.0;
+  chip_power_ema_.reset();
+}
+
+void OdrlController::save_policy(std::ostream& out) const {
+  out << "# odrl-policy v1\n" << n_cores_ << '\n';
+  for (const auto& agent : agents_) rl::save_qtable(agent.table(), out);
+}
+
+void OdrlController::load_policy(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line) || line != "# odrl-policy v1") {
+    throw std::runtime_error("OdrlController::load_policy: bad header");
+  }
+  std::size_t cores = 0;
+  if (!(in >> cores) || cores != n_cores_) {
+    throw std::runtime_error(
+        "OdrlController::load_policy: core count mismatch");
+  }
+  for (auto& agent : agents_) {
+    in >> std::ws;  // consume the newline left by formatted reads
+    agent.restore_table(rl::load_qtable(in));
+  }
+}
+
+const rl::TdAgent& OdrlController::agent(std::size_t core) const {
+  if (core >= agents_.size()) {
+    throw std::out_of_range("OdrlController::agent: core out of range");
+  }
+  return agents_[core];
+}
+
+std::size_t OdrlController::last_state(std::size_t core) const {
+  if (core >= prev_state_.size()) {
+    throw std::out_of_range("OdrlController::last_state: core out of range");
+  }
+  return prev_state_[core];
+}
+
+}  // namespace odrl::core

@@ -1,0 +1,92 @@
+#include "core/vfi_adapter.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace odrl::core {
+
+VfiAdapter::VfiAdapter(arch::VfiPartition partition,
+                       std::unique_ptr<sim::Controller> inner)
+    : partition_(std::move(partition)), inner_(std::move(inner)) {
+  if (!inner_) throw std::invalid_argument("VfiAdapter: null inner");
+}
+
+arch::ChipConfig VfiAdapter::island_chip_config(const arch::ChipConfig& chip,
+                                                const arch::VfiPartition& p) {
+  if (p.n_cores() != chip.n_cores()) {
+    throw std::invalid_argument(
+        "VfiAdapter: partition does not cover the chip");
+  }
+  return arch::ChipConfig(p.n_islands(), chip.vf_table(), chip.tdp_w(),
+                          chip.core(), chip.thermal());
+}
+
+std::string VfiAdapter::name() const {
+  return inner_->name() + "-VFI" + std::to_string(partition_.n_islands());
+}
+
+std::vector<std::size_t> VfiAdapter::initial_levels(std::size_t n_cores) {
+  if (n_cores != partition_.n_cores()) {
+    throw std::invalid_argument("VfiAdapter: core count mismatch");
+  }
+  return expand(inner_->initial_levels(partition_.n_islands()));
+}
+
+sim::EpochResult VfiAdapter::aggregate(const sim::EpochResult& obs) const {
+  sim::EpochResult out;
+  out.epoch = obs.epoch;
+  out.epoch_s = obs.epoch_s;
+  out.budget_w = obs.budget_w;
+  out.chip_power_w = obs.chip_power_w;
+  out.true_chip_power_w = obs.true_chip_power_w;
+  out.total_ips = obs.total_ips;
+  out.max_temp_c = obs.max_temp_c;
+  out.thermal_violations = obs.thermal_violations;
+  out.mem_latency_mult = obs.mem_latency_mult;
+  out.dram_utilization = obs.dram_utilization;
+  out.cores.resize(partition_.n_islands());
+  for (std::size_t i = 0; i < partition_.n_islands(); ++i) {
+    sim::CoreObservation& agg = out.cores[i];
+    double stall_weighted = 0.0;
+    for (std::size_t core : partition_.island(i)) {
+      const sim::CoreObservation& c = obs.cores[core];
+      agg.level = c.level;  // all members share the island level
+      agg.ips += c.ips;
+      agg.instructions += c.instructions;
+      agg.power_w += c.power_w;
+      stall_weighted += c.mem_stall_frac * c.ips;
+      agg.temp_c = std::max(agg.temp_c, c.temp_c);
+    }
+    agg.mem_stall_frac = agg.ips > 0.0 ? stall_weighted / agg.ips : 0.0;
+  }
+  return out;
+}
+
+std::vector<std::size_t> VfiAdapter::expand(
+    const std::vector<std::size_t>& island_levels) const {
+  if (island_levels.size() != partition_.n_islands()) {
+    throw std::logic_error("VfiAdapter: inner controller size mismatch");
+  }
+  std::vector<std::size_t> levels(partition_.n_cores(), 0);
+  for (std::size_t i = 0; i < partition_.n_islands(); ++i) {
+    for (std::size_t core : partition_.island(i)) {
+      levels[core] = island_levels[i];
+    }
+  }
+  return levels;
+}
+
+std::vector<std::size_t> VfiAdapter::decide(const sim::EpochResult& obs) {
+  if (obs.cores.size() != partition_.n_cores()) {
+    throw std::invalid_argument("VfiAdapter::decide: size mismatch");
+  }
+  return expand(inner_->decide(aggregate(obs)));
+}
+
+void VfiAdapter::on_budget_change(double new_budget_w) {
+  inner_->on_budget_change(new_budget_w);
+}
+
+void VfiAdapter::reset() { inner_->reset(); }
+
+}  // namespace odrl::core

@@ -1,0 +1,55 @@
+// VFI adapter: run any per-"core" controller at island granularity.
+//
+// The adapter aggregates the chip's per-core sensors into per-island
+// observations (sum of watts/IPS, IPS-weighted stall fraction, hottest
+// member temperature), feeds them to an inner controller that believes it
+// manages an n_islands-core chip, and fans its island-level V/F decisions
+// back out to member cores. OD-RL composes transparently -- its agents and
+// budget reallocation are model-free, so "a core" may just as well be an
+// island drawing k cores' worth of watts.
+//
+// This is the extension used by E9 (island-granularity study) and mirrors
+// the VFI design-space line of work the paper builds on.
+#pragma once
+
+#include <memory>
+
+#include "arch/chip_config.hpp"
+#include "arch/vfi.hpp"
+#include "sim/controller.hpp"
+
+namespace odrl::core {
+
+class VfiAdapter final : public sim::Controller {
+ public:
+  /// `inner` must have been constructed for a chip with
+  /// partition.n_islands() cores (see island_chip_config below).
+  VfiAdapter(arch::VfiPartition partition,
+             std::unique_ptr<sim::Controller> inner);
+
+  /// The chip configuration the inner controller should be built against:
+  /// same V/F table and budget, but n_islands "cores".
+  static arch::ChipConfig island_chip_config(const arch::ChipConfig& chip,
+                                             const arch::VfiPartition& p);
+
+  std::string name() const override;
+  std::vector<std::size_t> initial_levels(std::size_t n_cores) override;
+  std::vector<std::size_t> decide(const sim::EpochResult& obs) override;
+  void on_budget_change(double new_budget_w) override;
+  void reset() override;
+
+  const arch::VfiPartition& partition() const { return partition_; }
+  sim::Controller& inner() { return *inner_; }
+
+ private:
+  /// Collapses a chip observation into the island-level view.
+  sim::EpochResult aggregate(const sim::EpochResult& obs) const;
+  /// Expands island levels to per-core levels.
+  std::vector<std::size_t> expand(
+      const std::vector<std::size_t>& island_levels) const;
+
+  arch::VfiPartition partition_;
+  std::unique_ptr<sim::Controller> inner_;
+};
+
+}  // namespace odrl::core

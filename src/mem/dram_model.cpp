@@ -1,0 +1,53 @@
+#include "mem/dram_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace odrl::mem {
+
+void DramConfig::validate() const {
+  if (peak_gbps < 0.0) throw std::invalid_argument("DramConfig: peak < 0");
+  if (line_bytes <= 0.0) {
+    throw std::invalid_argument("DramConfig: line_bytes <= 0");
+  }
+  if (max_utilization <= 0.0 || max_utilization >= 1.0) {
+    throw std::invalid_argument("DramConfig: max_utilization in (0, 1)");
+  }
+}
+
+DramModel::DramModel(DramConfig config) : config_(config) {
+  config_.validate();
+}
+
+double DramModel::utilization(double traffic_bytes_per_s) const {
+  if (!enabled()) return 0.0;
+  if (traffic_bytes_per_s < 0.0) {
+    throw std::invalid_argument("DramModel::utilization: negative traffic");
+  }
+  const double u = traffic_bytes_per_s / (config_.peak_gbps * 1e9);
+  return std::min(u, config_.max_utilization);
+}
+
+double DramModel::queue_multiplier(double utilization) const {
+  if (utilization < 0.0) {
+    throw std::invalid_argument("DramModel::queue_multiplier: u < 0");
+  }
+  const double u = std::min(utilization, config_.max_utilization);
+  return 1.0 + u * u / (2.0 * (1.0 - u));
+}
+
+double DramModel::solve_multiplier(
+    const std::function<double(double)>& traffic_at) const {
+  if (!enabled()) return 1.0;
+  double m = 1.0;
+  for (int iter = 0; iter < 64; ++iter) {
+    const double target = queue_multiplier(utilization(traffic_at(m)));
+    const double next = 0.5 * (m + target);  // damped: guards oscillation
+    if (std::abs(next - m) < 1e-7) return next;
+    m = next;
+  }
+  return m;
+}
+
+}  // namespace odrl::mem

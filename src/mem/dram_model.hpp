@@ -1,0 +1,65 @@
+// Shared-DRAM bandwidth contention.
+//
+// On a real many-core part the memory controller is shared: when many
+// cores miss at once, queueing delay inflates every miss's latency. This
+// couples the cores' DVFS decisions -- raising one core's frequency raises
+// its miss *rate per second*, which steals bandwidth from everyone -- and
+// is a first-order effect a Sniper-class simulator models. We model it as
+// an M/D/1-style queue on aggregate miss traffic:
+//
+//   U = total_traffic / peak_bandwidth          (clamped below 1)
+//   latency_multiplier(U) = 1 + U^2 / (2 (1 - U))
+//
+// applied uniformly to every core's exposed memory latency. Because IPS
+// falls as the multiplier rises (which lowers traffic), the per-epoch
+// operating point is the fixed point of multiplier -> traffic ->
+// multiplier; solve_multiplier() finds it by damped iteration (the map is
+// monotone decreasing, so this converges fast).
+//
+// Disabled by default (peak_gbps = 0 -> multiplier 1): the paper's
+// evaluation regime is power-limited rather than bandwidth-limited, but
+// the substrate is available for bandwidth-wall studies.
+#pragma once
+
+#include <functional>
+
+namespace odrl::mem {
+
+struct DramConfig {
+  /// Peak sustained DRAM bandwidth in GB/s. 0 disables the model.
+  double peak_gbps = 0.0;
+  /// Bytes moved per long-latency miss (one cache line).
+  double line_bytes = 64.0;
+  /// Queueing clamp: utilization is capped here so the multiplier stays
+  /// finite when demand exceeds the roofline.
+  double max_utilization = 0.95;
+
+  void validate() const;
+};
+
+class DramModel {
+ public:
+  explicit DramModel(DramConfig config);
+
+  bool enabled() const { return config_.peak_gbps > 0.0; }
+  const DramConfig& config() const { return config_; }
+
+  /// Queue latency multiplier (>= 1) at a given utilization.
+  double queue_multiplier(double utilization) const;
+
+  /// Utilization in [0, max] for aggregate traffic in bytes/second.
+  double utilization(double traffic_bytes_per_s) const;
+
+  /// Solves the fixed point m = queue_multiplier(U(traffic_at(m))).
+  /// `traffic_at(m)` must return the chip's aggregate miss traffic in
+  /// bytes/second when every core's exposed memory latency is scaled by m;
+  /// it must be non-increasing in m (true for the CPI-stack model).
+  /// Returns the converged multiplier; with the model disabled, returns 1.
+  double solve_multiplier(
+      const std::function<double(double)>& traffic_at) const;
+
+ private:
+  DramConfig config_;
+};
+
+}  // namespace odrl::mem

@@ -1,0 +1,75 @@
+#include "metrics/metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace odrl::metrics {
+
+double tpobe(const sim::RunResult& run, double floor_j) {
+  if (floor_j <= 0.0) throw std::invalid_argument("tpobe: floor_j <= 0");
+  return run.total_instructions / std::max(run.otb_energy_j, floor_j);
+}
+
+double overshoot_reduction_pct(const sim::RunResult& ours,
+                               const sim::RunResult& baseline,
+                               double floor_j) {
+  const double base = std::max(baseline.otb_energy_j, floor_j);
+  const double us = std::max(ours.otb_energy_j, floor_j);
+  return 100.0 * (1.0 - us / base);
+}
+
+double tpobe_ratio(const sim::RunResult& ours, const sim::RunResult& baseline,
+                   double floor_j) {
+  const double base = tpobe(baseline, floor_j);
+  if (base <= 0.0) throw std::invalid_argument("tpobe_ratio: zero baseline");
+  return tpobe(ours, floor_j) / base;
+}
+
+double efficiency_gain_pct(const sim::RunResult& ours,
+                           const sim::RunResult& baseline) {
+  const double base = baseline.bips_per_watt();
+  if (base <= 0.0) {
+    throw std::invalid_argument("efficiency_gain_pct: zero baseline");
+  }
+  return 100.0 * (ours.bips_per_watt() / base - 1.0);
+}
+
+double decision_speedup(const sim::RunResult& ours,
+                        const sim::RunResult& baseline) {
+  const double us = ours.mean_decision_us();
+  if (us <= 0.0) throw std::invalid_argument("decision_speedup: zero ours");
+  return baseline.mean_decision_us() / us;
+}
+
+RunSummary summarize(const sim::RunResult& run) {
+  RunSummary s;
+  s.controller = run.controller_name;
+  s.bips = run.bips();
+  s.mean_power_w = run.mean_power_w;
+  s.otb_energy_j = run.otb_energy_j;
+  s.overshoot_time_pct = 100.0 * run.overshoot_time_fraction();
+  s.peak_overshoot_w = run.peak_overshoot_w;
+  s.tpobe_giga = tpobe(run) / 1e9;
+  s.bips_per_watt = run.bips_per_watt();
+  s.decision_us = run.mean_decision_us();
+  return s;
+}
+
+util::Table comparison_table(std::span<const sim::RunResult> runs) {
+  util::Table table({"controller", "BIPS", "power[W]", "OTB[J]", "over[%t]",
+                     "peak_over[W]", "TPOBE[GI/J]", "BIPS/W", "decide[us]"});
+  for (const auto& run : runs) {
+    const RunSummary s = summarize(run);
+    table.add_row({s.controller, util::Table::fmt(s.bips, 2),
+                   util::Table::fmt(s.mean_power_w, 1),
+                   util::Table::fmt(s.otb_energy_j, 3),
+                   util::Table::fmt(s.overshoot_time_pct, 1),
+                   util::Table::fmt(s.peak_overshoot_w, 2),
+                   util::Table::fmt(s.tpobe_giga, 2),
+                   util::Table::fmt(s.bips_per_watt, 3),
+                   util::Table::fmt(s.decision_us, 2)});
+  }
+  return table;
+}
+
+}  // namespace odrl::metrics

@@ -1,0 +1,67 @@
+// The paper's evaluation metrics, computed from RunResults.
+//
+// Headline quantities (abstract):
+//  * budget overshoot       -- OTB energy, i.e. the integral of chip power
+//                              above the TDP budget (E2: "98% less");
+//  * throughput per OTB energy (TPOBE) -- instructions earned per joule
+//                              spent over the budget (E3: "44.3x better");
+//  * energy efficiency      -- BIPS/W and the voltage-scaling-fair BIPS^3/W
+//                              (E4: "23% higher");
+//  * decision latency       -- controller runtime per epoch (E5: "two orders
+//                              of magnitude speedup").
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sim/runner.hpp"
+#include "util/table.hpp"
+
+namespace odrl::metrics {
+
+/// Throughput per over-the-budget energy, instructions per joule. When a
+/// run never overshoots, OTB energy is 0 and the metric diverges; the
+/// `floor_j` guard (default 1 mJ) keeps ratios finite and *understates* the
+/// advantage of clean runs, which is the conservative direction.
+double tpobe(const sim::RunResult& run, double floor_j = 1e-3);
+
+/// Percentage reduction of OTB energy vs. a baseline: 100 * (1 - ours/base).
+/// Positive = we overshoot less. Baseline with zero OTB yields 0 when we are
+/// also clean, -infinity-free large negative otherwise (guarded by floor).
+double overshoot_reduction_pct(const sim::RunResult& ours,
+                               const sim::RunResult& baseline,
+                               double floor_j = 1e-3);
+
+/// Ratio of TPOBE (ours / baseline), both floored.
+double tpobe_ratio(const sim::RunResult& ours, const sim::RunResult& baseline,
+                   double floor_j = 1e-3);
+
+/// Percentage gain in BIPS/W vs. a baseline.
+double efficiency_gain_pct(const sim::RunResult& ours,
+                           const sim::RunResult& baseline);
+
+/// Ratio of mean decision latency (baseline / ours): the speedup factor.
+double decision_speedup(const sim::RunResult& ours,
+                        const sim::RunResult& baseline);
+
+/// One-line digest of a run, for experiment tables.
+struct RunSummary {
+  std::string controller;
+  double bips = 0.0;
+  double mean_power_w = 0.0;
+  double otb_energy_j = 0.0;
+  double overshoot_time_pct = 0.0;
+  double peak_overshoot_w = 0.0;
+  double tpobe_giga = 0.0;  ///< giga-instructions per OTB joule (floored)
+  double bips_per_watt = 0.0;
+  double decision_us = 0.0;
+};
+
+RunSummary summarize(const sim::RunResult& run);
+
+/// Renders the standard comparison table for a set of runs (rows in input
+/// order; first run is conventionally OD-RL).
+util::Table comparison_table(std::span<const sim::RunResult> runs);
+
+}  // namespace odrl::metrics

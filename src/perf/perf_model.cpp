@@ -1,0 +1,67 @@
+#include "perf/perf_model.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace odrl::perf {
+
+PerfModel::PerfModel(arch::CoreParams params) : params_(params) {
+  params_.validate();
+}
+
+double PerfModel::core_cpi(const workload::PhaseSample& phase) const {
+  return std::max(phase.base_cpi, 1.0 / params_.issue_width);
+}
+
+double PerfModel::mem_cpi(const workload::PhaseSample& phase, double freq_ghz,
+                          double mem_latency_scale) const {
+  // mpki/1000 misses per instruction, each costing latency_ns * f_ghz cycles,
+  // of which (1 - overlap) is exposed. Contention scales the latency.
+  return phase.mpki / 1000.0 * params_.mem_latency_ns * mem_latency_scale *
+         freq_ghz * (1.0 - params_.mem_overlap);
+}
+
+double PerfModel::effective_cpi(const workload::PhaseSample& phase,
+                                double freq_ghz,
+                                double mem_latency_scale) const {
+  if (freq_ghz <= 0.0) {
+    throw std::invalid_argument("PerfModel: freq_ghz must be > 0");
+  }
+  if (mem_latency_scale < 1.0) {
+    throw std::invalid_argument("PerfModel: mem_latency_scale must be >= 1");
+  }
+  return core_cpi(phase) + mem_cpi(phase, freq_ghz, mem_latency_scale);
+}
+
+double PerfModel::ips(const workload::PhaseSample& phase, double freq_ghz,
+                      double mem_latency_scale) const {
+  return freq_ghz * 1e9 / effective_cpi(phase, freq_ghz, mem_latency_scale);
+}
+
+EpochPerf PerfModel::epoch(const workload::PhaseSample& phase, double freq_ghz,
+                           double epoch_s, double mem_latency_scale) const {
+  if (epoch_s <= 0.0) {
+    throw std::invalid_argument("PerfModel::epoch: epoch_s must be > 0");
+  }
+  EpochPerf out;
+  out.cpi = effective_cpi(phase, freq_ghz, mem_latency_scale);
+  out.ips = freq_ghz * 1e9 / out.cpi;
+  out.instructions = out.ips * epoch_s;
+  out.mem_stall_frac = mem_cpi(phase, freq_ghz, mem_latency_scale) / out.cpi;
+  return out;
+}
+
+double PerfModel::frequency_sensitivity(const workload::PhaseSample& phase,
+                                        double freq_ghz) const {
+  // IPS(f) = f / (c + m f) with c = core CPI, m f = memory CPI.
+  // dIPS/df * f/IPS = c / (c + m f) = 1 - mem_stall_frac.
+  return 1.0 - mem_stall_fraction(phase, freq_ghz);
+}
+
+double PerfModel::mem_stall_fraction(const workload::PhaseSample& phase,
+                                     double freq_ghz) const {
+  const double mem = mem_cpi(phase, freq_ghz, 1.0);
+  return mem / (core_cpi(phase) + mem);
+}
+
+}  // namespace odrl::perf

@@ -1,0 +1,71 @@
+// Epoch-level analytical performance model (Sniper-class CPI stack).
+//
+// A core running a phase at frequency f retires instructions at
+//
+//   IPS(f) = f / CPI_eff(f)
+//   CPI_eff(f) = max(base_cpi, 1/issue_width)
+//              + (mpki/1000) * mem_latency_ns * f * (1 - overlap)
+//
+// The second term converts the *wall-clock-fixed* DRAM latency into cycles,
+// so it grows linearly with f: memory-bound phases see IPS saturate while
+// power keeps rising with V^2 f. That saturation is the entire optimization
+// landscape a power-limited DVFS controller navigates, and is what the
+// per-core RL agents must discover on-line.
+#pragma once
+
+#include "arch/chip_config.hpp"
+#include "workload/phase.hpp"
+
+namespace odrl::perf {
+
+/// What a core accomplished in one epoch.
+struct EpochPerf {
+  double instructions = 0.0;    ///< instructions retired this epoch
+  double ips = 0.0;             ///< instructions per second
+  double cpi = 0.0;             ///< effective cycles per instruction
+  double mem_stall_frac = 0.0;  ///< fraction of cycles stalled on memory
+};
+
+class PerfModel {
+ public:
+  explicit PerfModel(arch::CoreParams params);
+
+  /// Effective CPI of a phase at the given core frequency.
+  /// `mem_latency_scale` (>= 1) inflates the exposed DRAM latency -- the
+  /// shared-memory contention hook (see src/mem/dram_model.hpp); 1 = an
+  /// uncontended memory system.
+  double effective_cpi(const workload::PhaseSample& phase, double freq_ghz,
+                       double mem_latency_scale = 1.0) const;
+
+  /// Instructions per second at the given frequency.
+  double ips(const workload::PhaseSample& phase, double freq_ghz,
+             double mem_latency_scale = 1.0) const;
+
+  /// Full epoch outcome for an epoch of `epoch_s` seconds.
+  EpochPerf epoch(const workload::PhaseSample& phase, double freq_ghz,
+                  double epoch_s, double mem_latency_scale = 1.0) const;
+
+  /// Normalized frequency sensitivity in [0, 1]: dIPS/df * (f/IPS).
+  /// 1 for perfectly compute-bound phases, -> 0 as memory dominates. The
+  /// global budget reallocator ranks cores by (an on-line estimate of) this.
+  double frequency_sensitivity(const workload::PhaseSample& phase,
+                               double freq_ghz) const;
+
+  /// Memory-stall fraction of cycles in [0, 1) at the given frequency --
+  /// the observable the RL agents discretize as "memory intensity".
+  double mem_stall_fraction(const workload::PhaseSample& phase,
+                            double freq_ghz) const;
+
+  const arch::CoreParams& params() const { return params_; }
+
+ private:
+  /// Memory cycles per instruction at frequency f.
+  double mem_cpi(const workload::PhaseSample& phase, double freq_ghz,
+                 double mem_latency_scale) const;
+  /// Core-bound CPI floor.
+  double core_cpi(const workload::PhaseSample& phase) const;
+
+  arch::CoreParams params_;
+};
+
+}  // namespace odrl::perf

@@ -1,0 +1,56 @@
+#include "power/energy.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace odrl::power {
+
+EnergyAccountant::EnergyAccountant(double budget_w) : budget_w_(budget_w) {
+  if (budget_w <= 0.0) {
+    throw std::invalid_argument("EnergyAccountant: budget_w <= 0");
+  }
+}
+
+void EnergyAccountant::set_budget_w(double budget_w) {
+  if (budget_w <= 0.0) {
+    throw std::invalid_argument("EnergyAccountant::set_budget_w: <= 0");
+  }
+  budget_w_ = budget_w;
+}
+
+void EnergyAccountant::add_epoch(double chip_w, double epoch_s) {
+  if (chip_w < 0.0) {
+    throw std::invalid_argument("EnergyAccountant: chip_w < 0");
+  }
+  if (epoch_s <= 0.0) {
+    throw std::invalid_argument("EnergyAccountant: epoch_s <= 0");
+  }
+  total_j_ += chip_w * epoch_s;
+  const double over = chip_w - budget_w_;
+  if (over > 0.0) {
+    otb_j_ += over * epoch_s;
+    time_over_s_ += epoch_s;
+    peak_overshoot_w_ = std::max(peak_overshoot_w_, over);
+  }
+  elapsed_s_ += epoch_s;
+  ++epochs_;
+}
+
+double EnergyAccountant::mean_power_w() const {
+  return elapsed_s_ == 0.0 ? 0.0 : total_j_ / elapsed_s_;
+}
+
+double EnergyAccountant::overshoot_time_fraction() const {
+  return elapsed_s_ == 0.0 ? 0.0 : time_over_s_ / elapsed_s_;
+}
+
+void EnergyAccountant::reset() {
+  total_j_ = 0.0;
+  otb_j_ = 0.0;
+  time_over_s_ = 0.0;
+  elapsed_s_ = 0.0;
+  peak_overshoot_w_ = 0.0;
+  epochs_ = 0;
+}
+
+}  // namespace odrl::power

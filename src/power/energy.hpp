@@ -1,0 +1,52 @@
+// Chip-level energy accounting.
+//
+// Tracks total energy and, crucially for the paper's headline metrics,
+// *over-the-budget* (OTB) energy: the integral of chip power above the TDP
+// budget. OTB energy is what stresses the power-delivery network and erodes
+// thermal headroom; "throughput per OTB energy" (E3) rewards controllers
+// that convert any overshoot they do commit into performance.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace odrl::power {
+
+class EnergyAccountant {
+ public:
+  explicit EnergyAccountant(double budget_w);
+
+  /// Records one epoch of `epoch_s` seconds at total chip power `chip_w`.
+  void add_epoch(double chip_w, double epoch_s);
+
+  double budget_w() const { return budget_w_; }
+  /// Budget can move at runtime (power-cap events); accounting continues
+  /// against the new value from the next epoch on.
+  void set_budget_w(double budget_w);
+
+  double total_energy_j() const { return total_j_; }
+  double otb_energy_j() const { return otb_j_; }
+  /// Seconds spent with chip power strictly above budget.
+  double time_over_budget_s() const { return time_over_s_; }
+  double elapsed_s() const { return elapsed_s_; }
+  std::size_t epochs() const { return epochs_; }
+  /// Worst instantaneous overshoot observed, in watts (0 if never over).
+  double peak_overshoot_w() const { return peak_overshoot_w_; }
+  /// Mean chip power over the run.
+  double mean_power_w() const;
+  /// Fraction of time over budget, in [0, 1].
+  double overshoot_time_fraction() const;
+
+  void reset();
+
+ private:
+  double budget_w_;
+  double total_j_ = 0.0;
+  double otb_j_ = 0.0;
+  double time_over_s_ = 0.0;
+  double elapsed_s_ = 0.0;
+  double peak_overshoot_w_ = 0.0;
+  std::size_t epochs_ = 0;
+};
+
+}  // namespace odrl::power

@@ -1,0 +1,39 @@
+#include "power/power_model.hpp"
+
+#include <stdexcept>
+
+namespace odrl::power {
+
+PowerModel::PowerModel(arch::CoreParams params) : params_(params) {
+  params_.validate();
+}
+
+PowerBreakdown PowerModel::core_power(const arch::VfPoint& vf,
+                                      const workload::PhaseSample& phase,
+                                      double temp_c) const {
+  return core_power_at(vf, phase.activity, temp_c);
+}
+
+PowerBreakdown PowerModel::core_power_at(const arch::VfPoint& vf,
+                                         double activity,
+                                         double temp_c) const {
+  if (activity < 0.0 || activity > 1.0) {
+    throw std::invalid_argument("PowerModel: activity must be in [0, 1]");
+  }
+  PowerBreakdown out;
+  out.dynamic_w = params_.dynamic_power_w(vf.voltage_v, vf.freq_ghz, activity);
+  out.leakage_w = params_.leakage_power_w(vf.voltage_v, temp_c);
+  out.uncore_w = params_.uncore_w;
+  return out;
+}
+
+double PowerModel::idle_power_w(const arch::VfPoint& vf, double temp_c) const {
+  return core_power_at(vf, 0.0, temp_c).total_w();
+}
+
+double PowerModel::max_core_power_w(const arch::VfPoint& vf,
+                                    double temp_c) const {
+  return core_power_at(vf, 1.0, temp_c).total_w();
+}
+
+}  // namespace odrl::power

@@ -1,0 +1,53 @@
+// McPAT-class per-core power model.
+//
+// Dynamic power scales as a C V^2 f (activity- and workload-dependent),
+// leakage as V * exp-in-V with an exponential temperature dependence, plus a
+// constant uncore share. The defining formulas live on arch::CoreParams so
+// budget math everywhere in the library agrees to the last bit; this module
+// adds the breakdown/accounting machinery controllers and metrics consume.
+#pragma once
+
+#include "arch/chip_config.hpp"
+#include "workload/phase.hpp"
+
+namespace odrl::power {
+
+/// Per-core power split for one epoch.
+struct PowerBreakdown {
+  double dynamic_w = 0.0;
+  double leakage_w = 0.0;
+  double uncore_w = 0.0;
+
+  double total_w() const { return dynamic_w + leakage_w + uncore_w; }
+};
+
+class PowerModel {
+ public:
+  explicit PowerModel(arch::CoreParams params);
+
+  /// Power of a core running `phase` at operating point `vf`, junction
+  /// temperature `temp_c`.
+  PowerBreakdown core_power(const arch::VfPoint& vf,
+                            const workload::PhaseSample& phase,
+                            double temp_c) const;
+
+  /// Power with explicit activity (bypasses the phase struct; used by
+  /// analytical baselines that predict power for hypothetical activity).
+  PowerBreakdown core_power_at(const arch::VfPoint& vf, double activity,
+                               double temp_c) const;
+
+  /// Idle power (zero switching activity): leakage + uncore only.
+  double idle_power_w(const arch::VfPoint& vf, double temp_c) const;
+
+  /// Upper bound on a single core's power at this operating point
+  /// (activity = 1, given temperature). Budget allocators use this to
+  /// translate watts into a safe V/F ceiling.
+  double max_core_power_w(const arch::VfPoint& vf, double temp_c) const;
+
+  const arch::CoreParams& params() const { return params_; }
+
+ private:
+  arch::CoreParams params_;
+};
+
+}  // namespace odrl::power

@@ -1,0 +1,74 @@
+#include "rl/agent.hpp"
+
+#include <stdexcept>
+
+namespace odrl::rl {
+
+void TdConfig::validate() const {
+  if (gamma < 0.0 || gamma >= 1.0) {
+    throw std::invalid_argument("TdConfig: gamma must be in [0, 1)");
+  }
+}
+
+TdAgent::TdAgent(std::size_t n_states, std::size_t n_actions, TdConfig config)
+    : config_(config),
+      table_(n_states, n_actions, config.q_init),
+      epsilon_(config.epsilon) {
+  config_.validate();
+}
+
+std::size_t TdAgent::act(std::size_t state, util::Rng& rng) {
+  const double eps = epsilon_.next();
+  if (rng.chance(eps)) {
+    return rng.below(table_.n_actions());
+  }
+  return table_.greedy_action(state);
+}
+
+std::size_t TdAgent::exploit(std::size_t state) const {
+  return table_.greedy_action(state);
+}
+
+void TdAgent::learn(std::size_t state, std::size_t action, double reward,
+                    std::size_t next_state,
+                    std::optional<std::size_t> next_action) {
+  double bootstrap = 0.0;
+  switch (config_.rule) {
+    case TdRule::kQLearning:
+      bootstrap = table_.max_q(next_state);
+      break;
+    case TdRule::kSarsa: {
+      if (!next_action.has_value()) {
+        throw std::invalid_argument("TdAgent::learn: SARSA needs next_action");
+      }
+      bootstrap = table_.q(next_state, *next_action);
+      break;
+    }
+  }
+  table_.record_visit(state, action);
+  const double alpha =
+      config_.alpha.rate(table_.visits(state, action));
+  const double target = reward + config_.gamma * bootstrap;
+  const double delta = alpha * (target - table_.q(state, action));
+  table_.bump_q(state, action, delta);
+  ++updates_;
+}
+
+void TdAgent::restore_table(QTable table) {
+  if (table.n_states() != table_.n_states() ||
+      table.n_actions() != table_.n_actions()) {
+    throw std::invalid_argument("TdAgent::restore_table: dimension mismatch");
+  }
+  table_ = std::move(table);
+}
+
+void TdAgent::reset() {
+  table_.fill(config_.q_init);
+  epsilon_.reset();
+  updates_ = 0;
+  // Visit counts are part of the learning-rate state; re-create the table to
+  // clear them.
+  table_ = QTable(table_.n_states(), table_.n_actions(), config_.q_init);
+}
+
+}  // namespace odrl::rl

@@ -1,0 +1,69 @@
+#include "rl/discretizer.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace odrl::rl {
+
+Discretizer::Discretizer(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), bins_(bins) {
+  if (!(lo < hi)) throw std::invalid_argument("Discretizer: need lo < hi");
+  if (bins == 0) throw std::invalid_argument("Discretizer: need bins > 0");
+}
+
+std::size_t Discretizer::bin(double x) const {
+  if (x <= lo_) return 0;
+  if (x >= hi_) return bins_ - 1;
+  const double frac = (x - lo_) / (hi_ - lo_);
+  return std::min(static_cast<std::size_t>(frac * static_cast<double>(bins_)),
+                  bins_ - 1);
+}
+
+double Discretizer::center(std::size_t bin) const {
+  if (bin >= bins_) throw std::out_of_range("Discretizer::center: bad bin");
+  const double width = (hi_ - lo_) / static_cast<double>(bins_);
+  return lo_ + (static_cast<double>(bin) + 0.5) * width;
+}
+
+StateSpace::StateSpace(std::vector<std::size_t> dims)
+    : dims_(std::move(dims)), size_(1) {
+  if (dims_.empty()) throw std::invalid_argument("StateSpace: no dimensions");
+  for (std::size_t d : dims_) {
+    if (d == 0) throw std::invalid_argument("StateSpace: zero-size dimension");
+    if (size_ > (static_cast<std::size_t>(-1) / d)) {
+      throw std::invalid_argument("StateSpace: size overflow");
+    }
+    size_ *= d;
+  }
+}
+
+std::size_t StateSpace::dim(std::size_t i) const {
+  if (i >= dims_.size()) throw std::out_of_range("StateSpace::dim");
+  return dims_[i];
+}
+
+std::size_t StateSpace::encode(std::span<const std::size_t> coords) const {
+  if (coords.size() != dims_.size()) {
+    throw std::invalid_argument("StateSpace::encode: wrong arity");
+  }
+  std::size_t id = 0;
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (coords[i] >= dims_[i]) {
+      throw std::out_of_range("StateSpace::encode: coordinate out of range");
+    }
+    id = id * dims_[i] + coords[i];
+  }
+  return id;
+}
+
+std::vector<std::size_t> StateSpace::decode(std::size_t id) const {
+  if (id >= size_) throw std::out_of_range("StateSpace::decode: id too big");
+  std::vector<std::size_t> coords(dims_.size());
+  for (std::size_t i = dims_.size(); i-- > 0;) {
+    coords[i] = id % dims_[i];
+    id /= dims_[i];
+  }
+  return coords;
+}
+
+}  // namespace odrl::rl

@@ -1,0 +1,53 @@
+// State-space discretization for tabular RL.
+//
+// Tabular Q-learning needs a small discrete state space; the paper's per-core
+// agents observe continuous signals (power headroom, memory intensity) and
+// bin them. Discretizer handles one signal; StateSpace composes several
+// dimensions (plus categorical ones like the current V/F level) into a single
+// dense state id suitable for a flat Q-table.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace odrl::rl {
+
+/// Uniform bins over [lo, hi]; inputs outside the range clamp to the edge
+/// bins (sensor excursions must never index out of the table).
+class Discretizer {
+ public:
+  Discretizer(double lo, double hi, std::size_t bins);
+
+  std::size_t bin(double x) const;
+  std::size_t bins() const { return bins_; }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  /// Center value of a bin (inverse mapping, for policy inspection).
+  double center(std::size_t bin) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::size_t bins_;
+};
+
+/// Mixed-radix encoder: product space of categorical dimensions.
+class StateSpace {
+ public:
+  explicit StateSpace(std::vector<std::size_t> dims);
+
+  std::size_t size() const { return size_; }
+  std::size_t n_dims() const { return dims_.size(); }
+  std::size_t dim(std::size_t i) const;
+
+  /// coords.size() == n_dims(), coords[i] < dim(i).
+  std::size_t encode(std::span<const std::size_t> coords) const;
+  std::vector<std::size_t> decode(std::size_t id) const;
+
+ private:
+  std::vector<std::size_t> dims_;
+  std::size_t size_;
+};
+
+}  // namespace odrl::rl

@@ -1,0 +1,92 @@
+#include "rl/qtable.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace odrl::rl {
+
+QTable::QTable(std::size_t n_states, std::size_t n_actions, double init_q)
+    : n_states_(n_states),
+      n_actions_(n_actions),
+      q_(n_states * n_actions, init_q),
+      visits_(n_states * n_actions, 0) {
+  if (n_states == 0 || n_actions == 0) {
+    throw std::invalid_argument("QTable: states/actions must be > 0");
+  }
+}
+
+std::size_t QTable::index(std::size_t state, std::size_t action) const {
+  if (state >= n_states_ || action >= n_actions_) {
+    throw std::out_of_range("QTable: state/action out of range");
+  }
+  return state * n_actions_ + action;
+}
+
+double QTable::q(std::size_t state, std::size_t action) const {
+  return q_[index(state, action)];
+}
+
+void QTable::set_q(std::size_t state, std::size_t action, double value) {
+  q_[index(state, action)] = value;
+}
+
+double QTable::bump_q(std::size_t state, std::size_t action, double delta) {
+  return q_[index(state, action)] += delta;
+}
+
+std::size_t QTable::greedy_action(std::size_t state) const {
+  const auto base = index(state, 0);
+  std::size_t best = 0;
+  double best_q = q_[base];
+  for (std::size_t a = 1; a < n_actions_; ++a) {
+    if (q_[base + a] > best_q) {
+      best_q = q_[base + a];
+      best = a;
+    }
+  }
+  return best;
+}
+
+double QTable::max_q(std::size_t state) const {
+  const auto base = index(state, 0);
+  return *std::max_element(q_.begin() + static_cast<std::ptrdiff_t>(base),
+                           q_.begin() +
+                               static_cast<std::ptrdiff_t>(base + n_actions_));
+}
+
+std::span<const double> QTable::row(std::size_t state) const {
+  const auto base = index(state, 0);
+  return {q_.data() + base, n_actions_};
+}
+
+void QTable::record_visit(std::size_t state, std::size_t action) {
+  ++visits_[index(state, action)];
+}
+
+void QTable::set_visits(std::size_t state, std::size_t action,
+                        std::uint32_t n) {
+  visits_[index(state, action)] = n;
+}
+
+std::size_t QTable::visits(std::size_t state, std::size_t action) const {
+  return visits_[index(state, action)];
+}
+
+std::size_t QTable::state_visits(std::size_t state) const {
+  const auto base = index(state, 0);
+  std::size_t sum = 0;
+  for (std::size_t a = 0; a < n_actions_; ++a) sum += visits_[base + a];
+  return sum;
+}
+
+std::size_t QTable::coverage() const {
+  return static_cast<std::size_t>(
+      std::count_if(visits_.begin(), visits_.end(),
+                    [](std::uint32_t v) { return v > 0; }));
+}
+
+void QTable::fill(double value) {
+  std::fill(q_.begin(), q_.end(), value);
+}
+
+}  // namespace odrl::rl

@@ -1,0 +1,52 @@
+// Dense tabular action-value store. One QTable per core in OD-RL; kept
+// deliberately flat (single contiguous vector) because the per-epoch control
+// path touches it on every core and cache behaviour matters at 1000 cores.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace odrl::rl {
+
+class QTable {
+ public:
+  QTable(std::size_t n_states, std::size_t n_actions, double init_q = 0.0);
+
+  std::size_t n_states() const { return n_states_; }
+  std::size_t n_actions() const { return n_actions_; }
+
+  double q(std::size_t state, std::size_t action) const;
+  void set_q(std::size_t state, std::size_t action, double value);
+  /// q += delta; returns the new value.
+  double bump_q(std::size_t state, std::size_t action, double delta);
+
+  /// Greedy action (argmax over actions; first index wins ties).
+  std::size_t greedy_action(std::size_t state) const;
+  double max_q(std::size_t state) const;
+  /// Row view of all action values for a state.
+  std::span<const double> row(std::size_t state) const;
+
+  /// Visit bookkeeping (used by 1/n learning-rate schedules and by the
+  /// policy-inspection example).
+  void record_visit(std::size_t state, std::size_t action);
+  /// Bulk restore of a visit count (deserialization / warm start).
+  void set_visits(std::size_t state, std::size_t action, std::uint32_t n);
+  std::size_t visits(std::size_t state, std::size_t action) const;
+  std::size_t state_visits(std::size_t state) const;
+  /// Number of (state, action) pairs visited at least once.
+  std::size_t coverage() const;
+
+  void fill(double value);
+
+ private:
+  std::size_t index(std::size_t state, std::size_t action) const;
+
+  std::size_t n_states_;
+  std::size_t n_actions_;
+  std::vector<double> q_;
+  std::vector<std::uint32_t> visits_;
+};
+
+}  // namespace odrl::rl

@@ -1,0 +1,91 @@
+#include "rl/qtable_io.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace odrl::rl {
+
+namespace {
+constexpr const char* kMagic = "# odrl-qtable v1";
+}
+
+void save_qtable(const QTable& table, std::ostream& out) {
+  out << kMagic << '\n';
+  out << table.n_states() << ' ' << table.n_actions() << '\n';
+  char buf[32];
+  for (std::size_t s = 0; s < table.n_states(); ++s) {
+    out << "q";
+    for (std::size_t a = 0; a < table.n_actions(); ++a) {
+      auto [ptr, ec] =
+          std::to_chars(buf, buf + sizeof(buf), table.q(s, a));
+      (void)ec;
+      out << ' ' << std::string_view(buf,
+                                     static_cast<std::size_t>(ptr - buf));
+    }
+    out << '\n';
+    out << "v";
+    for (std::size_t a = 0; a < table.n_actions(); ++a) {
+      out << ' ' << table.visits(s, a);
+    }
+    out << '\n';
+  }
+  if (!out) throw std::runtime_error("save_qtable: stream failure");
+}
+
+QTable load_qtable(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line) || line != kMagic) {
+    throw std::runtime_error("load_qtable: missing magic header");
+  }
+  std::size_t n_states = 0;
+  std::size_t n_actions = 0;
+  if (!(in >> n_states >> n_actions) || n_states == 0 || n_actions == 0) {
+    throw std::runtime_error("load_qtable: bad dimensions");
+  }
+  QTable table(n_states, n_actions);
+  for (std::size_t s = 0; s < n_states; ++s) {
+    std::string tag;
+    if (!(in >> tag) || tag != "q") {
+      throw std::runtime_error("load_qtable: expected q row for state " +
+                               std::to_string(s));
+    }
+    for (std::size_t a = 0; a < n_actions; ++a) {
+      double q = 0.0;
+      if (!(in >> q)) {
+        throw std::runtime_error("load_qtable: truncated q row");
+      }
+      table.set_q(s, a, q);
+    }
+    if (!(in >> tag) || tag != "v") {
+      throw std::runtime_error("load_qtable: expected v row for state " +
+                               std::to_string(s));
+    }
+    for (std::size_t a = 0; a < n_actions; ++a) {
+      long long visits = 0;
+      if (!(in >> visits) || visits < 0 ||
+          visits > std::numeric_limits<std::uint32_t>::max()) {
+        throw std::runtime_error("load_qtable: bad visit count");
+      }
+      table.set_visits(s, a, static_cast<std::uint32_t>(visits));
+    }
+  }
+  return table;
+}
+
+void save_qtable_file(const QTable& table, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_qtable_file: cannot open " + path);
+  save_qtable(table, out);
+}
+
+QTable load_qtable_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_qtable_file: cannot open " + path);
+  return load_qtable(in);
+}
+
+}  // namespace odrl::rl

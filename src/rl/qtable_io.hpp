@@ -1,0 +1,29 @@
+// Q-table serialization.
+//
+// A learned policy is a deployment artifact: production DVFS firmware
+// warm-starts from a table trained on a reference workload instead of
+// paying the cold-start ramp on every boot (E6 shows that ramp costs a few
+// seconds of budget under-utilization). The format is a small
+// line-oriented text file: dimensions, then one row of Q-values and one of
+// visit counts per state.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "rl/qtable.hpp"
+
+namespace odrl::rl {
+
+/// Writes the table (Q-values and visit counts).
+void save_qtable(const QTable& table, std::ostream& out);
+
+/// Reads a table written by save_qtable; throws std::runtime_error on
+/// malformed input.
+QTable load_qtable(std::istream& in);
+
+/// Convenience file wrappers.
+void save_qtable_file(const QTable& table, const std::string& path);
+QTable load_qtable_file(const std::string& path);
+
+}  // namespace odrl::rl

@@ -1,0 +1,63 @@
+#include "rl/schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace odrl::rl {
+
+EpsilonSchedule::EpsilonSchedule(double eps0, double eps_min, double decay)
+    : eps0_(eps0), eps_min_(eps_min), decay_(decay) {
+  if (eps0 < 0.0 || eps0 > 1.0) {
+    throw std::invalid_argument("EpsilonSchedule: eps0 must be in [0, 1]");
+  }
+  if (eps_min < 0.0 || eps_min > eps0) {
+    throw std::invalid_argument(
+        "EpsilonSchedule: eps_min must be in [0, eps0]");
+  }
+  if (decay <= 0.0 || decay > 1.0) {
+    throw std::invalid_argument("EpsilonSchedule: decay must be in (0, 1]");
+  }
+}
+
+EpsilonSchedule EpsilonSchedule::constant(double eps) {
+  return EpsilonSchedule(eps, eps, 1.0);
+}
+
+double EpsilonSchedule::at(std::size_t t) const {
+  return std::max(eps_min_, eps0_ * std::pow(decay_, static_cast<double>(t)));
+}
+
+double EpsilonSchedule::next() {
+  const double v = at(t_);
+  ++t_;
+  return v;
+}
+
+LearningRateSchedule::LearningRateSchedule(double alpha0, double k,
+                                           bool decaying)
+    : alpha0_(alpha0), k_(k), decaying_(decaying) {
+  if (alpha0 <= 0.0 || alpha0 > 1.0) {
+    throw std::invalid_argument(
+        "LearningRateSchedule: alpha0 must be in (0, 1]");
+  }
+  if (decaying && k <= 0.0) {
+    throw std::invalid_argument("LearningRateSchedule: k must be > 0");
+  }
+}
+
+LearningRateSchedule LearningRateSchedule::constant(double alpha) {
+  return LearningRateSchedule(alpha, 1.0, false);
+}
+
+LearningRateSchedule LearningRateSchedule::visit_decay(double alpha0,
+                                                       double k) {
+  return LearningRateSchedule(alpha0, k, true);
+}
+
+double LearningRateSchedule::rate(std::size_t visits) const {
+  if (!decaying_) return alpha0_;
+  return alpha0_ / (1.0 + static_cast<double>(visits) / k_);
+}
+
+}  // namespace odrl::rl

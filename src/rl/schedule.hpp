@@ -1,0 +1,51 @@
+// Exploration and learning-rate schedules.
+//
+// On-line control needs *continued* exploration (workloads change phases
+// forever), so the default schedules decay to a floor rather than to zero:
+// the agent keeps probing occasionally even after convergence, which is how
+// it notices that the optimal policy has moved.
+#pragma once
+
+#include <cstddef>
+
+namespace odrl::rl {
+
+/// epsilon(t) = max(eps_min, eps0 * decay^t). decay in (0, 1]; decay == 1
+/// gives a constant schedule.
+class EpsilonSchedule {
+ public:
+  EpsilonSchedule(double eps0, double eps_min, double decay);
+  static EpsilonSchedule constant(double eps);
+
+  /// Value at step t (does not advance).
+  double at(std::size_t t) const;
+  /// Returns the current value and advances one step.
+  double next();
+  double current() const { return at(t_); }
+  void reset() { t_ = 0; }
+
+ private:
+  double eps0_;
+  double eps_min_;
+  double decay_;
+  std::size_t t_ = 0;
+};
+
+/// Learning rate: either constant alpha, or the classic 1/(1 + visits/k)
+/// visit-count decay (k controls how slowly it cools).
+class LearningRateSchedule {
+ public:
+  static LearningRateSchedule constant(double alpha);
+  static LearningRateSchedule visit_decay(double alpha0, double k);
+
+  /// Rate given the visit count of the (s, a) pair being updated.
+  double rate(std::size_t visits) const;
+
+ private:
+  LearningRateSchedule(double alpha0, double k, bool decaying);
+  double alpha0_;
+  double k_;
+  bool decaying_;
+};
+
+}  // namespace odrl::rl

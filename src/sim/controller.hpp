@@ -1,0 +1,42 @@
+// The DVFS controller interface every policy in this library implements:
+// the paper's OD-RL (src/core) and all baselines (src/baselines).
+//
+// Interaction protocol, each control epoch:
+//   1. the simulator runs one epoch at the current per-core V/F levels;
+//   2. the controller receives the resulting EpochResult (sensors only);
+//   3. the controller returns the V/F level for every core for the next
+//      epoch.
+// decide() is the timed hot path for the scalability experiment (E5): its
+// cost as a function of core count is a first-class result of the paper.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sim/observation.hpp"
+
+namespace odrl::sim {
+
+class Controller {
+ public:
+  virtual ~Controller() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Initial per-core levels before any observation exists.
+  virtual std::vector<std::size_t> initial_levels(std::size_t n_cores) = 0;
+
+  /// Next-epoch level for every core, given this epoch's sensors.
+  virtual std::vector<std::size_t> decide(const EpochResult& obs) = 0;
+
+  /// Notifies the controller that the chip budget changed (power-cap event,
+  /// e.g. a rack-level RAPL reduction). Default: ignore.
+  virtual void on_budget_change(double /*new_budget_w*/) {}
+
+  /// Clears any learned/internal state.
+  virtual void reset() {}
+};
+
+}  // namespace odrl::sim

@@ -1,0 +1,39 @@
+// Sensor-level observations: the only information channel between the
+// simulated silicon and any controller. Mirrors what per-core power/
+// performance counters expose on real parts (RAPL-class power telemetry,
+// retired-instruction counters, stall-cycle counters, thermal diodes).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace odrl::sim {
+
+/// One core's per-epoch sensor readout.
+struct CoreObservation {
+  std::size_t level = 0;        ///< V/F level the core ran at this epoch
+  double ips = 0.0;             ///< measured instructions per second
+  double instructions = 0.0;    ///< instructions retired this epoch
+  double power_w = 0.0;         ///< measured core power (noise applies)
+  double mem_stall_frac = 0.0;  ///< stall-cycle fraction (memory intensity)
+  double temp_c = 0.0;          ///< junction temperature
+};
+
+/// Chip-wide snapshot after one epoch; input to Controller::decide().
+struct EpochResult {
+  std::size_t epoch = 0;
+  double epoch_s = 0.0;
+  double budget_w = 0.0;            ///< TDP budget in force this epoch
+  double chip_power_w = 0.0;        ///< measured total chip power
+  double true_chip_power_w = 0.0;   ///< noise-free power (metrics only;
+                                    ///< controllers must not read this)
+  double total_ips = 0.0;
+  double max_temp_c = 0.0;
+  std::size_t thermal_violations = 0;
+  /// Shared-DRAM state this epoch (1.0 / 0.0 when contention is disabled).
+  double mem_latency_mult = 1.0;
+  double dram_utilization = 0.0;
+  std::vector<CoreObservation> cores;
+};
+
+}  // namespace odrl::sim

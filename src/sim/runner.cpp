@@ -1,0 +1,124 @@
+#include "sim/runner.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+
+#include "power/energy.hpp"
+
+namespace odrl::sim {
+
+void RunConfig::validate() const {
+  if (epochs == 0) throw std::invalid_argument("RunConfig: epochs == 0");
+  for (std::size_t i = 0; i < budget_events.size(); ++i) {
+    if (budget_events[i].budget_w <= 0.0) {
+      throw std::invalid_argument("RunConfig: budget event with watts <= 0");
+    }
+    if (i > 0 && budget_events[i].epoch < budget_events[i - 1].epoch) {
+      throw std::invalid_argument("RunConfig: budget events not sorted");
+    }
+  }
+}
+
+double RunResult::bips() const {
+  const double t = elapsed_s();
+  return t == 0.0 ? 0.0 : total_instructions / t / 1e9;
+}
+
+double RunResult::bips_per_watt() const {
+  return mean_power_w == 0.0 ? 0.0 : bips() / mean_power_w;
+}
+
+double RunResult::bips3_per_watt() const {
+  const double b = bips();
+  return mean_power_w == 0.0 ? 0.0 : b * b * b / mean_power_w;
+}
+
+double RunResult::overshoot_time_fraction() const {
+  const double t = elapsed_s();
+  return t == 0.0 ? 0.0 : time_over_s / t;
+}
+
+double RunResult::mean_decision_us() const {
+  return decisions == 0
+             ? 0.0
+             : decision_time_s / static_cast<double>(decisions) * 1e6;
+}
+
+RunResult run_closed_loop(ManyCoreSystem& system, Controller& controller,
+                          const RunConfig& config) {
+  config.validate();
+  using Clock = std::chrono::steady_clock;
+
+  RunResult result;
+  result.controller_name = controller.name();
+  result.epochs = config.epochs;
+  result.epoch_s = system.epoch_s();
+  if (config.keep_traces) {
+    result.chip_power_trace.reserve(config.epochs);
+    result.budget_trace.reserve(config.epochs);
+    result.ips_trace.reserve(config.epochs);
+    result.max_temp_trace.reserve(config.epochs);
+  }
+
+  power::EnergyAccountant accountant(system.budget_w());
+  std::vector<std::size_t> levels = controller.initial_levels(system.n_cores());
+  if (levels.size() != system.n_cores()) {
+    throw std::logic_error("controller initial_levels size mismatch");
+  }
+
+  // Unmeasured warmup: the loop runs normally, results are discarded.
+  for (std::size_t e = 0; e < config.warmup_epochs; ++e) {
+    const EpochResult obs = system.step(levels);
+    levels = controller.decide(obs);
+    if (levels.size() != system.n_cores()) {
+      throw std::logic_error("controller decide() size mismatch");
+    }
+  }
+
+  std::size_t next_event = 0;
+  for (std::size_t e = 0; e < config.epochs; ++e) {
+    while (next_event < config.budget_events.size() &&
+           config.budget_events[next_event].epoch <= e) {
+      const double new_budget = config.budget_events[next_event].budget_w;
+      system.set_budget_w(new_budget);
+      accountant.set_budget_w(new_budget);
+      controller.on_budget_change(new_budget);
+      ++next_event;
+    }
+
+    const EpochResult obs = system.step(levels);
+
+    for (const auto& core : obs.cores) {
+      result.total_instructions += core.instructions;
+    }
+    accountant.add_epoch(obs.true_chip_power_w, obs.epoch_s);
+    if (obs.thermal_violations > 0) ++result.thermal_violation_epochs;
+    if (config.keep_traces) {
+      result.chip_power_trace.push_back(obs.true_chip_power_w);
+      result.budget_trace.push_back(obs.budget_w);
+      result.ips_trace.push_back(obs.total_ips);
+      result.max_temp_trace.push_back(obs.max_temp_c);
+    }
+
+    const auto t0 = Clock::now();
+    levels = controller.decide(obs);
+    const auto t1 = Clock::now();
+    result.decision_time_s +=
+        std::chrono::duration<double>(t1 - t0).count();
+    ++result.decisions;
+
+    if (levels.size() != system.n_cores()) {
+      throw std::logic_error("controller decide() size mismatch");
+    }
+  }
+
+  result.total_energy_j = accountant.total_energy_j();
+  result.otb_energy_j = accountant.otb_energy_j();
+  result.time_over_s = accountant.time_over_budget_s();
+  result.peak_overshoot_w = accountant.peak_overshoot_w();
+  result.mean_power_w = accountant.mean_power_w();
+  return result;
+}
+
+}  // namespace odrl::sim

@@ -1,0 +1,80 @@
+// The closed-loop driver: runs a Controller against a ManyCoreSystem for a
+// number of epochs, times every decide() call (the scalability experiment's
+// measured quantity), applies scheduled power-cap events, and accumulates
+// the traces and energy totals the metrics layer consumes.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/controller.hpp"
+#include "sim/system.hpp"
+
+namespace odrl::sim {
+
+/// At `epoch`, the chip budget becomes `budget_w` (rack-level power-cap or
+/// thermal-event emulation).
+struct BudgetEvent {
+  std::size_t epoch = 0;
+  double budget_w = 0.0;
+};
+
+struct RunConfig {
+  std::size_t epochs = 1000;
+  /// Epochs run before measurement starts. The closed loop executes
+  /// normally during warmup (controllers learn, budgets settle) but
+  /// nothing is accumulated into the RunResult. Steady-state comparisons
+  /// use this so a learning controller's ramp and a static controller's
+  /// instant start are compared on the same (converged) footing; set to 0
+  /// to measure the ramp itself (convergence experiment E6).
+  std::size_t warmup_epochs = 0;
+  std::vector<BudgetEvent> budget_events;  ///< must be sorted by epoch;
+                                           ///< epochs count from the start
+                                           ///< of the *measured* region
+  bool keep_traces = true;  ///< record per-epoch chip traces
+
+  void validate() const;
+};
+
+/// Everything a run produced. Power/energy figures use *true* (noise-free)
+/// power: sensors may lie to the controller but never to the evaluation.
+struct RunResult {
+  std::string controller_name;
+  std::size_t epochs = 0;
+  double epoch_s = 0.0;
+
+  double total_instructions = 0.0;
+  double total_energy_j = 0.0;
+  double otb_energy_j = 0.0;      ///< energy above budget (integral)
+  double time_over_s = 0.0;       ///< wall time spent above budget
+  double peak_overshoot_w = 0.0;  ///< worst instantaneous overshoot
+  double mean_power_w = 0.0;
+  double decision_time_s = 0.0;   ///< cumulative wall time inside decide()
+  std::size_t decisions = 0;
+  std::size_t thermal_violation_epochs = 0;
+
+  std::vector<double> chip_power_trace;  ///< true chip watts per epoch
+  std::vector<double> budget_trace;      ///< budget in force per epoch
+  std::vector<double> ips_trace;         ///< chip IPS per epoch
+  std::vector<double> max_temp_trace;    ///< hottest tile per epoch
+
+  double elapsed_s() const { return static_cast<double>(epochs) * epoch_s; }
+  /// Mean chip throughput in billions of instructions per second.
+  double bips() const;
+  /// Energy efficiency: throughput per watt (BIPS/W).
+  double bips_per_watt() const;
+  /// ED^2-style efficiency: BIPS^3/W, the voltage-scaling-fair metric.
+  double bips3_per_watt() const;
+  /// Fraction of run time spent over budget.
+  double overshoot_time_fraction() const;
+  /// Mean decide() latency in microseconds.
+  double mean_decision_us() const;
+};
+
+/// Runs the closed loop. The controller's initial_levels() seeds epoch 0;
+/// afterwards each decide() output drives the next epoch.
+RunResult run_closed_loop(ManyCoreSystem& system, Controller& controller,
+                          const RunConfig& config);
+
+}  // namespace odrl::sim

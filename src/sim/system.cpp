@@ -1,0 +1,199 @@
+#include "sim/system.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace odrl::sim {
+
+void SimConfig::validate() const {
+  if (epoch_s <= 0.0) throw std::invalid_argument("SimConfig: epoch_s <= 0");
+  if (sensor_noise_rel < 0.0 || sensor_noise_rel > 0.5) {
+    throw std::invalid_argument(
+        "SimConfig: sensor_noise_rel must be in [0, 0.5]");
+  }
+  if (switch_penalty_s < 0.0 || switch_penalty_s >= epoch_s) {
+    throw std::invalid_argument(
+        "SimConfig: switch_penalty_s must be in [0, epoch_s)");
+  }
+  if (switch_energy_j < 0.0) {
+    throw std::invalid_argument("SimConfig: switch_energy_j < 0");
+  }
+  dram.validate();
+}
+
+ManyCoreSystem::ManyCoreSystem(arch::ChipConfig config,
+                               std::unique_ptr<workload::Workload> workload,
+                               SimConfig sim,
+                               std::optional<arch::VariationMap> variation)
+    : config_(std::move(config)),
+      workload_(std::move(workload)),
+      sim_(sim),
+      variation_(variation ? std::move(*variation)
+                           : arch::VariationMap::none(config_.n_cores())),
+      thermal_(config_.mesh(), config_.thermal()),
+      dram_(sim.dram),
+      noise_rng_(sim.seed),
+      tile_power_(config_.mesh().size(), 0.0),
+      budget_w_(config_.tdp_w()) {
+  sim_.validate();
+  if (!workload_) throw std::invalid_argument("ManyCoreSystem: null workload");
+  if (workload_->n_cores() != config_.n_cores()) {
+    throw std::invalid_argument(
+        "ManyCoreSystem: workload core count does not match chip");
+  }
+  if (variation_.n_cores() != config_.n_cores()) {
+    throw std::invalid_argument(
+        "ManyCoreSystem: variation map core count does not match chip");
+  }
+  perf_.reserve(config_.n_cores());
+  power_.reserve(config_.n_cores());
+  for (std::size_t i = 0; i < config_.n_cores(); ++i) {
+    const arch::CoreParams params = variation_.apply(config_.core(), i);
+    perf_.emplace_back(params);
+    power_.emplace_back(params);
+  }
+  // Start thermals slightly warm rather than at ambient so the first
+  // epochs are not unrealistically cool.
+  thermal_.reset(config_.thermal().ambient_c + 5.0);
+}
+
+ManyCoreSystem::ManyCoreSystem(arch::ChipConfig config,
+                               std::unique_ptr<workload::Workload> workload,
+                               SimConfig sim,
+                               std::vector<arch::CoreParams> per_core_params)
+    : ManyCoreSystem(std::move(config), std::move(workload), sim) {
+  if (per_core_params.size() != config_.n_cores()) {
+    throw std::invalid_argument(
+        "ManyCoreSystem: per-core params size does not match chip");
+  }
+  perf_.clear();
+  power_.clear();
+  for (const arch::CoreParams& params : per_core_params) {
+    params.validate();
+    perf_.emplace_back(params);
+    power_.emplace_back(params);
+  }
+}
+
+double ManyCoreSystem::noisy(double value) {
+  if (sim_.sensor_noise_rel <= 0.0) return value;
+  return std::max(0.0,
+                  value * (1.0 + noise_rng_.gaussian(0.0,
+                                                     sim_.sensor_noise_rel)));
+}
+
+EpochResult ManyCoreSystem::step(std::span<const std::size_t> levels) {
+  const std::size_t n = config_.n_cores();
+  if (levels.size() != n) {
+    throw std::invalid_argument("ManyCoreSystem::step: levels size mismatch");
+  }
+  const auto& vf = config_.vf_table();
+  for (std::size_t level : levels) {
+    if (level >= vf.size()) {
+      throw std::invalid_argument("ManyCoreSystem::step: level out of range");
+    }
+  }
+
+  const auto samples = workload_->step();
+
+  // Shared-memory contention: fixed point of the chip's aggregate miss
+  // traffic against the queueing latency multiplier.
+  double mem_scale = 1.0;
+  double dram_util = 0.0;
+  if (dram_.enabled()) {
+    auto traffic_at = [&](double m) {
+      double bytes_per_s = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double ips =
+            perf_[i].ips(samples[i], vf[levels[i]].freq_ghz, m);
+        bytes_per_s +=
+            ips * samples[i].mpki / 1000.0 * dram_.config().line_bytes;
+      }
+      return bytes_per_s;
+    };
+    mem_scale = dram_.solve_multiplier(traffic_at);
+    dram_util = dram_.utilization(traffic_at(mem_scale));
+  }
+
+  EpochResult result;
+  result.epoch = epoch_;
+  result.epoch_s = sim_.epoch_s;
+  result.budget_w = budget_w_;
+  result.mem_latency_mult = mem_scale;
+  result.dram_utilization = dram_util;
+  result.cores.resize(n);
+
+  std::fill(tile_power_.begin(), tile_power_.end(), 0.0);
+  double chip_true_w = 0.0;
+  double chip_meas_w = 0.0;
+  double total_ips = 0.0;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const arch::VfPoint& point = vf[levels[i]];
+    const double temp = thermal_.temperature(i);
+    auto ep =
+        perf_[i].epoch(samples[i], point.freq_ghz, sim_.epoch_s, mem_scale);
+    const auto pw = power_[i].core_power(point, samples[i], temp);
+    double true_w = pw.total_w();
+
+    // DVFS actuation cost: a level change stalls the core and dissipates
+    // regulator transition energy during this epoch.
+    const bool switched =
+        have_prev_levels_ && prev_levels_[i] != levels[i];
+    if (switched) {
+      const double run_frac = 1.0 - sim_.switch_penalty_s / sim_.epoch_s;
+      ep.instructions *= run_frac;
+      ep.ips *= run_frac;
+      true_w += sim_.switch_energy_j / sim_.epoch_s;
+    }
+
+    CoreObservation& obs = result.cores[i];
+    obs.level = levels[i];
+    obs.ips = noisy(ep.ips);
+    obs.instructions = ep.instructions;
+    obs.power_w = noisy(true_w);
+    obs.mem_stall_frac = ep.mem_stall_frac;
+    obs.temp_c = temp;
+
+    tile_power_[i] = true_w;
+    chip_true_w += true_w;
+    chip_meas_w += obs.power_w;
+    total_ips += ep.ips;
+  }
+
+  thermal_.step(tile_power_, sim_.epoch_s);
+
+  result.chip_power_w = chip_meas_w;
+  result.true_chip_power_w = chip_true_w;
+  result.total_ips = total_ips;
+  result.max_temp_c = thermal_.max_temperature();
+  result.thermal_violations = thermal_.violation_count();
+
+  prev_levels_.assign(levels.begin(), levels.end());
+  have_prev_levels_ = true;
+  ++epoch_;
+  return result;
+}
+
+const perf::PerfModel& ManyCoreSystem::perf_model(std::size_t core) const {
+  if (core >= perf_.size()) {
+    throw std::out_of_range("ManyCoreSystem::perf_model: core out of range");
+  }
+  return perf_[core];
+}
+
+const power::PowerModel& ManyCoreSystem::power_model(std::size_t core) const {
+  if (core >= power_.size()) {
+    throw std::out_of_range("ManyCoreSystem::power_model: core out of range");
+  }
+  return power_[core];
+}
+
+void ManyCoreSystem::set_budget_w(double budget_w) {
+  if (budget_w <= 0.0) {
+    throw std::invalid_argument("ManyCoreSystem::set_budget_w: <= 0");
+  }
+  budget_w_ = budget_w;
+}
+
+}  // namespace odrl::sim

@@ -1,0 +1,108 @@
+// The many-core system simulator: glues workload, performance, power and
+// thermal models into an epoch-stepped machine.
+//
+// One call to step(levels) =
+//   workload advances one epoch ->
+//   each core retires instructions per the perf model at its level ->
+//   per-core power per the power model at its level/activity/temperature ->
+//   thermal network integrates over the epoch ->
+//   sensors (optionally noisy) are packaged into an EpochResult.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include <optional>
+
+#include "arch/chip_config.hpp"
+#include "arch/variation.hpp"
+#include "mem/dram_model.hpp"
+#include "perf/perf_model.hpp"
+#include "power/power_model.hpp"
+#include "sim/observation.hpp"
+#include "thermal/thermal_model.hpp"
+#include "util/rng.hpp"
+#include "workload/workload.hpp"
+
+namespace odrl::sim {
+
+struct SimConfig {
+  double epoch_s = 1e-3;          ///< control epoch length (1 ms default)
+  double sensor_noise_rel = 0.0;  ///< relative sigma of power/IPS sensors
+  std::uint64_t seed = 1;         ///< seeds the sensor-noise stream
+
+  // DVFS actuation cost (0 = ideal regulators, the default). When a core's
+  // level changes between epochs, it stalls for `switch_penalty_s` of the
+  // next epoch (PLL relock / voltage ramp) and the regulator transition
+  // dissipates `switch_energy_j`. Both charge the *switching* core, so
+  // controllers that thrash levels pay for it -- ablated in E7.
+  double switch_penalty_s = 0.0;
+  double switch_energy_j = 0.0;
+
+  /// Shared-DRAM bandwidth contention (peak_gbps = 0 disables; default).
+  mem::DramConfig dram;
+
+  void validate() const;
+};
+
+class ManyCoreSystem {
+ public:
+  /// Takes ownership of the workload. workload->n_cores() must equal
+  /// config.n_cores(). An optional VariationMap makes this a specific
+  /// fabricated chip instance: every core's power/performance constants
+  /// are perturbed per the map (controllers are not told -- they see only
+  /// sensors, exactly as on real varied silicon).
+  ManyCoreSystem(arch::ChipConfig config,
+                 std::unique_ptr<workload::Workload> workload,
+                 SimConfig sim = {},
+                 std::optional<arch::VariationMap> variation = std::nullopt);
+
+  /// Heterogeneous-chip constructor: explicit per-core parameters (one per
+  /// core, e.g. from arch::striped_layout). The ChipConfig's nominal
+  /// CoreParams is ignored in favour of these.
+  ManyCoreSystem(arch::ChipConfig config,
+                 std::unique_ptr<workload::Workload> workload, SimConfig sim,
+                 std::vector<arch::CoreParams> per_core_params);
+
+  /// Runs one epoch with the given per-core V/F levels (size n_cores, each
+  /// a valid index into the chip's VfTable).
+  EpochResult step(std::span<const std::size_t> levels);
+
+  const arch::ChipConfig& config() const { return config_; }
+  std::size_t n_cores() const { return config_.n_cores(); }
+  double epoch_s() const { return sim_.epoch_s; }
+  std::size_t epochs_run() const { return epoch_; }
+
+  /// Current chip budget; the runner moves this on power-cap events.
+  double budget_w() const { return budget_w_; }
+  void set_budget_w(double budget_w);
+
+  const thermal::ThermalModel& thermal() const { return thermal_; }
+  const workload::Workload& workload() const { return *workload_; }
+  /// Per-core models of this chip instance (index = core).
+  const perf::PerfModel& perf_model(std::size_t core = 0) const;
+  const power::PowerModel& power_model(std::size_t core = 0) const;
+  const arch::VariationMap& variation() const { return variation_; }
+
+ private:
+  double noisy(double value);
+
+  arch::ChipConfig config_;
+  std::unique_ptr<workload::Workload> workload_;
+  SimConfig sim_;
+  arch::VariationMap variation_;
+  std::vector<perf::PerfModel> perf_;    ///< one per core (variation-aware)
+  std::vector<power::PowerModel> power_;
+  thermal::ThermalModel thermal_;
+  mem::DramModel dram_;
+  util::Rng noise_rng_;
+  std::vector<double> tile_power_;  ///< scratch, mesh-sized
+  std::vector<std::size_t> prev_levels_;  ///< for switch-cost accounting
+  bool have_prev_levels_ = false;
+  double budget_w_;
+  std::size_t epoch_ = 0;
+};
+
+}  // namespace odrl::sim

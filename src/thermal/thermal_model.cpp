@@ -1,0 +1,101 @@
+#include "thermal/thermal_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace odrl::thermal {
+
+ThermalModel::ThermalModel(const arch::Mesh& mesh, arch::ThermalParams params)
+    : mesh_(mesh), params_(params) {
+  params_.validate();
+  temps_.assign(mesh_.size(), params_.ambient_c);
+  scratch_.assign(mesh_.size(), 0.0);
+  neighbors_.reserve(mesh_.size());
+  for (std::size_t i = 0; i < mesh_.size(); ++i) {
+    neighbors_.push_back(mesh_.neighbors(i));
+  }
+}
+
+void ThermalModel::euler_step(std::span<const double> power_w, double dt_s) {
+  for (std::size_t i = 0; i < temps_.size(); ++i) {
+    double flow = power_w[i];
+    flow -= (temps_[i] - params_.ambient_c) / params_.r_vertical_c_per_w;
+    for (std::size_t j : neighbors_[i]) {
+      flow -= (temps_[i] - temps_[j]) / params_.r_lateral_c_per_w;
+    }
+    scratch_[i] = temps_[i] + dt_s * flow / params_.c_tile_j_per_c;
+  }
+  temps_.swap(scratch_);
+}
+
+void ThermalModel::step(std::span<const double> power_w, double dt_s) {
+  if (power_w.size() != temps_.size()) {
+    throw std::invalid_argument("ThermalModel::step: power vector size");
+  }
+  if (dt_s <= 0.0) {
+    throw std::invalid_argument("ThermalModel::step: dt_s <= 0");
+  }
+  // Stability: Euler needs dt < C / G_total where G_total is the largest
+  // total conductance of a node (vertical + up to 4 lateral links).
+  const double g_max = 1.0 / params_.r_vertical_c_per_w +
+                       4.0 / params_.r_lateral_c_per_w;
+  const double dt_stable = 0.25 * params_.c_tile_j_per_c / g_max;
+  const auto substeps =
+      std::max<std::size_t>(1, static_cast<std::size_t>(
+                                   std::ceil(dt_s / dt_stable)));
+  const double dt_sub = dt_s / static_cast<double>(substeps);
+  for (std::size_t s = 0; s < substeps; ++s) euler_step(power_w, dt_sub);
+}
+
+std::vector<double> ThermalModel::steady_state(
+    std::span<const double> power_w) const {
+  if (power_w.size() != temps_.size()) {
+    throw std::invalid_argument("ThermalModel::steady_state: size");
+  }
+  // Jacobi on: T_i = (P_i + T_amb/R_v + sum_j T_j/R_lat) / G_i.
+  std::vector<double> t(temps_.size(), params_.ambient_c);
+  std::vector<double> next(temps_.size(), 0.0);
+  const double gv = 1.0 / params_.r_vertical_c_per_w;
+  const double gl = 1.0 / params_.r_lateral_c_per_w;
+  for (int iter = 0; iter < 10000; ++iter) {
+    double max_delta = 0.0;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      double num = power_w[i] + params_.ambient_c * gv;
+      double den = gv;
+      for (std::size_t j : neighbors_[i]) {
+        num += t[j] * gl;
+        den += gl;
+      }
+      next[i] = num / den;
+      max_delta = std::max(max_delta, std::abs(next[i] - t[i]));
+    }
+    t.swap(next);
+    if (max_delta < 1e-9) break;
+  }
+  return t;
+}
+
+double ThermalModel::temperature(std::size_t tile) const {
+  if (tile >= temps_.size()) {
+    throw std::out_of_range("ThermalModel::temperature: tile out of range");
+  }
+  return temps_[tile];
+}
+
+double ThermalModel::max_temperature() const {
+  return *std::max_element(temps_.begin(), temps_.end());
+}
+
+std::size_t ThermalModel::violation_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(temps_.begin(), temps_.end(), [&](double t) {
+        return t > params_.max_junction_c;
+      }));
+}
+
+void ThermalModel::reset(double temp_c) {
+  std::fill(temps_.begin(), temps_.end(), temp_c);
+}
+
+}  // namespace odrl::thermal

@@ -1,0 +1,58 @@
+// Lumped RC thermal network (HotSpot-class, one node per tile).
+//
+// Each tile has a vertical resistance to the heat sink (held at ambient), a
+// lateral resistance to each 4-neighbour, and a heat capacity:
+//
+//   C dT_i/dt = P_i - (T_i - T_amb)/R_v - sum_j (T_i - T_j)/R_lat
+//
+// Integrated with forward Euler, sub-stepped automatically so the scheme is
+// stable for any control-epoch length. TDP is the chip-level proxy for
+// staying inside this model's safe envelope; the simulator additionally
+// reports thermal-violation epochs so experiments can check that budget
+// compliance actually keeps silicon cool.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "arch/chip_config.hpp"
+#include "arch/mesh.hpp"
+
+namespace odrl::thermal {
+
+class ThermalModel {
+ public:
+  ThermalModel(const arch::Mesh& mesh, arch::ThermalParams params);
+
+  /// Advances the network by dt_s seconds with per-tile powers `power_w`
+  /// (size must equal mesh.size(); tiles beyond the core count get 0).
+  void step(std::span<const double> power_w, double dt_s);
+
+  /// Steady-state temperatures for constant powers (solves the linear
+  /// system by damped Jacobi iteration; exact for this diagonally-dominant
+  /// network). Does not modify the transient state.
+  std::vector<double> steady_state(std::span<const double> power_w) const;
+
+  const std::vector<double>& temperatures() const { return temps_; }
+  double temperature(std::size_t tile) const;
+  double max_temperature() const;
+  /// Number of tiles currently above the junction limit.
+  std::size_t violation_count() const;
+
+  void reset(double temp_c);
+  const arch::ThermalParams& params() const { return params_; }
+  std::size_t size() const { return temps_.size(); }
+
+ private:
+  /// One Euler substep of `dt_s`.
+  void euler_step(std::span<const double> power_w, double dt_s);
+
+  arch::Mesh mesh_;
+  arch::ThermalParams params_;
+  std::vector<double> temps_;
+  std::vector<double> scratch_;
+  std::vector<std::vector<std::size_t>> neighbors_;
+};
+
+}  // namespace odrl::thermal

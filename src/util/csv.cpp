@@ -1,0 +1,44 @@
+#include "util/csv.hpp"
+
+#include <charconv>
+
+namespace odrl::util {
+
+std::string csv_escape(std::string_view field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quotes) return std::string(field);
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (char ch : field) {
+    if (ch == '"') out.push_back('"');
+    out.push_back(ch);
+  }
+  out.push_back('"');
+  return out;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i != 0) *out_ << ',';
+    *out_ << csv_escape(cells[i]);
+  }
+  *out_ << '\n';
+  ++rows_;
+}
+
+void CsvWriter::write_row(std::string_view label,
+                          const std::vector<double>& values) {
+  *out_ << csv_escape(label);
+  char buf[64];
+  for (double v : values) {
+    auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+    *out_ << ',' << std::string_view(buf, static_cast<std::size_t>(ptr - buf));
+    (void)ec;
+  }
+  *out_ << '\n';
+  ++rows_;
+}
+
+}  // namespace odrl::util

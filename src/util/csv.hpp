@@ -1,0 +1,33 @@
+// Minimal CSV emission: experiments dump per-epoch traces for offline
+// plotting. Handles quoting of separators/quotes/newlines per RFC 4180.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace odrl::util {
+
+/// Escapes a single CSV field (quotes it if it contains , " or newline).
+std::string csv_escape(std::string_view field);
+
+/// Streams rows of already-stringified cells.
+class CsvWriter {
+ public:
+  /// The writer borrows the stream; it must outlive the writer.
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  void write_row(const std::vector<std::string>& cells);
+
+  /// Convenience: label + doubles, formatted with max precision round-trip.
+  void write_row(std::string_view label, const std::vector<double>& values);
+
+  std::size_t rows_written() const { return rows_; }
+
+ private:
+  std::ostream* out_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace odrl::util

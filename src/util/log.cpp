@@ -1,0 +1,38 @@
+#include "util/log.hpp"
+
+namespace odrl::util {
+
+LogLevel Logger::level_ = LogLevel::kWarn;
+std::ostream* Logger::out_ = &std::clog;
+
+std::string_view to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+LogLevel Logger::level() { return level_; }
+
+void Logger::set_level(LogLevel level) { level_ = level; }
+
+void Logger::set_stream(std::ostream& out) { out_ = &out; }
+
+void Logger::write(LogLevel level, std::string_view module,
+                   std::string_view message) {
+  *out_ << '[' << to_string(level) << "] [" << module << "] " << message
+        << '\n';
+}
+
+}  // namespace odrl::util

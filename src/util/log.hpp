@@ -1,0 +1,57 @@
+// Tiny leveled logger. The simulator and controllers are silent by default;
+// examples raise the level to narrate what the system is doing.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace odrl::util {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+std::string_view to_string(LogLevel level);
+
+/// Process-wide log configuration. Intentionally the only global in the
+/// library (logging verbosity is cross-cutting and never affects results).
+class Logger {
+ public:
+  static LogLevel level();
+  static void set_level(LogLevel level);
+  /// Destination stream; defaults to std::clog.
+  static void set_stream(std::ostream& out);
+  static void write(LogLevel level, std::string_view module,
+                    std::string_view message);
+
+ private:
+  static LogLevel level_;
+  static std::ostream* out_;
+};
+
+/// One log statement: LogLine(LogLevel::kInfo, "sim") << "epoch " << n;
+/// Emits on destruction if the level passes the filter.
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string_view module)
+      : level_(level), module_(module), enabled_(level >= Logger::level()) {}
+  ~LogLine() {
+    if (enabled_) Logger::write(level_, module_, stream_.str());
+  }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string module_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace odrl::util

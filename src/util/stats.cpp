@@ -1,0 +1,149 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace odrl::util {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double nab = na + nb;
+  m2_ += other.m2_ + delta * delta * na * nb / nab;
+  mean_ = (na * mean_ + nb * other.mean_) / nab;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+void RunningStats::reset() { *this = RunningStats{}; }
+
+double RunningStats::mean() const { return n_ == 0 ? 0.0 : mean_; }
+
+double RunningStats::variance() const {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const { return n_ == 0 ? 0.0 : min_; }
+
+double RunningStats::max() const { return n_ == 0 ? 0.0 : max_; }
+
+Ema::Ema(double alpha) : alpha_(alpha) {
+  if (!(alpha > 0.0) || alpha > 1.0) {
+    throw std::invalid_argument("Ema: alpha must be in (0, 1]");
+  }
+}
+
+double Ema::update(double x) {
+  if (!primed_) {
+    value_ = x;
+    primed_ = true;
+  } else {
+    value_ += alpha_ * (x - value_);
+  }
+  return value_;
+}
+
+void Ema::reset() {
+  value_ = 0.0;
+  primed_ = false;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  if (!(lo < hi)) throw std::invalid_argument("Histogram: need lo < hi");
+  if (bins == 0) throw std::invalid_argument("Histogram: need bins > 0");
+}
+
+std::size_t Histogram::bin_of(double x) const {
+  if (x <= lo_) return 0;
+  if (x >= hi_) return counts_.size() - 1;
+  const double frac = (x - lo_) / (hi_ - lo_);
+  auto idx = static_cast<std::size_t>(frac * static_cast<double>(counts_.size()));
+  return std::min(idx, counts_.size() - 1);
+}
+
+void Histogram::add(double x) {
+  ++counts_[bin_of(x)];
+  ++total_;
+}
+
+std::size_t Histogram::count(std::size_t bin) const {
+  if (bin >= counts_.size()) {
+    throw std::out_of_range("Histogram::count: bin out of range");
+  }
+  return counts_[bin];
+}
+
+double Histogram::bin_center(std::size_t bin) const {
+  if (bin >= counts_.size()) {
+    throw std::out_of_range("Histogram::bin_center: bin out of range");
+  }
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + (static_cast<double>(bin) + 0.5) * width;
+}
+
+double percentile(std::span<const double> samples, double p) {
+  if (samples.empty()) {
+    throw std::invalid_argument("percentile: empty sample set");
+  }
+  if (p < 0.0 || p > 100.0) {
+    throw std::invalid_argument("percentile: p must be in [0, 100]");
+  }
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo_idx = static_cast<std::size_t>(rank);
+  const std::size_t hi_idx = std::min(lo_idx + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo_idx);
+  return sorted[lo_idx] + frac * (sorted[hi_idx] - sorted[lo_idx]);
+}
+
+double mean_of(std::span<const double> samples) {
+  if (samples.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : samples) sum += x;
+  return sum / static_cast<double>(samples.size());
+}
+
+double geomean_of(std::span<const double> samples) {
+  if (samples.empty()) {
+    throw std::invalid_argument("geomean_of: empty sample set");
+  }
+  double log_sum = 0.0;
+  for (double x : samples) {
+    if (x <= 0.0) {
+      throw std::invalid_argument("geomean_of: samples must be positive");
+    }
+    log_sum += std::log(x);
+  }
+  return std::exp(log_sum / static_cast<double>(samples.size()));
+}
+
+}  // namespace odrl::util

@@ -1,0 +1,99 @@
+// Streaming statistics helpers used throughout the simulator and the
+// benchmark harness (per-epoch sensor aggregation, experiment summaries).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace odrl::util {
+
+/// Welford-style single-pass accumulator: numerically stable mean/variance,
+/// plus min/max and sum. O(1) memory; safe to keep one per core per signal.
+class RunningStats {
+ public:
+  void add(double x);
+
+  /// Merges another accumulator (parallel-combine identity of Welford).
+  void merge(const RunningStats& other);
+
+  void reset();
+
+  std::size_t count() const { return n_; }
+  bool empty() const { return n_ == 0; }
+  double sum() const { return sum_; }
+  /// Mean of observed samples. Returns 0 when empty.
+  double mean() const;
+  /// Unbiased sample variance (n-1 denominator). Returns 0 when n < 2.
+  double variance() const;
+  double stddev() const;
+  /// Min/max of observed samples. Returns 0 when empty.
+  double min() const;
+  double max() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Exponentially-weighted moving average: the smoothing used by controllers
+/// to de-noise per-epoch sensor readings. alpha in (0, 1]; alpha = 1 means
+/// no smoothing. The first sample initializes the average directly.
+class Ema {
+ public:
+  explicit Ema(double alpha);
+
+  double update(double x);
+  double value() const { return value_; }
+  bool primed() const { return primed_; }
+  void reset();
+  double alpha() const { return alpha_; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool primed_ = false;
+};
+
+/// Fixed-bin histogram over [lo, hi). Out-of-range samples are clamped into
+/// the edge bins so mass is never lost (controllers use this to inspect
+/// state-visit distributions).
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t bin_count() const { return counts_.size(); }
+  std::size_t count(std::size_t bin) const;
+  std::size_t total() const { return total_; }
+  /// Index of the bin x falls into (after clamping).
+  std::size_t bin_of(double x) const;
+  /// Center value of a bin.
+  double bin_center(std::size_t bin) const;
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Percentile of a sample set (linear interpolation between order statistics,
+/// the "exclusive" convention used by numpy's default). p in [0, 100].
+/// Copies + sorts; intended for end-of-run summaries, not hot paths.
+double percentile(std::span<const double> samples, double p);
+
+/// Arithmetic mean of a span; 0 for an empty span.
+double mean_of(std::span<const double> samples);
+
+/// Geometric mean; requires all samples > 0. Used for cross-benchmark
+/// speedup aggregation (the standard in architecture evaluation).
+double geomean_of(std::span<const double> samples);
+
+}  // namespace odrl::util

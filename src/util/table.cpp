@@ -1,0 +1,83 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace odrl::util {
+
+Table::Table(std::vector<std::string> header)
+    : header_(std::move(header)), aligns_(header_.size(), Align::kRight) {
+  if (header_.empty()) throw std::invalid_argument("Table: empty header");
+  aligns_[0] = Align::kLeft;  // first column is conventionally a label
+}
+
+std::string Table::fmt(double value, int digits) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(digits);
+  os << value;
+  return os.str();
+}
+
+std::string Table::sci(double value, int digits) {
+  std::ostringstream os;
+  os.setf(std::ios::scientific);
+  os.precision(digits);
+  os << value;
+  return os.str();
+}
+
+void Table::set_align(std::size_t column, Align align) {
+  if (column >= aligns_.size()) {
+    throw std::out_of_range("Table::set_align: column out of range");
+  }
+  aligns_[column] = align;
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() > header_.size()) {
+    throw std::invalid_argument("Table::add_row: more cells than columns");
+  }
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::render(const std::string& title) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto emit_row = [&](std::ostringstream& os,
+                      const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) os << "  ";
+      const auto pad = widths[c] - row[c].size();
+      if (aligns_[c] == Align::kRight) os << std::string(pad, ' ');
+      os << row[c];
+      if (aligns_[c] == Align::kLeft && c + 1 != row.size()) {
+        os << std::string(pad, ' ');
+      }
+    }
+    os << '\n';
+  };
+
+  std::ostringstream os;
+  if (!title.empty()) os << title << '\n';
+  emit_row(os, header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c == 0 ? 0 : 2);
+  }
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(os, row);
+  return os.str();
+}
+
+}  // namespace odrl::util

@@ -1,0 +1,41 @@
+// Console table rendering for the benchmark harness: every experiment prints
+// its paper-style table/figure series through this writer so output stays
+// uniform across E1..E7.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace odrl::util {
+
+/// Column alignment inside a rendered table.
+enum class Align { kLeft, kRight };
+
+/// A simple monospace table: add a header then rows; render() pads columns
+/// to the widest cell. Rows shorter than the header are padded with empty
+/// cells; longer rows are rejected.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Number formatting convenience: fixed with `digits` decimals.
+  static std::string fmt(double value, int digits = 2);
+  /// Scientific notation with `digits` significant decimals.
+  static std::string sci(double value, int digits = 2);
+
+  void set_align(std::size_t column, Align align);
+  void add_row(std::vector<std::string> cells);
+  std::size_t row_count() const { return rows_.size(); }
+  std::size_t column_count() const { return header_.size(); }
+
+  /// Renders with a title line, a header, a separator and all rows.
+  std::string render(const std::string& title = {}) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<Align> aligns_;
+};
+
+}  // namespace odrl::util

@@ -1,0 +1,226 @@
+#include "workload/benchmarks.hpp"
+
+#include <stdexcept>
+
+namespace odrl::workload {
+
+PhaseMachine BenchmarkProfile::instantiate(util::Rng& rng) const {
+  const std::size_t start = rng.below(phases.size());
+  return PhaseMachine(phases, transitions, start, jitter);
+}
+
+namespace {
+
+// Helper: two-phase alternating profile.
+BenchmarkProfile alternating(std::string name, std::string desc, Phase a,
+                             Phase b) {
+  BenchmarkProfile p;
+  p.name = std::move(name);
+  p.description = std::move(desc);
+  p.phases = {a, b};
+  p.transitions = TransitionMatrix::cyclic(2);
+  return p;
+}
+
+std::vector<BenchmarkProfile> build_suite() {
+  std::vector<BenchmarkProfile> suite;
+
+  // 1. compute.dense -- dense FP kernel, high ILP, tiny working set.
+  {
+    BenchmarkProfile p;
+    p.name = "compute.dense";
+    p.description = "dense floating-point kernel; frequency-hungry";
+    p.phases = {Phase{.base_cpi = 0.55,
+                      .mpki = 0.3,
+                      .activity = 0.95,
+                      .mean_dwell_epochs = 200.0}};
+    p.transitions = TransitionMatrix::uniform(1);
+    suite.push_back(std::move(p));
+  }
+
+  // 2. compute.branchy -- integer control-heavy code, moderate CPI.
+  {
+    BenchmarkProfile p;
+    p.name = "compute.branchy";
+    p.description = "branch-heavy integer code; compute-bound, lower activity";
+    p.phases = {Phase{.base_cpi = 0.9,
+                      .mpki = 1.0,
+                      .activity = 0.75,
+                      .mean_dwell_epochs = 150.0}};
+    p.transitions = TransitionMatrix::uniform(1);
+    suite.push_back(std::move(p));
+  }
+
+  // 3. memory.stream -- streaming over large arrays; DVFS-insensitive.
+  {
+    BenchmarkProfile p;
+    p.name = "memory.stream";
+    p.description = "streaming memory access; throughput set by DRAM";
+    p.phases = {Phase{.base_cpi = 0.7,
+                      .mpki = 22.0,
+                      .activity = 0.55,
+                      .mean_dwell_epochs = 300.0}};
+    p.transitions = TransitionMatrix::uniform(1);
+    suite.push_back(std::move(p));
+  }
+
+  // 4. memory.pointer -- pointer chasing, serialized misses.
+  {
+    BenchmarkProfile p;
+    p.name = "memory.pointer";
+    p.description = "pointer-chasing; serialized long-latency misses";
+    p.phases = {Phase{.base_cpi = 1.4,
+                      .mpki = 30.0,
+                      .activity = 0.45,
+                      .mean_dwell_epochs = 250.0}};
+    p.transitions = TransitionMatrix::uniform(1);
+    suite.push_back(std::move(p));
+  }
+
+  // 5. phased.solver -- iterative solver alternating compute and exchange.
+  suite.push_back(alternating(
+      "phased.solver",
+      "iterative solver: compute sweep then boundary exchange",
+      Phase{.base_cpi = 0.6, .mpki = 1.5, .activity = 0.9,
+            .mean_dwell_epochs = 80.0},
+      Phase{.base_cpi = 0.8, .mpki = 18.0, .activity = 0.6,
+            .mean_dwell_epochs = 40.0}));
+
+  // 6. phased.pipeline -- three-stage pipeline with distinct stages.
+  {
+    BenchmarkProfile p;
+    p.name = "phased.pipeline";
+    p.description = "three-stage media pipeline: decode / transform / emit";
+    p.phases = {Phase{.base_cpi = 0.7, .mpki = 4.0, .activity = 0.85,
+                      .mean_dwell_epochs = 60.0},
+                Phase{.base_cpi = 0.5, .mpki = 0.8, .activity = 0.95,
+                      .mean_dwell_epochs = 90.0},
+                Phase{.base_cpi = 1.1, .mpki = 12.0, .activity = 0.6,
+                      .mean_dwell_epochs = 45.0}};
+    p.transitions = TransitionMatrix::cyclic(3);
+    suite.push_back(std::move(p));
+  }
+
+  // 7. bursty.gc -- mostly compute with occasional memory-thrashing bursts.
+  {
+    BenchmarkProfile p;
+    p.name = "bursty.gc";
+    p.description = "managed-runtime style: compute with GC-like bursts";
+    p.phases = {Phase{.base_cpi = 0.8, .mpki = 2.0, .activity = 0.85,
+                      .mean_dwell_epochs = 180.0},
+                Phase{.base_cpi = 1.0, .mpki = 26.0, .activity = 0.5,
+                      .mean_dwell_epochs = 25.0}};
+    // Asymmetric: burst is rare but always returns to compute.
+    p.transitions = TransitionMatrix({{0.0, 1.0}, {1.0, 0.0}});
+    suite.push_back(std::move(p));
+  }
+
+  // 8. mixed.graph -- graph analytics: irregular mix of all behaviours.
+  {
+    BenchmarkProfile p;
+    p.name = "mixed.graph";
+    p.description = "graph analytics: irregular alternation of traversal "
+                    "and per-vertex compute";
+    p.phases = {Phase{.base_cpi = 0.65, .mpki = 3.0, .activity = 0.9,
+                      .mean_dwell_epochs = 70.0},
+                Phase{.base_cpi = 1.2, .mpki = 16.0, .activity = 0.55,
+                      .mean_dwell_epochs = 70.0},
+                Phase{.base_cpi = 0.9, .mpki = 8.0, .activity = 0.7,
+                      .mean_dwell_epochs = 70.0}};
+    p.transitions = TransitionMatrix::uniform(3);
+    suite.push_back(std::move(p));
+  }
+
+  // 9. idle.periodic -- mostly idle service thread with periodic activity.
+  {
+    BenchmarkProfile p;
+    p.name = "idle.periodic";
+    p.description = "service thread: near-idle with periodic work spikes";
+    p.phases = {Phase{.base_cpi = 2.0, .mpki = 1.0, .activity = 0.15,
+                      .mean_dwell_epochs = 120.0},
+                Phase{.base_cpi = 0.7, .mpki = 2.0, .activity = 0.9,
+                      .mean_dwell_epochs = 30.0}};
+    p.transitions = TransitionMatrix({{0.0, 1.0}, {1.0, 0.0}});
+    suite.push_back(std::move(p));
+  }
+
+  // 10. mixed.balanced -- the "average" application.
+  {
+    BenchmarkProfile p;
+    p.name = "mixed.balanced";
+    p.description = "balanced compute/memory application";
+    p.phases = {Phase{.base_cpi = 0.8, .mpki = 6.0, .activity = 0.8,
+                      .mean_dwell_epochs = 100.0},
+                Phase{.base_cpi = 0.75, .mpki = 10.0, .activity = 0.7,
+                      .mean_dwell_epochs = 100.0}};
+    p.transitions = TransitionMatrix::uniform(2);
+    suite.push_back(std::move(p));
+  }
+
+  // 11. server.spiky -- request serving: idle baseline with short, sharp
+  // compute spikes (fast phase churn stresses on-line adaptation).
+  {
+    BenchmarkProfile p;
+    p.name = "server.spiky";
+    p.description = "request serving: near-idle with short compute spikes";
+    p.phases = {Phase{.base_cpi = 1.6, .mpki = 2.0, .activity = 0.2,
+                      .mean_dwell_epochs = 40.0},
+                Phase{.base_cpi = 0.6, .mpki = 3.0, .activity = 0.95,
+                      .mean_dwell_epochs = 8.0},
+                Phase{.base_cpi = 0.9, .mpki = 12.0, .activity = 0.6,
+                      .mean_dwell_epochs = 12.0}};
+    p.transitions = TransitionMatrix({{0.0, 0.7, 0.3},
+                                      {0.8, 0.0, 0.2},
+                                      {0.9, 0.1, 0.0}});
+    suite.push_back(std::move(p));
+  }
+
+  // 12. hpc.fft -- butterfly stages: long compute sweeps punctuated by
+  // all-to-all exchange phases that saturate memory.
+  suite.push_back(alternating(
+      "hpc.fft", "FFT-style: compute butterflies then all-to-all exchange",
+      Phase{.base_cpi = 0.5, .mpki = 1.2, .activity = 0.98,
+            .mean_dwell_epochs = 120.0},
+      Phase{.base_cpi = 0.9, .mpki = 28.0, .activity = 0.5,
+            .mean_dwell_epochs = 35.0}));
+
+  // 13. ml.inference -- steady dense kernels with a periodic
+  // weight-streaming phase; high activity throughout.
+  {
+    BenchmarkProfile p;
+    p.name = "ml.inference";
+    p.description = "NN inference: dense GEMM with periodic weight streaming";
+    p.phases = {Phase{.base_cpi = 0.52, .mpki = 1.8, .activity = 0.97,
+                      .mean_dwell_epochs = 150.0},
+                Phase{.base_cpi = 0.7, .mpki = 15.0, .activity = 0.75,
+                      .mean_dwell_epochs = 30.0}};
+    p.transitions = TransitionMatrix({{0.0, 1.0}, {1.0, 0.0}});
+    suite.push_back(std::move(p));
+  }
+
+  return suite;
+}
+
+}  // namespace
+
+const std::vector<BenchmarkProfile>& benchmark_suite() {
+  static const std::vector<BenchmarkProfile> suite = build_suite();
+  return suite;
+}
+
+const BenchmarkProfile& benchmark_by_name(std::string_view name) {
+  for (const auto& p : benchmark_suite()) {
+    if (p.name == name) return p;
+  }
+  throw std::invalid_argument("benchmark_by_name: unknown benchmark '" +
+                              std::string(name) + "'");
+}
+
+std::vector<std::string> benchmark_names() {
+  std::vector<std::string> names;
+  names.reserve(benchmark_suite().size());
+  for (const auto& p : benchmark_suite()) names.push_back(p.name);
+  return names;
+}
+
+}  // namespace odrl::workload

@@ -1,0 +1,41 @@
+// Named synthetic benchmark profiles.
+//
+// Thirteen profiles spanning the compute/memory spectrum stand in for the
+// SPLASH-2 / PARSEC suites the paper evaluates on (see the substitution table
+// in DESIGN.md). Names follow the convention "<behaviour>.<variant>"; each
+// profile is a PhaseMachine blueprint (phases + transition structure).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "workload/phase_machine.hpp"
+
+namespace odrl::workload {
+
+/// Blueprint from which per-core PhaseMachines are instantiated.
+struct BenchmarkProfile {
+  std::string name;
+  std::string description;
+  std::vector<Phase> phases;
+  TransitionMatrix transitions = TransitionMatrix::uniform(1);
+  JitterConfig jitter;
+
+  /// Instantiates a machine starting in a phase chosen by `rng` (so cores
+  /// running the same benchmark are phase-shifted, as threads of a real
+  /// multiprogrammed mix would be).
+  PhaseMachine instantiate(util::Rng& rng) const;
+};
+
+/// The full built-in suite, in canonical order.
+const std::vector<BenchmarkProfile>& benchmark_suite();
+
+/// Looks a profile up by name; throws std::invalid_argument if unknown.
+const BenchmarkProfile& benchmark_by_name(std::string_view name);
+
+/// Names only, canonical order (used by benches to emit table rows).
+std::vector<std::string> benchmark_names();
+
+}  // namespace odrl::workload

@@ -1,0 +1,22 @@
+#include "workload/phase.hpp"
+
+#include <stdexcept>
+
+namespace odrl::workload {
+
+void Phase::validate() const {
+  if (base_cpi <= 0.0) throw std::invalid_argument("Phase: base_cpi <= 0");
+  if (mpki < 0.0) throw std::invalid_argument("Phase: mpki < 0");
+  if (activity <= 0.0 || activity > 1.0) {
+    throw std::invalid_argument("Phase: activity must be in (0, 1]");
+  }
+  if (mean_dwell_epochs < 1.0) {
+    throw std::invalid_argument("Phase: mean_dwell_epochs must be >= 1");
+  }
+}
+
+PhaseSample exact_sample(const Phase& phase) {
+  return PhaseSample{phase.base_cpi, phase.mpki, phase.activity};
+}
+
+}  // namespace odrl::workload

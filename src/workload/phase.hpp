@@ -1,0 +1,47 @@
+// Program phases.
+//
+// DVFS control at millisecond epochs does not see instructions; it sees the
+// aggregate compute/memory character of whatever phase the program is in.
+// A Phase captures exactly the parameters the epoch-level performance and
+// power models need. Real applications (SPLASH-2 / PARSEC class) are
+// represented as stochastic processes over a small set of phases; this is the
+// substitution for trace-driven microarchitectural simulation documented in
+// DESIGN.md.
+#pragma once
+
+#include <string>
+
+namespace odrl::workload {
+
+/// Epoch-level program-phase descriptor.
+struct Phase {
+  /// CPI with an infinitely fast memory system (pure core-bound CPI).
+  /// >= 1/issue_width in practice; validated > 0.
+  double base_cpi = 1.0;
+
+  /// Long-latency (off-chip) misses per kilo-instruction. Together with the
+  /// memory latency this determines frequency-insensitivity: at high mpki,
+  /// raising f buys almost no IPS.
+  double mpki = 1.0;
+
+  /// Switching-activity factor in (0, 1]: scales dynamic power.
+  double activity = 0.8;
+
+  /// Mean dwell time of the phase, in control epochs (geometric dwell).
+  double mean_dwell_epochs = 50.0;
+
+  void validate() const;
+};
+
+/// Phase with small multiplicative per-epoch jitter applied -- what the
+/// simulator actually executes for one epoch.
+struct PhaseSample {
+  double base_cpi = 1.0;
+  double mpki = 1.0;
+  double activity = 0.8;
+};
+
+/// Returns a PhaseSample equal to the phase parameters with no jitter.
+PhaseSample exact_sample(const Phase& phase);
+
+}  // namespace odrl::workload

@@ -1,0 +1,114 @@
+#include "workload/phase_machine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace odrl::workload {
+
+TransitionMatrix TransitionMatrix::uniform(std::size_t n) {
+  if (n == 0) throw std::invalid_argument("TransitionMatrix::uniform: n == 0");
+  std::vector<std::vector<double>> rows(
+      n, std::vector<double>(n, 1.0 / static_cast<double>(n)));
+  return TransitionMatrix(std::move(rows));
+}
+
+TransitionMatrix TransitionMatrix::cyclic(std::size_t n) {
+  if (n == 0) throw std::invalid_argument("TransitionMatrix::cyclic: n == 0");
+  std::vector<std::vector<double>> rows(n, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < n; ++i) rows[i][(i + 1) % n] = 1.0;
+  return TransitionMatrix(std::move(rows));
+}
+
+TransitionMatrix::TransitionMatrix(std::vector<std::vector<double>> rows)
+    : rows_(std::move(rows)) {
+  if (rows_.empty()) throw std::invalid_argument("TransitionMatrix: empty");
+  for (const auto& row : rows_) {
+    if (row.size() != rows_.size()) {
+      throw std::invalid_argument("TransitionMatrix: must be square");
+    }
+    double sum = 0.0;
+    for (double p : row) {
+      if (p < 0.0) throw std::invalid_argument("TransitionMatrix: p < 0");
+      sum += p;
+    }
+    if (std::abs(sum - 1.0) > 1e-9) {
+      throw std::invalid_argument("TransitionMatrix: row must sum to 1");
+    }
+  }
+}
+
+std::size_t TransitionMatrix::sample_next(std::size_t current,
+                                          util::Rng& rng) const {
+  if (current >= rows_.size()) {
+    throw std::out_of_range("TransitionMatrix::sample_next: bad state");
+  }
+  const auto& row = rows_[current];
+  double u = rng.uniform();
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    u -= row[i];
+    if (u < 0.0) return i;
+  }
+  return row.size() - 1;  // numerical slack lands in the last state
+}
+
+double TransitionMatrix::probability(std::size_t from, std::size_t to) const {
+  if (from >= rows_.size() || to >= rows_.size()) {
+    throw std::out_of_range("TransitionMatrix::probability: out of range");
+  }
+  return rows_[from][to];
+}
+
+PhaseMachine::PhaseMachine(std::vector<Phase> phases,
+                           TransitionMatrix transitions,
+                           std::size_t initial_phase, JitterConfig jitter)
+    : phases_(std::move(phases)),
+      transitions_(std::move(transitions)),
+      jitter_(jitter),
+      current_(initial_phase) {
+  if (phases_.empty()) throw std::invalid_argument("PhaseMachine: no phases");
+  if (transitions_.size() != phases_.size()) {
+    throw std::invalid_argument(
+        "PhaseMachine: transition matrix size mismatch");
+  }
+  if (initial_phase >= phases_.size()) {
+    throw std::invalid_argument("PhaseMachine: initial phase out of range");
+  }
+  for (const auto& p : phases_) p.validate();
+}
+
+namespace {
+double jittered(double value, double rel_sigma, util::Rng& rng) {
+  if (rel_sigma <= 0.0) return value;
+  // Multiplicative noise, clamped so parameters keep their sign/range.
+  const double factor = std::max(0.1, 1.0 + rng.gaussian(0.0, rel_sigma));
+  return value * factor;
+}
+}  // namespace
+
+PhaseSample PhaseMachine::step(util::Rng& rng) {
+  // Geometric dwell: leave with probability 1/mean_dwell each epoch.
+  const double leave_p = 1.0 / phases_[current_].mean_dwell_epochs;
+  if (rng.chance(leave_p)) {
+    current_ = transitions_.sample_next(current_, rng);
+    dwell_ = 0;
+  } else {
+    ++dwell_;
+  }
+  const Phase& ph = phases_[current_];
+  PhaseSample s;
+  s.base_cpi = jittered(ph.base_cpi, jitter_.base_cpi_rel, rng);
+  s.mpki = std::max(0.0, jittered(ph.mpki, jitter_.mpki_rel, rng));
+  s.activity = std::clamp(jittered(ph.activity, jitter_.activity_rel, rng),
+                          0.05, 1.0);
+  return s;
+}
+
+const Phase& PhaseMachine::phase(std::size_t i) const {
+  if (i >= phases_.size()) {
+    throw std::out_of_range("PhaseMachine::phase: out of range");
+  }
+  return phases_[i];
+}
+
+}  // namespace odrl::workload

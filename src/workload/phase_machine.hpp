@@ -1,0 +1,72 @@
+// Markov-modulated phase process: the per-core workload engine.
+//
+// Each core runs one PhaseMachine. Every epoch the machine either stays in
+// its current phase (geometric dwell with the phase's mean) or transitions
+// according to a row-stochastic matrix, then emits a PhaseSample with small
+// multiplicative jitter. This reproduces the phase-change dynamics that make
+// *on-line* learning necessary: a policy tuned for one phase goes stale when
+// the program moves on.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "workload/phase.hpp"
+
+namespace odrl::workload {
+
+/// Row-stochastic transition matrix over phases. Row i gives the
+/// distribution of the *next* phase when leaving phase i (self-transitions
+/// allowed; dwell is handled separately by the machine).
+class TransitionMatrix {
+ public:
+  /// Uniform transitions among n phases.
+  static TransitionMatrix uniform(std::size_t n);
+  /// Cyclic: phase i -> phase (i+1) mod n with probability 1 (pipelined /
+  /// iterative solvers with regular phase structure).
+  static TransitionMatrix cyclic(std::size_t n);
+  /// From explicit rows; validates each row sums to ~1 and is non-negative.
+  explicit TransitionMatrix(std::vector<std::vector<double>> rows);
+
+  std::size_t size() const { return rows_.size(); }
+  /// Samples the next phase index given the current one.
+  std::size_t sample_next(std::size_t current, util::Rng& rng) const;
+  double probability(std::size_t from, std::size_t to) const;
+
+ private:
+  std::vector<std::vector<double>> rows_;
+};
+
+/// Per-epoch jitter configuration (multiplicative log-normal-ish noise).
+struct JitterConfig {
+  double base_cpi_rel = 0.05;  ///< relative sigma on base CPI
+  double mpki_rel = 0.10;      ///< relative sigma on mpki
+  double activity_rel = 0.03;  ///< relative sigma on activity
+};
+
+class PhaseMachine {
+ public:
+  /// phases non-empty and each valid; transitions.size() == phases.size().
+  PhaseMachine(std::vector<Phase> phases, TransitionMatrix transitions,
+               std::size_t initial_phase = 0, JitterConfig jitter = {});
+
+  /// Advances one epoch and returns the sampled phase parameters.
+  PhaseSample step(util::Rng& rng);
+
+  std::size_t current_phase() const { return current_; }
+  const Phase& phase(std::size_t i) const;
+  std::size_t phase_count() const { return phases_.size(); }
+
+  /// Epochs spent in the current phase since last transition.
+  std::size_t dwell() const { return dwell_; }
+
+ private:
+  std::vector<Phase> phases_;
+  TransitionMatrix transitions_;
+  JitterConfig jitter_;
+  std::size_t current_;
+  std::size_t dwell_ = 0;
+};
+
+}  // namespace odrl::workload

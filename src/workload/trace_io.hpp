@@ -1,0 +1,35 @@
+// RecordedTrace serialization (CSV).
+//
+// Experiments are reproducible from seeds alone, but shipping a recorded
+// trace lets others rerun a comparison on byte-identical workload inputs
+// without the generator (and lets real-machine traces, converted to the
+// phase-parameter schema, drive the simulator).
+//
+// Format (v1):
+//   # odrl-trace v1
+//   labels,<label core 0>,<label core 1>,...
+//   epoch,core,base_cpi,mpki,activity
+//   0,0,0.55,0.31,0.94
+//   ...
+// Labels must not contain commas, quotes or newlines (enforced on save).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "workload/workload.hpp"
+
+namespace odrl::workload {
+
+/// Writes the trace; throws std::invalid_argument on unserializable labels
+/// and std::runtime_error on stream failure.
+void save_trace_csv(const RecordedTrace& trace, std::ostream& out);
+
+/// Parses a trace; throws std::runtime_error on malformed input.
+RecordedTrace load_trace_csv(std::istream& in);
+
+/// Convenience file wrappers.
+void save_trace_file(const RecordedTrace& trace, const std::string& path);
+RecordedTrace load_trace_file(const std::string& path);
+
+}  // namespace odrl::workload

@@ -1,0 +1,107 @@
+#include "workload/workload.hpp"
+
+#include <stdexcept>
+
+namespace odrl::workload {
+
+RecordedTrace::RecordedTrace(std::size_t n_cores,
+                             std::vector<std::string> labels)
+    : n_cores_(n_cores), labels_(std::move(labels)) {
+  if (n_cores == 0) throw std::invalid_argument("RecordedTrace: 0 cores");
+  if (labels_.size() != n_cores_) {
+    throw std::invalid_argument("RecordedTrace: label count mismatch");
+  }
+}
+
+void RecordedTrace::append_epoch(std::vector<PhaseSample> samples) {
+  if (samples.size() != n_cores_) {
+    throw std::invalid_argument("RecordedTrace::append_epoch: size mismatch");
+  }
+  epochs_.push_back(std::move(samples));
+}
+
+const std::vector<PhaseSample>& RecordedTrace::epoch(std::size_t e) const {
+  if (e >= epochs_.size()) {
+    throw std::out_of_range("RecordedTrace::epoch: out of range");
+  }
+  return epochs_[e];
+}
+
+const std::string& RecordedTrace::label(std::size_t core) const {
+  if (core >= labels_.size()) {
+    throw std::out_of_range("RecordedTrace::label: out of range");
+  }
+  return labels_[core];
+}
+
+GeneratedWorkload::GeneratedWorkload(std::size_t n_cores,
+                                     const BenchmarkProfile& profile,
+                                     std::uint64_t seed)
+    : GeneratedWorkload(n_cores, std::vector<BenchmarkProfile>{profile},
+                        seed) {}
+
+GeneratedWorkload::GeneratedWorkload(
+    std::size_t n_cores, const std::vector<BenchmarkProfile>& profiles,
+    std::uint64_t seed) {
+  if (n_cores == 0) throw std::invalid_argument("GeneratedWorkload: 0 cores");
+  if (profiles.empty()) {
+    throw std::invalid_argument("GeneratedWorkload: no profiles");
+  }
+  util::Rng root(seed);
+  machines_.reserve(n_cores);
+  rngs_.reserve(n_cores);
+  labels_.reserve(n_cores);
+  for (std::size_t i = 0; i < n_cores; ++i) {
+    const BenchmarkProfile& profile = profiles[i % profiles.size()];
+    util::Rng stream = root.fork();
+    machines_.push_back(profile.instantiate(stream));
+    rngs_.push_back(std::move(stream));
+    labels_.push_back(profile.name);
+  }
+}
+
+GeneratedWorkload GeneratedWorkload::mixed_suite(std::size_t n_cores,
+                                                 std::uint64_t seed) {
+  return GeneratedWorkload(n_cores, benchmark_suite(), seed);
+}
+
+std::vector<PhaseSample> GeneratedWorkload::step() {
+  std::vector<PhaseSample> out;
+  out.reserve(machines_.size());
+  for (std::size_t i = 0; i < machines_.size(); ++i) {
+    out.push_back(machines_[i].step(rngs_[i]));
+  }
+  return out;
+}
+
+std::string GeneratedWorkload::core_label(std::size_t core) const {
+  if (core >= labels_.size()) {
+    throw std::out_of_range("GeneratedWorkload::core_label: out of range");
+  }
+  return labels_[core];
+}
+
+RecordedTrace GeneratedWorkload::record(std::size_t n_epochs) {
+  RecordedTrace trace(n_cores(), labels_);
+  for (std::size_t e = 0; e < n_epochs; ++e) trace.append_epoch(step());
+  return trace;
+}
+
+ReplayWorkload::ReplayWorkload(RecordedTrace trace)
+    : trace_(std::move(trace)) {
+  if (trace_.n_epochs() == 0) {
+    throw std::invalid_argument("ReplayWorkload: empty trace");
+  }
+}
+
+std::vector<PhaseSample> ReplayWorkload::step() {
+  const auto& samples = trace_.epoch(cursor_);
+  cursor_ = (cursor_ + 1) % trace_.n_epochs();
+  return samples;
+}
+
+std::string ReplayWorkload::core_label(std::size_t core) const {
+  return trace_.label(core);
+}
+
+}  // namespace odrl::workload

@@ -1,0 +1,99 @@
+// Chip-level workload: one phase process per core, advanced in lockstep with
+// the simulator's control epochs. Two concrete forms exist:
+//
+//   * GeneratedWorkload -- live Markov-modulated generation (seeded,
+//     reproducible), built from benchmark profiles;
+//   * ReplayWorkload -- replays a RecordedTrace so different controllers can
+//     be compared on *identical* per-epoch inputs (the apples-to-apples
+//     methodology the paper's controller comparison requires).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "workload/benchmarks.hpp"
+#include "workload/phase.hpp"
+#include "workload/phase_machine.hpp"
+
+namespace odrl::workload {
+
+/// Abstract per-epoch workload source for an n-core chip.
+class Workload {
+ public:
+  virtual ~Workload() = default;
+  virtual std::size_t n_cores() const = 0;
+  /// Advances one epoch; element i is core i's phase parameters.
+  virtual std::vector<PhaseSample> step() = 0;
+  /// Human-readable label of what core i is running.
+  virtual std::string core_label(std::size_t core) const = 0;
+};
+
+/// A fully materialized workload: samples[epoch][core].
+class RecordedTrace {
+ public:
+  RecordedTrace(std::size_t n_cores, std::vector<std::string> labels);
+
+  void append_epoch(std::vector<PhaseSample> samples);
+  std::size_t n_cores() const { return n_cores_; }
+  std::size_t n_epochs() const { return epochs_.size(); }
+  const std::vector<PhaseSample>& epoch(std::size_t e) const;
+  const std::string& label(std::size_t core) const;
+
+ private:
+  std::size_t n_cores_;
+  std::vector<std::string> labels_;
+  std::vector<std::vector<PhaseSample>> epochs_;
+};
+
+/// Live generator: per-core PhaseMachine + forked RNG streams.
+class GeneratedWorkload final : public Workload {
+ public:
+  /// Every core runs `profile` (phase-shifted starts).
+  GeneratedWorkload(std::size_t n_cores, const BenchmarkProfile& profile,
+                    std::uint64_t seed);
+
+  /// Core i runs profiles[i % profiles.size()].
+  GeneratedWorkload(std::size_t n_cores,
+                    const std::vector<BenchmarkProfile>& profiles,
+                    std::uint64_t seed);
+
+  /// Convenience: the canonical heterogeneous mix -- the whole built-in
+  /// suite striped across cores.
+  static GeneratedWorkload mixed_suite(std::size_t n_cores,
+                                       std::uint64_t seed);
+
+  std::size_t n_cores() const override { return machines_.size(); }
+  std::vector<PhaseSample> step() override;
+  std::string core_label(std::size_t core) const override;
+
+  /// Runs the generator for n_epochs and materializes a trace (the
+  /// generator is consumed/advanced by this).
+  RecordedTrace record(std::size_t n_epochs);
+
+ private:
+  std::vector<PhaseMachine> machines_;
+  std::vector<util::Rng> rngs_;
+  std::vector<std::string> labels_;
+};
+
+/// Replays a RecordedTrace; wraps around at the end so controllers can run
+/// longer than the recording if needed.
+class ReplayWorkload final : public Workload {
+ public:
+  explicit ReplayWorkload(RecordedTrace trace);
+
+  std::size_t n_cores() const override { return trace_.n_cores(); }
+  std::vector<PhaseSample> step() override;
+  std::string core_label(std::size_t core) const override;
+  void rewind() { cursor_ = 0; }
+  std::size_t cursor() const { return cursor_; }
+
+ private:
+  RecordedTrace trace_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace odrl::workload

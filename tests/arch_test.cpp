@@ -1,0 +1,236 @@
+// Unit tests for src/arch: V/F tables, mesh geometry, chip configuration and
+// the technology power formulas defined on CoreParams.
+#include <gtest/gtest.h>
+
+#include "arch/chip_config.hpp"
+#include "arch/mesh.hpp"
+#include "arch/vf_table.hpp"
+
+namespace oa = odrl::arch;
+
+// ------------------------------------------------------------ VfTable
+
+TEST(VfTable, DefaultTableShape) {
+  const oa::VfTable t = oa::VfTable::default_table();
+  EXPECT_EQ(t.size(), 8u);
+  EXPECT_DOUBLE_EQ(t.min_freq_ghz(), 1.0);
+  EXPECT_DOUBLE_EQ(t.max_freq_ghz(), 3.0);
+  EXPECT_DOUBLE_EQ(t[0].voltage_v, 0.70);
+  EXPECT_DOUBLE_EQ(t[t.max_level()].voltage_v, 1.10);
+}
+
+TEST(VfTable, LinearInterpolatesEndpoints) {
+  const oa::VfTable t = oa::VfTable::linear(5, 1.0, 2.0, 0.8, 1.0);
+  EXPECT_EQ(t.size(), 5u);
+  EXPECT_DOUBLE_EQ(t[0].freq_ghz, 1.0);
+  EXPECT_DOUBLE_EQ(t[4].freq_ghz, 2.0);
+  EXPECT_DOUBLE_EQ(t[2].freq_ghz, 1.5);
+  EXPECT_DOUBLE_EQ(t[2].voltage_v, 0.9);
+}
+
+TEST(VfTable, StrictMonotonicityEnforced) {
+  // Non-increasing frequency.
+  EXPECT_THROW(oa::VfTable({{0.8, 2.0}, {0.9, 2.0}}), std::invalid_argument);
+  // Non-increasing voltage.
+  EXPECT_THROW(oa::VfTable({{0.9, 1.0}, {0.9, 2.0}}), std::invalid_argument);
+  // Increasing both: fine.
+  EXPECT_NO_THROW(oa::VfTable({{0.8, 1.0}, {0.9, 2.0}}));
+}
+
+TEST(VfTable, RejectsDegenerateTables) {
+  EXPECT_THROW(oa::VfTable({}), std::invalid_argument);
+  EXPECT_THROW(oa::VfTable({{0.9, 1.0}}), std::invalid_argument);
+  EXPECT_THROW(oa::VfTable({{-0.1, 1.0}, {0.9, 2.0}}), std::invalid_argument);
+  EXPECT_THROW(oa::VfTable::linear(1, 1.0, 2.0, 0.8, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(oa::VfTable::linear(4, 2.0, 1.0, 0.8, 1.0),
+               std::invalid_argument);
+}
+
+TEST(VfTable, ClampLevel) {
+  const oa::VfTable t = oa::VfTable::default_table();
+  EXPECT_EQ(t.clamp_level(-5), 0u);
+  EXPECT_EQ(t.clamp_level(3), 3u);
+  EXPECT_EQ(t.clamp_level(100), t.max_level());
+}
+
+TEST(VfTable, LevelForFreq) {
+  const oa::VfTable t = oa::VfTable::default_table();
+  EXPECT_EQ(t.level_for_freq(0.5), 0u);   // below floor -> floor
+  EXPECT_EQ(t.level_for_freq(1.0), 0u);
+  EXPECT_EQ(t.level_for_freq(3.0), t.max_level());
+  EXPECT_EQ(t.level_for_freq(10.0), t.max_level());
+  // Between levels 1 (1.286) and 2 (1.571): picks 1.
+  EXPECT_EQ(t.level_for_freq(1.5), 1u);
+}
+
+TEST(VfTable, AtThrowsOutOfRange) {
+  const oa::VfTable t = oa::VfTable::default_table();
+  EXPECT_THROW(t.at(8), std::out_of_range);
+  EXPECT_NO_THROW(t.at(7));
+}
+
+// --------------------------------------------------------------- Mesh
+
+TEST(Mesh, RoundTripCoordIndex) {
+  const oa::Mesh m(4, 3);
+  EXPECT_EQ(m.size(), 12u);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    EXPECT_EQ(m.index_of(m.coord_of(i)), i);
+  }
+}
+
+TEST(Mesh, ForCoresIsLargeEnoughAndTight) {
+  for (std::size_t n : {1u, 2u, 4u, 7u, 16u, 63u, 64u, 100u, 256u}) {
+    const oa::Mesh m = oa::Mesh::for_cores(n);
+    EXPECT_GE(m.size(), n) << "n=" << n;
+    // Not absurdly oversized: one row's worth of slack at most.
+    EXPECT_LT(m.size() - n, m.width()) << "n=" << n;
+  }
+}
+
+TEST(Mesh, NeighborCounts) {
+  const oa::Mesh m(3, 3);
+  EXPECT_EQ(m.neighbors(4).size(), 4u);  // center
+  EXPECT_EQ(m.neighbors(0).size(), 2u);  // corner
+  EXPECT_EQ(m.neighbors(1).size(), 3u);  // edge
+}
+
+TEST(Mesh, NeighborsAreSymmetric) {
+  const oa::Mesh m(4, 4);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    for (std::size_t j : m.neighbors(i)) {
+      const auto back = m.neighbors(j);
+      EXPECT_NE(std::find(back.begin(), back.end(), i), back.end());
+    }
+  }
+}
+
+TEST(Mesh, HopDistance) {
+  const oa::Mesh m(4, 4);
+  EXPECT_EQ(m.hop_distance(0, 0), 0u);
+  EXPECT_EQ(m.hop_distance(0, 3), 3u);
+  EXPECT_EQ(m.hop_distance(0, 15), 6u);
+  EXPECT_EQ(m.hop_distance(15, 0), 6u);
+}
+
+TEST(Mesh, InvalidConstruction) {
+  EXPECT_THROW(oa::Mesh(0, 3), std::invalid_argument);
+  EXPECT_THROW(oa::Mesh(3, 0), std::invalid_argument);
+  EXPECT_THROW(oa::Mesh::for_cores(0), std::invalid_argument);
+}
+
+TEST(Mesh, OutOfRangeAccess) {
+  const oa::Mesh m(2, 2);
+  EXPECT_THROW(m.coord_of(4), std::out_of_range);
+  EXPECT_THROW(m.index_of({2, 0}), std::out_of_range);
+}
+
+// -------------------------------------------------------- CoreParams
+
+TEST(CoreParams, DynamicPowerScalesWithV2F) {
+  const oa::CoreParams p;
+  const double base = p.dynamic_power_w(1.0, 1.0, 1.0);
+  EXPECT_DOUBLE_EQ(p.dynamic_power_w(2.0, 1.0, 1.0), 4.0 * base);
+  EXPECT_DOUBLE_EQ(p.dynamic_power_w(1.0, 2.0, 1.0), 2.0 * base);
+  EXPECT_DOUBLE_EQ(p.dynamic_power_w(1.0, 1.0, 0.5), 0.5 * base);
+}
+
+TEST(CoreParams, LeakageGrowsWithVoltageAndTemperature) {
+  const oa::CoreParams p;
+  EXPECT_GT(p.leakage_power_w(1.1, 85.0), p.leakage_power_w(0.7, 85.0));
+  EXPECT_GT(p.leakage_power_w(1.0, 105.0), p.leakage_power_w(1.0, 45.0));
+}
+
+TEST(CoreParams, TotalIsSumOfParts) {
+  const oa::CoreParams p;
+  const double total = p.total_power_w(1.0, 2.0, 0.8, 85.0);
+  EXPECT_NEAR(total,
+              p.dynamic_power_w(1.0, 2.0, 0.8) + p.leakage_power_w(1.0, 85.0) +
+                  p.uncore_w,
+              1e-12);
+}
+
+TEST(CoreParams, ValidateRejectsBadValues) {
+  oa::CoreParams p;
+  p.c_eff_nf = 0.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = {};
+  p.mem_overlap = 1.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = {};
+  p.issue_width = 0.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = {};
+  EXPECT_NO_THROW(p.validate());
+}
+
+TEST(ThermalParams, ValidateRejectsBadValues) {
+  oa::ThermalParams t;
+  t.c_tile_j_per_c = 0.0;
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+  t = {};
+  t.max_junction_c = t.ambient_c;
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+  t = {};
+  EXPECT_NO_THROW(t.validate());
+}
+
+// -------------------------------------------------------- ChipConfig
+
+TEST(ChipConfig, MakeSetsBudgetFraction) {
+  const oa::ChipConfig chip = oa::ChipConfig::make(16, 0.6);
+  EXPECT_EQ(chip.n_cores(), 16u);
+  EXPECT_NEAR(chip.tdp_w(), 0.6 * chip.max_chip_power_w(), 1e-9);
+}
+
+TEST(ChipConfig, MaxChipPowerScalesWithCores) {
+  const oa::ChipConfig a = oa::ChipConfig::make(16, 0.6);
+  const oa::ChipConfig b = oa::ChipConfig::make(32, 0.6);
+  EXPECT_NEAR(b.max_chip_power_w(), 2.0 * a.max_chip_power_w(), 1e-9);
+}
+
+TEST(ChipConfig, WithTdpKeepsSilicon) {
+  const oa::ChipConfig chip = oa::ChipConfig::make(8, 0.5);
+  const oa::ChipConfig capped = chip.with_tdp(10.0);
+  EXPECT_DOUBLE_EQ(capped.tdp_w(), 10.0);
+  EXPECT_EQ(capped.n_cores(), chip.n_cores());
+  EXPECT_EQ(capped.vf_table(), chip.vf_table());
+  EXPECT_THROW(chip.with_tdp(0.0), std::invalid_argument);
+}
+
+TEST(ChipConfig, MeshCoversCores) {
+  for (std::size_t n : {1u, 4u, 16u, 60u, 256u}) {
+    const oa::ChipConfig chip = oa::ChipConfig::make(n, 0.6);
+    EXPECT_GE(chip.mesh().size(), n);
+  }
+}
+
+TEST(ChipConfig, RejectsInvalid) {
+  EXPECT_THROW(oa::ChipConfig(0, oa::VfTable::default_table(), 10.0),
+               std::invalid_argument);
+  EXPECT_THROW(oa::ChipConfig(4, oa::VfTable::default_table(), 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(oa::ChipConfig::make(4, 0.0), std::invalid_argument);
+  EXPECT_THROW(oa::ChipConfig::make(4, 2.0), std::invalid_argument);
+}
+
+// Parameterized: worst-case per-core power is monotone in level -- the
+// assumption behind translating watts into a safe V/F ceiling.
+class LevelMonotonicity : public ::testing::TestWithParam<double> {};
+
+TEST_P(LevelMonotonicity, WorstCasePowerIncreasesWithLevel) {
+  const double temp = GetParam();
+  const oa::ChipConfig chip = oa::ChipConfig::make(4, 0.6);
+  double prev = 0.0;
+  for (std::size_t l = 0; l < chip.vf_table().size(); ++l) {
+    const auto& vf = chip.vf_table()[l];
+    const double p =
+        chip.core().total_power_w(vf.voltage_v, vf.freq_ghz, 1.0, temp);
+    EXPECT_GT(p, prev) << "level " << l << " temp " << temp;
+    prev = p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Temperatures, LevelMonotonicity,
+                         ::testing::Values(45.0, 65.0, 85.0, 105.0));

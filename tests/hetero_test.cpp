@@ -1,0 +1,124 @@
+// Tests for heterogeneous core-type layouts and the per-core-parameter
+// simulator path.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "arch/chip_config.hpp"
+#include "arch/hetero.hpp"
+#include "core/odrl_controller.hpp"
+#include "sim/runner.hpp"
+#include "sim/system.hpp"
+#include "workload/workload.hpp"
+
+namespace oa = odrl::arch;
+namespace oc = odrl::core;
+namespace os = odrl::sim;
+namespace ow = odrl::workload;
+
+TEST(Hetero, CoreTypesAreValidAndDistinct) {
+  const oa::CoreType big = oa::big_core();
+  const oa::CoreType little = oa::little_core();
+  EXPECT_NO_THROW(big.params.validate());
+  EXPECT_NO_THROW(little.params.validate());
+  EXPECT_GT(big.params.issue_width, little.params.issue_width);
+  EXPECT_GT(big.params.c_eff_nf, little.params.c_eff_nf);
+  EXPECT_EQ(big.name, "big");
+  EXPECT_EQ(little.name, "little");
+}
+
+TEST(Hetero, StripedLayoutAlternates) {
+  const auto layout =
+      oa::striped_layout({oa::big_core(), oa::little_core()}, 6);
+  ASSERT_EQ(layout.params.size(), 6u);
+  ASSERT_EQ(layout.labels.size(), 6u);
+  EXPECT_EQ(layout.labels[0], "big");
+  EXPECT_EQ(layout.labels[1], "little");
+  EXPECT_EQ(layout.labels[4], "big");
+  EXPECT_DOUBLE_EQ(layout.params[0].issue_width, 3.0);
+  EXPECT_DOUBLE_EQ(layout.params[1].issue_width, 1.0);
+}
+
+TEST(Hetero, ClusteredLayoutSplits) {
+  const auto layout = oa::clustered_layout(3, 8);
+  EXPECT_EQ(layout.labels[2], "big");
+  EXPECT_EQ(layout.labels[3], "little");
+  EXPECT_EQ(layout.labels[7], "little");
+}
+
+TEST(Hetero, LayoutValidation) {
+  EXPECT_THROW(oa::striped_layout({}, 4), std::invalid_argument);
+  EXPECT_THROW(oa::striped_layout({oa::big_core()}, 0),
+               std::invalid_argument);
+  EXPECT_THROW(oa::clustered_layout(5, 4), std::invalid_argument);
+  EXPECT_THROW(oa::clustered_layout(0, 0), std::invalid_argument);
+}
+
+TEST(Hetero, MaxChipPowerBetweenAllBigAndAllLittle) {
+  const oa::ChipConfig chip = oa::ChipConfig::make(8, 0.6);
+  const auto mixed = oa::clustered_layout(4, 8);
+  const auto all_big = oa::clustered_layout(8, 8);
+  const auto all_little = oa::clustered_layout(0, 8);
+  const double p_mixed = oa::hetero_max_chip_power_w(chip, mixed.params);
+  const double p_big = oa::hetero_max_chip_power_w(chip, all_big.params);
+  const double p_little =
+      oa::hetero_max_chip_power_w(chip, all_little.params);
+  EXPECT_GT(p_big, p_mixed);
+  EXPECT_GT(p_mixed, p_little);
+  EXPECT_THROW(
+      oa::hetero_max_chip_power_w(chip, std::vector<oa::CoreParams>(4)),
+      std::invalid_argument);
+}
+
+TEST(Hetero, SimulatorUsesPerCoreParams) {
+  const oa::ChipConfig chip = oa::ChipConfig::make(2, 0.6);
+  const auto layout = oa::clustered_layout(1, 2);
+  // Run both cores on the same workload at the same level: the big core
+  // must retire more instructions and draw more power.
+  os::ManyCoreSystem sys(
+      chip,
+      std::make_unique<ow::GeneratedWorkload>(
+          2, ow::benchmark_by_name("compute.dense"), 1),
+      os::SimConfig{}, layout.params);
+  const auto obs = sys.step(std::vector<std::size_t>(2, 5));
+  EXPECT_GT(obs.cores[0].ips, obs.cores[1].ips * 1.5);
+  EXPECT_GT(obs.cores[0].power_w, obs.cores[1].power_w * 1.5);
+}
+
+TEST(Hetero, PerCoreParamsSizeChecked) {
+  const oa::ChipConfig chip = oa::ChipConfig::make(4, 0.6);
+  EXPECT_THROW(os::ManyCoreSystem(
+                   chip,
+                   std::make_unique<ow::GeneratedWorkload>(
+                       ow::GeneratedWorkload::mixed_suite(4, 1)),
+                   os::SimConfig{}, oa::clustered_layout(1, 2).params),
+               std::invalid_argument);
+}
+
+TEST(Hetero, OdrlMigratesBudgetTowardBigCores) {
+  // Big and little cores all run the same compute-bound tenant; the
+  // reallocator should discover that big cores convert watts better and
+  // give them a larger share.
+  const std::size_t cores = 8;
+  const auto layout = oa::clustered_layout(4, cores);
+  oa::ChipConfig nominal = oa::ChipConfig::make(cores, 0.6);
+  const double peak = oa::hetero_max_chip_power_w(nominal, layout.params);
+  const oa::ChipConfig chip = nominal.with_tdp(0.5 * peak);
+
+  os::ManyCoreSystem sys(
+      chip,
+      std::make_unique<ow::GeneratedWorkload>(
+          cores, ow::benchmark_by_name("compute.dense"), 3),
+      os::SimConfig{}, layout.params);
+  oc::OdrlController ctl(chip);
+  auto levels = ctl.initial_levels(cores);
+  for (int e = 0; e < 4000; ++e) levels = ctl.decide(sys.step(levels));
+
+  double big_budget = 0.0;
+  double little_budget = 0.0;
+  for (std::size_t i = 0; i < cores; ++i) {
+    (layout.labels[i] == "big" ? big_budget : little_budget) +=
+        ctl.core_budgets()[i];
+  }
+  EXPECT_GT(big_budget, 1.5 * little_budget);
+}

@@ -1,0 +1,207 @@
+// End-to-end shape tests: the qualitative results the paper reports must
+// hold on full closed-loop runs -- who overshoots, who is efficient, who is
+// fast. These are the repository's regression net for the reproduction
+// itself; the bench binaries print the same quantities as tables.
+//
+// All controllers are compared on the same recorded workload trace.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "arch/chip_config.hpp"
+#include "baselines/greedy_controller.hpp"
+#include "baselines/maxbips_controller.hpp"
+#include "baselines/pid_controller.hpp"
+#include "baselines/static_uniform.hpp"
+#include "core/odrl_controller.hpp"
+#include "metrics/metrics.hpp"
+#include "sim/runner.hpp"
+#include "sim/system.hpp"
+#include "workload/workload.hpp"
+
+using namespace odrl;
+
+namespace {
+
+constexpr std::size_t kCores = 16;
+constexpr std::size_t kEpochs = 3000;
+constexpr std::size_t kWarmup = 3000;
+
+struct Runs {
+  sim::RunResult odrl;
+  sim::RunResult pid;
+  sim::RunResult greedy;
+  sim::RunResult maxbips;
+  sim::RunResult statics;
+};
+
+sim::RunResult run_controller(const arch::ChipConfig& chip,
+                              const workload::RecordedTrace& trace,
+                              sim::Controller& ctl) {
+  sim::SimConfig sc;
+  sc.sensor_noise_rel = 0.02;
+  sim::ManyCoreSystem system(
+      chip, std::make_unique<workload::ReplayWorkload>(trace), sc);
+  sim::RunConfig rc;
+  rc.epochs = kEpochs;
+  rc.warmup_epochs = kWarmup;
+  return sim::run_closed_loop(system, ctl, rc);
+}
+
+/// Computed once and shared across tests (runs are deterministic).
+const Runs& runs() {
+  static const Runs cached = [] {
+    const arch::ChipConfig chip = arch::ChipConfig::make(kCores, 0.6);
+    workload::GeneratedWorkload gen =
+        workload::GeneratedWorkload::mixed_suite(kCores, 1);
+    const workload::RecordedTrace trace = gen.record(kEpochs + kWarmup);
+
+    core::OdrlController odrl_ctl(chip);
+    baselines::PidController pid_ctl(chip);
+    baselines::GreedyController greedy_ctl(chip);
+    baselines::MaxBipsController maxbips_ctl(chip);
+    baselines::StaticUniformController static_ctl(chip);
+
+    Runs r{run_controller(chip, trace, odrl_ctl),
+           run_controller(chip, trace, pid_ctl),
+           run_controller(chip, trace, greedy_ctl),
+           run_controller(chip, trace, maxbips_ctl),
+           run_controller(chip, trace, static_ctl)};
+    return r;
+  }();
+  return cached;
+}
+
+}  // namespace
+
+// --- Overshoot shape (E2): OD-RL overshoots far less than every dynamic
+// --- baseline; static never overshoots by construction.
+
+TEST(Integration, OdrlBeatsPidOvershootByOver90Percent) {
+  EXPECT_GT(metrics::overshoot_reduction_pct(runs().odrl, runs().pid), 90.0);
+}
+
+TEST(Integration, OdrlBeatsGreedyOvershootByOver80Percent) {
+  EXPECT_GT(metrics::overshoot_reduction_pct(runs().odrl, runs().greedy),
+            80.0);
+}
+
+TEST(Integration, OdrlBeatsMaxBipsOvershoot) {
+  EXPECT_GT(metrics::overshoot_reduction_pct(runs().odrl, runs().maxbips),
+            50.0);
+}
+
+TEST(Integration, StaticNeverOvershoots) {
+  EXPECT_DOUBLE_EQ(runs().statics.otb_energy_j, 0.0);
+}
+
+TEST(Integration, OdrlSpendsAlmostNoTimeOverBudget) {
+  EXPECT_LT(runs().odrl.overshoot_time_fraction(), 0.05);
+  EXPECT_GT(runs().pid.overshoot_time_fraction(), 0.2);
+}
+
+// --- Throughput-per-OTB-energy shape (E3).
+
+TEST(Integration, OdrlTpobeSeveralFoldOverGreedy) {
+  EXPECT_GT(metrics::tpobe_ratio(runs().odrl, runs().greedy), 5.0);
+}
+
+TEST(Integration, OdrlTpobeOrderOfMagnitudeOverPid) {
+  EXPECT_GT(metrics::tpobe_ratio(runs().odrl, runs().pid), 30.0);
+}
+
+// --- Energy-efficiency shape (E4): OD-RL beats the budget-filling
+// --- optimizers on BIPS/W.
+
+TEST(Integration, OdrlMoreEfficientThanMaxBips) {
+  EXPECT_GT(metrics::efficiency_gain_pct(runs().odrl, runs().maxbips), 3.0);
+}
+
+TEST(Integration, OdrlMoreEfficientThanPid) {
+  EXPECT_GT(metrics::efficiency_gain_pct(runs().odrl, runs().pid), 5.0);
+}
+
+// --- Throughput shape: OD-RL clearly beats worst-case provisioning and is
+// --- within striking distance of the (overshooting) global optimizers.
+
+TEST(Integration, OdrlThroughputBeatsStatic) {
+  EXPECT_GT(runs().odrl.bips(), runs().statics.bips() * 1.05);
+}
+
+TEST(Integration, OdrlThroughputWithin15PercentOfMaxBips) {
+  EXPECT_GT(runs().odrl.bips(), runs().maxbips.bips() * 0.85);
+}
+
+// --- Power discipline: mean power respects the budget for OD-RL/static.
+
+TEST(Integration, OdrlMeanPowerUnderBudget) {
+  const double tdp = arch::ChipConfig::make(kCores, 0.6).tdp_w();
+  EXPECT_LT(runs().odrl.mean_power_w, tdp);
+  EXPECT_GT(runs().odrl.mean_power_w, 0.5 * tdp);  // and not sandbagging
+}
+
+// --- Decision-latency shape (E5 at a fixed size): MaxBIPS is orders of
+// --- magnitude slower than OD-RL already at 16 cores.
+
+TEST(Integration, OdrlDecidesFasterThanGreedy) {
+  EXPECT_GT(metrics::decision_speedup(runs().odrl, runs().greedy), 2.0);
+}
+
+TEST(Integration, MaxBipsAtLeastFiftyTimesSlowerThanOdrl) {
+  EXPECT_GT(metrics::decision_speedup(runs().odrl, runs().maxbips), 50.0);
+}
+
+// --- Thermal sanity: respecting the TDP keeps silicon inside the junction
+// --- envelope.
+
+TEST(Integration, OdrlCausesNoThermalViolations) {
+  EXPECT_EQ(runs().odrl.thermal_violation_epochs, 0u);
+}
+
+// --- Full-run determinism: identical seeds give identical results.
+
+TEST(Integration, ClosedLoopRunsAreReproducible) {
+  const arch::ChipConfig chip = arch::ChipConfig::make(8, 0.6);
+  auto once = [&] {
+    workload::GeneratedWorkload gen =
+        workload::GeneratedWorkload::mixed_suite(8, 3);
+    const workload::RecordedTrace trace = gen.record(500);
+    core::OdrlController ctl(chip);
+    sim::ManyCoreSystem system(
+        chip, std::make_unique<workload::ReplayWorkload>(trace));
+    sim::RunConfig rc;
+    rc.epochs = 500;
+    return sim::run_closed_loop(system, ctl, rc);
+  };
+  const auto a = once();
+  const auto b = once();
+  EXPECT_DOUBLE_EQ(a.total_instructions, b.total_instructions);
+  EXPECT_DOUBLE_EQ(a.total_energy_j, b.total_energy_j);
+  EXPECT_DOUBLE_EQ(a.otb_energy_j, b.otb_energy_j);
+  EXPECT_EQ(a.chip_power_trace, b.chip_power_trace);
+}
+
+// --- Power-cap event: the whole closed loop adapts to a RAPL-style drop.
+
+TEST(Integration, SystemAdaptsToPowerCapDrop) {
+  const arch::ChipConfig chip = arch::ChipConfig::make(kCores, 0.7);
+  workload::GeneratedWorkload gen =
+      workload::GeneratedWorkload::mixed_suite(kCores, 11);
+  core::OdrlController ctl(chip);
+  sim::ManyCoreSystem system(
+      chip, std::make_unique<workload::GeneratedWorkload>(std::move(gen)));
+  sim::RunConfig rc;
+  rc.epochs = 6000;
+  rc.warmup_epochs = 2000;
+  rc.budget_events = {{3000, chip.tdp_w() * 0.6}};
+  const auto r = sim::run_closed_loop(system, ctl, rc);
+
+  double before = 0.0;
+  double after = 0.0;
+  for (std::size_t e = 2000; e < 3000; ++e) before += r.chip_power_trace[e];
+  for (std::size_t e = 5000; e < 6000; ++e) after += r.chip_power_trace[e];
+  before /= 1000.0;
+  after /= 1000.0;
+  EXPECT_LT(after, before);
+  EXPECT_LT(after, chip.tdp_w() * 0.6 * 1.05);
+}

@@ -1,0 +1,139 @@
+// Tests for the shared-DRAM bandwidth contention model and its coupling
+// into the system simulator.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "arch/chip_config.hpp"
+#include "mem/dram_model.hpp"
+#include "sim/system.hpp"
+#include "workload/workload.hpp"
+
+namespace om = odrl::mem;
+namespace oa = odrl::arch;
+namespace os = odrl::sim;
+namespace ow = odrl::workload;
+
+TEST(DramModel, DisabledIsIdentity) {
+  const om::DramModel m(om::DramConfig{});
+  EXPECT_FALSE(m.enabled());
+  EXPECT_DOUBLE_EQ(m.utilization(1e12), 0.0);
+  EXPECT_DOUBLE_EQ(m.solve_multiplier([](double) { return 1e12; }), 1.0);
+}
+
+TEST(DramModel, QueueMultiplierShape) {
+  om::DramConfig cfg;
+  cfg.peak_gbps = 10.0;
+  const om::DramModel m(cfg);
+  EXPECT_DOUBLE_EQ(m.queue_multiplier(0.0), 1.0);
+  // Monotone increasing.
+  double prev = 1.0;
+  for (double u : {0.2, 0.4, 0.6, 0.8, 0.9}) {
+    const double mult = m.queue_multiplier(u);
+    EXPECT_GT(mult, prev);
+    prev = mult;
+  }
+  // Exact M/D/1 value at u = 0.5: 1 + 0.25/1 = 1.25.
+  EXPECT_NEAR(m.queue_multiplier(0.5), 1.25, 1e-12);
+  // Clamped at max_utilization.
+  EXPECT_DOUBLE_EQ(m.queue_multiplier(0.99), m.queue_multiplier(10.0));
+  EXPECT_THROW(m.queue_multiplier(-0.1), std::invalid_argument);
+}
+
+TEST(DramModel, UtilizationClampsAndValidates) {
+  om::DramConfig cfg;
+  cfg.peak_gbps = 10.0;
+  cfg.max_utilization = 0.9;
+  const om::DramModel m(cfg);
+  EXPECT_NEAR(m.utilization(5e9), 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(m.utilization(100e9), 0.9);  // clamp
+  EXPECT_THROW(m.utilization(-1.0), std::invalid_argument);
+}
+
+TEST(DramModel, ConfigValidation) {
+  om::DramConfig cfg;
+  cfg.peak_gbps = -1.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = {};
+  cfg.line_bytes = 0.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = {};
+  cfg.max_utilization = 1.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = {};
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(DramModel, FixedPointConvergesAndIsConsistent) {
+  om::DramConfig cfg;
+  cfg.peak_gbps = 8.0;
+  const om::DramModel m(cfg);
+  // Traffic decreasing in the multiplier (as the CPI model guarantees).
+  auto traffic_at = [](double mult) { return 12e9 / mult; };
+  const double solved = m.solve_multiplier(traffic_at);
+  EXPECT_GT(solved, 1.0);
+  // The solution satisfies its own equation.
+  const double check = m.queue_multiplier(m.utilization(traffic_at(solved)));
+  EXPECT_NEAR(solved, check, 1e-3);
+}
+
+TEST(DramModel, LightLoadLeavesLatencyAlone) {
+  om::DramConfig cfg;
+  cfg.peak_gbps = 1000.0;  // effectively infinite
+  const om::DramModel m(cfg);
+  const double solved = m.solve_multiplier([](double) { return 1e9; });
+  EXPECT_NEAR(solved, 1.0, 1e-3);
+}
+
+// ---- system coupling
+
+namespace {
+os::ManyCoreSystem memory_heavy_system(double peak_gbps) {
+  const oa::ChipConfig chip = oa::ChipConfig::make(16, 0.9);
+  os::SimConfig sc;
+  sc.dram.peak_gbps = peak_gbps;
+  return os::ManyCoreSystem(
+      chip,
+      std::make_unique<ow::GeneratedWorkload>(
+          16, ow::benchmark_by_name("memory.stream"), 1),
+      sc);
+}
+}  // namespace
+
+TEST(DramContention, ThrottlesMemoryHeavyChips) {
+  auto contended = memory_heavy_system(20.0);
+  auto unlimited = memory_heavy_system(0.0);
+  const std::vector<std::size_t> levels(16, 7);
+  const auto obs_c = contended.step(levels);
+  const auto obs_u = unlimited.step(levels);
+  EXPECT_GT(obs_c.mem_latency_mult, 1.05);
+  EXPECT_GT(obs_c.dram_utilization, 0.5);
+  EXPECT_LT(obs_c.total_ips, obs_u.total_ips);
+  EXPECT_DOUBLE_EQ(obs_u.mem_latency_mult, 1.0);
+  EXPECT_DOUBLE_EQ(obs_u.dram_utilization, 0.0);
+}
+
+TEST(DramContention, GenerousBandwidthIsTransparent) {
+  auto generous = memory_heavy_system(10000.0);
+  auto unlimited = memory_heavy_system(0.0);
+  const std::vector<std::size_t> levels(16, 7);
+  const auto obs_g = generous.step(levels);
+  const auto obs_u = unlimited.step(levels);
+  EXPECT_NEAR(obs_g.total_ips, obs_u.total_ips, obs_u.total_ips * 1e-3);
+}
+
+TEST(DramContention, FrequencyBuysLessUnderContention) {
+  // The coupling DVFS controllers face: with a saturated memory system,
+  // raising frequency buys even less than the CPI stack alone predicts.
+  auto make = [](double peak) {
+    return memory_heavy_system(peak);
+  };
+  auto gain = [&](double peak) {
+    auto lo_sys = make(peak);
+    auto hi_sys = make(peak);
+    const auto lo = lo_sys.step(std::vector<std::size_t>(16, 0));
+    const auto hi = hi_sys.step(std::vector<std::size_t>(16, 7));
+    return hi.total_ips / lo.total_ips;
+  };
+  EXPECT_LT(gain(20.0), gain(0.0));
+}

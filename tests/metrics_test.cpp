@@ -1,0 +1,89 @@
+// Tests for the evaluation-metric layer.
+#include <gtest/gtest.h>
+
+#include "metrics/metrics.hpp"
+
+namespace om = odrl::metrics;
+namespace os = odrl::sim;
+
+namespace {
+os::RunResult make_run(double instructions, double otb_j, double mean_w,
+                       double decision_us_total, std::size_t epochs = 1000) {
+  os::RunResult r;
+  r.controller_name = "X";
+  r.epochs = epochs;
+  r.epoch_s = 1e-3;
+  r.total_instructions = instructions;
+  r.otb_energy_j = otb_j;
+  r.mean_power_w = mean_w;
+  r.total_energy_j = mean_w * r.elapsed_s();
+  r.decisions = epochs;
+  r.decision_time_s = decision_us_total * 1e-6;
+  return r;
+}
+}  // namespace
+
+TEST(Metrics, TpobeBasic) {
+  const auto r = make_run(1e9, 2.0, 50.0, 100.0);
+  EXPECT_DOUBLE_EQ(om::tpobe(r), 5e8);
+}
+
+TEST(Metrics, TpobeFloorsZeroOvershoot) {
+  const auto r = make_run(1e9, 0.0, 50.0, 100.0);
+  EXPECT_DOUBLE_EQ(om::tpobe(r), 1e9 / 1e-3);
+  EXPECT_DOUBLE_EQ(om::tpobe(r, 1.0), 1e9);
+  EXPECT_THROW(om::tpobe(r, 0.0), std::invalid_argument);
+}
+
+TEST(Metrics, OvershootReduction) {
+  const auto ours = make_run(1e9, 0.1, 50.0, 100.0);
+  const auto base = make_run(1e9, 10.0, 50.0, 100.0);
+  EXPECT_NEAR(om::overshoot_reduction_pct(ours, base), 99.0, 1e-9);
+  // Symmetric direction: more overshoot -> negative reduction.
+  EXPECT_LT(om::overshoot_reduction_pct(base, ours), 0.0);
+  // Both clean: 0%.
+  const auto clean = make_run(1e9, 0.0, 50.0, 100.0);
+  EXPECT_DOUBLE_EQ(om::overshoot_reduction_pct(clean, clean), 0.0);
+}
+
+TEST(Metrics, TpobeRatio) {
+  const auto ours = make_run(1e9, 0.5, 50.0, 100.0);
+  const auto base = make_run(1e9, 5.0, 50.0, 100.0);
+  EXPECT_NEAR(om::tpobe_ratio(ours, base), 10.0, 1e-9);
+}
+
+TEST(Metrics, EfficiencyGain) {
+  const auto ours = make_run(2e9, 0.0, 50.0, 100.0);   // 2 BIPS @ 50 W
+  const auto base = make_run(1.6e9, 0.0, 50.0, 100.0);  // 1.6 BIPS @ 50 W
+  EXPECT_NEAR(om::efficiency_gain_pct(ours, base), 25.0, 1e-9);
+}
+
+TEST(Metrics, DecisionSpeedup) {
+  const auto fast = make_run(1e9, 0.0, 50.0, 100.0);
+  const auto slow = make_run(1e9, 0.0, 50.0, 10000.0);
+  EXPECT_NEAR(om::decision_speedup(fast, slow), 100.0, 1e-9);
+}
+
+TEST(Metrics, SummaryFields) {
+  auto r = make_run(3e9, 1.5, 60.0, 500.0);
+  r.time_over_s = 0.25;
+  r.peak_overshoot_w = 7.0;
+  const auto s = om::summarize(r);
+  EXPECT_EQ(s.controller, "X");
+  EXPECT_NEAR(s.bips, 3.0, 1e-9);
+  EXPECT_DOUBLE_EQ(s.mean_power_w, 60.0);
+  EXPECT_DOUBLE_EQ(s.otb_energy_j, 1.5);
+  EXPECT_NEAR(s.overshoot_time_pct, 25.0, 1e-9);
+  EXPECT_DOUBLE_EQ(s.peak_overshoot_w, 7.0);
+  EXPECT_NEAR(s.bips_per_watt, 0.05, 1e-12);
+  EXPECT_NEAR(s.decision_us, 0.5, 1e-12);
+}
+
+TEST(Metrics, ComparisonTableRendersAllRuns) {
+  const os::RunResult runs[] = {make_run(1e9, 0.0, 50.0, 100.0),
+                                make_run(2e9, 1.0, 60.0, 200.0)};
+  const auto table = om::comparison_table(runs);
+  EXPECT_EQ(table.row_count(), 2u);
+  const std::string out = table.render("t");
+  EXPECT_NE(out.find("BIPS/W"), std::string::npos);
+}

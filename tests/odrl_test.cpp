@@ -1,0 +1,289 @@
+// Tests for the OD-RL controller: API contracts, learning behaviour on
+// controlled single-core scenarios, budget-event handling, and both action
+// modes. Longer multi-controller shape checks live in integration_test.cpp.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "arch/chip_config.hpp"
+#include "core/odrl_controller.hpp"
+#include "sim/runner.hpp"
+#include "sim/system.hpp"
+#include "workload/workload.hpp"
+
+namespace oc = odrl::core;
+namespace os = odrl::sim;
+namespace oa = odrl::arch;
+namespace ow = odrl::workload;
+
+namespace {
+
+os::ManyCoreSystem single_core_system(const char* bench, double frac) {
+  const oa::ChipConfig chip = oa::ChipConfig::make(1, frac);
+  return os::ManyCoreSystem(
+      chip, std::make_unique<ow::GeneratedWorkload>(
+                1, ow::benchmark_by_name(bench), 1));
+}
+
+/// Runs a controller loop and returns mean chip power over the last
+/// `tail` epochs.
+double tail_mean_power(os::ManyCoreSystem& sys, os::Controller& ctl,
+                       std::size_t epochs, std::size_t tail) {
+  auto levels = ctl.initial_levels(sys.n_cores());
+  double sum = 0.0;
+  std::size_t counted = 0;
+  for (std::size_t e = 0; e < epochs; ++e) {
+    const auto obs = sys.step(levels);
+    levels = ctl.decide(obs);
+    if (e + tail >= epochs) {
+      sum += obs.true_chip_power_w;
+      ++counted;
+    }
+  }
+  return sum / static_cast<double>(counted);
+}
+
+}  // namespace
+
+TEST(OdrlController, ApiContracts) {
+  const oa::ChipConfig chip = oa::ChipConfig::make(8, 0.6);
+  oc::OdrlController ctl(chip);
+  EXPECT_EQ(ctl.name(), "OD-RL");
+  const auto init = ctl.initial_levels(8);
+  EXPECT_EQ(init.size(), 8u);
+  for (auto l : init) EXPECT_LT(l, chip.vf_table().size());
+  EXPECT_THROW(ctl.initial_levels(4), std::invalid_argument);
+  EXPECT_EQ(ctl.core_budgets().size(), 8u);
+  EXPECT_THROW(ctl.agent(8), std::out_of_range);
+  EXPECT_THROW(ctl.last_state(8), std::out_of_range);
+  EXPECT_THROW(ctl.on_budget_change(0.0), std::invalid_argument);
+}
+
+TEST(OdrlController, DecideReturnsValidLevels) {
+  const oa::ChipConfig chip = oa::ChipConfig::make(4, 0.6);
+  os::ManyCoreSystem sys(chip, std::make_unique<ow::GeneratedWorkload>(
+                                   ow::GeneratedWorkload::mixed_suite(4, 2)));
+  oc::OdrlController ctl(chip);
+  auto levels = ctl.initial_levels(4);
+  for (int e = 0; e < 200; ++e) {
+    const auto obs = sys.step(levels);
+    levels = ctl.decide(obs);
+    ASSERT_EQ(levels.size(), 4u);
+    for (auto l : levels) EXPECT_LT(l, chip.vf_table().size());
+  }
+}
+
+TEST(OdrlController, RelativeActionsMoveAtMostOneLevel) {
+  const oa::ChipConfig chip = oa::ChipConfig::make(4, 0.6);
+  os::ManyCoreSystem sys(chip, std::make_unique<ow::GeneratedWorkload>(
+                                   ow::GeneratedWorkload::mixed_suite(4, 2)));
+  oc::OdrlConfig cfg;
+  cfg.action_mode = oc::ActionMode::kRelative;
+  oc::OdrlController ctl(chip, cfg);
+  auto levels = ctl.initial_levels(4);
+  for (int e = 0; e < 300; ++e) {
+    const auto obs = sys.step(levels);
+    const auto next = ctl.decide(obs);
+    for (std::size_t i = 0; i < 4; ++i) {
+      const auto diff = next[i] > levels[i] ? next[i] - levels[i]
+                                            : levels[i] - next[i];
+      EXPECT_LE(diff, 1u) << "core " << i << " epoch " << e;
+    }
+    levels = next;
+  }
+}
+
+TEST(OdrlController, ComputeBoundCoreConvergesNearBudget) {
+  auto sys = single_core_system("compute.dense", 0.6);
+  oc::OdrlController ctl(sys.config());
+  const double power = tail_mean_power(sys, ctl, 6000, 1000);
+  // The single agent should fill most of the (single-core) TDP without
+  // sitting above it.
+  EXPECT_GT(power, 0.55 * sys.config().tdp_w());
+  EXPECT_LT(power, 1.1 * sys.config().tdp_w());
+}
+
+TEST(OdrlController, MemoryBoundCoreDrawsLessThanComputeBound) {
+  auto mem_sys = single_core_system("memory.pointer", 0.9);
+  auto cpu_sys = single_core_system("compute.dense", 0.9);
+  oc::OdrlController mem_ctl(mem_sys.config());
+  oc::OdrlController cpu_ctl(cpu_sys.config());
+  const double mem_power = tail_mean_power(mem_sys, mem_ctl, 4000, 500);
+  const double cpu_power = tail_mean_power(cpu_sys, cpu_ctl, 4000, 500);
+  EXPECT_LT(mem_power, cpu_power);
+}
+
+TEST(OdrlController, BudgetsAlwaysSumToVirtualBudget) {
+  const oa::ChipConfig chip = oa::ChipConfig::make(8, 0.6);
+  os::ManyCoreSystem sys(chip, std::make_unique<ow::GeneratedWorkload>(
+                                   ow::GeneratedWorkload::mixed_suite(8, 4)));
+  oc::OdrlController ctl(chip);
+  auto levels = ctl.initial_levels(8);
+  for (int e = 0; e < 500; ++e) {
+    const auto obs = sys.step(levels);
+    levels = ctl.decide(obs);
+    double sum = 0.0;
+    for (double b : ctl.core_budgets()) {
+      EXPECT_GT(b, 0.0);
+      sum += b;
+    }
+    // Budgets track mu * TDP, but only exactly right after a reallocation
+    // (blending in between); bound loosely by the mu clamp range.
+    EXPECT_GT(sum, 0.5 * chip.tdp_w());
+    EXPECT_LT(sum, 2.5 * chip.tdp_w());
+  }
+  EXPECT_GT(ctl.realloc_count(), 0u);
+}
+
+TEST(OdrlController, BudgetDropRescalesAllocationsImmediately) {
+  const oa::ChipConfig chip = oa::ChipConfig::make(8, 0.6);
+  oc::OdrlController ctl(chip);
+  const std::vector<double> before(ctl.core_budgets().begin(),
+                                   ctl.core_budgets().end());
+  ctl.on_budget_change(chip.tdp_w() * 0.5);
+  const auto after = ctl.core_budgets();
+  for (std::size_t i = 0; i < after.size(); ++i) {
+    EXPECT_NEAR(after[i], before[i] * 0.5, 1e-9);
+  }
+}
+
+TEST(OdrlController, AdaptsToBudgetDropInClosedLoop) {
+  const oa::ChipConfig chip = oa::ChipConfig::make(8, 0.7);
+  os::ManyCoreSystem sys(chip, std::make_unique<ow::GeneratedWorkload>(
+                                   ow::GeneratedWorkload::mixed_suite(8, 6)));
+  oc::OdrlController ctl(chip);
+  os::RunConfig cfg;
+  cfg.epochs = 6000;
+  cfg.warmup_epochs = 2000;
+  cfg.budget_events = {{3000, chip.tdp_w() * 0.5}};
+  const auto r = os::run_closed_loop(sys, ctl, cfg);
+  // Mean power over the last quarter (well after the drop) must be under
+  // the reduced budget plus a small tolerance.
+  double tail = 0.0;
+  for (std::size_t e = 5000; e < 6000; ++e) tail += r.chip_power_trace[e];
+  tail /= 1000.0;
+  EXPECT_LT(tail, chip.tdp_w() * 0.5 * 1.05);
+}
+
+TEST(OdrlController, ResetClearsLearnedState) {
+  const oa::ChipConfig chip = oa::ChipConfig::make(4, 0.6);
+  os::ManyCoreSystem sys(chip, std::make_unique<ow::GeneratedWorkload>(
+                                   ow::GeneratedWorkload::mixed_suite(4, 2)));
+  oc::OdrlController ctl(chip);
+  auto levels = ctl.initial_levels(4);
+  for (int e = 0; e < 300; ++e) levels = ctl.decide(sys.step(levels));
+  EXPECT_GT(ctl.agent(0).updates(), 0u);
+  ctl.reset();
+  EXPECT_EQ(ctl.agent(0).updates(), 0u);
+  EXPECT_EQ(ctl.realloc_count(), 0u);
+  EXPECT_DOUBLE_EQ(ctl.overcommit_mu(), 1.0);
+  const auto budgets = ctl.core_budgets();
+  for (double b : budgets) {
+    EXPECT_NEAR(b, chip.tdp_w() / 4.0, 1e-9);
+  }
+}
+
+TEST(OdrlController, AbsoluteActionModeWorks) {
+  const oa::ChipConfig chip = oa::ChipConfig::make(4, 0.6);
+  os::ManyCoreSystem sys(chip, std::make_unique<ow::GeneratedWorkload>(
+                                   ow::GeneratedWorkload::mixed_suite(4, 2)));
+  oc::OdrlConfig cfg;
+  cfg.action_mode = oc::ActionMode::kAbsolute;
+  oc::OdrlController ctl(chip, cfg);
+  auto levels = ctl.initial_levels(4);
+  for (int e = 0; e < 300; ++e) {
+    const auto obs = sys.step(levels);
+    levels = ctl.decide(obs);
+    for (auto l : levels) EXPECT_LT(l, chip.vf_table().size());
+  }
+  // Absolute mode keeps the level in the state: bigger table.
+  EXPECT_EQ(ctl.agent(0).table().n_actions(), chip.vf_table().size());
+}
+
+TEST(OdrlController, GlobalReallocOffKeepsFairShares) {
+  const oa::ChipConfig chip = oa::ChipConfig::make(4, 0.6);
+  os::ManyCoreSystem sys(chip, std::make_unique<ow::GeneratedWorkload>(
+                                   ow::GeneratedWorkload::mixed_suite(4, 2)));
+  oc::OdrlConfig cfg;
+  cfg.global_realloc = false;
+  oc::OdrlController ctl(chip, cfg);
+  auto levels = ctl.initial_levels(4);
+  for (int e = 0; e < 300; ++e) levels = ctl.decide(sys.step(levels));
+  EXPECT_EQ(ctl.realloc_count(), 0u);
+  for (double b : ctl.core_budgets()) {
+    EXPECT_NEAR(b, chip.tdp_w() / 4.0, 1e-9);
+  }
+}
+
+TEST(OdrlController, DeterministicForSameSeed) {
+  const oa::ChipConfig chip = oa::ChipConfig::make(4, 0.6);
+  auto run = [&](std::uint64_t seed) {
+    os::ManyCoreSystem sys(chip,
+                           std::make_unique<ow::GeneratedWorkload>(
+                               ow::GeneratedWorkload::mixed_suite(4, 2)));
+    oc::OdrlConfig cfg;
+    cfg.seed = seed;
+    oc::OdrlController ctl(chip, cfg);
+    auto levels = ctl.initial_levels(4);
+    std::vector<std::size_t> history;
+    for (int e = 0; e < 200; ++e) {
+      levels = ctl.decide(sys.step(levels));
+      history.insert(history.end(), levels.begin(), levels.end());
+    }
+    return history;
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));
+}
+
+TEST(OdrlController, ThermalAwareRewardLowersHotCorePower) {
+  // A chip with a tight junction limit and a generous power budget: without
+  // the thermal term the agent runs the compute core hot; with it the agent
+  // backs off even though watts are available.
+  oa::ThermalParams thermal;
+  thermal.r_vertical_c_per_w = 4.0;  // poor heatsink: hot at high power
+  const oa::VfTable table = oa::VfTable::default_table();
+  const oa::ChipConfig chip(1, table, /*tdp_w=*/12.0, {}, thermal);
+
+  auto run_power = [&](double weight) {
+    os::ManyCoreSystem sys(chip, std::make_unique<ow::GeneratedWorkload>(
+                                     1, ow::benchmark_by_name("compute.dense"),
+                                     1));
+    oc::OdrlConfig cfg;
+    cfg.thermal_weight = weight;
+    cfg.thermal_safe_c = 60.0;
+    oc::OdrlController ctl(chip, cfg);
+    return tail_mean_power(sys, ctl, 5000, 1000);
+  };
+
+  const double without = run_power(0.0);
+  const double with = run_power(3.0);
+  EXPECT_LT(with, without * 0.9);
+}
+
+TEST(OdrlConfig, Validation) {
+  const oa::ChipConfig chip = oa::ChipConfig::make(2, 0.6);
+  oc::OdrlConfig cfg;
+  cfg.headroom_bins = 1;
+  EXPECT_THROW(oc::OdrlController(chip, cfg), std::invalid_argument);
+  cfg = {};
+  cfg.lambda = -1.0;
+  EXPECT_THROW(oc::OdrlController(chip, cfg), std::invalid_argument);
+  cfg = {};
+  cfg.kappa = -0.1;
+  EXPECT_THROW(oc::OdrlController(chip, cfg), std::invalid_argument);
+  cfg = {};
+  cfg.realloc_period = 0;
+  EXPECT_THROW(oc::OdrlController(chip, cfg), std::invalid_argument);
+  cfg = {};
+  cfg.target_fill = 1.5;
+  EXPECT_THROW(oc::OdrlController(chip, cfg), std::invalid_argument);
+  cfg = {};
+  cfg.budget_blend = 0.0;
+  EXPECT_THROW(oc::OdrlController(chip, cfg), std::invalid_argument);
+  cfg = {};
+  cfg.target_utilization = 0.0;
+  EXPECT_THROW(oc::OdrlController(chip, cfg), std::invalid_argument);
+  cfg = {};
+  EXPECT_NO_THROW(oc::OdrlController(chip, cfg));
+}

@@ -1,0 +1,151 @@
+// Unit and property tests for the epoch-level performance model. The
+// properties here are load-bearing for the whole evaluation: the CPI stack
+// must make memory-bound phases frequency-insensitive and compute-bound
+// phases frequency-proportional, or no controller comparison means anything.
+#include <gtest/gtest.h>
+
+#include "perf/perf_model.hpp"
+
+namespace op = odrl::perf;
+namespace ow = odrl::workload;
+namespace oa = odrl::arch;
+
+namespace {
+ow::PhaseSample compute_phase() { return {.base_cpi = 0.5, .mpki = 0.0,
+                                          .activity = 0.9}; }
+ow::PhaseSample memory_phase() { return {.base_cpi = 0.8, .mpki = 30.0,
+                                         .activity = 0.5}; }
+}  // namespace
+
+TEST(PerfModel, PureComputeIpsIsLinearInFrequency) {
+  const op::PerfModel m(oa::CoreParams{});
+  const auto phase = compute_phase();
+  const double ips1 = m.ips(phase, 1.0);
+  const double ips2 = m.ips(phase, 2.0);
+  const double ips3 = m.ips(phase, 3.0);
+  EXPECT_NEAR(ips2 / ips1, 2.0, 1e-9);
+  EXPECT_NEAR(ips3 / ips1, 3.0, 1e-9);
+}
+
+TEST(PerfModel, PureComputeCpiEqualsBaseCpi) {
+  const op::PerfModel m(oa::CoreParams{});
+  EXPECT_DOUBLE_EQ(m.effective_cpi(compute_phase(), 2.0), 0.5);
+}
+
+TEST(PerfModel, IssueWidthFloorsCpi) {
+  oa::CoreParams params;
+  params.issue_width = 2.0;
+  const op::PerfModel m(params);
+  ow::PhaseSample phase{.base_cpi = 0.1, .mpki = 0.0, .activity = 0.9};
+  EXPECT_DOUBLE_EQ(m.effective_cpi(phase, 1.0), 0.5);  // 1/issue_width
+}
+
+TEST(PerfModel, MemoryBoundIpsSaturates) {
+  const op::PerfModel m(oa::CoreParams{});
+  const auto phase = memory_phase();
+  const double ips1 = m.ips(phase, 1.0);
+  const double ips3 = m.ips(phase, 3.0);
+  // Tripling frequency must buy far less than 3x.
+  EXPECT_LT(ips3 / ips1, 1.5);
+  EXPECT_GT(ips3 / ips1, 1.0);  // but still monotone
+}
+
+TEST(PerfModel, MemStallFractionOrdering) {
+  const op::PerfModel m(oa::CoreParams{});
+  EXPECT_LT(m.mem_stall_fraction(compute_phase(), 2.0), 0.01);
+  EXPECT_GT(m.mem_stall_fraction(memory_phase(), 2.0), 0.5);
+}
+
+TEST(PerfModel, StallFractionGrowsWithFrequency) {
+  const op::PerfModel m(oa::CoreParams{});
+  const auto phase = memory_phase();
+  EXPECT_LT(m.mem_stall_fraction(phase, 1.0),
+            m.mem_stall_fraction(phase, 3.0));
+}
+
+TEST(PerfModel, SensitivityIsComplementOfStall) {
+  const op::PerfModel m(oa::CoreParams{});
+  for (double f : {1.0, 1.5, 2.0, 3.0}) {
+    const auto phase = memory_phase();
+    EXPECT_NEAR(m.frequency_sensitivity(phase, f),
+                1.0 - m.mem_stall_fraction(phase, f), 1e-12);
+  }
+}
+
+TEST(PerfModel, SensitivityMatchesNumericalDerivative) {
+  // s = dIPS/df * f/IPS: check against a finite difference.
+  const op::PerfModel m(oa::CoreParams{});
+  const auto phase = memory_phase();
+  const double f = 2.0;
+  const double h = 1e-6;
+  const double ips = m.ips(phase, f);
+  const double dips = (m.ips(phase, f + h) - m.ips(phase, f - h)) / (2 * h);
+  EXPECT_NEAR(m.frequency_sensitivity(phase, f), dips * f / ips, 1e-6);
+}
+
+TEST(PerfModel, EpochInstructionsScaleWithDuration) {
+  const op::PerfModel m(oa::CoreParams{});
+  const auto phase = compute_phase();
+  const auto e1 = m.epoch(phase, 2.0, 1e-3);
+  const auto e2 = m.epoch(phase, 2.0, 2e-3);
+  EXPECT_NEAR(e2.instructions, 2.0 * e1.instructions, 1e-6);
+  EXPECT_DOUBLE_EQ(e1.ips, e2.ips);
+}
+
+TEST(PerfModel, EpochFieldsConsistent) {
+  const op::PerfModel m(oa::CoreParams{});
+  const auto phase = memory_phase();
+  const auto e = m.epoch(phase, 2.5, 1e-3);
+  EXPECT_NEAR(e.ips, 2.5e9 / e.cpi, 1e-3);
+  EXPECT_NEAR(e.instructions, e.ips * 1e-3, 1e-6);
+  EXPECT_NEAR(e.mem_stall_frac, m.mem_stall_fraction(phase, 2.5), 1e-12);
+}
+
+TEST(PerfModel, MemOverlapReducesStallCost) {
+  oa::CoreParams overlap_params;
+  overlap_params.mem_overlap = 0.6;
+  oa::CoreParams no_overlap_params;
+  no_overlap_params.mem_overlap = 0.0;
+  const op::PerfModel with_overlap(overlap_params);
+  const op::PerfModel without(no_overlap_params);
+  const auto phase = memory_phase();
+  EXPECT_GT(with_overlap.ips(phase, 2.0), without.ips(phase, 2.0));
+}
+
+TEST(PerfModel, InvalidArgumentsThrow) {
+  const op::PerfModel m(oa::CoreParams{});
+  EXPECT_THROW(m.effective_cpi(compute_phase(), 0.0), std::invalid_argument);
+  EXPECT_THROW(m.epoch(compute_phase(), 2.0, 0.0), std::invalid_argument);
+}
+
+// Property sweep: across the whole (mpki, frequency) grid, IPS must be
+// strictly increasing in f and strictly decreasing in mpki, and stall must
+// stay in [0, 1).
+class PerfGrid
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(PerfGrid, MonotoneAndBounded) {
+  const auto [mpki, f] = GetParam();
+  const op::PerfModel m(oa::CoreParams{});
+  ow::PhaseSample phase{.base_cpi = 0.8, .mpki = mpki, .activity = 0.7};
+
+  const double ips = m.ips(phase, f);
+  EXPECT_GT(ips, 0.0);
+
+  // Monotone in frequency.
+  EXPECT_GT(m.ips(phase, f + 0.1), ips);
+
+  // Monotone (decreasing) in memory intensity.
+  ow::PhaseSample heavier = phase;
+  heavier.mpki = mpki + 1.0;
+  EXPECT_LT(m.ips(heavier, f), ips);
+
+  const double stall = m.mem_stall_fraction(phase, f);
+  EXPECT_GE(stall, 0.0);
+  EXPECT_LT(stall, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PerfGrid,
+    ::testing::Combine(::testing::Values(0.0, 0.5, 2.0, 8.0, 30.0),
+                       ::testing::Values(1.0, 1.571, 2.143, 3.0)));

@@ -1,0 +1,142 @@
+// Unit and property tests for the power model and energy accounting.
+#include <gtest/gtest.h>
+
+#include "arch/vf_table.hpp"
+#include "power/energy.hpp"
+#include "power/power_model.hpp"
+
+namespace opw = odrl::power;
+namespace oa = odrl::arch;
+namespace ow = odrl::workload;
+
+namespace {
+ow::PhaseSample phase_with_activity(double activity) {
+  return {.base_cpi = 1.0, .mpki = 5.0, .activity = activity};
+}
+}  // namespace
+
+TEST(PowerModel, BreakdownSumsToTotal) {
+  const opw::PowerModel m(oa::CoreParams{});
+  const auto b = m.core_power({1.0, 2.0}, phase_with_activity(0.8), 85.0);
+  EXPECT_NEAR(b.total_w(), b.dynamic_w + b.leakage_w + b.uncore_w, 1e-12);
+  EXPECT_GT(b.dynamic_w, 0.0);
+  EXPECT_GT(b.leakage_w, 0.0);
+  EXPECT_GT(b.uncore_w, 0.0);
+}
+
+TEST(PowerModel, DynamicScalesWithActivity) {
+  const opw::PowerModel m(oa::CoreParams{});
+  const auto lo = m.core_power_at({1.0, 2.0}, 0.4, 85.0);
+  const auto hi = m.core_power_at({1.0, 2.0}, 0.8, 85.0);
+  EXPECT_NEAR(hi.dynamic_w, 2.0 * lo.dynamic_w, 1e-12);
+  EXPECT_DOUBLE_EQ(hi.leakage_w, lo.leakage_w);  // activity-independent
+}
+
+TEST(PowerModel, IdleIsLeakagePlusUncore) {
+  const opw::PowerModel m(oa::CoreParams{});
+  const oa::VfPoint vf{0.9, 1.5};
+  const auto b = m.core_power_at(vf, 0.0, 70.0);
+  EXPECT_DOUBLE_EQ(b.dynamic_w, 0.0);
+  EXPECT_DOUBLE_EQ(m.idle_power_w(vf, 70.0), b.leakage_w + b.uncore_w);
+}
+
+TEST(PowerModel, MaxPowerBoundsObservedPower) {
+  const opw::PowerModel m(oa::CoreParams{});
+  const oa::VfPoint vf{1.1, 3.0};
+  const double max_w = m.max_core_power_w(vf, 85.0);
+  for (double act : {0.1, 0.5, 0.9, 1.0}) {
+    EXPECT_LE(m.core_power_at(vf, act, 85.0).total_w(), max_w + 1e-12);
+  }
+}
+
+TEST(PowerModel, ActivityOutOfRangeThrows) {
+  const opw::PowerModel m(oa::CoreParams{});
+  EXPECT_THROW(m.core_power_at({1.0, 2.0}, -0.1, 85.0),
+               std::invalid_argument);
+  EXPECT_THROW(m.core_power_at({1.0, 2.0}, 1.1, 85.0), std::invalid_argument);
+}
+
+TEST(PowerModel, LeakageTemperatureMonotone) {
+  const opw::PowerModel m(oa::CoreParams{});
+  double prev = 0.0;
+  for (double t : {45.0, 65.0, 85.0, 105.0}) {
+    const double leak = m.core_power_at({1.0, 2.0}, 0.5, t).leakage_w;
+    EXPECT_GT(leak, prev);
+    prev = leak;
+  }
+}
+
+// Power strictly increases along the V/F table at fixed activity -- the
+// invariant every level-based budget argument relies on.
+class PowerAlongTable : public ::testing::TestWithParam<double> {};
+
+TEST_P(PowerAlongTable, StrictlyIncreasing) {
+  const double activity = GetParam();
+  const opw::PowerModel m(oa::CoreParams{});
+  const oa::VfTable table = oa::VfTable::default_table();
+  double prev = 0.0;
+  for (std::size_t l = 0; l < table.size(); ++l) {
+    const double p = m.core_power_at(table[l], activity, 85.0).total_w();
+    EXPECT_GT(p, prev) << "level " << l;
+    prev = p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Activities, PowerAlongTable,
+                         ::testing::Values(0.0, 0.25, 0.5, 0.75, 1.0));
+
+// ---------------------------------------------------- EnergyAccountant
+
+TEST(EnergyAccountant, AccumulatesEnergy) {
+  opw::EnergyAccountant acc(100.0);
+  acc.add_epoch(50.0, 1e-3);
+  acc.add_epoch(80.0, 1e-3);
+  EXPECT_NEAR(acc.total_energy_j(), 0.13, 1e-12);
+  EXPECT_DOUBLE_EQ(acc.otb_energy_j(), 0.0);
+  EXPECT_EQ(acc.epochs(), 2u);
+  EXPECT_NEAR(acc.mean_power_w(), 65.0, 1e-9);
+}
+
+TEST(EnergyAccountant, TracksOvershoot) {
+  opw::EnergyAccountant acc(100.0);
+  acc.add_epoch(120.0, 1e-3);  // 20 W over
+  acc.add_epoch(90.0, 1e-3);   // under
+  acc.add_epoch(110.0, 1e-3);  // 10 W over
+  EXPECT_NEAR(acc.otb_energy_j(), 0.030, 1e-12);
+  EXPECT_NEAR(acc.time_over_budget_s(), 2e-3, 1e-15);
+  EXPECT_DOUBLE_EQ(acc.peak_overshoot_w(), 20.0);
+  EXPECT_NEAR(acc.overshoot_time_fraction(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(EnergyAccountant, ExactlyAtBudgetIsNotOver) {
+  opw::EnergyAccountant acc(100.0);
+  acc.add_epoch(100.0, 1e-3);
+  EXPECT_DOUBLE_EQ(acc.otb_energy_j(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.time_over_budget_s(), 0.0);
+}
+
+TEST(EnergyAccountant, BudgetChangeAppliesForward) {
+  opw::EnergyAccountant acc(100.0);
+  acc.add_epoch(110.0, 1e-3);  // 10 over old budget
+  acc.set_budget_w(120.0);
+  acc.add_epoch(110.0, 1e-3);  // under new budget
+  EXPECT_NEAR(acc.otb_energy_j(), 0.010, 1e-12);
+}
+
+TEST(EnergyAccountant, ResetClears) {
+  opw::EnergyAccountant acc(100.0);
+  acc.add_epoch(150.0, 1e-3);
+  acc.reset();
+  EXPECT_DOUBLE_EQ(acc.total_energy_j(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.otb_energy_j(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.peak_overshoot_w(), 0.0);
+  EXPECT_EQ(acc.epochs(), 0u);
+}
+
+TEST(EnergyAccountant, RejectsBadInputs) {
+  EXPECT_THROW(opw::EnergyAccountant(0.0), std::invalid_argument);
+  opw::EnergyAccountant acc(10.0);
+  EXPECT_THROW(acc.add_epoch(-1.0, 1e-3), std::invalid_argument);
+  EXPECT_THROW(acc.add_epoch(5.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(acc.set_budget_w(0.0), std::invalid_argument);
+}

@@ -1,0 +1,156 @@
+// Tests for Q-table / policy serialization and warm starting.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "arch/chip_config.hpp"
+#include "core/odrl_controller.hpp"
+#include "rl/qtable_io.hpp"
+#include "sim/system.hpp"
+#include "util/rng.hpp"
+#include "workload/workload.hpp"
+
+namespace orl = odrl::rl;
+namespace oa = odrl::arch;
+namespace oc = odrl::core;
+namespace os = odrl::sim;
+namespace ow = odrl::workload;
+
+TEST(QTableIo, RoundTripPreservesValuesAndVisits) {
+  orl::QTable table(6, 3, 0.0);
+  odrl::util::Rng rng(3);
+  for (std::size_t s = 0; s < 6; ++s) {
+    for (std::size_t a = 0; a < 3; ++a) {
+      table.set_q(s, a, rng.gaussian(0.0, 2.0));
+      table.set_visits(s, a, static_cast<std::uint32_t>(rng.below(100)));
+    }
+  }
+  std::stringstream buffer;
+  orl::save_qtable(table, buffer);
+  const orl::QTable loaded = orl::load_qtable(buffer);
+  ASSERT_EQ(loaded.n_states(), 6u);
+  ASSERT_EQ(loaded.n_actions(), 3u);
+  for (std::size_t s = 0; s < 6; ++s) {
+    for (std::size_t a = 0; a < 3; ++a) {
+      EXPECT_EQ(loaded.q(s, a), table.q(s, a));  // exact round trip
+      EXPECT_EQ(loaded.visits(s, a), table.visits(s, a));
+    }
+  }
+}
+
+TEST(QTableIo, RejectsMalformedInput) {
+  auto expect_reject = [](const std::string& text) {
+    std::stringstream in(text);
+    EXPECT_THROW(orl::load_qtable(in), std::runtime_error) << text;
+  };
+  expect_reject("");
+  expect_reject("wrong magic\n");
+  expect_reject("# odrl-qtable v1\n0 3\n");
+  expect_reject("# odrl-qtable v1\n2 2\nq 1.0 2.0\nv 1\n");     // short v row
+  expect_reject("# odrl-qtable v1\n1 2\nx 1.0 2.0\nv 1 1\n");   // bad tag
+  expect_reject("# odrl-qtable v1\n1 2\nq 1.0 2.0\nv 1 -5\n");  // negative
+  expect_reject("# odrl-qtable v1\n2 2\nq 1.0 2.0\nv 1 1\n");   // missing state
+}
+
+TEST(QTableIo, FileRoundTrip) {
+  orl::QTable table(2, 2, 0.5);
+  table.set_q(1, 1, -3.25);
+  const std::string path = testing::TempDir() + "/odrl_qtable_test.txt";
+  orl::save_qtable_file(table, path);
+  const orl::QTable loaded = orl::load_qtable_file(path);
+  EXPECT_EQ(loaded.q(1, 1), -3.25);
+  std::remove(path.c_str());
+  EXPECT_THROW(orl::load_qtable_file("/nonexistent/q.txt"),
+               std::runtime_error);
+}
+
+TEST(QTableIo, RestoreTableChecksDimensions) {
+  orl::TdConfig cfg;
+  orl::TdAgent agent(4, 3, cfg);
+  EXPECT_THROW(agent.restore_table(orl::QTable(4, 2)), std::invalid_argument);
+  EXPECT_THROW(agent.restore_table(orl::QTable(3, 3)), std::invalid_argument);
+  orl::QTable good(4, 3, 1.5);
+  agent.restore_table(std::move(good));
+  EXPECT_DOUBLE_EQ(agent.table().q(0, 0), 1.5);
+}
+
+TEST(PolicyIo, SaveLoadRoundTripAcrossControllers) {
+  const oa::ChipConfig chip = oa::ChipConfig::make(4, 0.6);
+  os::ManyCoreSystem sys(chip, std::make_unique<ow::GeneratedWorkload>(
+                                   ow::GeneratedWorkload::mixed_suite(4, 2)));
+  oc::OdrlController trained(chip);
+  auto levels = trained.initial_levels(4);
+  for (int e = 0; e < 500; ++e) levels = trained.decide(sys.step(levels));
+
+  std::stringstream buffer;
+  trained.save_policy(buffer);
+
+  oc::OdrlController fresh(chip);
+  fresh.load_policy(buffer);
+  for (std::size_t core = 0; core < 4; ++core) {
+    const auto& a = trained.agent(core).table();
+    const auto& b = fresh.agent(core).table();
+    for (std::size_t s = 0; s < a.n_states(); ++s) {
+      for (std::size_t act = 0; act < a.n_actions(); ++act) {
+        EXPECT_EQ(a.q(s, act), b.q(s, act));
+        EXPECT_EQ(a.visits(s, act), b.visits(s, act));
+      }
+    }
+  }
+}
+
+TEST(PolicyIo, LoadRejectsWrongShape) {
+  const oa::ChipConfig chip = oa::ChipConfig::make(4, 0.6);
+  oc::OdrlController four(chip);
+  std::stringstream buffer;
+  four.save_policy(buffer);
+
+  const oa::ChipConfig other_chip = oa::ChipConfig::make(8, 0.6);
+  oc::OdrlController eight(other_chip);
+  EXPECT_THROW(eight.load_policy(buffer), std::runtime_error);
+
+  std::stringstream junk("junk");
+  EXPECT_THROW(four.load_policy(junk), std::runtime_error);
+}
+
+TEST(PolicyIo, WarmStartSkipsTheRamp) {
+  // Train on a trace, save, warm-start a fresh controller on the same
+  // trace: the warm start's *early* throughput must beat the cold start's.
+  const oa::ChipConfig chip = oa::ChipConfig::make(8, 0.6);
+  ow::GeneratedWorkload gen = ow::GeneratedWorkload::mixed_suite(8, 6);
+  const ow::RecordedTrace trace = gen.record(4000);
+
+  std::stringstream policy;
+  {
+    os::ManyCoreSystem sys(chip,
+                           std::make_unique<ow::ReplayWorkload>(trace));
+    oc::OdrlController ctl(chip);
+    auto levels = ctl.initial_levels(8);
+    for (int e = 0; e < 4000; ++e) levels = ctl.decide(sys.step(levels));
+    ctl.save_policy(policy);
+  }
+
+  auto early_instructions = [&](bool warm) {
+    os::ManyCoreSystem sys(chip,
+                           std::make_unique<ow::ReplayWorkload>(trace));
+    oc::OdrlController ctl(chip);
+    if (warm) {
+      policy.clear();
+      policy.seekg(0);
+      ctl.load_policy(policy);
+    }
+    auto levels = ctl.initial_levels(8);
+    double instructions = 0.0;
+    for (int e = 0; e < 600; ++e) {
+      const auto obs = sys.step(levels);
+      levels = ctl.decide(obs);
+      for (const auto& core : obs.cores) instructions += core.instructions;
+    }
+    return instructions;
+  };
+
+  const double cold = early_instructions(false);
+  const double warm = early_instructions(true);
+  EXPECT_GT(warm, cold * 1.02);
+}

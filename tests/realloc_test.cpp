@@ -1,0 +1,147 @@
+// Unit and property tests for the coarse-grain budget reallocation
+// (the second level of OD-RL).
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/budget_realloc.hpp"
+#include "util/rng.hpp"
+
+namespace oc = odrl::core;
+using odrl::util::Rng;
+
+namespace {
+oc::CoreDemand demand(double power, double sens, double budget,
+                      bool can_raise = true) {
+  return {.power_w = power, .sensitivity = sens, .budget_w = budget,
+          .can_raise = can_raise};
+}
+
+double sum_of(const std::vector<double>& v) {
+  return std::accumulate(v.begin(), v.end(), 0.0);
+}
+}  // namespace
+
+TEST(Realloc, ConservesBudgetExactly) {
+  const std::vector<oc::CoreDemand> demands{
+      demand(2.0, 0.9, 5.0), demand(1.0, 0.2, 5.0), demand(4.0, 0.6, 5.0)};
+  const auto budgets = oc::reallocate_budget(demands, 15.0);
+  EXPECT_NEAR(sum_of(budgets), 15.0, 15.0 * 1e-9);
+}
+
+TEST(Realloc, AllBudgetsPositive) {
+  const std::vector<oc::CoreDemand> demands{
+      demand(0.0, 0.0, 1.0), demand(50.0, 1.0, 1.0), demand(0.0, 1.0, 1.0)};
+  const auto budgets = oc::reallocate_budget(demands, 10.0);
+  for (double b : budgets) EXPECT_GT(b, 0.0);
+}
+
+TEST(Realloc, SensitiveCoreGetsMoreSurplus) {
+  // Equal consumption; the frequency-sensitive core must receive more.
+  const std::vector<oc::CoreDemand> demands{demand(2.0, 1.0, 5.0),
+                                            demand(2.0, 0.1, 5.0)};
+  const auto budgets = oc::reallocate_budget(demands, 20.0);
+  EXPECT_GT(budgets[0], budgets[1]);
+}
+
+TEST(Realloc, SaturatedCoreDoesNotHoardSurplus) {
+  // Both highly sensitive and equal power, but one is already at the top
+  // level: the climber should receive (almost all of) the surplus.
+  const std::vector<oc::CoreDemand> demands{
+      demand(5.0, 1.0, 8.0, /*can_raise=*/false),
+      demand(5.0, 1.0, 8.0, /*can_raise=*/true)};
+  const auto budgets = oc::reallocate_budget(demands, 30.0);
+  EXPECT_GT(budgets[1], budgets[0]);
+  EXPECT_GT(budgets[1] - budgets[0], 2.0);
+}
+
+TEST(Realloc, UnsaturatedCoreGetsOneLevelHeadroom) {
+  // A low-sensitivity but unsaturated core must still receive enough budget
+  // over its consumption to afford a ~30% power step (the squeeze-trap
+  // regression test).
+  const std::vector<oc::CoreDemand> demands{demand(2.0, 0.1, 2.2),
+                                            demand(2.0, 0.1, 2.2)};
+  const auto budgets = oc::reallocate_budget(demands, 20.0);
+  for (double b : budgets) EXPECT_GE(b, 2.0 * 1.3);
+}
+
+TEST(Realloc, OversubscriptionScalesDown) {
+  const std::vector<oc::CoreDemand> demands{demand(10.0, 0.9, 5.0),
+                                            demand(10.0, 0.9, 5.0)};
+  const auto budgets = oc::reallocate_budget(demands, 8.0);
+  EXPECT_NEAR(sum_of(budgets), 8.0, 1e-8);
+  for (double b : budgets) EXPECT_LT(b, 10.0);
+}
+
+TEST(Realloc, OversubscriptionCutsLowUtilityHarder) {
+  const std::vector<oc::CoreDemand> demands{demand(10.0, 1.0, 5.0),
+                                            demand(10.0, 0.0, 5.0)};
+  const auto budgets = oc::reallocate_budget(demands, 10.0);
+  EXPECT_GT(budgets[0], budgets[1]);
+}
+
+TEST(Realloc, FloorProtectsIdleCores) {
+  oc::ReallocConfig cfg;
+  cfg.floor_fraction = 0.4;
+  const std::vector<oc::CoreDemand> demands{
+      demand(0.0, 0.0, 1.0), demand(20.0, 1.0, 10.0), demand(20.0, 1.0, 10.0),
+      demand(20.0, 1.0, 10.0)};
+  const auto budgets = oc::reallocate_budget(demands, 40.0, cfg);
+  // Floor share = 0.4 * 40 / 4 = 4 W (within renormalization slack).
+  EXPECT_GE(budgets[0], 3.5);
+}
+
+TEST(Realloc, SingleCoreGetsEverything) {
+  const std::vector<oc::CoreDemand> demands{demand(3.0, 0.5, 5.0)};
+  const auto budgets = oc::reallocate_budget(demands, 12.0);
+  ASSERT_EQ(budgets.size(), 1u);
+  EXPECT_NEAR(budgets[0], 12.0, 1e-9);
+}
+
+TEST(Realloc, InputValidation) {
+  EXPECT_THROW(oc::reallocate_budget({}, 10.0), std::invalid_argument);
+  const std::vector<oc::CoreDemand> one{demand(1.0, 0.5, 1.0)};
+  EXPECT_THROW(oc::reallocate_budget(one, 0.0), std::invalid_argument);
+}
+
+TEST(ReallocConfig, Validation) {
+  oc::ReallocConfig cfg;
+  cfg.floor_fraction = 1.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = {};
+  cfg.saturated_headroom = 0.9;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = {};
+  cfg.idle_headroom = cfg.saturated_headroom - 0.01;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = {};
+  cfg.growth_headroom = cfg.idle_headroom - 0.01;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = {};
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+// Property sweep: for random demand vectors of many sizes, conservation and
+// positivity must always hold, sub- or over-subscribed alike.
+class ReallocProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ReallocProperty, ConservationAndPositivity) {
+  const std::size_t n = GetParam();
+  Rng rng(n * 1000 + 17);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<oc::CoreDemand> demands;
+    demands.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      demands.push_back(demand(rng.uniform(0.0, 10.0), rng.uniform(),
+                               rng.uniform(0.1, 10.0), rng.chance(0.8)));
+    }
+    const double budget = rng.uniform(1.0, 20.0 * static_cast<double>(n));
+    const auto budgets = oc::reallocate_budget(demands, budget);
+    ASSERT_EQ(budgets.size(), n);
+    EXPECT_NEAR(sum_of(budgets), budget, budget * 1e-9);
+    for (double b : budgets) EXPECT_GT(b, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ReallocProperty,
+                         ::testing::Values(1, 2, 4, 16, 64, 256, 1024));

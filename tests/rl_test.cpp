@@ -1,0 +1,304 @@
+// Unit tests for the tabular-RL substrate, including convergence checks of
+// the TD agent on small synthetic MDPs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "rl/agent.hpp"
+#include "rl/discretizer.hpp"
+#include "rl/qtable.hpp"
+#include "rl/schedule.hpp"
+#include "util/rng.hpp"
+
+namespace orl = odrl::rl;
+using odrl::util::Rng;
+
+// -------------------------------------------------------- Discretizer
+
+TEST(Discretizer, BinsAndClamping) {
+  const orl::Discretizer d(0.0, 1.0, 4);
+  EXPECT_EQ(d.bin(-0.5), 0u);
+  EXPECT_EQ(d.bin(0.0), 0u);
+  EXPECT_EQ(d.bin(0.1), 0u);
+  EXPECT_EQ(d.bin(0.3), 1u);
+  EXPECT_EQ(d.bin(0.6), 2u);
+  EXPECT_EQ(d.bin(0.9), 3u);
+  EXPECT_EQ(d.bin(1.0), 3u);
+  EXPECT_EQ(d.bin(5.0), 3u);
+}
+
+TEST(Discretizer, BinEdgeFallsOnExactBoundary) {
+  // With 10 bins over [0, 2], 1.0 is an exact edge: just-under goes to bin
+  // 4, just-over to bin 5. The controller's no-aliasing property.
+  const orl::Discretizer d(0.0, 2.0, 10);
+  EXPECT_EQ(d.bin(0.999999), 4u);
+  EXPECT_EQ(d.bin(1.000001), 5u);
+}
+
+TEST(Discretizer, CenterRoundTrips) {
+  const orl::Discretizer d(-1.0, 1.0, 8);
+  for (std::size_t b = 0; b < 8; ++b) {
+    EXPECT_EQ(d.bin(d.center(b)), b);
+  }
+  EXPECT_THROW(d.center(8), std::out_of_range);
+}
+
+TEST(Discretizer, RejectsBadConstruction) {
+  EXPECT_THROW(orl::Discretizer(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(orl::Discretizer(0.0, 1.0, 0), std::invalid_argument);
+}
+
+// --------------------------------------------------------- StateSpace
+
+TEST(StateSpace, EncodeDecodeRoundTrip) {
+  const orl::StateSpace s({3, 4, 5});
+  EXPECT_EQ(s.size(), 60u);
+  for (std::size_t id = 0; id < s.size(); ++id) {
+    const auto coords = s.decode(id);
+    EXPECT_EQ(s.encode(coords), id);
+  }
+}
+
+TEST(StateSpace, EncodingIsBijective) {
+  const orl::StateSpace s({2, 3});
+  std::vector<bool> seen(s.size(), false);
+  for (std::size_t a = 0; a < 2; ++a) {
+    for (std::size_t b = 0; b < 3; ++b) {
+      const std::size_t coords[2] = {a, b};
+      const std::size_t id = s.encode(coords);
+      EXPECT_FALSE(seen[id]);
+      seen[id] = true;
+    }
+  }
+}
+
+TEST(StateSpace, Validation) {
+  EXPECT_THROW(orl::StateSpace({}), std::invalid_argument);
+  EXPECT_THROW(orl::StateSpace({3, 0}), std::invalid_argument);
+  const orl::StateSpace s({2, 2});
+  const std::size_t bad[2] = {2, 0};
+  EXPECT_THROW(s.encode(bad), std::out_of_range);
+  const std::size_t wrong_arity[1] = {0};
+  EXPECT_THROW(s.encode(wrong_arity), std::invalid_argument);
+  EXPECT_THROW(s.decode(4), std::out_of_range);
+  EXPECT_THROW(s.dim(2), std::out_of_range);
+}
+
+// -------------------------------------------------------------- QTable
+
+TEST(QTable, InitAndAccess) {
+  orl::QTable t(4, 3, 0.5);
+  EXPECT_EQ(t.n_states(), 4u);
+  EXPECT_EQ(t.n_actions(), 3u);
+  EXPECT_DOUBLE_EQ(t.q(2, 1), 0.5);
+  t.set_q(2, 1, 2.0);
+  EXPECT_DOUBLE_EQ(t.q(2, 1), 2.0);
+  EXPECT_DOUBLE_EQ(t.bump_q(2, 1, 0.5), 2.5);
+}
+
+TEST(QTable, GreedyActionAndTies) {
+  orl::QTable t(2, 3, 0.0);
+  t.set_q(0, 2, 1.0);
+  EXPECT_EQ(t.greedy_action(0), 2u);
+  EXPECT_DOUBLE_EQ(t.max_q(0), 1.0);
+  // All equal in state 1: first index wins.
+  EXPECT_EQ(t.greedy_action(1), 0u);
+}
+
+TEST(QTable, RowView) {
+  orl::QTable t(2, 3, 0.0);
+  t.set_q(1, 0, 7.0);
+  const auto row = t.row(1);
+  ASSERT_EQ(row.size(), 3u);
+  EXPECT_DOUBLE_EQ(row[0], 7.0);
+}
+
+TEST(QTable, VisitBookkeeping) {
+  orl::QTable t(2, 2, 0.0);
+  EXPECT_EQ(t.coverage(), 0u);
+  t.record_visit(0, 1);
+  t.record_visit(0, 1);
+  t.record_visit(1, 0);
+  EXPECT_EQ(t.visits(0, 1), 2u);
+  EXPECT_EQ(t.state_visits(0), 2u);
+  EXPECT_EQ(t.coverage(), 2u);
+}
+
+TEST(QTable, BoundsChecking) {
+  orl::QTable t(2, 2, 0.0);
+  EXPECT_THROW(t.q(2, 0), std::out_of_range);
+  EXPECT_THROW(t.q(0, 2), std::out_of_range);
+  EXPECT_THROW(orl::QTable(0, 2), std::invalid_argument);
+  EXPECT_THROW(orl::QTable(2, 0), std::invalid_argument);
+}
+
+// ----------------------------------------------------------- Schedules
+
+TEST(EpsilonSchedule, DecaysToFloor) {
+  orl::EpsilonSchedule s(1.0, 0.1, 0.5);
+  EXPECT_DOUBLE_EQ(s.at(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.at(1), 0.5);
+  EXPECT_DOUBLE_EQ(s.at(2), 0.25);
+  EXPECT_DOUBLE_EQ(s.at(10), 0.1);  // floor
+}
+
+TEST(EpsilonSchedule, NextAdvances) {
+  orl::EpsilonSchedule s(1.0, 0.0, 0.5);
+  EXPECT_DOUBLE_EQ(s.next(), 1.0);
+  EXPECT_DOUBLE_EQ(s.next(), 0.5);
+  EXPECT_DOUBLE_EQ(s.current(), 0.25);
+  s.reset();
+  EXPECT_DOUBLE_EQ(s.current(), 1.0);
+}
+
+TEST(EpsilonSchedule, ConstantFactory) {
+  auto s = orl::EpsilonSchedule::constant(0.2);
+  for (int i = 0; i < 5; ++i) EXPECT_DOUBLE_EQ(s.next(), 0.2);
+}
+
+TEST(EpsilonSchedule, Validation) {
+  EXPECT_THROW(orl::EpsilonSchedule(1.5, 0.1, 0.9), std::invalid_argument);
+  EXPECT_THROW(orl::EpsilonSchedule(0.5, 0.6, 0.9), std::invalid_argument);
+  EXPECT_THROW(orl::EpsilonSchedule(0.5, 0.1, 0.0), std::invalid_argument);
+  EXPECT_THROW(orl::EpsilonSchedule(0.5, 0.1, 1.5), std::invalid_argument);
+}
+
+TEST(LearningRateSchedule, ConstantAndDecay) {
+  const auto c = orl::LearningRateSchedule::constant(0.3);
+  EXPECT_DOUBLE_EQ(c.rate(0), 0.3);
+  EXPECT_DOUBLE_EQ(c.rate(1000), 0.3);
+
+  const auto d = orl::LearningRateSchedule::visit_decay(0.5, 10.0);
+  EXPECT_DOUBLE_EQ(d.rate(0), 0.5);
+  EXPECT_DOUBLE_EQ(d.rate(10), 0.25);
+  EXPECT_GT(d.rate(10), d.rate(100));
+}
+
+TEST(LearningRateSchedule, Validation) {
+  EXPECT_THROW(orl::LearningRateSchedule::constant(0.0),
+               std::invalid_argument);
+  EXPECT_THROW(orl::LearningRateSchedule::constant(1.5),
+               std::invalid_argument);
+  EXPECT_THROW(orl::LearningRateSchedule::visit_decay(0.5, 0.0),
+               std::invalid_argument);
+}
+
+// --------------------------------------------------------------- Agent
+
+namespace {
+orl::TdConfig fast_config(orl::TdRule rule = orl::TdRule::kQLearning) {
+  orl::TdConfig c;
+  c.rule = rule;
+  c.gamma = 0.9;
+  c.q_init = 0.0;
+  c.epsilon = orl::EpsilonSchedule(0.3, 0.05, 0.999);
+  c.alpha = orl::LearningRateSchedule::constant(0.2);
+  return c;
+}
+}  // namespace
+
+TEST(TdAgent, LearnsBanditArm) {
+  // Single state, 3 actions with rewards 0.1 / 0.9 / 0.5.
+  orl::TdAgent agent(1, 3, fast_config());
+  Rng rng(1);
+  const double rewards[3] = {0.1, 0.9, 0.5};
+  for (int i = 0; i < 2000; ++i) {
+    const auto a = agent.act(0, rng);
+    agent.learn(0, a, rewards[a], 0);
+  }
+  EXPECT_EQ(agent.exploit(0), 1u);
+}
+
+TEST(TdAgent, QLearningConvergesOnChain) {
+  // 3-state chain: s0 -right-> s1 -right-> s2(terminal-ish, reward 1, loops).
+  // Actions: 0 = left/stay, 1 = right. Optimal: always right.
+  orl::TdAgent agent(3, 2, fast_config());
+  Rng rng(2);
+  std::size_t s = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const auto a = agent.act(s, rng);
+    std::size_t s2 = s;
+    double r = 0.0;
+    if (a == 1) {
+      s2 = std::min<std::size_t>(s + 1, 2);
+      if (s2 == 2) r = 1.0;
+    } else {
+      s2 = s == 0 ? 0 : s - 1;
+    }
+    agent.learn(s, a, r, s2);
+    s = s2;
+    if (s == 2) s = 0;  // restart episodes
+  }
+  EXPECT_EQ(agent.exploit(0), 1u);
+  EXPECT_EQ(agent.exploit(1), 1u);
+  // Episodes reset on reaching s2, so s2 itself is never updated (Q = 0):
+  // the pre-reward state's value converges to the immediate reward, and the
+  // start state to its gamma-discount.
+  EXPECT_NEAR(agent.table().max_q(1), 1.0, 0.2);
+  EXPECT_NEAR(agent.table().max_q(0), 0.9, 0.2);
+}
+
+TEST(TdAgent, SarsaNeedsNextAction) {
+  orl::TdAgent agent(2, 2, fast_config(orl::TdRule::kSarsa));
+  EXPECT_THROW(agent.learn(0, 0, 1.0, 1), std::invalid_argument);
+  EXPECT_NO_THROW(agent.learn(0, 0, 1.0, 1, 1));
+}
+
+TEST(TdAgent, SarsaAlsoLearnsBandit) {
+  orl::TdAgent agent(1, 2, fast_config(orl::TdRule::kSarsa));
+  Rng rng(5);
+  std::size_t a = agent.act(0, rng);
+  for (int i = 0; i < 3000; ++i) {
+    const double r = a == 0 ? 0.2 : 0.8;
+    const std::size_t a2 = agent.act(0, rng);
+    agent.learn(0, a, r, 0, a2);
+    a = a2;
+  }
+  EXPECT_EQ(agent.exploit(0), 1u);
+}
+
+TEST(TdAgent, ExploitDoesNotAdvanceSchedule) {
+  orl::TdAgent agent(1, 2, fast_config());
+  const double eps_before = agent.epsilon();
+  for (int i = 0; i < 10; ++i) agent.exploit(0);
+  EXPECT_DOUBLE_EQ(agent.epsilon(), eps_before);
+}
+
+TEST(TdAgent, ResetClearsLearning) {
+  orl::TdAgent agent(1, 2, fast_config());
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    const auto a = agent.act(0, rng);
+    agent.learn(0, a, 1.0, 0);
+  }
+  EXPECT_GT(agent.updates(), 0u);
+  agent.reset();
+  EXPECT_EQ(agent.updates(), 0u);
+  EXPECT_DOUBLE_EQ(agent.table().q(0, 0), 0.0);
+  EXPECT_EQ(agent.table().coverage(), 0u);
+}
+
+TEST(TdAgent, OptimisticInitDrivesSystematicExploration) {
+  orl::TdConfig c = fast_config();
+  c.q_init = 10.0;  // far above any achievable value
+  c.epsilon = orl::EpsilonSchedule::constant(0.0);  // pure greedy
+  orl::TdAgent agent(1, 4, c);
+  Rng rng(9);
+  std::set<std::size_t> tried;
+  for (int i = 0; i < 40; ++i) {
+    const auto a = agent.act(0, rng);
+    tried.insert(a);
+    agent.learn(0, a, 0.1, 0);
+  }
+  // Greedy + optimistic init must still visit every action.
+  EXPECT_EQ(tried.size(), 4u);
+}
+
+TEST(TdConfig, GammaValidation) {
+  orl::TdConfig c;
+  c.gamma = 1.0;
+  EXPECT_THROW(orl::TdAgent(1, 2, c), std::invalid_argument);
+  c.gamma = -0.1;
+  EXPECT_THROW(orl::TdAgent(1, 2, c), std::invalid_argument);
+}

@@ -1,0 +1,339 @@
+// Unit tests for the many-core system simulator and the closed-loop runner.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "arch/chip_config.hpp"
+#include "sim/controller.hpp"
+#include "sim/runner.hpp"
+#include "sim/system.hpp"
+#include "workload/workload.hpp"
+
+namespace os = odrl::sim;
+namespace oa = odrl::arch;
+namespace ow = odrl::workload;
+
+namespace {
+
+std::unique_ptr<ow::Workload> steady_workload(std::size_t cores,
+                                              std::uint64_t seed = 1) {
+  return std::make_unique<ow::GeneratedWorkload>(
+      ow::GeneratedWorkload::mixed_suite(cores, seed));
+}
+
+os::ManyCoreSystem make_system(std::size_t cores = 4,
+                               os::SimConfig sim = {}) {
+  return os::ManyCoreSystem(oa::ChipConfig::make(cores, 0.6),
+                            steady_workload(cores), sim);
+}
+
+/// Fixed-level controller for driving the runner in tests.
+class FixedController final : public os::Controller {
+ public:
+  explicit FixedController(std::size_t level) : level_(level) {}
+  std::string name() const override { return "Fixed"; }
+  std::vector<std::size_t> initial_levels(std::size_t n) override {
+    return std::vector<std::size_t>(n, level_);
+  }
+  std::vector<std::size_t> decide(const os::EpochResult& obs) override {
+    last_budget_w = obs.budget_w;
+    ++decides;
+    return std::vector<std::size_t>(obs.cores.size(), level_);
+  }
+  void on_budget_change(double b) override { budget_changes.push_back(b); }
+
+  double last_budget_w = 0.0;
+  std::size_t decides = 0;
+  std::vector<double> budget_changes;
+
+ private:
+  std::size_t level_;
+};
+
+}  // namespace
+
+// ------------------------------------------------------- ManyCoreSystem
+
+TEST(ManyCoreSystem, StepProducesConsistentObservation) {
+  auto sys = make_system(4);
+  const std::vector<std::size_t> levels(4, 3);
+  const auto obs = sys.step(levels);
+  ASSERT_EQ(obs.cores.size(), 4u);
+  double sum_power = 0.0;
+  double sum_ips = 0.0;
+  for (const auto& core : obs.cores) {
+    EXPECT_EQ(core.level, 3u);
+    EXPECT_GT(core.ips, 0.0);
+    EXPECT_GT(core.power_w, 0.0);
+    EXPECT_GE(core.mem_stall_frac, 0.0);
+    EXPECT_LT(core.mem_stall_frac, 1.0);
+    EXPECT_GT(core.temp_c, 0.0);
+    sum_power += core.power_w;
+    sum_ips += core.ips;
+  }
+  // No sensor noise: measured == true.
+  EXPECT_NEAR(obs.chip_power_w, sum_power, 1e-9);
+  EXPECT_NEAR(obs.chip_power_w, obs.true_chip_power_w, 1e-9);
+  EXPECT_NEAR(obs.total_ips, sum_ips, 1e-6);
+  EXPECT_EQ(obs.epoch, 0u);
+  EXPECT_DOUBLE_EQ(obs.budget_w, sys.config().tdp_w());
+}
+
+TEST(ManyCoreSystem, EpochCounterAdvances) {
+  auto sys = make_system(2);
+  const std::vector<std::size_t> levels(2, 0);
+  EXPECT_EQ(sys.step(levels).epoch, 0u);
+  EXPECT_EQ(sys.step(levels).epoch, 1u);
+  EXPECT_EQ(sys.epochs_run(), 2u);
+}
+
+TEST(ManyCoreSystem, HigherLevelsDrawMorePower) {
+  auto lo = make_system(4);
+  auto hi = make_system(4);
+  const auto obs_lo = lo.step(std::vector<std::size_t>(4, 0));
+  const auto obs_hi = hi.step(std::vector<std::size_t>(4, 7));
+  EXPECT_GT(obs_hi.true_chip_power_w, obs_lo.true_chip_power_w);
+  EXPECT_GT(obs_hi.total_ips, obs_lo.total_ips);
+}
+
+TEST(ManyCoreSystem, TemperatureRisesUnderLoad) {
+  auto sys = make_system(4);
+  const std::vector<std::size_t> levels(4, 7);
+  double first_max = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    const auto obs = sys.step(levels);
+    if (i == 0) first_max = obs.max_temp_c;
+  }
+  EXPECT_GT(sys.thermal().max_temperature(), first_max);
+}
+
+TEST(ManyCoreSystem, SensorNoiseDistortsMeasurementsOnly) {
+  os::SimConfig cfg;
+  cfg.sensor_noise_rel = 0.1;
+  cfg.seed = 3;
+  auto sys = make_system(4, cfg);
+  const std::vector<std::size_t> levels(4, 4);
+  bool saw_difference = false;
+  for (int i = 0; i < 20; ++i) {
+    const auto obs = sys.step(levels);
+    if (std::abs(obs.chip_power_w - obs.true_chip_power_w) > 1e-6) {
+      saw_difference = true;
+    }
+  }
+  EXPECT_TRUE(saw_difference);
+}
+
+TEST(ManyCoreSystem, DeterministicForSameSeed) {
+  auto a = make_system(4);
+  auto b = make_system(4);
+  const std::vector<std::size_t> levels(4, 5);
+  for (int i = 0; i < 100; ++i) {
+    const auto oa_ = a.step(levels);
+    const auto ob_ = b.step(levels);
+    EXPECT_DOUBLE_EQ(oa_.true_chip_power_w, ob_.true_chip_power_w);
+    EXPECT_DOUBLE_EQ(oa_.total_ips, ob_.total_ips);
+  }
+}
+
+TEST(ManyCoreSystem, ValidatesInputs) {
+  auto sys = make_system(4);
+  EXPECT_THROW(sys.step(std::vector<std::size_t>(3, 0)),
+               std::invalid_argument);
+  EXPECT_THROW(sys.step(std::vector<std::size_t>(4, 8)),
+               std::invalid_argument);
+  EXPECT_THROW(sys.set_budget_w(0.0), std::invalid_argument);
+  EXPECT_THROW(os::ManyCoreSystem(oa::ChipConfig::make(4, 0.6),
+                                  steady_workload(5)),
+               std::invalid_argument);
+  EXPECT_THROW(os::ManyCoreSystem(oa::ChipConfig::make(4, 0.6), nullptr),
+               std::invalid_argument);
+}
+
+TEST(SimConfig, Validation) {
+  os::SimConfig cfg;
+  cfg.epoch_s = 0.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = {};
+  cfg.sensor_noise_rel = 0.6;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = {};
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+// --------------------------------------------------------------- Runner
+
+TEST(Runner, AccumulatesTotalsAndTraces) {
+  auto sys = make_system(4);
+  FixedController ctl(4);
+  os::RunConfig cfg;
+  cfg.epochs = 100;
+  const auto result = os::run_closed_loop(sys, ctl, cfg);
+
+  EXPECT_EQ(result.epochs, 100u);
+  EXPECT_EQ(result.controller_name, "Fixed");
+  EXPECT_GT(result.total_instructions, 0.0);
+  EXPECT_GT(result.total_energy_j, 0.0);
+  EXPECT_GT(result.mean_power_w, 0.0);
+  EXPECT_EQ(result.decisions, 100u);
+  EXPECT_EQ(result.chip_power_trace.size(), 100u);
+  EXPECT_EQ(result.budget_trace.size(), 100u);
+  EXPECT_EQ(result.ips_trace.size(), 100u);
+  EXPECT_NEAR(result.elapsed_s(), 0.1, 1e-12);
+  // Energy == integral of the power trace.
+  double integral = 0.0;
+  for (double p : result.chip_power_trace) integral += p * result.epoch_s;
+  EXPECT_NEAR(result.total_energy_j, integral, 1e-9);
+}
+
+TEST(Runner, DerivedMetricsConsistent) {
+  auto sys = make_system(4);
+  FixedController ctl(4);
+  os::RunConfig cfg;
+  cfg.epochs = 50;
+  const auto r = os::run_closed_loop(sys, ctl, cfg);
+  EXPECT_NEAR(r.bips(), r.total_instructions / r.elapsed_s() / 1e9, 1e-9);
+  EXPECT_NEAR(r.bips_per_watt(), r.bips() / r.mean_power_w, 1e-12);
+  EXPECT_NEAR(r.bips3_per_watt(),
+              r.bips() * r.bips() * r.bips() / r.mean_power_w, 1e-9);
+  EXPECT_GT(r.mean_decision_us(), 0.0);
+}
+
+TEST(Runner, KeepTracesOffSavesMemory) {
+  auto sys = make_system(2);
+  FixedController ctl(2);
+  os::RunConfig cfg;
+  cfg.epochs = 10;
+  cfg.keep_traces = false;
+  const auto r = os::run_closed_loop(sys, ctl, cfg);
+  EXPECT_TRUE(r.chip_power_trace.empty());
+  EXPECT_GT(r.total_instructions, 0.0);
+}
+
+TEST(Runner, BudgetEventsAppliedAndNotified) {
+  auto sys = make_system(4);
+  const double tdp = sys.config().tdp_w();
+  FixedController ctl(4);
+  os::RunConfig cfg;
+  cfg.epochs = 20;
+  cfg.budget_events = {{5, tdp * 0.5}, {10, tdp * 0.8}};
+  const auto r = os::run_closed_loop(sys, ctl, cfg);
+
+  ASSERT_EQ(ctl.budget_changes.size(), 2u);
+  EXPECT_DOUBLE_EQ(ctl.budget_changes[0], tdp * 0.5);
+  EXPECT_DOUBLE_EQ(ctl.budget_changes[1], tdp * 0.8);
+  EXPECT_DOUBLE_EQ(r.budget_trace[0], tdp);
+  EXPECT_DOUBLE_EQ(r.budget_trace[5], tdp * 0.5);
+  EXPECT_DOUBLE_EQ(r.budget_trace[10], tdp * 0.8);
+  EXPECT_DOUBLE_EQ(r.budget_trace[19], tdp * 0.8);
+}
+
+TEST(Runner, OvershootAccountingAgainstMovedBudget) {
+  auto sys = make_system(4);
+  FixedController ctl(4);  // draws well under the default 60% TDP
+  os::RunConfig cfg;
+  cfg.epochs = 40;
+  // Drop the budget to a level the fixed controller must violate.
+  cfg.budget_events = {{20, 1.0}};
+  const auto r = os::run_closed_loop(sys, ctl, cfg);
+  EXPECT_GT(r.otb_energy_j, 0.0);
+  EXPECT_GT(r.time_over_s, 0.0);
+  EXPECT_GT(r.peak_overshoot_w, 0.0);
+  EXPECT_NEAR(r.overshoot_time_fraction(), 0.5, 0.05);
+}
+
+TEST(Runner, WarmupIsNotMeasured) {
+  auto a = make_system(4, {});
+  auto b = make_system(4, {});
+  FixedController ca(4);
+  FixedController cb(4);
+  os::RunConfig with_warmup;
+  with_warmup.epochs = 50;
+  with_warmup.warmup_epochs = 50;
+  os::RunConfig no_warmup;
+  no_warmup.epochs = 50;
+  const auto rw = os::run_closed_loop(a, ca, with_warmup);
+  const auto rn = os::run_closed_loop(b, cb, no_warmup);
+  EXPECT_EQ(rw.epochs, 50u);
+  EXPECT_EQ(rw.decisions, 50u);         // warmup decides are not counted
+  EXPECT_EQ(a.epochs_run(), 100u);      // but the system did run them
+  EXPECT_EQ(b.epochs_run(), 50u);
+  (void)rn;
+}
+
+TEST(Runner, ValidatesConfig) {
+  os::RunConfig cfg;
+  cfg.epochs = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = {};
+  cfg.budget_events = {{5, 10.0}, {3, 10.0}};  // unsorted
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = {};
+  cfg.budget_events = {{5, 0.0}};
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+// ------------------------------------------------- DVFS actuation cost
+
+TEST(SwitchCost, LevelChangeStallsAndDissipates) {
+  os::SimConfig cfg;
+  cfg.switch_penalty_s = 2e-4;  // 20% of a 1 ms epoch
+  cfg.switch_energy_j = 1e-3;
+  auto costed = make_system(2, cfg);
+  auto ideal = make_system(2, os::SimConfig{});
+
+  // Epoch 0 establishes the previous levels.
+  const std::vector<std::size_t> lo(2, 2);
+  const std::vector<std::size_t> hi(2, 3);
+  costed.step(lo);
+  ideal.step(lo);
+  // Epoch 1: both switch to level 3; only `costed` pays.
+  const auto obs_costed = costed.step(hi);
+  const auto obs_ideal = ideal.step(hi);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_NEAR(obs_costed.cores[i].instructions,
+                0.8 * obs_ideal.cores[i].instructions, 1e-6);
+  }
+  EXPECT_NEAR(obs_costed.true_chip_power_w,
+              obs_ideal.true_chip_power_w + 2.0, 1e-9);
+
+  // Epoch 2: no change -> no switch cost. A sub-milliwatt residual remains
+  // because the switch energy of epoch 1 warmed the die and leakage is
+  // temperature-dependent.
+  const auto obs3c = costed.step(hi);
+  const auto obs3i = ideal.step(hi);
+  EXPECT_NEAR(obs3c.true_chip_power_w, obs3i.true_chip_power_w, 1e-2);
+}
+
+TEST(SwitchCost, FirstEpochIsNeverCharged) {
+  os::SimConfig cfg;
+  cfg.switch_penalty_s = 5e-4;
+  cfg.switch_energy_j = 1e-3;
+  auto costed = make_system(2, cfg);
+  auto ideal = make_system(2, os::SimConfig{});
+  const std::vector<std::size_t> levels(2, 5);
+  EXPECT_NEAR(costed.step(levels).true_chip_power_w,
+              ideal.step(levels).true_chip_power_w, 1e-9);
+}
+
+TEST(SwitchCost, ConfigValidation) {
+  os::SimConfig cfg;
+  cfg.switch_penalty_s = cfg.epoch_s;  // would stall the whole epoch
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = {};
+  cfg.switch_energy_j = -1.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(Runner, ThermalViolationsSurface) {
+  // A tiny chip with an absurdly low junction limit must report violations.
+  oa::ThermalParams thermal;
+  thermal.max_junction_c = 46.0;
+  thermal.ambient_c = 45.0;
+  oa::ChipConfig chip(4, oa::VfTable::default_table(), 100.0, {}, thermal);
+  os::ManyCoreSystem sys(chip, steady_workload(4));
+  FixedController ctl(7);
+  os::RunConfig cfg;
+  cfg.epochs = 100;
+  const auto r = os::run_closed_loop(sys, ctl, cfg);
+  EXPECT_GT(r.thermal_violation_epochs, 0u);
+}

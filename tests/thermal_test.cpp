@@ -1,0 +1,149 @@
+// Unit and property tests for the RC thermal network.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "arch/mesh.hpp"
+#include "thermal/thermal_model.hpp"
+
+namespace ot = odrl::thermal;
+namespace oa = odrl::arch;
+
+namespace {
+ot::ThermalModel make_model(std::size_t w = 2, std::size_t h = 2) {
+  return ot::ThermalModel(oa::Mesh(w, h), oa::ThermalParams{});
+}
+}  // namespace
+
+TEST(Thermal, StartsAtAmbient) {
+  auto m = make_model();
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    EXPECT_DOUBLE_EQ(m.temperature(i), oa::ThermalParams{}.ambient_c);
+  }
+}
+
+TEST(Thermal, ZeroPowerStaysAtAmbient) {
+  auto m = make_model();
+  const std::vector<double> zeros(m.size(), 0.0);
+  for (int i = 0; i < 100; ++i) m.step(zeros, 1e-3);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    EXPECT_NEAR(m.temperature(i), oa::ThermalParams{}.ambient_c, 1e-9);
+  }
+}
+
+TEST(Thermal, UniformPowerSteadyState) {
+  // Uniform power: no lateral flow; T = T_amb + P * R_v exactly.
+  auto m = make_model();
+  const std::vector<double> power(m.size(), 5.0);
+  const auto ss = m.steady_state(power);
+  const oa::ThermalParams p;
+  for (double t : ss) {
+    EXPECT_NEAR(t, p.ambient_c + 5.0 * p.r_vertical_c_per_w, 1e-6);
+  }
+}
+
+TEST(Thermal, TransientConvergesToSteadyState) {
+  auto m = make_model(3, 3);
+  std::vector<double> power(m.size(), 0.0);
+  power[4] = 8.0;  // hot center tile
+  const auto ss = m.steady_state(power);
+  for (int i = 0; i < 20000; ++i) m.step(power, 1e-3);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    EXPECT_NEAR(m.temperature(i), ss[i], 0.05) << "tile " << i;
+  }
+}
+
+TEST(Thermal, HotTileHeatsNeighbors) {
+  auto m = make_model(3, 3);
+  std::vector<double> power(m.size(), 0.0);
+  power[4] = 10.0;
+  const auto ss = m.steady_state(power);
+  const oa::ThermalParams p;
+  // Center hottest; direct neighbors warmer than corners; all above ambient.
+  EXPECT_GT(ss[4], ss[1]);
+  EXPECT_GT(ss[1], ss[0]);
+  EXPECT_GT(ss[0], p.ambient_c);
+}
+
+TEST(Thermal, SymmetryOfSymmetricLoad) {
+  auto m = make_model(3, 3);
+  std::vector<double> power(m.size(), 0.0);
+  power[4] = 10.0;
+  const auto ss = m.steady_state(power);
+  // 4-fold symmetry around the center.
+  EXPECT_NEAR(ss[0], ss[2], 1e-9);
+  EXPECT_NEAR(ss[0], ss[6], 1e-9);
+  EXPECT_NEAR(ss[0], ss[8], 1e-9);
+  EXPECT_NEAR(ss[1], ss[3], 1e-9);
+  EXPECT_NEAR(ss[1], ss[5], 1e-9);
+  EXPECT_NEAR(ss[1], ss[7], 1e-9);
+}
+
+TEST(Thermal, StableForLongTimesteps) {
+  // Substepping must keep forward Euler stable even for dt >> tau.
+  auto m = make_model();
+  const std::vector<double> power(m.size(), 6.0);
+  m.step(power, 10.0);  // one enormous step
+  const auto ss = m.steady_state(power);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    EXPECT_NEAR(m.temperature(i), ss[i], 0.5);
+    EXPECT_GT(m.temperature(i), 0.0);
+    EXPECT_LT(m.temperature(i), 200.0);
+  }
+}
+
+TEST(Thermal, ViolationCounting) {
+  auto m = make_model();
+  EXPECT_EQ(m.violation_count(), 0u);
+  m.reset(110.0);  // above the 105C default limit
+  EXPECT_EQ(m.violation_count(), m.size());
+  m.reset(50.0);
+  EXPECT_EQ(m.violation_count(), 0u);
+}
+
+TEST(Thermal, MaxTemperature) {
+  auto m = make_model(2, 1);
+  std::vector<double> power{10.0, 0.0};
+  for (int i = 0; i < 5000; ++i) m.step(power, 1e-3);
+  EXPECT_DOUBLE_EQ(m.max_temperature(),
+                   std::max(m.temperature(0), m.temperature(1)));
+  EXPECT_GT(m.temperature(0), m.temperature(1));
+}
+
+TEST(Thermal, ResetSetsAllTiles) {
+  auto m = make_model();
+  m.reset(77.0);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    EXPECT_DOUBLE_EQ(m.temperature(i), 77.0);
+  }
+}
+
+TEST(Thermal, InputValidation) {
+  auto m = make_model();
+  const std::vector<double> wrong_size(m.size() + 1, 0.0);
+  EXPECT_THROW(m.step(wrong_size, 1e-3), std::invalid_argument);
+  EXPECT_THROW(m.steady_state(wrong_size), std::invalid_argument);
+  const std::vector<double> ok(m.size(), 0.0);
+  EXPECT_THROW(m.step(ok, 0.0), std::invalid_argument);
+  EXPECT_THROW(m.temperature(m.size()), std::out_of_range);
+}
+
+// Energy-balance property: in steady state, power in == heat flow out
+// through the vertical resistances (lateral flows cancel internally).
+class ThermalBalance : public ::testing::TestWithParam<double> {};
+
+TEST_P(ThermalBalance, VerticalFlowMatchesPowerIn) {
+  const double watts = GetParam();
+  auto m = make_model(4, 4);
+  std::vector<double> power(m.size(), 0.0);
+  power[0] = watts;
+  power[5] = watts * 0.5;
+  const auto ss = m.steady_state(power);
+  const oa::ThermalParams p;
+  double flow_out = 0.0;
+  for (double t : ss) flow_out += (t - p.ambient_c) / p.r_vertical_c_per_w;
+  EXPECT_NEAR(flow_out, watts * 1.5, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Watts, ThermalBalance,
+                         ::testing::Values(1.0, 4.0, 8.0, 12.0));

@@ -1,0 +1,105 @@
+// Tests for RecordedTrace CSV serialization.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "workload/trace_io.hpp"
+#include "workload/workload.hpp"
+
+namespace ow = odrl::workload;
+
+namespace {
+ow::RecordedTrace sample_trace(std::size_t cores = 4,
+                               std::size_t epochs = 20) {
+  ow::GeneratedWorkload gen = ow::GeneratedWorkload::mixed_suite(cores, 11);
+  return gen.record(epochs);
+}
+}  // namespace
+
+TEST(TraceIo, RoundTripPreservesEverything) {
+  const ow::RecordedTrace original = sample_trace();
+  std::stringstream buffer;
+  ow::save_trace_csv(original, buffer);
+  const ow::RecordedTrace loaded = ow::load_trace_csv(buffer);
+
+  ASSERT_EQ(loaded.n_cores(), original.n_cores());
+  ASSERT_EQ(loaded.n_epochs(), original.n_epochs());
+  for (std::size_t c = 0; c < original.n_cores(); ++c) {
+    EXPECT_EQ(loaded.label(c), original.label(c));
+  }
+  for (std::size_t e = 0; e < original.n_epochs(); ++e) {
+    for (std::size_t c = 0; c < original.n_cores(); ++c) {
+      // to_chars round-trips doubles exactly.
+      EXPECT_EQ(loaded.epoch(e)[c].base_cpi, original.epoch(e)[c].base_cpi);
+      EXPECT_EQ(loaded.epoch(e)[c].mpki, original.epoch(e)[c].mpki);
+      EXPECT_EQ(loaded.epoch(e)[c].activity, original.epoch(e)[c].activity);
+    }
+  }
+}
+
+TEST(TraceIo, ReplayOfLoadedTraceMatches) {
+  const ow::RecordedTrace original = sample_trace(3, 15);
+  std::stringstream buffer;
+  ow::save_trace_csv(original, buffer);
+  ow::ReplayWorkload a{original};
+  ow::ReplayWorkload b{ow::load_trace_csv(buffer)};
+  for (int e = 0; e < 15; ++e) {
+    const auto sa = a.step();
+    const auto sb = b.step();
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_EQ(sa[c].mpki, sb[c].mpki);
+    }
+  }
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const ow::RecordedTrace original = sample_trace(2, 5);
+  const std::string path = testing::TempDir() + "/odrl_trace_test.csv";
+  ow::save_trace_file(original, path);
+  const ow::RecordedTrace loaded = ow::load_trace_file(path);
+  EXPECT_EQ(loaded.n_epochs(), 5u);
+  EXPECT_EQ(loaded.n_cores(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, RejectsForbiddenLabels) {
+  ow::RecordedTrace trace(1, {"has,comma"});
+  trace.append_epoch({ow::PhaseSample{}});
+  std::stringstream buffer;
+  EXPECT_THROW(ow::save_trace_csv(trace, buffer), std::invalid_argument);
+}
+
+TEST(TraceIo, RejectsMalformedInput) {
+  auto expect_reject = [](const std::string& text) {
+    std::stringstream in(text);
+    EXPECT_THROW(ow::load_trace_csv(in), std::runtime_error) << text;
+  };
+  expect_reject("");
+  expect_reject("not a trace\n");
+  expect_reject("# odrl-trace v1\nno-labels-row\n");
+  expect_reject("# odrl-trace v1\nlabels,a\nwrong,header\n");
+  // Truncated epoch (2 cores declared, one row).
+  expect_reject(
+      "# odrl-trace v1\nlabels,a,b\nepoch,core,base_cpi,mpki,activity\n"
+      "0,0,1.0,2.0,0.5\n");
+  // Out-of-order rows.
+  expect_reject(
+      "# odrl-trace v1\nlabels,a\nepoch,core,base_cpi,mpki,activity\n"
+      "1,0,1.0,2.0,0.5\n");
+  // Bad number.
+  expect_reject(
+      "# odrl-trace v1\nlabels,a\nepoch,core,base_cpi,mpki,activity\n"
+      "0,0,xyz,2.0,0.5\n");
+  // Wrong arity.
+  expect_reject(
+      "# odrl-trace v1\nlabels,a\nepoch,core,base_cpi,mpki,activity\n"
+      "0,0,1.0,2.0\n");
+  // No data rows at all.
+  expect_reject(
+      "# odrl-trace v1\nlabels,a\nepoch,core,base_cpi,mpki,activity\n");
+}
+
+TEST(TraceIo, MissingFileThrows) {
+  EXPECT_THROW(ow::load_trace_file("/nonexistent/odrl.csv"),
+               std::runtime_error);
+}

@@ -1,0 +1,458 @@
+// Unit tests for src/util: RNG determinism and distribution sanity,
+// streaming statistics, histograms, table/CSV rendering, CLI parsing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace ou = odrl::util;
+
+// ---------------------------------------------------------------- Rng
+
+TEST(Rng, SameSeedSameSequence) {
+  ou::Rng a(42);
+  ou::Rng b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  ou::Rng a(1);
+  ou::Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  ou::Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  ou::Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformRangeRejectsInverted) {
+  ou::Rng rng(7);
+  EXPECT_THROW(rng.uniform(2.0, 1.0), std::invalid_argument);
+}
+
+TEST(Rng, UniformMeanIsCentered) {
+  ou::Rng rng(11);
+  ou::RunningStats s;
+  for (int i = 0; i < 100000; ++i) s.add(rng.uniform());
+  EXPECT_NEAR(s.mean(), 0.5, 0.01);
+}
+
+TEST(Rng, BelowCoversAllResidues) {
+  ou::Rng rng(3);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.below(7));
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_EQ(*seen.rbegin(), 6u);
+}
+
+TEST(Rng, BelowZeroThrows) {
+  ou::Rng rng(3);
+  EXPECT_THROW(rng.below(0), std::invalid_argument);
+}
+
+TEST(Rng, BetweenInclusiveBounds) {
+  ou::Rng rng(5);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.between(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, GaussianMomentsMatch) {
+  ou::Rng rng(13);
+  ou::RunningStats s;
+  for (int i = 0; i < 200000; ++i) s.add(rng.gaussian());
+  EXPECT_NEAR(s.mean(), 0.0, 0.02);
+  EXPECT_NEAR(s.stddev(), 1.0, 0.02);
+}
+
+TEST(Rng, GaussianScaled) {
+  ou::Rng rng(13);
+  ou::RunningStats s;
+  for (int i = 0; i < 100000; ++i) s.add(rng.gaussian(10.0, 2.0));
+  EXPECT_NEAR(s.mean(), 10.0, 0.05);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, GaussianNegativeStddevThrows) {
+  ou::Rng rng(13);
+  EXPECT_THROW(rng.gaussian(0.0, -1.0), std::invalid_argument);
+}
+
+TEST(Rng, ChanceExtremes) {
+  ou::Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceFrequencyTracksP) {
+  ou::Rng rng(17);
+  int hits = 0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) {
+    if (rng.chance(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialMeanIsInverseRate) {
+  ou::Rng rng(19);
+  ou::RunningStats s;
+  for (int i = 0; i < 100000; ++i) s.add(rng.exponential(4.0));
+  EXPECT_NEAR(s.mean(), 0.25, 0.01);
+}
+
+TEST(Rng, ExponentialRejectsNonPositiveRate) {
+  ou::Rng rng(19);
+  EXPECT_THROW(rng.exponential(0.0), std::invalid_argument);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  ou::Rng parent(23);
+  ou::Rng child = parent.fork();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent.next() == child.next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ForkIsDeterministic) {
+  ou::Rng a(23);
+  ou::Rng b(23);
+  ou::Rng ca = a.fork();
+  ou::Rng cb = b.fork();
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(ca.next(), cb.next());
+}
+
+// ------------------------------------------------------- RunningStats
+
+TEST(RunningStats, EmptyIsZero) {
+  ou::RunningStats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStats, SingleSample) {
+  ou::RunningStats s;
+  s.add(3.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(RunningStats, KnownMoments) {
+  ou::RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  ou::Rng rng(29);
+  ou::RunningStats all;
+  ou::RunningStats a;
+  ou::RunningStats b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.gaussian(3.0, 2.0);
+    all.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  ou::RunningStats a;
+  a.add(1.0);
+  a.add(2.0);
+  ou::RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.5);
+}
+
+TEST(RunningStats, ResetClears) {
+  ou::RunningStats s;
+  s.add(5.0);
+  s.reset();
+  EXPECT_TRUE(s.empty());
+}
+
+// ------------------------------------------------------------- Ema
+
+TEST(Ema, FirstSamplePrimes) {
+  ou::Ema e(0.5);
+  EXPECT_FALSE(e.primed());
+  e.update(10.0);
+  EXPECT_TRUE(e.primed());
+  EXPECT_DOUBLE_EQ(e.value(), 10.0);
+}
+
+TEST(Ema, ConvergesToConstant) {
+  ou::Ema e(0.3);
+  for (int i = 0; i < 100; ++i) e.update(7.0);
+  EXPECT_NEAR(e.value(), 7.0, 1e-9);
+}
+
+TEST(Ema, AlphaOneTracksExactly) {
+  ou::Ema e(1.0);
+  e.update(1.0);
+  e.update(42.0);
+  EXPECT_DOUBLE_EQ(e.value(), 42.0);
+}
+
+TEST(Ema, StepResponse) {
+  ou::Ema e(0.5);
+  e.update(0.0);
+  e.update(1.0);
+  EXPECT_DOUBLE_EQ(e.value(), 0.5);
+  e.update(1.0);
+  EXPECT_DOUBLE_EQ(e.value(), 0.75);
+}
+
+TEST(Ema, InvalidAlphaThrows) {
+  EXPECT_THROW(ou::Ema(0.0), std::invalid_argument);
+  EXPECT_THROW(ou::Ema(1.5), std::invalid_argument);
+  EXPECT_THROW(ou::Ema(-0.1), std::invalid_argument);
+}
+
+TEST(Ema, ResetUnprimes) {
+  ou::Ema e(0.5);
+  e.update(3.0);
+  e.reset();
+  EXPECT_FALSE(e.primed());
+  e.update(9.0);
+  EXPECT_DOUBLE_EQ(e.value(), 9.0);
+}
+
+// --------------------------------------------------------- Histogram
+
+TEST(Histogram, BinningAndClamping) {
+  ou::Histogram h(0.0, 10.0, 10);
+  h.add(0.5);    // bin 0
+  h.add(9.99);   // bin 9
+  h.add(-5.0);   // clamps to bin 0
+  h.add(15.0);   // clamps to bin 9
+  h.add(5.0);    // bin 5
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(9), 2u);
+  EXPECT_EQ(h.count(5), 1u);
+  EXPECT_EQ(h.total(), 5u);
+}
+
+TEST(Histogram, BinCenters) {
+  ou::Histogram h(0.0, 10.0, 10);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 0.5);
+  EXPECT_DOUBLE_EQ(h.bin_center(9), 9.5);
+}
+
+TEST(Histogram, InvalidConstruction) {
+  EXPECT_THROW(ou::Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(ou::Histogram(2.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(ou::Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Histogram, OutOfRangeAccessorsThrow) {
+  ou::Histogram h(0.0, 1.0, 4);
+  EXPECT_THROW(h.count(4), std::out_of_range);
+  EXPECT_THROW(h.bin_center(4), std::out_of_range);
+}
+
+// -------------------------------------------------------- percentile
+
+TEST(Percentile, MedianOfOddSet) {
+  const std::vector<double> v{3.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(ou::percentile(v, 50.0), 2.0);
+}
+
+TEST(Percentile, InterpolatesBetweenPoints) {
+  const std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(ou::percentile(v, 25.0), 2.5);
+  EXPECT_DOUBLE_EQ(ou::percentile(v, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(ou::percentile(v, 100.0), 10.0);
+}
+
+TEST(Percentile, SingleSample) {
+  const std::vector<double> v{5.0};
+  EXPECT_DOUBLE_EQ(ou::percentile(v, 99.0), 5.0);
+}
+
+TEST(Percentile, RejectsBadInput) {
+  const std::vector<double> empty;
+  const std::vector<double> v{1.0};
+  EXPECT_THROW(ou::percentile(empty, 50.0), std::invalid_argument);
+  EXPECT_THROW(ou::percentile(v, -1.0), std::invalid_argument);
+  EXPECT_THROW(ou::percentile(v, 101.0), std::invalid_argument);
+}
+
+TEST(MeanGeomean, BasicValues) {
+  const std::vector<double> v{1.0, 2.0, 4.0};
+  EXPECT_NEAR(ou::mean_of(v), 7.0 / 3.0, 1e-12);
+  EXPECT_NEAR(ou::geomean_of(v), 2.0, 1e-12);
+  EXPECT_EQ(ou::mean_of({}), 0.0);
+}
+
+TEST(Geomean, RejectsNonPositive) {
+  const std::vector<double> v{1.0, 0.0};
+  EXPECT_THROW(ou::geomean_of(v), std::invalid_argument);
+  const std::vector<double> empty;
+  EXPECT_THROW(ou::geomean_of(empty), std::invalid_argument);
+}
+
+// ------------------------------------------------------------- Table
+
+TEST(Table, RendersAlignedColumns) {
+  ou::Table t({"name", "value"});
+  t.add_row({"alpha", "1.0"});
+  t.add_row({"longer-name", "22.5"});
+  const std::string out = t.render("title");
+  EXPECT_NE(out.find("title"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22.5"), std::string::npos);
+  // All data lines have equal width.
+  EXPECT_NE(out.find("-----"), std::string::npos);
+}
+
+TEST(Table, ShortRowsPadded) {
+  ou::Table t({"a", "b", "c"});
+  t.add_row({"x"});
+  EXPECT_EQ(t.row_count(), 1u);
+  EXPECT_NO_THROW(t.render());
+}
+
+TEST(Table, TooManyCellsRejected) {
+  ou::Table t({"a"});
+  EXPECT_THROW(t.add_row({"x", "y"}), std::invalid_argument);
+}
+
+TEST(Table, EmptyHeaderRejected) {
+  EXPECT_THROW(ou::Table({}), std::invalid_argument);
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(ou::Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(ou::Table::fmt(2.0, 0), "2");
+  EXPECT_EQ(ou::Table::sci(12345.0, 2), "1.23e+04");
+}
+
+// --------------------------------------------------------------- CSV
+
+TEST(Csv, EscapesSpecialCharacters) {
+  EXPECT_EQ(ou::csv_escape("plain"), "plain");
+  EXPECT_EQ(ou::csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(ou::csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(ou::csv_escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, WritesRows) {
+  std::ostringstream os;
+  ou::CsvWriter w(os);
+  w.write_row({"epoch", "power"});
+  w.write_row("run1", {1.5, 2.5});
+  EXPECT_EQ(w.rows_written(), 2u);
+  EXPECT_EQ(os.str(), "epoch,power\nrun1,1.5,2.5\n");
+}
+
+// --------------------------------------------------------------- CLI
+
+TEST(Cli, ParsesFlagsAndPositionals) {
+  const char* argv[] = {"prog", "--cores=64", "--budget", "0.5", "pos1",
+                        "--verbose"};
+  ou::CliArgs args(6, argv);
+  EXPECT_EQ(args.get_int("cores", 0), 64);
+  EXPECT_DOUBLE_EQ(args.get_double("budget", 0.0), 0.5);
+  EXPECT_TRUE(args.get_bool("verbose", false));
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "pos1");
+  EXPECT_EQ(args.program(), "prog");
+}
+
+TEST(Cli, FallbacksWhenMissing) {
+  const char* argv[] = {"prog"};
+  ou::CliArgs args(1, argv);
+  EXPECT_EQ(args.get("name", "dflt"), "dflt");
+  EXPECT_EQ(args.get_int("n", 7), 7);
+  EXPECT_FALSE(args.has("n"));
+}
+
+TEST(Cli, BadNumbersThrow) {
+  const char* argv[] = {"prog", "--n=abc"};
+  ou::CliArgs args(2, argv);
+  EXPECT_THROW(args.get_int("n", 0), std::invalid_argument);
+  EXPECT_THROW(args.get_double("n", 0.0), std::invalid_argument);
+}
+
+TEST(Cli, BooleanSpellings) {
+  const char* argv[] = {"prog", "--a=yes", "--b=off", "--c=maybe"};
+  ou::CliArgs args(4, argv);
+  EXPECT_TRUE(args.get_bool("a", false));
+  EXPECT_FALSE(args.get_bool("b", true));
+  EXPECT_THROW(args.get_bool("c", false), std::invalid_argument);
+}
+
+// --------------------------------------------------------------- Log
+
+TEST(Log, FiltersBelowLevel) {
+  std::ostringstream os;
+  ou::Logger::set_stream(os);
+  ou::Logger::set_level(ou::LogLevel::kWarn);
+  ou::LogLine(ou::LogLevel::kDebug, "mod") << "hidden";
+  ou::LogLine(ou::LogLevel::kError, "mod") << "shown";
+  ou::Logger::set_stream(std::clog);
+  EXPECT_EQ(os.str().find("hidden"), std::string::npos);
+  EXPECT_NE(os.str().find("shown"), std::string::npos);
+  EXPECT_NE(os.str().find("[ERROR]"), std::string::npos);
+}
+
+TEST(Log, LevelNames) {
+  EXPECT_EQ(ou::to_string(ou::LogLevel::kInfo), "INFO");
+  EXPECT_EQ(ou::to_string(ou::LogLevel::kTrace), "TRACE");
+}

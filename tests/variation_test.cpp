@@ -1,0 +1,198 @@
+// Tests for the process-variation substrate and its end-to-end effect:
+// model-based prediction degrades on varied silicon while model-free
+// control is unaffected (the mechanism behind experiment E8).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "arch/chip_config.hpp"
+#include "arch/variation.hpp"
+#include "baselines/predictor.hpp"
+#include "sim/system.hpp"
+#include "util/stats.hpp"
+#include "workload/workload.hpp"
+
+namespace oa = odrl::arch;
+namespace os = odrl::sim;
+namespace ob = odrl::baselines;
+namespace ow = odrl::workload;
+
+TEST(Variation, NoneIsIdentity) {
+  const auto map = oa::VariationMap::none(8);
+  EXPECT_EQ(map.n_cores(), 8u);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_DOUBLE_EQ(map.leakage_mult(i), 1.0);
+    EXPECT_DOUBLE_EQ(map.c_eff_mult(i), 1.0);
+  }
+  const oa::CoreParams nominal;
+  const oa::CoreParams applied = map.apply(nominal, 3);
+  EXPECT_DOUBLE_EQ(applied.leak_scale_w, nominal.leak_scale_w);
+  EXPECT_DOUBLE_EQ(applied.c_eff_nf, nominal.c_eff_nf);
+}
+
+TEST(Variation, SampleIsDeterministicPerSeed) {
+  const oa::Mesh mesh(4, 4);
+  oa::VariationConfig cfg;
+  cfg.seed = 42;
+  const auto a = oa::VariationMap::sample(mesh, 16, cfg);
+  const auto b = oa::VariationMap::sample(mesh, 16, cfg);
+  for (std::size_t i = 0; i < 16; ++i) {
+    EXPECT_DOUBLE_EQ(a.leakage_mult(i), b.leakage_mult(i));
+  }
+  cfg.seed = 43;
+  const auto c = oa::VariationMap::sample(mesh, 16, cfg);
+  bool differs = false;
+  for (std::size_t i = 0; i < 16; ++i) {
+    if (a.leakage_mult(i) != c.leakage_mult(i)) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Variation, LeakageMultiplierHasUnitMean) {
+  // Lognormal with E = 1: average over many chip instances approaches 1.
+  const oa::Mesh mesh(8, 8);
+  oa::VariationConfig cfg;
+  cfg.leakage_sigma = 0.2;
+  odrl::util::RunningStats stats;
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    cfg.seed = seed;
+    const auto map = oa::VariationMap::sample(mesh, 64, cfg);
+    stats.add(map.mean_leakage_mult());
+  }
+  EXPECT_NEAR(stats.mean(), 1.0, 0.02);
+}
+
+TEST(Variation, ZeroSigmaIsUniform) {
+  const oa::Mesh mesh(4, 4);
+  oa::VariationConfig cfg;
+  cfg.leakage_sigma = 0.0;
+  cfg.c_eff_sigma = 0.0;
+  const auto map = oa::VariationMap::sample(mesh, 16, cfg);
+  for (std::size_t i = 0; i < 16; ++i) {
+    EXPECT_DOUBLE_EQ(map.leakage_mult(i), 1.0);
+    EXPECT_DOUBLE_EQ(map.c_eff_mult(i), 1.0);
+  }
+}
+
+TEST(Variation, SpatialCorrelationDecaysWithDistance) {
+  // Average |z_i - z_j| over instances: adjacent tiles must be more alike
+  // than far-apart tiles.
+  const oa::Mesh mesh(8, 8);
+  oa::VariationConfig cfg;
+  cfg.leakage_sigma = 0.3;
+  cfg.correlation_length = 2.0;
+  odrl::util::RunningStats near_diff;
+  odrl::util::RunningStats far_diff;
+  for (std::uint64_t seed = 0; seed < 100; ++seed) {
+    cfg.seed = seed;
+    const auto map = oa::VariationMap::sample(mesh, 64, cfg);
+    near_diff.add(std::abs(map.leakage_mult(0) - map.leakage_mult(1)));
+    far_diff.add(std::abs(map.leakage_mult(0) - map.leakage_mult(63)));
+  }
+  EXPECT_LT(near_diff.mean(), far_diff.mean());
+}
+
+TEST(Variation, ApplyPerturbsOnlyPowerConstants) {
+  const oa::Mesh mesh(2, 2);
+  oa::VariationConfig cfg;
+  cfg.seed = 7;
+  const auto map = oa::VariationMap::sample(mesh, 4, cfg);
+  const oa::CoreParams nominal;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const oa::CoreParams p = map.apply(nominal, i);
+    EXPECT_DOUBLE_EQ(p.leak_scale_w,
+                     nominal.leak_scale_w * map.leakage_mult(i));
+    EXPECT_DOUBLE_EQ(p.c_eff_nf, nominal.c_eff_nf * map.c_eff_mult(i));
+    EXPECT_DOUBLE_EQ(p.mem_latency_ns, nominal.mem_latency_ns);
+    EXPECT_DOUBLE_EQ(p.issue_width, nominal.issue_width);
+  }
+}
+
+TEST(Variation, Validation) {
+  const oa::Mesh mesh(2, 2);
+  oa::VariationConfig cfg;
+  cfg.leakage_sigma = 1.5;
+  EXPECT_THROW(oa::VariationMap::sample(mesh, 4, cfg), std::invalid_argument);
+  cfg = {};
+  cfg.correlation_length = 0.0;
+  EXPECT_THROW(oa::VariationMap::sample(mesh, 4, cfg), std::invalid_argument);
+  cfg = {};
+  EXPECT_THROW(oa::VariationMap::sample(mesh, 5, cfg), std::invalid_argument);
+  EXPECT_THROW(oa::VariationMap::sample(mesh, 0, cfg), std::invalid_argument);
+  EXPECT_THROW(oa::VariationMap::none(0), std::invalid_argument);
+  const auto map = oa::VariationMap::none(2);
+  EXPECT_THROW(map.leakage_mult(2), std::out_of_range);
+  EXPECT_THROW(map.c_eff_mult(2), std::out_of_range);
+}
+
+// ---- end-to-end: variation changes true power; the nominal-model
+// ---- predictor becomes biased exactly on the varied cores.
+
+TEST(Variation, VariedChipDrawsDifferentPower) {
+  const oa::ChipConfig chip = oa::ChipConfig::make(16, 0.6);
+  oa::VariationConfig vcfg;
+  vcfg.leakage_sigma = 0.3;
+  vcfg.seed = 5;
+  const auto map = oa::VariationMap::sample(chip.mesh(), 16, vcfg);
+
+  auto make_system = [&](std::optional<oa::VariationMap> variation) {
+    return os::ManyCoreSystem(
+        chip,
+        std::make_unique<ow::GeneratedWorkload>(
+            ow::GeneratedWorkload::mixed_suite(16, 1)),
+        os::SimConfig{}, std::move(variation));
+  };
+  auto nominal_sys = make_system(std::nullopt);
+  auto varied_sys = make_system(map);
+  const std::vector<std::size_t> levels(16, 5);
+  const auto obs_n = nominal_sys.step(levels);
+  const auto obs_v = varied_sys.step(levels);
+  EXPECT_NE(obs_n.true_chip_power_w, obs_v.true_chip_power_w);
+  // Per-core power differs in proportion to the leakage multiplier sign.
+  bool some_higher = false;
+  bool some_lower = false;
+  for (std::size_t i = 0; i < 16; ++i) {
+    if (obs_v.cores[i].power_w > obs_n.cores[i].power_w) some_higher = true;
+    if (obs_v.cores[i].power_w < obs_n.cores[i].power_w) some_lower = true;
+  }
+  EXPECT_TRUE(some_higher);
+  EXPECT_TRUE(some_lower);
+}
+
+TEST(Variation, NominalPredictorIsBiasedOnVariedChip) {
+  const oa::ChipConfig chip = oa::ChipConfig::make(16, 0.6);
+  oa::VariationConfig vcfg;
+  vcfg.leakage_sigma = 0.3;
+  vcfg.seed = 9;
+  const auto map = oa::VariationMap::sample(chip.mesh(), 16, vcfg);
+  os::ManyCoreSystem sys(chip,
+                         std::make_unique<ow::GeneratedWorkload>(
+                             ow::GeneratedWorkload::mixed_suite(16, 1)),
+                         os::SimConfig{}, map);
+  ob::Predictor predictor(chip);  // nominal constants, as baselines use
+
+  const std::vector<std::size_t> levels(16, 4);
+  const auto obs = sys.step(levels);
+  // Predict each core one level up, then actually run one level up and
+  // compare: on the leakiest core the prediction must be noticeably off.
+  const std::vector<std::size_t> up(16, 5);
+  const auto obs_up = sys.step(up);
+  double worst_rel_error = 0.0;
+  for (std::size_t i = 0; i < 16; ++i) {
+    const double predicted = predictor.predict(obs.cores[i], 5).power_w;
+    const double actual = obs_up.cores[i].power_w;
+    worst_rel_error = std::max(worst_rel_error,
+                               std::abs(predicted - actual) / actual);
+  }
+  EXPECT_GT(worst_rel_error, 0.03);
+}
+
+TEST(Variation, SystemRejectsMismatchedMap) {
+  const oa::ChipConfig chip = oa::ChipConfig::make(8, 0.6);
+  EXPECT_THROW(os::ManyCoreSystem(
+                   chip,
+                   std::make_unique<ow::GeneratedWorkload>(
+                       ow::GeneratedWorkload::mixed_suite(8, 1)),
+                   os::SimConfig{}, oa::VariationMap::none(4)),
+               std::invalid_argument);
+}

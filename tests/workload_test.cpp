@@ -1,0 +1,336 @@
+// Unit tests for src/workload: phases, Markov phase machines, the built-in
+// benchmark suite, and workload generation / record / replay.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "workload/benchmarks.hpp"
+#include "workload/phase.hpp"
+#include "workload/phase_machine.hpp"
+#include "workload/workload.hpp"
+
+namespace ow = odrl::workload;
+using odrl::util::Rng;
+
+// -------------------------------------------------------------- Phase
+
+TEST(Phase, ValidateAcceptsDefaults) {
+  const ow::Phase p;
+  EXPECT_NO_THROW(p.validate());
+}
+
+TEST(Phase, ValidateRejectsBadFields) {
+  ow::Phase p;
+  p.base_cpi = 0.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = {};
+  p.mpki = -1.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = {};
+  p.activity = 0.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = {};
+  p.activity = 1.5;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = {};
+  p.mean_dwell_epochs = 0.5;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(Phase, ExactSampleCopiesFields) {
+  ow::Phase p{.base_cpi = 1.2, .mpki = 8.0, .activity = 0.6,
+              .mean_dwell_epochs = 10.0};
+  const ow::PhaseSample s = ow::exact_sample(p);
+  EXPECT_DOUBLE_EQ(s.base_cpi, 1.2);
+  EXPECT_DOUBLE_EQ(s.mpki, 8.0);
+  EXPECT_DOUBLE_EQ(s.activity, 0.6);
+}
+
+// --------------------------------------------------- TransitionMatrix
+
+TEST(TransitionMatrix, UniformRowsSumToOne) {
+  const auto t = ow::TransitionMatrix::uniform(4);
+  EXPECT_EQ(t.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    double sum = 0.0;
+    for (std::size_t j = 0; j < 4; ++j) sum += t.probability(i, j);
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+TEST(TransitionMatrix, CyclicAdvances) {
+  const auto t = ow::TransitionMatrix::cyclic(3);
+  Rng rng(1);
+  EXPECT_EQ(t.sample_next(0, rng), 1u);
+  EXPECT_EQ(t.sample_next(1, rng), 2u);
+  EXPECT_EQ(t.sample_next(2, rng), 0u);
+}
+
+TEST(TransitionMatrix, RejectsMalformedRows) {
+  EXPECT_THROW(ow::TransitionMatrix({{0.5, 0.4}}), std::invalid_argument);
+  EXPECT_THROW(ow::TransitionMatrix({{1.0}, {0.5, 0.5}}),
+               std::invalid_argument);
+  EXPECT_THROW(ow::TransitionMatrix({{-0.5, 1.5}, {0.5, 0.5}}),
+               std::invalid_argument);
+  EXPECT_THROW(ow::TransitionMatrix({}), std::invalid_argument);
+  EXPECT_THROW(ow::TransitionMatrix::uniform(0), std::invalid_argument);
+}
+
+TEST(TransitionMatrix, SampleFrequenciesMatchProbabilities) {
+  const ow::TransitionMatrix t({{0.2, 0.8}, {1.0, 0.0}});
+  Rng rng(9);
+  int to_one = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    if (t.sample_next(0, rng) == 1) ++to_one;
+  }
+  EXPECT_NEAR(static_cast<double>(to_one) / trials, 0.8, 0.01);
+}
+
+// -------------------------------------------------------- PhaseMachine
+
+namespace {
+ow::PhaseMachine two_phase_machine(double dwell = 20.0) {
+  std::vector<ow::Phase> phases{
+      ow::Phase{.base_cpi = 0.5, .mpki = 1.0, .activity = 0.9,
+                .mean_dwell_epochs = dwell},
+      ow::Phase{.base_cpi = 1.5, .mpki = 20.0, .activity = 0.5,
+                .mean_dwell_epochs = dwell}};
+  return ow::PhaseMachine(phases, ow::TransitionMatrix::cyclic(2), 0, {});
+}
+}  // namespace
+
+TEST(PhaseMachine, DeterministicGivenSeed) {
+  auto a = two_phase_machine();
+  auto b = two_phase_machine();
+  Rng ra(5);
+  Rng rb(5);
+  for (int i = 0; i < 500; ++i) {
+    const auto sa = a.step(ra);
+    const auto sb = b.step(rb);
+    EXPECT_DOUBLE_EQ(sa.base_cpi, sb.base_cpi);
+    EXPECT_DOUBLE_EQ(sa.mpki, sb.mpki);
+    EXPECT_EQ(a.current_phase(), b.current_phase());
+  }
+}
+
+TEST(PhaseMachine, MeanDwellApproximatelyGeometric) {
+  auto m = two_phase_machine(25.0);
+  Rng rng(11);
+  std::size_t transitions = 0;
+  const std::size_t epochs = 50000;
+  std::size_t prev = m.current_phase();
+  for (std::size_t i = 0; i < epochs; ++i) {
+    m.step(rng);
+    if (m.current_phase() != prev) ++transitions;
+    prev = m.current_phase();
+  }
+  // Leave-probability 1/25 per epoch => ~epochs/25 transitions. The cyclic
+  // matrix always changes phase on a leave event.
+  const double expected = static_cast<double>(epochs) / 25.0;
+  EXPECT_NEAR(static_cast<double>(transitions), expected, expected * 0.15);
+}
+
+TEST(PhaseMachine, JitterStaysWithinGuardRails) {
+  std::vector<ow::Phase> phases{ow::Phase{.base_cpi = 1.0, .mpki = 5.0,
+                                          .activity = 0.5,
+                                          .mean_dwell_epochs = 10.0}};
+  ow::PhaseMachine m(phases, ow::TransitionMatrix::uniform(1), 0,
+                     ow::JitterConfig{0.2, 0.2, 0.2});
+  Rng rng(3);
+  for (int i = 0; i < 5000; ++i) {
+    const auto s = m.step(rng);
+    EXPECT_GT(s.base_cpi, 0.0);
+    EXPECT_GE(s.mpki, 0.0);
+    EXPECT_GE(s.activity, 0.05);
+    EXPECT_LE(s.activity, 1.0);
+  }
+}
+
+TEST(PhaseMachine, NoJitterReproducesPhaseExactly) {
+  std::vector<ow::Phase> phases{ow::Phase{.base_cpi = 1.0, .mpki = 5.0,
+                                          .activity = 0.5,
+                                          .mean_dwell_epochs = 1e9}};
+  ow::PhaseMachine m(phases, ow::TransitionMatrix::uniform(1), 0,
+                     ow::JitterConfig{0.0, 0.0, 0.0});
+  Rng rng(3);
+  const auto s = m.step(rng);
+  EXPECT_DOUBLE_EQ(s.base_cpi, 1.0);
+  EXPECT_DOUBLE_EQ(s.mpki, 5.0);
+  EXPECT_DOUBLE_EQ(s.activity, 0.5);
+}
+
+TEST(PhaseMachine, ConstructionValidation) {
+  std::vector<ow::Phase> phases{ow::Phase{}};
+  EXPECT_THROW(
+      ow::PhaseMachine({}, ow::TransitionMatrix::uniform(1), 0, {}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      ow::PhaseMachine(phases, ow::TransitionMatrix::uniform(2), 0, {}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      ow::PhaseMachine(phases, ow::TransitionMatrix::uniform(1), 5, {}),
+      std::invalid_argument);
+}
+
+// ----------------------------------------------------------- Benchmarks
+
+TEST(Benchmarks, SuiteHasThirteenDistinctProfiles) {
+  const auto& suite = ow::benchmark_suite();
+  EXPECT_EQ(suite.size(), 13u);
+  std::set<std::string> names;
+  for (const auto& p : suite) names.insert(p.name);
+  EXPECT_EQ(names.size(), suite.size());
+}
+
+TEST(Benchmarks, AllProfilesAreWellFormed) {
+  for (const auto& p : ow::benchmark_suite()) {
+    EXPECT_FALSE(p.phases.empty()) << p.name;
+    EXPECT_EQ(p.transitions.size(), p.phases.size()) << p.name;
+    for (const auto& phase : p.phases) EXPECT_NO_THROW(phase.validate());
+    EXPECT_FALSE(p.description.empty()) << p.name;
+  }
+}
+
+TEST(Benchmarks, SuiteSpansComputeAndMemoryBehaviour) {
+  // At least one strongly compute-bound and one strongly memory-bound
+  // profile must exist -- the heterogeneity the budget reallocation needs.
+  bool has_compute = false;
+  bool has_memory = false;
+  for (const auto& p : ow::benchmark_suite()) {
+    for (const auto& phase : p.phases) {
+      if (phase.mpki < 1.0) has_compute = true;
+      if (phase.mpki > 20.0) has_memory = true;
+    }
+  }
+  EXPECT_TRUE(has_compute);
+  EXPECT_TRUE(has_memory);
+}
+
+TEST(Benchmarks, LookupByName) {
+  EXPECT_EQ(ow::benchmark_by_name("compute.dense").name, "compute.dense");
+  EXPECT_THROW(ow::benchmark_by_name("nope"), std::invalid_argument);
+  EXPECT_EQ(ow::benchmark_names().size(), ow::benchmark_suite().size());
+}
+
+TEST(Benchmarks, InstantiateRandomizesStartPhase) {
+  const auto& pipeline = ow::benchmark_by_name("phased.pipeline");
+  Rng rng(17);
+  std::set<std::size_t> starts;
+  for (int i = 0; i < 50; ++i) {
+    starts.insert(pipeline.instantiate(rng).current_phase());
+  }
+  EXPECT_GT(starts.size(), 1u);
+}
+
+// ------------------------------------------------------------ Workload
+
+TEST(GeneratedWorkload, StepShapesAndLabels) {
+  ow::GeneratedWorkload w(6, ow::benchmark_suite(), 42);
+  EXPECT_EQ(w.n_cores(), 6u);
+  EXPECT_EQ(w.core_label(0), ow::benchmark_suite()[0].name);
+  EXPECT_EQ(w.core_label(5), ow::benchmark_suite()[5].name);
+  const auto samples = w.step();
+  EXPECT_EQ(samples.size(), 6u);
+  EXPECT_THROW(w.core_label(6), std::out_of_range);
+}
+
+TEST(GeneratedWorkload, DeterministicPerSeed) {
+  ow::GeneratedWorkload a = ow::GeneratedWorkload::mixed_suite(8, 7);
+  ow::GeneratedWorkload b = ow::GeneratedWorkload::mixed_suite(8, 7);
+  for (int e = 0; e < 200; ++e) {
+    const auto sa = a.step();
+    const auto sb = b.step();
+    for (std::size_t i = 0; i < 8; ++i) {
+      EXPECT_DOUBLE_EQ(sa[i].mpki, sb[i].mpki);
+    }
+  }
+}
+
+TEST(GeneratedWorkload, DifferentSeedsDiffer) {
+  ow::GeneratedWorkload a = ow::GeneratedWorkload::mixed_suite(8, 1);
+  ow::GeneratedWorkload b = ow::GeneratedWorkload::mixed_suite(8, 2);
+  bool any_diff = false;
+  for (int e = 0; e < 50 && !any_diff; ++e) {
+    const auto sa = a.step();
+    const auto sb = b.step();
+    for (std::size_t i = 0; i < 8; ++i) {
+      if (sa[i].mpki != sb[i].mpki) any_diff = true;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(GeneratedWorkload, CoresRunningSameProfileAreDecorrelated) {
+  // 4 cores, single profile: phase-shifted starts + independent streams.
+  ow::GeneratedWorkload w(4, ow::benchmark_by_name("phased.pipeline"), 3);
+  odrl::util::RunningStats diff;
+  for (int e = 0; e < 300; ++e) {
+    const auto s = w.step();
+    diff.add(std::abs(s[0].mpki - s[1].mpki));
+  }
+  EXPECT_GT(diff.mean(), 0.1);
+}
+
+TEST(GeneratedWorkload, RejectsBadConstruction) {
+  EXPECT_THROW(ow::GeneratedWorkload(0, ow::benchmark_suite(), 1),
+               std::invalid_argument);
+  EXPECT_THROW(ow::GeneratedWorkload(4, std::vector<ow::BenchmarkProfile>{}, 1),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------------ Record / Replay
+
+TEST(RecordedTrace, AppendAndAccess) {
+  ow::RecordedTrace trace(2, {"a", "b"});
+  trace.append_epoch({ow::PhaseSample{}, ow::PhaseSample{}});
+  EXPECT_EQ(trace.n_epochs(), 1u);
+  EXPECT_EQ(trace.label(1), "b");
+  EXPECT_THROW(trace.epoch(1), std::out_of_range);
+  EXPECT_THROW(trace.append_epoch({ow::PhaseSample{}}), std::invalid_argument);
+  EXPECT_THROW(ow::RecordedTrace(2, {"only-one"}), std::invalid_argument);
+}
+
+TEST(ReplayWorkload, ReplaysRecordingExactly) {
+  ow::GeneratedWorkload gen = ow::GeneratedWorkload::mixed_suite(4, 99);
+  const ow::RecordedTrace trace = gen.record(100);
+  ow::ReplayWorkload replay(trace);
+  for (std::size_t e = 0; e < 100; ++e) {
+    const auto s = replay.step();
+    for (std::size_t i = 0; i < 4; ++i) {
+      EXPECT_DOUBLE_EQ(s[i].mpki, trace.epoch(e)[i].mpki);
+    }
+  }
+}
+
+TEST(ReplayWorkload, WrapsAround) {
+  ow::GeneratedWorkload gen = ow::GeneratedWorkload::mixed_suite(2, 5);
+  ow::ReplayWorkload replay(gen.record(10));
+  for (int i = 0; i < 10; ++i) replay.step();
+  EXPECT_EQ(replay.cursor(), 0u);
+  const auto again = replay.step();
+  EXPECT_EQ(replay.cursor(), 1u);
+  (void)again;
+}
+
+TEST(ReplayWorkload, TwoReplaysOfSameTraceAgree) {
+  // The apples-to-apples property the controller comparison depends on.
+  ow::GeneratedWorkload gen = ow::GeneratedWorkload::mixed_suite(4, 5);
+  const ow::RecordedTrace trace = gen.record(50);
+  ow::ReplayWorkload r1(trace);
+  ow::ReplayWorkload r2(trace);
+  for (int e = 0; e < 120; ++e) {  // crosses the wrap boundary
+    const auto s1 = r1.step();
+    const auto s2 = r2.step();
+    for (std::size_t i = 0; i < 4; ++i) {
+      EXPECT_DOUBLE_EQ(s1[i].base_cpi, s2[i].base_cpi);
+    }
+  }
+}
+
+TEST(ReplayWorkload, RejectsEmptyTrace) {
+  EXPECT_THROW(ow::ReplayWorkload(ow::RecordedTrace(1, {"x"})),
+               std::invalid_argument);
+}
