@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e11_bandwidth"
+  "../bench/bench_e11_bandwidth.pdb"
+  "CMakeFiles/bench_e11_bandwidth.dir/bench_e11_bandwidth.cpp.o"
+  "CMakeFiles/bench_e11_bandwidth.dir/bench_e11_bandwidth.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e1_power_trace"
+  "../bench/bench_e1_power_trace.pdb"
+  "CMakeFiles/bench_e1_power_trace.dir/bench_e1_power_trace.cpp.o"
+  "CMakeFiles/bench_e1_power_trace.dir/bench_e1_power_trace.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_power_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

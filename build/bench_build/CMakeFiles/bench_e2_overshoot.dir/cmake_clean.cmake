@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e2_overshoot"
+  "../bench/bench_e2_overshoot.pdb"
+  "CMakeFiles/bench_e2_overshoot.dir/bench_e2_overshoot.cpp.o"
+  "CMakeFiles/bench_e2_overshoot.dir/bench_e2_overshoot.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_overshoot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

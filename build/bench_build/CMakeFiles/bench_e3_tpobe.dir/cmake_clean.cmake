@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e3_tpobe"
+  "../bench/bench_e3_tpobe.pdb"
+  "CMakeFiles/bench_e3_tpobe.dir/bench_e3_tpobe.cpp.o"
+  "CMakeFiles/bench_e3_tpobe.dir/bench_e3_tpobe.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_tpobe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e4_efficiency"
+  "../bench/bench_e4_efficiency.pdb"
+  "CMakeFiles/bench_e4_efficiency.dir/bench_e4_efficiency.cpp.o"
+  "CMakeFiles/bench_e4_efficiency.dir/bench_e4_efficiency.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e6_convergence"
+  "../bench/bench_e6_convergence.pdb"
+  "CMakeFiles/bench_e6_convergence.dir/bench_e6_convergence.cpp.o"
+  "CMakeFiles/bench_e6_convergence.dir/bench_e6_convergence.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

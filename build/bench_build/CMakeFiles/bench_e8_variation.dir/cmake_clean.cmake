@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e8_variation"
+  "../bench/bench_e8_variation.pdb"
+  "CMakeFiles/bench_e8_variation.dir/bench_e8_variation.cpp.o"
+  "CMakeFiles/bench_e8_variation.dir/bench_e8_variation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_variation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e9_vfi"
+  "../bench/bench_e9_vfi.pdb"
+  "CMakeFiles/bench_e9_vfi.dir/bench_e9_vfi.cpp.o"
+  "CMakeFiles/bench_e9_vfi.dir/bench_e9_vfi.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_vfi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datacenter_cap.dir/datacenter_cap.cpp.o"
+  "CMakeFiles/datacenter_cap.dir/datacenter_cap.cpp.o.d"
+  "datacenter_cap"
+  "datacenter_cap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datacenter_cap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

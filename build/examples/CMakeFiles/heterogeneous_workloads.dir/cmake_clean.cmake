@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heterogeneous_workloads.dir/heterogeneous_workloads.cpp.o"
+  "CMakeFiles/heterogeneous_workloads.dir/heterogeneous_workloads.cpp.o.d"
+  "heterogeneous_workloads"
+  "heterogeneous_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heterogeneous_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_inspection.dir/policy_inspection.cpp.o"
+  "CMakeFiles/policy_inspection.dir/policy_inspection.cpp.o.d"
+  "policy_inspection"
+  "policy_inspection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_inspection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("arch")
+subdirs("workload")
+subdirs("perf")
+subdirs("power")
+subdirs("thermal")
+subdirs("mem")
+subdirs("sim")
+subdirs("rl")
+subdirs("core")
+subdirs("baselines")
+subdirs("metrics")

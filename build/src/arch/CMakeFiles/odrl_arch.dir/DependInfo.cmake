@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/chip_config.cpp" "src/arch/CMakeFiles/odrl_arch.dir/chip_config.cpp.o" "gcc" "src/arch/CMakeFiles/odrl_arch.dir/chip_config.cpp.o.d"
+  "/root/repo/src/arch/hetero.cpp" "src/arch/CMakeFiles/odrl_arch.dir/hetero.cpp.o" "gcc" "src/arch/CMakeFiles/odrl_arch.dir/hetero.cpp.o.d"
+  "/root/repo/src/arch/mesh.cpp" "src/arch/CMakeFiles/odrl_arch.dir/mesh.cpp.o" "gcc" "src/arch/CMakeFiles/odrl_arch.dir/mesh.cpp.o.d"
+  "/root/repo/src/arch/variation.cpp" "src/arch/CMakeFiles/odrl_arch.dir/variation.cpp.o" "gcc" "src/arch/CMakeFiles/odrl_arch.dir/variation.cpp.o.d"
+  "/root/repo/src/arch/vf_table.cpp" "src/arch/CMakeFiles/odrl_arch.dir/vf_table.cpp.o" "gcc" "src/arch/CMakeFiles/odrl_arch.dir/vf_table.cpp.o.d"
+  "/root/repo/src/arch/vfi.cpp" "src/arch/CMakeFiles/odrl_arch.dir/vfi.cpp.o" "gcc" "src/arch/CMakeFiles/odrl_arch.dir/vfi.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/odrl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

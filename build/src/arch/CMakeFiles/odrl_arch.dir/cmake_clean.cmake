@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odrl_arch.dir/chip_config.cpp.o"
+  "CMakeFiles/odrl_arch.dir/chip_config.cpp.o.d"
+  "CMakeFiles/odrl_arch.dir/hetero.cpp.o"
+  "CMakeFiles/odrl_arch.dir/hetero.cpp.o.d"
+  "CMakeFiles/odrl_arch.dir/mesh.cpp.o"
+  "CMakeFiles/odrl_arch.dir/mesh.cpp.o.d"
+  "CMakeFiles/odrl_arch.dir/variation.cpp.o"
+  "CMakeFiles/odrl_arch.dir/variation.cpp.o.d"
+  "CMakeFiles/odrl_arch.dir/vf_table.cpp.o"
+  "CMakeFiles/odrl_arch.dir/vf_table.cpp.o.d"
+  "CMakeFiles/odrl_arch.dir/vfi.cpp.o"
+  "CMakeFiles/odrl_arch.dir/vfi.cpp.o.d"
+  "libodrl_arch.a"
+  "libodrl_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odrl_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

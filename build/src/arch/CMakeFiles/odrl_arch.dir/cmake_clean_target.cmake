@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libodrl_arch.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for odrl_arch.
+# This may be replaced when dependencies are built.

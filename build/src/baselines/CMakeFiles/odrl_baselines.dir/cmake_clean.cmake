@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odrl_baselines.dir/greedy_controller.cpp.o"
+  "CMakeFiles/odrl_baselines.dir/greedy_controller.cpp.o.d"
+  "CMakeFiles/odrl_baselines.dir/maxbips_controller.cpp.o"
+  "CMakeFiles/odrl_baselines.dir/maxbips_controller.cpp.o.d"
+  "CMakeFiles/odrl_baselines.dir/pid_controller.cpp.o"
+  "CMakeFiles/odrl_baselines.dir/pid_controller.cpp.o.d"
+  "CMakeFiles/odrl_baselines.dir/predictor.cpp.o"
+  "CMakeFiles/odrl_baselines.dir/predictor.cpp.o.d"
+  "CMakeFiles/odrl_baselines.dir/static_uniform.cpp.o"
+  "CMakeFiles/odrl_baselines.dir/static_uniform.cpp.o.d"
+  "libodrl_baselines.a"
+  "libodrl_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odrl_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odrl_core.dir/budget_realloc.cpp.o"
+  "CMakeFiles/odrl_core.dir/budget_realloc.cpp.o.d"
+  "CMakeFiles/odrl_core.dir/odrl_controller.cpp.o"
+  "CMakeFiles/odrl_core.dir/odrl_controller.cpp.o.d"
+  "CMakeFiles/odrl_core.dir/vfi_adapter.cpp.o"
+  "CMakeFiles/odrl_core.dir/vfi_adapter.cpp.o.d"
+  "libodrl_core.a"
+  "libodrl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odrl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

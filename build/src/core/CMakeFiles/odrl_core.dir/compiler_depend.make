@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for odrl_core.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/dram_model.cpp" "src/mem/CMakeFiles/odrl_mem.dir/dram_model.cpp.o" "gcc" "src/mem/CMakeFiles/odrl_mem.dir/dram_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/odrl_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/odrl_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/odrl_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/odrl_arch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odrl_mem.dir/dram_model.cpp.o"
+  "CMakeFiles/odrl_mem.dir/dram_model.cpp.o.d"
+  "libodrl_mem.a"
+  "libodrl_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odrl_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

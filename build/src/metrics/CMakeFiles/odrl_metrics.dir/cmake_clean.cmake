@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odrl_metrics.dir/metrics.cpp.o"
+  "CMakeFiles/odrl_metrics.dir/metrics.cpp.o.d"
+  "libodrl_metrics.a"
+  "libodrl_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odrl_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

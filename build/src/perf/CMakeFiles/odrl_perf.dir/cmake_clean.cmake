@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odrl_perf.dir/perf_model.cpp.o"
+  "CMakeFiles/odrl_perf.dir/perf_model.cpp.o.d"
+  "libodrl_perf.a"
+  "libodrl_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odrl_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

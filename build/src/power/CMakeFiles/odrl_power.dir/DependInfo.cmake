@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/energy.cpp" "src/power/CMakeFiles/odrl_power.dir/energy.cpp.o" "gcc" "src/power/CMakeFiles/odrl_power.dir/energy.cpp.o.d"
+  "/root/repo/src/power/power_model.cpp" "src/power/CMakeFiles/odrl_power.dir/power_model.cpp.o" "gcc" "src/power/CMakeFiles/odrl_power.dir/power_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/odrl_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/odrl_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/odrl_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odrl_power.dir/energy.cpp.o"
+  "CMakeFiles/odrl_power.dir/energy.cpp.o.d"
+  "CMakeFiles/odrl_power.dir/power_model.cpp.o"
+  "CMakeFiles/odrl_power.dir/power_model.cpp.o.d"
+  "libodrl_power.a"
+  "libodrl_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odrl_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rl/agent.cpp" "src/rl/CMakeFiles/odrl_rl.dir/agent.cpp.o" "gcc" "src/rl/CMakeFiles/odrl_rl.dir/agent.cpp.o.d"
+  "/root/repo/src/rl/discretizer.cpp" "src/rl/CMakeFiles/odrl_rl.dir/discretizer.cpp.o" "gcc" "src/rl/CMakeFiles/odrl_rl.dir/discretizer.cpp.o.d"
+  "/root/repo/src/rl/qtable.cpp" "src/rl/CMakeFiles/odrl_rl.dir/qtable.cpp.o" "gcc" "src/rl/CMakeFiles/odrl_rl.dir/qtable.cpp.o.d"
+  "/root/repo/src/rl/qtable_io.cpp" "src/rl/CMakeFiles/odrl_rl.dir/qtable_io.cpp.o" "gcc" "src/rl/CMakeFiles/odrl_rl.dir/qtable_io.cpp.o.d"
+  "/root/repo/src/rl/schedule.cpp" "src/rl/CMakeFiles/odrl_rl.dir/schedule.cpp.o" "gcc" "src/rl/CMakeFiles/odrl_rl.dir/schedule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/odrl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

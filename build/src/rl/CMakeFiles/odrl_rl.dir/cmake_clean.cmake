@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odrl_rl.dir/agent.cpp.o"
+  "CMakeFiles/odrl_rl.dir/agent.cpp.o.d"
+  "CMakeFiles/odrl_rl.dir/discretizer.cpp.o"
+  "CMakeFiles/odrl_rl.dir/discretizer.cpp.o.d"
+  "CMakeFiles/odrl_rl.dir/qtable.cpp.o"
+  "CMakeFiles/odrl_rl.dir/qtable.cpp.o.d"
+  "CMakeFiles/odrl_rl.dir/qtable_io.cpp.o"
+  "CMakeFiles/odrl_rl.dir/qtable_io.cpp.o.d"
+  "CMakeFiles/odrl_rl.dir/schedule.cpp.o"
+  "CMakeFiles/odrl_rl.dir/schedule.cpp.o.d"
+  "libodrl_rl.a"
+  "libodrl_rl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odrl_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odrl_sim.dir/runner.cpp.o"
+  "CMakeFiles/odrl_sim.dir/runner.cpp.o.d"
+  "CMakeFiles/odrl_sim.dir/system.cpp.o"
+  "CMakeFiles/odrl_sim.dir/system.cpp.o.d"
+  "libodrl_sim.a"
+  "libodrl_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odrl_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

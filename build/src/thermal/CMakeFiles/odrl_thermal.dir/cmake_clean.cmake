@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odrl_thermal.dir/thermal_model.cpp.o"
+  "CMakeFiles/odrl_thermal.dir/thermal_model.cpp.o.d"
+  "libodrl_thermal.a"
+  "libodrl_thermal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odrl_thermal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

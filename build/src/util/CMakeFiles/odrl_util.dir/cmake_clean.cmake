@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odrl_util.dir/cli.cpp.o"
+  "CMakeFiles/odrl_util.dir/cli.cpp.o.d"
+  "CMakeFiles/odrl_util.dir/csv.cpp.o"
+  "CMakeFiles/odrl_util.dir/csv.cpp.o.d"
+  "CMakeFiles/odrl_util.dir/log.cpp.o"
+  "CMakeFiles/odrl_util.dir/log.cpp.o.d"
+  "CMakeFiles/odrl_util.dir/rng.cpp.o"
+  "CMakeFiles/odrl_util.dir/rng.cpp.o.d"
+  "CMakeFiles/odrl_util.dir/stats.cpp.o"
+  "CMakeFiles/odrl_util.dir/stats.cpp.o.d"
+  "CMakeFiles/odrl_util.dir/table.cpp.o"
+  "CMakeFiles/odrl_util.dir/table.cpp.o.d"
+  "libodrl_util.a"
+  "libodrl_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odrl_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

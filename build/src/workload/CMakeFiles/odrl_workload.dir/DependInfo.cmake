@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/benchmarks.cpp" "src/workload/CMakeFiles/odrl_workload.dir/benchmarks.cpp.o" "gcc" "src/workload/CMakeFiles/odrl_workload.dir/benchmarks.cpp.o.d"
+  "/root/repo/src/workload/phase.cpp" "src/workload/CMakeFiles/odrl_workload.dir/phase.cpp.o" "gcc" "src/workload/CMakeFiles/odrl_workload.dir/phase.cpp.o.d"
+  "/root/repo/src/workload/phase_machine.cpp" "src/workload/CMakeFiles/odrl_workload.dir/phase_machine.cpp.o" "gcc" "src/workload/CMakeFiles/odrl_workload.dir/phase_machine.cpp.o.d"
+  "/root/repo/src/workload/trace_io.cpp" "src/workload/CMakeFiles/odrl_workload.dir/trace_io.cpp.o" "gcc" "src/workload/CMakeFiles/odrl_workload.dir/trace_io.cpp.o.d"
+  "/root/repo/src/workload/workload.cpp" "src/workload/CMakeFiles/odrl_workload.dir/workload.cpp.o" "gcc" "src/workload/CMakeFiles/odrl_workload.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/odrl_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/odrl_arch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odrl_workload.dir/benchmarks.cpp.o"
+  "CMakeFiles/odrl_workload.dir/benchmarks.cpp.o.d"
+  "CMakeFiles/odrl_workload.dir/phase.cpp.o"
+  "CMakeFiles/odrl_workload.dir/phase.cpp.o.d"
+  "CMakeFiles/odrl_workload.dir/phase_machine.cpp.o"
+  "CMakeFiles/odrl_workload.dir/phase_machine.cpp.o.d"
+  "CMakeFiles/odrl_workload.dir/trace_io.cpp.o"
+  "CMakeFiles/odrl_workload.dir/trace_io.cpp.o.d"
+  "CMakeFiles/odrl_workload.dir/workload.cpp.o"
+  "CMakeFiles/odrl_workload.dir/workload.cpp.o.d"
+  "libodrl_workload.a"
+  "libodrl_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odrl_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

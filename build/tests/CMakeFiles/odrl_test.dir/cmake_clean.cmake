@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odrl_test.dir/odrl_test.cpp.o"
+  "CMakeFiles/odrl_test.dir/odrl_test.cpp.o.d"
+  "odrl_test"
+  "odrl_test.pdb"
+  "odrl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odrl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

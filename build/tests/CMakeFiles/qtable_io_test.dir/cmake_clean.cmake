@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qtable_io_test.dir/qtable_io_test.cpp.o"
+  "CMakeFiles/qtable_io_test.dir/qtable_io_test.cpp.o.d"
+  "qtable_io_test"
+  "qtable_io_test.pdb"
+  "qtable_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qtable_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

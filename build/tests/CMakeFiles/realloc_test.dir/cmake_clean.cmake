@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/realloc_test.dir/realloc_test.cpp.o"
+  "CMakeFiles/realloc_test.dir/realloc_test.cpp.o.d"
+  "realloc_test"
+  "realloc_test.pdb"
+  "realloc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/realloc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vfi_test.dir/vfi_test.cpp.o"
+  "CMakeFiles/vfi_test.dir/vfi_test.cpp.o.d"
+  "vfi_test"
+  "vfi_test.pdb"
+  "vfi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vfi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
