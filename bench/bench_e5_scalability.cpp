@@ -9,6 +9,13 @@
 // Expected shape: OD-RL scales ~linearly with a tiny constant; MaxBIPS's
 // knapsack DP pays O(n * levels * bins) and lands 100x+ above OD-RL at 256+
 // cores; Greedy sits in between.
+//
+// The *Threads benchmarks sweep the deterministic parallel execution layer
+// (util::ThreadPool): step-only, decide-only and full-epoch wall time at a
+// fixed core count as a function of thread count. Results are bit-identical
+// across thread counts (tests/threading_test.cpp pins this), so the sweep
+// measures pure speedup. Run with e.g.
+//   ./bench/bench_e5_scalability --benchmark_filter=Threads
 #include <benchmark/benchmark.h>
 
 #include <memory>
@@ -28,12 +35,12 @@ namespace {
 
 /// Builds a chip + one observed epoch at the given core count.
 struct Fixture {
-  explicit Fixture(std::size_t cores)
+  explicit Fixture(std::size_t cores, sim::SimConfig sim = {})
       : chip(arch::ChipConfig::make(cores, 0.6)),
         system(chip,
                std::make_unique<workload::GeneratedWorkload>(
                    workload::GeneratedWorkload::mixed_suite(cores, 42)),
-               sim::SimConfig{}) {
+               sim) {
     const std::vector<std::size_t> levels(cores, chip.vf_table().size() / 2);
     obs = system.step(levels);
   }
@@ -81,6 +88,64 @@ void BM_PidDecide(benchmark::State& state) {
   });
 }
 
+// ---------------------------------------------------------------------
+// Thread-count sweeps: args = (cores, threads).
+
+sim::SimConfig threaded_sim(std::size_t threads) {
+  sim::SimConfig cfg;
+  cfg.threads = threads;
+  cfg.sensor_noise_rel = 0.05;  // exercise the per-core noise substreams
+  return cfg;
+}
+
+/// Simulator epoch (perf/power/thermal/sensors) wall time.
+void BM_StepThreads(benchmark::State& state) {
+  const auto cores = static_cast<std::size_t>(state.range(0));
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  Fixture fx(cores, threaded_sim(threads));
+  const std::vector<std::size_t> levels(cores, fx.chip.vf_table().size() / 2);
+  for (auto _ : state) {
+    auto obs = fx.system.step(levels);
+    benchmark::DoNotOptimize(obs);
+  }
+  state.counters["threads"] = static_cast<double>(threads);
+}
+
+/// OD-RL decide (per-core TD act/learn) wall time.
+void BM_OdrlDecideThreads(benchmark::State& state) {
+  const auto cores = static_cast<std::size_t>(state.range(0));
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  Fixture fx(cores, threaded_sim(threads));
+  core::OdrlConfig cfg;
+  cfg.threads = threads;
+  core::OdrlController controller(fx.chip, cfg);
+  benchmark::DoNotOptimize(controller.decide(fx.obs));
+  for (auto _ : state) {
+    auto levels = controller.decide(fx.obs);
+    benchmark::DoNotOptimize(levels);
+  }
+  state.counters["threads"] = static_cast<double>(threads);
+}
+
+/// One full control epoch: step + decide, the closed loop's unit of wall
+/// time. The 8-vs-1-thread ratio of this benchmark at 256 cores is the
+/// headline speedup of the parallel epoch engine.
+void BM_EpochThreads(benchmark::State& state) {
+  const auto cores = static_cast<std::size_t>(state.range(0));
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  Fixture fx(cores, threaded_sim(threads));
+  core::OdrlConfig cfg;
+  cfg.threads = threads;
+  core::OdrlController controller(fx.chip, cfg);
+  std::vector<std::size_t> levels = controller.initial_levels(cores);
+  for (auto _ : state) {
+    const auto obs = fx.system.step(levels);
+    levels = controller.decide(obs);
+    benchmark::DoNotOptimize(levels);
+  }
+  state.counters["threads"] = static_cast<double>(threads);
+}
+
 }  // namespace
 
 BENCHMARK(BM_OdrlDecide)->RangeMultiplier(2)->Range(16, 1024)->Complexity();
@@ -91,5 +156,18 @@ BENCHMARK(BM_GreedyDecide)->RangeMultiplier(2)->Range(16, 1024)->Complexity();
 // paper's point, and would also make this harness unreasonably slow.
 BENCHMARK(BM_MaxBipsDecide)->RangeMultiplier(2)->Range(16, 256)->Complexity();
 BENCHMARK(BM_PidDecide)->RangeMultiplier(2)->Range(16, 1024)->Complexity();
+
+// Thread sweeps at the paper's "hundreds of cores" operating point (plus a
+// 1024-core stress point for the full epoch). UseRealTime: the work happens
+// on pool workers, so CPU time of the driving thread would under-report.
+BENCHMARK(BM_StepThreads)
+    ->ArgsProduct({{256}, {1, 2, 4, 8}})
+    ->UseRealTime();
+BENCHMARK(BM_OdrlDecideThreads)
+    ->ArgsProduct({{256}, {1, 2, 4, 8}})
+    ->UseRealTime();
+BENCHMARK(BM_EpochThreads)
+    ->ArgsProduct({{256, 1024}, {1, 2, 4, 8}})
+    ->UseRealTime();
 
 BENCHMARK_MAIN();

@@ -210,10 +210,18 @@ examples/CMakeFiles/quickstart.dir/quickstart.cpp.o: \
  /root/repo/src/rl/qtable.hpp /root/repo/src/rl/schedule.hpp \
  /root/repo/src/util/rng.hpp /usr/include/c++/12/limits \
  /root/repo/src/rl/discretizer.hpp /root/repo/src/util/stats.hpp \
- /root/repo/src/metrics/metrics.hpp /root/repo/src/sim/runner.hpp \
- /root/repo/src/sim/system.hpp /root/repo/src/arch/variation.hpp \
- /root/repo/src/mem/dram_model.hpp /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h \
+ /root/repo/src/util/thread_pool.hpp /usr/include/c++/12/atomic \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/node_handle.h \
@@ -221,7 +229,10 @@ examples/CMakeFiles/quickstart.dir/quickstart.cpp.o: \
  /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/thread /root/repo/src/metrics/metrics.hpp \
+ /root/repo/src/sim/runner.hpp /root/repo/src/sim/system.hpp \
+ /root/repo/src/arch/variation.hpp /root/repo/src/mem/dram_model.hpp \
  /root/repo/src/perf/perf_model.hpp /root/repo/src/workload/phase.hpp \
  /root/repo/src/power/power_model.hpp \
  /root/repo/src/thermal/thermal_model.hpp \

@@ -215,7 +215,18 @@ src/sim/CMakeFiles/odrl_sim.dir/system.cpp.o: \
  /root/repo/src/perf/perf_model.hpp /root/repo/src/workload/phase.hpp \
  /root/repo/src/power/power_model.hpp /root/repo/src/sim/observation.hpp \
  /root/repo/src/thermal/thermal_model.hpp /root/repo/src/util/rng.hpp \
- /usr/include/c++/12/limits /root/repo/src/workload/workload.hpp \
+ /usr/include/c++/12/limits /root/repo/src/util/thread_pool.hpp \
+ /usr/include/c++/12/atomic /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/thread /root/repo/src/workload/workload.hpp \
  /root/repo/src/workload/benchmarks.hpp \
  /root/repo/src/workload/phase_machine.hpp /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/ranges_algo.h \

@@ -11,6 +11,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/odrl_util.dir/stats.cpp.o.d"
   "CMakeFiles/odrl_util.dir/table.cpp.o"
   "CMakeFiles/odrl_util.dir/table.cpp.o.d"
+  "CMakeFiles/odrl_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/odrl_util.dir/thread_pool.cpp.o.d"
   "libodrl_util.a"
   "libodrl_util.pdb"
 )

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/threading_test.cpp" "tests/CMakeFiles/threading_test.dir/threading_test.cpp.o" "gcc" "tests/CMakeFiles/threading_test.dir/threading_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/odrl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/odrl_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/odrl_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/odrl_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/odrl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/odrl_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/thermal/CMakeFiles/odrl_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/odrl_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/odrl_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/odrl_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/odrl_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/odrl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

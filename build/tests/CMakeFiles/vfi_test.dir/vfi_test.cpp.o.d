@@ -300,7 +300,16 @@ tests/CMakeFiles/vfi_test.dir/vfi_test.cpp.o: \
  /root/repo/src/rl/qtable.hpp /root/repo/src/rl/schedule.hpp \
  /root/repo/src/util/rng.hpp /root/repo/src/rl/discretizer.hpp \
  /root/repo/src/sim/controller.hpp /root/repo/src/sim/observation.hpp \
- /root/repo/src/util/stats.hpp /root/repo/src/core/vfi_adapter.hpp \
+ /root/repo/src/util/stats.hpp /root/repo/src/util/thread_pool.hpp \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/thread /root/repo/src/core/vfi_adapter.hpp \
  /root/repo/src/sim/runner.hpp /root/repo/src/sim/system.hpp \
  /root/repo/src/arch/variation.hpp /root/repo/src/mem/dram_model.hpp \
  /root/repo/src/perf/perf_model.hpp /root/repo/src/workload/phase.hpp \

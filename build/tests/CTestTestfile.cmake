@@ -24,3 +24,4 @@ include("/root/repo/build/tests/hetero_test[1]_include.cmake")
 include("/root/repo/build/tests/robustness_test[1]_include.cmake")
 include("/root/repo/build/tests/qtable_io_test[1]_include.cmake")
 include("/root/repo/build/tests/mem_test[1]_include.cmake")
+include("/root/repo/build/tests/threading_test[1]_include.cmake")

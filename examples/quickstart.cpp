@@ -6,6 +6,10 @@
 // comparison table.
 //
 //   ./quickstart [--cores=16] [--epochs=2000] [--budget=0.6] [--seed=1]
+//                [--threads=1]
+//
+// --threads shards the per-core epoch and TD loops across a worker pool
+// (0 = hardware concurrency). Results are bit-identical for every value.
 #include <cstdio>
 #include <iostream>
 #include <memory>
@@ -25,7 +29,8 @@ namespace {
 
 sim::RunResult run_one(const arch::ChipConfig& chip,
                        const workload::RecordedTrace& trace,
-                       sim::Controller& controller, std::size_t epochs) {
+                       sim::Controller& controller, std::size_t epochs,
+                       std::size_t threads) {
   auto workload = std::make_unique<workload::ReplayWorkload>(trace);
   sim::ManyCoreSystem system(chip, std::move(workload));
   sim::RunConfig run_cfg;
@@ -33,6 +38,7 @@ sim::RunResult run_one(const arch::ChipConfig& chip,
   // ramp itself is examined in bench_e6_convergence).
   run_cfg.warmup_epochs = epochs;
   run_cfg.epochs = epochs;
+  run_cfg.threads = threads;
   return sim::run_closed_loop(system, controller, run_cfg);
 }
 
@@ -44,6 +50,7 @@ int main(int argc, char** argv) {
   const auto epochs = static_cast<std::size_t>(args.get_int("epochs", 2000));
   const double budget_fraction = args.get_double("budget", 0.6);
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const auto threads = static_cast<std::size_t>(args.get_int("threads", 1));
 
   const arch::ChipConfig chip = arch::ChipConfig::make(cores, budget_fraction);
   std::printf("chip: %zu cores, %zu V/F levels, TDP = %.1f W (%.0f%% of %.1f W peak)\n",
@@ -59,8 +66,10 @@ int main(int argc, char** argv) {
   core::OdrlController odrl_ctl(chip);
   baselines::StaticUniformController static_ctl(chip);
 
-  const sim::RunResult odrl_run = run_one(chip, trace, odrl_ctl, epochs);
-  const sim::RunResult static_run = run_one(chip, trace, static_ctl, epochs);
+  const sim::RunResult odrl_run =
+      run_one(chip, trace, odrl_ctl, epochs, threads);
+  const sim::RunResult static_run =
+      run_one(chip, trace, static_ctl, epochs, threads);
 
   const sim::RunResult runs[] = {odrl_run, static_run};
   std::cout << '\n'

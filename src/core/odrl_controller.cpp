@@ -1,6 +1,7 @@
 #include "core/odrl_controller.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <istream>
 #include <ostream>
 #include <stdexcept>
@@ -53,6 +54,21 @@ std::vector<std::size_t> state_dims(const OdrlConfig& config,
   }
   return {config.headroom_bins, config.mem_bins};
 }
+
+/// Chunk size for the sharded TD loop; fixed so the reward-sum reduction
+/// tree depends only on the core count, never on the thread count.
+constexpr std::size_t kTdGrain = 32;
+
+/// Relative tolerance for detecting a *real* budget move in the observed
+/// chip budget. on_budget_change rescales every per-core allocation, so
+/// treating sub-ulp rounding differences as a move would re-trigger a
+/// (slightly lossy) rescale every epoch.
+constexpr double kBudgetRelTol = 1e-9;
+
+bool budget_moved(double observed_w, double current_w) {
+  return std::abs(observed_w - current_w) >
+         kBudgetRelTol * std::max(std::abs(observed_w), std::abs(current_w));
+}
 }  // namespace
 
 OdrlController::OdrlController(const arch::ChipConfig& chip, OdrlConfig config)
@@ -64,6 +80,7 @@ OdrlController::OdrlController(const arch::ChipConfig& chip, OdrlConfig config)
       states_(state_dims(config, chip.vf_table().size())),
       chip_budget_w_(chip.tdp_w()) {
   config_.validate();
+  pool_ = std::make_unique<util::ThreadPool>(config_.threads);
   util::Rng root(config_.seed);
   agents_.reserve(n_cores_);
   rngs_.reserve(n_cores_);
@@ -170,7 +187,9 @@ std::vector<std::size_t> OdrlController::decide(const sim::EpochResult& obs) {
 
   // Track budget moved by the runner (power-cap events reach us through
   // on_budget_change, but the observation carries it too; trust the obs).
-  if (obs.budget_w > 0.0 && obs.budget_w != chip_budget_w_) {
+  // Compared with a relative tolerance: after a rescale, rounding noise in
+  // an externally recomputed budget must not re-trigger the rescale.
+  if (obs.budget_w > 0.0 && budget_moved(obs.budget_w, chip_budget_w_)) {
     on_budget_change(obs.budget_w);
   }
 
@@ -207,30 +226,41 @@ std::vector<std::size_t> OdrlController::decide(const sim::EpochResult& obs) {
     ++realloc_count_;
   }
 
-  // Fine grain: per-core TD step.
+  // Fine grain: per-core TD step, sharded across the pool. Each core owns
+  // its agent, exploration stream and bookkeeping slots, so the loop is
+  // embarrassingly parallel; the reward sum is reduced over chunk-ordered
+  // partials and stays bit-identical for every thread count.
   std::vector<std::size_t> next_levels(n_cores_);
-  double reward_sum = 0.0;
-  for (std::size_t i = 0; i < n_cores_; ++i) {
-    const sim::CoreObservation& core = obs.cores[i];
-    // Headroom relative to the *penalized* cap, so ratio 1.0 (a bin edge)
-    // is exactly where the reward turns negative.
-    const double cap = config_.target_utilization * budgets_[i];
-    const double ratio = cap > 0.0 ? core.power_w / cap : 2.0;
-    const std::size_t state =
-        encode_state(ratio, core.mem_stall_frac, core.level);
+  const double reward_sum = pool_->parallel_reduce(
+      n_cores_, kTdGrain, 0.0,
+      [&](std::size_t begin, std::size_t end) {
+        double local_sum = 0.0;
+        for (std::size_t i = begin; i < end; ++i) {
+          const sim::CoreObservation& core = obs.cores[i];
+          // Headroom relative to the *penalized* cap, so ratio 1.0 (a bin
+          // edge) is exactly where the reward turns negative.
+          const double cap = config_.target_utilization * budgets_[i];
+          const double ratio = cap > 0.0 ? core.power_w / cap : 2.0;
+          const std::size_t state =
+              encode_state(ratio, core.mem_stall_frac, core.level);
 
-    // Select the next action first so SARSA can learn on-policy from the
-    // action actually taken; Q-learning ignores it (max-bootstrap).
-    const std::size_t action = agents_[i].act(state, rngs_[i]);
-    if (have_prev_) {
-      const double r = reward(core, budgets_[i]);
-      reward_sum += r;
-      agents_[i].learn(prev_state_[i], prev_action_[i], r, state, action);
-    }
-    prev_state_[i] = state;
-    prev_action_[i] = action;
-    next_levels[i] = apply_action(core.level, action);
-  }
+          // Select the next action first so SARSA can learn on-policy from
+          // the action actually taken; Q-learning ignores it
+          // (max-bootstrap).
+          const std::size_t action = agents_[i].act(state, rngs_[i]);
+          if (have_prev_) {
+            const double r = reward(core, budgets_[i]);
+            local_sum += r;
+            agents_[i].learn(prev_state_[i], prev_action_[i], r, state,
+                             action);
+          }
+          prev_state_[i] = state;
+          prev_action_[i] = action;
+          next_levels[i] = apply_action(core.level, action);
+        }
+        return local_sum;
+      },
+      [](double acc, double partial) { return acc + partial; });
   if (have_prev_) {
     last_mean_reward_ = reward_sum / static_cast<double>(n_cores_);
   }
@@ -247,6 +277,11 @@ void OdrlController::on_budget_change(double new_budget_w) {
   const double scale = new_budget_w / chip_budget_w_;
   for (double& b : budgets_) b *= scale;
   chip_budget_w_ = new_budget_w;
+}
+
+void OdrlController::set_threads(std::size_t threads) {
+  config_.threads = threads;
+  pool_ = std::make_unique<util::ThreadPool>(threads);
 }
 
 void OdrlController::reset() {

@@ -21,6 +21,7 @@
 
 #include <cstddef>
 #include <iosfwd>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -31,6 +32,7 @@
 #include "sim/controller.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
+#include "util/thread_pool.hpp"
 
 namespace odrl::core {
 
@@ -106,6 +108,13 @@ struct OdrlConfig {
   double overcommit_max = 2.00;
   std::uint64_t seed = 7;            ///< exploration stream seed
 
+  /// Execution width of the per-core TD act/learn loop (agents and their
+  /// exploration streams are per-core, so the loop is embarrassingly
+  /// parallel). 1 = serial (default), 0 = hardware concurrency. Decisions
+  /// are bit-identical for every value. The coarse-grain reallocation and
+  /// the EMA/reward reductions stay serial (see DESIGN.md).
+  std::size_t threads = 1;
+
   void validate() const;
 };
 
@@ -118,6 +127,7 @@ class OdrlController final : public sim::Controller {
   std::vector<std::size_t> decide(const sim::EpochResult& obs) override;
   void on_budget_change(double new_budget_w) override;
   void reset() override;
+  void set_threads(std::size_t threads) override;
 
   // -- Policy persistence (warm start) --
   /// Serializes every core's learned Q-table. A warm-started controller
@@ -157,6 +167,7 @@ class OdrlController final : public sim::Controller {
   rl::StateSpace states_;
   std::vector<rl::TdAgent> agents_;
   std::vector<util::Rng> rngs_;
+  std::unique_ptr<util::ThreadPool> pool_;  ///< shards the TD loop
 
   std::vector<double> budgets_;          ///< current per-core budgets
   std::vector<util::Ema> power_ema_;     ///< smoothed per-core power

@@ -2,6 +2,7 @@
 
 #include <charconv>
 #include <fstream>
+#include <system_error>
 #include <limits>
 #include <sstream>
 #include <stdexcept>
@@ -22,7 +23,12 @@ void save_qtable(const QTable& table, std::ostream& out) {
     for (std::size_t a = 0; a < table.n_actions(); ++a) {
       auto [ptr, ec] =
           std::to_chars(buf, buf + sizeof(buf), table.q(s, a));
-      (void)ec;
+      if (ec != std::errc()) {
+        // Never emit a partially-formatted value: a silently truncated
+        // number would corrupt the policy file and only fail at load time
+        // (if at all).
+        throw std::runtime_error("save_qtable: value formatting failed");
+      }
       out << ' ' << std::string_view(buf,
                                      static_cast<std::size_t>(ptr - buf));
     }

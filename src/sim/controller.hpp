@@ -37,6 +37,12 @@ class Controller {
 
   /// Clears any learned/internal state.
   virtual void reset() {}
+
+  /// Requests an execution width for decide() (1 = serial, 0 = hardware
+  /// concurrency). Controllers whose decide() is parallelizable (OD-RL's
+  /// per-core TD loop) honor it; the contract is that results are
+  /// bit-identical for every width. Default: ignore (serial controllers).
+  virtual void set_threads(std::size_t /*threads*/) {}
 };
 
 }  // namespace odrl::sim

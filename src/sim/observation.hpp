@@ -15,6 +15,8 @@ struct CoreObservation {
   double ips = 0.0;             ///< measured instructions per second
   double instructions = 0.0;    ///< instructions retired this epoch
   double power_w = 0.0;         ///< measured core power (noise applies)
+  double true_power_w = 0.0;    ///< noise-free core power (metrics only;
+                                ///< controllers must not read this)
   double mem_stall_frac = 0.0;  ///< stall-cycle fraction (memory intensity)
   double temp_c = 0.0;          ///< junction temperature
 };

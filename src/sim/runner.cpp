@@ -61,10 +61,27 @@ RunResult run_closed_loop(ManyCoreSystem& system, Controller& controller,
     result.max_temp_trace.reserve(config.epochs);
   }
 
+  if (config.threads != 0) {
+    system.set_threads(config.threads);
+    controller.set_threads(config.threads);
+  }
+
   power::EnergyAccountant accountant(system.budget_w());
   std::vector<std::size_t> levels = controller.initial_levels(system.n_cores());
   if (levels.size() != system.n_cores()) {
     throw std::logic_error("controller initial_levels size mismatch");
+  }
+
+  // Events at epoch 0 are the budget in force when measurement starts;
+  // apply them before warmup so warmup learns under that budget rather
+  // than the default TDP (see RunConfig::budget_events).
+  std::size_t next_event = 0;
+  while (next_event < config.budget_events.size() &&
+         config.budget_events[next_event].epoch == 0) {
+    const double new_budget = config.budget_events[next_event].budget_w;
+    system.set_budget_w(new_budget);
+    controller.on_budget_change(new_budget);
+    ++next_event;
   }
 
   // Unmeasured warmup: the loop runs normally, results are discarded.
@@ -76,7 +93,7 @@ RunResult run_closed_loop(ManyCoreSystem& system, Controller& controller,
     }
   }
 
-  std::size_t next_event = 0;
+  accountant.set_budget_w(system.budget_w());
   for (std::size_t e = 0; e < config.epochs; ++e) {
     while (next_event < config.budget_events.size() &&
            config.budget_events[next_event].epoch <= e) {

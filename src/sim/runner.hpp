@@ -29,10 +29,20 @@ struct RunConfig {
   /// instant start are compared on the same (converged) footing; set to 0
   /// to measure the ramp itself (convergence experiment E6).
   std::size_t warmup_epochs = 0;
-  std::vector<BudgetEvent> budget_events;  ///< must be sorted by epoch;
-                                           ///< epochs count from the start
-                                           ///< of the *measured* region
+  /// Budget-change schedule, sorted by epoch. Event epochs count from the
+  /// start of the *measured* region: an event at epoch e takes effect
+  /// before measured epoch e runs. Events at epoch 0 describe the budget
+  /// in force when measurement starts, so they are applied *before*
+  /// warmup -- warmup must learn under the budget the measured region will
+  /// be evaluated against, not under the default TDP.
+  std::vector<BudgetEvent> budget_events;
   bool keep_traces = true;  ///< record per-epoch chip traces
+
+  /// Execution width handed to the system and controller for this run
+  /// (ManyCoreSystem::set_threads / Controller::set_threads). 0 = leave
+  /// both as configured (default); 1 = force serial; n = n-wide. Results
+  /// are bit-identical for every value.
+  std::size_t threads = 0;
 
   void validate() const;
 };

@@ -5,6 +5,14 @@
 
 namespace odrl::sim {
 
+namespace {
+// Chunk sizes for the sharded per-core loops. Fixed constants: the chunk
+// layout (and therefore the floating-point reduction tree) must depend
+// only on the core count, never on the thread count.
+constexpr std::size_t kCoreGrain = 32;     ///< perf/power/observation loop
+constexpr std::size_t kTrafficGrain = 64;  ///< DRAM traffic sum (cheaper)
+}  // namespace
+
 void SimConfig::validate() const {
   if (epoch_s <= 0.0) throw std::invalid_argument("SimConfig: epoch_s <= 0");
   if (sensor_noise_rel < 0.0 || sensor_noise_rel > 0.5) {
@@ -32,10 +40,19 @@ ManyCoreSystem::ManyCoreSystem(arch::ChipConfig config,
                            : arch::VariationMap::none(config_.n_cores())),
       thermal_(config_.mesh(), config_.thermal()),
       dram_(sim.dram),
-      noise_rng_(sim.seed),
+      pool_(std::make_unique<util::ThreadPool>(sim.threads)),
       tile_power_(config_.mesh().size(), 0.0),
       budget_w_(config_.tdp_w()) {
   sim_.validate();
+  // Counter-based noise substreams: core i is seeded with the (i+1)-th
+  // output of SplitMix64(seed), so its stream depends only on (seed, i) --
+  // not on the chip's core count, the other cores' draws, or the thread
+  // count. This is what makes the parallel epoch loop deterministic.
+  noise_rngs_.reserve(config_.n_cores());
+  util::SplitMix64 noise_seeder(sim_.seed);
+  for (std::size_t i = 0; i < config_.n_cores(); ++i) {
+    noise_rngs_.emplace_back(noise_seeder.next());
+  }
   if (!workload_) throw std::invalid_argument("ManyCoreSystem: null workload");
   if (workload_->n_cores() != config_.n_cores()) {
     throw std::invalid_argument(
@@ -75,12 +92,19 @@ ManyCoreSystem::ManyCoreSystem(arch::ChipConfig config,
   }
 }
 
-double ManyCoreSystem::noisy(double value) {
+double ManyCoreSystem::noisy(std::size_t core, double value) {
   if (sim_.sensor_noise_rel <= 0.0) return value;
-  return std::max(0.0,
-                  value * (1.0 + noise_rng_.gaussian(0.0,
-                                                     sim_.sensor_noise_rel)));
+  return std::max(
+      0.0, value * (1.0 + noise_rngs_[core].gaussian(
+                              0.0, sim_.sensor_noise_rel)));
 }
+
+void ManyCoreSystem::set_threads(std::size_t threads) {
+  sim_.threads = threads;
+  pool_ = std::make_unique<util::ThreadPool>(threads);
+}
+
+std::size_t ManyCoreSystem::threads() const { return pool_->size(); }
 
 EpochResult ManyCoreSystem::step(std::span<const std::size_t> levels) {
   const std::size_t n = config_.n_cores();
@@ -97,19 +121,27 @@ EpochResult ManyCoreSystem::step(std::span<const std::size_t> levels) {
   const auto samples = workload_->step();
 
   // Shared-memory contention: fixed point of the chip's aggregate miss
-  // traffic against the queueing latency multiplier.
+  // traffic against the queueing latency multiplier. The per-core traffic
+  // terms are independent, so each solver iteration shards the sum across
+  // the pool (chunk-ordered partials keep the result bit-identical for
+  // every thread count).
   double mem_scale = 1.0;
   double dram_util = 0.0;
   if (dram_.enabled()) {
     auto traffic_at = [&](double m) {
-      double bytes_per_s = 0.0;
-      for (std::size_t i = 0; i < n; ++i) {
-        const double ips =
-            perf_[i].ips(samples[i], vf[levels[i]].freq_ghz, m);
-        bytes_per_s +=
-            ips * samples[i].mpki / 1000.0 * dram_.config().line_bytes;
-      }
-      return bytes_per_s;
+      return pool_->parallel_reduce(
+          n, kTrafficGrain, 0.0,
+          [&](std::size_t begin, std::size_t end) {
+            double bytes_per_s = 0.0;
+            for (std::size_t i = begin; i < end; ++i) {
+              const double ips =
+                  perf_[i].ips(samples[i], vf[levels[i]].freq_ghz, m);
+              bytes_per_s +=
+                  ips * samples[i].mpki / 1000.0 * dram_.config().line_bytes;
+            }
+            return bytes_per_s;
+          },
+          [](double acc, double partial) { return acc + partial; });
     };
     mem_scale = dram_.solve_multiplier(traffic_at);
     dram_util = dram_.utilization(traffic_at(mem_scale));
@@ -124,42 +156,65 @@ EpochResult ManyCoreSystem::step(std::span<const std::size_t> levels) {
   result.cores.resize(n);
 
   std::fill(tile_power_.begin(), tile_power_.end(), 0.0);
-  double chip_true_w = 0.0;
-  double chip_meas_w = 0.0;
-  double total_ips = 0.0;
 
-  for (std::size_t i = 0; i < n; ++i) {
-    const arch::VfPoint& point = vf[levels[i]];
-    const double temp = thermal_.temperature(i);
-    auto ep =
-        perf_[i].epoch(samples[i], point.freq_ghz, sim_.epoch_s, mem_scale);
-    const auto pw = power_[i].core_power(point, samples[i], temp);
-    double true_w = pw.total_w();
+  // Per-core perf/power/observation loop, sharded across the pool. Every
+  // core touches only its own models, noise substream and output slots;
+  // the three chip-level sums are reduced over chunk-ordered partials, so
+  // the additions happen in a fixed tree regardless of thread count.
+  struct ChunkSums {
+    double true_w = 0.0;
+    double meas_w = 0.0;
+    double ips = 0.0;
+  };
+  const ChunkSums sums = pool_->parallel_reduce(
+      n, kCoreGrain, ChunkSums{},
+      [&](std::size_t begin, std::size_t end) {
+        ChunkSums local;
+        for (std::size_t i = begin; i < end; ++i) {
+          const arch::VfPoint& point = vf[levels[i]];
+          const double temp = thermal_.temperature(i);
+          auto ep = perf_[i].epoch(samples[i], point.freq_ghz, sim_.epoch_s,
+                                   mem_scale);
+          const auto pw = power_[i].core_power(point, samples[i], temp);
+          double true_w = pw.total_w();
 
-    // DVFS actuation cost: a level change stalls the core and dissipates
-    // regulator transition energy during this epoch.
-    const bool switched =
-        have_prev_levels_ && prev_levels_[i] != levels[i];
-    if (switched) {
-      const double run_frac = 1.0 - sim_.switch_penalty_s / sim_.epoch_s;
-      ep.instructions *= run_frac;
-      ep.ips *= run_frac;
-      true_w += sim_.switch_energy_j / sim_.epoch_s;
-    }
+          // DVFS actuation cost: a level change stalls the core and
+          // dissipates regulator transition energy during this epoch.
+          const bool switched =
+              have_prev_levels_ && prev_levels_[i] != levels[i];
+          if (switched) {
+            const double run_frac =
+                1.0 - sim_.switch_penalty_s / sim_.epoch_s;
+            ep.instructions *= run_frac;
+            ep.ips *= run_frac;
+            true_w += sim_.switch_energy_j / sim_.epoch_s;
+          }
 
-    CoreObservation& obs = result.cores[i];
-    obs.level = levels[i];
-    obs.ips = noisy(ep.ips);
-    obs.instructions = ep.instructions;
-    obs.power_w = noisy(true_w);
-    obs.mem_stall_frac = ep.mem_stall_frac;
-    obs.temp_c = temp;
+          CoreObservation& obs = result.cores[i];
+          obs.level = levels[i];
+          obs.ips = noisy(i, ep.ips);
+          obs.instructions = ep.instructions;
+          obs.power_w = noisy(i, true_w);
+          obs.true_power_w = true_w;
+          obs.mem_stall_frac = ep.mem_stall_frac;
+          obs.temp_c = temp;
 
-    tile_power_[i] = true_w;
-    chip_true_w += true_w;
-    chip_meas_w += obs.power_w;
-    total_ips += ep.ips;
-  }
+          tile_power_[i] = true_w;
+          local.true_w += true_w;
+          local.meas_w += obs.power_w;
+          local.ips += ep.ips;
+        }
+        return local;
+      },
+      [](ChunkSums acc, const ChunkSums& partial) {
+        acc.true_w += partial.true_w;
+        acc.meas_w += partial.meas_w;
+        acc.ips += partial.ips;
+        return acc;
+      });
+  const double chip_true_w = sums.true_w;
+  const double chip_meas_w = sums.meas_w;
+  const double total_ips = sums.ips;
 
   thermal_.step(tile_power_, sim_.epoch_s);
 

@@ -24,6 +24,7 @@
 #include "sim/observation.hpp"
 #include "thermal/thermal_model.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 #include "workload/workload.hpp"
 
 namespace odrl::sim {
@@ -31,7 +32,15 @@ namespace odrl::sim {
 struct SimConfig {
   double epoch_s = 1e-3;          ///< control epoch length (1 ms default)
   double sensor_noise_rel = 0.0;  ///< relative sigma of power/IPS sensors
-  std::uint64_t seed = 1;         ///< seeds the sensor-noise stream
+  /// Seeds the per-core sensor-noise substreams. Core i's stream is a pure
+  /// function of (seed, i): it does not depend on the chip's core count or
+  /// on any other core's draws (see DESIGN.md "Threading model").
+  std::uint64_t seed = 1;
+
+  /// Execution width of the per-core epoch loop (and the DRAM traffic
+  /// fixed-point sum). 1 = serial (default), 0 = hardware concurrency.
+  /// Results are bit-identical for every value; only wall time changes.
+  std::size_t threads = 1;
 
   // DVFS actuation cost (0 = ideal regulators, the default). When a core's
   // level changes between epochs, it stalls for `switch_penalty_s` of the
@@ -79,6 +88,12 @@ class ManyCoreSystem {
   double budget_w() const { return budget_w_; }
   void set_budget_w(double budget_w);
 
+  /// Re-sizes the worker pool used by step() (1 = serial, 0 = hardware
+  /// concurrency). Never changes results -- the per-core loop is chunked
+  /// identically for every width.
+  void set_threads(std::size_t threads);
+  std::size_t threads() const;
+
   const thermal::ThermalModel& thermal() const { return thermal_; }
   const workload::Workload& workload() const { return *workload_; }
   /// Per-core models of this chip instance (index = core).
@@ -87,7 +102,8 @@ class ManyCoreSystem {
   const arch::VariationMap& variation() const { return variation_; }
 
  private:
-  double noisy(double value);
+  /// Applies core `core`'s sensor-noise substream to a true value.
+  double noisy(std::size_t core, double value);
 
   arch::ChipConfig config_;
   std::unique_ptr<workload::Workload> workload_;
@@ -97,7 +113,10 @@ class ManyCoreSystem {
   std::vector<power::PowerModel> power_;
   thermal::ThermalModel thermal_;
   mem::DramModel dram_;
-  util::Rng noise_rng_;
+  /// One decorrelated noise substream per core, each a pure function of
+  /// (sim.seed, core index) -- independent of core count and thread count.
+  std::vector<util::Rng> noise_rngs_;
+  std::unique_ptr<util::ThreadPool> pool_;
   std::vector<double> tile_power_;  ///< scratch, mesh-sized
   std::vector<std::size_t> prev_levels_;  ///< for switch-cost accounting
   bool have_prev_levels_ = false;

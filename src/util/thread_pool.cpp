@@ -1,0 +1,128 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace odrl::util {
+
+namespace {
+// A request beyond this is always a bug (e.g. a negative CLI value cast to
+// size_t), never a real machine; fail with a readable message instead of
+// letting vector::reserve throw length_error deep inside the constructor.
+constexpr std::size_t kMaxThreads = 4096;
+}  // namespace
+
+std::size_t ThreadPool::resolve_threads(std::size_t requested) {
+  if (requested > kMaxThreads) {
+    throw std::invalid_argument("ThreadPool: thread count " +
+                                std::to_string(requested) +
+                                " exceeds the supported maximum (" +
+                                std::to_string(kMaxThreads) + ")");
+  }
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  const std::size_t n = resolve_threads(threads);
+  workers_.reserve(n - 1);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (n == 0) return;
+  const std::size_t g = std::max<std::size_t>(grain, 1);
+  const std::size_t n_chunks = (n + g - 1) / g;
+  if (workers_.empty() || n_chunks == 1) {
+    // Inline path: same chunk layout, zero synchronization. Keeps a
+    // threads=1 pool free and guarantees identical chunk boundaries.
+    for (std::size_t c = 0; c < n_chunks; ++c) {
+      body(c * g, std::min(n, (c + 1) * g));
+    }
+    return;
+  }
+
+  std::lock_guard<std::mutex> submit(submit_mutex_);
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    // Stragglers from the previous job may still hold the job slot; wait
+    // until every worker has left claim_chunks before rewriting it.
+    idle_cv_.wait(lock, [&] { return active_workers_ == 0; });
+    job_body_ = &body;
+    job_n_ = n;
+    job_grain_ = g;
+    job_chunks_ = n_chunks;
+    next_chunk_.store(0, std::memory_order_relaxed);
+    pending_.store(n_chunks, std::memory_order_relaxed);
+    error_ = nullptr;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+
+  claim_chunks();  // the submitting thread participates
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock,
+                [&] { return pending_.load(std::memory_order_acquire) == 0; });
+  if (error_) {
+    std::exception_ptr err = error_;
+    error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      ++active_workers_;
+    }
+    claim_chunks();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--active_workers_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::claim_chunks() {
+  for (;;) {
+    const std::size_t c = next_chunk_.fetch_add(1, std::memory_order_relaxed);
+    if (c >= job_chunks_) return;
+    try {
+      (*job_body_)(c * job_grain_,
+                   std::min(job_n_, (c + 1) * job_grain_));
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!error_) error_ = std::current_exception();
+    }
+    if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Last chunk done: take the mutex so the submitter is either already
+      // waiting (gets the notify) or has not yet checked the predicate.
+      std::lock_guard<std::mutex> lock(mutex_);
+      done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace odrl::util

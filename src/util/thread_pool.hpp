@@ -1,0 +1,102 @@
+// Deterministic fork-join thread pool for the per-core hot loops.
+//
+// The design constraint is *bit-identical results regardless of thread
+// count*: every parallel_for/parallel_reduce partitions [0, n) into chunks
+// whose boundaries depend only on (n, grain) -- never on how many workers
+// exist or which worker claims which chunk. Reductions store one partial
+// per chunk and fold the partials serially in chunk order, so the
+// floating-point summation tree is fixed. An 8-thread run therefore
+// reproduces a 1-thread run to the last bit (see tests/threading_test.cpp
+// and DESIGN.md "Threading model").
+//
+// A pool of size 1 spawns no workers and executes inline through the same
+// chunked code path, so enabling threading never changes results -- only
+// wall time.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace odrl::util {
+
+class ThreadPool {
+ public:
+  /// `threads` = total execution width including the calling thread;
+  /// the pool spawns threads-1 workers. 0 means hardware_concurrency.
+  explicit ThreadPool(std::size_t threads = 1);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Execution width (workers + the calling thread).
+  std::size_t size() const { return workers_.size() + 1; }
+
+  /// 0 -> hardware_concurrency (>= 1), anything else unchanged. Throws
+  /// std::invalid_argument on absurd counts (> 4096), which in practice
+  /// means a negative value was cast to size_t on the way in.
+  static std::size_t resolve_threads(std::size_t requested);
+
+  /// Invokes body(begin, end) once per chunk of at most `grain` indices,
+  /// covering [0, n) exactly. Chunks run concurrently; the caller
+  /// participates and returns only when every chunk finished. The first
+  /// exception thrown by a chunk is rethrown here (remaining chunks still
+  /// run). `body` must not submit work to this same pool (no nesting).
+  void parallel_for(std::size_t n, std::size_t grain,
+                    const std::function<void(std::size_t, std::size_t)>& body);
+
+  /// Chunked map/reduce: acc = combine(acc, map(chunk)) folded serially in
+  /// chunk order, starting from `identity`. Because the fold order is a
+  /// pure function of (n, grain), the result is bit-identical for any
+  /// thread count.
+  template <typename T, typename Map, typename Combine>
+  T parallel_reduce(std::size_t n, std::size_t grain, T identity, Map&& map,
+                    Combine&& combine) {
+    if (n == 0) return identity;
+    const std::size_t g = grain == 0 ? 1 : grain;
+    const std::size_t n_chunks = (n + g - 1) / g;
+    std::vector<T> partials(n_chunks, identity);
+    parallel_for(n, g, [&](std::size_t begin, std::size_t end) {
+      partials[begin / g] = map(begin, end);
+    });
+    T acc = identity;
+    for (const T& partial : partials) acc = combine(acc, partial);
+    return acc;
+  }
+
+ private:
+  void worker_loop();
+  /// Claims and executes chunks of the current job until none remain.
+  void claim_chunks();
+
+  std::vector<std::thread> workers_;
+
+  /// Serializes run_chunks callers so only one job is in flight.
+  std::mutex submit_mutex_;
+
+  // Job slot. Written by the submitting thread under mutex_ while no worker
+  // is active; read by workers after a mutex-synchronized wakeup.
+  std::mutex mutex_;
+  std::condition_variable work_cv_;  ///< wakes workers on a new job / stop
+  std::condition_variable done_cv_;  ///< wakes the submitter on completion
+  std::condition_variable idle_cv_;  ///< signals all workers left a job
+  const std::function<void(std::size_t, std::size_t)>* job_body_ = nullptr;
+  std::size_t job_n_ = 0;
+  std::size_t job_grain_ = 1;
+  std::size_t job_chunks_ = 0;
+  std::atomic<std::size_t> next_chunk_{0};  ///< next unclaimed chunk index
+  std::atomic<std::size_t> pending_{0};     ///< chunks not yet finished
+  std::size_t active_workers_ = 0;          ///< workers inside claim_chunks
+  std::uint64_t generation_ = 0;            ///< bumped per job
+  bool stop_ = false;
+  std::exception_ptr error_;
+};
+
+}  // namespace odrl::util

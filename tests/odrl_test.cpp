@@ -147,6 +147,40 @@ TEST(OdrlController, BudgetDropRescalesAllocationsImmediately) {
   }
 }
 
+TEST(OdrlController, BudgetJitterDoesNotRetriggerRescale) {
+  // Regression: decide() used exact float equality to detect budget moves,
+  // so rounding noise in the observed budget re-triggered a (slightly
+  // lossy) rescale of every per-core allocation each epoch.
+  const oa::ChipConfig chip = oa::ChipConfig::make(4, 0.6);
+  os::ManyCoreSystem sys(chip, std::make_unique<ow::GeneratedWorkload>(
+                                   ow::GeneratedWorkload::mixed_suite(4, 2)));
+  oc::OdrlController ctl(chip);
+  const double half = chip.tdp_w() * 0.5;
+  ctl.on_budget_change(half);
+  const std::vector<double> before(ctl.core_budgets().begin(),
+                                   ctl.core_budgets().end());
+
+  auto levels = ctl.initial_levels(4);
+  auto obs = sys.step(levels);
+  // Sub-tolerance jitter (e.g. the budget recomputed elsewhere in a
+  // different order): must NOT be treated as a budget move.
+  obs.budget_w = half * (1.0 + 1e-12);
+  ctl.decide(obs);
+  const auto after = ctl.core_budgets();
+  for (std::size_t i = 0; i < after.size(); ++i) {
+    EXPECT_EQ(after[i], before[i]) << "core " << i;  // bitwise untouched
+  }
+
+  // A real move must still rescale immediately.
+  obs = sys.step(levels);
+  obs.budget_w = chip.tdp_w() * 0.25;
+  ctl.decide(obs);
+  const auto rescaled = ctl.core_budgets();
+  for (std::size_t i = 0; i < rescaled.size(); ++i) {
+    EXPECT_NEAR(rescaled[i], before[i] * 0.5, 1e-9);
+  }
+}
+
 TEST(OdrlController, AdaptsToBudgetDropInClosedLoop) {
   const oa::ChipConfig chip = oa::ChipConfig::make(8, 0.7);
   os::ManyCoreSystem sys(chip, std::make_unique<ow::GeneratedWorkload>(

@@ -53,6 +53,42 @@ TEST(QTableIo, RejectsMalformedInput) {
   expect_reject("# odrl-qtable v1\n2 2\nq 1.0 2.0\nv 1 1\n");   // missing state
 }
 
+TEST(QTableIo, RejectsTruncatedAndCorruptInput) {
+  auto expect_reject = [](const std::string& text) {
+    std::stringstream in(text);
+    EXPECT_THROW(orl::load_qtable(in), std::runtime_error) << text;
+  };
+  // Truncations at every structural boundary.
+  expect_reject("# odrl-qtable v1\n");                       // no dimensions
+  expect_reject("# odrl-qtable v1\n2\n");                    // half dimensions
+  expect_reject("# odrl-qtable v1\n1 2\n");                  // no rows
+  expect_reject("# odrl-qtable v1\n1 2\nq 1.0\n");           // cut mid q row
+  expect_reject("# odrl-qtable v1\n1 2\nq 1.0 2.0\n");       // v row missing
+  expect_reject("# odrl-qtable v1\n1 2\nq 1.0 2.0\nv\n");    // empty v row
+  // Corrupt tokens.
+  expect_reject("# odrl-qtable v1\n1 2\nq 1.0 x2\nv 1 1\n");   // garbage q
+  expect_reject("# odrl-qtable v1\n1 2\nq 1.0 2.0\nv 1 x\n");  // garbage v
+  // Visit count past uint32 range (what a formatting overflow would emit).
+  expect_reject("# odrl-qtable v1\n1 2\nq 1.0 2.0\nv 1 4294967296\n");
+}
+
+TEST(QTableIo, RoundTripsExtremeMagnitudes) {
+  // to_chars shortest form must survive the text round trip exactly even
+  // at the edges of the double range (where a fixed-precision printf-style
+  // writer would truncate or overflow its buffer).
+  orl::QTable table(1, 4, 0.0);
+  table.set_q(0, 0, 1.7976931348623157e308);   // DBL_MAX
+  table.set_q(0, 1, 3.141592653589793e-100);   // tiny, full mantissa
+  table.set_q(0, 2, -2.2250738585072014e-308); // -DBL_MIN
+  table.set_q(0, 3, 0.1 + 0.2);                // classic non-representable
+  std::stringstream buffer;
+  orl::save_qtable(table, buffer);
+  const orl::QTable loaded = orl::load_qtable(buffer);
+  for (std::size_t a = 0; a < 4; ++a) {
+    EXPECT_EQ(loaded.q(0, a), table.q(0, a)) << "action " << a;
+  }
+}
+
 TEST(QTableIo, FileRoundTrip) {
   orl::QTable table(2, 2, 0.5);
   table.set_q(1, 1, -3.25);

@@ -37,6 +37,7 @@ class FixedController final : public os::Controller {
   }
   std::vector<std::size_t> decide(const os::EpochResult& obs) override {
     last_budget_w = obs.budget_w;
+    observed_budgets.push_back(obs.budget_w);
     ++decides;
     return std::vector<std::size_t>(obs.cores.size(), level_);
   }
@@ -45,6 +46,7 @@ class FixedController final : public os::Controller {
   double last_budget_w = 0.0;
   std::size_t decides = 0;
   std::vector<double> budget_changes;
+  std::vector<double> observed_budgets;  ///< one per decide, warmup included
 
  private:
   std::size_t level_;
@@ -121,6 +123,48 @@ TEST(ManyCoreSystem, SensorNoiseDistortsMeasurementsOnly) {
     }
   }
   EXPECT_TRUE(saw_difference);
+}
+
+TEST(ManyCoreSystem, NoiseSubstreamsIndependentOfCoreCount) {
+  // Core i's sensor-noise stream is a pure function of (seed, i): adding
+  // cores to the chip must not perturb the existing cores' noise draws.
+  // The multiplicative noise factor power_w / true_power_w isolates the
+  // stream from the (core-count-dependent) true values.
+  os::SimConfig cfg;
+  cfg.sensor_noise_rel = 0.1;
+  cfg.seed = 9;
+  auto small = make_system(4, cfg);
+  auto large = make_system(8, cfg);
+  const std::vector<std::size_t> small_levels(4, 4);
+  const std::vector<std::size_t> large_levels(8, 4);
+  for (int e = 0; e < 20; ++e) {
+    const auto so = small.step(small_levels);
+    const auto lo = large.step(large_levels);
+    for (std::size_t i = 0; i < 4; ++i) {
+      ASSERT_GT(so.cores[i].true_power_w, 0.0);
+      const double small_factor =
+          so.cores[i].power_w / so.cores[i].true_power_w;
+      const double large_factor =
+          lo.cores[i].power_w / lo.cores[i].true_power_w;
+      // Identical draws; only value*(1+g)/value rounding separates them.
+      EXPECT_NEAR(small_factor, large_factor, 1e-12)
+          << "core " << i << " epoch " << e;
+    }
+  }
+}
+
+TEST(ManyCoreSystem, TruePowerPerCoreSumsToChipTruePower) {
+  os::SimConfig cfg;
+  cfg.sensor_noise_rel = 0.2;
+  cfg.seed = 4;
+  auto sys = make_system(4, cfg);
+  const auto obs = sys.step(std::vector<std::size_t>(4, 5));
+  double sum_true = 0.0;
+  for (const auto& core : obs.cores) {
+    EXPECT_NE(core.power_w, core.true_power_w);  // noise applied
+    sum_true += core.true_power_w;
+  }
+  EXPECT_NEAR(sum_true, obs.true_chip_power_w, 1e-9);
 }
 
 TEST(ManyCoreSystem, DeterministicForSameSeed) {
@@ -225,6 +269,29 @@ TEST(Runner, BudgetEventsAppliedAndNotified) {
   EXPECT_DOUBLE_EQ(r.budget_trace[5], tdp * 0.5);
   EXPECT_DOUBLE_EQ(r.budget_trace[10], tdp * 0.8);
   EXPECT_DOUBLE_EQ(r.budget_trace[19], tdp * 0.8);
+}
+
+TEST(Runner, EpochZeroBudgetEventAppliesBeforeWarmup) {
+  // An event at epoch 0 is the budget in force when measurement starts;
+  // warmup must run (and learn) under it, not under the default TDP.
+  auto sys = make_system(4);
+  const double tdp = sys.config().tdp_w();
+  FixedController ctl(4);
+  os::RunConfig cfg;
+  cfg.epochs = 10;
+  cfg.warmup_epochs = 5;
+  cfg.budget_events = {{0, tdp * 0.5}};
+  const auto r = os::run_closed_loop(sys, ctl, cfg);
+
+  // Notified exactly once, before any epoch ran.
+  ASSERT_EQ(ctl.budget_changes.size(), 1u);
+  EXPECT_DOUBLE_EQ(ctl.budget_changes[0], tdp * 0.5);
+  // The very first (warmup) observation already carries the event budget.
+  ASSERT_EQ(ctl.observed_budgets.size(), 15u);
+  EXPECT_DOUBLE_EQ(ctl.observed_budgets.front(), tdp * 0.5);
+  // And the measured region starts at it too.
+  EXPECT_DOUBLE_EQ(r.budget_trace.front(), tdp * 0.5);
+  EXPECT_DOUBLE_EQ(r.budget_trace.back(), tdp * 0.5);
 }
 
 TEST(Runner, OvershootAccountingAgainstMovedBudget) {
