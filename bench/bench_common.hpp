@@ -1,5 +1,6 @@
-// Shared setup for the experiment harness (bench_e1..e7): chip and workload
-// construction, controller registry, and the standard measured run.
+// Shared setup for the experiment harness (bench_e1..e10): chip and
+// workload construction, the standard controller line-up, and the standard
+// measured run.
 //
 // Methodology shared by all experiments:
 //  * every controller is replayed against the *same* recorded workload
@@ -9,23 +10,29 @@
 //  * runs measure steady state after a warmup equal to the measured
 //    length, except the convergence experiment (E6) which measures the
 //    ramp itself.
+//
+// Telemetry: set ODRL_TRACE_DIR=<dir> to make every run_measured() call
+// write a per-run JSONL trace (<dir>/<experiment>_<controller>_<k>.jsonl)
+// through a telemetry::Recorder. Recording is observational -- results are
+// bit-identical with it on or off.
 #pragma once
 
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "arch/chip_config.hpp"
-#include "baselines/greedy_controller.hpp"
-#include "baselines/maxbips_controller.hpp"
-#include "baselines/pid_controller.hpp"
-#include "baselines/static_uniform.hpp"
-#include "core/odrl_controller.hpp"
 #include "metrics/metrics.hpp"
+#include "sim/controller_registry.hpp"
 #include "sim/runner.hpp"
 #include "sim/system.hpp"
+#include "telemetry/jsonl_sink.hpp"
+#include "telemetry/recorder.hpp"
 #include "workload/workload.hpp"
 
 namespace odrl::bench {
@@ -39,30 +46,33 @@ struct NamedController {
       make;
 };
 
-/// The paper's comparison set, OD-RL first.
+/// The paper's comparison set, OD-RL first (presentation order; the
+/// registry itself sorts alphabetically). Every controller is built
+/// through the registry -- benches never hand-wire constructors.
 inline std::vector<NamedController> standard_controllers() {
-  return {
-      {"OD-RL",
-       [](const arch::ChipConfig& c) {
-         return std::make_unique<core::OdrlController>(c);
-       }},
-      {"PID",
-       [](const arch::ChipConfig& c) {
-         return std::make_unique<baselines::PidController>(c);
-       }},
-      {"Greedy",
-       [](const arch::ChipConfig& c) {
-         return std::make_unique<baselines::GreedyController>(c);
-       }},
-      {"MaxBIPS",
-       [](const arch::ChipConfig& c) {
-         return std::make_unique<baselines::MaxBipsController>(c);
-       }},
-      {"Static",
-       [](const arch::ChipConfig& c) {
-         return std::make_unique<baselines::StaticUniformController>(c);
-       }},
-  };
+  std::vector<NamedController> out;
+  for (const char* name : {"OD-RL", "PID", "Greedy", "MaxBIPS", "Static"}) {
+    out.push_back({name, [name](const arch::ChipConfig& c) {
+                     return sim::make_controller(name, c);
+                   }});
+  }
+  return out;
+}
+
+/// Tag prepended to trace file names; print_header() sets it from the
+/// experiment title ("E1", "E5", ...).
+inline std::string& experiment_tag() {
+  static std::string tag = "bench";
+  return tag;
+}
+
+inline std::string sanitize_file_tag(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    out.push_back(
+        std::isalnum(static_cast<unsigned char>(c)) ? c : '_');
+  }
+  return out.empty() ? std::string("run") : out;
 }
 
 /// Records a trace of the given workload profile set.
@@ -82,7 +92,8 @@ inline workload::RecordedTrace record_mixed_trace(std::size_t cores,
   return gen.record(epochs);
 }
 
-/// Runs one controller over a recorded trace with standard settings.
+/// Runs one controller over a recorded trace with standard settings. With
+/// ODRL_TRACE_DIR set, the run is recorded to a fresh JSONL file there.
 inline sim::RunResult run_measured(const arch::ChipConfig& chip,
                                    const workload::RecordedTrace& trace,
                                    sim::Controller& controller,
@@ -97,11 +108,30 @@ inline sim::RunResult run_measured(const arch::ChipConfig& chip,
   rc.epochs = epochs;
   rc.warmup_epochs = warmup_epochs;
   rc.budget_events = std::move(events);
+
+  telemetry::Recorder recorder;
+  std::ofstream trace_out;
+  const char* trace_dir = std::getenv("ODRL_TRACE_DIR");
+  if (trace_dir != nullptr && *trace_dir != '\0') {
+    static int run_counter = 0;  // distinguishes repeat runs per process
+    const std::string path = std::string(trace_dir) + "/" +
+                             experiment_tag() + "_" +
+                             sanitize_file_tag(controller.name()) + "_" +
+                             std::to_string(run_counter++) + ".jsonl";
+    trace_out.open(path);
+    if (trace_out) {
+      recorder.add_sink(std::make_shared<telemetry::JsonlSink>(trace_out));
+      rc.recorder = &recorder;
+    } else {
+      std::fprintf(stderr, "warning: cannot open trace file %s\n",
+                   path.c_str());
+    }
+  }
   return sim::run_closed_loop(system, controller, rc);
 }
 
 /// Standard comparison: all controllers on one trace; returns results in
-/// registry order.
+/// line-up order.
 inline std::vector<sim::RunResult> run_all(const arch::ChipConfig& chip,
                                            const workload::RecordedTrace& trace,
                                            std::size_t epochs,
@@ -116,6 +146,13 @@ inline std::vector<sim::RunResult> run_all(const arch::ChipConfig& chip,
 }
 
 inline void print_header(const char* experiment, const char* claim) {
+  // "E5: decision latency..." -> trace tag "E5".
+  std::string tag;
+  for (const char* p = experiment;
+       *p != '\0' && std::isalnum(static_cast<unsigned char>(*p)); ++p) {
+    tag.push_back(*p);
+  }
+  if (!tag.empty()) experiment_tag() = tag;
   std::printf("==============================================================\n");
   std::printf("%s\n", experiment);
   std::printf("paper claim: %s\n", claim);

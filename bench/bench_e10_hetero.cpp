@@ -18,6 +18,7 @@
 
 #include "arch/hetero.hpp"
 #include "bench_common.hpp"
+#include "core/odrl_controller.hpp"
 #include "util/table.hpp"
 
 using namespace odrl;
@@ -61,7 +62,9 @@ int main() {
   // Per-type digest for OD-RL: where did the budget go? Re-run with direct
   // access to the controller's introspection.
   {
-    core::OdrlController controller(chip);
+    auto controller_ptr = sim::make_controller("OD-RL", chip);
+    auto& controller =
+        dynamic_cast<core::OdrlController&>(*controller_ptr);
     sim::SimConfig sc;
     sc.sensor_noise_rel = bench::kSensorNoise;
     sim::ManyCoreSystem system(

@@ -43,9 +43,9 @@ int main() {
                      "MaxBIPS", "Static"});
   for (std::size_t e = 0; e < kEpochs; e += kSample) {
     std::vector<std::string> row{std::to_string(e),
-                                 util::Table::fmt(runs[0].budget_trace[e], 1)};
+                                 util::Table::fmt(runs[0].trace[e].budget_w, 1)};
     for (const auto& run : runs) {
-      row.push_back(util::Table::fmt(run.chip_power_trace[e], 1));
+      row.push_back(util::Table::fmt(run.trace[e].true_chip_power_w, 1));
     }
     table.add_row(std::move(row));
   }

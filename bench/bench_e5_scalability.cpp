@@ -19,12 +19,10 @@
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <string>
 
 #include "arch/chip_config.hpp"
-#include "baselines/greedy_controller.hpp"
-#include "baselines/maxbips_controller.hpp"
-#include "baselines/pid_controller.hpp"
-#include "core/odrl_controller.hpp"
+#include "sim/controller_registry.hpp"
 #include "sim/runner.hpp"
 #include "sim/system.hpp"
 #include "workload/workload.hpp"
@@ -66,25 +64,25 @@ void run_decide_benchmark(benchmark::State& state, MakeController make) {
 
 void BM_OdrlDecide(benchmark::State& state) {
   run_decide_benchmark(state, [](const arch::ChipConfig& chip) {
-    return std::make_unique<core::OdrlController>(chip);
+    return sim::make_controller("OD-RL", chip);
   });
 }
 
 void BM_GreedyDecide(benchmark::State& state) {
   run_decide_benchmark(state, [](const arch::ChipConfig& chip) {
-    return std::make_unique<baselines::GreedyController>(chip);
+    return sim::make_controller("Greedy", chip);
   });
 }
 
 void BM_MaxBipsDecide(benchmark::State& state) {
   run_decide_benchmark(state, [](const arch::ChipConfig& chip) {
-    return std::make_unique<baselines::MaxBipsController>(chip);
+    return sim::make_controller("MaxBIPS", chip);
   });
 }
 
 void BM_PidDecide(benchmark::State& state) {
   run_decide_benchmark(state, [](const arch::ChipConfig& chip) {
-    return std::make_unique<baselines::PidController>(chip);
+    return sim::make_controller("PID", chip);
   });
 }
 
@@ -116,12 +114,11 @@ void BM_OdrlDecideThreads(benchmark::State& state) {
   const auto cores = static_cast<std::size_t>(state.range(0));
   const auto threads = static_cast<std::size_t>(state.range(1));
   Fixture fx(cores, threaded_sim(threads));
-  core::OdrlConfig cfg;
-  cfg.threads = threads;
-  core::OdrlController controller(fx.chip, cfg);
-  benchmark::DoNotOptimize(controller.decide(fx.obs));
+  auto controller = sim::make_controller(
+      "OD-RL", fx.chip, {{"threads", std::to_string(threads)}});
+  benchmark::DoNotOptimize(controller->decide(fx.obs));
   for (auto _ : state) {
-    auto levels = controller.decide(fx.obs);
+    auto levels = controller->decide(fx.obs);
     benchmark::DoNotOptimize(levels);
   }
   state.counters["threads"] = static_cast<double>(threads);
@@ -134,13 +131,12 @@ void BM_EpochThreads(benchmark::State& state) {
   const auto cores = static_cast<std::size_t>(state.range(0));
   const auto threads = static_cast<std::size_t>(state.range(1));
   Fixture fx(cores, threaded_sim(threads));
-  core::OdrlConfig cfg;
-  cfg.threads = threads;
-  core::OdrlController controller(fx.chip, cfg);
-  std::vector<std::size_t> levels = controller.initial_levels(cores);
+  auto controller = sim::make_controller(
+      "OD-RL", fx.chip, {{"threads", std::to_string(threads)}});
+  std::vector<std::size_t> levels = controller->initial_levels(cores);
   for (auto _ : state) {
     const auto obs = fx.system.step(levels);
-    levels = controller.decide(obs);
+    levels = controller->decide(obs);
     benchmark::DoNotOptimize(levels);
   }
   state.counters["threads"] = static_cast<double>(threads);

@@ -13,6 +13,7 @@
 #include <memory>
 
 #include "bench_common.hpp"
+#include "core/odrl_controller.hpp"
 #include "util/table.hpp"
 
 using namespace odrl;
@@ -37,7 +38,8 @@ int main() {
                                  workload::GeneratedWorkload::mixed_suite(
                                      kCores, bench::kSeed)),
                              sc);
-  core::OdrlController controller(chip);
+  auto controller_ptr = sim::make_controller("OD-RL", chip);
+  auto& controller = dynamic_cast<core::OdrlController&>(*controller_ptr);
 
   util::Table table({"window", "reward", "power[W]", "budget[W]", "BIPS",
                      "OTB[mJ]", "mu"});

@@ -23,63 +23,24 @@ namespace {
 
 struct Variant {
   std::string name;
-  core::OdrlConfig config;
+  sim::ControllerOverrides overrides;
 };
 
 std::vector<Variant> variants() {
-  std::vector<Variant> out;
-  const core::OdrlConfig base;
-
-  out.push_back({"full (default)", base});
-
-  {
-    core::OdrlConfig c = base;
-    c.global_realloc = false;
-    out.push_back({"no global realloc", c});
-  }
-  for (std::size_t period : {10u, 200u}) {
-    core::OdrlConfig c = base;
-    c.realloc_period = period;
-    out.push_back({"realloc period " + std::to_string(period), c});
-  }
-  {
-    core::OdrlConfig c = base;
-    c.headroom_bins = 4;
-    c.mem_bins = 2;
-    out.push_back({"coarse state (4x2)", c});
-  }
-  {
-    core::OdrlConfig c = base;
-    c.headroom_bins = 20;
-    c.mem_bins = 10;
-    out.push_back({"fine state (20x10)", c});
-  }
-  for (double lambda : {1.0, 20.0}) {
-    core::OdrlConfig c = base;
-    c.lambda = lambda;
-    out.push_back({"lambda " + util::Table::fmt(lambda, 0), c});
-  }
-  {
-    core::OdrlConfig c = base;
-    c.kappa = 0.0;
-    out.push_back({"no freq shaping", c});
-  }
-  {
-    core::OdrlConfig c = base;
-    c.action_mode = core::ActionMode::kAbsolute;
-    out.push_back({"absolute actions", c});
-  }
-  {
-    core::OdrlConfig c = base;
-    c.td.rule = rl::TdRule::kSarsa;
-    out.push_back({"SARSA", c});
-  }
-  {
-    core::OdrlConfig c = base;
-    c.target_fill = 0.8;
-    out.push_back({"target fill 0.80", c});
-  }
-  return out;
+  return {
+      {"full (default)", {}},
+      {"no global realloc", {{"global_realloc", "false"}}},
+      {"realloc period 10", {{"realloc_period", "10"}}},
+      {"realloc period 200", {{"realloc_period", "200"}}},
+      {"coarse state (4x2)", {{"headroom_bins", "4"}, {"mem_bins", "2"}}},
+      {"fine state (20x10)", {{"headroom_bins", "20"}, {"mem_bins", "10"}}},
+      {"lambda 1", {{"lambda", "1"}}},
+      {"lambda 20", {{"lambda", "20"}}},
+      {"no freq shaping", {{"kappa", "0"}}},
+      {"absolute actions", {{"action_mode", "absolute"}}},
+      {"SARSA", {{"rule", "sarsa"}}},
+      {"target fill 0.80", {{"target_fill", "0.8"}}},
+  };
 }
 
 }  // namespace
@@ -106,15 +67,15 @@ int main() {
                    util::Table::fmt(run.mean_decision_us(), 2)});
   };
   for (const auto& variant : variants()) {
-    core::OdrlController controller(chip, variant.config);
+    auto controller = sim::make_controller("OD-RL", chip, variant.overrides);
     add_run(variant.name,
-            bench::run_measured(chip, trace, controller, kEpochs, kWarmup));
+            bench::run_measured(chip, trace, *controller, kEpochs, kWarmup));
   }
 
   // Actuation-cost row: same default controller, but level switches stall
   // the core for 50 us and burn 0.5 mJ each (non-ideal regulators).
   {
-    core::OdrlController controller(chip);
+    auto controller = sim::make_controller("OD-RL", chip);
     sim::SimConfig sc;
     sc.sensor_noise_rel = bench::kSensorNoise;
     sc.switch_penalty_s = 50e-6;
@@ -125,7 +86,7 @@ int main() {
     rc.epochs = kEpochs;
     rc.warmup_epochs = kWarmup;
     add_run("with actuation cost",
-            sim::run_closed_loop(system, controller, rc));
+            sim::run_closed_loop(system, *controller, rc));
   }
 
   std::printf("%s\n", table.render("ablation variants").c_str());

@@ -53,9 +53,8 @@ int main() {
     const std::size_t n_islands = partition.n_islands();
     const arch::ChipConfig island_chip =
         core::VfiAdapter::island_chip_config(chip, partition);
-    core::VfiAdapter adapter(
-        std::move(partition),
-        std::make_unique<core::OdrlController>(island_chip));
+    core::VfiAdapter adapter(std::move(partition),
+                             sim::make_controller("OD-RL", island_chip));
     const auto run =
         bench::run_measured(chip, trace, adapter, kEpochs, kWarmup);
     table.add_row({std::to_string(island_size), std::to_string(n_islands),

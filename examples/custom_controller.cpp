@@ -1,5 +1,6 @@
 // Example: writing your own DVFS controller against the library's
-// interface, and benchmarking it against OD-RL on the same trace.
+// interface, registering it with the controller registry, and benchmarking
+// it against OD-RL on the same trace.
 //
 // The controller implemented here ("HeadroomStepper") is a deliberately
 // simple hand-written heuristic -- three virtual functions are all a policy
@@ -19,8 +20,8 @@
 #include <memory>
 
 #include "arch/chip_config.hpp"
-#include "core/odrl_controller.hpp"
 #include "metrics/metrics.hpp"
+#include "sim/controller_registry.hpp"
 #include "sim/runner.hpp"
 #include "sim/system.hpp"
 #include "util/cli.hpp"
@@ -63,6 +64,16 @@ class HeadroomStepper final : public sim::Controller {
   std::size_t n_levels_;
 };
 
+// Self-registration: one file-scope registrar makes the controller
+// constructible by name everywhere in this binary -- exactly how the
+// built-ins register themselves (see e.g. baselines/pid_controller.cpp).
+const sim::ControllerRegistrar headroom_registrar{
+    "HeadroomStepper",
+    [](const arch::ChipConfig& chip, const sim::ControllerOverrides& ov) {
+      (void)ov;
+      return std::make_unique<HeadroomStepper>(chip);
+    }};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -84,10 +95,16 @@ int main(int argc, char** argv) {
     return sim::run_closed_loop(system, ctl, rc);
   };
 
-  HeadroomStepper custom(chip);
-  core::OdrlController odrl_ctl(chip);
+  std::printf("registered controllers:");
+  for (const std::string& name : sim::registered_controllers()) {
+    std::printf(" %s", name.c_str());
+  }
+  std::printf("\n\n");
 
-  const sim::RunResult runs[] = {run(odrl_ctl), run(custom)};
+  auto custom = sim::make_controller("HeadroomStepper", chip);
+  auto odrl_ctl = sim::make_controller("OD-RL", chip);
+
+  const sim::RunResult runs[] = {run(*odrl_ctl), run(*custom)};
   std::cout << metrics::comparison_table(runs).render(
       "your controller vs. OD-RL (same trace, steady state)");
 

@@ -12,7 +12,7 @@
 #include <memory>
 
 #include "arch/chip_config.hpp"
-#include "core/odrl_controller.hpp"
+#include "sim/controller_registry.hpp"
 #include "sim/runner.hpp"
 #include "sim/system.hpp"
 #include "util/cli.hpp"
@@ -46,12 +46,12 @@ int main(int argc, char** argv) {
       chip,
       std::make_unique<workload::GeneratedWorkload>(
           workload::GeneratedWorkload::mixed_suite(cores, 2024)));
-  core::OdrlController controller(chip);
+  auto controller = sim::make_controller("OD-RL", chip);
 
   sim::RunConfig rc;
   rc.epochs = epochs;
   rc.budget_events = {{epochs / 3, capped_w}, {2 * epochs / 3, full_w}};
-  const sim::RunResult run = sim::run_closed_loop(system, controller, rc);
+  const sim::RunResult run = sim::run_closed_loop(system, *controller, rc);
 
   // Per-phase digest from the traces.
   auto phase_stats = [&](std::size_t from, std::size_t to) {
@@ -59,10 +59,10 @@ int main(int argc, char** argv) {
     util::RunningStats ips;
     double otb = 0.0;
     for (std::size_t e = from; e < to; ++e) {
-      power.add(run.chip_power_trace[e]);
-      ips.add(run.ips_trace[e]);
-      otb += std::max(0.0, run.chip_power_trace[e] - run.budget_trace[e]) *
-             run.epoch_s;
+      const sim::EpochTrace& t = run.trace[e];
+      power.add(t.true_chip_power_w);
+      ips.add(t.total_ips);
+      otb += std::max(0.0, t.true_chip_power_w - t.budget_w) * run.epoch_s;
     }
     return std::tuple{power.mean(), ips.mean() / 1e9, otb};
   };
@@ -83,7 +83,7 @@ int main(int argc, char** argv) {
   // back under the new budget?
   std::size_t settle = 0;
   for (std::size_t e = epochs / 3; e < 2 * epochs / 3; ++e) {
-    if (run.chip_power_trace[e] <= capped_w) {
+    if (run.trace[e].true_chip_power_w <= capped_w) {
       settle = e - epochs / 3;
       break;
     }

@@ -13,6 +13,7 @@
 
 #include "arch/chip_config.hpp"
 #include "core/odrl_controller.hpp"
+#include "sim/controller_registry.hpp"
 #include "sim/system.hpp"
 #include "util/cli.hpp"
 #include "util/stats.hpp"
@@ -80,7 +81,8 @@ int main(int argc, char** argv) {
 
   sim::ManyCoreSystem system(
       chip, std::make_unique<SwappingWorkload>(cores, swap, 7));
-  core::OdrlController controller(chip);
+  auto controller_ptr = sim::make_controller("OD-RL", chip);
+  auto& controller = dynamic_cast<core::OdrlController&>(*controller_ptr);
 
   auto digest = [&](const sim::EpochResult& obs,
                     std::size_t parity) {

@@ -13,6 +13,7 @@
 
 #include "arch/chip_config.hpp"
 #include "core/odrl_controller.hpp"
+#include "sim/controller_registry.hpp"
 #include "sim/system.hpp"
 #include "util/cli.hpp"
 #include "workload/workload.hpp"
@@ -29,8 +30,8 @@ int main(int argc, char** argv) {
   sim::ManyCoreSystem system(
       chip, std::make_unique<workload::GeneratedWorkload>(
                 1, workload::benchmark_by_name(bench), 42));
-  core::OdrlConfig cfg;
-  core::OdrlController controller(chip, cfg);
+  auto controller_ptr = sim::make_controller("OD-RL", chip);
+  auto& controller = dynamic_cast<core::OdrlController&>(*controller_ptr);
 
   std::printf("training 1 agent on '%s' for %zu epochs (TDP %.2f W)...\n\n",
               bench.c_str(), epochs, chip.tdp_w());
@@ -42,8 +43,8 @@ int main(int argc, char** argv) {
 
   const rl::TdAgent& agent = controller.agent(0);
   const auto& table = agent.table();
-  const std::size_t h_bins = cfg.headroom_bins;
-  const std::size_t m_bins = cfg.mem_bins;
+  const std::size_t h_bins = controller.config().headroom_bins;
+  const std::size_t m_bins = controller.config().mem_bins;
 
   std::printf("learned greedy policy (rows: power/cap ratio bin, columns: "
               "memory-stall bin)\n");

@@ -3,23 +3,38 @@
 // Builds a 16-core chip capped at 60% of its peak power, runs the built-in
 // mixed workload suite under the OD-RL controller and under the static
 // worst-case baseline on the *same recorded trace*, and prints the standard
-// comparison table.
+// comparison table. Controllers are built by name through the registry --
+// pass --controller to swap the one under test.
 //
 //   ./quickstart [--cores=16] [--epochs=2000] [--budget=0.6] [--seed=1]
-//                [--threads=1]
+//                [--threads=1] [--controller=OD-RL]
+//                [--trace-out=run.jsonl] [--trace-format=jsonl|csv]
+//                [--trace-cores] [--trace-sample=k]
 //
 // --threads shards the per-core epoch and TD loops across a worker pool
 // (0 = hardware concurrency). Results are bit-identical for every value.
+//
+// --trace-out records the measured region of the first (learning) run
+// through the telemetry subsystem: per-epoch chip records (power, budget,
+// IPS, max temperature, decide() latency), OD-RL reallocation events
+// (per-core budgets, mu, epsilon, mean reward), counters/gauges and the
+// decide()-latency histogram. --trace-cores adds per-core rows;
+// --trace-sample=k keeps every k-th epoch. Recording never changes
+// results.
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <memory>
+#include <string>
 
 #include "arch/chip_config.hpp"
-#include "baselines/static_uniform.hpp"
-#include "core/odrl_controller.hpp"
 #include "metrics/metrics.hpp"
+#include "sim/controller_registry.hpp"
 #include "sim/runner.hpp"
 #include "sim/system.hpp"
+#include "telemetry/csv_sink.hpp"
+#include "telemetry/jsonl_sink.hpp"
+#include "telemetry/recorder.hpp"
 #include "util/cli.hpp"
 #include "workload/workload.hpp"
 
@@ -30,7 +45,8 @@ namespace {
 sim::RunResult run_one(const arch::ChipConfig& chip,
                        const workload::RecordedTrace& trace,
                        sim::Controller& controller, std::size_t epochs,
-                       std::size_t threads) {
+                       std::size_t threads,
+                       telemetry::Recorder* recorder = nullptr) {
   auto workload = std::make_unique<workload::ReplayWorkload>(trace);
   sim::ManyCoreSystem system(chip, std::move(workload));
   sim::RunConfig run_cfg;
@@ -39,6 +55,7 @@ sim::RunResult run_one(const arch::ChipConfig& chip,
   run_cfg.warmup_epochs = epochs;
   run_cfg.epochs = epochs;
   run_cfg.threads = threads;
+  run_cfg.recorder = recorder;
   return sim::run_closed_loop(system, controller, run_cfg);
 }
 
@@ -51,6 +68,7 @@ int main(int argc, char** argv) {
   const double budget_fraction = args.get_double("budget", 0.6);
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
   const auto threads = static_cast<std::size_t>(args.get_int("threads", 1));
+  const std::string controller_name = args.get("controller", "OD-RL");
 
   const arch::ChipConfig chip = arch::ChipConfig::make(cores, budget_fraction);
   std::printf("chip: %zu cores, %zu V/F levels, TDP = %.1f W (%.0f%% of %.1f W peak)\n",
@@ -63,22 +81,53 @@ int main(int argc, char** argv) {
       workload::GeneratedWorkload::mixed_suite(cores, seed);
   const workload::RecordedTrace trace = generator.record(2 * epochs);
 
-  core::OdrlController odrl_ctl(chip);
-  baselines::StaticUniformController static_ctl(chip);
+  auto main_ctl = sim::make_controller(controller_name, chip);
+  auto static_ctl = sim::make_controller("Static", chip);
 
-  const sim::RunResult odrl_run =
-      run_one(chip, trace, odrl_ctl, epochs, threads);
+  // Optional telemetry export of the main controller's run.
+  telemetry::RecorderConfig rec_cfg;
+  rec_cfg.sample_every =
+      static_cast<std::size_t>(args.get_int("trace-sample", 1));
+  rec_cfg.per_core = args.get_bool("trace-cores", false);
+  telemetry::Recorder recorder(rec_cfg);
+  std::ofstream trace_out;
+  const std::string trace_path = args.get("trace-out", "");
+  if (!trace_path.empty()) {
+    trace_out.open(trace_path);
+    if (!trace_out) {
+      std::fprintf(stderr, "error: cannot open %s\n", trace_path.c_str());
+      return 1;
+    }
+    const std::string format = args.get("trace-format", "jsonl");
+    if (format == "jsonl") {
+      recorder.add_sink(std::make_shared<telemetry::JsonlSink>(trace_out));
+    } else if (format == "csv") {
+      recorder.add_sink(std::make_shared<telemetry::CsvSink>(trace_out));
+    } else {
+      std::fprintf(stderr, "error: --trace-format must be jsonl or csv\n");
+      return 1;
+    }
+  }
+
+  const sim::RunResult main_run =
+      run_one(chip, trace, *main_ctl, epochs, threads, &recorder);
   const sim::RunResult static_run =
-      run_one(chip, trace, static_ctl, epochs, threads);
+      run_one(chip, trace, *static_ctl, epochs, threads);
 
-  const sim::RunResult runs[] = {odrl_run, static_run};
+  const sim::RunResult runs[] = {main_run, static_run};
   std::cout << '\n'
             << metrics::comparison_table(runs).render(
-                   "OD-RL vs. static worst-case provisioning");
+                   main_run.controller_name +
+                   " vs. static worst-case provisioning");
 
-  std::printf("\nOD-RL throughput gain over static: %+.1f%%\n",
-              100.0 * (odrl_run.bips() / static_run.bips() - 1.0));
-  std::printf("OD-RL time over budget: %.2f%% of the run\n",
-              100.0 * odrl_run.overshoot_time_fraction());
+  std::printf("\n%s throughput gain over static: %+.1f%%\n",
+              main_run.controller_name.c_str(),
+              100.0 * (main_run.bips() / static_run.bips() - 1.0));
+  std::printf("%s time over budget: %.2f%% of the run\n",
+              main_run.controller_name.c_str(),
+              100.0 * main_run.overshoot_time_fraction());
+  if (!trace_path.empty()) {
+    std::printf("telemetry written to %s\n", trace_path.c_str());
+  }
   return 0;
 }

@@ -1,7 +1,11 @@
 #include "baselines/greedy_controller.hpp"
 
+#include <memory>
 #include <queue>
 #include <stdexcept>
+
+#include "sim/controller_registry.hpp"
+#include "telemetry/recorder.hpp"
 
 namespace odrl::baselines {
 
@@ -61,6 +65,7 @@ std::vector<std::size_t> GreedyController::decide(
 
   for (std::size_t i = 0; i < n; ++i) push_candidate(i, 0);
 
+  std::uint64_t upgrades = 0;
   while (!heap.empty()) {
     const Candidate c = heap.top();
     heap.pop();
@@ -68,9 +73,34 @@ std::vector<std::size_t> GreedyController::decide(
     if (chip_power + c.delta_power > budget) continue;  // does not fit
     levels[c.core] = c.to_level;
     chip_power += c.delta_power;
+    ++upgrades;
     push_candidate(c.core, c.to_level);
+  }
+
+  if (recorder_ && recorder_->active()) {
+    recorder_->counter("greedy.upgrades").add(upgrades);
+    recorder_->gauge("greedy.packed_power_w").set(chip_power);
   }
   return levels;
 }
+
+// -- Registry wiring ("Greedy") --
+namespace {
+
+std::unique_ptr<sim::Controller> make_greedy(
+    const arch::ChipConfig& chip, const sim::ControllerOverrides& ov) {
+  return std::make_unique<GreedyController>(chip,
+                                            ov.get_double("fill_target", 1.0));
+}
+
+const sim::ControllerRegistrar greedy_registrar{"Greedy", &make_greedy};
+
+}  // namespace
+
+/// Link anchor: make_controller() (libodrl_registry) calls this no-op so
+/// the linker must extract this archive member, which runs the registrar
+/// above. A data anchor is not enough -- a discarded load of an extern
+/// constant is dead code the optimizer may drop, reference and all.
+void greedy_controller_registered() {}
 
 }  // namespace odrl::baselines

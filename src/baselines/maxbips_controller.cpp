@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <memory>
 #include <stdexcept>
+
+#include "sim/controller_registry.hpp"
 
 namespace odrl::baselines {
 
@@ -159,5 +162,38 @@ std::vector<std::size_t> MaxBipsController::solve_dp(
   }
   return levels;
 }
+
+// -- Registry wiring ("MaxBIPS") --
+namespace {
+
+std::unique_ptr<sim::Controller> make_maxbips(
+    const arch::ChipConfig& chip, const sim::ControllerOverrides& ov) {
+  MaxBipsConfig cfg;
+  const std::string solver = ov.get_string(
+      "solver", cfg.solver == MaxBipsSolver::kExact ? "exact" : "dp");
+  if (solver == "exact") {
+    cfg.solver = MaxBipsSolver::kExact;
+  } else if (solver == "dp" || solver == "knapsack") {
+    cfg.solver = MaxBipsSolver::kKnapsackDp;
+  } else {
+    throw std::invalid_argument(
+        "MaxBIPS override \"solver\": expected dp|exact, got \"" + solver +
+        "\"");
+  }
+  cfg.power_bins_min = ov.get_size("power_bins_min", cfg.power_bins_min);
+  cfg.bins_per_core = ov.get_size("bins_per_core", cfg.bins_per_core);
+  cfg.exact_core_limit = ov.get_size("exact_core_limit", cfg.exact_core_limit);
+  return std::make_unique<MaxBipsController>(chip, cfg);
+}
+
+const sim::ControllerRegistrar maxbips_registrar{"MaxBIPS", &make_maxbips};
+
+}  // namespace
+
+/// Link anchor: make_controller() (libodrl_registry) calls this no-op so
+/// the linker must extract this archive member, which runs the registrar
+/// above. A data anchor is not enough -- a discarded load of an extern
+/// constant is dead code the optimizer may drop, reference and all.
+void maxbips_controller_registered() {}
 
 }  // namespace odrl::baselines

@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
+
+#include "sim/controller_registry.hpp"
+#include "telemetry/recorder.hpp"
 
 namespace odrl::baselines {
 
@@ -35,6 +39,11 @@ std::vector<std::size_t> PidController::decide(const sim::EpochResult& obs) {
 
   const auto level =
       chip_.vf_table().clamp_level(static_cast<long>(std::lround(u_)));
+
+  if (recorder_ && recorder_->active()) {
+    recorder_->gauge("pid.error").set(error);
+    recorder_->gauge("pid.control_signal").set(u_);
+  }
   return std::vector<std::size_t>(obs.cores.size(), level);
 }
 
@@ -50,5 +59,28 @@ void PidController::reset() {
   prev_error_ = 0.0;
   have_prev_ = false;
 }
+
+// -- Registry wiring ("PID") --
+namespace {
+
+std::unique_ptr<sim::Controller> make_pid(
+    const arch::ChipConfig& chip, const sim::ControllerOverrides& ov) {
+  PidGains gains;
+  gains.kp = ov.get_double("kp", gains.kp);
+  gains.ki = ov.get_double("ki", gains.ki);
+  gains.kd = ov.get_double("kd", gains.kd);
+  gains.integral_limit = ov.get_double("integral_limit", gains.integral_limit);
+  return std::make_unique<PidController>(chip, gains);
+}
+
+const sim::ControllerRegistrar pid_registrar{"PID", &make_pid};
+
+}  // namespace
+
+/// Link anchor: make_controller() (libodrl_registry) calls this no-op so
+/// the linker must extract this archive member, which runs the registrar
+/// above. A data anchor is not enough -- a discarded load of an extern
+/// constant is dead code the optimizer may drop, reference and all.
+void pid_controller_registered() {}
 
 }  // namespace odrl::baselines

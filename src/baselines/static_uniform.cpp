@@ -1,5 +1,9 @@
 #include "baselines/static_uniform.hpp"
 
+#include <memory>
+
+#include "sim/controller_registry.hpp"
+
 namespace odrl::baselines {
 
 StaticUniformController::StaticUniformController(const arch::ChipConfig& chip)
@@ -37,5 +41,24 @@ std::vector<std::size_t> StaticUniformController::decide(
 void StaticUniformController::on_budget_change(double new_budget_w) {
   level_ = safe_level_for(new_budget_w);
 }
+
+// -- Registry wiring ("Static") --
+namespace {
+
+std::unique_ptr<sim::Controller> make_static(
+    const arch::ChipConfig& chip, const sim::ControllerOverrides& ov) {
+  (void)ov;  // no knobs: the level is derived from the chip and budget
+  return std::make_unique<StaticUniformController>(chip);
+}
+
+const sim::ControllerRegistrar static_registrar{"Static", &make_static};
+
+}  // namespace
+
+/// Link anchor: make_controller() (libodrl_registry) calls this no-op so
+/// the linker must extract this archive member, which runs the registrar
+/// above. A data anchor is not enough -- a discarded load of an extern
+/// constant is dead code the optimizer may drop, reference and all.
+void static_uniform_registered() {}
 
 }  // namespace odrl::baselines

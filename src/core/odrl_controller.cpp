@@ -8,6 +8,8 @@
 #include <string>
 
 #include "rl/qtable_io.hpp"
+#include "sim/controller_registry.hpp"
+#include "telemetry/recorder.hpp"
 
 namespace odrl::core {
 
@@ -224,6 +226,25 @@ std::vector<std::size_t> OdrlController::decide(const sim::EpochResult& obs) {
       budgets_[i] = (1.0 - beta) * budgets_[i] + beta * target[i];
     }
     ++realloc_count_;
+
+    // Telemetry: one event per coarse-grain move, carrying the
+    // controller-internal signals (mu, mean reward, exploration rate, the
+    // post-move budget partition). Serial section; pure observation.
+    if (recorder_ && recorder_->active()) {
+      telemetry::ReallocRecord event;
+      event.epoch = obs.epoch;
+      event.index = realloc_count_ - 1;
+      event.mu = mu_;
+      event.mean_reward = last_mean_reward_;
+      event.epsilon = agents_.front().epsilon();
+      event.chip_budget_w = chip_budget_w_;
+      event.core_budgets = budgets_;
+      recorder_->record_realloc(event);
+      recorder_->counter("odrl.reallocs").add(1);
+      recorder_->gauge("odrl.mu").set(mu_);
+      recorder_->gauge("odrl.epsilon").set(event.epsilon);
+      recorder_->gauge("odrl.mean_reward").set(last_mean_reward_);
+    }
   }
 
   // Fine grain: per-core TD step, sharded across the pool. Each core owns
@@ -332,5 +353,83 @@ std::size_t OdrlController::last_state(std::size_t core) const {
   }
   return prev_state_[core];
 }
+
+// -- Registry wiring ("OD-RL") --
+namespace {
+
+std::unique_ptr<sim::Controller> make_odrl(
+    const arch::ChipConfig& chip, const sim::ControllerOverrides& ov) {
+  OdrlConfig cfg;
+  cfg.td.gamma = ov.get_double("gamma", cfg.td.gamma);
+  cfg.td.q_init = ov.get_double("q_init", cfg.td.q_init);
+  const std::string rule =
+      ov.get_string("rule", cfg.td.rule == rl::TdRule::kSarsa ? "sarsa"
+                                                              : "q-learning");
+  if (rule == "sarsa") {
+    cfg.td.rule = rl::TdRule::kSarsa;
+  } else if (rule == "q-learning" || rule == "q") {
+    cfg.td.rule = rl::TdRule::kQLearning;
+  } else {
+    throw std::invalid_argument(
+        "OD-RL override \"rule\": expected q-learning|sarsa, got \"" + rule +
+        "\"");
+  }
+  if (ov.contains("epsilon0") || ov.contains("epsilon_min") ||
+      ov.contains("epsilon_decay")) {
+    cfg.td.epsilon = rl::EpsilonSchedule(ov.get_double("epsilon0", 0.4),
+                                         ov.get_double("epsilon_min", 0.03),
+                                         ov.get_double("epsilon_decay", 0.997));
+  } else {
+    // Mark consumed so e.g. {"epsilon0": ...} alone works symmetrically.
+    ov.get_double("epsilon0", 0.0);
+    ov.get_double("epsilon_min", 0.0);
+    ov.get_double("epsilon_decay", 0.0);
+  }
+  if (ov.contains("alpha")) {
+    cfg.td.alpha =
+        rl::LearningRateSchedule::constant(ov.get_double("alpha", 0.2));
+  }
+  const std::string mode = ov.get_string(
+      "action_mode",
+      cfg.action_mode == ActionMode::kAbsolute ? "absolute" : "relative");
+  if (mode == "absolute") {
+    cfg.action_mode = ActionMode::kAbsolute;
+  } else if (mode == "relative") {
+    cfg.action_mode = ActionMode::kRelative;
+  } else {
+    throw std::invalid_argument(
+        "OD-RL override \"action_mode\": expected relative|absolute, got \"" +
+        mode + "\"");
+  }
+  cfg.headroom_bins = ov.get_size("headroom_bins", cfg.headroom_bins);
+  cfg.mem_bins = ov.get_size("mem_bins", cfg.mem_bins);
+  cfg.lambda = ov.get_double("lambda", cfg.lambda);
+  cfg.kappa = ov.get_double("kappa", cfg.kappa);
+  cfg.thermal_weight = ov.get_double("thermal_weight", cfg.thermal_weight);
+  cfg.thermal_safe_c = ov.get_double("thermal_safe_c", cfg.thermal_safe_c);
+  cfg.target_utilization =
+      ov.get_double("target_utilization", cfg.target_utilization);
+  cfg.realloc_period = ov.get_size("realloc_period", cfg.realloc_period);
+  cfg.global_realloc = ov.get_bool("global_realloc", cfg.global_realloc);
+  cfg.ema_alpha = ov.get_double("ema_alpha", cfg.ema_alpha);
+  cfg.budget_blend = ov.get_double("budget_blend", cfg.budget_blend);
+  cfg.target_fill = ov.get_double("target_fill", cfg.target_fill);
+  cfg.overcommit_gain = ov.get_double("overcommit_gain", cfg.overcommit_gain);
+  cfg.overcommit_min = ov.get_double("overcommit_min", cfg.overcommit_min);
+  cfg.overcommit_max = ov.get_double("overcommit_max", cfg.overcommit_max);
+  cfg.seed = ov.get_u64("seed", cfg.seed);
+  cfg.threads = ov.get_size("threads", cfg.threads);
+  return std::make_unique<OdrlController>(chip, cfg);
+}
+
+const sim::ControllerRegistrar odrl_registrar{"OD-RL", &make_odrl};
+
+}  // namespace
+
+/// Link anchor: make_controller() (libodrl_registry) calls this no-op so
+/// the linker must extract this archive member, which runs the registrar
+/// above. A data anchor is not enough -- a discarded load of an extern
+/// constant is dead code the optimizer may drop, reference and all.
+void odrl_controller_registered() {}
 
 }  // namespace odrl::core

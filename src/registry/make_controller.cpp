@@ -1,0 +1,46 @@
+// The registry's front door, deliberately housed in its own library
+// (odrl_registry) that links every controller library: make_controller()
+// must be able to promise that all built-ins are registered, and with
+// static libraries that means forcing the linker to keep each controller's
+// translation unit (whose file-scope ControllerRegistrar does the actual
+// registration). Calling the no-op anchor function each controller defines
+// next to its registrar extracts that archive member; the registrar's
+// dynamic initializer then runs before main().
+#include "sim/controller_registry.hpp"
+
+namespace odrl::core {
+void odrl_controller_registered();
+}  // namespace odrl::core
+
+namespace odrl::baselines {
+void pid_controller_registered();
+void greedy_controller_registered();
+void maxbips_controller_registered();
+void static_uniform_registered();
+}  // namespace odrl::baselines
+
+namespace odrl::sim {
+
+namespace {
+void ensure_builtins_linked() {
+  core::odrl_controller_registered();
+  baselines::pid_controller_registered();
+  baselines::greedy_controller_registered();
+  baselines::maxbips_controller_registered();
+  baselines::static_uniform_registered();
+}
+}  // namespace
+
+std::unique_ptr<Controller> make_controller(
+    const std::string& name, const arch::ChipConfig& chip,
+    const ControllerOverrides& overrides) {
+  ensure_builtins_linked();
+  return ControllerRegistry::instance().make(name, chip, overrides);
+}
+
+std::vector<std::string> registered_controllers() {
+  ensure_builtins_linked();
+  return ControllerRegistry::instance().names();
+}
+
+}  // namespace odrl::sim

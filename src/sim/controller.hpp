@@ -17,6 +17,10 @@
 
 #include "sim/observation.hpp"
 
+namespace odrl::telemetry {
+class Recorder;
+}
+
 namespace odrl::sim {
 
 class Controller {
@@ -43,6 +47,21 @@ class Controller {
   /// per-core TD loop) honor it; the contract is that results are
   /// bit-identical for every width. Default: ignore (serial controllers).
   virtual void set_threads(std::size_t /*threads*/) {}
+
+  /// Attaches (or, with nullptr, detaches) a telemetry recorder. The runner
+  /// calls this at run start/end with RunConfig::recorder; the recorder
+  /// must outlive the run. Controllers emit internal signals (e.g. OD-RL's
+  /// reallocation events) through it, from decide()'s serial sections only,
+  /// and must never let recording alter their decisions -- runs are
+  /// bit-identical with telemetry on or off. The default keeps the pointer
+  /// for subclasses; override to forward (adapters) or add instruments.
+  virtual void set_recorder(telemetry::Recorder* recorder) {
+    recorder_ = recorder;
+  }
+
+ protected:
+  /// Null when telemetry is off; guard every use.
+  telemetry::Recorder* recorder_ = nullptr;
 };
 
 }  // namespace odrl::sim

@@ -1,0 +1,155 @@
+#include "sim/controller_registry.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace odrl::sim {
+
+namespace {
+
+[[noreturn]] void throw_parse_error(const std::string& key,
+                                    const std::string& value,
+                                    const char* wanted) {
+  std::ostringstream msg;
+  msg << "controller override \"" << key << "\": cannot parse \"" << value
+      << "\" as " << wanted;
+  throw std::invalid_argument(msg.str());
+}
+
+}  // namespace
+
+const std::string* ControllerOverrides::find(const std::string& key) const {
+  consumed_.insert(key);
+  const auto it = values_.find(key);
+  return it == values_.end() ? nullptr : &it->second;
+}
+
+std::string ControllerOverrides::get_string(const std::string& key,
+                                            std::string fallback) const {
+  const std::string* v = find(key);
+  return v ? *v : std::move(fallback);
+}
+
+double ControllerOverrides::get_double(const std::string& key,
+                                       double fallback) const {
+  const std::string* v = find(key);
+  if (!v) return fallback;
+  const char* begin = v->c_str();
+  char* end = nullptr;
+  errno = 0;
+  const double parsed = std::strtod(begin, &end);
+  if (end == begin || *end != '\0' || errno == ERANGE) {
+    throw_parse_error(key, *v, "a number");
+  }
+  return parsed;
+}
+
+std::size_t ControllerOverrides::get_size(const std::string& key,
+                                          std::size_t fallback) const {
+  return static_cast<std::size_t>(get_u64(key, fallback));
+}
+
+std::uint64_t ControllerOverrides::get_u64(const std::string& key,
+                                           std::uint64_t fallback) const {
+  const std::string* v = find(key);
+  if (!v) return fallback;
+  const char* begin = v->c_str();
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long parsed = std::strtoull(begin, &end, 10);
+  if (end == begin || *end != '\0' || errno == ERANGE || v->front() == '-') {
+    throw_parse_error(key, *v, "a non-negative integer");
+  }
+  return parsed;
+}
+
+bool ControllerOverrides::get_bool(const std::string& key,
+                                   bool fallback) const {
+  const std::string* v = find(key);
+  if (!v) return fallback;
+  if (*v == "true" || *v == "1" || *v == "on") return true;
+  if (*v == "false" || *v == "0" || *v == "off") return false;
+  throw_parse_error(key, *v, "a bool (true/false/1/0/on/off)");
+}
+
+std::vector<std::string> ControllerOverrides::unconsumed() const {
+  std::vector<std::string> stray;
+  for (const auto& [key, value] : values_) {
+    if (consumed_.count(key) == 0) stray.push_back(key);
+  }
+  return stray;
+}
+
+void ControllerOverrides::throw_if_unconsumed(
+    const std::string& controller) const {
+  const std::vector<std::string> stray = unconsumed();
+  if (stray.empty()) return;
+  std::ostringstream msg;
+  msg << "controller \"" << controller
+      << "\" does not accept override key(s):";
+  for (const std::string& key : stray) msg << " \"" << key << "\"";
+  throw std::invalid_argument(msg.str());
+}
+
+ControllerRegistry& ControllerRegistry::instance() {
+  static ControllerRegistry registry;
+  return registry;
+}
+
+void ControllerRegistry::add(std::string name, ControllerFactory factory) {
+  if (name.empty()) {
+    throw std::invalid_argument("ControllerRegistry: empty name");
+  }
+  if (!factory) {
+    throw std::invalid_argument("ControllerRegistry: null factory for \"" +
+                                name + "\"");
+  }
+  if (!factories_.emplace(std::move(name), std::move(factory)).second) {
+    throw std::invalid_argument(
+        "ControllerRegistry: duplicate registration");
+  }
+}
+
+bool ControllerRegistry::contains(const std::string& name) const {
+  return factories_.count(name) != 0;
+}
+
+std::vector<std::string> ControllerRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) out.push_back(name);
+  return out;  // std::map iteration is already sorted
+}
+
+std::unique_ptr<Controller> ControllerRegistry::make(
+    const std::string& name, const arch::ChipConfig& chip,
+    const ControllerOverrides& overrides) const {
+  const auto it = factories_.find(name);
+  if (it == factories_.end()) {
+    std::ostringstream msg;
+    msg << "unknown controller \"" << name << "\"; registered:";
+    for (const auto& [known, factory] : factories_) {
+      msg << " \"" << known << "\"";
+    }
+    throw std::invalid_argument(msg.str());
+  }
+  // Fresh copy so consumption tracking starts clean for this construction
+  // even when the caller reuses one ControllerOverrides across makes.
+  const ControllerOverrides local = overrides;
+  std::unique_ptr<Controller> controller = it->second(chip, local);
+  if (!controller) {
+    throw std::logic_error("controller factory for \"" + name +
+                           "\" returned null");
+  }
+  local.throw_if_unconsumed(name);
+  return controller;
+}
+
+ControllerRegistrar::ControllerRegistrar(std::string name,
+                                         ControllerFactory factory) {
+  ControllerRegistry::instance().add(std::move(name), std::move(factory));
+}
+
+}  // namespace odrl::sim

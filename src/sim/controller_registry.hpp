@@ -1,0 +1,126 @@
+// Name-keyed controller construction: the registry maps controller names
+// ("OD-RL", "PID", "Greedy", "MaxBIPS", "Static", plus anything downstream
+// code registers) to factories, so benches, examples and config-driven
+// tools build controllers from strings instead of hand-wiring constructors.
+//
+// Controllers self-register: each implementation .cpp holds a file-scope
+// ControllerRegistrar, so adding a controller never touches this file.
+// Because self-registration lives in static-library members the linker is
+// free to drop, libodrl_registry's make_controller() references an anchor
+// symbol in every built-in controller's translation unit, guaranteeing the
+// registrars run before any lookup (see src/registry/make_controller.cpp).
+//
+// Factories take a ControllerOverrides: a flat string->string map of
+// controller-specific knobs ("lambda", "realloc_period", "kp", ...). Every
+// key must be consumed by the factory -- a typo'd or inapplicable key makes
+// make() throw, listing what the controller actually accepts.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <initializer_list>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "arch/chip_config.hpp"
+#include "sim/controller.hpp"
+
+namespace odrl::sim {
+
+/// Flat, typed-on-read override set handed to controller factories.
+/// Getters mark keys consumed; ControllerRegistry::make() rejects the
+/// construction if any key was never read, so misspellings fail loudly
+/// instead of silently running the default.
+class ControllerOverrides {
+ public:
+  ControllerOverrides() = default;
+  ControllerOverrides(
+      std::initializer_list<std::pair<const std::string, std::string>> kv)
+      : values_(kv) {}
+  explicit ControllerOverrides(std::map<std::string, std::string> kv)
+      : values_(std::move(kv)) {}
+
+  ControllerOverrides& set(std::string key, std::string value) {
+    values_[std::move(key)] = std::move(value);
+    return *this;
+  }
+
+  bool empty() const { return values_.empty(); }
+  std::size_t size() const { return values_.size(); }
+  bool contains(const std::string& key) const {
+    return values_.count(key) != 0;
+  }
+
+  /// Typed getters: return `fallback` when the key is absent, parse the
+  /// stored string otherwise (throwing std::invalid_argument on garbage).
+  /// Reading a key -- present or not -- marks it consumed.
+  std::string get_string(const std::string& key, std::string fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  std::size_t get_size(const std::string& key, std::size_t fallback) const;
+  std::uint64_t get_u64(const std::string& key, std::uint64_t fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  /// Keys present but never read by any getter.
+  std::vector<std::string> unconsumed() const;
+  /// Throws std::invalid_argument naming `controller` and the stray keys.
+  void throw_if_unconsumed(const std::string& controller) const;
+
+ private:
+  /// Lookup that records consumption; nullptr when absent.
+  const std::string* find(const std::string& key) const;
+
+  std::map<std::string, std::string> values_;
+  mutable std::set<std::string> consumed_;  ///< read-tracking only
+};
+
+using ControllerFactory = std::function<std::unique_ptr<Controller>(
+    const arch::ChipConfig& chip, const ControllerOverrides& overrides)>;
+
+class ControllerRegistry {
+ public:
+  /// The process-wide registry (Meyers singleton: safe across the static
+  /// registrars in every controller TU regardless of init order).
+  static ControllerRegistry& instance();
+
+  /// Registers a factory under `name`; throws on duplicates.
+  void add(std::string name, ControllerFactory factory);
+
+  bool contains(const std::string& name) const;
+  /// Registered names, sorted.
+  std::vector<std::string> names() const;
+
+  /// Builds a controller. Throws std::invalid_argument for unknown names
+  /// (the message lists what is registered) and for override keys the
+  /// controller's factory did not consume.
+  std::unique_ptr<Controller> make(
+      const std::string& name, const arch::ChipConfig& chip,
+      const ControllerOverrides& overrides = {}) const;
+
+ private:
+  ControllerRegistry() = default;
+  std::map<std::string, ControllerFactory> factories_;
+};
+
+/// Registers a factory at static-init time; declare one per controller at
+/// file scope in the implementation .cpp:
+///   const sim::ControllerRegistrar reg{"PID", &make_pid};
+struct ControllerRegistrar {
+  ControllerRegistrar(std::string name, ControllerFactory factory);
+};
+
+/// Convenience front door over the registry; guarantees every built-in
+/// controller is linked and registered first. Defined in libodrl_registry
+/// (the layer that links all controller libraries) -- link the umbrella
+/// `odrl` target, or `odrl_registry`, to use it.
+std::unique_ptr<Controller> make_controller(
+    const std::string& name, const arch::ChipConfig& chip,
+    const ControllerOverrides& overrides = {});
+
+/// Sorted names of everything registered (built-ins linked first).
+std::vector<std::string> registered_controllers();
+
+}  // namespace odrl::sim

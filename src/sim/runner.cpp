@@ -45,6 +45,34 @@ double RunResult::mean_decision_us() const {
              : decision_time_s / static_cast<double>(decisions) * 1e6;
 }
 
+namespace {
+template <typename Get>
+std::vector<double> trace_column(const std::vector<EpochTrace>& trace,
+                                 Get get) {
+  std::vector<double> out;
+  out.reserve(trace.size());
+  for (const EpochTrace& t : trace) out.push_back(get(t));
+  return out;
+}
+}  // namespace
+
+std::vector<double> RunResult::chip_power_trace() const {
+  return trace_column(trace,
+                      [](const EpochTrace& t) { return t.true_chip_power_w; });
+}
+
+std::vector<double> RunResult::budget_trace() const {
+  return trace_column(trace, [](const EpochTrace& t) { return t.budget_w; });
+}
+
+std::vector<double> RunResult::ips_trace() const {
+  return trace_column(trace, [](const EpochTrace& t) { return t.total_ips; });
+}
+
+std::vector<double> RunResult::max_temp_trace() const {
+  return trace_column(trace, [](const EpochTrace& t) { return t.max_temp_c; });
+}
+
 RunResult run_closed_loop(ManyCoreSystem& system, Controller& controller,
                           const RunConfig& config) {
   config.validate();
@@ -54,16 +82,29 @@ RunResult run_closed_loop(ManyCoreSystem& system, Controller& controller,
   result.controller_name = controller.name();
   result.epochs = config.epochs;
   result.epoch_s = system.epoch_s();
-  if (config.keep_traces) {
-    result.chip_power_trace.reserve(config.epochs);
-    result.budget_trace.reserve(config.epochs);
-    result.ips_trace.reserve(config.epochs);
-    result.max_temp_trace.reserve(config.epochs);
-  }
+  if (config.keep_traces) result.trace.reserve(config.epochs);
 
   if (config.threads != 0) {
     system.set_threads(config.threads);
     controller.set_threads(config.threads);
+  }
+
+  // Telemetry attach. `rec` stays null when no sink is listening, so every
+  // emission below is skipped with one branch -- recording only observes,
+  // it never changes what the loop computes.
+  telemetry::Recorder* rec =
+      (config.recorder && config.recorder->active()) ? config.recorder
+                                                     : nullptr;
+  system.set_recorder(rec);
+  controller.set_recorder(rec);
+  telemetry::Histogram* decide_hist = nullptr;
+  if (rec) {
+    rec->begin_run({controller.name(), system.n_cores(), config.epochs,
+                    system.epoch_s()});
+    // decide() latencies span sub-us table walks to ~1 s global solves:
+    // log-spaced microsecond bins covering 0.1 us .. 10 s.
+    decide_hist = &rec->histogram(
+        "decide_us", telemetry::Histogram::exponential_edges(0.1, 1e7, 17));
   }
 
   power::EnergyAccountant accountant(system.budget_w());
@@ -81,6 +122,7 @@ RunResult run_closed_loop(ManyCoreSystem& system, Controller& controller,
     const double new_budget = config.budget_events[next_event].budget_w;
     system.set_budget_w(new_budget);
     controller.on_budget_change(new_budget);
+    if (rec) rec->record_budget_change({system.epochs_run(), new_budget});
     ++next_event;
   }
 
@@ -101,6 +143,7 @@ RunResult run_closed_loop(ManyCoreSystem& system, Controller& controller,
       system.set_budget_w(new_budget);
       accountant.set_budget_w(new_budget);
       controller.on_budget_change(new_budget);
+      if (rec) rec->record_budget_change({system.epochs_run(), new_budget});
       ++next_event;
     }
 
@@ -111,19 +154,42 @@ RunResult run_closed_loop(ManyCoreSystem& system, Controller& controller,
     }
     accountant.add_epoch(obs.true_chip_power_w, obs.epoch_s);
     if (obs.thermal_violations > 0) ++result.thermal_violation_epochs;
-    if (config.keep_traces) {
-      result.chip_power_trace.push_back(obs.true_chip_power_w);
-      result.budget_trace.push_back(obs.budget_w);
-      result.ips_trace.push_back(obs.total_ips);
-      result.max_temp_trace.push_back(obs.max_temp_c);
-    }
 
     const auto t0 = Clock::now();
     levels = controller.decide(obs);
     const auto t1 = Clock::now();
-    result.decision_time_s +=
-        std::chrono::duration<double>(t1 - t0).count();
+    const double decide_s = std::chrono::duration<double>(t1 - t0).count();
+    result.decision_time_s += decide_s;
     ++result.decisions;
+
+    // The typed record for this epoch, shared verbatim between the
+    // in-memory trace and the telemetry sinks. Stamped with the *system's*
+    // epoch counter (obs.epoch) so it shares a clock with the controller
+    // events (realloc, budget_change) that land in the same trace stream;
+    // trace[i] is measured epoch i regardless.
+    EpochTrace record;
+    record.epoch = obs.epoch;
+    record.budget_w = obs.budget_w;
+    record.chip_power_w = obs.chip_power_w;
+    record.true_chip_power_w = obs.true_chip_power_w;
+    record.total_ips = obs.total_ips;
+    record.max_temp_c = obs.max_temp_c;
+    record.thermal_violations =
+        static_cast<std::uint32_t>(obs.thermal_violations);
+    record.decide_s = decide_s;
+    if (config.keep_traces) result.trace.push_back(record);
+    if (rec) {
+      rec->record_epoch(record);
+      decide_hist->observe(decide_s * 1e6);
+      if (rec->wants_cores(record.epoch)) {
+        for (std::size_t i = 0; i < obs.cores.size(); ++i) {
+          const CoreObservation& c = obs.cores[i];
+          rec->record_core({record.epoch, static_cast<std::uint32_t>(i),
+                            static_cast<std::uint32_t>(c.level), c.ips,
+                            c.power_w, c.temp_c, c.mem_stall_frac});
+        }
+      }
+    }
 
     if (levels.size() != system.n_cores()) {
       throw std::logic_error("controller decide() size mismatch");
@@ -135,6 +201,19 @@ RunResult run_closed_loop(ManyCoreSystem& system, Controller& controller,
   result.time_over_s = accountant.time_over_budget_s();
   result.peak_overshoot_w = accountant.peak_overshoot_w();
   result.mean_power_w = accountant.mean_power_w();
+
+  if (rec) {
+    rec->counter("run.epochs").add(config.epochs);
+    rec->counter("run.decisions").add(result.decisions);
+    rec->counter("run.thermal_violation_epochs")
+        .add(result.thermal_violation_epochs);
+    rec->gauge("run.mean_power_w").set(result.mean_power_w);
+    rec->gauge("run.otb_energy_j").set(result.otb_energy_j);
+    rec->end_run();
+  }
+  // Detach: the recorder's lifetime is only guaranteed for this run.
+  system.set_recorder(nullptr);
+  controller.set_recorder(nullptr);
   return result;
 }
 

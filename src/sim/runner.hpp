@@ -10,8 +10,16 @@
 
 #include "sim/controller.hpp"
 #include "sim/system.hpp"
+#include "telemetry/record.hpp"
+#include "telemetry/recorder.hpp"
 
 namespace odrl::sim {
+
+/// One measured epoch of a run: the typed trace record. This *is* the
+/// telemetry schema's chip-level record -- RunResult::trace and every
+/// exported trace (CSV/JSONL) describe identical quantities, by
+/// construction.
+using EpochTrace = telemetry::EpochRecord;
 
 /// At `epoch`, the chip budget becomes `budget_w` (rack-level power-cap or
 /// thermal-event emulation).
@@ -44,6 +52,13 @@ struct RunConfig {
   /// are bit-identical for every value.
   std::size_t threads = 0;
 
+  /// Optional telemetry recorder (non-owning; must outlive the run). The
+  /// runner threads it through the system and controller, emits per-epoch
+  /// records, decide()-latency histograms and budget events, and detaches
+  /// it when the run ends. Recording is purely observational: RunResults
+  /// are bit-identical with and without a recorder, at any thread count.
+  telemetry::Recorder* recorder = nullptr;
+
   void validate() const;
 };
 
@@ -64,10 +79,22 @@ struct RunResult {
   std::size_t decisions = 0;
   std::size_t thermal_violation_epochs = 0;
 
-  std::vector<double> chip_power_trace;  ///< true chip watts per epoch
-  std::vector<double> budget_trace;      ///< budget in force per epoch
-  std::vector<double> ips_trace;         ///< chip IPS per epoch
-  std::vector<double> max_temp_trace;    ///< hottest tile per epoch
+  /// Per-epoch typed records (RunConfig::keep_traces), measured region
+  /// only: trace[i] is measured epoch i. The records' .epoch field carries
+  /// the *system's* epoch counter (which keeps counting through warmup), so
+  /// trace records and controller events share one clock in exported
+  /// telemetry.
+  std::vector<EpochTrace> trace;
+
+  // -- Compatibility accessors over `trace` (materialize one column) --
+  /// True (noise-free) chip watts per epoch.
+  std::vector<double> chip_power_trace() const;
+  /// Budget in force per epoch.
+  std::vector<double> budget_trace() const;
+  /// Chip IPS per epoch.
+  std::vector<double> ips_trace() const;
+  /// Hottest tile per epoch.
+  std::vector<double> max_temp_trace() const;
 
   double elapsed_s() const { return static_cast<double>(epochs) * epoch_s; }
   /// Mean chip throughput in billions of instructions per second.

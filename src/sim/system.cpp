@@ -224,6 +224,26 @@ EpochResult ManyCoreSystem::step(std::span<const std::size_t> levels) {
   result.max_temp_c = thermal_.max_temperature();
   result.thermal_violations = thermal_.violation_count();
 
+  // Telemetry (serial tail; nothing above may touch the recorder). Level
+  // switches are counted against the previous epoch's levels before they
+  // are overwritten.
+  if (recorder_ && recorder_->active()) {
+    std::uint64_t switches = 0;
+    if (have_prev_levels_) {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (prev_levels_[i] != levels[i]) ++switches;
+      }
+    }
+    recorder_->counter("sim.epochs").add(1);
+    recorder_->counter("sim.level_switches").add(switches);
+    recorder_->counter("sim.thermal_violations")
+        .add(result.thermal_violations);
+    if (dram_.enabled()) {
+      recorder_->gauge("sim.dram_utilization").set(dram_util);
+      recorder_->gauge("sim.mem_latency_mult").set(mem_scale);
+    }
+  }
+
   prev_levels_.assign(levels.begin(), levels.end());
   have_prev_levels_ = true;
   ++epoch_;

@@ -22,6 +22,7 @@
 #include "perf/perf_model.hpp"
 #include "power/power_model.hpp"
 #include "sim/observation.hpp"
+#include "telemetry/recorder.hpp"
 #include "thermal/thermal_model.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
@@ -94,6 +95,12 @@ class ManyCoreSystem {
   void set_threads(std::size_t threads);
   std::size_t threads() const;
 
+  /// Attaches (nullptr detaches) a telemetry recorder; the runner wires
+  /// this per run. The system only updates counters/gauges (level
+  /// switches, DRAM pressure) from step()'s serial tail -- never from the
+  /// parallel region -- so recording is deterministic and free when off.
+  void set_recorder(telemetry::Recorder* recorder) { recorder_ = recorder; }
+
   const thermal::ThermalModel& thermal() const { return thermal_; }
   const workload::Workload& workload() const { return *workload_; }
   /// Per-core models of this chip instance (index = core).
@@ -122,6 +129,7 @@ class ManyCoreSystem {
   bool have_prev_levels_ = false;
   double budget_w_;
   std::size_t epoch_ = 0;
+  telemetry::Recorder* recorder_ = nullptr;  ///< non-owning, may be null
 };
 
 }  // namespace odrl::sim

@@ -1,0 +1,163 @@
+#include "telemetry/csv_sink.hpp"
+
+#include <array>
+#include <string>
+
+#include "telemetry/text.hpp"
+#include "util/csv.hpp"
+
+namespace odrl::telemetry {
+
+namespace {
+
+// Column layout (fixed; the header row is the single source of truth for
+// consumers). Indices name the cells Row fills per record kind.
+constexpr std::size_t kColumns = 21;
+constexpr const char* kHeader =
+    "record,epoch,name,value,edge,budget_w,chip_power_w,true_chip_power_w,"
+    "total_ips,max_temp_c,thermal_violations,decide_s,core,level,ips,"
+    "power_w,temp_c,mem_stall_frac,mu,mean_reward,epsilon";
+
+enum Col : std::size_t {
+  kRecord = 0,
+  kEpoch,
+  kName,
+  kValue,
+  kEdge,
+  kBudgetW,
+  kChipPowerW,
+  kTrueChipPowerW,
+  kTotalIps,
+  kMaxTempC,
+  kThermalViolations,
+  kDecideS,
+  kCore,
+  kLevel,
+  kIps,
+  kPowerW,
+  kTempC,
+  kMemStallFrac,
+  kMu,
+  kMeanReward,
+  kEpsilon,
+};
+
+struct Row {
+  std::array<std::string, kColumns> cells;
+
+  void set(Col col, std::string v) { cells[col] = std::move(v); }
+  void set(Col col, double v) { cells[col] = fmt_double(v); }
+  void set(Col col, std::uint64_t v) { cells[col] = std::to_string(v); }
+
+  void write(std::ostream& out) const {
+    for (std::size_t i = 0; i < kColumns; ++i) {
+      if (i > 0) out << ',';
+      out << util::csv_escape(cells[i]);
+    }
+    out << '\n';
+  }
+};
+
+}  // namespace
+
+CsvSink::CsvSink(std::ostream& out) : out_(&out) { *out_ << kHeader << '\n'; }
+
+void CsvSink::begin_run(const RunInfo& info) {
+  *out_ << "# run controller=" << util::csv_escape(info.controller)
+        << " cores=" << info.n_cores << " epochs=" << info.epochs
+        << " epoch_s=" << fmt_double(info.epoch_s) << '\n';
+  Row row;
+  row.set(kRecord, "run_begin");
+  row.set(kName, info.controller);
+  row.write(*out_);
+}
+
+void CsvSink::epoch(const EpochRecord& rec) {
+  Row row;
+  row.set(kRecord, "epoch");
+  row.set(kEpoch, rec.epoch);
+  row.set(kBudgetW, rec.budget_w);
+  row.set(kChipPowerW, rec.chip_power_w);
+  row.set(kTrueChipPowerW, rec.true_chip_power_w);
+  row.set(kTotalIps, rec.total_ips);
+  row.set(kMaxTempC, rec.max_temp_c);
+  row.set(kThermalViolations, std::uint64_t{rec.thermal_violations});
+  row.set(kDecideS, rec.decide_s);
+  row.write(*out_);
+}
+
+void CsvSink::core(const CoreRecord& rec) {
+  Row row;
+  row.set(kRecord, "core");
+  row.set(kEpoch, rec.epoch);
+  row.set(kCore, std::uint64_t{rec.core});
+  row.set(kLevel, std::uint64_t{rec.level});
+  row.set(kIps, rec.ips);
+  row.set(kPowerW, rec.power_w);
+  row.set(kTempC, rec.temp_c);
+  row.set(kMemStallFrac, rec.mem_stall_frac);
+  row.write(*out_);
+}
+
+void CsvSink::realloc(const ReallocRecord& rec) {
+  Row row;
+  row.set(kRecord, "realloc");
+  row.set(kEpoch, rec.epoch);
+  row.set(kValue, rec.index);
+  row.set(kBudgetW, rec.chip_budget_w);
+  row.set(kMu, rec.mu);
+  row.set(kMeanReward, rec.mean_reward);
+  row.set(kEpsilon, rec.epsilon);
+  row.write(*out_);
+}
+
+void CsvSink::budget_change(const BudgetChangeRecord& rec) {
+  Row row;
+  row.set(kRecord, "budget_change");
+  row.set(kEpoch, rec.epoch);
+  row.set(kBudgetW, rec.budget_w);
+  row.write(*out_);
+}
+
+void CsvSink::metrics(const MetricsSnapshot& snap) {
+  for (const auto& c : snap.counters) {
+    Row row;
+    row.set(kRecord, "counter");
+    row.set(kName, c.name);
+    row.set(kValue, c.value);
+    row.write(*out_);
+  }
+  for (const auto& g : snap.gauges) {
+    Row row;
+    row.set(kRecord, "gauge");
+    row.set(kName, g.name);
+    row.set(kValue, g.value);
+    row.write(*out_);
+  }
+  for (const auto& h : snap.histograms) {
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      Row row;
+      row.set(kRecord, "histogram_bin");
+      row.set(kName, h.name);
+      row.set(kEdge, i < h.upper_edges.size() ? fmt_double(h.upper_edges[i])
+                                              : std::string("inf"));
+      row.set(kValue, h.counts[i]);
+      row.write(*out_);
+    }
+    Row row;
+    row.set(kRecord, "histogram_sum");
+    row.set(kName, h.name);
+    row.set(kValue, h.count);
+    row.set(kEdge, h.sum);
+    row.write(*out_);
+  }
+}
+
+void CsvSink::end_run() {
+  Row row;
+  row.set(kRecord, "run_end");
+  row.write(*out_);
+  out_->flush();
+}
+
+}  // namespace odrl::telemetry

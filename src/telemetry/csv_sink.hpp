@@ -1,0 +1,45 @@
+// CSV sink: one flat table for all record kinds, discriminated by the
+// leading `record` column. Cells that do not apply to a row's kind are left
+// empty -- pandas/R load the file directly and split by `record`.
+//
+// Row kinds and the columns they fill (all other cells empty):
+//   run_begin      -- name=controller (also echoed as a `# run ...` comment
+//                     line carrying cores/epochs/epoch_s)
+//   epoch          -- epoch, budget_w..decide_s
+//   core           -- epoch, core, level, ips, power_w, temp_c,
+//                     mem_stall_frac
+//   realloc        -- epoch, value=index, budget_w=chip budget, mu,
+//                     mean_reward, epsilon (per-core budget snapshots are
+//                     JSONL-only; CSV stays rectangular)
+//   budget_change  -- epoch, budget_w
+//   counter/gauge  -- name, value
+//   histogram_bin  -- name, edge (upper edge, "inf" = overflow), value=count
+//   histogram_sum  -- name, value=total observations, edge=sum of values
+//   run_end        -- (marker row)
+#pragma once
+
+#include <ostream>
+
+#include "telemetry/sink.hpp"
+
+namespace odrl::telemetry {
+
+class CsvSink final : public Sink {
+ public:
+  /// Borrows the stream (must outlive the sink); writes the header row
+  /// immediately so even an empty run produces a parseable file.
+  explicit CsvSink(std::ostream& out);
+
+  void begin_run(const RunInfo& info) override;
+  void epoch(const EpochRecord& rec) override;
+  void core(const CoreRecord& rec) override;
+  void realloc(const ReallocRecord& rec) override;
+  void budget_change(const BudgetChangeRecord& rec) override;
+  void metrics(const MetricsSnapshot& snap) override;
+  void end_run() override;
+
+ private:
+  std::ostream* out_;
+};
+
+}  // namespace odrl::telemetry

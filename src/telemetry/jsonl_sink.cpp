@@ -1,0 +1,151 @@
+#include "telemetry/jsonl_sink.hpp"
+
+#include <cmath>
+#include <string>
+
+#include "telemetry/text.hpp"
+
+namespace odrl::telemetry {
+
+namespace {
+
+/// Tiny single-line JSON object builder; no nesting beyond flat arrays.
+class Line {
+ public:
+  explicit Line(const char* type) : out_("{\"type\":\"") {
+    out_ += type;
+    out_ += '"';
+  }
+
+  Line& field(const char* key, std::uint64_t v) {
+    sep(key);
+    out_ += std::to_string(v);
+    return *this;
+  }
+  Line& field(const char* key, double v) {
+    sep(key);
+    out_ += std::isfinite(v) ? fmt_double(v) : "null";
+    return *this;
+  }
+  Line& field(const char* key, const std::string& v) {
+    sep(key);
+    out_ += '"';
+    out_ += json_escape(v);
+    out_ += '"';
+    return *this;
+  }
+  Line& field(const char* key, const std::vector<double>& v) {
+    sep(key);
+    out_ += '[';
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      if (i > 0) out_ += ',';
+      out_ += std::isfinite(v[i]) ? fmt_double(v[i]) : "null";
+    }
+    out_ += ']';
+    return *this;
+  }
+  Line& field(const char* key, const std::vector<std::uint64_t>& v) {
+    sep(key);
+    out_ += '[';
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      if (i > 0) out_ += ',';
+      out_ += std::to_string(v[i]);
+    }
+    out_ += ']';
+    return *this;
+  }
+
+  void write(std::ostream& out) {
+    out_ += "}\n";
+    out << out_;
+  }
+
+ private:
+  void sep(const char* key) {
+    out_ += ",\"";
+    out_ += key;
+    out_ += "\":";
+  }
+
+  std::string out_;
+};
+
+}  // namespace
+
+void JsonlSink::begin_run(const RunInfo& info) {
+  Line("run_begin")
+      .field("controller", info.controller)
+      .field("cores", std::uint64_t{info.n_cores})
+      .field("epochs", std::uint64_t{info.epochs})
+      .field("epoch_s", info.epoch_s)
+      .write(*out_);
+}
+
+void JsonlSink::epoch(const EpochRecord& rec) {
+  Line("epoch")
+      .field("epoch", rec.epoch)
+      .field("budget_w", rec.budget_w)
+      .field("chip_power_w", rec.chip_power_w)
+      .field("true_chip_power_w", rec.true_chip_power_w)
+      .field("total_ips", rec.total_ips)
+      .field("max_temp_c", rec.max_temp_c)
+      .field("thermal_violations", std::uint64_t{rec.thermal_violations})
+      .field("decide_s", rec.decide_s)
+      .write(*out_);
+}
+
+void JsonlSink::core(const CoreRecord& rec) {
+  Line("core")
+      .field("epoch", rec.epoch)
+      .field("core", std::uint64_t{rec.core})
+      .field("level", std::uint64_t{rec.level})
+      .field("ips", rec.ips)
+      .field("power_w", rec.power_w)
+      .field("temp_c", rec.temp_c)
+      .field("mem_stall_frac", rec.mem_stall_frac)
+      .write(*out_);
+}
+
+void JsonlSink::realloc(const ReallocRecord& rec) {
+  Line("realloc")
+      .field("epoch", rec.epoch)
+      .field("index", rec.index)
+      .field("mu", rec.mu)
+      .field("mean_reward", rec.mean_reward)
+      .field("epsilon", rec.epsilon)
+      .field("chip_budget_w", rec.chip_budget_w)
+      .field("core_budgets", rec.core_budgets)
+      .write(*out_);
+}
+
+void JsonlSink::budget_change(const BudgetChangeRecord& rec) {
+  Line("budget_change")
+      .field("epoch", rec.epoch)
+      .field("budget_w", rec.budget_w)
+      .write(*out_);
+}
+
+void JsonlSink::metrics(const MetricsSnapshot& snap) {
+  for (const auto& c : snap.counters) {
+    Line("counter").field("name", c.name).field("value", c.value).write(*out_);
+  }
+  for (const auto& g : snap.gauges) {
+    Line("gauge").field("name", g.name).field("value", g.value).write(*out_);
+  }
+  for (const auto& h : snap.histograms) {
+    Line("histogram")
+        .field("name", h.name)
+        .field("upper_edges", h.upper_edges)
+        .field("counts", h.counts)
+        .field("count", h.count)
+        .field("sum", h.sum)
+        .write(*out_);
+  }
+}
+
+void JsonlSink::end_run() {
+  Line("run_end").write(*out_);
+  out_->flush();
+}
+
+}  // namespace odrl::telemetry

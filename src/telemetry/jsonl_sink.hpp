@@ -1,0 +1,35 @@
+// JSONL sink: one JSON object per line, discriminated by the `type` field.
+// The full-fidelity export format -- every schema field appears, including
+// the per-core budget snapshots CSV omits. Load with e.g.
+//   pandas.read_json("run.jsonl", lines=True)
+//
+// Line types: run_begin, epoch, core, realloc, budget_change, counter,
+// gauge, histogram, run_end (see DESIGN.md "Telemetry" for the field
+// lists). Numbers use shortest round-trip formatting; non-finite values
+// serialize as null (JSON has no NaN/inf).
+#pragma once
+
+#include <ostream>
+
+#include "telemetry/sink.hpp"
+
+namespace odrl::telemetry {
+
+class JsonlSink final : public Sink {
+ public:
+  /// Borrows the stream; it must outlive the sink.
+  explicit JsonlSink(std::ostream& out) : out_(&out) {}
+
+  void begin_run(const RunInfo& info) override;
+  void epoch(const EpochRecord& rec) override;
+  void core(const CoreRecord& rec) override;
+  void realloc(const ReallocRecord& rec) override;
+  void budget_change(const BudgetChangeRecord& rec) override;
+  void metrics(const MetricsSnapshot& snap) override;
+  void end_run() override;
+
+ private:
+  std::ostream* out_;
+};
+
+}  // namespace odrl::telemetry

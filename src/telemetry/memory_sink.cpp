@@ -1,0 +1,67 @@
+#include "telemetry/memory_sink.hpp"
+
+namespace odrl::telemetry {
+
+namespace {
+
+/// Ring-buffer push: grow until `capacity`, then overwrite the oldest slot
+/// (which lives at seen % capacity once the buffer is full).
+template <typename T>
+void ring_push(std::vector<T>& buf, std::size_t capacity, std::size_t seen,
+               const T& value) {
+  if (capacity == 0 || buf.size() < capacity) {
+    buf.push_back(value);
+  } else {
+    buf[seen % capacity] = value;
+  }
+}
+
+/// Unrolls a ring into oldest-first order.
+template <typename T>
+std::vector<T> ring_unroll(const std::vector<T>& buf, std::size_t capacity,
+                           std::size_t seen) {
+  if (capacity == 0 || seen <= capacity) return buf;
+  std::vector<T> out;
+  out.reserve(buf.size());
+  const std::size_t head = seen % capacity;  // oldest surviving record
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    out.push_back(buf[(head + i) % capacity]);
+  }
+  return out;
+}
+
+}  // namespace
+
+void MemorySink::begin_run(const RunInfo& info) { runs_.push_back(info); }
+
+void MemorySink::epoch(const EpochRecord& rec) {
+  ring_push(epochs_, capacity_, epochs_seen_, rec);
+  ++epochs_seen_;
+}
+
+void MemorySink::core(const CoreRecord& rec) {
+  ring_push(cores_, capacity_, cores_seen_, rec);
+  ++cores_seen_;
+}
+
+void MemorySink::realloc(const ReallocRecord& rec) {
+  reallocs_.push_back(rec);
+}
+
+void MemorySink::budget_change(const BudgetChangeRecord& rec) {
+  budget_changes_.push_back(rec);
+}
+
+void MemorySink::metrics(const MetricsSnapshot& snap) { metrics_ = snap; }
+
+void MemorySink::end_run() { ++runs_ended_; }
+
+std::vector<EpochRecord> MemorySink::epochs() const {
+  return ring_unroll(epochs_, capacity_, epochs_seen_);
+}
+
+std::vector<CoreRecord> MemorySink::cores() const {
+  return ring_unroll(cores_, capacity_, cores_seen_);
+}
+
+}  // namespace odrl::telemetry

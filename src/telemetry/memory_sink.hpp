@@ -1,0 +1,58 @@
+// In-memory sink: buffers records for tests and programmatic analysis.
+// With a nonzero capacity it degrades to a ring that keeps only the *last*
+// `capacity` epoch/core records -- the bounded-memory option for long runs
+// where only the recent window matters (events and metrics, which are rare
+// and small, are always kept in full).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "telemetry/sink.hpp"
+
+namespace odrl::telemetry {
+
+class MemorySink final : public Sink {
+ public:
+  /// capacity = 0: unbounded buffers. capacity = n: ring of the last n
+  /// epoch records (and, independently, the last n core records).
+  explicit MemorySink(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  void begin_run(const RunInfo& info) override;
+  void epoch(const EpochRecord& rec) override;
+  void core(const CoreRecord& rec) override;
+  void realloc(const ReallocRecord& rec) override;
+  void budget_change(const BudgetChangeRecord& rec) override;
+  void metrics(const MetricsSnapshot& snap) override;
+  void end_run() override;
+
+  /// Buffered epoch records, oldest first (ring already unrolled).
+  std::vector<EpochRecord> epochs() const;
+  std::vector<CoreRecord> cores() const;
+  const std::vector<ReallocRecord>& reallocs() const { return reallocs_; }
+  const std::vector<BudgetChangeRecord>& budget_changes() const {
+    return budget_changes_;
+  }
+  const std::vector<RunInfo>& runs() const { return runs_; }
+  const MetricsSnapshot& last_metrics() const { return metrics_; }
+
+  std::size_t capacity() const { return capacity_; }
+  /// Total records *offered*, including those the ring has since dropped.
+  std::size_t epochs_seen() const { return epochs_seen_; }
+  std::size_t cores_seen() const { return cores_seen_; }
+  std::size_t runs_ended() const { return runs_ended_; }
+
+ private:
+  std::size_t capacity_;
+  std::vector<EpochRecord> epochs_;   ///< ring storage when capacity_ > 0
+  std::vector<CoreRecord> cores_;
+  std::size_t epochs_seen_ = 0;
+  std::size_t cores_seen_ = 0;
+  std::vector<ReallocRecord> reallocs_;
+  std::vector<BudgetChangeRecord> budget_changes_;
+  std::vector<RunInfo> runs_;
+  MetricsSnapshot metrics_;
+  std::size_t runs_ended_ = 0;
+};
+
+}  // namespace odrl::telemetry

@@ -1,0 +1,65 @@
+#include "telemetry/metric.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace odrl::telemetry {
+
+Histogram::Histogram(std::vector<double> upper_edges)
+    : upper_edges_(std::move(upper_edges)) {
+  if (upper_edges_.empty()) {
+    throw std::invalid_argument("Histogram: no bin edges");
+  }
+  for (std::size_t i = 0; i < upper_edges_.size(); ++i) {
+    if (!std::isfinite(upper_edges_[i])) {
+      throw std::invalid_argument("Histogram: non-finite bin edge");
+    }
+    if (i > 0 && upper_edges_[i] <= upper_edges_[i - 1]) {
+      throw std::invalid_argument(
+          "Histogram: bin edges not strictly increasing");
+    }
+  }
+  counts_.assign(upper_edges_.size() + 1, 0);
+}
+
+std::vector<double> Histogram::exponential_edges(double lo, double hi,
+                                                 std::size_t n) {
+  if (!(lo > 0.0) || !(hi > lo)) {
+    throw std::invalid_argument(
+        "Histogram::exponential_edges: need 0 < lo < hi");
+  }
+  if (n < 2) {
+    throw std::invalid_argument("Histogram::exponential_edges: n < 2");
+  }
+  std::vector<double> edges(n);
+  const double ratio = std::log(hi / lo) / static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    edges[i] = lo * std::exp(ratio * static_cast<double>(i));
+  }
+  edges.back() = hi;  // exact endpoint, no rounding drift
+  return edges;
+}
+
+void Histogram::observe(double value) {
+  // First bin whose upper edge is strictly above the value; edges are the
+  // *exclusive* upper bounds, so an observation on an edge moves up a bin.
+  const auto it =
+      std::upper_bound(upper_edges_.begin(), upper_edges_.end(), value);
+  ++counts_[static_cast<std::size_t>(it - upper_edges_.begin())];
+  ++count_;
+  sum_ += value;
+}
+
+HistogramSample Histogram::sample(std::string name) const {
+  HistogramSample s;
+  s.name = std::move(name);
+  s.upper_edges = upper_edges_;
+  s.counts = counts_;
+  s.count = count_;
+  s.sum = sum_;
+  return s;
+}
+
+}  // namespace odrl::telemetry

@@ -1,0 +1,63 @@
+// Scalar instruments owned by a telemetry::Recorder: monotonic counters,
+// last-value gauges and fixed-bin histograms. All are plain single-threaded
+// value types -- the Recorder contract (one emitting thread) makes atomics
+// unnecessary, which keeps the hot-path cost of an increment at one add.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "telemetry/record.hpp"
+
+namespace odrl::telemetry {
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Fixed-bin histogram over explicit, strictly increasing upper bin edges.
+/// A value v lands in the first bin whose upper edge exceeds it:
+/// bin 0 = (-inf, e0), bin i = [e(i-1), e(i)), overflow = [e(last), +inf).
+/// An observation exactly on an edge therefore belongs to the bin *above*
+/// it -- pinned by tests, relied on by the decide()-latency bucketing.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_edges);
+
+  /// Log-spaced edges: n geometrically spaced values from `lo` to `hi`
+  /// inclusive -- the natural layout for latencies spanning decades.
+  static std::vector<double> exponential_edges(double lo, double hi,
+                                               std::size_t n);
+
+  void observe(double value);
+
+  const std::vector<double>& upper_edges() const { return upper_edges_; }
+  const std::vector<std::uint64_t>& counts() const { return counts_; }
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  /// Snapshot with the given name attached.
+  HistogramSample sample(std::string name) const;
+
+ private:
+  std::vector<double> upper_edges_;
+  std::vector<std::uint64_t> counts_;  ///< upper_edges_.size() + 1 slots
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+}  // namespace odrl::telemetry

@@ -1,0 +1,93 @@
+#include "telemetry/recorder.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace odrl::telemetry {
+
+void RecorderConfig::validate() const {
+  if (sample_every == 0) {
+    throw std::invalid_argument("RecorderConfig: sample_every == 0");
+  }
+}
+
+Recorder::Recorder(RecorderConfig config) : config_(config) {
+  config_.validate();
+}
+
+void Recorder::add_sink(std::shared_ptr<Sink> sink) {
+  if (!sink) throw std::invalid_argument("Recorder::add_sink: null sink");
+  sinks_.push_back(std::move(sink));
+}
+
+void Recorder::begin_run(const RunInfo& info) {
+  for (const auto& sink : sinks_) sink->begin_run(info);
+}
+
+void Recorder::end_run() {
+  if (!active()) return;
+  const MetricsSnapshot snap = snapshot();
+  for (const auto& sink : sinks_) {
+    sink->metrics(snap);
+    sink->end_run();
+  }
+}
+
+void Recorder::record_epoch(const EpochRecord& rec) {
+  if (!active() || !sampled(rec.epoch)) return;
+  for (const auto& sink : sinks_) sink->epoch(rec);
+}
+
+void Recorder::record_core(const CoreRecord& rec) {
+  if (!wants_cores(rec.epoch)) return;
+  for (const auto& sink : sinks_) sink->core(rec);
+}
+
+void Recorder::record_realloc(const ReallocRecord& rec) {
+  if (!active()) return;
+  for (const auto& sink : sinks_) sink->realloc(rec);
+}
+
+void Recorder::record_budget_change(const BudgetChangeRecord& rec) {
+  if (!active()) return;
+  for (const auto& sink : sinks_) sink->budget_change(rec);
+}
+
+Counter& Recorder::counter(const std::string& name) {
+  return counters_[name];
+}
+
+Gauge& Recorder::gauge(const std::string& name) { return gauges_[name]; }
+
+Histogram& Recorder::histogram(const std::string& name,
+                               std::vector<double> upper_edges) {
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) {
+    if (it->second.upper_edges() != upper_edges) {
+      throw std::invalid_argument("Recorder::histogram: edge mismatch for '" +
+                                  name + "'");
+    }
+    return it->second;
+  }
+  return histograms_.emplace(name, Histogram(std::move(upper_edges)))
+      .first->second;
+}
+
+MetricsSnapshot Recorder::snapshot() const {
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.push_back({name, c.value()});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.push_back({name, g.value()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms.push_back(h.sample(name));
+  }
+  return snap;
+}
+
+}  // namespace odrl::telemetry

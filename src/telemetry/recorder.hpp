@@ -1,0 +1,93 @@
+// The recording facade the sim/core layers talk to. A Recorder owns the
+// run's named instruments (counters/gauges/histograms), applies the
+// sampling policy, and fans records out to the attached sinks.
+//
+// Cost model: a Recorder with no sinks is inert -- every record_* call is
+// one empty()-check and a return, so instrumented code paths guard with
+// `if (rec && rec->active())` and pay nothing when telemetry is off (the
+// <3% no-op bound on the decide() hot path is enforced by construction:
+// the controllers' instrumentation sits outside their parallel loops and
+// behind a null check).
+//
+// Threading/determinism contract: all record_* and instrument calls must
+// come from one thread (the closed-loop driver's), in epoch order. The
+// parallel regions of the simulator and controllers never call into the
+// Recorder -- they hand their results to the serial section that does.
+// Sinks therefore observe a deterministic record sequence for any thread
+// count, and recording never changes RunResults (it only reads them).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "telemetry/metric.hpp"
+#include "telemetry/record.hpp"
+#include "telemetry/sink.hpp"
+
+namespace odrl::telemetry {
+
+struct RecorderConfig {
+  /// Keep every k-th epoch (and its per-core records); controller events
+  /// (realloc, budget_change) always pass -- they are sparse and losing
+  /// them would orphan the mu/epsilon story the traces exist to tell.
+  std::size_t sample_every = 1;
+  /// Also emit per-core records (n_cores rows per sampled epoch).
+  bool per_core = false;
+
+  void validate() const;
+};
+
+class Recorder {
+ public:
+  Recorder() = default;
+  explicit Recorder(RecorderConfig config);
+
+  /// Sinks are shared: callers typically keep their own handle (e.g. a
+  /// MemorySink to inspect after the run).
+  void add_sink(std::shared_ptr<Sink> sink);
+
+  /// True once a sink is attached; the universal hot-path guard.
+  bool active() const { return !sinks_.empty(); }
+  const RecorderConfig& config() const { return config_; }
+
+  /// True when per-core records are wanted for this epoch -- callers check
+  /// before assembling n_cores records.
+  bool wants_cores(std::uint64_t epoch) const {
+    return active() && config_.per_core && sampled(epoch);
+  }
+  bool sampled(std::uint64_t epoch) const {
+    return epoch % config_.sample_every == 0;
+  }
+
+  void begin_run(const RunInfo& info);
+  /// Emits the metrics snapshot, then end_run, to every sink.
+  void end_run();
+
+  void record_epoch(const EpochRecord& rec);
+  void record_core(const CoreRecord& rec);
+  void record_realloc(const ReallocRecord& rec);
+  void record_budget_change(const BudgetChangeRecord& rec);
+
+  /// Named instruments, created on first use. Names are sorted in the
+  /// snapshot, so emission order never depends on creation order.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// Get-or-create; on reuse the edges must match the existing histogram
+  /// (throws std::invalid_argument otherwise).
+  Histogram& histogram(const std::string& name,
+                       std::vector<double> upper_edges);
+
+  MetricsSnapshot snapshot() const;
+
+ private:
+  RecorderConfig config_;
+  std::vector<std::shared_ptr<Sink>> sinks_;
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace odrl::telemetry

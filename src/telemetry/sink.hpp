@@ -1,0 +1,40 @@
+// The pluggable sink interface: where telemetry records go.
+//
+// A sink is a passive consumer -- the Recorder pushes records into every
+// attached sink, on one thread, in deterministic (epoch) order. Default
+// implementations ignore everything, so a sink only overrides the record
+// kinds it cares about. Provided sinks:
+//
+//   * NullSink    -- discards everything (a Recorder with no sinks is
+//                    cheaper still: its record_* calls return immediately);
+//   * MemorySink  -- in-memory buffers, optionally a bounded ring
+//                    (memory_sink.hpp; tests and programmatic analysis);
+//   * CsvSink     -- one flat CSV stream, `record` column discriminates
+//                    row kinds (csv_sink.hpp);
+//   * JsonlSink   -- one JSON object per line, `type` field discriminates;
+//                    full schema fidelity (jsonl_sink.hpp).
+#pragma once
+
+#include "telemetry/record.hpp"
+
+namespace odrl::telemetry {
+
+class Sink {
+ public:
+  virtual ~Sink() = default;
+
+  virtual void begin_run(const RunInfo& /*info*/) {}
+  virtual void epoch(const EpochRecord& /*rec*/) {}
+  virtual void core(const CoreRecord& /*rec*/) {}
+  virtual void realloc(const ReallocRecord& /*rec*/) {}
+  virtual void budget_change(const BudgetChangeRecord& /*rec*/) {}
+  /// Counter/gauge/histogram totals, delivered just before end_run.
+  virtual void metrics(const MetricsSnapshot& /*snap*/) {}
+  virtual void end_run() {}
+};
+
+/// Discards everything. Useful to measure sink-dispatch overhead and as an
+/// explicit "telemetry plumbing on, output off" configuration.
+class NullSink final : public Sink {};
+
+}  // namespace odrl::telemetry

@@ -1,0 +1,20 @@
+// Text formatting shared by the serializing sinks: shortest round-trip
+// double formatting and JSON string escaping.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace odrl::telemetry {
+
+/// Shortest decimal representation that round-trips the exact double
+/// (std::to_chars). Non-finite values format as "nan"/"inf"/"-inf" -- the
+/// JSONL sink substitutes null for those, since JSON has no spelling for
+/// them.
+std::string fmt_double(double value);
+
+/// Escapes a string for inclusion inside a JSON string literal (quotes,
+/// backslashes, control characters; everything else passes through).
+std::string json_escape(std::string_view s);
+
+}  // namespace odrl::telemetry

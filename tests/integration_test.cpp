@@ -178,7 +178,7 @@ TEST(Integration, ClosedLoopRunsAreReproducible) {
   EXPECT_DOUBLE_EQ(a.total_instructions, b.total_instructions);
   EXPECT_DOUBLE_EQ(a.total_energy_j, b.total_energy_j);
   EXPECT_DOUBLE_EQ(a.otb_energy_j, b.otb_energy_j);
-  EXPECT_EQ(a.chip_power_trace, b.chip_power_trace);
+  EXPECT_EQ(a.chip_power_trace(), b.chip_power_trace());
 }
 
 // --- Power-cap event: the whole closed loop adapts to a RAPL-style drop.
@@ -198,8 +198,12 @@ TEST(Integration, SystemAdaptsToPowerCapDrop) {
 
   double before = 0.0;
   double after = 0.0;
-  for (std::size_t e = 2000; e < 3000; ++e) before += r.chip_power_trace[e];
-  for (std::size_t e = 5000; e < 6000; ++e) after += r.chip_power_trace[e];
+  for (std::size_t e = 2000; e < 3000; ++e) {
+    before += r.trace[e].true_chip_power_w;
+  }
+  for (std::size_t e = 5000; e < 6000; ++e) {
+    after += r.trace[e].true_chip_power_w;
+  }
   before /= 1000.0;
   after /= 1000.0;
   EXPECT_LT(after, before);

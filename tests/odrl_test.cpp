@@ -194,7 +194,9 @@ TEST(OdrlController, AdaptsToBudgetDropInClosedLoop) {
   // Mean power over the last quarter (well after the drop) must be under
   // the reduced budget plus a small tolerance.
   double tail = 0.0;
-  for (std::size_t e = 5000; e < 6000; ++e) tail += r.chip_power_trace[e];
+  for (std::size_t e = 5000; e < 6000; ++e) {
+    tail += r.trace[e].true_chip_power_w;
+  }
   tail /= 1000.0;
   EXPECT_LT(tail, chip.tdp_w() * 0.5 * 1.05);
 }

@@ -1,0 +1,222 @@
+// Controller registry tests: name-keyed construction of every built-in,
+// loud failure on unknown names and unconsumed/garbage override keys,
+// override application (checked through the controllers' own config
+// accessors), typed override parsing, and open registration.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "arch/chip_config.hpp"
+#include "core/odrl_controller.hpp"
+#include "rl/agent.hpp"
+#include "sim/controller_registry.hpp"
+
+namespace oa = odrl::arch;
+namespace oc = odrl::core;
+namespace os = odrl::sim;
+
+namespace {
+
+const oa::ChipConfig& test_chip() {
+  static const oa::ChipConfig chip = oa::ChipConfig::make(8, 0.6);
+  return chip;
+}
+
+/// Expects fn() to throw std::invalid_argument whose message contains
+/// `needle`, and returns the message for further checks.
+template <typename Fn>
+std::string expect_invalid_argument(Fn fn, const std::string& needle) {
+  try {
+    fn();
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(needle), std::string::npos) << what;
+    return what;
+  }
+  ADD_FAILURE() << "expected std::invalid_argument containing \"" << needle
+                << "\"";
+  return {};
+}
+
+}  // namespace
+
+TEST(Registry, AllBuiltinsRegistered) {
+  const auto names = os::registered_controllers();
+  for (const char* expected :
+       {"OD-RL", "PID", "Greedy", "MaxBIPS", "Static"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected;
+  }
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+TEST(Registry, MakesEveryBuiltinByName) {
+  for (const std::string& name : os::registered_controllers()) {
+    auto controller = os::make_controller(name, test_chip());
+    ASSERT_NE(controller, nullptr) << name;
+    // Registered name and self-reported name agree for the defaults.
+    EXPECT_EQ(controller->name(), name);
+    // And the controller is usable: initial levels for every core.
+    EXPECT_EQ(controller->initial_levels(test_chip().n_cores()).size(),
+              test_chip().n_cores());
+  }
+}
+
+TEST(Registry, UnknownNameThrowsAndListsRegistered) {
+  const std::string what = expect_invalid_argument(
+      [] { os::make_controller("NoSuchController", test_chip()); },
+      "NoSuchController");
+  // The error names what *is* available.
+  EXPECT_NE(what.find("OD-RL"), std::string::npos) << what;
+  EXPECT_NE(what.find("Static"), std::string::npos) << what;
+}
+
+TEST(Registry, UnconsumedOverrideKeyThrowsNamingKeyAndController) {
+  const std::string what = expect_invalid_argument(
+      [] {
+        os::make_controller("PID", test_chip(), {{"not_a_knob", "1"}});
+      },
+      "not_a_knob");
+  EXPECT_NE(what.find("PID"), std::string::npos) << what;
+}
+
+TEST(Registry, OdrlOverridesReachTheConfig) {
+  auto controller = os::make_controller("OD-RL", test_chip(),
+                                        {{"realloc_period", "25"},
+                                         {"lambda", "9.5"},
+                                         {"rule", "sarsa"},
+                                         {"action_mode", "absolute"},
+                                         {"headroom_bins", "6"}});
+  const auto& odrl = dynamic_cast<const oc::OdrlController&>(*controller);
+  EXPECT_EQ(odrl.config().realloc_period, 25u);
+  EXPECT_DOUBLE_EQ(odrl.config().lambda, 9.5);
+  EXPECT_EQ(odrl.config().td.rule, odrl::rl::TdRule::kSarsa);
+  EXPECT_EQ(odrl.config().action_mode, oc::ActionMode::kAbsolute);
+  EXPECT_EQ(odrl.config().headroom_bins, 6u);
+}
+
+TEST(Registry, MaxBipsSolverOverrideSelectsExact) {
+  auto controller =
+      os::make_controller("MaxBIPS", test_chip(), {{"solver", "exact"}});
+  EXPECT_EQ(controller->name(), "MaxBIPS-exact");
+  EXPECT_THROW(
+      os::make_controller("MaxBIPS", test_chip(), {{"solver", "simplex"}}),
+      std::invalid_argument);
+}
+
+TEST(Registry, EnumOverridesRejectGarbageValues) {
+  EXPECT_THROW(
+      os::make_controller("OD-RL", test_chip(), {{"rule", "expected-sarsa"}}),
+      std::invalid_argument);
+  EXPECT_THROW(os::make_controller("OD-RL", test_chip(),
+                                   {{"action_mode", "sideways"}}),
+               std::invalid_argument);
+}
+
+TEST(Registry, NumericOverridesRejectGarbageValues) {
+  expect_invalid_argument(
+      [] {
+        os::make_controller("PID", test_chip(), {{"kp", "fast"}});
+      },
+      "kp");
+  EXPECT_THROW(
+      os::make_controller("OD-RL", test_chip(), {{"realloc_period", "-3"}}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      os::make_controller("OD-RL", test_chip(), {{"lambda", "1.5x"}}),
+      std::invalid_argument);
+}
+
+TEST(Registry, OverridesAreReusableAcrossMakes) {
+  // make() tracks consumption on a private copy, so one overrides object
+  // can configure several controllers.
+  const os::ControllerOverrides ov{{"lambda", "7.0"}};
+  for (int i = 0; i < 2; ++i) {
+    auto controller = os::make_controller("OD-RL", test_chip(), ov);
+    const auto& odrl = dynamic_cast<const oc::OdrlController&>(*controller);
+    EXPECT_DOUBLE_EQ(odrl.config().lambda, 7.0);
+  }
+}
+
+TEST(ControllerOverrides, TypedGettersParseAndTrackConsumption) {
+  os::ControllerOverrides ov{
+      {"d", "2.5"}, {"n", "42"}, {"b1", "on"}, {"b2", "false"}, {"s", "hi"}};
+  EXPECT_EQ(ov.get_double("d", 0.0), 2.5);
+  EXPECT_EQ(ov.get_size("n", 0), 42u);
+  EXPECT_TRUE(ov.get_bool("b1", false));
+  EXPECT_FALSE(ov.get_bool("b2", true));
+  // Absent key: fallback, and the read still counts as consumption-safe.
+  EXPECT_EQ(ov.get_string("missing", "dflt"), "dflt");
+
+  const auto stray = ov.unconsumed();
+  ASSERT_EQ(stray.size(), 1u);
+  EXPECT_EQ(stray[0], "s");
+  expect_invalid_argument([&] { ov.throw_if_unconsumed("Test"); }, "s");
+
+  EXPECT_EQ(ov.get_string("s", ""), "hi");
+  EXPECT_TRUE(ov.unconsumed().empty());
+  EXPECT_NO_THROW(ov.throw_if_unconsumed("Test"));
+}
+
+TEST(ControllerOverrides, BoolParsingAcceptsCommonSpellings) {
+  os::ControllerOverrides ov;
+  ov.set("a", "true").set("b", "1").set("c", "off").set("d", "0");
+  EXPECT_TRUE(ov.get_bool("a", false));
+  EXPECT_TRUE(ov.get_bool("b", false));
+  EXPECT_FALSE(ov.get_bool("c", true));
+  EXPECT_FALSE(ov.get_bool("d", true));
+  ov.set("e", "maybe");
+  EXPECT_THROW(ov.get_bool("e", false), std::invalid_argument);
+}
+
+namespace {
+
+/// Minimal controller for open-registration tests.
+class FixedLevelController final : public os::Controller {
+ public:
+  explicit FixedLevelController(std::size_t level) : level_(level) {}
+  std::string name() const override { return "FixedLevel"; }
+  std::vector<std::size_t> initial_levels(std::size_t n_cores) override {
+    return std::vector<std::size_t>(n_cores, level_);
+  }
+  std::vector<std::size_t> decide(const os::EpochResult& obs) override {
+    return std::vector<std::size_t>(obs.cores.size(), level_);
+  }
+
+ private:
+  std::size_t level_;
+};
+
+// Downstream code registers controllers exactly like the built-ins do: a
+// file-scope registrar next to the implementation.
+const os::ControllerRegistrar fixed_level_registrar{
+    "FixedLevel", [](const oa::ChipConfig&, const os::ControllerOverrides& ov) {
+      return std::make_unique<FixedLevelController>(ov.get_size("level", 0));
+    }};
+
+}  // namespace
+
+TEST(Registry, OpenRegistrationWorksLikeBuiltins) {
+  auto controller =
+      os::make_controller("FixedLevel", test_chip(), {{"level", "2"}});
+  EXPECT_EQ(controller->name(), "FixedLevel");
+  EXPECT_EQ(controller->initial_levels(4),
+            (std::vector<std::size_t>{2, 2, 2, 2}));
+  const auto names = os::registered_controllers();
+  EXPECT_NE(std::find(names.begin(), names.end(), "FixedLevel"), names.end());
+}
+
+TEST(Registry, DuplicateRegistrationThrows) {
+  // Built-ins are linked and registered by the first registry call above;
+  // re-adding any of their names must fail loudly.
+  (void)os::registered_controllers();
+  EXPECT_THROW(os::ControllerRegistry::instance().add(
+                   "PID",
+                   [](const oa::ChipConfig&, const os::ControllerOverrides&)
+                       -> std::unique_ptr<os::Controller> { return nullptr; }),
+               std::invalid_argument);
+}

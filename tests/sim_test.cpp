@@ -219,13 +219,14 @@ TEST(Runner, AccumulatesTotalsAndTraces) {
   EXPECT_GT(result.total_energy_j, 0.0);
   EXPECT_GT(result.mean_power_w, 0.0);
   EXPECT_EQ(result.decisions, 100u);
-  EXPECT_EQ(result.chip_power_trace.size(), 100u);
-  EXPECT_EQ(result.budget_trace.size(), 100u);
-  EXPECT_EQ(result.ips_trace.size(), 100u);
+  EXPECT_EQ(result.trace.size(), 100u);
+  EXPECT_EQ(result.chip_power_trace().size(), 100u);
+  EXPECT_EQ(result.budget_trace().size(), 100u);
+  EXPECT_EQ(result.ips_trace().size(), 100u);
   EXPECT_NEAR(result.elapsed_s(), 0.1, 1e-12);
   // Energy == integral of the power trace.
   double integral = 0.0;
-  for (double p : result.chip_power_trace) integral += p * result.epoch_s;
+  for (double p : result.chip_power_trace()) integral += p * result.epoch_s;
   EXPECT_NEAR(result.total_energy_j, integral, 1e-9);
 }
 
@@ -249,7 +250,8 @@ TEST(Runner, KeepTracesOffSavesMemory) {
   cfg.epochs = 10;
   cfg.keep_traces = false;
   const auto r = os::run_closed_loop(sys, ctl, cfg);
-  EXPECT_TRUE(r.chip_power_trace.empty());
+  EXPECT_TRUE(r.trace.empty());
+  EXPECT_TRUE(r.chip_power_trace().empty());
   EXPECT_GT(r.total_instructions, 0.0);
 }
 
@@ -265,10 +267,10 @@ TEST(Runner, BudgetEventsAppliedAndNotified) {
   ASSERT_EQ(ctl.budget_changes.size(), 2u);
   EXPECT_DOUBLE_EQ(ctl.budget_changes[0], tdp * 0.5);
   EXPECT_DOUBLE_EQ(ctl.budget_changes[1], tdp * 0.8);
-  EXPECT_DOUBLE_EQ(r.budget_trace[0], tdp);
-  EXPECT_DOUBLE_EQ(r.budget_trace[5], tdp * 0.5);
-  EXPECT_DOUBLE_EQ(r.budget_trace[10], tdp * 0.8);
-  EXPECT_DOUBLE_EQ(r.budget_trace[19], tdp * 0.8);
+  EXPECT_DOUBLE_EQ(r.trace[0].budget_w, tdp);
+  EXPECT_DOUBLE_EQ(r.trace[5].budget_w, tdp * 0.5);
+  EXPECT_DOUBLE_EQ(r.trace[10].budget_w, tdp * 0.8);
+  EXPECT_DOUBLE_EQ(r.trace[19].budget_w, tdp * 0.8);
 }
 
 TEST(Runner, EpochZeroBudgetEventAppliesBeforeWarmup) {
@@ -290,8 +292,8 @@ TEST(Runner, EpochZeroBudgetEventAppliesBeforeWarmup) {
   ASSERT_EQ(ctl.observed_budgets.size(), 15u);
   EXPECT_DOUBLE_EQ(ctl.observed_budgets.front(), tdp * 0.5);
   // And the measured region starts at it too.
-  EXPECT_DOUBLE_EQ(r.budget_trace.front(), tdp * 0.5);
-  EXPECT_DOUBLE_EQ(r.budget_trace.back(), tdp * 0.5);
+  EXPECT_DOUBLE_EQ(r.trace.front().budget_w, tdp * 0.5);
+  EXPECT_DOUBLE_EQ(r.trace.back().budget_w, tdp * 0.5);
 }
 
 TEST(Runner, OvershootAccountingAgainstMovedBudget) {

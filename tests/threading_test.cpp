@@ -167,12 +167,18 @@ void expect_bit_identical(const os::RunResult& a, const os::RunResult& b) {
   EXPECT_EQ(a.peak_overshoot_w, b.peak_overshoot_w);
   EXPECT_EQ(a.mean_power_w, b.mean_power_w);
   EXPECT_EQ(a.thermal_violation_epochs, b.thermal_violation_epochs);
-  ASSERT_EQ(a.chip_power_trace.size(), b.chip_power_trace.size());
-  for (std::size_t e = 0; e < a.chip_power_trace.size(); ++e) {
-    ASSERT_EQ(a.chip_power_trace[e], b.chip_power_trace[e]) << "epoch " << e;
-    ASSERT_EQ(a.budget_trace[e], b.budget_trace[e]) << "epoch " << e;
-    ASSERT_EQ(a.ips_trace[e], b.ips_trace[e]) << "epoch " << e;
-    ASSERT_EQ(a.max_temp_trace[e], b.max_temp_trace[e]) << "epoch " << e;
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  for (std::size_t e = 0; e < a.trace.size(); ++e) {
+    const os::EpochTrace& ta = a.trace[e];
+    const os::EpochTrace& tb = b.trace[e];
+    ASSERT_EQ(ta.epoch, tb.epoch) << "epoch " << e;
+    ASSERT_EQ(ta.budget_w, tb.budget_w) << "epoch " << e;
+    ASSERT_EQ(ta.chip_power_w, tb.chip_power_w) << "epoch " << e;
+    ASSERT_EQ(ta.true_chip_power_w, tb.true_chip_power_w) << "epoch " << e;
+    ASSERT_EQ(ta.total_ips, tb.total_ips) << "epoch " << e;
+    ASSERT_EQ(ta.max_temp_c, tb.max_temp_c) << "epoch " << e;
+    ASSERT_EQ(ta.thermal_violations, tb.thermal_violations) << "epoch " << e;
+    // decide_s is wall-clock time: excluded, like decision_time_s above.
   }
 }
 
