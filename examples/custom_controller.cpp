@@ -31,7 +31,10 @@ using namespace odrl;
 
 namespace {
 
-/// The whole custom-controller surface: name / initial_levels / decide.
+/// The whole custom-controller surface: name / initial_levels /
+/// decide_into. The decision is written into the runner-owned `out` span,
+/// and the observation is read straight from the SoA columns -- no per-epoch
+/// allocation anywhere in the policy.
 class HeadroomStepper final : public sim::Controller {
  public:
   explicit HeadroomStepper(const arch::ChipConfig& chip)
@@ -43,21 +46,21 @@ class HeadroomStepper final : public sim::Controller {
     return std::vector<std::size_t>(n_cores, n_levels_ / 2);
   }
 
-  std::vector<std::size_t> decide(const sim::EpochResult& obs) override {
+  void decide_into(const sim::EpochResult& obs,
+                   std::span<std::size_t> out) override {
     const double share =
         obs.budget_w / static_cast<double>(obs.cores.size());
-    std::vector<std::size_t> next(obs.cores.size());
-    for (std::size_t i = 0; i < obs.cores.size(); ++i) {
-      const sim::CoreObservation& core = obs.cores[i];
-      std::size_t level = core.level;
-      if (core.power_w < 0.70 * share && level + 1 < n_levels_) {
+    const std::span<const std::size_t> cur = obs.cores.level();
+    const std::span<const double> power = obs.cores.power_w();
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      std::size_t level = cur[i];
+      if (power[i] < 0.70 * share && level + 1 < n_levels_) {
         ++level;
-      } else if (core.power_w > 0.95 * share && level > 0) {
+      } else if (power[i] > 0.95 * share && level > 0) {
         --level;
       }
-      next[i] = level;
+      out[i] = level;
     }
-    return next;
   }
 
  private:

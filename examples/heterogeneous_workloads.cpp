@@ -39,11 +39,13 @@ class SwappingWorkload final : public workload::Workload {
 
   std::size_t n_cores() const override { return first_.n_cores(); }
 
-  std::vector<workload::PhaseSample> step() override {
+  std::span<const workload::PhaseSample> step() override {
     ++epoch_;
-    // Both generators advance so the swap does not reset phase state.
-    auto a = first_.step();
-    auto b = second_.step();
+    // Both generators advance so the swap does not reset phase state. Each
+    // generator owns its sample buffer, so returning either span is safe
+    // until the corresponding generator steps again.
+    const auto a = first_.step();
+    const auto b = second_.step();
     return epoch_ <= swap_epoch_ ? a : b;
   }
 

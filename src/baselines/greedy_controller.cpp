@@ -1,7 +1,7 @@
 #include "baselines/greedy_controller.hpp"
 
+#include <algorithm>
 #include <memory>
-#include <queue>
 #include <stdexcept>
 
 #include "sim/controller_registry.hpp"
@@ -24,54 +24,58 @@ std::vector<std::size_t> GreedyController::initial_levels(
   return std::vector<std::size_t>(n_cores, 0);
 }
 
-std::vector<std::size_t> GreedyController::decide(
-    const sim::EpochResult& obs) {
+void GreedyController::decide_into(const sim::EpochResult& obs,
+                                   std::span<std::size_t> out) {
   const std::size_t n = obs.cores.size();
   const std::size_t n_levels = predictor_.vf_table().size();
   const double budget = fill_target_ * obs.budget_w;
 
-  // Predict every (core, level) point once.
-  std::vector<std::vector<LevelPrediction>> pred(n);
+  // Predict every (core, level) point once, into the flattened scratch.
+  pred_.resize(n * n_levels);
   for (std::size_t i = 0; i < n; ++i) {
-    pred[i] = predictor_.predict_all(obs.cores[i]);
+    predictor_.predict_all_into(
+        obs.cores[i],
+        std::span<LevelPrediction>(pred_.data() + i * n_levels, n_levels));
   }
 
-  std::vector<std::size_t> levels(n, 0);
+  std::fill(out.begin(), out.end(), std::size_t{0});
   double chip_power = 0.0;
-  for (std::size_t i = 0; i < n; ++i) chip_power += pred[i][0].power_w;
+  for (std::size_t i = 0; i < n; ++i) {
+    chip_power += pred_[i * n_levels].power_w;
+  }
 
-  // Max-heap of upgrade candidates by marginal IPS per marginal watt.
-  struct Candidate {
-    double efficiency;
-    std::size_t core;
-    std::size_t to_level;
-    double delta_power;
-  };
+  // Max-heap of upgrade candidates by marginal IPS per marginal watt,
+  // kept in the reusable heap_ buffer (push_heap/pop_heap mirror what
+  // priority_queue does, minus the per-epoch container). Total pushes per
+  // epoch are bounded by one per (core, level), so reserving n * n_levels
+  // once makes the loop allocation-free.
   auto cmp = [](const Candidate& a, const Candidate& b) {
     return a.efficiency < b.efficiency;
   };
-  std::priority_queue<Candidate, std::vector<Candidate>, decltype(cmp)> heap(
-      cmp);
+  heap_.clear();
+  heap_.reserve(n * n_levels);
 
   auto push_candidate = [&](std::size_t core, std::size_t from_level) {
     if (from_level + 1 >= n_levels) return;
-    const auto& lo = pred[core][from_level];
-    const auto& hi = pred[core][from_level + 1];
+    const LevelPrediction& lo = pred_[core * n_levels + from_level];
+    const LevelPrediction& hi = pred_[core * n_levels + from_level + 1];
     const double d_power = hi.power_w - lo.power_w;
     const double d_ips = hi.ips - lo.ips;
     if (d_power <= 0.0) return;  // degenerate; skip
-    heap.push(Candidate{d_ips / d_power, core, from_level + 1, d_power});
+    heap_.push_back(Candidate{d_ips / d_power, core, from_level + 1, d_power});
+    std::push_heap(heap_.begin(), heap_.end(), cmp);
   };
 
   for (std::size_t i = 0; i < n; ++i) push_candidate(i, 0);
 
   std::uint64_t upgrades = 0;
-  while (!heap.empty()) {
-    const Candidate c = heap.top();
-    heap.pop();
-    if (levels[c.core] + 1 != c.to_level) continue;  // stale entry
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end(), cmp);
+    const Candidate c = heap_.back();
+    heap_.pop_back();
+    if (out[c.core] + 1 != c.to_level) continue;  // stale entry
     if (chip_power + c.delta_power > budget) continue;  // does not fit
-    levels[c.core] = c.to_level;
+    out[c.core] = c.to_level;
     chip_power += c.delta_power;
     ++upgrades;
     push_candidate(c.core, c.to_level);
@@ -81,7 +85,6 @@ std::vector<std::size_t> GreedyController::decide(
     recorder_->counter("greedy.upgrades").add(upgrades);
     recorder_->gauge("greedy.packed_power_w").set(chip_power);
   }
-  return levels;
 }
 
 // -- Registry wiring ("Greedy") --

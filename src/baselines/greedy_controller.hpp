@@ -25,12 +25,25 @@ class GreedyController final : public sim::Controller {
 
   std::string name() const override;
   std::vector<std::size_t> initial_levels(std::size_t n_cores) override;
-  std::vector<std::size_t> decide(const sim::EpochResult& obs) override;
+  void decide_into(const sim::EpochResult& obs,
+                   std::span<std::size_t> out) override;
 
  private:
+  /// One +1-level upgrade proposal in the marginal-efficiency heap.
+  struct Candidate {
+    double efficiency;
+    std::size_t core;
+    std::size_t to_level;
+    double delta_power;
+  };
+
   arch::ChipConfig chip_;
   Predictor predictor_;
   double fill_target_;
+
+  // Reusable scratch (decide_into performs zero steady-state allocations).
+  std::vector<LevelPrediction> pred_;  ///< flattened [core * n_levels + l]
+  std::vector<Candidate> heap_;        ///< binary-heap storage
 };
 
 }  // namespace odrl::baselines

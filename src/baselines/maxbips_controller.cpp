@@ -37,34 +37,39 @@ std::vector<std::size_t> MaxBipsController::initial_levels(
   return std::vector<std::size_t>(n_cores, 0);
 }
 
-std::vector<std::size_t> MaxBipsController::decide(
-    const sim::EpochResult& obs) {
+void MaxBipsController::decide_into(const sim::EpochResult& obs,
+                                    std::span<std::size_t> out) {
   const std::size_t n = obs.cores.size();
-  std::vector<std::vector<LevelPrediction>> pred(n);
+  const std::size_t n_levels = predictor_.vf_table().size();
+  pred_.resize(n * n_levels);
   for (std::size_t i = 0; i < n; ++i) {
-    pred[i] = predictor_.predict_all(obs.cores[i]);
+    predictor_.predict_all_into(
+        obs.cores[i],
+        std::span<LevelPrediction>(pred_.data() + i * n_levels, n_levels));
   }
   switch (config_.solver) {
     case MaxBipsSolver::kExact:
-      return solve_exact(pred, obs.budget_w);
+      solve_exact(pred_, obs.budget_w, out);
+      return;
     case MaxBipsSolver::kKnapsackDp:
-      return solve_dp(pred, obs.budget_w);
+      solve_dp(pred_, obs.budget_w, out);
+      return;
   }
   throw std::logic_error("MaxBipsController: unknown solver");
 }
 
-std::vector<std::size_t> MaxBipsController::solve_exact(
-    const std::vector<std::vector<LevelPrediction>>& pred,
-    double budget_w) const {
-  const std::size_t n = pred.size();
+void MaxBipsController::solve_exact(std::span<const LevelPrediction> pred,
+                                    double budget_w,
+                                    std::span<std::size_t> out) {
+  const std::size_t n = out.size();
   if (n > config_.exact_core_limit) {
     throw std::invalid_argument(
         "MaxBIPS exact solver: too many cores for exhaustive enumeration");
   }
   const std::size_t n_levels = predictor_.vf_table().size();
 
-  std::vector<std::size_t> current(n, 0);
-  std::vector<std::size_t> best(n, 0);
+  current_.assign(n, 0);
+  best_.assign(n, 0);
   double best_ips = -1.0;
 
   // Odometer enumeration over levels^n.
@@ -72,30 +77,34 @@ std::vector<std::size_t> MaxBipsController::solve_exact(
     double power = 0.0;
     double ips = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
-      power += pred[i][current[i]].power_w;
-      ips += pred[i][current[i]].ips;
+      power += pred[i * n_levels + current_[i]].power_w;
+      ips += pred[i * n_levels + current_[i]].ips;
     }
     if (power <= budget_w && ips > best_ips) {
       best_ips = ips;
-      best = current;
+      best_ = current_;
     }
     std::size_t digit = 0;
     while (digit < n) {
-      if (++current[digit] < n_levels) break;
-      current[digit] = 0;
+      if (++current_[digit] < n_levels) break;
+      current_[digit] = 0;
       ++digit;
     }
     if (digit == n) break;
   }
   // If even all-minimum exceeded the budget, best_ips stayed negative;
   // all-zero is the least-bad assignment.
-  return best_ips < 0.0 ? std::vector<std::size_t>(n, 0) : best;
+  if (best_ips < 0.0) {
+    std::fill(out.begin(), out.end(), std::size_t{0});
+  } else {
+    std::copy(best_.begin(), best_.end(), out.begin());
+  }
 }
 
-std::vector<std::size_t> MaxBipsController::solve_dp(
-    const std::vector<std::vector<LevelPrediction>>& pred,
-    double budget_w) const {
-  const std::size_t n = pred.size();
+void MaxBipsController::solve_dp(std::span<const LevelPrediction> pred,
+                                 double budget_w,
+                                 std::span<std::size_t> out) {
+  const std::size_t n = out.size();
   const std::size_t n_levels = predictor_.vf_table().size();
   const std::size_t bins =
       std::max(config_.power_bins_min, config_.bins_per_core * n);
@@ -106,61 +115,62 @@ std::vector<std::size_t> MaxBipsController::solve_dp(
   // against the real-valued budget.
   auto weight = [&](std::size_t core, std::size_t level) -> std::size_t {
     return static_cast<std::size_t>(
-        std::ceil(pred[core][level].power_w / delta - 1e-12));
+        std::ceil(pred[core * n_levels + level].power_w / delta - 1e-12));
   };
 
-  std::vector<double> dp(bins + 1, kNegInf);
-  std::vector<double> next(bins + 1, kNegInf);
-  // choice[core * (bins+1) + w]: level picked for `core` when the prefix
+  dp_.assign(bins + 1, kNegInf);
+  next_.assign(bins + 1, kNegInf);
+  // choice_[core * (bins+1) + w]: level picked for `core` when the prefix
   // through `core` uses weight w.
-  std::vector<std::uint8_t> choice(n * (bins + 1), 0xff);
+  choice_.assign(n * (bins + 1), 0xff);
 
-  dp[0] = 0.0;
+  dp_[0] = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
-    std::fill(next.begin(), next.end(), kNegInf);
+    std::fill(next_.begin(), next_.end(), kNegInf);
     for (std::size_t w = 0; w <= bins; ++w) {
-      if (dp[w] == kNegInf) continue;
+      if (dp_[w] == kNegInf) continue;
       for (std::size_t l = 0; l < n_levels; ++l) {
         const std::size_t wl = weight(i, l);
         const std::size_t w2 = w + wl;
         if (w2 > bins) break;  // levels sorted by power: heavier only
-        const double ips2 = dp[w] + pred[i][l].ips;
-        if (ips2 > next[w2]) {
-          next[w2] = ips2;
-          choice[i * (bins + 1) + w2] = static_cast<std::uint8_t>(l);
+        const double ips2 = dp_[w] + pred[i * n_levels + l].ips;
+        if (ips2 > next_[w2]) {
+          next_[w2] = ips2;
+          choice_[i * (bins + 1) + w2] = static_cast<std::uint8_t>(l);
         }
       }
     }
-    dp.swap(next);
+    dp_.swap(next_);
   }
 
   // Best achievable total IPS within the budget.
   std::size_t best_w = bins + 1;
   double best_ips = kNegInf;
   for (std::size_t w = 0; w <= bins; ++w) {
-    if (dp[w] > best_ips) {
-      best_ips = dp[w];
+    if (dp_[w] > best_ips) {
+      best_ips = dp_[w];
       best_w = w;
     }
   }
   if (best_w > bins) {
     // Even all-minimum does not fit the discretized budget: floor levels.
-    return std::vector<std::size_t>(n, 0);
+    std::fill(out.begin(), out.end(), std::size_t{0});
+    return;
   }
 
   // Walk the choice/used tables backwards to recover the assignment.
-  std::vector<std::size_t> levels(n, 0);
+  std::fill(out.begin(), out.end(), std::size_t{0});
   std::size_t w = best_w;
   for (std::size_t i = n; i-- > 0;) {
-    const std::uint8_t l = choice[i * (bins + 1) + w];
+    const std::uint8_t l = choice_[i * (bins + 1) + w];
     if (l == 0xff) {
       // Should not happen on a reachable cell; degrade safely.
-      return std::vector<std::size_t>(n, 0);
+      std::fill(out.begin(), out.end(), std::size_t{0});
+      return;
     }
-    levels[i] = l;
+    out[i] = l;
     w -= weight(i, l);
   }
-  return levels;
 }
 
 // -- Registry wiring ("MaxBIPS") --

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 
 #include "arch/chip_config.hpp"
 #include "baselines/predictor.hpp"
@@ -49,21 +50,31 @@ class MaxBipsController final : public sim::Controller {
 
   std::string name() const override;
   std::vector<std::size_t> initial_levels(std::size_t n_cores) override;
-  std::vector<std::size_t> decide(const sim::EpochResult& obs) override;
+  void decide_into(const sim::EpochResult& obs,
+                   std::span<std::size_t> out) override;
 
   const MaxBipsConfig& config() const { return config_; }
 
  private:
-  std::vector<std::size_t> solve_exact(
-      const std::vector<std::vector<LevelPrediction>>& pred,
-      double budget_w) const;
-  std::vector<std::size_t> solve_dp(
-      const std::vector<std::vector<LevelPrediction>>& pred,
-      double budget_w) const;
+  /// Both solvers read the flattened prediction table
+  /// (pred[core * n_levels + level]) and write the assignment into `out`;
+  /// non-const because they use the member scratch buffers below.
+  void solve_exact(std::span<const LevelPrediction> pred, double budget_w,
+                   std::span<std::size_t> out);
+  void solve_dp(std::span<const LevelPrediction> pred, double budget_w,
+                std::span<std::size_t> out);
 
   arch::ChipConfig chip_;
   Predictor predictor_;
   MaxBipsConfig config_;
+
+  // Reusable scratch (decide_into performs zero steady-state allocations).
+  std::vector<LevelPrediction> pred_;   ///< flattened [core * n_levels + l]
+  std::vector<double> dp_;              ///< DP row (bins + 1)
+  std::vector<double> next_;            ///< DP row being built
+  std::vector<std::uint8_t> choice_;    ///< [core * (bins+1) + w] -> level
+  std::vector<std::size_t> current_;    ///< exact-solver odometer
+  std::vector<std::size_t> best_;       ///< exact-solver incumbent
 };
 
 }  // namespace odrl::baselines

@@ -22,7 +22,8 @@ std::vector<std::size_t> PidController::initial_levels(std::size_t n_cores) {
   return std::vector<std::size_t>(n_cores, level);
 }
 
-std::vector<std::size_t> PidController::decide(const sim::EpochResult& obs) {
+void PidController::decide_into(const sim::EpochResult& obs,
+                                std::span<std::size_t> out) {
   // Positive error = headroom available, push frequency up.
   const double error = (obs.budget_w - obs.chip_power_w) / obs.budget_w;
 
@@ -44,7 +45,7 @@ std::vector<std::size_t> PidController::decide(const sim::EpochResult& obs) {
     recorder_->gauge("pid.error").set(error);
     recorder_->gauge("pid.control_signal").set(u_);
   }
-  return std::vector<std::size_t>(obs.cores.size(), level);
+  std::fill(out.begin(), out.end(), level);
 }
 
 void PidController::on_budget_change(double /*new_budget_w*/) {

@@ -41,10 +41,17 @@ LevelPrediction Predictor::predict(const sim::CoreObservation& obs,
 
 std::vector<LevelPrediction> Predictor::predict_all(
     const sim::CoreObservation& obs) const {
-  std::vector<LevelPrediction> out;
-  out.reserve(vf_.size());
-  for (std::size_t l = 0; l < vf_.size(); ++l) out.push_back(predict(obs, l));
+  std::vector<LevelPrediction> out(vf_.size());
+  predict_all_into(obs, out);
   return out;
+}
+
+void Predictor::predict_all_into(const sim::CoreObservation& obs,
+                                 std::span<LevelPrediction> out) const {
+  if (out.size() != vf_.size()) {
+    throw std::invalid_argument("Predictor::predict_all_into: size mismatch");
+  }
+  for (std::size_t l = 0; l < vf_.size(); ++l) out[l] = predict(obs, l);
 }
 
 }  // namespace odrl::baselines

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "arch/chip_config.hpp"
@@ -44,9 +45,15 @@ class Predictor {
   LevelPrediction predict(const sim::CoreObservation& obs,
                           std::size_t target_level) const;
 
-  /// All levels at once (the optimizers' inner loop).
+  /// All levels at once (the optimizers' inner loop). Allocates; prefer
+  /// predict_all_into() in hot loops.
   std::vector<LevelPrediction> predict_all(
       const sim::CoreObservation& obs) const;
+
+  /// In-place variant: writes one prediction per level into `out` (size
+  /// must equal vf_table().size()). No allocations.
+  void predict_all_into(const sim::CoreObservation& obs,
+                        std::span<LevelPrediction> out) const;
 
   /// Implied switching activity in [0, 1] backed out of an observation.
   double implied_activity(const sim::CoreObservation& obs) const;

@@ -1,5 +1,6 @@
 #include "baselines/static_uniform.hpp"
 
+#include <algorithm>
 #include <memory>
 
 #include "sim/controller_registry.hpp"
@@ -33,9 +34,9 @@ std::vector<std::size_t> StaticUniformController::initial_levels(
   return std::vector<std::size_t>(n_cores, level_);
 }
 
-std::vector<std::size_t> StaticUniformController::decide(
-    const sim::EpochResult& obs) {
-  return std::vector<std::size_t>(obs.cores.size(), level_);
+void StaticUniformController::decide_into(const sim::EpochResult& /*obs*/,
+                                          std::span<std::size_t> out) {
+  std::fill(out.begin(), out.end(), level_);
 }
 
 void StaticUniformController::on_budget_change(double new_budget_w) {

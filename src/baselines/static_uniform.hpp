@@ -18,7 +18,8 @@ class StaticUniformController final : public sim::Controller {
 
   std::string name() const override;
   std::vector<std::size_t> initial_levels(std::size_t n_cores) override;
-  std::vector<std::size_t> decide(const sim::EpochResult& obs) override;
+  void decide_into(const sim::EpochResult& obs,
+                   std::span<std::size_t> out) override;
   void on_budget_change(double new_budget_w) override;
 
   std::size_t chosen_level() const { return level_; }

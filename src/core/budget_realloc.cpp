@@ -23,9 +23,10 @@ void ReallocConfig::validate() const {
   }
 }
 
-std::vector<double> reallocate_budget(std::span<const CoreDemand> demands,
-                                      double chip_budget_w,
-                                      const ReallocConfig& config) {
+void reallocate_budget_into(std::span<const CoreDemand> demands,
+                            double chip_budget_w, const ReallocConfig& config,
+                            std::span<double> out,
+                            std::vector<double>& scratch) {
   config.validate();
   if (demands.empty()) {
     throw std::invalid_argument("reallocate_budget: no cores");
@@ -33,16 +34,23 @@ std::vector<double> reallocate_budget(std::span<const CoreDemand> demands,
   if (chip_budget_w <= 0.0) {
     throw std::invalid_argument("reallocate_budget: budget <= 0");
   }
+  if (out.size() != demands.size()) {
+    throw std::invalid_argument("reallocate_budget_into: out size mismatch");
+  }
   const std::size_t n = demands.size();
   const double floor_each =
       config.floor_fraction * chip_budget_w / static_cast<double>(n);
+
+  // Scratch layout: [0, n) demand, [n, 2n) utility. assign() reuses
+  // capacity, so the caller pays the allocation once.
+  scratch.assign(2 * n, 0.0);
+  const std::span<double> demand(scratch.data(), n);
+  const std::span<double> utility(scratch.data() + n, n);
 
   // Demand: consumption scaled by a sensitivity-blended headroom factor.
   // Every unsaturated core gets at least one-level-step headroom; saturated
   // cores get a guard band only (they cannot grow, and inflated demand from
   // them would permanently over-subscribe the chip).
-  std::vector<double> demand(n);
-  std::vector<double> utility(n);
   double demand_sum = 0.0;
   double utility_sum = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
@@ -61,12 +69,11 @@ std::vector<double> reallocate_budget(std::span<const CoreDemand> demands,
     utility_sum += utility[i];
   }
 
-  std::vector<double> budgets(n);
   if (demand_sum <= chip_budget_w) {
     // Everyone gets their demand; surplus follows marginal utility.
     const double surplus = chip_budget_w - demand_sum;
     for (std::size_t i = 0; i < n; ++i) {
-      budgets[i] = demand[i] + surplus * utility[i] / utility_sum;
+      out[i] = demand[i] + surplus * utility[i] / utility_sum;
     }
   } else {
     // Over-subscribed: divide by demand weighted with utility, so the cut
@@ -79,15 +86,23 @@ std::vector<double> reallocate_budget(std::span<const CoreDemand> demands,
     }
     for (std::size_t i = 0; i < n; ++i) {
       const double w = demand[i] * (0.15 + utility[i]);
-      budgets[i] = std::max(floor_each, chip_budget_w * w / weight_sum);
+      out[i] = std::max(floor_each, chip_budget_w * w / weight_sum);
     }
   }
 
   // Exact renormalization: floating error (or soft floors) must not leak or
   // mint budget.
-  const double sum = std::accumulate(budgets.begin(), budgets.end(), 0.0);
+  const double sum = std::accumulate(out.begin(), out.end(), 0.0);
   const double scale = chip_budget_w / sum;
-  for (double& b : budgets) b *= scale;
+  for (double& b : out) b *= scale;
+}
+
+std::vector<double> reallocate_budget(std::span<const CoreDemand> demands,
+                                      double chip_budget_w,
+                                      const ReallocConfig& config) {
+  std::vector<double> budgets(demands.size());
+  std::vector<double> scratch;
+  reallocate_budget_into(demands, chip_budget_w, config, budgets, scratch);
   return budgets;
 }
 

@@ -61,9 +61,19 @@ struct ReallocConfig {
 };
 
 /// Returns the new per-core budgets; sums to chip_budget_w (within 1e-9
-/// relative). All returned budgets are strictly positive.
+/// relative). All returned budgets are strictly positive. Allocates;
+/// prefer reallocate_budget_into() in hot loops.
 std::vector<double> reallocate_budget(std::span<const CoreDemand> demands,
                                       double chip_budget_w,
                                       const ReallocConfig& config = {});
+
+/// In-place variant: writes the new budgets into `out` (size must equal
+/// demands.size()). `scratch` is a caller-owned buffer resized to 2n
+/// (capacity reused across calls), so a warmed-up caller performs zero
+/// heap allocations. Same results, bit for bit, as reallocate_budget().
+void reallocate_budget_into(std::span<const CoreDemand> demands,
+                            double chip_budget_w, const ReallocConfig& config,
+                            std::span<double> out,
+                            std::vector<double>& scratch);
 
 }  // namespace odrl::core

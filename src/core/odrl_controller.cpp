@@ -147,43 +147,46 @@ std::size_t OdrlController::apply_action(std::size_t level,
   }
 }
 
-double OdrlController::attainment(const sim::CoreObservation& obs) const {
+double OdrlController::attainment(double mem_stall_frac,
+                                  std::size_t level) const {
   // From the observed stall fraction s at frequency f, the linear CPI-stack
   // identity gives IPS(f_max)/IPS(f) = r / ((1-s) + s*r) with r = f_max/f.
   // Both s and f come from counters, so this stays model-free in the
   // paper's sense (no fitted power/perf model).
-  const double s = std::clamp(obs.mem_stall_frac, 0.0, 1.0);
-  const double r = level_freq_ghz_.back() / level_freq_ghz_[obs.level];
+  const double s = std::clamp(mem_stall_frac, 0.0, 1.0);
+  const double r = level_freq_ghz_.back() / level_freq_ghz_[level];
   const double gain_to_max = r / ((1.0 - s) + s * r);
   return 1.0 / gain_to_max;
 }
 
-double OdrlController::reward(const sim::CoreObservation& obs,
+double OdrlController::reward(double power_w, double mem_stall_frac,
+                              std::size_t level, double temp_c,
                               double core_budget_w) const {
   // Normalized throughput term in (0, 1]: fraction of the attainable
   // throughput for this phase (stationary across phases and levels), plus
   // the frequency-shaping term (see OdrlConfig::kappa).
   const double perf =
-      attainment(obs) +
-      config_.kappa * level_freq_ghz_[obs.level] / level_freq_ghz_.back();
+      attainment(mem_stall_frac, level) +
+      config_.kappa * level_freq_ghz_[level] / level_freq_ghz_.back();
   // Overshoot term: charged when the core exceeds target_utilization of its
   // allocation -- agents learn to hold a safety margin *below* the line,
   // which is where the near-zero chip-level overshoot comes from.
   const double cap = config_.target_utilization * core_budget_w;
   double penalty = 0.0;
-  if (cap > 0.0 && obs.power_w > cap) {
-    penalty = (obs.power_w - cap) / cap;
+  if (cap > 0.0 && power_w > cap) {
+    penalty = (power_w - cap) / cap;
   }
   double thermal = 0.0;
-  if (config_.thermal_weight > 0.0 && obs.temp_c > config_.thermal_safe_c) {
-    thermal = config_.thermal_weight *
-              (obs.temp_c - config_.thermal_safe_c) / 20.0;
+  if (config_.thermal_weight > 0.0 && temp_c > config_.thermal_safe_c) {
+    thermal =
+        config_.thermal_weight * (temp_c - config_.thermal_safe_c) / 20.0;
   }
   return perf - config_.lambda * penalty - thermal;
 }
 
-std::vector<std::size_t> OdrlController::decide(const sim::EpochResult& obs) {
-  if (obs.cores.size() != n_cores_) {
+void OdrlController::decide_into(const sim::EpochResult& obs,
+                                 std::span<std::size_t> out) {
+  if (obs.cores.size() != n_cores_ || out.size() != n_cores_) {
     throw std::invalid_argument("OdrlController::decide: size mismatch");
   }
 
@@ -195,10 +198,16 @@ std::vector<std::size_t> OdrlController::decide(const sim::EpochResult& obs) {
     on_budget_change(obs.budget_w);
   }
 
+  // SoA input columns, read directly (no CoreObservation temporaries).
+  const std::span<const std::size_t> obs_level = obs.cores.level();
+  const std::span<const double> obs_power = obs.cores.power_w();
+  const std::span<const double> obs_stall = obs.cores.mem_stall_frac();
+  const std::span<const double> obs_temp = obs.cores.temp_c();
+
   // Smooth the reallocation inputs.
   for (std::size_t i = 0; i < n_cores_; ++i) {
-    power_ema_[i].update(obs.cores[i].power_w);
-    sens_ema_[i].update(1.0 - obs.cores[i].mem_stall_frac);
+    power_ema_[i].update(obs_power[i]);
+    sens_ema_[i].update(1.0 - obs_stall[i]);
   }
 
   // Coarse grain: budget reallocation against the virtual (overcommitted)
@@ -211,19 +220,20 @@ std::vector<std::size_t> OdrlController::decide(const sim::EpochResult& obs) {
         chip_budget_w_;
     mu_ = std::clamp(mu_ + config_.overcommit_gain * fill_error,
                      config_.overcommit_min, config_.overcommit_max);
-    std::vector<CoreDemand> demands(n_cores_);
+    demands_.resize(n_cores_);
     for (std::size_t i = 0; i < n_cores_; ++i) {
-      demands[i].power_w = power_ema_[i].value();
-      demands[i].sensitivity = sens_ema_[i].value();
-      demands[i].budget_w = budgets_[i];
-      demands[i].can_raise = obs.cores[i].level + 1 < n_levels_;
+      demands_[i].power_w = power_ema_[i].value();
+      demands_[i].sensitivity = sens_ema_[i].value();
+      demands_[i].budget_w = budgets_[i];
+      demands_[i].can_raise = obs_level[i] + 1 < n_levels_;
     }
-    const std::vector<double> target =
-        reallocate_budget(demands, mu_ * chip_budget_w_, config_.realloc);
+    realloc_target_.resize(n_cores_);
+    reallocate_budget_into(demands_, mu_ * chip_budget_w_, config_.realloc,
+                           realloc_target_, realloc_scratch_);
     // Damped move toward the target keeps per-core caps quasi-stationary.
     const double beta = config_.budget_blend;
     for (std::size_t i = 0; i < n_cores_; ++i) {
-      budgets_[i] = (1.0 - beta) * budgets_[i] + beta * target[i];
+      budgets_[i] = (1.0 - beta) * budgets_[i] + beta * realloc_target_[i];
     }
     ++realloc_count_;
 
@@ -251,42 +261,41 @@ std::vector<std::size_t> OdrlController::decide(const sim::EpochResult& obs) {
   // its agent, exploration stream and bookkeeping slots, so the loop is
   // embarrassingly parallel; the reward sum is reduced over chunk-ordered
   // partials and stays bit-identical for every thread count.
-  std::vector<std::size_t> next_levels(n_cores_);
   const double reward_sum = pool_->parallel_reduce(
       n_cores_, kTdGrain, 0.0,
       [&](std::size_t begin, std::size_t end) {
         double local_sum = 0.0;
         for (std::size_t i = begin; i < end; ++i) {
-          const sim::CoreObservation& core = obs.cores[i];
           // Headroom relative to the *penalized* cap, so ratio 1.0 (a bin
           // edge) is exactly where the reward turns negative.
           const double cap = config_.target_utilization * budgets_[i];
-          const double ratio = cap > 0.0 ? core.power_w / cap : 2.0;
+          const double ratio = cap > 0.0 ? obs_power[i] / cap : 2.0;
           const std::size_t state =
-              encode_state(ratio, core.mem_stall_frac, core.level);
+              encode_state(ratio, obs_stall[i], obs_level[i]);
 
           // Select the next action first so SARSA can learn on-policy from
           // the action actually taken; Q-learning ignores it
           // (max-bootstrap).
           const std::size_t action = agents_[i].act(state, rngs_[i]);
           if (have_prev_) {
-            const double r = reward(core, budgets_[i]);
+            const double r = reward(obs_power[i], obs_stall[i], obs_level[i],
+                                    obs_temp[i], budgets_[i]);
             local_sum += r;
             agents_[i].learn(prev_state_[i], prev_action_[i], r, state,
                              action);
           }
           prev_state_[i] = state;
           prev_action_[i] = action;
-          next_levels[i] = apply_action(core.level, action);
+          out[i] = apply_action(obs_level[i], action);
         }
         return local_sum;
       },
-      [](double acc, double partial) { return acc + partial; });
+      [](double acc, double partial) { return acc + partial; },
+      reward_partials_);
   if (have_prev_) {
     last_mean_reward_ = reward_sum / static_cast<double>(n_cores_);
   }
   have_prev_ = true;
-  return next_levels;
 }
 
 void OdrlController::on_budget_change(double new_budget_w) {

@@ -14,9 +14,9 @@
 //    (budget_realloc.hpp) re-divides the chip TDP among cores by observed
 //    marginal utility, in O(n).
 //
-// The decide() path is O(n) table lookups per epoch, which is what the
-// scalability experiment (E5) measures against global-optimization
-// baselines.
+// The decide_into() path is O(n) table lookups per epoch with zero heap
+// allocations in steady state, which is what the scalability experiment
+// (E5) measures against global-optimization baselines.
 #pragma once
 
 #include <cstddef>
@@ -124,7 +124,8 @@ class OdrlController final : public sim::Controller {
 
   std::string name() const override;
   std::vector<std::size_t> initial_levels(std::size_t n_cores) override;
-  std::vector<std::size_t> decide(const sim::EpochResult& obs) override;
+  void decide_into(const sim::EpochResult& obs,
+                   std::span<std::size_t> out) override;
   void on_budget_change(double new_budget_w) override;
   void reset() override;
   void set_threads(std::size_t threads) override;
@@ -154,10 +155,13 @@ class OdrlController final : public sim::Controller {
   std::size_t encode_state(double headroom_ratio, double mem_stall,
                            std::size_t level) const;
   std::size_t apply_action(std::size_t level, std::size_t action) const;
-  double reward(const sim::CoreObservation& obs, double core_budget_w) const;
+  /// Scalar inputs (straight off the SoA columns, no CoreObservation
+  /// temporaries on the hot path).
+  double reward(double power_w, double mem_stall_frac, std::size_t level,
+                double temp_c, double core_budget_w) const;
   /// Fraction of this phase's attainable (f_max) throughput the core
   /// achieved, in (0, 1]: a stationary, counter-derived normalizer.
-  double attainment(const sim::CoreObservation& obs) const;
+  double attainment(double mem_stall_frac, std::size_t level) const;
 
   OdrlConfig config_;
   std::size_t n_cores_;
@@ -173,6 +177,12 @@ class OdrlController final : public sim::Controller {
   std::vector<util::Ema> power_ema_;     ///< smoothed per-core power
   std::vector<util::Ema> sens_ema_;      ///< smoothed frequency sensitivity
   double chip_budget_w_;
+
+  // Reusable scratch (decide_into performs zero steady-state allocations).
+  std::vector<CoreDemand> demands_;        ///< reallocation inputs
+  std::vector<double> realloc_target_;     ///< reallocation outputs
+  std::vector<double> realloc_scratch_;    ///< reallocator internal scratch
+  std::vector<double> reward_partials_;    ///< TD-loop reduce partials
 
   // Previous-epoch transition bookkeeping (s, a) per core.
   std::vector<std::size_t> prev_state_;

@@ -29,58 +29,87 @@ std::vector<std::size_t> VfiAdapter::initial_levels(std::size_t n_cores) {
   if (n_cores != partition_.n_cores()) {
     throw std::invalid_argument("VfiAdapter: core count mismatch");
   }
-  return expand(inner_->initial_levels(partition_.n_islands()));
-}
-
-sim::EpochResult VfiAdapter::aggregate(const sim::EpochResult& obs) const {
-  sim::EpochResult out;
-  out.epoch = obs.epoch;
-  out.epoch_s = obs.epoch_s;
-  out.budget_w = obs.budget_w;
-  out.chip_power_w = obs.chip_power_w;
-  out.true_chip_power_w = obs.true_chip_power_w;
-  out.total_ips = obs.total_ips;
-  out.max_temp_c = obs.max_temp_c;
-  out.thermal_violations = obs.thermal_violations;
-  out.mem_latency_mult = obs.mem_latency_mult;
-  out.dram_utilization = obs.dram_utilization;
-  out.cores.resize(partition_.n_islands());
-  for (std::size_t i = 0; i < partition_.n_islands(); ++i) {
-    sim::CoreObservation& agg = out.cores[i];
-    double stall_weighted = 0.0;
-    for (std::size_t core : partition_.island(i)) {
-      const sim::CoreObservation& c = obs.cores[core];
-      agg.level = c.level;  // all members share the island level
-      agg.ips += c.ips;
-      agg.instructions += c.instructions;
-      agg.power_w += c.power_w;
-      stall_weighted += c.mem_stall_frac * c.ips;
-      agg.temp_c = std::max(agg.temp_c, c.temp_c);
-    }
-    agg.mem_stall_frac = agg.ips > 0.0 ? stall_weighted / agg.ips : 0.0;
-  }
-  return out;
-}
-
-std::vector<std::size_t> VfiAdapter::expand(
-    const std::vector<std::size_t>& island_levels) const {
-  if (island_levels.size() != partition_.n_islands()) {
-    throw std::logic_error("VfiAdapter: inner controller size mismatch");
-  }
   std::vector<std::size_t> levels(partition_.n_cores(), 0);
-  for (std::size_t i = 0; i < partition_.n_islands(); ++i) {
-    for (std::size_t core : partition_.island(i)) {
-      levels[core] = island_levels[i];
-    }
-  }
+  const std::vector<std::size_t> island =
+      inner_->initial_levels(partition_.n_islands());
+  expand_into(island, levels);
   return levels;
 }
 
-std::vector<std::size_t> VfiAdapter::decide(const sim::EpochResult& obs) {
+void VfiAdapter::aggregate_into(const sim::EpochResult& obs) {
+  island_obs_.epoch = obs.epoch;
+  island_obs_.epoch_s = obs.epoch_s;
+  island_obs_.budget_w = obs.budget_w;
+  island_obs_.chip_power_w = obs.chip_power_w;
+  island_obs_.true_chip_power_w = obs.true_chip_power_w;
+  island_obs_.total_ips = obs.total_ips;
+  island_obs_.max_temp_c = obs.max_temp_c;
+  island_obs_.thermal_violations = obs.thermal_violations;
+  island_obs_.mem_latency_mult = obs.mem_latency_mult;
+  island_obs_.dram_utilization = obs.dram_utilization;
+  island_obs_.cores.resize(partition_.n_islands());
+
+  // Input SoA columns (per core) and output columns (per island).
+  const std::span<const std::size_t> level = obs.cores.level();
+  const std::span<const double> ips = obs.cores.ips();
+  const std::span<const double> instructions = obs.cores.instructions();
+  const std::span<const double> power = obs.cores.power_w();
+  const std::span<const double> stall = obs.cores.mem_stall_frac();
+  const std::span<const double> temp = obs.cores.temp_c();
+  const std::span<std::size_t> agg_level = island_obs_.cores.level();
+  const std::span<double> agg_ips = island_obs_.cores.ips();
+  const std::span<double> agg_instr = island_obs_.cores.instructions();
+  const std::span<double> agg_power = island_obs_.cores.power_w();
+  const std::span<double> agg_true_power = island_obs_.cores.true_power_w();
+  const std::span<double> agg_stall = island_obs_.cores.mem_stall_frac();
+  const std::span<double> agg_temp = island_obs_.cores.temp_c();
+
+  for (std::size_t i = 0; i < partition_.n_islands(); ++i) {
+    std::size_t shared_level = 0;
+    double sum_ips = 0.0;
+    double sum_instr = 0.0;
+    double sum_power = 0.0;
+    double stall_weighted = 0.0;
+    double max_temp = 0.0;
+    for (std::size_t core : partition_.island(i)) {
+      shared_level = level[core];  // all members share the island level
+      sum_ips += ips[core];
+      sum_instr += instructions[core];
+      sum_power += power[core];
+      stall_weighted += stall[core] * ips[core];
+      max_temp = std::max(max_temp, temp[core]);
+    }
+    agg_level[i] = shared_level;
+    agg_ips[i] = sum_ips;
+    agg_instr[i] = sum_instr;
+    agg_power[i] = sum_power;
+    agg_true_power[i] = 0.0;  // not aggregated (controllers must not read)
+    agg_stall[i] = sum_ips > 0.0 ? stall_weighted / sum_ips : 0.0;
+    agg_temp[i] = max_temp;
+  }
+}
+
+void VfiAdapter::expand_into(std::span<const std::size_t> island_levels,
+                             std::span<std::size_t> out) const {
+  if (island_levels.size() != partition_.n_islands()) {
+    throw std::logic_error("VfiAdapter: inner controller size mismatch");
+  }
+  for (std::size_t i = 0; i < partition_.n_islands(); ++i) {
+    for (std::size_t core : partition_.island(i)) {
+      out[core] = island_levels[i];
+    }
+  }
+}
+
+void VfiAdapter::decide_into(const sim::EpochResult& obs,
+                             std::span<std::size_t> out) {
   if (obs.cores.size() != partition_.n_cores()) {
     throw std::invalid_argument("VfiAdapter::decide: size mismatch");
   }
-  return expand(inner_->decide(aggregate(obs)));
+  aggregate_into(obs);
+  island_levels_.resize(partition_.n_islands());
+  inner_->decide_into(island_obs_, island_levels_);
+  expand_into(island_levels_, out);
 }
 
 void VfiAdapter::on_budget_change(double new_budget_w) {

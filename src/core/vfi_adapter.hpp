@@ -34,7 +34,8 @@ class VfiAdapter final : public sim::Controller {
 
   std::string name() const override;
   std::vector<std::size_t> initial_levels(std::size_t n_cores) override;
-  std::vector<std::size_t> decide(const sim::EpochResult& obs) override;
+  void decide_into(const sim::EpochResult& obs,
+                   std::span<std::size_t> out) override;
   void on_budget_change(double new_budget_w) override;
   void reset() override;
 
@@ -42,14 +43,19 @@ class VfiAdapter final : public sim::Controller {
   sim::Controller& inner() { return *inner_; }
 
  private:
-  /// Collapses a chip observation into the island-level view.
-  sim::EpochResult aggregate(const sim::EpochResult& obs) const;
+  /// Collapses a chip observation into the island-level view (stored in
+  /// the reusable island_obs_ buffer).
+  void aggregate_into(const sim::EpochResult& obs);
   /// Expands island levels to per-core levels.
-  std::vector<std::size_t> expand(
-      const std::vector<std::size_t>& island_levels) const;
+  void expand_into(std::span<const std::size_t> island_levels,
+                   std::span<std::size_t> out) const;
 
   arch::VfiPartition partition_;
   std::unique_ptr<sim::Controller> inner_;
+
+  // Reusable buffers (decide_into performs zero steady-state allocations).
+  sim::EpochResult island_obs_;             ///< island-level observation
+  std::vector<std::size_t> island_levels_;  ///< inner decision
 };
 
 }  // namespace odrl::core

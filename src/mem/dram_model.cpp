@@ -38,7 +38,7 @@ double DramModel::queue_multiplier(double utilization) const {
 }
 
 double DramModel::solve_multiplier(
-    const std::function<double(double)>& traffic_at) const {
+    util::FunctionRef<double(double)> traffic_at) const {
   if (!enabled()) return 1.0;
   double m = 1.0;
   for (int iter = 0; iter < 64; ++iter) {

@@ -21,7 +21,7 @@
 // the substrate is available for bandwidth-wall studies.
 #pragma once
 
-#include <functional>
+#include "util/function_ref.hpp"
 
 namespace odrl::mem {
 
@@ -55,8 +55,10 @@ class DramModel {
   /// bytes/second when every core's exposed memory latency is scaled by m;
   /// it must be non-increasing in m (true for the CPI-stack model).
   /// Returns the converged multiplier; with the model disabled, returns 1.
+  /// Takes a FunctionRef (borrowed, non-allocating) because this runs once
+  /// per epoch inside the zero-allocation hot path.
   double solve_multiplier(
-      const std::function<double(double)>& traffic_at) const;
+      util::FunctionRef<double(double)> traffic_at) const;
 
  private:
   DramConfig config_;

@@ -1,0 +1,46 @@
+#include "sim/controller.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace odrl::sim {
+
+namespace {
+// Clears the bridging flag on every exit path (including exceptions).
+struct BridgeGuard {
+  bool* flag;
+  ~BridgeGuard() { *flag = false; }
+};
+}  // namespace
+
+void Controller::decide_into(const EpochResult& obs,
+                             std::span<std::size_t> out) {
+  if (bridging_) {
+    throw std::logic_error(
+        "Controller '" + name() +
+        "' overrides neither decide_into() nor decide()");
+  }
+  bridging_ = true;
+  BridgeGuard guard{&bridging_};
+  const std::vector<std::size_t> levels = decide(obs);
+  if (levels.size() != out.size()) {
+    throw std::logic_error("Controller '" + name() +
+                           "': decide() returned wrong level count");
+  }
+  std::copy(levels.begin(), levels.end(), out.begin());
+}
+
+std::vector<std::size_t> Controller::decide(const EpochResult& obs) {
+  if (bridging_) {
+    throw std::logic_error(
+        "Controller '" + name() +
+        "' overrides neither decide_into() nor decide()");
+  }
+  bridging_ = true;
+  BridgeGuard guard{&bridging_};
+  std::vector<std::size_t> out(obs.n_cores());
+  decide_into(obs, out);
+  return out;
+}
+
+}  // namespace odrl::sim

@@ -4,10 +4,13 @@
 // Interaction protocol, each control epoch:
 //   1. the simulator runs one epoch at the current per-core V/F levels;
 //   2. the controller receives the resulting EpochResult (sensors only);
-//   3. the controller returns the V/F level for every core for the next
-//      epoch.
-// decide() is the timed hot path for the scalability experiment (E5): its
-// cost as a function of core count is a first-class result of the paper.
+//   3. the controller writes the V/F level for every core for the next
+//      epoch into the caller's output buffer (decide_into).
+// decide_into() is the timed hot path for the scalability experiment (E5):
+// its cost as a function of core count is a first-class result of the
+// paper, so it must not allocate in steady state. The legacy
+// vector-returning decide() survives as a deprecated forwarding default so
+// out-of-tree controllers keep compiling (see DESIGN.md "Epoch data path").
 #pragma once
 
 #include <cstddef>
@@ -32,8 +35,20 @@ class Controller {
   /// Initial per-core levels before any observation exists.
   virtual std::vector<std::size_t> initial_levels(std::size_t n_cores) = 0;
 
-  /// Next-epoch level for every core, given this epoch's sensors.
-  virtual std::vector<std::size_t> decide(const EpochResult& obs) = 0;
+  /// Next-epoch level for every core, written into `out` (size must equal
+  /// obs.n_cores()). This is the in-place hot path: implementations keep
+  /// their scratch in members and perform zero heap allocations once
+  /// warmed up. The default forwards to the legacy decide() so existing
+  /// controllers that only override decide() keep working.
+  virtual void decide_into(const EpochResult& obs,
+                           std::span<std::size_t> out);
+
+  /// \deprecated Legacy vector-returning decision API; allocates a fresh
+  /// vector per call. The default forwards to decide_into(). A controller
+  /// must override at least one of decide_into()/decide(); overriding
+  /// neither throws std::logic_error on first use instead of recursing.
+  /// New code should override decide_into().
+  virtual std::vector<std::size_t> decide(const EpochResult& obs);
 
   /// Notifies the controller that the chip budget changed (power-cap event,
   /// e.g. a rack-level RAPL reduction). Default: ignore.
@@ -62,6 +77,11 @@ class Controller {
  protected:
   /// Null when telemetry is off; guard every use.
   telemetry::Recorder* recorder_ = nullptr;
+
+ private:
+  /// Set while one default bridges to the other; detects a subclass that
+  /// overrides neither (which would otherwise recurse forever).
+  bool bridging_ = false;
 };
 
 }  // namespace odrl::sim

@@ -2,14 +2,24 @@
 // simulated silicon and any controller. Mirrors what per-core power/
 // performance counters expose on real parts (RAPL-class power telemetry,
 // retired-instruction counters, stall-cycle counters, thermal diodes).
+//
+// The per-core payload is stored structure-of-arrays (one contiguous array
+// per sensor field) so the hot loops -- simulator fill, controller scans,
+// telemetry emission -- stream each field without striding over a 56-byte
+// AoS record, and so an EpochResult can be reused across epochs with zero
+// steady-state heap allocations (see DESIGN.md "Epoch data path").
 #pragma once
 
 #include <cstddef>
+#include <iterator>
+#include <span>
 #include <vector>
 
 namespace odrl::sim {
 
-/// One core's per-epoch sensor readout.
+/// One core's per-epoch sensor readout, as a value snapshot. This is the
+/// ergonomic row view over the SoA block below: cheap to materialize at
+/// cold call sites, never stored by the hot path.
 struct CoreObservation {
   std::size_t level = 0;        ///< V/F level the core ran at this epoch
   double ips = 0.0;             ///< measured instructions per second
@@ -21,7 +31,118 @@ struct CoreObservation {
   double temp_c = 0.0;          ///< junction temperature
 };
 
-/// Chip-wide snapshot after one epoch; input to Controller::decide().
+/// Structure-of-arrays block of per-core sensor samples. Each field is a
+/// parallel array indexed by core id; span accessors expose the columns
+/// directly. `operator[]` / iteration yield CoreObservation *values*
+/// (snapshots), so existing `obs.cores[i].power_w` reads keep compiling --
+/// but writes must go through the spans or `set()`.
+class CoreSamples {
+ public:
+  std::size_t size() const { return level_.size(); }
+  bool empty() const { return level_.empty(); }
+
+  /// Grows or shrinks every column; new slots are value-initialized (zero).
+  /// Shrinking then re-growing reuses capacity -- no steady-state
+  /// allocations once the high-water mark is reached.
+  void resize(std::size_t n) {
+    level_.resize(n);
+    ips_.resize(n);
+    instructions_.resize(n);
+    power_w_.resize(n);
+    true_power_w_.resize(n);
+    mem_stall_frac_.resize(n);
+    temp_c_.resize(n);
+  }
+
+  // Column accessors (mutable + const). Spans stay valid until the next
+  // resize().
+  std::span<std::size_t> level() { return level_; }
+  std::span<const std::size_t> level() const { return level_; }
+  std::span<double> ips() { return ips_; }
+  std::span<const double> ips() const { return ips_; }
+  std::span<double> instructions() { return instructions_; }
+  std::span<const double> instructions() const { return instructions_; }
+  std::span<double> power_w() { return power_w_; }
+  std::span<const double> power_w() const { return power_w_; }
+  std::span<double> true_power_w() { return true_power_w_; }
+  std::span<const double> true_power_w() const { return true_power_w_; }
+  std::span<double> mem_stall_frac() { return mem_stall_frac_; }
+  std::span<const double> mem_stall_frac() const { return mem_stall_frac_; }
+  std::span<double> temp_c() { return temp_c_; }
+  std::span<const double> temp_c() const { return temp_c_; }
+
+  /// Row snapshot (by value). Fine for cold paths and tests; hot loops
+  /// should read the column spans instead.
+  CoreObservation operator[](std::size_t i) const {
+    CoreObservation c;
+    c.level = level_[i];
+    c.ips = ips_[i];
+    c.instructions = instructions_[i];
+    c.power_w = power_w_[i];
+    c.true_power_w = true_power_w_[i];
+    c.mem_stall_frac = mem_stall_frac_[i];
+    c.temp_c = temp_c_[i];
+    return c;
+  }
+
+  /// Scatter one row back into the columns.
+  void set(std::size_t i, const CoreObservation& c) {
+    level_[i] = c.level;
+    ips_[i] = c.ips;
+    instructions_[i] = c.instructions;
+    power_w_[i] = c.power_w;
+    true_power_w_[i] = c.true_power_w;
+    mem_stall_frac_[i] = c.mem_stall_frac;
+    temp_c_[i] = c.temp_c;
+  }
+
+  /// Input iterator yielding CoreObservation snapshots, so range-for over
+  /// `obs.cores` keeps working (`const auto&` binds to the lifetime-
+  /// extended temporary).
+  class const_iterator {
+   public:
+    using value_type = CoreObservation;
+    using reference = CoreObservation;
+    using pointer = void;
+    using difference_type = std::ptrdiff_t;
+    using iterator_category = std::input_iterator_tag;
+
+    const_iterator() = default;
+    CoreObservation operator*() const { return (*samples_)[i_]; }
+    const_iterator& operator++() {
+      ++i_;
+      return *this;
+    }
+    const_iterator operator++(int) {
+      const_iterator tmp = *this;
+      ++i_;
+      return tmp;
+    }
+    friend bool operator==(const const_iterator&,
+                           const const_iterator&) = default;
+
+   private:
+    friend class CoreSamples;
+    const_iterator(const CoreSamples* samples, std::size_t i)
+        : samples_(samples), i_(i) {}
+    const CoreSamples* samples_ = nullptr;
+    std::size_t i_ = 0;
+  };
+
+  const_iterator begin() const { return const_iterator(this, 0); }
+  const_iterator end() const { return const_iterator(this, size()); }
+
+ private:
+  std::vector<std::size_t> level_;
+  std::vector<double> ips_;
+  std::vector<double> instructions_;
+  std::vector<double> power_w_;
+  std::vector<double> true_power_w_;
+  std::vector<double> mem_stall_frac_;
+  std::vector<double> temp_c_;
+};
+
+/// Chip-wide snapshot after one epoch; input to Controller::decide_into().
 struct EpochResult {
   std::size_t epoch = 0;
   double epoch_s = 0.0;
@@ -35,7 +156,11 @@ struct EpochResult {
   /// Shared-DRAM state this epoch (1.0 / 0.0 when contention is disabled).
   double mem_latency_mult = 1.0;
   double dram_utilization = 0.0;
-  std::vector<CoreObservation> cores;
+  CoreSamples cores;
+
+  std::size_t n_cores() const { return cores.size(); }
+  /// Row-snapshot proxy for ergonomic cold-path reads.
+  CoreObservation core(std::size_t i) const { return cores[i]; }
 };
 
 }  // namespace odrl::sim

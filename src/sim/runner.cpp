@@ -108,10 +108,30 @@ RunResult run_closed_loop(ManyCoreSystem& system, Controller& controller,
   }
 
   power::EnergyAccountant accountant(system.budget_w());
-  std::vector<std::size_t> levels = controller.initial_levels(system.n_cores());
-  if (levels.size() != system.n_cores()) {
+  const std::size_t n_cores = system.n_cores();
+  std::vector<std::size_t> levels = controller.initial_levels(n_cores);
+  if (levels.size() != n_cores) {
     throw std::logic_error("controller initial_levels size mismatch");
   }
+
+  // Double-buffered hot-loop state: `levels` drives the next step while
+  // `next_levels` receives the controller's decision, then the two swap.
+  // The one EpochResult (SoA core block included) is rewritten in place
+  // each epoch, so the steady-state loop performs zero heap allocations
+  // (verified by tests/alloc_test.cpp).
+  std::vector<std::size_t> next_levels(n_cores, 0);
+  EpochResult obs;
+
+  // One epoch of the closed loop -- the single code path both the warmup
+  // and measured regions share; returns the decide_into() wall time.
+  auto run_epoch = [&]() -> double {
+    system.step_into(levels, obs);
+    const auto t0 = Clock::now();
+    controller.decide_into(obs, next_levels);
+    const auto t1 = Clock::now();
+    levels.swap(next_levels);
+    return std::chrono::duration<double>(t1 - t0).count();
+  };
 
   // Events at epoch 0 are the budget in force when measurement starts;
   // apply them before warmup so warmup learns under that budget rather
@@ -128,11 +148,7 @@ RunResult run_closed_loop(ManyCoreSystem& system, Controller& controller,
 
   // Unmeasured warmup: the loop runs normally, results are discarded.
   for (std::size_t e = 0; e < config.warmup_epochs; ++e) {
-    const EpochResult obs = system.step(levels);
-    levels = controller.decide(obs);
-    if (levels.size() != system.n_cores()) {
-      throw std::logic_error("controller decide() size mismatch");
-    }
+    (void)run_epoch();
   }
 
   accountant.set_budget_w(system.budget_w());
@@ -147,18 +163,13 @@ RunResult run_closed_loop(ManyCoreSystem& system, Controller& controller,
       ++next_event;
     }
 
-    const EpochResult obs = system.step(levels);
+    const double decide_s = run_epoch();
 
-    for (const auto& core : obs.cores) {
-      result.total_instructions += core.instructions;
+    for (double instructions : obs.cores.instructions()) {
+      result.total_instructions += instructions;
     }
     accountant.add_epoch(obs.true_chip_power_w, obs.epoch_s);
     if (obs.thermal_violations > 0) ++result.thermal_violation_epochs;
-
-    const auto t0 = Clock::now();
-    levels = controller.decide(obs);
-    const auto t1 = Clock::now();
-    const double decide_s = std::chrono::duration<double>(t1 - t0).count();
     result.decision_time_s += decide_s;
     ++result.decisions;
 
@@ -182,17 +193,19 @@ RunResult run_closed_loop(ManyCoreSystem& system, Controller& controller,
       rec->record_epoch(record);
       decide_hist->observe(decide_s * 1e6);
       if (rec->wants_cores(record.epoch)) {
-        for (std::size_t i = 0; i < obs.cores.size(); ++i) {
-          const CoreObservation& c = obs.cores[i];
+        // Per-core emission reads the SoA columns directly -- no
+        // CoreObservation temporaries on the telemetry path.
+        const std::span<const std::size_t> level = obs.cores.level();
+        const std::span<const double> ips = obs.cores.ips();
+        const std::span<const double> power = obs.cores.power_w();
+        const std::span<const double> temp = obs.cores.temp_c();
+        const std::span<const double> stall = obs.cores.mem_stall_frac();
+        for (std::size_t i = 0; i < n_cores; ++i) {
           rec->record_core({record.epoch, static_cast<std::uint32_t>(i),
-                            static_cast<std::uint32_t>(c.level), c.ips,
-                            c.power_w, c.temp_c, c.mem_stall_frac});
+                            static_cast<std::uint32_t>(level[i]), ips[i],
+                            power[i], temp[i], stall[i]});
         }
       }
-    }
-
-    if (levels.size() != system.n_cores()) {
-      throw std::logic_error("controller decide() size mismatch");
     }
   }
 

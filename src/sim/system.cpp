@@ -106,7 +106,8 @@ void ManyCoreSystem::set_threads(std::size_t threads) {
 
 std::size_t ManyCoreSystem::threads() const { return pool_->size(); }
 
-EpochResult ManyCoreSystem::step(std::span<const std::size_t> levels) {
+void ManyCoreSystem::step_into(std::span<const std::size_t> levels,
+                               EpochResult& out) {
   const std::size_t n = config_.n_cores();
   if (levels.size() != n) {
     throw std::invalid_argument("ManyCoreSystem::step: levels size mismatch");
@@ -118,7 +119,7 @@ EpochResult ManyCoreSystem::step(std::span<const std::size_t> levels) {
     }
   }
 
-  const auto samples = workload_->step();
+  const std::span<const workload::PhaseSample> samples = workload_->step();
 
   // Shared-memory contention: fixed point of the chip's aggregate miss
   // traffic against the queueing latency multiplier. The per-core traffic
@@ -141,19 +142,28 @@ EpochResult ManyCoreSystem::step(std::span<const std::size_t> levels) {
             }
             return bytes_per_s;
           },
-          [](double acc, double partial) { return acc + partial; });
+          [](double acc, double partial) { return acc + partial; },
+          traffic_partials_);
     };
     mem_scale = dram_.solve_multiplier(traffic_at);
     dram_util = dram_.utilization(traffic_at(mem_scale));
   }
 
-  EpochResult result;
-  result.epoch = epoch_;
-  result.epoch_s = sim_.epoch_s;
-  result.budget_w = budget_w_;
-  result.mem_latency_mult = mem_scale;
-  result.dram_utilization = dram_util;
-  result.cores.resize(n);
+  out.epoch = epoch_;
+  out.epoch_s = sim_.epoch_s;
+  out.budget_w = budget_w_;
+  out.mem_latency_mult = mem_scale;
+  out.dram_utilization = dram_util;
+  out.cores.resize(n);
+
+  // SoA output columns; captured once, written per core in the loop.
+  const std::span<std::size_t> out_level = out.cores.level();
+  const std::span<double> out_ips = out.cores.ips();
+  const std::span<double> out_instructions = out.cores.instructions();
+  const std::span<double> out_power = out.cores.power_w();
+  const std::span<double> out_true_power = out.cores.true_power_w();
+  const std::span<double> out_stall = out.cores.mem_stall_frac();
+  const std::span<double> out_temp = out.cores.temp_c();
 
   std::fill(tile_power_.begin(), tile_power_.end(), 0.0);
 
@@ -161,15 +171,10 @@ EpochResult ManyCoreSystem::step(std::span<const std::size_t> levels) {
   // core touches only its own models, noise substream and output slots;
   // the three chip-level sums are reduced over chunk-ordered partials, so
   // the additions happen in a fixed tree regardless of thread count.
-  struct ChunkSums {
-    double true_w = 0.0;
-    double meas_w = 0.0;
-    double ips = 0.0;
-  };
-  const ChunkSums sums = pool_->parallel_reduce(
-      n, kCoreGrain, ChunkSums{},
+  const StepSums sums = pool_->parallel_reduce(
+      n, kCoreGrain, StepSums{},
       [&](std::size_t begin, std::size_t end) {
-        ChunkSums local;
+        StepSums local;
         for (std::size_t i = begin; i < end; ++i) {
           const arch::VfPoint& point = vf[levels[i]];
           const double temp = thermal_.temperature(i);
@@ -190,39 +195,39 @@ EpochResult ManyCoreSystem::step(std::span<const std::size_t> levels) {
             true_w += sim_.switch_energy_j / sim_.epoch_s;
           }
 
-          CoreObservation& obs = result.cores[i];
-          obs.level = levels[i];
-          obs.ips = noisy(i, ep.ips);
-          obs.instructions = ep.instructions;
-          obs.power_w = noisy(i, true_w);
-          obs.true_power_w = true_w;
-          obs.mem_stall_frac = ep.mem_stall_frac;
-          obs.temp_c = temp;
+          out_level[i] = levels[i];
+          out_ips[i] = noisy(i, ep.ips);
+          out_instructions[i] = ep.instructions;
+          out_power[i] = noisy(i, true_w);
+          out_true_power[i] = true_w;
+          out_stall[i] = ep.mem_stall_frac;
+          out_temp[i] = temp;
 
           tile_power_[i] = true_w;
           local.true_w += true_w;
-          local.meas_w += obs.power_w;
+          local.meas_w += out_power[i];
           local.ips += ep.ips;
         }
         return local;
       },
-      [](ChunkSums acc, const ChunkSums& partial) {
+      [](StepSums acc, const StepSums& partial) {
         acc.true_w += partial.true_w;
         acc.meas_w += partial.meas_w;
         acc.ips += partial.ips;
         return acc;
-      });
+      },
+      step_partials_);
   const double chip_true_w = sums.true_w;
   const double chip_meas_w = sums.meas_w;
   const double total_ips = sums.ips;
 
   thermal_.step(tile_power_, sim_.epoch_s);
 
-  result.chip_power_w = chip_meas_w;
-  result.true_chip_power_w = chip_true_w;
-  result.total_ips = total_ips;
-  result.max_temp_c = thermal_.max_temperature();
-  result.thermal_violations = thermal_.violation_count();
+  out.chip_power_w = chip_meas_w;
+  out.true_chip_power_w = chip_true_w;
+  out.total_ips = total_ips;
+  out.max_temp_c = thermal_.max_temperature();
+  out.thermal_violations = thermal_.violation_count();
 
   // Telemetry (serial tail; nothing above may touch the recorder). Level
   // switches are counted against the previous epoch's levels before they
@@ -236,8 +241,7 @@ EpochResult ManyCoreSystem::step(std::span<const std::size_t> levels) {
     }
     recorder_->counter("sim.epochs").add(1);
     recorder_->counter("sim.level_switches").add(switches);
-    recorder_->counter("sim.thermal_violations")
-        .add(result.thermal_violations);
+    recorder_->counter("sim.thermal_violations").add(out.thermal_violations);
     if (dram_.enabled()) {
       recorder_->gauge("sim.dram_utilization").set(dram_util);
       recorder_->gauge("sim.mem_latency_mult").set(mem_scale);
@@ -247,6 +251,11 @@ EpochResult ManyCoreSystem::step(std::span<const std::size_t> levels) {
   prev_levels_.assign(levels.begin(), levels.end());
   have_prev_levels_ = true;
   ++epoch_;
+}
+
+EpochResult ManyCoreSystem::step(std::span<const std::size_t> levels) {
+  EpochResult result;
+  step_into(levels, result);
   return result;
 }
 

@@ -77,7 +77,14 @@ class ManyCoreSystem {
                  std::vector<arch::CoreParams> per_core_params);
 
   /// Runs one epoch with the given per-core V/F levels (size n_cores, each
-  /// a valid index into the chip's VfTable).
+  /// a valid index into the chip's VfTable), writing the observation into
+  /// `out`. Every field of `out` is overwritten; its buffers (the SoA core
+  /// block) are reused across calls, so a caller that passes the same
+  /// EpochResult each epoch performs zero steady-state heap allocations.
+  void step_into(std::span<const std::size_t> levels, EpochResult& out);
+
+  /// Convenience wrapper around step_into() that returns a fresh
+  /// EpochResult (allocates; prefer step_into() in hot loops).
   EpochResult step(std::span<const std::size_t> levels);
 
   const arch::ChipConfig& config() const { return config_; }
@@ -126,6 +133,15 @@ class ManyCoreSystem {
   std::unique_ptr<util::ThreadPool> pool_;
   std::vector<double> tile_power_;  ///< scratch, mesh-sized
   std::vector<std::size_t> prev_levels_;  ///< for switch-cost accounting
+  /// Chunk partials for the per-core observation reduce (scratch; declared
+  /// here so parallel_reduce can reuse capacity across epochs).
+  struct StepSums {
+    double true_w = 0.0;
+    double meas_w = 0.0;
+    double ips = 0.0;
+  };
+  std::vector<StepSums> step_partials_;
+  std::vector<double> traffic_partials_;  ///< DRAM traffic reduce scratch
   bool have_prev_levels_ = false;
   double budget_w_;
   std::size_t epoch_ = 0;

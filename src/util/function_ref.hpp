@@ -1,0 +1,50 @@
+// Non-owning, non-allocating callable reference (a trimmed-down
+// std::function_ref from C++26). Two words: an opaque object pointer and a
+// trampoline. Unlike std::function it never heap-allocates, which keeps
+// per-epoch hot paths (ThreadPool jobs, the DRAM fixed-point closure)
+// allocation-free regardless of capture size.
+//
+// Lifetime rule: FunctionRef does not extend the referenced callable's
+// lifetime. It is safe to bind a temporary lambda at a call site that
+// invokes it synchronously (the temporary lives until the end of the full
+// expression), but never store a FunctionRef beyond the callable's scope.
+#pragma once
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace odrl::util {
+
+template <typename Signature>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  constexpr FunctionRef() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  FunctionRef(F&& callable)  // NOLINT(google-explicit-constructor)
+      : obj_(const_cast<void*>(
+            static_cast<const void*>(std::addressof(callable)))),
+        call_([](void* obj, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<F>*>(obj))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const {
+    return call_(obj_, std::forward<Args>(args)...);
+  }
+
+  explicit operator bool() const { return call_ != nullptr; }
+
+ private:
+  void* obj_ = nullptr;
+  R (*call_)(void*, Args...) = nullptr;
+};
+
+}  // namespace odrl::util

@@ -44,7 +44,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::parallel_for(
     std::size_t n, std::size_t grain,
-    const std::function<void(std::size_t, std::size_t)>& body) {
+    FunctionRef<void(std::size_t, std::size_t)> body) {
   if (n == 0) return;
   const std::size_t g = std::max<std::size_t>(grain, 1);
   const std::size_t n_chunks = (n + g - 1) / g;
@@ -63,7 +63,7 @@ void ThreadPool::parallel_for(
     // Stragglers from the previous job may still hold the job slot; wait
     // until every worker has left claim_chunks before rewriting it.
     idle_cv_.wait(lock, [&] { return active_workers_ == 0; });
-    job_body_ = &body;
+    job_body_ = body;
     job_n_ = n;
     job_grain_ = g;
     job_chunks_ = n_chunks;
@@ -110,8 +110,7 @@ void ThreadPool::claim_chunks() {
     const std::size_t c = next_chunk_.fetch_add(1, std::memory_order_relaxed);
     if (c >= job_chunks_) return;
     try {
-      (*job_body_)(c * job_grain_,
-                   std::min(job_n_, (c + 1) * job_grain_));
+      job_body_(c * job_grain_, std::min(job_n_, (c + 1) * job_grain_));
     } catch (...) {
       std::lock_guard<std::mutex> lock(mutex_);
       if (!error_) error_ = std::current_exception();

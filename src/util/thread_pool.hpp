@@ -19,10 +19,11 @@
 #include <cstddef>
 #include <cstdint>
 #include <exception>
-#include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/function_ref.hpp"
 
 namespace odrl::util {
 
@@ -49,23 +50,39 @@ class ThreadPool {
   /// participates and returns only when every chunk finished. The first
   /// exception thrown by a chunk is rethrown here (remaining chunks still
   /// run). `body` must not submit work to this same pool (no nesting).
+  /// The FunctionRef parameter keeps submission allocation-free: the
+  /// callable is borrowed for the duration of the (synchronous) call, never
+  /// copied into a std::function.
   void parallel_for(std::size_t n, std::size_t grain,
-                    const std::function<void(std::size_t, std::size_t)>& body);
+                    FunctionRef<void(std::size_t, std::size_t)> body);
 
   /// Chunked map/reduce: acc = combine(acc, map(chunk)) folded serially in
   /// chunk order, starting from `identity`. Because the fold order is a
   /// pure function of (n, grain), the result is bit-identical for any
-  /// thread count.
+  /// thread count. This overload allocates a partials vector per call; hot
+  /// loops should pass a reusable scratch buffer to the overload below.
   template <typename T, typename Map, typename Combine>
   T parallel_reduce(std::size_t n, std::size_t grain, T identity, Map&& map,
                     Combine&& combine) {
+    std::vector<T> partials;
+    return parallel_reduce(n, grain, std::move(identity),
+                           std::forward<Map>(map),
+                           std::forward<Combine>(combine), partials);
+  }
+
+  /// Scratch-buffer variant: `partials` is resized (capacity reused) to one
+  /// slot per chunk, so a warmed-up caller performs zero heap allocations.
+  template <typename T, typename Map, typename Combine>
+  T parallel_reduce(std::size_t n, std::size_t grain, T identity, Map&& map,
+                    Combine&& combine, std::vector<T>& partials) {
     if (n == 0) return identity;
     const std::size_t g = grain == 0 ? 1 : grain;
     const std::size_t n_chunks = (n + g - 1) / g;
-    std::vector<T> partials(n_chunks, identity);
-    parallel_for(n, g, [&](std::size_t begin, std::size_t end) {
+    partials.assign(n_chunks, identity);
+    auto body = [&](std::size_t begin, std::size_t end) {
       partials[begin / g] = map(begin, end);
-    });
+    };
+    parallel_for(n, g, body);
     T acc = identity;
     for (const T& partial : partials) acc = combine(acc, partial);
     return acc;
@@ -87,7 +104,7 @@ class ThreadPool {
   std::condition_variable work_cv_;  ///< wakes workers on a new job / stop
   std::condition_variable done_cv_;  ///< wakes the submitter on completion
   std::condition_variable idle_cv_;  ///< signals all workers left a job
-  const std::function<void(std::size_t, std::size_t)>* job_body_ = nullptr;
+  FunctionRef<void(std::size_t, std::size_t)> job_body_;
   std::size_t job_n_ = 0;
   std::size_t job_grain_ = 1;
   std::size_t job_chunks_ = 0;

@@ -65,13 +65,12 @@ GeneratedWorkload GeneratedWorkload::mixed_suite(std::size_t n_cores,
   return GeneratedWorkload(n_cores, benchmark_suite(), seed);
 }
 
-std::vector<PhaseSample> GeneratedWorkload::step() {
-  std::vector<PhaseSample> out;
-  out.reserve(machines_.size());
+std::span<const PhaseSample> GeneratedWorkload::step() {
+  scratch_.resize(machines_.size());
   for (std::size_t i = 0; i < machines_.size(); ++i) {
-    out.push_back(machines_[i].step(rngs_[i]));
+    scratch_[i] = machines_[i].step(rngs_[i]);
   }
-  return out;
+  return scratch_;
 }
 
 std::string GeneratedWorkload::core_label(std::size_t core) const {
@@ -83,7 +82,11 @@ std::string GeneratedWorkload::core_label(std::size_t core) const {
 
 RecordedTrace GeneratedWorkload::record(std::size_t n_epochs) {
   RecordedTrace trace(n_cores(), labels_);
-  for (std::size_t e = 0; e < n_epochs; ++e) trace.append_epoch(step());
+  for (std::size_t e = 0; e < n_epochs; ++e) {
+    const std::span<const PhaseSample> samples = step();
+    trace.append_epoch(std::vector<PhaseSample>(samples.begin(),
+                                                samples.end()));
+  }
   return trace;
 }
 
@@ -94,8 +97,8 @@ ReplayWorkload::ReplayWorkload(RecordedTrace trace)
   }
 }
 
-std::vector<PhaseSample> ReplayWorkload::step() {
-  const auto& samples = trace_.epoch(cursor_);
+std::span<const PhaseSample> ReplayWorkload::step() {
+  const std::vector<PhaseSample>& samples = trace_.epoch(cursor_);
   cursor_ = (cursor_ + 1) % trace_.n_epochs();
   return samples;
 }

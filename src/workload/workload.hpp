@@ -10,6 +10,7 @@
 
 #include <cstddef>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -25,8 +26,12 @@ class Workload {
  public:
   virtual ~Workload() = default;
   virtual std::size_t n_cores() const = 0;
-  /// Advances one epoch; element i is core i's phase parameters.
-  virtual std::vector<PhaseSample> step() = 0;
+  /// Advances one epoch; element i is core i's phase parameters. The span
+  /// points at storage owned by the workload (a scratch buffer or the
+  /// backing trace) and stays valid until the next step() call -- callers
+  /// that need the samples longer must copy. Returning a view instead of a
+  /// fresh vector keeps the per-epoch hot path allocation-free.
+  virtual std::span<const PhaseSample> step() = 0;
   /// Human-readable label of what core i is running.
   virtual std::string core_label(std::size_t core) const = 0;
 };
@@ -66,7 +71,7 @@ class GeneratedWorkload final : public Workload {
                                        std::uint64_t seed);
 
   std::size_t n_cores() const override { return machines_.size(); }
-  std::vector<PhaseSample> step() override;
+  std::span<const PhaseSample> step() override;
   std::string core_label(std::size_t core) const override;
 
   /// Runs the generator for n_epochs and materializes a trace (the
@@ -77,6 +82,7 @@ class GeneratedWorkload final : public Workload {
   std::vector<PhaseMachine> machines_;
   std::vector<util::Rng> rngs_;
   std::vector<std::string> labels_;
+  std::vector<PhaseSample> scratch_;  ///< reused step() output buffer
 };
 
 /// Replays a RecordedTrace; wraps around at the end so controllers can run
@@ -86,7 +92,7 @@ class ReplayWorkload final : public Workload {
   explicit ReplayWorkload(RecordedTrace trace);
 
   std::size_t n_cores() const override { return trace_.n_cores(); }
-  std::vector<PhaseSample> step() override;
+  std::span<const PhaseSample> step() override;
   std::string core_label(std::size_t core) const override;
   void rewind() { cursor_ = 0; }
   std::size_t cursor() const { return cursor_; }

@@ -1,0 +1,287 @@
+// Allocation contract and in-place-API equivalence.
+//
+// PR 3's data-path refactor promises two things this file pins down:
+//
+//  1. The steady-state epoch loop (step_into + decide_into, telemetry off)
+//     performs ZERO heap allocations once every scratch buffer has reached
+//     its working capacity. Verified with a counting global operator new.
+//  2. The in-place entry points are bit-identical to the allocating
+//     wrappers they replaced: step() vs step_into() and decide() vs
+//     decide_into() must produce the same bits at any thread count.
+//
+// The counting operator new replaces the global one for this whole test
+// binary; gtest and setup code allocate freely, so every assertion reads a
+// *delta* of the counter around the region under test.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "arch/chip_config.hpp"
+#include "core/odrl_controller.hpp"
+#include "sim/controller_registry.hpp"
+#include "sim/runner.hpp"
+#include "sim/system.hpp"
+#include "workload/workload.hpp"
+
+namespace {
+std::atomic<std::size_t> g_new_calls{0};
+}  // namespace
+
+// -- Counting global allocator -------------------------------------------
+// Every replaceable form is provided so no allocation sneaks through a
+// default aligned/array overload that bypasses the counter.
+
+void* operator new(std::size_t n) {
+  g_new_calls.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void* operator new(std::size_t n, std::align_val_t al) {
+  g_new_calls.fetch_add(1, std::memory_order_relaxed);
+  void* p = nullptr;
+  const std::size_t align =
+      std::max(static_cast<std::size_t>(al), sizeof(void*));
+  if (posix_memalign(&p, align, n ? n : 1) != 0) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t n, std::align_val_t al) {
+  return ::operator new(n, al);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+using namespace odrl;
+
+namespace {
+
+constexpr std::size_t kCores = 16;
+constexpr std::size_t kWarmupEpochs = 64;
+constexpr std::size_t kMeasuredEpochs = 128;
+
+arch::ChipConfig chip() { return arch::ChipConfig::make(kCores, 0.6); }
+
+workload::RecordedTrace shared_trace() {
+  workload::GeneratedWorkload gen =
+      workload::GeneratedWorkload::mixed_suite(kCores, 42);
+  return gen.record(512);
+}
+
+sim::ManyCoreSystem make_system(const arch::ChipConfig& c,
+                                std::size_t threads) {
+  sim::SimConfig sc;
+  sc.seed = 7;
+  sc.threads = threads;
+  static const workload::RecordedTrace trace = shared_trace();
+  return sim::ManyCoreSystem(
+      c, std::make_unique<workload::ReplayWorkload>(trace), sc);
+}
+
+// -- 1. Zero steady-state allocations ------------------------------------
+
+class SteadyStateAllocs
+    : public ::testing::TestWithParam<std::tuple<std::string, std::size_t>> {
+};
+
+TEST_P(SteadyStateAllocs, EpochLoopIsAllocationFree) {
+  const auto& [name, threads] = GetParam();
+  const arch::ChipConfig c = chip();
+  sim::ManyCoreSystem sys = make_system(c, threads);
+  auto ctl = sim::make_controller(name, c);
+  ctl->set_threads(threads);
+
+  std::vector<std::size_t> levels = ctl->initial_levels(kCores);
+  std::vector<std::size_t> next(kCores, 0);
+  sim::EpochResult obs;
+
+  // Warmup: every scratch buffer (SoA columns, reduce partials, predictor
+  // tables, DP rows, realloc scratch, workload sample buffer) grows to its
+  // steady capacity here.
+  for (std::size_t e = 0; e < kWarmupEpochs; ++e) {
+    sys.step_into(levels, obs);
+    ctl->decide_into(obs, next);
+    levels.swap(next);
+  }
+
+  const std::size_t before = g_new_calls.load(std::memory_order_relaxed);
+  for (std::size_t e = 0; e < kMeasuredEpochs; ++e) {
+    sys.step_into(levels, obs);
+    ctl->decide_into(obs, next);
+    levels.swap(next);
+  }
+  const std::size_t after = g_new_calls.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u)
+      << name << " with " << threads
+      << " thread(s) allocated in the steady-state loop";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllControllers, SteadyStateAllocs,
+    ::testing::Combine(::testing::Values("OD-RL", "PID", "Greedy", "MaxBIPS",
+                                         "Static"),
+                       ::testing::Values(std::size_t{1}, std::size_t{4})),
+    [](const auto& info) {
+      std::string name = std::get<0>(info.param);
+      for (char& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      return name + "_t" + std::to_string(std::get<1>(info.param));
+    });
+
+// The full closed loop (runner included) must also be allocation-free per
+// epoch. run_closed_loop allocates during setup, so compare two otherwise
+// identical runs that differ only in epoch count: the longer run must not
+// allocate a single extra block.
+TEST(SteadyStateAllocs, ClosedLoopEpochsAreAllocationFree) {
+  const arch::ChipConfig c = chip();
+  auto run_and_count = [&](std::size_t epochs) {
+    sim::ManyCoreSystem sys = make_system(c, 4);
+    core::OdrlController ctl(c);
+    sim::RunConfig rc;
+    rc.warmup_epochs = 32;
+    rc.epochs = epochs;
+    rc.keep_traces = false;
+    const std::size_t before = g_new_calls.load(std::memory_order_relaxed);
+    (void)sim::run_closed_loop(sys, ctl, rc);
+    return g_new_calls.load(std::memory_order_relaxed) - before;
+  };
+  const std::size_t short_run = run_and_count(64);
+  const std::size_t long_run = run_and_count(192);
+  EXPECT_EQ(long_run, short_run)
+      << "extra epochs allocated (per-epoch leak in the closed loop)";
+}
+
+// -- 2. Bit-identity of the in-place entry points ------------------------
+
+void expect_epochs_identical(const sim::EpochResult& a,
+                             const sim::EpochResult& b) {
+  ASSERT_EQ(a.cores.size(), b.cores.size());
+  EXPECT_EQ(a.epoch, b.epoch);
+  EXPECT_EQ(a.epoch_s, b.epoch_s);
+  EXPECT_EQ(a.budget_w, b.budget_w);
+  EXPECT_EQ(a.chip_power_w, b.chip_power_w);
+  EXPECT_EQ(a.true_chip_power_w, b.true_chip_power_w);
+  EXPECT_EQ(a.total_ips, b.total_ips);
+  EXPECT_EQ(a.max_temp_c, b.max_temp_c);
+  EXPECT_EQ(a.thermal_violations, b.thermal_violations);
+  EXPECT_EQ(a.mem_latency_mult, b.mem_latency_mult);
+  EXPECT_EQ(a.dram_utilization, b.dram_utilization);
+  for (std::size_t i = 0; i < a.cores.size(); ++i) {
+    EXPECT_EQ(a.cores.level()[i], b.cores.level()[i]);
+    EXPECT_EQ(a.cores.ips()[i], b.cores.ips()[i]);
+    EXPECT_EQ(a.cores.instructions()[i], b.cores.instructions()[i]);
+    EXPECT_EQ(a.cores.power_w()[i], b.cores.power_w()[i]);
+    EXPECT_EQ(a.cores.true_power_w()[i], b.cores.true_power_w()[i]);
+    EXPECT_EQ(a.cores.mem_stall_frac()[i], b.cores.mem_stall_frac()[i]);
+    EXPECT_EQ(a.cores.temp_c()[i], b.cores.temp_c()[i]);
+  }
+}
+
+class InPlaceBitIdentity : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(InPlaceBitIdentity, StepIntoMatchesStep) {
+  const std::size_t threads = GetParam();
+  const arch::ChipConfig c = chip();
+  sim::ManyCoreSystem via_step = make_system(c, threads);
+  sim::ManyCoreSystem via_into = make_system(c, threads);
+  const std::size_t n_levels = c.vf_table().size();
+
+  std::vector<std::size_t> levels(kCores, 0);
+  sim::EpochResult reused;
+  for (std::size_t e = 0; e < 100; ++e) {
+    for (std::size_t i = 0; i < kCores; ++i) {
+      levels[i] = (e + i) % n_levels;  // exercise switch costs too
+    }
+    const sim::EpochResult fresh = via_step.step(levels);
+    via_into.step_into(levels, reused);
+    expect_epochs_identical(fresh, reused);
+  }
+}
+
+TEST_P(InPlaceBitIdentity, DecideIntoMatchesDecide) {
+  const std::size_t threads = GetParam();
+  const arch::ChipConfig c = chip();
+  for (const char* name : {"OD-RL", "PID", "Greedy", "MaxBIPS", "Static"}) {
+    sim::ManyCoreSystem sys_a = make_system(c, threads);
+    sim::ManyCoreSystem sys_b = make_system(c, threads);
+    auto ctl_a = sim::make_controller(name, c);
+    auto ctl_b = sim::make_controller(name, c);
+    ctl_a->set_threads(threads);
+    ctl_b->set_threads(threads);
+
+    std::vector<std::size_t> levels_a = ctl_a->initial_levels(kCores);
+    std::vector<std::size_t> levels_b = ctl_b->initial_levels(kCores);
+    std::vector<std::size_t> out_b(kCores, 0);
+    sim::EpochResult obs_b;
+    for (std::size_t e = 0; e < 100; ++e) {
+      const sim::EpochResult obs_a = sys_a.step(levels_a);
+      levels_a = ctl_a->decide(obs_a);
+      sys_b.step_into(levels_b, obs_b);
+      ctl_b->decide_into(obs_b, out_b);
+      levels_b.swap(out_b);
+      ASSERT_EQ(levels_a, levels_b) << name << " diverged at epoch " << e;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, InPlaceBitIdentity,
+                         ::testing::Values(std::size_t{1}, std::size_t{4}),
+                         [](const auto& info) {
+                           return "t" + std::to_string(info.param);
+                         });
+
+// -- 3. Legacy bridge ----------------------------------------------------
+
+class DecideOnlyController final : public sim::Controller {
+ public:
+  std::string name() const override { return "decide-only"; }
+  std::vector<std::size_t> initial_levels(std::size_t n_cores) override {
+    return std::vector<std::size_t>(n_cores, 1);
+  }
+  std::vector<std::size_t> decide(const sim::EpochResult& obs) override {
+    return std::vector<std::size_t>(obs.n_cores(), 2);
+  }
+};
+
+class OverridesNeitherController final : public sim::Controller {
+ public:
+  std::string name() const override { return "neither"; }
+  std::vector<std::size_t> initial_levels(std::size_t n_cores) override {
+    return std::vector<std::size_t>(n_cores, 0);
+  }
+};
+
+TEST(LegacyBridge, DecideOnlyControllerWorksThroughDecideInto) {
+  sim::EpochResult obs;
+  obs.cores.resize(4);
+  DecideOnlyController ctl;
+  std::vector<std::size_t> out(4, 0);
+  ctl.decide_into(obs, out);
+  EXPECT_EQ(out, std::vector<std::size_t>(4, 2));
+}
+
+TEST(LegacyBridge, OverridingNeitherEntryPointThrows) {
+  sim::EpochResult obs;
+  obs.cores.resize(4);
+  OverridesNeitherController ctl;
+  std::vector<std::size_t> out(4, 0);
+  EXPECT_THROW(ctl.decide_into(obs, out), std::logic_error);
+  EXPECT_THROW(ctl.decide(obs), std::logic_error);
+}
+
+}  // namespace

@@ -4,6 +4,7 @@
 // level on a sensor glitch would hang real silicon.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 
 #include "arch/chip_config.hpp"
@@ -31,7 +32,7 @@ sim::EpochResult zeroed_observation(const arch::ChipConfig& c) {
   obs.epoch_s = 1e-3;
   obs.budget_w = c.tdp_w();
   obs.cores.resize(kCores);
-  for (auto& core : obs.cores) core.level = 3;
+  std::ranges::fill(obs.cores.level(), std::size_t{3});
   return obs;
 }
 
@@ -44,13 +45,11 @@ sim::EpochResult saturated_observation(const arch::ChipConfig& c) {
   obs.chip_power_w = 1e6;
   obs.true_chip_power_w = 1e6;
   obs.cores.resize(kCores);
-  for (auto& core : obs.cores) {
-    core.level = 7;
-    core.ips = 1e15;
-    core.power_w = 1e5;
-    core.mem_stall_frac = 1.0;
-    core.temp_c = 150.0;
-  }
+  std::ranges::fill(obs.cores.level(), std::size_t{7});
+  std::ranges::fill(obs.cores.ips(), 1e15);
+  std::ranges::fill(obs.cores.power_w(), 1e5);
+  std::ranges::fill(obs.cores.mem_stall_frac(), 1.0);
+  std::ranges::fill(obs.cores.temp_c(), 150.0);
   return obs;
 }
 
