@@ -80,10 +80,10 @@ class ChipConfig {
   /// corresponds to fractions well below 1.
   static ChipConfig make(std::size_t n_cores, double budget_fraction = 0.6);
 
-  std::size_t n_cores() const { return n_cores_; }
+  std::size_t n_cores() const noexcept { return n_cores_; }
   const VfTable& vf_table() const { return vf_table_; }
   const Mesh& mesh() const { return mesh_; }
-  double tdp_w() const { return tdp_w_; }
+  double tdp_w() const noexcept { return tdp_w_; }
   const CoreParams& core() const { return core_; }
   const ThermalParams& thermal() const { return thermal_; }
 

@@ -37,7 +37,7 @@ class VfTable {
   /// Default 8-level table: 1.0-3.0 GHz, 0.70-1.10 V (45nm-class part).
   static VfTable default_table();
 
-  std::size_t size() const { return points_.size(); }
+  std::size_t size() const noexcept { return points_.size(); }
   const VfPoint& operator[](std::size_t level) const;
   const VfPoint& at(std::size_t level) const;
   std::span<const VfPoint> points() const { return points_; }

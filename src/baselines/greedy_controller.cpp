@@ -5,7 +5,9 @@
 #include <stdexcept>
 
 #include "sim/controller_registry.hpp"
+#include "sim/validate.hpp"
 #include "telemetry/recorder.hpp"
+#include "util/check.hpp"
 
 namespace odrl::baselines {
 
@@ -26,6 +28,7 @@ std::vector<std::size_t> GreedyController::initial_levels(
 
 void GreedyController::decide_into(const sim::EpochResult& obs,
                                    std::span<std::size_t> out) {
+  ODRL_VALIDATE(sim::validate_out_span(obs, out));
   const std::size_t n = obs.cores.size();
   const std::size_t n_levels = predictor_.vf_table().size();
   const double budget = fill_target_ * obs.budget_w;

@@ -7,6 +7,8 @@
 #include <stdexcept>
 
 #include "sim/controller_registry.hpp"
+#include "sim/validate.hpp"
+#include "util/check.hpp"
 
 namespace odrl::baselines {
 
@@ -39,6 +41,7 @@ std::vector<std::size_t> MaxBipsController::initial_levels(
 
 void MaxBipsController::decide_into(const sim::EpochResult& obs,
                                     std::span<std::size_t> out) {
+  ODRL_VALIDATE(sim::validate_out_span(obs, out));
   const std::size_t n = obs.cores.size();
   const std::size_t n_levels = predictor_.vf_table().size();
   pred_.resize(n * n_levels);

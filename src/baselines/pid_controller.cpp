@@ -5,7 +5,9 @@
 #include <memory>
 
 #include "sim/controller_registry.hpp"
+#include "sim/validate.hpp"
 #include "telemetry/recorder.hpp"
+#include "util/check.hpp"
 
 namespace odrl::baselines {
 
@@ -24,6 +26,7 @@ std::vector<std::size_t> PidController::initial_levels(std::size_t n_cores) {
 
 void PidController::decide_into(const sim::EpochResult& obs,
                                 std::span<std::size_t> out) {
+  ODRL_VALIDATE(sim::validate_out_span(obs, out));
   // Positive error = headroom available, push frequency up.
   const double error = (obs.budget_w - obs.chip_power_w) / obs.budget_w;
 

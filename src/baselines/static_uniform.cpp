@@ -4,6 +4,8 @@
 #include <memory>
 
 #include "sim/controller_registry.hpp"
+#include "sim/validate.hpp"
+#include "util/check.hpp"
 
 namespace odrl::baselines {
 
@@ -34,8 +36,10 @@ std::vector<std::size_t> StaticUniformController::initial_levels(
   return std::vector<std::size_t>(n_cores, level_);
 }
 
-void StaticUniformController::decide_into(const sim::EpochResult& /*obs*/,
+void StaticUniformController::decide_into(const sim::EpochResult& obs,
                                           std::span<std::size_t> out) {
+  ODRL_VALIDATE(sim::validate_out_span(obs, out));
+  (void)obs;  // only the contract reads the observation
   std::fill(out.begin(), out.end(), level_);
 }
 

@@ -4,6 +4,9 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "sim/validate.hpp"
+#include "util/check.hpp"
+
 namespace odrl::core {
 
 void ReallocConfig::validate() const {
@@ -95,6 +98,10 @@ void reallocate_budget_into(std::span<const CoreDemand> demands,
   const double sum = std::accumulate(out.begin(), out.end(), 0.0);
   const double scale = chip_budget_w / sum;
   for (double& b : out) b *= scale;
+
+  // Post-condition: the partition is positive everywhere and sums to the
+  // chip budget (the paper's overshoot claims rest on this conservation).
+  ODRL_VALIDATE(sim::validate_budget_partition(out, chip_budget_w));
 }
 
 std::vector<double> reallocate_budget(std::span<const CoreDemand> demands,

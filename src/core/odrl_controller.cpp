@@ -9,7 +9,9 @@
 
 #include "rl/qtable_io.hpp"
 #include "sim/controller_registry.hpp"
+#include "sim/validate.hpp"
 #include "telemetry/recorder.hpp"
+#include "util/check.hpp"
 
 namespace odrl::core {
 
@@ -189,6 +191,9 @@ void OdrlController::decide_into(const sim::EpochResult& obs,
   if (obs.cores.size() != n_cores_ || out.size() != n_cores_) {
     throw std::invalid_argument("OdrlController::decide: size mismatch");
   }
+  // Contract: the out-span we are about to fill from the sharded TD loop
+  // must not alias the observation columns that same loop reads.
+  ODRL_VALIDATE(sim::validate_out_span(obs, out));
 
   // Track budget moved by the runner (power-cap events reach us through
   // on_budget_change, but the observation carries it too; trust the obs).
@@ -230,12 +235,27 @@ void OdrlController::decide_into(const sim::EpochResult& obs,
     realloc_target_.resize(n_cores_);
     reallocate_budget_into(demands_, mu_ * chip_budget_w_, config_.realloc,
                            realloc_target_, realloc_scratch_);
+    // Contract: reallocation conserves watts -- the target partition sums
+    // to the virtual chip budget and every share is positive.
+    ODRL_VALIDATE(
+        sim::validate_budget_partition(realloc_target_, mu_ * chip_budget_w_));
     // Damped move toward the target keeps per-core caps quasi-stationary.
     const double beta = config_.budget_blend;
     for (std::size_t i = 0; i < n_cores_; ++i) {
       budgets_[i] = (1.0 - beta) * budgets_[i] + beta * realloc_target_[i];
     }
     ++realloc_count_;
+
+    // Contract: no agent's table has been poisoned by a non-finite TD
+    // update since the last coarse-grain move (checked at the realloc
+    // cadence -- a full table scan per epoch would dominate checked runs).
+#ifdef ODRL_CHECKED
+    for (std::size_t i = 0; i < n_cores_; ++i) {
+      ODRL_CHECK(agents_[i].table().all_finite(),
+                 "non-finite Q-value in core " + std::to_string(i) +
+                     "'s table");
+    }
+#endif
 
     // Telemetry: one event per coarse-grain move, carrying the
     // controller-internal signals (mu, mean reward, exploration rate, the

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "sim/validate.hpp"
+#include "util/check.hpp"
+
 namespace odrl::core {
 
 VfiAdapter::VfiAdapter(arch::VfiPartition partition,
@@ -106,6 +109,11 @@ void VfiAdapter::decide_into(const sim::EpochResult& obs,
   if (obs.cores.size() != partition_.n_cores()) {
     throw std::invalid_argument("VfiAdapter::decide: size mismatch");
   }
+  // Contract: the per-core out-span must be well-shaped and must not alias
+  // the observation block expand_into() still reads from (via island_obs_,
+  // which borrows nothing, but the caller's obs columns must stay intact
+  // for the runner's post-decide accounting).
+  ODRL_VALIDATE(sim::validate_out_span(obs, out));
   aggregate_into(obs);
   island_levels_.resize(partition_.n_islands());
   inner_->decide_into(island_obs_, island_levels_);

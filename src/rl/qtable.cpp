@@ -1,6 +1,7 @@
 #include "rl/qtable.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 namespace odrl::rl {
@@ -79,14 +80,19 @@ std::size_t QTable::state_visits(std::size_t state) const {
   return sum;
 }
 
-std::size_t QTable::coverage() const {
+std::size_t QTable::coverage() const noexcept {
   return static_cast<std::size_t>(
       std::count_if(visits_.begin(), visits_.end(),
                     [](std::uint32_t v) { return v > 0; }));
 }
 
-void QTable::fill(double value) {
+void QTable::fill(double value) noexcept {
   std::fill(q_.begin(), q_.end(), value);
+}
+
+bool QTable::all_finite() const noexcept {
+  return std::all_of(q_.begin(), q_.end(),
+                     [](double v) { return std::isfinite(v); });
 }
 
 }  // namespace odrl::rl

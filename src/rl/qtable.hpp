@@ -14,8 +14,8 @@ class QTable {
  public:
   QTable(std::size_t n_states, std::size_t n_actions, double init_q = 0.0);
 
-  std::size_t n_states() const { return n_states_; }
-  std::size_t n_actions() const { return n_actions_; }
+  std::size_t n_states() const noexcept { return n_states_; }
+  std::size_t n_actions() const noexcept { return n_actions_; }
 
   double q(std::size_t state, std::size_t action) const;
   void set_q(std::size_t state, std::size_t action, double value);
@@ -36,9 +36,16 @@ class QTable {
   std::size_t visits(std::size_t state, std::size_t action) const;
   std::size_t state_visits(std::size_t state) const;
   /// Number of (state, action) pairs visited at least once.
-  std::size_t coverage() const;
+  std::size_t coverage() const noexcept;
 
-  void fill(double value);
+  void fill(double value) noexcept;
+
+  /// True when every stored action value is finite. A NaN/inf Q-value is a
+  /// poisoned bootstrap: it spreads through every TD update that touches
+  /// the row and silently corrupts the policy, so the ODRL_CHECK contract
+  /// layer asserts this at every coarse-grain reallocation and on policy
+  /// load. Allocation-free (a single scan).
+  bool all_finite() const noexcept;
 
  private:
   std::size_t index(std::size_t state, std::size_t action) const;

@@ -1,12 +1,12 @@
 #include "rl/qtable_io.hpp"
 
 #include <charconv>
+#include <cmath>
 #include <fstream>
-#include <system_error>
 #include <limits>
-#include <sstream>
 #include <stdexcept>
 #include <string>
+#include <system_error>
 
 namespace odrl::rl {
 
@@ -64,6 +64,13 @@ QTable load_qtable(std::istream& in) {
       if (!(in >> q)) {
         throw std::runtime_error("load_qtable: truncated q row");
       }
+      // A NaN/inf action value would poison every TD bootstrap that reads
+      // it (the same invariant QTable::all_finite guards on the hot path),
+      // so a corrupt policy file must be rejected at the door.
+      if (!std::isfinite(q)) {
+        throw std::runtime_error("load_qtable: non-finite q value in state " +
+                                 std::to_string(s));
+      }
       table.set_q(s, a, q);
     }
     if (!(in >> tag) || tag != "v") {
@@ -86,6 +93,12 @@ void save_qtable_file(const QTable& table, const std::string& path) {
   std::ofstream out(path);
   if (!out) throw std::runtime_error("save_qtable_file: cannot open " + path);
   save_qtable(table, out);
+  // Flush before the destructor would swallow the error: a full disk must
+  // surface here, not as a silently truncated policy file.
+  out.flush();
+  if (!out) {
+    throw std::runtime_error("save_qtable_file: write failed for " + path);
+  }
 }
 
 QTable load_qtable_file(const std::string& path) {

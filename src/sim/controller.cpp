@@ -22,7 +22,9 @@ void Controller::decide_into(const EpochResult& obs,
   }
   bridging_ = true;
   BridgeGuard guard{&bridging_};
-  const std::vector<std::size_t> levels = decide(obs);
+  // The deprecated decide() bridge allocates by definition of the legacy
+  // API -- that is exactly why out-of-tree controllers should migrate.
+  const auto levels = decide(obs);  // lint: allow(heap-in-hot-path): bridge
   if (levels.size() != out.size()) {
     throw std::logic_error("Controller '" + name() +
                            "': decide() returned wrong level count");

@@ -38,8 +38,8 @@ struct CoreObservation {
 /// but writes must go through the spans or `set()`.
 class CoreSamples {
  public:
-  std::size_t size() const { return level_.size(); }
-  bool empty() const { return level_.empty(); }
+  std::size_t size() const noexcept { return level_.size(); }
+  bool empty() const noexcept { return level_.empty(); }
 
   /// Grows or shrinks every column; new slots are value-initialized (zero).
   /// Shrinking then re-growing reuses capacity -- no steady-state
@@ -56,20 +56,26 @@ class CoreSamples {
 
   // Column accessors (mutable + const). Spans stay valid until the next
   // resize().
-  std::span<std::size_t> level() { return level_; }
-  std::span<const std::size_t> level() const { return level_; }
-  std::span<double> ips() { return ips_; }
-  std::span<const double> ips() const { return ips_; }
-  std::span<double> instructions() { return instructions_; }
-  std::span<const double> instructions() const { return instructions_; }
-  std::span<double> power_w() { return power_w_; }
-  std::span<const double> power_w() const { return power_w_; }
-  std::span<double> true_power_w() { return true_power_w_; }
-  std::span<const double> true_power_w() const { return true_power_w_; }
-  std::span<double> mem_stall_frac() { return mem_stall_frac_; }
-  std::span<const double> mem_stall_frac() const { return mem_stall_frac_; }
-  std::span<double> temp_c() { return temp_c_; }
-  std::span<const double> temp_c() const { return temp_c_; }
+  std::span<std::size_t> level() noexcept { return level_; }
+  std::span<const std::size_t> level() const noexcept { return level_; }
+  std::span<double> ips() noexcept { return ips_; }
+  std::span<const double> ips() const noexcept { return ips_; }
+  std::span<double> instructions() noexcept { return instructions_; }
+  std::span<const double> instructions() const noexcept {
+    return instructions_;
+  }
+  std::span<double> power_w() noexcept { return power_w_; }
+  std::span<const double> power_w() const noexcept { return power_w_; }
+  std::span<double> true_power_w() noexcept { return true_power_w_; }
+  std::span<const double> true_power_w() const noexcept {
+    return true_power_w_;
+  }
+  std::span<double> mem_stall_frac() noexcept { return mem_stall_frac_; }
+  std::span<const double> mem_stall_frac() const noexcept {
+    return mem_stall_frac_;
+  }
+  std::span<double> temp_c() noexcept { return temp_c_; }
+  std::span<const double> temp_c() const noexcept { return temp_c_; }
 
   /// Row snapshot (by value). Fine for cold paths and tests; hot loops
   /// should read the column spans instead.
@@ -150,6 +156,9 @@ struct EpochResult {
   double chip_power_w = 0.0;        ///< measured total chip power
   double true_chip_power_w = 0.0;   ///< noise-free power (metrics only;
                                     ///< controllers must not read this)
+  /// Chip IPS, summed from the *noise-free* per-core rates: the throughput
+  /// of record for traces and metrics. Under sensor noise this is NOT the
+  /// sum of the per-core `ips` column (which is measured, i.e. noisy).
   double total_ips = 0.0;
   double max_temp_c = 0.0;
   std::size_t thermal_violations = 0;
@@ -158,7 +167,7 @@ struct EpochResult {
   double dram_utilization = 0.0;
   CoreSamples cores;
 
-  std::size_t n_cores() const { return cores.size(); }
+  std::size_t n_cores() const noexcept { return cores.size(); }
   /// Row-snapshot proxy for ergonomic cold-path reads.
   CoreObservation core(std::size_t i) const { return cores[i]; }
 };

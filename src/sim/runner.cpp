@@ -5,6 +5,8 @@
 #include <stdexcept>
 
 #include "power/energy.hpp"
+#include "sim/validate.hpp"
+#include "util/check.hpp"
 
 namespace odrl::sim {
 
@@ -123,12 +125,20 @@ RunResult run_closed_loop(ManyCoreSystem& system, Controller& controller,
   EpochResult obs;
 
   // One epoch of the closed loop -- the single code path both the warmup
-  // and measured regions share; returns the decide_into() wall time.
+  // and measured regions share; returns the decide_into() wall time. The
+  // ODRL_CHECKED contracts bracket the controller boundary: the out-span
+  // must be well-shaped and non-aliasing going in, and every level the
+  // controller wrote must index the V/F table coming out -- caught here,
+  // one call before the system would fault on it.
+  [[maybe_unused]] const std::size_t n_levels =
+      system.config().vf_table().size();
   auto run_epoch = [&]() -> double {
     system.step_into(levels, obs);
+    ODRL_VALIDATE(validate_out_span(obs, next_levels));
     const auto t0 = Clock::now();
     controller.decide_into(obs, next_levels);
     const auto t1 = Clock::now();
+    ODRL_VALIDATE(validate_levels(next_levels, n_levels));
     levels.swap(next_levels);
     return std::chrono::duration<double>(t1 - t0).count();
   };

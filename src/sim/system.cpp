@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "sim/validate.hpp"
+#include "util/check.hpp"
+
 namespace odrl::sim {
 
 namespace {
@@ -118,6 +121,11 @@ void ManyCoreSystem::step_into(std::span<const std::size_t> levels,
       throw std::invalid_argument("ManyCoreSystem::step: level out of range");
     }
   }
+
+  // Contract: the borrowed levels span must not alias the SoA block we are
+  // about to overwrite -- e.g. step_into(out.cores.level(), out) reads
+  // levels the loop below has already clobbered.
+  ODRL_VALIDATE(validate_levels_disjoint(levels, out));
 
   const std::span<const workload::PhaseSample> samples = workload_->step();
 
@@ -251,6 +259,12 @@ void ManyCoreSystem::step_into(std::span<const std::size_t> levels,
   prev_levels_.assign(levels.begin(), levels.end());
   have_prev_levels_ = true;
   ++epoch_;
+
+  // Post-condition: the observation we hand to the controller satisfies
+  // every shape and physical invariant (power finite and >= 0, levels in
+  // the V/F table, SoA columns core-count long, chip sums consistent).
+  ODRL_VALIDATE(
+      validate_epoch(out, n, vf.size(), sim_.sensor_noise_rel > 0.0));
 }
 
 EpochResult ManyCoreSystem::step(std::span<const std::size_t> levels) {

@@ -89,11 +89,11 @@ class ManyCoreSystem {
 
   const arch::ChipConfig& config() const { return config_; }
   std::size_t n_cores() const { return config_.n_cores(); }
-  double epoch_s() const { return sim_.epoch_s; }
+  double epoch_s() const noexcept { return sim_.epoch_s; }
   std::size_t epochs_run() const { return epoch_; }
 
   /// Current chip budget; the runner moves this on power-cap events.
-  double budget_w() const { return budget_w_; }
+  double budget_w() const noexcept { return budget_w_; }
   void set_budget_w(double budget_w);
 
   /// Re-sizes the worker pool used by step() (1 = serial, 0 = hardware

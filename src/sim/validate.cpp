@@ -1,0 +1,215 @@
+#include "sim/validate.hpp"
+
+#include <cmath>
+#include <functional>
+#include <string>
+
+#include "util/check.hpp"
+
+namespace odrl::sim {
+
+namespace {
+
+/// Failure path only: formats and throws. Kept out-of-line so the success
+/// path of every validator is a pure scan with no allocations.
+[[noreturn]] void fail(const std::string& what) {
+  throw util::ContractViolation("contract violation: " + what);
+}
+
+[[noreturn]] void fail_core(const char* what, std::size_t core,
+                            double value) {
+  fail(std::string(what) + " at core " + std::to_string(core) + " (value " +
+       std::to_string(value) + ")");
+}
+
+bool finite(double v) { return std::isfinite(v); }
+
+/// Do the half-open byte ranges [a, a+an) and [b, b+bn) intersect?
+/// std::less gives the total pointer order the raw operators do not
+/// guarantee for unrelated objects.
+bool ranges_overlap(const void* a, std::size_t an, const void* b,
+                    std::size_t bn) {
+  if (an == 0 || bn == 0) return false;
+  const char* a0 = static_cast<const char*>(a);
+  const char* b0 = static_cast<const char*>(b);
+  const std::less<const char*> lt;
+  // Disjoint iff one range ends at or before the other begins.
+  const bool a_before_b = !lt(b0, a0 + an);  // a0 + an <= b0
+  const bool b_before_a = !lt(a0, b0 + bn);  // b0 + bn <= a0
+  return !(a_before_b || b_before_a);
+}
+
+/// Does the byte range [p, p + bytes) intersect any SoA column of `cores`?
+bool overlaps_soa_block(const void* p, std::size_t bytes,
+                        const CoreSamples& cores) {
+  return ranges_overlap(p, bytes, cores.level().data(),
+                        cores.level().size_bytes()) ||
+         ranges_overlap(p, bytes, cores.ips().data(),
+                        cores.ips().size_bytes()) ||
+         ranges_overlap(p, bytes, cores.instructions().data(),
+                        cores.instructions().size_bytes()) ||
+         ranges_overlap(p, bytes, cores.power_w().data(),
+                        cores.power_w().size_bytes()) ||
+         ranges_overlap(p, bytes, cores.true_power_w().data(),
+                        cores.true_power_w().size_bytes()) ||
+         ranges_overlap(p, bytes, cores.mem_stall_frac().data(),
+                        cores.mem_stall_frac().size_bytes()) ||
+         ranges_overlap(p, bytes, cores.temp_c().data(),
+                        cores.temp_c().size_bytes());
+}
+
+/// Relative closeness for watt/IPS conservation sums: the chip-level
+/// aggregate and a linear re-sum of the per-core column differ only by
+/// floating-point association order, never by more than a few ulps per
+/// term.
+bool sums_match(double aggregate, double linear_sum, double rel_tol) {
+  const double scale =
+      std::max({1.0, std::abs(aggregate), std::abs(linear_sum)});
+  return std::abs(aggregate - linear_sum) <= rel_tol * scale;
+}
+
+}  // namespace
+
+void validate_epoch(const EpochResult& obs, std::size_t n_cores,
+                    std::size_t n_levels, bool noisy_sensors) {
+  const CoreSamples& cores = obs.cores;
+  if (cores.size() != n_cores) {
+    fail("EpochResult core count " + std::to_string(cores.size()) +
+         " != chip core count " + std::to_string(n_cores));
+  }
+  // Every SoA column must be exactly core-count long -- a short column is
+  // an out-of-bounds read waiting in every downstream scan.
+  if (cores.level().size() != n_cores || cores.ips().size() != n_cores ||
+      cores.instructions().size() != n_cores ||
+      cores.power_w().size() != n_cores ||
+      cores.true_power_w().size() != n_cores ||
+      cores.mem_stall_frac().size() != n_cores ||
+      cores.temp_c().size() != n_cores) {
+    fail("EpochResult SoA columns have unequal lengths");
+  }
+  if (!finite(obs.epoch_s) || obs.epoch_s <= 0.0) {
+    fail("epoch_s must be finite and > 0");
+  }
+  if (!finite(obs.budget_w) || obs.budget_w <= 0.0) {
+    fail("budget_w must be finite and > 0");
+  }
+  if (!finite(obs.chip_power_w) || obs.chip_power_w < 0.0) {
+    fail("chip_power_w must be finite and >= 0");
+  }
+  if (!finite(obs.true_chip_power_w) || obs.true_chip_power_w < 0.0) {
+    fail("true_chip_power_w must be finite and >= 0");
+  }
+  if (!finite(obs.total_ips) || obs.total_ips < 0.0) {
+    fail("total_ips must be finite and >= 0");
+  }
+  if (!finite(obs.max_temp_c)) fail("max_temp_c must be finite");
+  if (!finite(obs.mem_latency_mult) || obs.mem_latency_mult < 1.0) {
+    fail("mem_latency_mult must be finite and >= 1");
+  }
+  if (!finite(obs.dram_utilization) || obs.dram_utilization < 0.0) {
+    fail("dram_utilization must be finite and >= 0");
+  }
+
+  const std::span<const std::size_t> level = cores.level();
+  const std::span<const double> ips = cores.ips();
+  const std::span<const double> instructions = cores.instructions();
+  const std::span<const double> power = cores.power_w();
+  const std::span<const double> true_power = cores.true_power_w();
+  const std::span<const double> stall = cores.mem_stall_frac();
+  const std::span<const double> temp = cores.temp_c();
+
+  double power_sum = 0.0;
+  double true_power_sum = 0.0;
+  double ips_sum = 0.0;
+  for (std::size_t i = 0; i < n_cores; ++i) {
+    if (level[i] >= n_levels) {
+      fail_core("level outside V/F table", i, static_cast<double>(level[i]));
+    }
+    if (!finite(power[i]) || power[i] < 0.0) {
+      fail_core("measured core power must be finite and >= 0", i, power[i]);
+    }
+    if (!finite(true_power[i]) || true_power[i] < 0.0) {
+      fail_core("true core power must be finite and >= 0", i, true_power[i]);
+    }
+    if (!finite(ips[i]) || ips[i] < 0.0) {
+      fail_core("core IPS must be finite and >= 0", i, ips[i]);
+    }
+    if (!finite(instructions[i]) || instructions[i] < 0.0) {
+      fail_core("core instructions must be finite and >= 0", i,
+                instructions[i]);
+    }
+    if (!finite(stall[i]) || stall[i] < 0.0 || stall[i] > 1.0) {
+      fail_core("mem_stall_frac must be in [0, 1]", i, stall[i]);
+    }
+    if (!finite(temp[i])) fail_core("core temperature must be finite", i,
+                                    temp[i]);
+    power_sum += power[i];
+    true_power_sum += true_power[i];
+    ips_sum += ips[i];
+  }
+
+  // Chip-level aggregates must be the sums of the per-core columns (the
+  // paper's budget-conservation claims are measured against these).
+  if (!sums_match(obs.chip_power_w, power_sum, kBudgetSumRelTol)) {
+    fail("chip_power_w does not equal the sum of per-core measured power");
+  }
+  if (!sums_match(obs.true_chip_power_w, true_power_sum, kBudgetSumRelTol)) {
+    fail("true_chip_power_w does not equal the sum of per-core true power");
+  }
+  // Under sensor noise the ips column is measured while total_ips is the
+  // noise-free aggregate, so the identity only holds for clean sensors.
+  if (!noisy_sensors && !sums_match(obs.total_ips, ips_sum, kBudgetSumRelTol)) {
+    fail("total_ips does not equal the sum of per-core IPS");
+  }
+}
+
+void validate_out_span(const EpochResult& obs,
+                       std::span<const std::size_t> out) {
+  if (out.size() != obs.n_cores()) {
+    fail("decide_into out-span size " + std::to_string(out.size()) +
+         " != core count " + std::to_string(obs.n_cores()));
+  }
+  if (overlaps_soa_block(out.data(), out.size_bytes(), obs.cores)) {
+    fail("decide_into out-span aliases the observation's SoA block");
+  }
+}
+
+void validate_levels_disjoint(std::span<const std::size_t> levels,
+                              const EpochResult& out) {
+  if (overlaps_soa_block(levels.data(), levels.size_bytes(), out.cores)) {
+    fail("step_into levels span aliases the output SoA block");
+  }
+}
+
+void validate_levels(std::span<const std::size_t> levels,
+                     std::size_t n_levels) {
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    if (levels[i] >= n_levels) {
+      fail("decided level " + std::to_string(levels[i]) + " at core " +
+           std::to_string(i) + " outside V/F table of size " +
+           std::to_string(n_levels));
+    }
+  }
+}
+
+void validate_budget_partition(std::span<const double> budgets,
+                               double total_w, double rel_tol) {
+  if (budgets.empty()) fail("budget partition is empty");
+  if (!finite(total_w) || total_w <= 0.0) {
+    fail("budget partition total must be finite and > 0");
+  }
+  double sum = 0.0;
+  for (std::size_t i = 0; i < budgets.size(); ++i) {
+    if (!finite(budgets[i]) || budgets[i] <= 0.0) {
+      fail_core("per-core budget must be finite and > 0", i, budgets[i]);
+    }
+    sum += budgets[i];
+  }
+  if (!sums_match(total_w, sum, rel_tol)) {
+    fail("budget partition sums to " + std::to_string(sum) +
+         " W, expected " + std::to_string(total_w) + " W (watts minted or "
+         "leaked by reallocation)");
+  }
+}
+
+}  // namespace odrl::sim

@@ -1,0 +1,72 @@
+// Contract validators for the span/SoA epoch data path.
+//
+// Each function encodes one physical or shape invariant of the control
+// loop and throws util::ContractViolation when it is violated:
+//
+//   validate_epoch            -- post-condition of ManyCoreSystem::step_into:
+//                                per-core power finite and >= 0, levels
+//                                inside the V/F table, SoA columns all core-
+//                                count long, chip sums consistent with the
+//                                per-core columns, temperatures/IPS finite.
+//   validate_out_span         -- pre-condition of Controller::decide_into:
+//                                the out-span is exactly core-count long and
+//                                does not alias the observation's SoA block
+//                                (a controller writing levels through a span
+//                                into its own input is the nastiest borrowed-
+//                                view bug this path enables).
+//   validate_levels           -- post-condition of Controller::decide_into:
+//                                every chosen level indexes the V/F table.
+//   validate_budget_partition -- post-condition of budget reallocation: all
+//                                per-core budgets positive and finite and
+//                                their sum equal to the chip budget within a
+//                                relative tolerance (watts are conserved --
+//                                reallocation must neither mint nor leak).
+//
+// The validators are *always compiled* (tests call them directly to prove
+// each one fires); whether the library's hot-path call sites invoke them is
+// decided per-TU by ODRL_CHECKED (see util/check.hpp). None of them
+// allocate on the success path.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "sim/observation.hpp"
+
+namespace odrl::sim {
+
+/// Default relative tolerance for watt-conservation checks.
+inline constexpr double kBudgetSumRelTol = 1e-6;
+
+/// Shape + physical invariants of a filled EpochResult (see file comment).
+/// `n_cores` is the chip's core count, `n_levels` the V/F table size.
+/// `noisy_sensors`: when true, the total_ips == sum(ips column) identity is
+/// skipped -- total_ips aggregates the noise-free rates while the column
+/// carries the measured (noisy) ones, so they legitimately differ (see
+/// EpochResult::total_ips). The power identities always hold: both chip
+/// power fields aggregate the same signal their columns carry.
+void validate_epoch(const EpochResult& obs, std::size_t n_cores,
+                    std::size_t n_levels, bool noisy_sensors = false);
+
+/// The decide_into out-span contract: size matches the observation and the
+/// span does not alias any column of the observation's SoA block.
+void validate_out_span(const EpochResult& obs,
+                       std::span<const std::size_t> out);
+
+/// Every level indexes the V/F table (post-decide contract).
+void validate_levels(std::span<const std::size_t> levels,
+                     std::size_t n_levels);
+
+/// The step_into input contract: the borrowed levels span must not alias
+/// the SoA block the step is about to overwrite (no size requirement --
+/// the output block may not be resized yet on a fresh EpochResult).
+void validate_levels_disjoint(std::span<const std::size_t> levels,
+                              const EpochResult& out);
+
+/// Budget-partition contract: every entry positive and finite, sum equal to
+/// `total_w` within `rel_tol` (relative).
+void validate_budget_partition(std::span<const double> budgets,
+                               double total_w,
+                               double rel_tol = kBudgetSumRelTol);
+
+}  // namespace odrl::sim

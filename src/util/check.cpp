@@ -1,0 +1,20 @@
+#include "util/check.hpp"
+
+namespace odrl::util {
+
+void check_fail(const char* expr, const char* file, int line,
+                const std::string& msg) {
+  throw ContractViolation(std::string("contract violation: ") + msg +
+                          " [" + expr + "] at " + file + ":" +
+                          std::to_string(line));
+}
+
+bool checks_enabled() noexcept {
+#ifdef ODRL_CHECKED
+  return true;
+#else
+  return false;
+#endif
+}
+
+}  // namespace odrl::util

@@ -1,0 +1,70 @@
+// ODRL_CHECK: compiled-in contracts for the span/SoA hot path.
+//
+// The zero-allocation epoch data path (DESIGN.md "Epoch data path") trades
+// a whole class of silent lifetime/aliasing/shape bugs for speed: borrowed
+// column spans, out-spans written in place, workload-owned storage. The
+// paper's own claims are invariant-shaped -- power non-negative, budgets
+// summing to the TDP, Q-values finite, levels inside the V/F table -- so
+// this header gives every boundary on that path a cheap, compiled-in
+// assertion language:
+//
+//   ODRL_CHECK(cond, msg)   -- assert a scalar contract; throws
+//                              util::ContractViolation on failure.
+//   ODRL_VALIDATE(expr)     -- evaluate a validator call (sim/validate.hpp)
+//                              for its contract side effects.
+//
+// Both expand to nothing unless the translation unit is compiled with
+// ODRL_CHECKED (CMake: -DODRL_CHECKED=ON; the default in Debug and in the
+// sanitizer CI jobs). A Release binary therefore pays zero overhead and
+// produces bit-identical RunResults -- contracts only observe, they never
+// compute anything the surrounding code reads. Validators themselves must
+// not allocate on the success path: the checked sanitizer builds still run
+// tests/alloc_test.cpp's zero-steady-state-allocation contract.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace odrl::util {
+
+/// Thrown when a compiled-in contract (ODRL_CHECK / a validator invoked
+/// via ODRL_VALIDATE) fails. Derives from std::logic_error: a contract
+/// violation is a programming error in a controller/model, not bad input.
+class ContractViolation : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Builds the diagnostic and throws ContractViolation. Out-of-line so the
+/// failure path (which allocates the message) stays off the hot path and
+/// the macro expansion stays small.
+[[noreturn]] void check_fail(const char* expr, const char* file, int line,
+                             const std::string& msg);
+
+/// Whether the *library* was compiled with contracts on. Tests use this to
+/// decide between "the seeded violation must throw" and "the run must sail
+/// through bit-identically" -- the test binary's own ODRL_CHECKED state
+/// may differ from the library's, so this must be an exported function,
+/// not a header constexpr.
+bool checks_enabled() noexcept;
+
+}  // namespace odrl::util
+
+#ifdef ODRL_CHECKED
+// NOLINTBEGIN(cppcoreguidelines-macro-usage) -- a contract macro must
+// capture #cond/__FILE__/__LINE__ and vanish per-TU; no function can.
+#define ODRL_CHECK(cond, msg)                                         \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::odrl::util::check_fail(#cond, __FILE__, __LINE__, (msg));     \
+    }                                                                 \
+  } while (false)
+#define ODRL_VALIDATE(expr) \
+  do {                      \
+    expr;                   \
+  } while (false)
+// NOLINTEND(cppcoreguidelines-macro-usage)
+#else
+#define ODRL_CHECK(cond, msg) ((void)0)
+#define ODRL_VALIDATE(expr) ((void)0)
+#endif

@@ -73,7 +73,11 @@ void save_trace_csv(const RecordedTrace& trace, std::ostream& out) {
       for (double v : {samples[c].base_cpi, samples[c].mpki,
                        samples[c].activity}) {
         auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
-        (void)ec;
+        if (ec != std::errc()) {
+          // Never emit a partially-formatted value: a silently truncated
+          // number would corrupt the trace and only fail at load time.
+          throw std::runtime_error("save_trace_csv: value formatting failed");
+        }
         out << ',' << std::string_view(buf,
                                        static_cast<std::size_t>(ptr - buf));
       }
@@ -145,6 +149,12 @@ void save_trace_file(const RecordedTrace& trace, const std::string& path) {
   std::ofstream out(path);
   if (!out) throw std::runtime_error("save_trace_file: cannot open " + path);
   save_trace_csv(trace, out);
+  // Flush before the destructor would swallow the error: a full disk must
+  // surface here, not as a mysteriously truncated file.
+  out.flush();
+  if (!out) {
+    throw std::runtime_error("save_trace_file: write failed for " + path);
+  }
 }
 
 RecordedTrace load_trace_file(const std::string& path) {

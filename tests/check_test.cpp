@@ -1,0 +1,360 @@
+// Tests for the ODRL_CHECK contract layer (util/check.hpp +
+// sim/validate.cpp).
+//
+// Two tiers:
+//   * Direct validator tests always run -- the validators are compiled
+//     unconditionally, so every seeded violation (NaN power, level outside
+//     the V/F table, budget sum off, mismatched/aliasing out-span) must
+//     throw ContractViolation regardless of how the library was built.
+//   * Integration tests branch on util::checks_enabled(): with the library
+//     compiled ODRL_CHECKED=ON a faulty controller/workload is caught at
+//     the contract boundary with an attributable diagnostic; with checks
+//     compiled out the closed loop is unperturbed and bit-identical.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "arch/chip_config.hpp"
+#include "core/odrl_controller.hpp"
+#include "sim/runner.hpp"
+#include "sim/system.hpp"
+#include "sim/validate.hpp"
+#include "util/check.hpp"
+#include "workload/workload.hpp"
+
+namespace oa = odrl::arch;
+namespace oc = odrl::core;
+namespace os = odrl::sim;
+namespace ou = odrl::util;
+namespace ow = odrl::workload;
+
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+os::ManyCoreSystem make_system(std::size_t n_cores = 4,
+                               std::uint64_t seed = 7) {
+  const oa::ChipConfig chip = oa::ChipConfig::make(n_cores, 0.6);
+  return os::ManyCoreSystem(
+      chip, std::make_unique<ow::GeneratedWorkload>(
+                ow::GeneratedWorkload::mixed_suite(n_cores, seed)));
+}
+
+/// One real observation from a real step: the fixture every seeded
+/// violation mutates. Starting from a valid EpochResult proves the
+/// validator passes genuine data and that exactly the seeded fault trips.
+os::EpochResult real_observation(os::ManyCoreSystem& sys) {
+  const std::vector<std::size_t> levels(sys.config().n_cores(), 0);
+  return sys.step(levels);
+}
+
+/// Controller that emits an out-of-range V/F level for core 0: the classic
+/// faulty-policy bug the post-decide contract exists to attribute.
+class OutOfRangeController final : public os::Controller {
+ public:
+  explicit OutOfRangeController(std::size_t n_levels)
+      : n_levels_(n_levels) {}
+  std::string name() const override { return "faulty-out-of-range"; }
+  std::vector<std::size_t> initial_levels(std::size_t n_cores) override {
+    return std::vector<std::size_t>(n_cores, 0);
+  }
+  void decide_into(const os::EpochResult& obs,
+                   std::span<std::size_t> out) override {
+    for (std::size_t i = 0; i < out.size(); ++i) out[i] = 0;
+    if (!out.empty()) out[0] = n_levels_;  // one past the V/F table
+    (void)obs;
+  }
+
+ private:
+  std::size_t n_levels_;
+};
+
+/// Wraps a real workload and poisons core 0's activity with NaN from a
+/// given epoch on -- the broken-sensor/broken-model input that turns every
+/// downstream power figure into NaN.
+class NanWorkload final : public ow::Workload {
+ public:
+  NanWorkload(std::unique_ptr<ow::Workload> inner, std::size_t poison_epoch)
+      : inner_(std::move(inner)), poison_epoch_(poison_epoch) {}
+  std::size_t n_cores() const override { return inner_->n_cores(); }
+  std::span<const ow::PhaseSample> step() override {
+    const auto samples = inner_->step();
+    scratch_.assign(samples.begin(), samples.end());
+    if (epoch_++ >= poison_epoch_ && !scratch_.empty()) {
+      scratch_[0].activity = kNan;
+    }
+    return scratch_;
+  }
+  std::string core_label(std::size_t core) const override {
+    return inner_->core_label(core);
+  }
+
+ private:
+  std::unique_ptr<ow::Workload> inner_;
+  std::size_t poison_epoch_;
+  std::size_t epoch_ = 0;
+  std::vector<ow::PhaseSample> scratch_;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Direct validator tests (always active).
+// ---------------------------------------------------------------------------
+
+TEST(Validate, AcceptsRealObservation) {
+  os::ManyCoreSystem sys = make_system();
+  const os::EpochResult obs = real_observation(sys);
+  EXPECT_NO_THROW(os::validate_epoch(obs, sys.config().n_cores(),
+                                     sys.config().vf_table().size()));
+}
+
+TEST(Validate, RejectsNaNCorePower) {
+  os::ManyCoreSystem sys = make_system();
+  os::EpochResult obs = real_observation(sys);
+  obs.cores.power_w()[1] = kNan;
+  EXPECT_THROW(os::validate_epoch(obs, sys.config().n_cores(),
+                                  sys.config().vf_table().size()),
+               ou::ContractViolation);
+}
+
+TEST(Validate, RejectsInfiniteTruePower) {
+  os::ManyCoreSystem sys = make_system();
+  os::EpochResult obs = real_observation(sys);
+  obs.cores.true_power_w()[0] = kInf;
+  EXPECT_THROW(os::validate_epoch(obs, sys.config().n_cores(),
+                                  sys.config().vf_table().size()),
+               ou::ContractViolation);
+}
+
+TEST(Validate, RejectsNegativeCorePower) {
+  os::ManyCoreSystem sys = make_system();
+  os::EpochResult obs = real_observation(sys);
+  obs.cores.power_w()[2] = -1.0;
+  EXPECT_THROW(os::validate_epoch(obs, sys.config().n_cores(),
+                                  sys.config().vf_table().size()),
+               ou::ContractViolation);
+}
+
+TEST(Validate, RejectsLevelOutsideVfTable) {
+  os::ManyCoreSystem sys = make_system();
+  os::EpochResult obs = real_observation(sys);
+  const std::size_t n_levels = sys.config().vf_table().size();
+  obs.cores.level()[3] = n_levels;
+  EXPECT_THROW(
+      os::validate_epoch(obs, sys.config().n_cores(), n_levels),
+      ou::ContractViolation);
+}
+
+TEST(Validate, RejectsChipPowerSumMismatch) {
+  os::ManyCoreSystem sys = make_system();
+  os::EpochResult obs = real_observation(sys);
+  // Way past kBudgetSumRelTol: the aggregate no longer matches its column.
+  obs.chip_power_w += 1.0;
+  EXPECT_THROW(os::validate_epoch(obs, sys.config().n_cores(),
+                                  sys.config().vf_table().size()),
+               ou::ContractViolation);
+}
+
+TEST(Validate, RejectsCoreCountMismatch) {
+  os::ManyCoreSystem sys = make_system();
+  const os::EpochResult obs = real_observation(sys);
+  EXPECT_THROW(os::validate_epoch(obs, sys.config().n_cores() + 1,
+                                  sys.config().vf_table().size()),
+               ou::ContractViolation);
+}
+
+TEST(Validate, RejectsStallFractionOutsideUnitInterval) {
+  os::ManyCoreSystem sys = make_system();
+  os::EpochResult obs = real_observation(sys);
+  obs.cores.mem_stall_frac()[0] = 1.5;
+  EXPECT_THROW(os::validate_epoch(obs, sys.config().n_cores(),
+                                  sys.config().vf_table().size()),
+               ou::ContractViolation);
+}
+
+TEST(Validate, RejectsNonPositiveEpochLength) {
+  os::ManyCoreSystem sys = make_system();
+  os::EpochResult obs = real_observation(sys);
+  obs.epoch_s = 0.0;
+  EXPECT_THROW(os::validate_epoch(obs, sys.config().n_cores(),
+                                  sys.config().vf_table().size()),
+               ou::ContractViolation);
+}
+
+TEST(Validate, OutSpanRejectsSizeMismatch) {
+  os::ManyCoreSystem sys = make_system();
+  const os::EpochResult obs = real_observation(sys);
+  std::vector<std::size_t> short_out(obs.n_cores() - 1, 0);
+  EXPECT_THROW(os::validate_out_span(obs, short_out),
+               ou::ContractViolation);
+  std::vector<std::size_t> good_out(obs.n_cores(), 0);
+  EXPECT_NO_THROW(os::validate_out_span(obs, good_out));
+}
+
+TEST(Validate, OutSpanRejectsAliasingTheObservation) {
+  os::ManyCoreSystem sys = make_system();
+  os::EpochResult obs = real_observation(sys);
+  // A controller writing its decision through the observation's own level
+  // column: correct size, catastrophic aliasing.
+  EXPECT_THROW(os::validate_out_span(obs, obs.cores.level()),
+               ou::ContractViolation);
+}
+
+TEST(Validate, LevelsDisjointRejectsAliasingTheOutputBlock) {
+  os::ManyCoreSystem sys = make_system();
+  os::EpochResult obs = real_observation(sys);
+  // step_into(out.cores.level(), out): the step loop would clobber the
+  // levels it is still reading.
+  EXPECT_THROW(os::validate_levels_disjoint(obs.cores.level(), obs),
+               ou::ContractViolation);
+  const std::vector<std::size_t> separate(obs.n_cores(), 0);
+  EXPECT_NO_THROW(os::validate_levels_disjoint(separate, obs));
+}
+
+TEST(Validate, LevelsRejectOutOfRange) {
+  const std::vector<std::size_t> levels{0, 2, 5};
+  EXPECT_NO_THROW(os::validate_levels(levels, 6));
+  EXPECT_THROW(os::validate_levels(levels, 5), ou::ContractViolation);
+}
+
+TEST(Validate, BudgetPartitionConservesWatts) {
+  const std::vector<double> budgets{10.0, 20.0, 30.0};
+  EXPECT_NO_THROW(os::validate_budget_partition(budgets, 60.0));
+  // Off by far more than the relative tolerance: watts were minted.
+  EXPECT_THROW(os::validate_budget_partition(budgets, 61.0),
+               ou::ContractViolation);
+}
+
+TEST(Validate, BudgetPartitionRejectsNonFiniteAndNonPositiveShares) {
+  EXPECT_THROW(
+      os::validate_budget_partition(std::vector<double>{10.0, kNan}, 10.0),
+      ou::ContractViolation);
+  EXPECT_THROW(
+      os::validate_budget_partition(std::vector<double>{-5.0, 15.0}, 10.0),
+      ou::ContractViolation);
+  EXPECT_THROW(os::validate_budget_partition(std::vector<double>{}, 10.0),
+               ou::ContractViolation);
+}
+
+TEST(Validate, BudgetPartitionHonorsRelativeTolerance) {
+  // 1e-9 relative error: inside the default tolerance (reassociation
+  // noise), outside a tightened one.
+  const std::vector<double> budgets{50.0, 50.0 + 100.0 * 1e-9};
+  EXPECT_NO_THROW(os::validate_budget_partition(budgets, 100.0));
+  EXPECT_THROW(os::validate_budget_partition(budgets, 100.0, 1e-12),
+               ou::ContractViolation);
+}
+
+TEST(Check, FailureCarriesExpressionAndLocation) {
+  try {
+    ou::check_fail("x > 0", "some_file.cpp", 42, "x must be positive");
+    FAIL() << "check_fail returned";
+  } catch (const ou::ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("x must be positive"), std::string::npos) << what;
+    EXPECT_NE(what.find("x > 0"), std::string::npos) << what;
+    EXPECT_NE(what.find("some_file.cpp:42"), std::string::npos) << what;
+  }
+}
+
+TEST(Check, ContractViolationIsALogicError) {
+  // Contract failures are programming errors, not bad input: catch sites
+  // filtering on std::logic_error must see them.
+  EXPECT_THROW(ou::check_fail("c", "f.cpp", 1, "m"), std::logic_error);
+}
+
+// ---------------------------------------------------------------------------
+// Integration: library call sites, branching on how the library was built.
+// ---------------------------------------------------------------------------
+
+TEST(CheckedIntegration, FaultyControllerCaughtAtTheDecideBoundary) {
+  os::ManyCoreSystem sys = make_system(4, 11);
+  OutOfRangeController faulty(sys.config().vf_table().size());
+  os::RunConfig cfg;
+  cfg.epochs = 5;
+  cfg.keep_traces = false;
+  if (ou::checks_enabled()) {
+    // The post-decide contract attributes the bug to the controller the
+    // moment it emits the bad level.
+    EXPECT_THROW(os::run_closed_loop(sys, faulty, cfg),
+                 ou::ContractViolation);
+  } else {
+    // Unchecked, the bad level travels onward and only the simulator's own
+    // argument check trips -- one epoch later, blamed on the wrong layer.
+    EXPECT_THROW(os::run_closed_loop(sys, faulty, cfg),
+                 std::invalid_argument);
+  }
+}
+
+TEST(CheckedIntegration, NanWorkloadCaughtAtTheStepPostcondition) {
+  const oa::ChipConfig chip = oa::ChipConfig::make(4, 0.6);
+  auto inner = std::make_unique<ow::GeneratedWorkload>(
+      ow::GeneratedWorkload::mixed_suite(4, 13));
+  os::ManyCoreSystem sys(
+      chip, std::make_unique<NanWorkload>(std::move(inner), 2));
+  const std::vector<std::size_t> levels(4, 0);
+  os::EpochResult obs;
+  sys.step_into(levels, obs);  // epoch 0: clean
+  sys.step_into(levels, obs);  // epoch 1: clean
+  if (ou::checks_enabled()) {
+    // Epoch 2 produces NaN power; the step_into post-condition fires at
+    // the source instead of letting NaN leak into the controller.
+    EXPECT_THROW(sys.step_into(levels, obs), ou::ContractViolation);
+  } else {
+    sys.step_into(levels, obs);
+    // Compiled out: the poison propagates silently -- exactly the failure
+    // mode the checked builds exist to catch at the source.
+    EXPECT_TRUE(std::isnan(obs.chip_power_w));
+    // ...but the always-on validator still identifies it after the fact.
+    EXPECT_THROW(os::validate_epoch(obs, 4, chip.vf_table().size()),
+                 ou::ContractViolation);
+  }
+}
+
+TEST(CheckedIntegration, ContractsDoNotPerturbTheClosedLoop) {
+  // Two identical OD-RL runs must produce bit-identical RunResults in
+  // every build mode: contracts observe, they never compute anything the
+  // surrounding code reads. Paired with CI running this suite both
+  // checked and unchecked, this pins "ODRL_CHECKED only adds checks".
+  auto run_once = [] {
+    os::ManyCoreSystem sys = make_system(8, 21);
+    oc::OdrlController ctl(sys.config());
+    os::RunConfig cfg;
+    cfg.epochs = 60;
+    cfg.keep_traces = true;
+    return os::run_closed_loop(sys, ctl, cfg);
+  };
+  const os::RunResult a = run_once();
+  const os::RunResult b = run_once();
+  EXPECT_EQ(a.total_instructions, b.total_instructions);
+  EXPECT_EQ(a.total_energy_j, b.total_energy_j);
+  EXPECT_EQ(a.otb_energy_j, b.otb_energy_j);
+  EXPECT_EQ(a.mean_power_w, b.mean_power_w);
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  for (std::size_t i = 0; i < a.trace.size(); ++i) {
+    EXPECT_EQ(a.trace[i].chip_power_w, b.trace[i].chip_power_w);
+    EXPECT_EQ(a.trace[i].total_ips, b.trace[i].total_ips);
+  }
+}
+
+TEST(CheckedIntegration, CheckedLoopAcceptsAHealthyRun) {
+  // A healthy end-to-end run (OD-RL, budget events, replay workload) must
+  // sail through every contract: validators reject faults, not physics.
+  const oa::ChipConfig chip = oa::ChipConfig::make(8, 0.6);
+  ow::GeneratedWorkload gen = ow::GeneratedWorkload::mixed_suite(8, 5);
+  os::ManyCoreSystem sys(
+      chip, std::make_unique<ow::ReplayWorkload>(gen.record(200)));
+  oc::OdrlController ctl(chip);
+  os::RunConfig cfg;
+  cfg.epochs = 200;
+  cfg.budget_events = {{0, chip.tdp_w()}, {100, chip.tdp_w() * 0.7}};
+  const os::RunResult result = os::run_closed_loop(sys, ctl, cfg);
+  EXPECT_EQ(result.epochs, 200u);
+  EXPECT_GT(result.total_instructions, 0.0);
+}

@@ -72,6 +72,36 @@ TEST(QTableIo, RejectsTruncatedAndCorruptInput) {
   expect_reject("# odrl-qtable v1\n1 2\nq 1.0 2.0\nv 1 4294967296\n");
 }
 
+TEST(QTableIo, RejectsNonFiniteQValues) {
+  // A NaN/inf Q-value in a policy file would poison every TD bootstrap
+  // that touches the row; loading must reject it at the door (the dynamic
+  // counterpart is QTable::all_finite on the hot path).
+  auto expect_reject = [](const std::string& text) {
+    std::stringstream in(text);
+    EXPECT_THROW(orl::load_qtable(in), std::runtime_error) << text;
+  };
+  expect_reject("# odrl-qtable v1\n1 2\nq nan 2.0\nv 1 1\n");
+  expect_reject("# odrl-qtable v1\n1 2\nq 1.0 inf\nv 1 1\n");
+  expect_reject("# odrl-qtable v1\n1 2\nq -inf 2.0\nv 1 1\n");
+}
+
+TEST(QTableIo, SaveSurfacesStreamFailure) {
+  // Regression: save_qtable must report a failed stream, not silently
+  // produce a truncated policy file.
+  orl::QTable table(2, 2, 1.0);
+  std::stringstream out;
+  out.setstate(std::ios::badbit);
+  EXPECT_THROW(orl::save_qtable(table, out), std::runtime_error);
+}
+
+TEST(QTableIo, SaveFileSurfacesWriteFailure) {
+  // /dev/full opens fine and fails on flush -- exactly the full-disk case
+  // the explicit flush-and-check in save_qtable_file exists for.
+  orl::QTable table(2, 2, 1.0);
+  EXPECT_THROW(orl::save_qtable_file(table, "/dev/full"),
+               std::runtime_error);
+}
+
 TEST(QTableIo, RoundTripsExtremeMagnitudes) {
   // to_chars shortest form must survive the text round trip exactly even
   // at the edges of the double range (where a fixed-precision printf-style

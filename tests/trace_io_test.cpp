@@ -99,6 +99,22 @@ TEST(TraceIo, RejectsMalformedInput) {
       "# odrl-trace v1\nlabels,a\nepoch,core,base_cpi,mpki,activity\n");
 }
 
+TEST(TraceIo, SaveSurfacesStreamFailure) {
+  // Regression: save_trace_csv must report a failed stream instead of
+  // silently emitting a truncated trace.
+  const ow::RecordedTrace trace = sample_trace(1, 1);
+  std::stringstream out;
+  out.setstate(std::ios::badbit);
+  EXPECT_THROW(ow::save_trace_csv(trace, out), std::runtime_error);
+}
+
+TEST(TraceIo, SaveFileSurfacesWriteFailure) {
+  // /dev/full opens fine and fails on flush -- the full-disk case the
+  // explicit flush-and-check in save_trace_file exists for.
+  const ow::RecordedTrace trace = sample_trace(1, 1);
+  EXPECT_THROW(ow::save_trace_file(trace, "/dev/full"), std::runtime_error);
+}
+
 TEST(TraceIo, MissingFileThrows) {
   EXPECT_THROW(ow::load_trace_file("/nonexistent/odrl.csv"),
                std::runtime_error);

@@ -1,0 +1,258 @@
+#!/usr/bin/env python3
+"""Project-specific lint rules for the ODRL hot path.
+
+Three rules, all aimed at the zero-allocation span/SoA epoch data path
+(DESIGN.md "Epoch data path" / "Correctness tooling"); generic static
+analysis is clang-tidy's job (.clang-tidy), this script enforces what no
+off-the-shelf check can express:
+
+  std-function-hot-path
+      `std::function` type-erases through a heap allocation and an
+      indirect call; it must not appear in src/ or bench/ outside the
+      explicit allowlist of cold-path registration sites.
+
+  controller-must-decide-into
+      Every sim::Controller subclass must implement decide_into() (the
+      in-place hot path). Overriding only the legacy vector-returning
+      decide() reintroduces a per-epoch allocation -- exactly the
+      regression the SoA refactor removed.
+
+  heap-in-hot-path
+      Function definitions named *_into (step_into, decide_into,
+      reallocate_budget_into, ...) and the runner's run_epoch lambda are
+      the per-epoch hot path: no `new`, make_unique/make_shared, or local
+      std::vector/std::string declarations inside them. Reused-capacity
+      calls (resize/assign on members) are fine and not flagged.
+
+Suppression: append `// lint: allow(<rule>): <reason>` to the offending
+line. Naked suppressions (no reason) are themselves findings.
+
+Usage:  python3 tools/lint_odrl.py [--root DIR]
+Exit status: 0 clean, 1 findings, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+# Cold-path sites where std::function is the right tool: factory
+# registration (startup-only) and benchmark harness wiring.
+STD_FUNCTION_ALLOWLIST = {
+    "src/sim/controller_registry.hpp",
+    "bench/bench_common.hpp",
+}
+
+SCAN_DIRS = ("src", "bench", "examples")
+HOT_SUFFIX = "_into"
+
+ALLOW_RE = re.compile(r"//\s*lint:\s*allow\((?P<rule>[\w-]+)\)(?P<reason>.*)")
+
+
+class Finding:
+    def __init__(self, path: Path, line: int, rule: str, message: str):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks out comments and string/char literals, preserving offsets
+    and newlines so byte positions still map to line numbers."""
+    out = list(text)
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            for k in range(i, j):
+                out[k] = " "
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n if j == -1 else j + 2
+            for k in range(i, j):
+                if out[k] != "\n":
+                    out[k] = " "
+            i = j
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j = j + 2 if text[j] == "\\" else j + 1
+            j = min(j + 1, n)
+            for k in range(i + 1, j - 1):
+                if out[k] != "\n":
+                    out[k] = " "
+            i = j
+        else:
+            i += 1
+    return "".join(out)
+
+
+def line_of(text: str, pos: int) -> int:
+    return text.count("\n", 0, pos) + 1
+
+
+def suppressed(raw_lines: list[str], line: int, rule: str,
+               findings: list[Finding], path: Path) -> bool:
+    """True if `line` carries a reasoned allow marker for `rule`."""
+    m = ALLOW_RE.search(raw_lines[line - 1])
+    if not m or m.group("rule") != rule:
+        return False
+    if not m.group("reason").strip(" :"):
+        findings.append(Finding(path, line, rule,
+                                "suppression without a reason"))
+    return True
+
+
+def match_brace_block(text: str, open_brace: int) -> int:
+    """Returns the offset just past the brace block opened at open_brace
+    (text must already be comment/string-stripped)."""
+    depth = 0
+    for i in range(open_brace, len(text)):
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return len(text)
+
+
+def check_std_function(path: Path, rel: str, text: str,
+                       raw_lines: list[str], findings: list[Finding]):
+    if rel in STD_FUNCTION_ALLOWLIST:
+        return
+    for m in re.finditer(r"\bstd::function\b", text):
+        line = line_of(text, m.start())
+        if suppressed(raw_lines, line, "std-function-hot-path", findings,
+                      path):
+            continue
+        findings.append(Finding(
+            path, line, "std-function-hot-path",
+            "std::function heap-allocates and indirect-calls; use "
+            "util::FunctionRef or a template parameter (allowlist: "
+            + ", ".join(sorted(STD_FUNCTION_ALLOWLIST)) + ")"))
+
+
+CONTROLLER_BASE_RE = re.compile(
+    r"\bclass\s+(?P<name>\w+)[^;{]*?:\s*(?:public\s+)?"
+    r"(?:odrl::)?(?:sim|os)?(?:::)?\s*(?:sim::)?Controller\b[^;{]*\{")
+
+
+def check_decide_into(path: Path, text: str, raw_lines: list[str],
+                      findings: list[Finding]):
+    for m in CONTROLLER_BASE_RE.finditer(text):
+        name = m.group("name")
+        if name == "Controller":
+            continue
+        body_start = m.end() - 1
+        body = text[body_start:match_brace_block(text, body_start)]
+        if re.search(r"\bdecide_into\s*\(", body):
+            continue
+        line = line_of(text, m.start())
+        if suppressed(raw_lines, line, "controller-must-decide-into",
+                      findings, path):
+            continue
+        findings.append(Finding(
+            path, line, "controller-must-decide-into",
+            f"{name} derives from sim::Controller but does not implement "
+            "decide_into(); the legacy decide() bridge allocates a vector "
+            "every epoch"))
+
+
+HOT_DEF_RE = re.compile(
+    r"\b[\w:~]*" + HOT_SUFFIX + r"\s*\([^;{)]*(?:\([^)]*\)[^;{)]*)*\)"
+    r"[^;{]*\{")
+RUN_EPOCH_RE = re.compile(r"\brun_epoch\s*=\s*\[")
+
+HEAP_PATTERNS = (
+    (re.compile(r"(?<!:)\bnew\b(?!\w)"), "raw new"),
+    (re.compile(r"\bstd::make_unique\b"), "std::make_unique"),
+    (re.compile(r"\bstd::make_shared\b"), "std::make_shared"),
+    (re.compile(r"\bstd::vector<[^;]*>\s+\w+\s*[({;=]"),
+     "local std::vector"),
+    (re.compile(r"\bstd::string\s+\w+\s*[({;=]"), "local std::string"),
+)
+
+
+def hot_regions(text: str):
+    """Yields (label, start, end) offsets of hot-path function bodies."""
+    for m in HOT_DEF_RE.finditer(text):
+        open_brace = text.index("{", m.end() - 1)
+        label = m.group(0).split("(")[0].strip().split()[-1]
+        yield label, open_brace, match_brace_block(text, open_brace)
+    for m in RUN_EPOCH_RE.finditer(text):
+        open_brace = text.index("{", m.end())
+        yield "run_epoch lambda", open_brace, match_brace_block(
+            text, open_brace)
+
+
+def check_heap_in_hot_path(path: Path, text: str, raw_lines: list[str],
+                           findings: list[Finding]):
+    for label, start, end in hot_regions(text):
+        body = text[start:end]
+        for pattern, what in HEAP_PATTERNS:
+            for hit in pattern.finditer(body):
+                line = line_of(text, start + hit.start())
+                if suppressed(raw_lines, line, "heap-in-hot-path",
+                              findings, path):
+                    continue
+                findings.append(Finding(
+                    path, line, "heap-in-hot-path",
+                    f"{what} inside {label}: the per-epoch hot path must "
+                    "not allocate; keep scratch in members and reuse "
+                    "capacity"))
+
+
+def lint_file(path: Path, root: Path, findings: list[Finding]):
+    raw = path.read_text(encoding="utf-8")
+    raw_lines = raw.splitlines()
+    text = strip_comments_and_strings(raw)
+    rel = path.relative_to(root).as_posix()
+    check_std_function(path.relative_to(root), rel, text, raw_lines,
+                       findings)
+    check_decide_into(path.relative_to(root), text, raw_lines, findings)
+    if path.suffix == ".cpp" or rel.endswith(".hpp"):
+        check_heap_in_hot_path(path.relative_to(root), text, raw_lines,
+                               findings)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=".",
+                        help="repository root (default: cwd)")
+    args = parser.parse_args()
+    root = Path(args.root).resolve()
+    if not (root / "src").is_dir():
+        print(f"lint_odrl: no src/ under {root}", file=sys.stderr)
+        return 2
+
+    findings: list[Finding] = []
+    n_files = 0
+    for d in SCAN_DIRS:
+        base = root / d
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix in (".hpp", ".cpp", ".h", ".cc"):
+                n_files += 1
+                lint_file(path, root, findings)
+
+    for f in findings:
+        print(f)
+    print(f"lint_odrl: {n_files} files scanned, {len(findings)} finding(s)",
+          file=sys.stderr)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
