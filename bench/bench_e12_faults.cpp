@@ -1,0 +1,149 @@
+// E12 -- fault-storm survival and graceful degradation.
+//
+// Part 1: every controller runs the same recorded workload under the same
+// dense deterministic fault storm (sensor dropouts, actuation delay/drops,
+// core hotplug, chip budget steps) with the runner watchdog armed. The
+// table reports throughput and overshoot next to the fault/watchdog
+// counters; a controller that aborts fails the bench.
+//
+// Part 2: the degradation guarantee itself. When the watchdog trips it
+// holds every core at sim::safe_uniform_level(chip, budget) -- the level
+// provisioned for worst-case activity at the junction-temperature limit.
+// The check pins the chip at that level under a compute-dense (worst
+// realistic) workload across a sweep of budgets and asserts true chip
+// power never exceeds the budget: post-fallback power compliance is
+// analytic, not luck.
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "sim/faults.hpp"
+#include "util/table.hpp"
+
+using namespace odrl;
+
+namespace {
+
+/// A measured run with the storm attached and the watchdog armed.
+sim::RunResult run_faulted(const arch::ChipConfig& chip,
+                           const workload::RecordedTrace& trace,
+                           sim::Controller& controller, std::size_t epochs,
+                           std::size_t warmup,
+                           const sim::FaultSchedule& faults) {
+  sim::SimConfig sc;
+  sc.sensor_noise_rel = bench::kSensorNoise;
+  sim::ManyCoreSystem system(
+      chip, std::make_unique<workload::ReplayWorkload>(trace), sc);
+  sim::RunConfig rc;
+  rc.epochs = epochs;
+  rc.warmup_epochs = warmup;
+  rc.budget_events = {{0, chip.tdp_w() * 0.85}};
+  rc.faults = &faults;
+  rc.watchdog.enabled = true;
+  return sim::run_closed_loop(system, controller, rc);
+}
+
+/// Worst epoch of true chip power with every core pinned at the safe
+/// uniform level for `budget_w` -- the state the watchdog degrades to.
+double worst_pinned_power(const arch::ChipConfig& chip, double budget_w,
+                          std::size_t epochs) {
+  sim::ManyCoreSystem system(
+      chip,
+      std::make_unique<workload::GeneratedWorkload>(
+          chip.n_cores(), workload::benchmark_by_name("compute.dense"),
+          bench::kSeed + 42),
+      sim::SimConfig{});
+  const std::vector<std::size_t> pinned(
+      chip.n_cores(), sim::safe_uniform_level(chip, budget_w));
+  double worst = 0.0;
+  for (std::size_t e = 0; e < epochs; ++e) {
+    const sim::EpochResult obs = system.step(pinned);
+    worst = std::max(worst, obs.true_chip_power_w);
+  }
+  return worst;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "E12: fault-storm survival (16 cores, watchdog armed)",
+      "graceful degradation: sensors may lie, the chip stays under budget");
+
+  constexpr std::size_t kCores = 16;
+  constexpr std::size_t kWarmup = 1000;
+  constexpr std::size_t kEpochs = 2000;
+
+  const arch::ChipConfig chip = arch::ChipConfig::make(kCores, 0.6);
+  const workload::RecordedTrace trace =
+      bench::record_mixed_trace(kCores, kWarmup + kEpochs, bench::kSeed + 40);
+
+  // A storm dense enough that every fault family fires many times over the
+  // measured region, generated once and replayed for every controller.
+  sim::StormConfig storm;
+  storm.sensor_rate = 0.005;
+  storm.actuation_rate = 0.002;
+  storm.offline_rate = 0.001;
+  storm.budget_rate = 0.005;
+  const sim::FaultSchedule faults =
+      sim::FaultSchedule::random_storm(kCores, kEpochs, bench::kSeed + 41,
+                                       storm);
+  std::printf("storm: %zu scheduled fault events over %zu epochs\n\n",
+              faults.size(), kEpochs);
+
+  util::Table table({"controller", "BIPS", "OTB[J]", "faults", "sanitized",
+                     "fb entries", "fb epochs"});
+  bool all_finished = true;
+  std::string failures;
+
+  for (const auto& entry : bench::standard_controllers()) {
+    auto controller = entry.make(chip);
+    sim::RunResult run;
+    try {
+      run = run_faulted(chip, trace, *controller, kEpochs, kWarmup, faults);
+    } catch (const std::exception& e) {
+      all_finished = false;
+      failures += "  " + entry.name + " aborted: " + e.what() + "\n";
+      table.add_row({entry.name, "ABORT", "-", "-", "-", "-", "-"});
+      continue;
+    }
+    table.add_row({entry.name, util::Table::fmt(run.bips(), 3),
+                   util::Table::fmt(run.otb_energy_j, 3),
+                   std::to_string(run.fault_events_applied),
+                   std::to_string(run.watchdog_invalid_decisions),
+                   std::to_string(run.watchdog_fallback_entries),
+                   std::to_string(run.watchdog_fallback_epochs)});
+  }
+  std::printf("%s\n",
+              table.render("fault storm, watchdog armed (fb = fallback)")
+                  .c_str());
+
+  // Part 2: the fallback state holds the budget. Sweep the budgets the
+  // storm can produce (nominal down to the deepest budget-step factor).
+  util::Table safety({"budget[W]", "safe lvl", "worst pinned[W]", "held"});
+  bool budget_held = true;
+  for (double frac : {0.85, 0.85 * storm.min_budget_factor, 0.5, 0.4}) {
+    const double budget_w = chip.tdp_w() * frac;
+    const std::size_t level = sim::safe_uniform_level(chip, budget_w);
+    const double worst = worst_pinned_power(chip, budget_w, 500);
+    const bool held = worst <= budget_w;
+    budget_held = budget_held && held;
+    if (!held) {
+      failures += "  fallback at budget " + util::Table::fmt(budget_w, 1) +
+                  " W peaked at " + util::Table::fmt(worst, 1) + " W\n";
+    }
+    safety.add_row({util::Table::fmt(budget_w, 1), std::to_string(level),
+                    util::Table::fmt(worst, 1), held ? "yes" : "NO"});
+  }
+  std::printf("%s\n",
+              safety.render("post-fallback compliance (compute.dense, "
+                            "500 epochs pinned at the safe level)")
+                  .c_str());
+
+  const bool pass = all_finished && budget_held;
+  std::printf("degradation contract: %s\n", pass ? "PASS" : "FAIL");
+  if (!failures.empty()) std::printf("%s", failures.c_str());
+  return pass ? 0 : 1;
+}

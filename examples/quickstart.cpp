@@ -8,11 +8,19 @@
 //
 //   ./quickstart [--cores=16] [--epochs=2000] [--budget=0.6] [--seed=1]
 //                [--threads=1] [--controller=OD-RL]
+//                [--faults=storm.txt | --fault-storm-seed=7] [--watchdog]
 //                [--trace-out=run.jsonl] [--trace-format=jsonl|csv]
 //                [--trace-cores] [--trace-sample=k]
 //
 // --threads shards the per-core epoch and TD loops across a worker pool
 // (0 = hardware concurrency). Results are bit-identical for every value.
+//
+// --faults replays a fault schedule (text format, see sim/faults.hpp)
+// against both runs: sensor dropouts, delayed/dropped actuation, core
+// hotplug and chip budget steps, deterministically. --fault-storm-seed
+// generates a random storm instead of loading one. --watchdog arms the
+// runner's graceful-degradation fallback (automatic whenever faults are
+// injected).
 //
 // --trace-out records the measured region of the first (learning) run
 // through the telemetry subsystem: per-epoch chip records (power, budget,
@@ -30,6 +38,7 @@
 #include "arch/chip_config.hpp"
 #include "metrics/metrics.hpp"
 #include "sim/controller_registry.hpp"
+#include "sim/faults.hpp"
 #include "sim/runner.hpp"
 #include "sim/system.hpp"
 #include "telemetry/csv_sink.hpp"
@@ -46,7 +55,9 @@ sim::RunResult run_one(const arch::ChipConfig& chip,
                        const workload::RecordedTrace& trace,
                        sim::Controller& controller, std::size_t epochs,
                        std::size_t threads,
-                       telemetry::Recorder* recorder = nullptr) {
+                       telemetry::Recorder* recorder = nullptr,
+                       const sim::FaultSchedule* faults = nullptr,
+                       bool watchdog = false) {
   auto workload = std::make_unique<workload::ReplayWorkload>(trace);
   sim::ManyCoreSystem system(chip, std::move(workload));
   sim::RunConfig run_cfg;
@@ -56,6 +67,8 @@ sim::RunResult run_one(const arch::ChipConfig& chip,
   run_cfg.epochs = epochs;
   run_cfg.threads = threads;
   run_cfg.recorder = recorder;
+  run_cfg.faults = faults;
+  run_cfg.watchdog.enabled = watchdog;
   return sim::run_closed_loop(system, controller, run_cfg);
 }
 
@@ -109,10 +122,42 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Optional fault injection: load a schedule or generate a storm; either
+  // arms the watchdog (and --watchdog arms it on a healthy run too).
+  sim::FaultSchedule faults;
+  const std::string faults_path = args.get("faults", "");
+  const auto storm_seed =
+      static_cast<std::uint64_t>(args.get_int("fault-storm-seed", 0));
+  if (!faults_path.empty() && storm_seed != 0) {
+    std::fprintf(stderr,
+                 "error: --faults and --fault-storm-seed are exclusive\n");
+    return 1;
+  }
+  if (!faults_path.empty()) {
+    try {
+      faults = sim::load_fault_schedule_file(faults_path);
+      faults.validate(cores);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+  } else if (storm_seed != 0) {
+    faults = sim::FaultSchedule::random_storm(cores, epochs, storm_seed);
+  }
+  const bool inject = !faults.empty();
+  const bool watchdog = args.get_bool("watchdog", false) || inject;
+  if (inject) {
+    std::printf("faults: %zu scheduled events%s, watchdog armed\n",
+                faults.size(),
+                faults_path.empty() ? " (random storm)" : "");
+  }
+
   const sim::RunResult main_run =
-      run_one(chip, trace, *main_ctl, epochs, threads, &recorder);
+      run_one(chip, trace, *main_ctl, epochs, threads, &recorder,
+              inject ? &faults : nullptr, watchdog);
   const sim::RunResult static_run =
-      run_one(chip, trace, *static_ctl, epochs, threads);
+      run_one(chip, trace, *static_ctl, epochs, threads, nullptr,
+              inject ? &faults : nullptr, watchdog);
 
   const sim::RunResult runs[] = {main_run, static_run};
   std::cout << '\n'
@@ -126,6 +171,15 @@ int main(int argc, char** argv) {
   std::printf("%s time over budget: %.2f%% of the run\n",
               main_run.controller_name.c_str(),
               100.0 * main_run.overshoot_time_fraction());
+  if (inject) {
+    std::printf(
+        "%s under faults: %zu events applied, %zu decisions sanitized, "
+        "%zu fallback entries, %zu fallback epochs\n",
+        main_run.controller_name.c_str(), main_run.fault_events_applied,
+        main_run.watchdog_invalid_decisions,
+        main_run.watchdog_fallback_entries,
+        main_run.watchdog_fallback_epochs);
+  }
   if (!trace_path.empty()) {
     std::printf("telemetry written to %s\n", trace_path.c_str());
   }

@@ -1,6 +1,7 @@
 #include "baselines/greedy_controller.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <memory>
 #include <stdexcept>
 
@@ -32,10 +33,15 @@ void GreedyController::decide_into(const sim::EpochResult& obs,
   const std::size_t n = obs.cores.size();
   const std::size_t n_levels = predictor_.vf_table().size();
   const double budget = fill_target_ * obs.budget_w;
+  const std::span<const std::uint8_t> online = obs.cores.online();
 
   // Predict every (core, level) point once, into the flattened scratch.
+  // Offline (hotplugged-out) cores draw nothing and take no upgrades, so
+  // their rows are skipped entirely -- they neither charge the base power
+  // nor enter the candidate heap.
   pred_.resize(n * n_levels);
   for (std::size_t i = 0; i < n; ++i) {
+    if (online[i] == 0) continue;
     predictor_.predict_all_into(
         obs.cores[i],
         std::span<LevelPrediction>(pred_.data() + i * n_levels, n_levels));
@@ -44,6 +50,7 @@ void GreedyController::decide_into(const sim::EpochResult& obs,
   std::fill(out.begin(), out.end(), std::size_t{0});
   double chip_power = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
+    if (online[i] == 0) continue;
     chip_power += pred_[i * n_levels].power_w;
   }
 
@@ -69,7 +76,10 @@ void GreedyController::decide_into(const sim::EpochResult& obs,
     std::push_heap(heap_.begin(), heap_.end(), cmp);
   };
 
-  for (std::size_t i = 0; i < n; ++i) push_candidate(i, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (online[i] == 0) continue;
+    push_candidate(i, 0);
+  }
 
   std::uint64_t upgrades = 0;
   while (!heap_.empty()) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 #include <memory>
 #include <stdexcept>
@@ -44,18 +45,33 @@ void MaxBipsController::decide_into(const sim::EpochResult& obs,
   ODRL_VALIDATE(sim::validate_out_span(obs, out));
   const std::size_t n = obs.cores.size();
   const std::size_t n_levels = predictor_.vf_table().size();
+  const std::span<const std::uint8_t> online = obs.cores.online();
   pred_.resize(n * n_levels);
   for (std::size_t i = 0; i < n; ++i) {
+    if (online[i] == 0) {
+      // Offline (hotplugged-out) cores draw nothing and retire nothing at
+      // any level: zeroed rows make both solvers indifferent to them, and
+      // the post-solve pass below parks them at the floor deterministically.
+      std::fill_n(pred_.data() + i * n_levels, n_levels, LevelPrediction{});
+      continue;
+    }
     predictor_.predict_all_into(
         obs.cores[i],
         std::span<LevelPrediction>(pred_.data() + i * n_levels, n_levels));
   }
+  const auto park_offline = [&] {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (online[i] == 0) out[i] = 0;
+    }
+  };
   switch (config_.solver) {
     case MaxBipsSolver::kExact:
       solve_exact(pred_, obs.budget_w, out);
+      park_offline();
       return;
     case MaxBipsSolver::kKnapsackDp:
       solve_dp(pred_, obs.budget_w, out);
+      park_offline();
       return;
   }
   throw std::logic_error("MaxBipsController: unknown solver");

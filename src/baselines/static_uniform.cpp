@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "sim/controller_registry.hpp"
+#include "sim/faults.hpp"
 #include "sim/validate.hpp"
 #include "util/check.hpp"
 
@@ -14,21 +15,8 @@ StaticUniformController::StaticUniformController(const arch::ChipConfig& chip)
 
 std::string StaticUniformController::name() const { return "Static"; }
 
-double StaticUniformController::worst_case_chip_power(
-    std::size_t level) const {
-  const arch::VfPoint& vf = chip_.vf_table()[level];
-  const double hot = chip_.thermal().max_junction_c;
-  return chip_.core().total_power_w(vf.voltage_v, vf.freq_ghz,
-                                    /*activity=*/1.0, hot) *
-         static_cast<double>(chip_.n_cores());
-}
-
 std::size_t StaticUniformController::safe_level_for(double budget_w) const {
-  std::size_t best = 0;
-  for (std::size_t l = 0; l < chip_.vf_table().size(); ++l) {
-    if (worst_case_chip_power(l) <= budget_w) best = l;
-  }
-  return best;
+  return sim::safe_uniform_level(chip_, budget_w);
 }
 
 std::vector<std::size_t> StaticUniformController::initial_levels(

@@ -25,8 +25,9 @@ class StaticUniformController final : public sim::Controller {
   std::size_t chosen_level() const { return level_; }
 
  private:
-  /// Worst-case chip power at a uniform level (activity 1, hot junction).
-  double worst_case_chip_power(std::size_t level) const;
+  /// Highest uniform level that fits `budget_w` at the design corner
+  /// (delegates to sim::safe_uniform_level, the same provisioning rule the
+  /// runner's watchdog falls back to).
   std::size_t safe_level_for(double budget_w) const;
 
   arch::ChipConfig chip_;

@@ -97,6 +97,7 @@ OdrlController::OdrlController(const arch::ChipConfig& chip, OdrlConfig config)
   sens_ema_.assign(n_cores_, util::Ema(config_.ema_alpha));
   prev_state_.assign(n_cores_, 0);
   prev_action_.assign(n_cores_, 0);
+  was_offline_.assign(n_cores_, 0);
   level_freq_ghz_.reserve(n_levels_);
   for (const auto& point : chip.vf_table().points()) {
     level_freq_ghz_.push_back(point.freq_ghz);
@@ -208,9 +209,13 @@ void OdrlController::decide_into(const sim::EpochResult& obs,
   const std::span<const double> obs_power = obs.cores.power_w();
   const std::span<const double> obs_stall = obs.cores.mem_stall_frac();
   const std::span<const double> obs_temp = obs.cores.temp_c();
+  const std::span<const std::uint8_t> obs_online = obs.cores.online();
 
-  // Smooth the reallocation inputs.
+  // Smooth the reallocation inputs. Offline (power-gated) cores are
+  // masked out: their zeroed sensors are gating artifacts, not demand
+  // signals, and must not decay the EMAs they resume with.
   for (std::size_t i = 0; i < n_cores_; ++i) {
+    if (obs_online[i] == 0) continue;
     power_ema_[i].update(obs_power[i]);
     sens_ema_[i].update(1.0 - obs_stall[i]);
   }
@@ -227,10 +232,14 @@ void OdrlController::decide_into(const sim::EpochResult& obs,
                      config_.overcommit_min, config_.overcommit_max);
     demands_.resize(n_cores_);
     for (std::size_t i = 0; i < n_cores_; ++i) {
-      demands_[i].power_w = power_ema_[i].value();
-      demands_[i].sensitivity = sens_ema_[i].value();
+      // An offline core presents zero demand and can never raise: the
+      // reallocator migrates its share to cores that can spend it (it
+      // still receives the floor fraction -- watts parked, not minted).
+      const bool online = obs_online[i] != 0;
+      demands_[i].power_w = online ? power_ema_[i].value() : 0.0;
+      demands_[i].sensitivity = online ? sens_ema_[i].value() : 0.0;
       demands_[i].budget_w = budgets_[i];
-      demands_[i].can_raise = obs_level[i] + 1 < n_levels_;
+      demands_[i].can_raise = online && obs_level[i] + 1 < n_levels_;
     }
     realloc_target_.resize(n_cores_);
     reallocate_budget_into(demands_, mu_ * chip_budget_w_, config_.realloc,
@@ -286,6 +295,16 @@ void OdrlController::decide_into(const sim::EpochResult& obs,
       [&](std::size_t begin, std::size_t end) {
         double local_sum = 0.0;
         for (std::size_t i = begin; i < end; ++i) {
+          // A power-gated core sits out the TD loop entirely: no action
+          // (its exploration stream draws nothing), no learning from its
+          // zeroed sensors, level held for its return. The was_offline_
+          // flag also suppresses the update *across* the gap -- the
+          // stored (s, a) predate the outage.
+          if (obs_online[i] == 0) {
+            was_offline_[i] = 1;
+            out[i] = obs_level[i];
+            continue;
+          }
           // Headroom relative to the *penalized* cap, so ratio 1.0 (a bin
           // edge) is exactly where the reward turns negative.
           const double cap = config_.target_utilization * budgets_[i];
@@ -297,7 +316,7 @@ void OdrlController::decide_into(const sim::EpochResult& obs,
           // the action actually taken; Q-learning ignores it
           // (max-bootstrap).
           const std::size_t action = agents_[i].act(state, rngs_[i]);
-          if (have_prev_) {
+          if (have_prev_ && was_offline_[i] == 0) {
             const double r = reward(obs_power[i], obs_stall[i], obs_level[i],
                                     obs_temp[i], budgets_[i]);
             local_sum += r;
@@ -306,6 +325,7 @@ void OdrlController::decide_into(const sim::EpochResult& obs,
           }
           prev_state_[i] = state;
           prev_action_[i] = action;
+          was_offline_[i] = 0;
           out[i] = apply_action(obs_level[i], action);
         }
         return local_sum;
@@ -341,6 +361,7 @@ void OdrlController::reset() {
   std::fill(budgets_.begin(), budgets_.end(),
             chip_budget_w_ / static_cast<double>(n_cores_));
   have_prev_ = false;
+  std::fill(was_offline_.begin(), was_offline_.end(), 0);
   last_mean_reward_ = 0.0;
   realloc_count_ = 0;
   epochs_seen_ = 0;

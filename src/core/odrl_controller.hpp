@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <iosfwd>
 #include <memory>
 #include <span>
@@ -188,6 +189,10 @@ class OdrlController final : public sim::Controller {
   std::vector<std::size_t> prev_state_;
   std::vector<std::size_t> prev_action_;
   bool have_prev_ = false;
+  /// 1 while a core sat out the previous epoch offline (hotplug fault):
+  /// its (s, a) bookkeeping is stale, so the TD update across the gap is
+  /// suppressed when the core returns. All-zero in fault-free runs.
+  std::vector<std::uint8_t> was_offline_;
 
   // Frequencies of the V/F table (GHz), used to normalize the reward's
   // throughput term against what the current phase could attain at f_max.

@@ -1,6 +1,7 @@
 #include "core/vfi_adapter.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <stdexcept>
 
 #include "sim/validate.hpp"
@@ -59,6 +60,7 @@ void VfiAdapter::aggregate_into(const sim::EpochResult& obs) {
   const std::span<const double> power = obs.cores.power_w();
   const std::span<const double> stall = obs.cores.mem_stall_frac();
   const std::span<const double> temp = obs.cores.temp_c();
+  const std::span<const std::uint8_t> online = obs.cores.online();
   const std::span<std::size_t> agg_level = island_obs_.cores.level();
   const std::span<double> agg_ips = island_obs_.cores.ips();
   const std::span<double> agg_instr = island_obs_.cores.instructions();
@@ -66,6 +68,7 @@ void VfiAdapter::aggregate_into(const sim::EpochResult& obs) {
   const std::span<double> agg_true_power = island_obs_.cores.true_power_w();
   const std::span<double> agg_stall = island_obs_.cores.mem_stall_frac();
   const std::span<double> agg_temp = island_obs_.cores.temp_c();
+  const std::span<std::uint8_t> agg_online = island_obs_.cores.online();
 
   for (std::size_t i = 0; i < partition_.n_islands(); ++i) {
     std::size_t shared_level = 0;
@@ -74,6 +77,7 @@ void VfiAdapter::aggregate_into(const sim::EpochResult& obs) {
     double sum_power = 0.0;
     double stall_weighted = 0.0;
     double max_temp = 0.0;
+    bool any_online = false;
     for (std::size_t core : partition_.island(i)) {
       shared_level = level[core];  // all members share the island level
       sum_ips += ips[core];
@@ -81,6 +85,7 @@ void VfiAdapter::aggregate_into(const sim::EpochResult& obs) {
       sum_power += power[core];
       stall_weighted += stall[core] * ips[core];
       max_temp = std::max(max_temp, temp[core]);
+      any_online = any_online || online[core] != 0;
     }
     agg_level[i] = shared_level;
     agg_ips[i] = sum_ips;
@@ -89,6 +94,10 @@ void VfiAdapter::aggregate_into(const sim::EpochResult& obs) {
     agg_true_power[i] = 0.0;  // not aggregated (controllers must not read)
     agg_stall[i] = sum_ips > 0.0 ? stall_weighted / sum_ips : 0.0;
     agg_temp[i] = max_temp;
+    // An island counts as online while any member still is: offline members
+    // contribute zeros to the sums above, so the inner controller sees the
+    // island shrink rather than vanish.
+    agg_online[i] = any_online ? 1 : 0;
   }
 }
 

@@ -52,6 +52,14 @@ QTable load_qtable(std::istream& in) {
   if (!(in >> n_states >> n_actions) || n_states == 0 || n_actions == 0) {
     throw std::runtime_error("load_qtable: bad dimensions");
   }
+  // Bound the declared size before allocating for it: a corrupt (or
+  // hostile) header must be rejected, not obeyed. The cap is far above any
+  // real policy -- the largest configured state space is a few thousand
+  // states by tens of actions.
+  constexpr std::size_t kMaxCells = std::size_t{1} << 26;
+  if (n_states > kMaxCells || n_actions > kMaxCells / n_states) {
+    throw std::runtime_error("load_qtable: implausible dimensions");
+  }
   QTable table(n_states, n_actions);
   for (std::size_t s = 0; s < n_states; ++s) {
     std::string tag;

@@ -1,0 +1,592 @@
+#include "sim/faults.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+#include <string_view>
+
+#include "util/rng.hpp"
+
+namespace odrl::sim {
+
+namespace {
+
+constexpr const char* kMagic = "# odrl-faults v1";
+constexpr const char* kHeader = "epoch,kind,core,duration,magnitude";
+
+/// Does this kind consume FaultEvent::magnitude, and what must it be?
+bool kind_needs_magnitude(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kSensorSaturate:
+    case FaultKind::kActuationDelay:
+    case FaultKind::kBudgetStep:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::vector<std::string> split(const std::string& line) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (;;) {
+    const auto comma = line.find(',', start);
+    if (comma == std::string::npos) {
+      out.push_back(line.substr(start));
+      return out;
+    }
+    out.push_back(line.substr(start, comma - start));
+    start = comma + 1;
+  }
+}
+
+double parse_double(const std::string& s, const char* what) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(s, &used);
+    if (used != s.size()) throw std::invalid_argument(s);
+    return v;
+  } catch (const std::exception&) {
+    throw std::runtime_error(std::string("fault schedule parse: bad ") +
+                             what + " value '" + s + "'");
+  }
+}
+
+std::size_t parse_size(const std::string& s, const char* what) {
+  try {
+    std::size_t used = 0;
+    const unsigned long long v = std::stoull(s, &used);
+    if (used != s.size()) throw std::invalid_argument(s);
+    return static_cast<std::size_t>(v);
+  } catch (const std::exception&) {
+    throw std::runtime_error(std::string("fault schedule parse: bad ") +
+                             what + " value '" + s + "'");
+  }
+}
+
+FaultKind parse_kind(const std::string& s) {
+  for (FaultKind kind :
+       {FaultKind::kSensorStuckZero, FaultKind::kSensorStuckLast,
+        FaultKind::kSensorSaturate, FaultKind::kActuationDelay,
+        FaultKind::kActuationDrop, FaultKind::kBudgetStep,
+        FaultKind::kCoreOffline}) {
+    if (s == fault_kind_name(kind)) return kind;
+  }
+  throw std::runtime_error("fault schedule parse: unknown kind '" + s + "'");
+}
+
+/// Stable order for storage and serialization: by epoch, then core (with
+/// chip-wide events last at their epoch), then kind.
+bool event_less(const FaultEvent& a, const FaultEvent& b) {
+  if (a.epoch != b.epoch) return a.epoch < b.epoch;
+  if (a.core != b.core) return a.core < b.core;
+  return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+}
+
+}  // namespace
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kSensorStuckZero:
+      return "sensor_stuck_zero";
+    case FaultKind::kSensorStuckLast:
+      return "sensor_stuck_last";
+    case FaultKind::kSensorSaturate:
+      return "sensor_saturate";
+    case FaultKind::kActuationDelay:
+      return "actuation_delay";
+    case FaultKind::kActuationDrop:
+      return "actuation_drop";
+    case FaultKind::kBudgetStep:
+      return "budget_step";
+    case FaultKind::kCoreOffline:
+      return "core_offline";
+  }
+  throw std::invalid_argument("fault_kind_name: invalid kind");
+}
+
+void StormConfig::validate() const {
+  for (double rate : {sensor_rate, actuation_rate, offline_rate,
+                      budget_rate}) {
+    if (!(rate >= 0.0 && rate <= 1.0)) {
+      throw std::invalid_argument("StormConfig: rates must be in [0, 1]");
+    }
+  }
+  if (min_duration == 0 || max_duration < min_duration) {
+    throw std::invalid_argument(
+        "StormConfig: need 0 < min_duration <= max_duration");
+  }
+  if (max_delay_epochs == 0) {
+    throw std::invalid_argument("StormConfig: max_delay_epochs == 0");
+  }
+  if (!(min_budget_factor > 0.0) ||
+      !(max_budget_factor >= min_budget_factor) ||
+      !std::isfinite(max_budget_factor)) {
+    throw std::invalid_argument(
+        "StormConfig: need 0 < min_budget_factor <= max_budget_factor");
+  }
+  if (!(max_saturate_scale > 0.0) || !std::isfinite(max_saturate_scale)) {
+    throw std::invalid_argument("StormConfig: max_saturate_scale <= 0");
+  }
+}
+
+FaultSchedule& FaultSchedule::add(const FaultEvent& event) {
+  // Keep the list sorted: upper_bound preserves insertion order among
+  // equal keys, so builder order breaks ties deterministically.
+  const auto pos =
+      std::upper_bound(events_.begin(), events_.end(), event, event_less);
+  events_.insert(pos, event);
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::sensor_stuck_zero(std::size_t epoch,
+                                                std::size_t core,
+                                                std::size_t duration) {
+  return add({epoch, FaultKind::kSensorStuckZero, core, duration, 0.0});
+}
+
+FaultSchedule& FaultSchedule::sensor_stuck_last(std::size_t epoch,
+                                                std::size_t core,
+                                                std::size_t duration) {
+  return add({epoch, FaultKind::kSensorStuckLast, core, duration, 0.0});
+}
+
+FaultSchedule& FaultSchedule::sensor_saturate(std::size_t epoch,
+                                              std::size_t core,
+                                              std::size_t duration,
+                                              double scale) {
+  return add({epoch, FaultKind::kSensorSaturate, core, duration, scale});
+}
+
+FaultSchedule& FaultSchedule::actuation_delay(std::size_t epoch,
+                                              std::size_t core,
+                                              std::size_t duration,
+                                              std::size_t delay_epochs) {
+  return add({epoch, FaultKind::kActuationDelay, core, duration,
+              static_cast<double>(delay_epochs)});
+}
+
+FaultSchedule& FaultSchedule::actuation_drop(std::size_t epoch,
+                                             std::size_t core,
+                                             std::size_t duration) {
+  return add({epoch, FaultKind::kActuationDrop, core, duration, 0.0});
+}
+
+FaultSchedule& FaultSchedule::budget_step(std::size_t epoch,
+                                          std::size_t duration,
+                                          double factor) {
+  return add({epoch, FaultKind::kBudgetStep, kChipWide, duration, factor});
+}
+
+FaultSchedule& FaultSchedule::core_offline(std::size_t epoch,
+                                           std::size_t core,
+                                           std::size_t duration) {
+  return add({epoch, FaultKind::kCoreOffline, core, duration, 0.0});
+}
+
+void FaultSchedule::validate(std::size_t n_cores) const {
+  for (const FaultEvent& event : events_) {
+    if (event.duration == 0) {
+      throw std::invalid_argument("FaultSchedule: event with duration 0");
+    }
+    if (event.kind == FaultKind::kBudgetStep) {
+      if (event.core != kChipWide) {
+        throw std::invalid_argument(
+            "FaultSchedule: budget_step must be chip-wide (core = *)");
+      }
+    } else if (event.core >= n_cores) {
+      throw std::invalid_argument(
+          "FaultSchedule: core index " + std::to_string(event.core) +
+          " outside chip of " + std::to_string(n_cores) + " cores");
+    }
+    if (kind_needs_magnitude(event.kind)) {
+      if (!std::isfinite(event.magnitude) || event.magnitude <= 0.0) {
+        throw std::invalid_argument(
+            std::string("FaultSchedule: ") + fault_kind_name(event.kind) +
+            " needs a finite positive magnitude");
+      }
+    }
+    if (event.kind == FaultKind::kActuationDelay &&
+        event.magnitude != std::floor(event.magnitude)) {
+      throw std::invalid_argument(
+          "FaultSchedule: actuation_delay magnitude must be an integral "
+          "epoch count");
+    }
+  }
+}
+
+FaultSchedule FaultSchedule::random_storm(std::size_t n_cores,
+                                          std::size_t epochs,
+                                          std::uint64_t seed,
+                                          const StormConfig& storm) {
+  storm.validate();
+  if (n_cores == 0) {
+    throw std::invalid_argument("random_storm: n_cores == 0");
+  }
+  FaultSchedule schedule;
+  // Substream seeding mirrors the simulator's sensor-noise streams: core
+  // i's fault stream is the (i+1)-th SplitMix64 output -- a pure function
+  // of (seed, i), independent of n_cores iteration order. The chip-wide
+  // budget stream takes the next output after the last core.
+  util::SplitMix64 seeder(seed);
+  const auto duration_between = [&](util::Rng& rng) {
+    return static_cast<std::size_t>(
+        rng.between(static_cast<std::int64_t>(storm.min_duration),
+                    static_cast<std::int64_t>(storm.max_duration)));
+  };
+  for (std::size_t core = 0; core < n_cores; ++core) {
+    util::Rng rng(seeder.next());
+    // A core is given at most one fault of each family at a time: track
+    // the epoch each family is busy until so storms do not stack
+    // conflicting modes on one core.
+    std::size_t sensor_free = 0;
+    std::size_t act_free = 0;
+    std::size_t offline_free = 0;
+    for (std::size_t e = 0; e < epochs; ++e) {
+      if (e >= sensor_free && rng.chance(storm.sensor_rate)) {
+        const std::size_t duration = duration_between(rng);
+        switch (rng.below(3)) {
+          case 0:
+            schedule.sensor_stuck_zero(e, core, duration);
+            break;
+          case 1:
+            schedule.sensor_stuck_last(e, core, duration);
+            break;
+          default:
+            schedule.sensor_saturate(
+                e, core, duration,
+                rng.uniform(1.5, storm.max_saturate_scale));
+            break;
+        }
+        sensor_free = e + duration;
+      }
+      if (e >= act_free && rng.chance(storm.actuation_rate)) {
+        const std::size_t duration = duration_between(rng);
+        if (rng.chance(0.5)) {
+          schedule.actuation_delay(
+              e, core, duration,
+              static_cast<std::size_t>(rng.between(
+                  1, static_cast<std::int64_t>(storm.max_delay_epochs))));
+        } else {
+          schedule.actuation_drop(e, core, duration);
+        }
+        act_free = e + duration;
+      }
+      if (e >= offline_free && rng.chance(storm.offline_rate)) {
+        const std::size_t duration = duration_between(rng);
+        schedule.core_offline(e, core, duration);
+        offline_free = e + duration;
+      }
+    }
+  }
+  util::Rng budget_rng(seeder.next());
+  std::size_t budget_free = 0;
+  for (std::size_t e = 0; e < epochs; ++e) {
+    if (e >= budget_free && budget_rng.chance(storm.budget_rate)) {
+      const std::size_t duration = duration_between(budget_rng);
+      schedule.budget_step(e, duration,
+                           budget_rng.uniform(storm.min_budget_factor,
+                                              storm.max_budget_factor));
+      budget_free = e + duration;
+    }
+  }
+  return schedule;
+}
+
+void save_fault_schedule(const FaultSchedule& schedule, std::ostream& out) {
+  out << kMagic << '\n' << kHeader << '\n';
+  char buf[32];
+  for (const FaultEvent& event : schedule.events()) {
+    out << event.epoch << ',' << fault_kind_name(event.kind) << ',';
+    if (event.core == kChipWide) {
+      out << '*';
+    } else {
+      out << event.core;
+    }
+    out << ',' << event.duration << ',';
+    auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), event.magnitude);
+    if (ec != std::errc()) {
+      throw std::runtime_error("save_fault_schedule: formatting failed");
+    }
+    out << std::string_view(buf, static_cast<std::size_t>(ptr - buf))
+        << '\n';
+  }
+  if (!out) throw std::runtime_error("save_fault_schedule: stream failure");
+}
+
+FaultSchedule load_fault_schedule(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line) || line != kMagic) {
+    throw std::runtime_error("load_fault_schedule: missing magic header");
+  }
+  if (!std::getline(in, line) || line != kHeader) {
+    throw std::runtime_error("load_fault_schedule: missing column header");
+  }
+  FaultSchedule schedule;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const auto cells = split(line);
+    if (cells.size() != 5) {
+      throw std::runtime_error(
+          "load_fault_schedule: row with wrong arity: " + line);
+    }
+    FaultEvent event;
+    event.epoch = parse_size(cells[0], "epoch");
+    event.kind = parse_kind(cells[1]);
+    event.core = cells[2] == "*" ? kChipWide : parse_size(cells[2], "core");
+    event.duration = parse_size(cells[3], "duration");
+    event.magnitude = parse_double(cells[4], "magnitude");
+    if (event.duration == 0) {
+      throw std::runtime_error(
+          "load_fault_schedule: event with duration 0: " + line);
+    }
+    if (event.kind == FaultKind::kBudgetStep) {
+      if (event.core != kChipWide) {
+        throw std::runtime_error(
+            "load_fault_schedule: budget_step must use core '*': " + line);
+      }
+    } else if (event.core == kChipWide) {
+      throw std::runtime_error(
+          "load_fault_schedule: per-core kind with core '*': " + line);
+    }
+    if (kind_needs_magnitude(event.kind) &&
+        (!std::isfinite(event.magnitude) || event.magnitude <= 0.0)) {
+      throw std::runtime_error(
+          "load_fault_schedule: magnitude must be finite and > 0: " + line);
+    }
+    schedule.add(event);
+  }
+  return schedule;
+}
+
+void save_fault_schedule_file(const FaultSchedule& schedule,
+                              const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("save_fault_schedule_file: cannot open " +
+                             path);
+  }
+  save_fault_schedule(schedule, out);
+  // Flush before the destructor would swallow the error: a full disk must
+  // surface here, not as a mysteriously truncated file.
+  out.flush();
+  if (!out) {
+    throw std::runtime_error("save_fault_schedule_file: write failed for " +
+                             path);
+  }
+}
+
+FaultSchedule load_fault_schedule_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("load_fault_schedule_file: cannot open " +
+                             path);
+  }
+  return load_fault_schedule(in);
+}
+
+FaultEngine::FaultEngine(const FaultSchedule& schedule, std::size_t n_cores)
+    : n_cores_(n_cores),
+      events_(schedule.events()),
+      sensor_mode_(n_cores, SensorMode::kNone),
+      sensor_until_(n_cores, 0),
+      sensor_scale_(n_cores, 1.0),
+      act_mode_(n_cores, ActMode::kNone),
+      act_until_(n_cores, 0),
+      act_delay_(n_cores, 0),
+      offline_until_(n_cores, 0),
+      offline_(n_cores, 0),
+      last_ips_(n_cores, 0.0),
+      last_power_(n_cores, 0.0),
+      last_applied_(n_cores, 0) {
+  schedule.validate(n_cores);
+  std::size_t max_delay = 0;
+  std::size_t n_budget_events = 0;
+  for (const FaultEvent& event : events_) {
+    if (event.kind == FaultKind::kActuationDelay) {
+      max_delay = std::max(max_delay,
+                           static_cast<std::size_t>(event.magnitude));
+    }
+    if (event.kind == FaultKind::kBudgetStep) ++n_budget_events;
+  }
+  history_depth_ = max_delay + 1;
+  history_.assign(history_depth_ * n_cores_, 0);
+  active_budgets_.assign(std::max<std::size_t>(n_budget_events, 1), {});
+}
+
+void FaultEngine::activate(const FaultEvent& event) {
+  const std::size_t until = epoch_ + event.duration;
+  switch (event.kind) {
+    case FaultKind::kSensorStuckZero:
+      sensor_mode_[event.core] = SensorMode::kZero;
+      sensor_until_[event.core] = until;
+      ++counts_.sensor;
+      break;
+    case FaultKind::kSensorStuckLast:
+      sensor_mode_[event.core] = SensorMode::kLast;
+      sensor_until_[event.core] = until;
+      ++counts_.sensor;
+      break;
+    case FaultKind::kSensorSaturate:
+      sensor_mode_[event.core] = SensorMode::kSaturate;
+      sensor_until_[event.core] = until;
+      sensor_scale_[event.core] = event.magnitude;
+      ++counts_.sensor;
+      break;
+    case FaultKind::kActuationDelay:
+      act_mode_[event.core] = ActMode::kDelay;
+      act_until_[event.core] = until;
+      act_delay_[event.core] = static_cast<std::size_t>(event.magnitude);
+      ++counts_.actuation;
+      break;
+    case FaultKind::kActuationDrop:
+      act_mode_[event.core] = ActMode::kDrop;
+      act_until_[event.core] = until;
+      ++counts_.actuation;
+      break;
+    case FaultKind::kBudgetStep:
+      active_budgets_[n_active_budgets_++] = {until, event.magnitude};
+      ++counts_.budget;
+      break;
+    case FaultKind::kCoreOffline:
+      offline_until_[event.core] = until;
+      ++counts_.hotplug;
+      break;
+  }
+}
+
+void FaultEngine::begin_epoch() {
+  // Activate this epoch's scheduled events. Events may share an epoch;
+  // the schedule is sorted so the cursor never rewinds. Events scheduled
+  // for epochs the run never reached are simply never activated.
+  while (next_event_ < events_.size() &&
+         events_[next_event_].epoch <= epoch_) {
+    // A late attach (epoch < current) would silently drop events; the
+    // runner always attaches a fresh engine, so only == occurs.
+    if (events_[next_event_].epoch == epoch_) {
+      activate(events_[next_event_]);
+    }
+    ++next_event_;
+  }
+
+  // Refresh the per-core masks and the activity census for this epoch.
+  // O(n_cores) over scalars in the serial prologue -- negligible next to
+  // the step's per-core model work.
+  active_count_ = 0;
+  sensor_active_ = 0;
+  for (std::size_t i = 0; i < n_cores_; ++i) {
+    const bool sensor = epoch_ < sensor_until_[i];
+    const bool act = epoch_ < act_until_[i];
+    const bool off = epoch_ < offline_until_[i];
+    if (!sensor) sensor_mode_[i] = SensorMode::kNone;
+    if (!act) act_mode_[i] = ActMode::kNone;
+    offline_[i] = off ? 1 : 0;
+    active_count_ += static_cast<std::size_t>(sensor) +
+                     static_cast<std::size_t>(act) +
+                     static_cast<std::size_t>(off);
+    sensor_active_ += static_cast<std::size_t>(sensor);
+  }
+
+  // Compact expired budget steps and fold the survivors' factors.
+  std::size_t kept = 0;
+  budget_factor_ = 1.0;
+  for (std::size_t b = 0; b < n_active_budgets_; ++b) {
+    if (epoch_ < active_budgets_[b].until) {
+      budget_factor_ *= active_budgets_[b].factor;
+      active_budgets_[kept++] = active_budgets_[b];
+    }
+  }
+  n_active_budgets_ = kept;
+  active_count_ += n_active_budgets_;
+
+  ++epoch_;
+}
+
+void FaultEngine::apply_actuation(std::span<const std::size_t> requested,
+                                  std::span<std::size_t> applied) {
+  if (requested.size() != n_cores_ || applied.size() != n_cores_) {
+    throw std::invalid_argument("FaultEngine::apply_actuation: span size");
+  }
+  // Record this epoch's requests into the history ring first, so a delay
+  // of 0 (never scheduled, but defensively) would read the fresh value
+  // and a delay of d reads the request from d epochs ago.
+  std::size_t* slot = &history_[history_head_ * n_cores_];
+  std::copy(requested.begin(), requested.end(), slot);
+  if (history_size_ < history_depth_) ++history_size_;
+
+  for (std::size_t i = 0; i < n_cores_; ++i) {
+    std::size_t level = requested[i];
+    switch (act_mode_[i]) {
+      case ActMode::kDelay: {
+        // Clamp to the oldest recorded request while history fills.
+        const std::size_t lag = std::min(act_delay_[i], history_size_ - 1);
+        const std::size_t row =
+            (history_head_ + history_depth_ - lag) % history_depth_;
+        level = history_[row * n_cores_ + i];
+        break;
+      }
+      case ActMode::kDrop:
+        if (have_last_applied_) level = last_applied_[i];
+        break;
+      case ActMode::kNone:
+        break;
+    }
+    applied[i] = level;
+    last_applied_[i] = level;
+  }
+  have_last_applied_ = true;
+  history_head_ = (history_head_ + 1) % history_depth_;
+}
+
+double FaultEngine::filter_ips(std::size_t i, double measured) {
+  switch (sensor_mode_[i]) {
+    case SensorMode::kZero:
+      return 0.0;
+    case SensorMode::kLast:
+      return last_ips_[i];
+    case SensorMode::kSaturate:
+      measured *= sensor_scale_[i];
+      break;
+    case SensorMode::kNone:
+      break;
+  }
+  last_ips_[i] = measured;
+  return measured;
+}
+
+double FaultEngine::filter_power(std::size_t i, double measured) {
+  switch (sensor_mode_[i]) {
+    case SensorMode::kZero:
+      return 0.0;
+    case SensorMode::kLast:
+      return last_power_[i];
+    case SensorMode::kSaturate:
+      measured *= sensor_scale_[i];
+      break;
+    case SensorMode::kNone:
+      break;
+  }
+  last_power_[i] = measured;
+  return measured;
+}
+
+std::size_t safe_uniform_level(const arch::ChipConfig& chip,
+                               double budget_w) {
+  const double hot = chip.thermal().max_junction_c;
+  const double n = static_cast<double>(chip.n_cores());
+  std::size_t best = 0;
+  for (std::size_t l = 0; l < chip.vf_table().size(); ++l) {
+    const arch::VfPoint& vf = chip.vf_table()[l];
+    const double worst_w = chip.core().total_power_w(vf.voltage_v,
+                                                     vf.freq_ghz,
+                                                     /*activity=*/1.0, hot) *
+                           n;
+    if (worst_w <= budget_w) best = l;
+  }
+  return best;
+}
+
+}  // namespace odrl::sim

@@ -10,7 +10,9 @@
 // steady-state heap allocations (see DESIGN.md "Epoch data path").
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
+#include <cstdint>
 #include <iterator>
 #include <span>
 #include <vector>
@@ -29,6 +31,7 @@ struct CoreObservation {
                                 ///< controllers must not read this)
   double mem_stall_frac = 0.0;  ///< stall-cycle fraction (memory intensity)
   double temp_c = 0.0;          ///< junction temperature
+  bool online = true;           ///< false while power-gated (hotplug fault)
 };
 
 /// Structure-of-arrays block of per-core sensor samples. Each field is a
@@ -41,9 +44,11 @@ class CoreSamples {
   std::size_t size() const noexcept { return level_.size(); }
   bool empty() const noexcept { return level_.empty(); }
 
-  /// Grows or shrinks every column; new slots are value-initialized (zero).
-  /// Shrinking then re-growing reuses capacity -- no steady-state
-  /// allocations once the high-water mark is reached.
+  /// Grows or shrinks every column; new slots are value-initialized
+  /// (zero), except `online`, whose new slots are 1 -- a core is online
+  /// unless a fault engine gates it. Shrinking then re-growing reuses
+  /// capacity -- no steady-state allocations once the high-water mark is
+  /// reached.
   void resize(std::size_t n) {
     level_.resize(n);
     ips_.resize(n);
@@ -52,6 +57,9 @@ class CoreSamples {
     true_power_w_.resize(n);
     mem_stall_frac_.resize(n);
     temp_c_.resize(n);
+    const std::size_t old = online_.size();
+    online_.resize(n);
+    if (n > old) std::fill(online_.begin() + old, online_.end(), 1);
   }
 
   // Column accessors (mutable + const). Spans stay valid until the next
@@ -76,6 +84,9 @@ class CoreSamples {
   }
   std::span<double> temp_c() noexcept { return temp_c_; }
   std::span<const double> temp_c() const noexcept { return temp_c_; }
+  /// 1 = core active, 0 = power-gated this epoch (hotplug fault).
+  std::span<std::uint8_t> online() noexcept { return online_; }
+  std::span<const std::uint8_t> online() const noexcept { return online_; }
 
   /// Row snapshot (by value). Fine for cold paths and tests; hot loops
   /// should read the column spans instead.
@@ -88,6 +99,7 @@ class CoreSamples {
     c.true_power_w = true_power_w_[i];
     c.mem_stall_frac = mem_stall_frac_[i];
     c.temp_c = temp_c_[i];
+    c.online = online_[i] != 0;
     return c;
   }
 
@@ -100,6 +112,7 @@ class CoreSamples {
     true_power_w_[i] = c.true_power_w;
     mem_stall_frac_[i] = c.mem_stall_frac;
     temp_c_[i] = c.temp_c;
+    online_[i] = c.online ? 1 : 0;
   }
 
   /// Input iterator yielding CoreObservation snapshots, so range-for over
@@ -146,6 +159,7 @@ class CoreSamples {
   std::vector<double> true_power_w_;
   std::vector<double> mem_stall_frac_;
   std::vector<double> temp_c_;
+  std::vector<std::uint8_t> online_;  ///< new slots fill with 1, not 0
 };
 
 /// Chip-wide snapshot after one epoch; input to Controller::decide_into().

@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cmath>
+#include <optional>
 #include <stdexcept>
 
 #include "power/energy.hpp"
@@ -9,6 +10,19 @@
 #include "util/check.hpp"
 
 namespace odrl::sim {
+
+void WatchdogConfig::validate() const {
+  if (violation_epochs == 0) {
+    throw std::invalid_argument("WatchdogConfig: violation_epochs == 0");
+  }
+  if (!std::isfinite(violation_margin) || violation_margin < 0.0) {
+    throw std::invalid_argument(
+        "WatchdogConfig: violation_margin must be finite and >= 0");
+  }
+  if (hold_epochs == 0) {
+    throw std::invalid_argument("WatchdogConfig: hold_epochs == 0");
+  }
+}
 
 void RunConfig::validate() const {
   if (epochs == 0) throw std::invalid_argument("RunConfig: epochs == 0");
@@ -20,6 +34,7 @@ void RunConfig::validate() const {
       throw std::invalid_argument("RunConfig: budget events not sorted");
     }
   }
+  watchdog.validate();
 }
 
 double RunResult::bips() const {
@@ -124,20 +139,85 @@ RunResult run_closed_loop(ManyCoreSystem& system, Controller& controller,
   std::vector<std::size_t> next_levels(n_cores, 0);
   EpochResult obs;
 
+  // Fault engine, built up front (the construction allocates; attachment
+  // happens after warmup so fault-event epochs count from measured epoch
+  // 0, like budget_events).
+  std::optional<FaultEngine> fault_engine;
+  if (config.faults != nullptr && !config.faults->empty()) {
+    fault_engine.emplace(*config.faults, n_cores);
+  }
+
+  // Watchdog state, preallocated outside the epoch loop. `fallback_hold`
+  // counts the epochs each core still owes at the safe level; the safe
+  // level itself is re-derived whenever the observed budget moves (cap
+  // events and budget-step faults both shift it).
+  const WatchdogConfig& wd = config.watchdog;
+  std::vector<std::size_t> fallback_hold(n_cores, 0);
+  std::size_t consecutive_violations = 0;
+  std::size_t safe_level = 0;
+  double safe_level_budget_w = -1.0;
+
   // One epoch of the closed loop -- the single code path both the warmup
   // and measured regions share; returns the decide_into() wall time. The
   // ODRL_CHECKED contracts bracket the controller boundary: the out-span
   // must be well-shaped and non-aliasing going in, and every level the
   // controller wrote must index the V/F table coming out -- caught here,
-  // one call before the system would fault on it.
-  [[maybe_unused]] const std::size_t n_levels =
-      system.config().vf_table().size();
+  // one call before the system would fault on it. The watchdog slots in
+  // on both sides of that boundary: it observes the step's chip power
+  // before the decision and sanitizes/overrides the decision *before*
+  // validate_levels, so a misbehaving controller degrades to the safe
+  // level instead of aborting a checked run.
+  const std::size_t n_levels = system.config().vf_table().size();
   auto run_epoch = [&]() -> double {
     system.step_into(levels, obs);
+    if (wd.enabled) {
+      if (obs.budget_w != safe_level_budget_w) {
+        safe_level = safe_uniform_level(system.config(), obs.budget_w);
+        safe_level_budget_w = obs.budget_w;
+      }
+      const FaultEngine* fe = system.fault_engine();
+      const bool faults_active = fe != nullptr && fe->any_active();
+      if (faults_active &&
+          obs.chip_power_w > obs.budget_w * (1.0 + wd.violation_margin)) {
+        ++consecutive_violations;
+      } else {
+        consecutive_violations = 0;
+      }
+    }
     ODRL_VALIDATE(validate_out_span(obs, next_levels));
     const auto t0 = Clock::now();
     controller.decide_into(obs, next_levels);
     const auto t1 = Clock::now();
+    if (wd.enabled) {
+      // Out-of-range decisions: sanitize per offending core.
+      for (std::size_t i = 0; i < n_cores; ++i) {
+        if (next_levels[i] >= n_levels) {
+          next_levels[i] = safe_level;
+          ++result.watchdog_invalid_decisions;
+          if (fallback_hold[i] == 0) ++result.watchdog_fallback_entries;
+          fallback_hold[i] = wd.hold_epochs;
+        }
+      }
+      // Chip-wide trip: the controller kept blowing the budget while its
+      // inputs were compromised -- every core falls back.
+      if (consecutive_violations >= wd.violation_epochs) {
+        for (std::size_t i = 0; i < n_cores; ++i) {
+          if (fallback_hold[i] == 0) ++result.watchdog_fallback_entries;
+          fallback_hold[i] = wd.hold_epochs;
+        }
+        consecutive_violations = 0;
+      }
+      // Enforce the safe level on held cores and pay down their holds.
+      bool any_fallback = false;
+      for (std::size_t i = 0; i < n_cores; ++i) {
+        if (fallback_hold[i] > 0) {
+          next_levels[i] = safe_level;
+          any_fallback = true;
+          if (--fallback_hold[i] == 0) ++result.watchdog_fallback_exits;
+        }
+      }
+      if (any_fallback) ++result.watchdog_fallback_epochs;
+    }
     ODRL_VALIDATE(validate_levels(next_levels, n_levels));
     levels.swap(next_levels);
     return std::chrono::duration<double>(t1 - t0).count();
@@ -161,6 +241,10 @@ RunResult run_closed_loop(ManyCoreSystem& system, Controller& controller,
     (void)run_epoch();
   }
 
+  // Fault injection starts with the measured region: engine epoch 0 is
+  // measured epoch 0 (mirroring budget_events' clock).
+  if (fault_engine.has_value()) system.set_fault_engine(&*fault_engine);
+
   accountant.set_budget_w(system.budget_w());
   for (std::size_t e = 0; e < config.epochs; ++e) {
     while (next_event < config.budget_events.size() &&
@@ -178,6 +262,11 @@ RunResult run_closed_loop(ManyCoreSystem& system, Controller& controller,
     for (double instructions : obs.cores.instructions()) {
       result.total_instructions += instructions;
     }
+    // The budget of record for this epoch is the *observed* one --
+    // budget-step faults scale it below the cap-event schedule's value,
+    // and overshoot must be judged against what was actually in force.
+    // Fault-free this equals the accountant's current budget (no-op).
+    accountant.set_budget_w(obs.budget_w);
     accountant.add_epoch(obs.true_chip_power_w, obs.epoch_s);
     if (obs.thermal_violations > 0) ++result.thermal_violation_epochs;
     result.decision_time_s += decide_s;
@@ -225,6 +314,10 @@ RunResult run_closed_loop(ManyCoreSystem& system, Controller& controller,
   result.peak_overshoot_w = accountant.peak_overshoot_w();
   result.mean_power_w = accountant.mean_power_w();
 
+  if (fault_engine.has_value()) {
+    result.fault_events_applied = fault_engine->counts().total();
+  }
+
   if (rec) {
     rec->counter("run.epochs").add(config.epochs);
     rec->counter("run.decisions").add(result.decisions);
@@ -232,9 +325,28 @@ RunResult run_closed_loop(ManyCoreSystem& system, Controller& controller,
         .add(result.thermal_violation_epochs);
     rec->gauge("run.mean_power_w").set(result.mean_power_w);
     rec->gauge("run.otb_energy_j").set(result.otb_energy_j);
+    if (fault_engine.has_value()) {
+      const FaultCounts& counts = fault_engine->counts();
+      rec->counter("faults.sensor").add(counts.sensor);
+      rec->counter("faults.actuation").add(counts.actuation);
+      rec->counter("faults.budget").add(counts.budget);
+      rec->counter("faults.hotplug").add(counts.hotplug);
+    }
+    if (wd.enabled) {
+      rec->counter("watchdog.invalid_decisions")
+          .add(result.watchdog_invalid_decisions);
+      rec->counter("watchdog.fallback_entries")
+          .add(result.watchdog_fallback_entries);
+      rec->counter("watchdog.fallback_exits")
+          .add(result.watchdog_fallback_exits);
+      rec->counter("watchdog.fallback_epochs")
+          .add(result.watchdog_fallback_epochs);
+    }
     rec->end_run();
   }
-  // Detach: the recorder's lifetime is only guaranteed for this run.
+  // Detach: the recorder's and engine's lifetimes are only guaranteed for
+  // this run.
+  system.set_fault_engine(nullptr);
   system.set_recorder(nullptr);
   controller.set_recorder(nullptr);
   return result;

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "sim/controller.hpp"
+#include "sim/faults.hpp"
 #include "sim/system.hpp"
 #include "telemetry/record.hpp"
 #include "telemetry/recorder.hpp"
@@ -26,6 +27,33 @@ using EpochTrace = telemetry::EpochRecord;
 struct BudgetEvent {
   std::size_t epoch = 0;
   double budget_w = 0.0;
+};
+
+/// Graceful-degradation policy: a per-core fallback to the safe static
+/// level (safe_uniform_level of the budget in force) when the controller
+/// misbehaves. Two triggers:
+///
+///  * an out-of-range decided level -- sanitized to the safe level
+///    immediately and that core enters fallback (any build mode; in
+///    ODRL_CHECKED builds this fires *before* validate_levels would
+///    throw, so a flaky controller degrades instead of aborting the run);
+///  * `violation_epochs` consecutive epochs with measured chip power
+///    above budget * (1 + violation_margin) while the fault engine
+///    reports active faults -- every core enters fallback (the
+///    controller's inputs are compromised chip-wide).
+///
+/// A core holds the safe level for `hold_epochs` epochs, then control is
+/// handed back to the controller. Entries/exits/epochs are counted in
+/// RunResult and the run's telemetry. While every core sits in fallback,
+/// worst-case provisioning keeps chip power under the budget (the
+/// bench_e12 acceptance property).
+struct WatchdogConfig {
+  bool enabled = false;
+  std::size_t violation_epochs = 3;
+  double violation_margin = 0.02;
+  std::size_t hold_epochs = 50;
+
+  void validate() const;
 };
 
 struct RunConfig {
@@ -59,6 +87,17 @@ struct RunConfig {
   /// are bit-identical with and without a recorder, at any thread count.
   telemetry::Recorder* recorder = nullptr;
 
+  /// Optional fault schedule (non-owning; must outlive the run). The
+  /// runner builds a FaultEngine from it and attaches the engine at the
+  /// start of the *measured* region -- fault-event epochs count from
+  /// measured epoch 0, mirroring budget_events -- and detaches it at run
+  /// end. A null (or empty) schedule leaves the run bit-identical to one
+  /// with no fault plumbing at all.
+  const FaultSchedule* faults = nullptr;
+
+  /// Controller watchdog (off by default; see WatchdogConfig).
+  WatchdogConfig watchdog;
+
   void validate() const;
 };
 
@@ -78,6 +117,15 @@ struct RunResult {
   double decision_time_s = 0.0;   ///< cumulative wall time inside decide()
   std::size_t decisions = 0;
   std::size_t thermal_violation_epochs = 0;
+
+  // -- Fault-injection & graceful-degradation accounting (all zero when
+  //    no schedule / watchdog is configured) --
+  std::size_t fault_events_applied = 0;     ///< schedule events activated
+  std::size_t watchdog_invalid_decisions = 0;  ///< levels sanitized
+  std::size_t watchdog_fallback_entries = 0;   ///< per-core entries
+  std::size_t watchdog_fallback_exits = 0;     ///< per-core exits
+  std::size_t watchdog_fallback_epochs = 0;    ///< epochs with any core
+                                               ///< held at the safe level
 
   /// Per-epoch typed records (RunConfig::keep_traces), measured region
   /// only: trace[i] is measured epoch i. The records' .epoch field carries

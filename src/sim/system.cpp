@@ -1,6 +1,7 @@
 #include "sim/system.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <stdexcept>
 
 #include "sim/validate.hpp"
@@ -109,6 +110,15 @@ void ManyCoreSystem::set_threads(std::size_t threads) {
 
 std::size_t ManyCoreSystem::threads() const { return pool_->size(); }
 
+void ManyCoreSystem::set_fault_engine(FaultEngine* engine) {
+  if (engine != nullptr && engine->n_cores() != config_.n_cores()) {
+    throw std::invalid_argument(
+        "ManyCoreSystem::set_fault_engine: engine core count mismatch");
+  }
+  faults_ = engine;
+  applied_levels_.resize(config_.n_cores());
+}
+
 void ManyCoreSystem::step_into(std::span<const std::size_t> levels,
                                EpochResult& out) {
   const std::size_t n = config_.n_cores();
@@ -127,6 +137,19 @@ void ManyCoreSystem::step_into(std::span<const std::size_t> levels,
   // levels the loop below has already clobbered.
   ODRL_VALIDATE(validate_levels_disjoint(levels, out));
 
+  // Fault prologue (serial): advance the engine one epoch, route the
+  // requested levels through its actuation faults, and pick up this
+  // epoch's budget scaling. From here on `levels` are the *applied*
+  // levels -- what the silicon physically runs at (and what switch-cost
+  // accounting and the observation's level column report).
+  double budget_factor = 1.0;
+  if (faults_ != nullptr) {
+    faults_->begin_epoch();
+    faults_->apply_actuation(levels, applied_levels_);
+    levels = applied_levels_;
+    budget_factor = faults_->budget_factor();
+  }
+
   const std::span<const workload::PhaseSample> samples = workload_->step();
 
   // Shared-memory contention: fixed point of the chip's aggregate miss
@@ -143,6 +166,8 @@ void ManyCoreSystem::step_into(std::span<const std::size_t> levels,
           [&](std::size_t begin, std::size_t end) {
             double bytes_per_s = 0.0;
             for (std::size_t i = begin; i < end; ++i) {
+              // Power-gated cores issue no memory traffic.
+              if (faults_ != nullptr && faults_->core_offline(i)) continue;
               const double ips =
                   perf_[i].ips(samples[i], vf[levels[i]].freq_ghz, m);
               bytes_per_s +=
@@ -159,7 +184,7 @@ void ManyCoreSystem::step_into(std::span<const std::size_t> levels,
 
   out.epoch = epoch_;
   out.epoch_s = sim_.epoch_s;
-  out.budget_w = budget_w_;
+  out.budget_w = budget_w_ * budget_factor;
   out.mem_latency_mult = mem_scale;
   out.dram_utilization = dram_util;
   out.cores.resize(n);
@@ -172,6 +197,7 @@ void ManyCoreSystem::step_into(std::span<const std::size_t> levels,
   const std::span<double> out_true_power = out.cores.true_power_w();
   const std::span<double> out_stall = out.cores.mem_stall_frac();
   const std::span<double> out_temp = out.cores.temp_c();
+  const std::span<std::uint8_t> out_online = out.cores.online();
 
   std::fill(tile_power_.begin(), tile_power_.end(), 0.0);
 
@@ -184,6 +210,22 @@ void ManyCoreSystem::step_into(std::span<const std::size_t> levels,
       [&](std::size_t begin, std::size_t end) {
         StepSums local;
         for (std::size_t i = begin; i < end; ++i) {
+          // Power-gated (hotplug-out) core: retires nothing, draws ~0 W,
+          // sensors read zero. Its noise substream draws nothing this
+          // epoch (no sensor, no sample) -- still deterministic, the
+          // stream is private to this core.
+          if (faults_ != nullptr && faults_->core_offline(i)) {
+            out_level[i] = levels[i];
+            out_ips[i] = 0.0;
+            out_instructions[i] = 0.0;
+            out_power[i] = 0.0;
+            out_true_power[i] = 0.0;
+            out_stall[i] = 0.0;
+            out_temp[i] = thermal_.temperature(i);
+            out_online[i] = 0;
+            tile_power_[i] = 0.0;
+            continue;
+          }
           const arch::VfPoint& point = vf[levels[i]];
           const double temp = thermal_.temperature(i);
           auto ep = perf_[i].epoch(samples[i], point.freq_ghz, sim_.epoch_s,
@@ -203,13 +245,25 @@ void ManyCoreSystem::step_into(std::span<const std::size_t> levels,
             true_w += sim_.switch_energy_j / sim_.epoch_s;
           }
 
+          // Sensor faults corrupt the *measured* readings only, after
+          // noise: true_power_w and the chip's true aggregates always
+          // carry the physical values. filter_* mutates only core i's
+          // stuck-at-last slot -- race-free in this per-core loop.
+          double meas_ips = noisy(i, ep.ips);
+          double meas_w = noisy(i, true_w);
+          if (faults_ != nullptr) {
+            meas_ips = faults_->filter_ips(i, meas_ips);
+            meas_w = faults_->filter_power(i, meas_w);
+          }
+
           out_level[i] = levels[i];
-          out_ips[i] = noisy(i, ep.ips);
+          out_ips[i] = meas_ips;
           out_instructions[i] = ep.instructions;
-          out_power[i] = noisy(i, true_w);
+          out_power[i] = meas_w;
           out_true_power[i] = true_w;
           out_stall[i] = ep.mem_stall_frac;
           out_temp[i] = temp;
+          out_online[i] = 1;
 
           tile_power_[i] = true_w;
           local.true_w += true_w;
@@ -254,6 +308,9 @@ void ManyCoreSystem::step_into(std::span<const std::size_t> levels,
       recorder_->gauge("sim.dram_utilization").set(dram_util);
       recorder_->gauge("sim.mem_latency_mult").set(mem_scale);
     }
+    if (faults_ != nullptr && faults_->any_active()) {
+      recorder_->counter("sim.fault_epochs").add(1);
+    }
   }
 
   prev_levels_.assign(levels.begin(), levels.end());
@@ -263,8 +320,12 @@ void ManyCoreSystem::step_into(std::span<const std::size_t> levels,
   // Post-condition: the observation we hand to the controller satisfies
   // every shape and physical invariant (power finite and >= 0, levels in
   // the V/F table, SoA columns core-count long, chip sums consistent).
-  ODRL_VALIDATE(
-      validate_epoch(out, n, vf.size(), sim_.sensor_noise_rel > 0.0));
+  // Active sensor faults, like noise, decouple total_ips from the
+  // (corrupted) measured ips column.
+  ODRL_VALIDATE(validate_epoch(
+      out, n, vf.size(),
+      sim_.sensor_noise_rel > 0.0 ||
+          (faults_ != nullptr && faults_->any_sensor_fault())));
 }
 
 EpochResult ManyCoreSystem::step(std::span<const std::size_t> levels) {

@@ -21,6 +21,7 @@
 #include "mem/dram_model.hpp"
 #include "perf/perf_model.hpp"
 #include "power/power_model.hpp"
+#include "sim/faults.hpp"
 #include "sim/observation.hpp"
 #include "telemetry/recorder.hpp"
 #include "thermal/thermal_model.hpp"
@@ -108,6 +109,17 @@ class ManyCoreSystem {
   /// parallel region -- so recording is deterministic and free when off.
   void set_recorder(telemetry::Recorder* recorder) { recorder_ = recorder; }
 
+  /// Attaches (nullptr detaches) a fault engine; the runner wires this at
+  /// the start of the measured region. With an engine attached, each
+  /// step_into() advances the engine one epoch, routes the requested
+  /// levels through its actuation faults, gates offline cores, filters
+  /// the measured sensor columns, and scales the observed budget. With no
+  /// engine (or an empty schedule) the step is bit-identical to an
+  /// engine-free build. The engine must outlive its attachment and must
+  /// have been built for this chip's core count.
+  void set_fault_engine(FaultEngine* engine);
+  FaultEngine* fault_engine() const noexcept { return faults_; }
+
   const thermal::ThermalModel& thermal() const { return thermal_; }
   const workload::Workload& workload() const { return *workload_; }
   /// Per-core models of this chip instance (index = core).
@@ -146,6 +158,9 @@ class ManyCoreSystem {
   double budget_w_;
   std::size_t epoch_ = 0;
   telemetry::Recorder* recorder_ = nullptr;  ///< non-owning, may be null
+  FaultEngine* faults_ = nullptr;            ///< non-owning, may be null
+  /// Post-actuation-fault levels (scratch; sized on engine attach).
+  std::vector<std::size_t> applied_levels_;
 };
 
 }  // namespace odrl::sim

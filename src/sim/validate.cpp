@@ -1,6 +1,7 @@
 #include "sim/validate.hpp"
 
 #include <cmath>
+#include <cstdint>
 #include <functional>
 #include <string>
 
@@ -55,7 +56,9 @@ bool overlaps_soa_block(const void* p, std::size_t bytes,
          ranges_overlap(p, bytes, cores.mem_stall_frac().data(),
                         cores.mem_stall_frac().size_bytes()) ||
          ranges_overlap(p, bytes, cores.temp_c().data(),
-                        cores.temp_c().size_bytes());
+                        cores.temp_c().size_bytes()) ||
+         ranges_overlap(p, bytes, cores.online().data(),
+                        cores.online().size_bytes());
 }
 
 /// Relative closeness for watt/IPS conservation sums: the chip-level
@@ -84,7 +87,8 @@ void validate_epoch(const EpochResult& obs, std::size_t n_cores,
       cores.power_w().size() != n_cores ||
       cores.true_power_w().size() != n_cores ||
       cores.mem_stall_frac().size() != n_cores ||
-      cores.temp_c().size() != n_cores) {
+      cores.temp_c().size() != n_cores ||
+      cores.online().size() != n_cores) {
     fail("EpochResult SoA columns have unequal lengths");
   }
   if (!finite(obs.epoch_s) || obs.epoch_s <= 0.0) {
@@ -117,6 +121,7 @@ void validate_epoch(const EpochResult& obs, std::size_t n_cores,
   const std::span<const double> true_power = cores.true_power_w();
   const std::span<const double> stall = cores.mem_stall_frac();
   const std::span<const double> temp = cores.temp_c();
+  const std::span<const std::uint8_t> online = cores.online();
 
   double power_sum = 0.0;
   double true_power_sum = 0.0;
@@ -143,6 +148,17 @@ void validate_epoch(const EpochResult& obs, std::size_t n_cores,
     }
     if (!finite(temp[i])) fail_core("core temperature must be finite", i,
                                     temp[i]);
+    // A power-gated core retires nothing and draws ~0 W -- an offline
+    // core with real true power is a hotplug bug in the simulator (the
+    // *measured* columns may still lie under sensor faults).
+    if (online[i] == 0) {
+      if (true_power[i] > 1e-9) {
+        fail_core("offline core draws true power", i, true_power[i]);
+      }
+      if (instructions[i] > 0.0) {
+        fail_core("offline core retired instructions", i, instructions[i]);
+      }
+    }
     power_sum += power[i];
     true_power_sum += true_power[i];
     ips_sum += ips[i];

@@ -40,6 +40,8 @@ inline constexpr double kBudgetSumRelTol = 1e-6;
 
 /// Shape + physical invariants of a filled EpochResult (see file comment).
 /// `n_cores` is the chip's core count, `n_levels` the V/F table size.
+/// Offline cores (online column 0) must draw ~0 true watts and retire no
+/// instructions -- power gating is physical, not a sensor artifact.
 /// `noisy_sensors`: when true, the total_ips == sum(ips column) identity is
 /// skipped -- total_ips aggregates the noise-free rates while the column
 /// carries the measured (noisy) ones, so they legitimately differ (see

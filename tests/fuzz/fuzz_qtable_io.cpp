@@ -1,0 +1,11 @@
+// libFuzzer driver for the Q-table policy parser (ODRL_FUZZ builds).
+#include <cstddef>
+#include <cstdint>
+
+#include "harness.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  odrl::fuzz::fuzz_qtable(data, size);
+  return 0;
+}

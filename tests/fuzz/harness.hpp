@@ -1,0 +1,85 @@
+// Shared fuzz entry points for the three text parsers. Each harness feeds
+// arbitrary bytes to a loader and enforces the parser contract:
+//
+//   * malformed input throws std::runtime_error (or std::invalid_argument
+//     from nested validation) -- never crashes, never corrupts memory;
+//   * accepted input round-trips: save(load(bytes)) must load again to an
+//     equivalent value (the serializers and parsers agree on the format).
+//
+// The same functions back two drivers: the libFuzzer targets under
+// tests/fuzz/ (built with -DODRL_FUZZ=ON, clang only) explore new inputs,
+// and tests/fuzz_regression_test.cpp replays the committed corpus through
+// them in every normal build as a tier-1 regression gate.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "rl/qtable_io.hpp"
+#include "sim/faults.hpp"
+#include "workload/trace_io.hpp"
+
+namespace odrl::fuzz {
+
+inline std::string as_string(const std::uint8_t* data, std::size_t size) {
+  return std::string(reinterpret_cast<const char*>(data), size);
+}
+
+/// Anything other than the documented parse-failure exceptions escapes and
+/// crashes the fuzz target -- which is exactly the point.
+inline void fuzz_fault_schedule(const std::uint8_t* data, std::size_t size) {
+  std::istringstream in(as_string(data, size));
+  try {
+    const sim::FaultSchedule schedule = sim::load_fault_schedule(in);
+    // Round-trip: what the parser accepted, the serializer must preserve.
+    std::stringstream io;
+    sim::save_fault_schedule(schedule, io);
+    const sim::FaultSchedule back = sim::load_fault_schedule(io);
+    if (back.size() != schedule.size()) {
+      throw std::logic_error("fault schedule round-trip changed arity");
+    }
+    for (std::size_t i = 0; i < schedule.size(); ++i) {
+      const sim::FaultEvent& a = schedule.events()[i];
+      const sim::FaultEvent& b = back.events()[i];
+      if (a.epoch != b.epoch || a.kind != b.kind || a.core != b.core ||
+          a.duration != b.duration ||
+          !(a.magnitude == b.magnitude ||
+            (a.magnitude != a.magnitude && b.magnitude != b.magnitude))) {
+        throw std::logic_error("fault schedule round-trip changed an event");
+      }
+    }
+  } catch (const std::runtime_error&) {
+    // Documented rejection path.
+  } catch (const std::invalid_argument&) {
+    // Nested validation rejections surface as invalid_argument.
+  }
+}
+
+inline void fuzz_trace(const std::uint8_t* data, std::size_t size) {
+  std::istringstream in(as_string(data, size));
+  try {
+    const workload::RecordedTrace trace = workload::load_trace_csv(in);
+    std::stringstream io;
+    workload::save_trace_csv(trace, io);
+    (void)workload::load_trace_csv(io);
+  } catch (const std::runtime_error&) {
+  } catch (const std::invalid_argument&) {
+  }
+}
+
+inline void fuzz_qtable(const std::uint8_t* data, std::size_t size) {
+  std::istringstream in(as_string(data, size));
+  try {
+    const rl::QTable table = rl::load_qtable(in);
+    std::stringstream io;
+    rl::save_qtable(table, io);
+    (void)rl::load_qtable(io);
+  } catch (const std::runtime_error&) {
+  } catch (const std::invalid_argument&) {
+  }
+}
+
+}  // namespace odrl::fuzz

@@ -1,19 +1,21 @@
 // Robustness and failure-injection tests: controllers must produce valid
-// decisions under degenerate sensor inputs, extreme configurations and
-// hostile workloads -- a controller that crashes or emits an out-of-range
-// level on a sensor glitch would hang real silicon.
+// decisions while the fault engine feeds them degenerate sensor data,
+// drops their actuations, or hot-unplugs cores under them -- a controller
+// that crashes or emits an out-of-range level on a sensor glitch would
+// hang real silicon. The glitches here go through sim/faults.hpp, so the
+// corrupt observations are exactly what a faulted closed loop produces
+// (not hand-built approximations of one).
 #include <gtest/gtest.h>
 
-#include <algorithm>
+#include <cstddef>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "arch/chip_config.hpp"
-#include "baselines/greedy_controller.hpp"
-#include "baselines/maxbips_controller.hpp"
-#include "baselines/pid_controller.hpp"
-#include "baselines/static_uniform.hpp"
 #include "core/odrl_controller.hpp"
-#include "sim/runner.hpp"
+#include "sim/controller_registry.hpp"
+#include "sim/faults.hpp"
 #include "sim/system.hpp"
 #include "workload/workload.hpp"
 
@@ -25,32 +27,14 @@ constexpr std::size_t kCores = 8;
 
 arch::ChipConfig chip() { return arch::ChipConfig::make(kCores, 0.6); }
 
-/// A degenerate observation: all sensors zeroed (power meter glitch).
-sim::EpochResult zeroed_observation(const arch::ChipConfig& c) {
-  sim::EpochResult obs;
-  obs.epoch = 5;
-  obs.epoch_s = 1e-3;
-  obs.budget_w = c.tdp_w();
-  obs.cores.resize(kCores);
-  std::ranges::fill(obs.cores.level(), std::size_t{3});
-  return obs;
-}
-
-/// An absurd observation: sensors report huge values.
-sim::EpochResult saturated_observation(const arch::ChipConfig& c) {
-  sim::EpochResult obs;
-  obs.epoch = 7;
-  obs.epoch_s = 1e-3;
-  obs.budget_w = c.tdp_w();
-  obs.chip_power_w = 1e6;
-  obs.true_chip_power_w = 1e6;
-  obs.cores.resize(kCores);
-  std::ranges::fill(obs.cores.level(), std::size_t{7});
-  std::ranges::fill(obs.cores.ips(), 1e15);
-  std::ranges::fill(obs.cores.power_w(), 1e5);
-  std::ranges::fill(obs.cores.mem_stall_frac(), 1.0);
-  std::ranges::fill(obs.cores.temp_c(), 150.0);
-  return obs;
+sim::ManyCoreSystem make_system(const arch::ChipConfig& c) {
+  sim::SimConfig sc;
+  sc.seed = 17;
+  return sim::ManyCoreSystem(
+      c,
+      std::make_unique<workload::GeneratedWorkload>(
+          workload::GeneratedWorkload::mixed_suite(kCores, 9)),
+      sc);
 }
 
 void expect_valid_levels(const std::vector<std::size_t>& levels,
@@ -59,51 +43,125 @@ void expect_valid_levels(const std::vector<std::size_t>& levels,
   for (auto l : levels) EXPECT_LT(l, c.vf_table().size());
 }
 
-std::vector<std::unique_ptr<sim::Controller>> all_controllers(
-    const arch::ChipConfig& c) {
-  std::vector<std::unique_ptr<sim::Controller>> out;
-  out.push_back(std::make_unique<core::OdrlController>(c));
-  out.push_back(std::make_unique<baselines::PidController>(c));
-  out.push_back(std::make_unique<baselines::GreedyController>(c));
-  out.push_back(std::make_unique<baselines::MaxBipsController>(c));
-  out.push_back(std::make_unique<baselines::StaticUniformController>(c));
-  return out;
+/// Drives every registered controller through a closed loop with
+/// `schedule` injected, asserting a valid decision every epoch.
+void run_all_controllers_under(const sim::FaultSchedule& schedule,
+                               int epochs = 60) {
+  const arch::ChipConfig c = chip();
+  for (const std::string& name : sim::registered_controllers()) {
+    SCOPED_TRACE("controller: " + name);
+    sim::ManyCoreSystem sys = make_system(c);
+    sim::FaultEngine engine(schedule, kCores);
+    sys.set_fault_engine(&engine);
+    auto ctl = sim::make_controller(name, c);
+    auto levels = ctl->initial_levels(kCores);
+    for (int e = 0; e < epochs; ++e) {
+      levels = ctl->decide(sys.step(levels));
+      expect_valid_levels(levels, c);
+    }
+    sys.set_fault_engine(nullptr);
+  }
 }
 
 }  // namespace
 
-TEST(Robustness, AllControllersSurviveZeroedSensors) {
-  const arch::ChipConfig c = chip();
-  for (auto& ctl : all_controllers(c)) {
-    ctl->initial_levels(kCores);
-    for (int i = 0; i < 10; ++i) {
-      const auto levels = ctl->decide(zeroed_observation(c));
-      expect_valid_levels(levels, c);
-    }
-  }
+TEST(Robustness, AllControllersSurviveStuckZeroSensors) {
+  // Every core's power/IPS sensors read zero for the whole run (a chip-wide
+  // power-meter glitch): controllers see 0 W against a full budget.
+  sim::FaultSchedule s;
+  for (std::size_t i = 0; i < kCores; ++i) s.sensor_stuck_zero(0, i, 60);
+  run_all_controllers_under(s);
 }
 
 TEST(Robustness, AllControllersSurviveSaturatedSensors) {
-  const arch::ChipConfig c = chip();
-  for (auto& ctl : all_controllers(c)) {
-    ctl->initial_levels(kCores);
-    for (int i = 0; i < 10; ++i) {
-      const auto levels = ctl->decide(saturated_observation(c));
-      expect_valid_levels(levels, c);
-    }
+  // Sensors pegged at 10x the physical reading: controllers see an absurd
+  // chip power far above any budget.
+  sim::FaultSchedule s;
+  for (std::size_t i = 0; i < kCores; ++i) {
+    s.sensor_saturate(0, i, 60, 10.0);
   }
+  run_all_controllers_under(s);
 }
 
 TEST(Robustness, AllControllersSurviveAlternatingGlitches) {
-  const arch::ChipConfig c = chip();
-  for (auto& ctl : all_controllers(c)) {
-    ctl->initial_levels(kCores);
-    for (int i = 0; i < 20; ++i) {
-      const auto obs =
-          i % 2 == 0 ? zeroed_observation(c) : saturated_observation(c);
-      expect_valid_levels(ctl->decide(obs), c);
+  // Zeroed and saturated windows interleave on every core, with frozen
+  // readings in between -- the nastiest transition pattern: each boundary
+  // flips the apparent chip power between ~0 and ~10x.
+  sim::FaultSchedule s;
+  for (std::size_t i = 0; i < kCores; ++i) {
+    for (std::size_t start = 0; start < 60; start += 15) {
+      s.sensor_stuck_zero(start, i, 5);
+      s.sensor_saturate(start + 5, i, 5, 10.0);
+      s.sensor_stuck_last(start + 10, i, 5);
     }
   }
+  run_all_controllers_under(s);
+}
+
+TEST(Robustness, AllControllersSurviveHotplug) {
+  // Staggered hot-unplug/replug across half the chip, including an epoch
+  // where three cores are out at once. Decisions must stay in range for
+  // every core -- including the offline ones.
+  sim::FaultSchedule s;
+  s.core_offline(5, 0, 20)
+      .core_offline(10, 3, 20)
+      .core_offline(15, 6, 20)
+      .core_offline(45, 1, 10);
+  run_all_controllers_under(s, 70);
+}
+
+TEST(Robustness, AllControllersSurviveActuationFaults) {
+  // Regulator lag on half the cores, lost requests on the other half: the
+  // applied levels diverge from the decisions, so every controller's
+  // observation contradicts what it just commanded.
+  sim::FaultSchedule s;
+  for (std::size_t i = 0; i < kCores; ++i) {
+    if (i % 2 == 0) {
+      s.actuation_delay(5, i, 40, 3);
+    } else {
+      s.actuation_drop(5, i, 40);
+    }
+  }
+  run_all_controllers_under(s);
+}
+
+TEST(Robustness, AllControllersSurviveARandomStorm) {
+  // Everything at once, densely: sensors, actuation, hotplug and budget
+  // steps from the deterministic storm generator.
+  sim::StormConfig storm;
+  storm.sensor_rate = 0.02;
+  storm.actuation_rate = 0.01;
+  storm.offline_rate = 0.005;
+  storm.budget_rate = 0.01;
+  run_all_controllers_under(
+      sim::FaultSchedule::random_storm(kCores, 80, 1234, storm), 80);
+}
+
+TEST(Robustness, HotplugRecoveryRestoresThroughput) {
+  // After a core rejoins, it must actually run again: positive
+  // instructions and power once the offline window expires.
+  const arch::ChipConfig c = chip();
+  sim::ManyCoreSystem sys = make_system(c);
+  sim::FaultSchedule s;
+  s.core_offline(5, 2, 10);
+  sim::FaultEngine engine(s, kCores);
+  sys.set_fault_engine(&engine);
+  core::OdrlController ctl(c);
+  auto levels = ctl.initial_levels(kCores);
+  for (int e = 0; e < 30; ++e) {
+    const sim::EpochResult obs = sys.step(levels);
+    if (e >= 5 && e < 15) {
+      EXPECT_EQ(obs.cores.online()[2], 0) << e;
+      EXPECT_EQ(obs.cores.instructions()[2], 0.0) << e;
+    } else {
+      EXPECT_EQ(obs.cores.online()[2], 1) << e;
+      EXPECT_GT(obs.cores.instructions()[2], 0.0) << e;
+      EXPECT_GT(obs.cores.true_power_w()[2], 0.0) << e;
+    }
+    levels = ctl.decide(obs);
+    expect_valid_levels(levels, c);
+  }
+  sys.set_fault_engine(nullptr);
 }
 
 TEST(Robustness, OdrlSurvivesHeavySensorNoise) {

@@ -139,9 +139,13 @@ os::SimConfig noisy_sim(std::size_t threads) {
   return cfg;
 }
 
-/// One full closed-loop run at the given execution width.
+/// One full closed-loop run at the given execution width, optionally with
+/// a fault schedule + watchdog injected (the fault engine's serial
+/// prologue and per-core sensor filters are part of the determinism
+/// contract too).
 template <typename MakeController>
-os::RunResult run_at_width(std::size_t threads, MakeController make) {
+os::RunResult run_at_width(std::size_t threads, MakeController make,
+                           const os::FaultSchedule* faults = nullptr) {
   const std::size_t cores = 32;
   const oa::ChipConfig chip = oa::ChipConfig::make(cores, 0.6);
   os::ManyCoreSystem system(
@@ -155,11 +159,18 @@ os::RunResult run_at_width(std::size_t threads, MakeController make) {
   cfg.warmup_epochs = 20;
   cfg.epochs = 150;
   cfg.budget_events = {{0, chip.tdp_w() * 0.9}, {60, chip.tdp_w() * 0.5}};
+  cfg.faults = faults;
+  cfg.watchdog.enabled = faults != nullptr;
   return os::run_closed_loop(system, *controller, cfg);
 }
 
 /// Everything except wall-clock timing must match bit-for-bit.
 void expect_bit_identical(const os::RunResult& a, const os::RunResult& b) {
+  EXPECT_EQ(a.fault_events_applied, b.fault_events_applied);
+  EXPECT_EQ(a.watchdog_invalid_decisions, b.watchdog_invalid_decisions);
+  EXPECT_EQ(a.watchdog_fallback_entries, b.watchdog_fallback_entries);
+  EXPECT_EQ(a.watchdog_fallback_exits, b.watchdog_fallback_exits);
+  EXPECT_EQ(a.watchdog_fallback_epochs, b.watchdog_fallback_epochs);
   EXPECT_EQ(a.total_instructions, b.total_instructions);
   EXPECT_EQ(a.total_energy_j, b.total_energy_j);
   EXPECT_EQ(a.otb_energy_j, b.otb_energy_j);
@@ -200,6 +211,41 @@ TEST(Determinism, BaselineRunIsBitIdenticalAcrossThreadCounts) {
   const os::RunResult serial = run_at_width(1, make);
   expect_bit_identical(serial, run_at_width(2, make));
   expect_bit_identical(serial, run_at_width(8, make));
+}
+
+TEST(Determinism, FaultedRunIsBitIdenticalAcrossThreadCounts) {
+  // A dense storm (sensor lies, actuation faults, hotplug, budget steps)
+  // with the watchdog armed: every engine mutation must stay in the serial
+  // prologue or per-core slots, so thread width cannot leak into results.
+  os::StormConfig storm;
+  storm.sensor_rate = 0.01;
+  storm.actuation_rate = 0.005;
+  storm.offline_rate = 0.002;
+  storm.budget_rate = 0.01;
+  const os::FaultSchedule faults =
+      os::FaultSchedule::random_storm(32, 150, 77, storm);
+  ASSERT_FALSE(faults.empty());
+  auto make = [](const oa::ChipConfig& chip) {
+    return std::make_unique<oc::OdrlController>(chip);
+  };
+  const os::RunResult serial = run_at_width(1, make, &faults);
+  EXPECT_GT(serial.fault_events_applied, 0u);
+  expect_bit_identical(serial, run_at_width(2, make, &faults));
+  expect_bit_identical(serial, run_at_width(4, make, &faults));
+}
+
+TEST(Determinism, EmptyScheduleLeavesRunsBitIdenticalToNoEngine) {
+  // Plumbing an engine with nothing scheduled must be a perfect identity:
+  // the fault path's mere presence cannot perturb a healthy run.
+  const os::FaultSchedule empty;
+  auto make = [](const oa::ChipConfig& chip) {
+    return std::make_unique<oc::OdrlController>(chip);
+  };
+  const os::RunResult bare = run_at_width(2, make);
+  os::RunResult plumbed = run_at_width(2, make, &empty);
+  EXPECT_EQ(plumbed.fault_events_applied, 0u);
+  EXPECT_EQ(plumbed.watchdog_fallback_entries, 0u);
+  expect_bit_identical(bare, plumbed);
 }
 
 TEST(Determinism, RunConfigThreadsKnobReachesSystemAndController) {
