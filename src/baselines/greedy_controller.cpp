@@ -51,6 +51,7 @@ void GreedyController::decide_into(const sim::EpochResult& obs,
   double chip_power = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
     if (online[i] == 0) continue;
+    // lint: allow(raw-loop-reduction): serial fold in core-index order
     chip_power += pred_[i * n_levels].power_w;
   }
 
@@ -89,6 +90,7 @@ void GreedyController::decide_into(const sim::EpochResult& obs,
     if (out[c.core] + 1 != c.to_level) continue;  // stale entry
     if (chip_power + c.delta_power > budget) continue;  // does not fit
     out[c.core] = c.to_level;
+    // lint: allow(raw-loop-reduction): serial heap walk, comparator-ordered
     chip_power += c.delta_power;
     ++upgrades;
     push_candidate(c.core, c.to_level);

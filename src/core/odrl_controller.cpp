@@ -8,10 +8,12 @@
 #include <string>
 
 #include "rl/qtable_io.hpp"
+#include "rl/td_batch.hpp"
 #include "sim/controller_registry.hpp"
 #include "sim/validate.hpp"
 #include "telemetry/recorder.hpp"
 #include "util/check.hpp"
+#include "util/simd.hpp"
 
 namespace odrl::core {
 
@@ -98,6 +100,15 @@ OdrlController::OdrlController(const arch::ChipConfig& chip, OdrlConfig config)
   prev_state_.assign(n_cores_, 0);
   prev_action_.assign(n_cores_, 0);
   was_offline_.assign(n_cores_, 0);
+  td_ratio_.assign(n_cores_, 0.0);
+  td_reward_.assign(n_cores_, 0.0);
+  td_agents_.assign(n_cores_, nullptr);
+  td_prev_state_.assign(n_cores_, 0);
+  td_prev_action_.assign(n_cores_, 0);
+  td_next_state_.assign(n_cores_, 0);
+  td_next_action_.assign(n_cores_, 0);
+  td_batch_reward_.assign(n_cores_, 0.0);
+  td_scratch_.assign(3 * n_cores_, 0.0);
   level_freq_ghz_.reserve(n_levels_);
   for (const auto& point : chip.vf_table().points()) {
     level_freq_ghz_.push_back(point.freq_ghz);
@@ -208,7 +219,6 @@ void OdrlController::decide_into(const sim::EpochResult& obs,
   const std::span<const std::size_t> obs_level = obs.cores.level();
   const std::span<const double> obs_power = obs.cores.power_w();
   const std::span<const double> obs_stall = obs.cores.mem_stall_frac();
-  const std::span<const double> obs_temp = obs.cores.temp_c();
   const std::span<const std::uint8_t> obs_online = obs.cores.online();
 
   // Smooth the reallocation inputs. Offline (power-gated) cores are
@@ -289,46 +299,15 @@ void OdrlController::decide_into(const sim::EpochResult& obs,
   // Fine grain: per-core TD step, sharded across the pool. Each core owns
   // its agent, exploration stream and bookkeeping slots, so the loop is
   // embarrassingly parallel; the reward sum is reduced over chunk-ordered
-  // partials and stays bit-identical for every thread count.
+  // partials and stays bit-identical for every thread count. Each chunk
+  // dispatches between the original fused loop and the vectorized
+  // column/batch restructuring -- same results, bit for bit.
+  const bool vec = util::simd_active();
   const double reward_sum = pool_->parallel_reduce(
       n_cores_, kTdGrain, 0.0,
       [&](std::size_t begin, std::size_t end) {
-        double local_sum = 0.0;
-        for (std::size_t i = begin; i < end; ++i) {
-          // A power-gated core sits out the TD loop entirely: no action
-          // (its exploration stream draws nothing), no learning from its
-          // zeroed sensors, level held for its return. The was_offline_
-          // flag also suppresses the update *across* the gap -- the
-          // stored (s, a) predate the outage.
-          if (obs_online[i] == 0) {
-            was_offline_[i] = 1;
-            out[i] = obs_level[i];
-            continue;
-          }
-          // Headroom relative to the *penalized* cap, so ratio 1.0 (a bin
-          // edge) is exactly where the reward turns negative.
-          const double cap = config_.target_utilization * budgets_[i];
-          const double ratio = cap > 0.0 ? obs_power[i] / cap : 2.0;
-          const std::size_t state =
-              encode_state(ratio, obs_stall[i], obs_level[i]);
-
-          // Select the next action first so SARSA can learn on-policy from
-          // the action actually taken; Q-learning ignores it
-          // (max-bootstrap).
-          const std::size_t action = agents_[i].act(state, rngs_[i]);
-          if (have_prev_ && was_offline_[i] == 0) {
-            const double r = reward(obs_power[i], obs_stall[i], obs_level[i],
-                                    obs_temp[i], budgets_[i]);
-            local_sum += r;
-            agents_[i].learn(prev_state_[i], prev_action_[i], r, state,
-                             action);
-          }
-          prev_state_[i] = state;
-          prev_action_[i] = action;
-          was_offline_[i] = 0;
-          out[i] = apply_action(obs_level[i], action);
-        }
-        return local_sum;
+        return vec ? td_chunk_vec(obs, out, begin, end)
+                   : td_chunk_scalar(obs, out, begin, end);
       },
       [](double acc, double partial) { return acc + partial; },
       reward_partials_);
@@ -336,6 +315,158 @@ void OdrlController::decide_into(const sim::EpochResult& obs,
     last_mean_reward_ = reward_sum / static_cast<double>(n_cores_);
   }
   have_prev_ = true;
+}
+
+double OdrlController::td_chunk_scalar(const sim::EpochResult& obs,
+                                       std::span<std::size_t> out,
+                                       std::size_t begin, std::size_t end) {
+  const std::span<const std::size_t> obs_level = obs.cores.level();
+  const std::span<const double> obs_power = obs.cores.power_w();
+  const std::span<const double> obs_stall = obs.cores.mem_stall_frac();
+  const std::span<const double> obs_temp = obs.cores.temp_c();
+  const std::span<const std::uint8_t> obs_online = obs.cores.online();
+  double local_sum = 0.0;
+  for (std::size_t i = begin; i < end; ++i) {
+    // A power-gated core sits out the TD loop entirely: no action (its
+    // exploration stream draws nothing), no learning from its zeroed
+    // sensors, level held for its return. The was_offline_ flag also
+    // suppresses the update *across* the gap -- the stored (s, a) predate
+    // the outage.
+    if (obs_online[i] == 0) {
+      was_offline_[i] = 1;
+      out[i] = obs_level[i];
+      continue;
+    }
+    // Headroom relative to the *penalized* cap, so ratio 1.0 (a bin edge)
+    // is exactly where the reward turns negative.
+    const double cap = config_.target_utilization * budgets_[i];
+    const double ratio = cap > 0.0 ? obs_power[i] / cap : 2.0;
+    const std::size_t state = encode_state(ratio, obs_stall[i], obs_level[i]);
+
+    // Select the next action first so SARSA can learn on-policy from the
+    // action actually taken; Q-learning ignores it (max-bootstrap).
+    const std::size_t action = agents_[i].act(state, rngs_[i]);
+    if (have_prev_ && was_offline_[i] == 0) {
+      const double r = reward(obs_power[i], obs_stall[i], obs_level[i],
+                              obs_temp[i], budgets_[i]);
+      local_sum += r;
+      agents_[i].learn(prev_state_[i], prev_action_[i], r, state, action);
+    }
+    prev_state_[i] = state;
+    prev_action_[i] = action;
+    was_offline_[i] = 0;
+    out[i] = apply_action(obs_level[i], action);
+  }
+  return local_sum;
+}
+
+double OdrlController::td_chunk_vec(const sim::EpochResult& obs,
+                                    std::span<std::size_t> out,
+                                    std::size_t begin, std::size_t end) {
+  const std::span<const std::size_t> obs_level = obs.cores.level();
+  const std::span<const double> obs_power = obs.cores.power_w();
+  const std::span<const double> obs_stall = obs.cores.mem_stall_frac();
+  const std::span<const double> obs_temp = obs.cores.temp_c();
+  const std::span<const std::uint8_t> obs_online = obs.cores.online();
+
+  // Pass 1 -- vectorized reward/ratio columns. Pure elementwise IEEE
+  // arithmetic in exactly reward()'s association order, so every value is
+  // bit-identical to the scalar call; values for offline/ineligible cores
+  // are computed and discarded (cheaper than masking the lanes).
+  {
+    using util::kSimdLanes;
+    using util::vdouble;
+    const vdouble zero(0.0);
+    const vdouble one(1.0);
+    const vdouble two(2.0);
+    const vdouble fmaxv(level_freq_ghz_.back());
+    const vdouble tu(config_.target_utilization);
+    const vdouble kap(config_.kappa);
+    const vdouble lam(config_.lambda);
+    std::size_t i = begin;
+    for (; i + kSimdLanes <= end; i += kSimdLanes) {
+      const vdouble fl(
+          [&](auto k) { return level_freq_ghz_[obs_level[i + k]]; });
+      const vdouble stall = util::vload(&obs_stall[i]);
+      const vdouble s = util::vclamp01(stall);
+      const vdouble r = fmaxv / fl;
+      const vdouble gain = r / ((one - s) + s * r);
+      const vdouble perf = one / gain + kap * fl / fmaxv;
+      const vdouble cap = tu * util::vload(&budgets_[i]);
+      const vdouble p = util::vload(&obs_power[i]);
+      const auto cap_pos = cap > zero;
+      const vdouble penalty =
+          util::vselect(cap_pos && (p > cap), (p - cap) / cap, zero);
+      vdouble thermal = zero;
+      if (config_.thermal_weight > 0.0) {
+        const vdouble t = util::vload(&obs_temp[i]);
+        const vdouble safe(config_.thermal_safe_c);
+        thermal = util::vselect(
+            t > safe,
+            vdouble(config_.thermal_weight) * (t - safe) / vdouble(20.0),
+            zero);
+      }
+      util::vstore(&td_reward_[i], perf - lam * penalty - thermal);
+      util::vstore(&td_ratio_[i], util::vselect(cap_pos, p / cap, two));
+    }
+    for (; i < end; ++i) {
+      const double cap = config_.target_utilization * budgets_[i];
+      td_ratio_[i] = cap > 0.0 ? obs_power[i] / cap : 2.0;
+      td_reward_[i] = reward(obs_power[i], obs_stall[i], obs_level[i],
+                             obs_temp[i], budgets_[i]);
+    }
+  }
+
+  // Pass 2 -- scalar control flow: state encoding, action selection,
+  // bookkeeping, and compaction of the eligible transitions into this
+  // chunk's batch slots. Same per-core order as the fused loop; deferring
+  // each agent's learn() past its act() is legal because an agent's table
+  // is touched at most once per epoch.
+  double local_sum = 0.0;
+  std::size_t count = 0;
+  for (std::size_t i = begin; i < end; ++i) {
+    if (obs_online[i] == 0) {
+      was_offline_[i] = 1;
+      out[i] = obs_level[i];
+      continue;
+    }
+    const std::size_t state =
+        encode_state(td_ratio_[i], obs_stall[i], obs_level[i]);
+    const std::size_t action = agents_[i].act(state, rngs_[i]);
+    if (have_prev_ && was_offline_[i] == 0) {
+      local_sum += td_reward_[i];
+      const std::size_t slot = begin + count;
+      td_agents_[slot] = &agents_[i];
+      td_prev_state_[slot] = prev_state_[i];
+      td_prev_action_[slot] = prev_action_[i];
+      td_next_state_[slot] = state;
+      td_next_action_[slot] = action;
+      td_batch_reward_[slot] = td_reward_[i];
+      ++count;
+    }
+    prev_state_[i] = state;
+    prev_action_[i] = action;
+    was_offline_[i] = 0;
+    out[i] = apply_action(obs_level[i], action);
+  }
+
+  // Pass 3 -- batched TD update over the compacted transitions.
+  if (count > 0) {
+    rl::TdBatchSpans batch;
+    batch.agents = std::span<rl::TdAgent* const>(&td_agents_[begin], count);
+    batch.prev_state =
+        std::span<const std::size_t>(&td_prev_state_[begin], count);
+    batch.prev_action =
+        std::span<const std::size_t>(&td_prev_action_[begin], count);
+    batch.next_state =
+        std::span<const std::size_t>(&td_next_state_[begin], count);
+    batch.next_action =
+        std::span<const std::size_t>(&td_next_action_[begin], count);
+    batch.reward = std::span<const double>(&td_batch_reward_[begin], count);
+    rl::td_update_batch(
+        batch, std::span<double>(&td_scratch_[3 * begin], 3 * count));
+  }
+  return local_sum;
 }
 
 void OdrlController::on_budget_change(double new_budget_w) {

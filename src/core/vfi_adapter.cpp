@@ -80,9 +80,13 @@ void VfiAdapter::aggregate_into(const sim::EpochResult& obs) {
     bool any_online = false;
     for (std::size_t core : partition_.island(i)) {
       shared_level = level[core];  // all members share the island level
+      // lint: allow(raw-loop-reduction): serial fold in island-member order
       sum_ips += ips[core];
+      // lint: allow(raw-loop-reduction): serial fold in island-member order
       sum_instr += instructions[core];
+      // lint: allow(raw-loop-reduction): serial fold in island-member order
       sum_power += power[core];
+      // lint: allow(raw-loop-reduction): serial fold in island-member order
       stall_weighted += stall[core] * ips[core];
       max_temp = std::max(max_temp, temp[core]);
       any_online = any_online || online[core] != 0;

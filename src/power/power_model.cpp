@@ -1,6 +1,9 @@
 #include "power/power_model.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+
+#include "util/check.hpp"
 
 namespace odrl::power {
 
@@ -17,11 +20,18 @@ PowerBreakdown PowerModel::core_power(const arch::VfPoint& vf,
 PowerBreakdown PowerModel::core_power_at(const arch::VfPoint& vf,
                                          double activity,
                                          double temp_c) const {
-  if (activity < 0.0 || activity > 1.0) {
+  // Contract first (checked builds reject any excursion), tolerance clamp
+  // second: a saturating sensor path handing us 1.0 + epsilon must not
+  // abort a release run -- but a wildly out-of-range value is corrupt
+  // input and still throws.
+  ODRL_CHECK(activity >= 0.0 && activity <= 1.0,
+             "PowerModel: activity must be in [0, 1]");
+  if (activity < -kActivityTol || activity > 1.0 + kActivityTol) {
     throw std::invalid_argument("PowerModel: activity must be in [0, 1]");
   }
+  const double a = std::clamp(activity, 0.0, 1.0);
   PowerBreakdown out;
-  out.dynamic_w = params_.dynamic_power_w(vf.voltage_v, vf.freq_ghz, activity);
+  out.dynamic_w = params_.dynamic_power_w(vf.voltage_v, vf.freq_ghz, a);
   out.leakage_w = params_.leakage_power_w(vf.voltage_v, temp_c);
   out.uncore_w = params_.uncore_w;
   return out;

@@ -12,6 +12,14 @@
 
 namespace odrl::power {
 
+/// Tolerance on the activity range check. Saturating/noisy sensor paths
+/// can legitimately present 1.0 + epsilon (rounding in a fault filter or a
+/// baseline's implied-activity back-solve); values inside the tolerance
+/// band are clamped to [0, 1], values beyond it still throw -- that is
+/// corrupt input, not rounding. ODRL_CHECKED builds keep the hard [0, 1]
+/// contract (a ContractViolation fires before any clamp).
+inline constexpr double kActivityTol = 1e-6;
+
 /// Per-core power split for one epoch.
 struct PowerBreakdown {
   double dynamic_w = 0.0;
@@ -33,6 +41,9 @@ class PowerModel {
 
   /// Power with explicit activity (bypasses the phase struct; used by
   /// analytical baselines that predict power for hypothetical activity).
+  /// Activity within kActivityTol of [0, 1] is clamped; beyond that it
+  /// throws std::invalid_argument (and ODRL_CHECKED builds enforce the
+  /// strict [0, 1] contract first).
   PowerBreakdown core_power_at(const arch::VfPoint& vf, double activity,
                                double temp_c) const;
 

@@ -6,12 +6,16 @@
 
 #include <cstddef>
 #include <optional>
+#include <span>
 
 #include "rl/qtable.hpp"
 #include "rl/schedule.hpp"
 #include "util/rng.hpp"
 
 namespace odrl::rl {
+
+struct TdBatchSpans;
+void td_update_batch(const TdBatchSpans& batch, std::span<double> scratch);
 
 enum class TdRule { kQLearning, kSarsa };
 
@@ -56,6 +60,11 @@ class TdAgent {
   void reset();
 
  private:
+  /// The batched TD kernel (rl/td_batch.hpp) phases this agent's learn()
+  /// across many agents; it needs the same member access learn() has.
+  friend void td_update_batch(const TdBatchSpans& batch,
+                              std::span<double> scratch);
+
   TdConfig config_;
   QTable table_;
   EpsilonSchedule epsilon_;

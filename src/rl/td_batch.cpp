@@ -1,0 +1,97 @@
+#include "rl/td_batch.hpp"
+
+#include <optional>
+#include <stdexcept>
+
+#include "util/simd.hpp"
+
+namespace odrl::rl {
+
+void td_update_batch(const TdBatchSpans& batch, std::span<double> scratch) {
+  const std::size_t m = batch.agents.size();
+  if (batch.prev_state.size() != m || batch.prev_action.size() != m ||
+      batch.next_state.size() != m || batch.reward.size() != m ||
+      (!batch.next_action.empty() && batch.next_action.size() != m)) {
+    throw std::invalid_argument("td_update_batch: span size mismatch");
+  }
+  if (m == 0) return;
+  // The scratch contract is mode-independent: rejecting an undersized
+  // buffer only when SIMD happens to be active would let callers pass
+  // configuration-dependent sizes that explode later.
+  if (scratch.size() < 3 * m) {
+    throw std::invalid_argument("td_update_batch: scratch too small");
+  }
+
+  if (!util::simd_active()) {
+    // Reference path: the sequential learn() loop the batched variant is
+    // held bit-identical to.
+    for (std::size_t j = 0; j < m; ++j) {
+      const std::optional<std::size_t> na =
+          batch.next_action.empty()
+              ? std::nullopt
+              : std::optional<std::size_t>(batch.next_action[j]);
+      batch.agents[j]->learn(batch.prev_state[j], batch.prev_action[j],
+                             batch.reward[j], batch.next_state[j], na);
+    }
+    return;
+  }
+
+  const std::span<double> alpha = scratch.subspan(0, m);
+  const std::span<double> boot = scratch.subspan(m, m);
+  // Holds q(s, a) after phase A; overwritten with delta by phase B.
+  const std::span<double> delta = scratch.subspan(2 * m, m);
+
+  // Phase A: per-agent table walks, in slot order (agents are disjoint, so
+  // this order is interchangeable with the sequential loop's).
+  for (std::size_t j = 0; j < m; ++j) {
+    TdAgent& agent = *batch.agents[j];
+    const std::size_t s = batch.prev_state[j];
+    const std::size_t a = batch.prev_action[j];
+    const std::size_t ns = batch.next_state[j];
+    switch (agent.config_.rule) {
+      case TdRule::kQLearning:
+        boot[j] = agent.table_.max_q(ns);
+        break;
+      case TdRule::kSarsa:
+        if (batch.next_action.empty()) {
+          throw std::invalid_argument(
+              "TdAgent::learn: SARSA needs next_action");
+        }
+        boot[j] = agent.table_.q(ns, batch.next_action[j]);
+        break;
+    }
+    agent.table_.record_visit(s, a);
+    alpha[j] = agent.config_.alpha.rate(agent.table_.visits(s, a));
+    delta[j] = agent.table_.q(s, a);
+  }
+
+  // Phase B: delta = alpha * ((reward + gamma * bootstrap) - q0) -- the
+  // exact association order learn() uses, elementwise.
+  {
+    using util::vdouble;
+    using util::kSimdLanes;
+    std::size_t j = 0;
+    for (; j + kSimdLanes <= m; j += kSimdLanes) {
+      const vdouble av = util::vload(&alpha[j]);
+      const vdouble bv = util::vload(&boot[j]);
+      const vdouble q0 = util::vload(&delta[j]);
+      const vdouble rv = util::vload(&batch.reward[j]);
+      const vdouble gv(
+          [&](auto k) { return batch.agents[j + k]->config_.gamma; });
+      util::vstore(&delta[j], av * ((rv + gv * bv) - q0));
+    }
+    for (; j < m; ++j) {
+      const double gamma = batch.agents[j]->config_.gamma;
+      delta[j] = alpha[j] * ((batch.reward[j] + gamma * boot[j]) - delta[j]);
+    }
+  }
+
+  // Phase C: writeback.
+  for (std::size_t j = 0; j < m; ++j) {
+    TdAgent& agent = *batch.agents[j];
+    agent.table_.bump_q(batch.prev_state[j], batch.prev_action[j], delta[j]);
+    ++agent.updates_;
+  }
+}
+
+}  // namespace odrl::rl

@@ -1,0 +1,49 @@
+// Batched TD update across many independent agents (one per core in OD-RL).
+//
+// The per-epoch learning pass applies one TD update to every online core's
+// agent. Done naively that is a chain of scalar loads around a handful of
+// flops; batching restructures it into
+//
+//   phase A (scalar): per agent, bootstrap lookup (max_q / q), visit
+//     bookkeeping, learning-rate lookup and current-Q read -- table walks
+//     that cannot be vectorized bit-safely;
+//   phase B (vector): delta = alpha * ((reward + gamma * bootstrap) - q0),
+//     pure elementwise IEEE arithmetic over the gathered columns;
+//   phase C (scalar): bump_q writeback and update counters.
+//
+// Because every agent owns a disjoint Q-table and appears at most once per
+// batch, the phases commute with the sequential learn() loop and the result
+// is bit-identical to calling TdAgent::learn per slot in index order
+// (tests/simd_kernel_test.cpp pins this; the golden digests pin it end to
+// end).
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "rl/agent.hpp"
+
+namespace odrl::rl {
+
+/// One TD transition per slot, compact (no gaps). All spans have the same
+/// length; `next_action` may be empty when every agent uses Q-learning
+/// (SARSA agents require it, matching TdAgent::learn). Each TdAgent may
+/// appear at most once -- duplicate agents would reorder reads relative to
+/// the sequential loop.
+struct TdBatchSpans {
+  std::span<TdAgent* const> agents;
+  std::span<const std::size_t> prev_state;
+  std::span<const std::size_t> prev_action;
+  std::span<const std::size_t> next_state;
+  std::span<const std::size_t> next_action;
+  std::span<const double> reward;
+};
+
+/// Applies one TD update per slot, bit-identical to
+/// `agents[j]->learn(prev_state[j], prev_action[j], reward[j],
+/// next_state[j], next_action[j])` for j in index order. `scratch` must
+/// hold at least 3 * agents.size() doubles (alpha/bootstrap/delta columns);
+/// zero heap allocations.
+void td_update_batch(const TdBatchSpans& batch, std::span<double> scratch);
+
+}  // namespace odrl::rl

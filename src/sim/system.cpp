@@ -73,6 +73,7 @@ ManyCoreSystem::ManyCoreSystem(arch::ChipConfig config,
     perf_.emplace_back(params);
     power_.emplace_back(params);
   }
+  rebuild_power_batch();
   // Start thermals slightly warm rather than at ambient so the first
   // epochs are not unrealistically cool.
   thermal_.reset(config_.thermal().ambient_c + 5.0);
@@ -94,6 +95,17 @@ ManyCoreSystem::ManyCoreSystem(arch::ChipConfig config,
     perf_.emplace_back(params);
     power_.emplace_back(params);
   }
+  rebuild_power_batch();
+}
+
+void ManyCoreSystem::rebuild_power_batch() {
+  std::vector<arch::CoreParams> per_core;
+  per_core.reserve(power_.size());
+  for (const power::PowerModel& model : power_) {
+    per_core.push_back(model.params());
+  }
+  power_batch_.emplace(per_core, config_.vf_table());
+  power_scratch_.assign(power_.size(), 0.0);
 }
 
 double ManyCoreSystem::noisy(std::size_t core, double value) {
@@ -170,6 +182,8 @@ void ManyCoreSystem::step_into(std::span<const std::size_t> levels,
               if (faults_ != nullptr && faults_->core_offline(i)) continue;
               const double ips =
                   perf_[i].ips(samples[i], vf[levels[i]].freq_ghz, m);
+              // parallel_reduce folds the partials in fixed chunk order.
+              // lint: allow(raw-loop-reduction): chunk partial
               bytes_per_s +=
                   ips * samples[i].mpki / 1000.0 * dram_.config().line_bytes;
             }
@@ -209,6 +223,11 @@ void ManyCoreSystem::step_into(std::span<const std::size_t> levels,
       n, kCoreGrain, StepSums{},
       [&](std::size_t begin, std::size_t end) {
         StepSums local;
+        // Batch power for this chunk's cores (vectorized SoA kernel,
+        // bit-identical to the per-core core_power calls). Offline cores'
+        // slots are computed and then overwritten with 0 below.
+        power_batch_->core_power_into(begin, end, levels, samples,
+                                      thermal_.temperatures(), power_scratch_);
         for (std::size_t i = begin; i < end; ++i) {
           // Power-gated (hotplug-out) core: retires nothing, draws ~0 W,
           // sensors read zero. Its noise substream draws nothing this
@@ -230,8 +249,7 @@ void ManyCoreSystem::step_into(std::span<const std::size_t> levels,
           const double temp = thermal_.temperature(i);
           auto ep = perf_[i].epoch(samples[i], point.freq_ghz, sim_.epoch_s,
                                    mem_scale);
-          const auto pw = power_[i].core_power(point, samples[i], temp);
-          double true_w = pw.total_w();
+          double true_w = power_scratch_[i];
 
           // DVFS actuation cost: a level change stalls the core and
           // dissipates regulator transition energy during this epoch.

@@ -20,6 +20,7 @@
 #include "arch/variation.hpp"
 #include "mem/dram_model.hpp"
 #include "perf/perf_model.hpp"
+#include "power/batch_power.hpp"
 #include "power/power_model.hpp"
 #include "sim/faults.hpp"
 #include "sim/observation.hpp"
@@ -131,12 +132,21 @@ class ManyCoreSystem {
   /// Applies core `core`'s sensor-noise substream to a true value.
   double noisy(std::size_t core, double value);
 
+  /// (Re)builds the SoA batch power evaluator from power_'s per-core
+  /// parameters; called whenever power_ is (re)populated.
+  void rebuild_power_batch();
+
   arch::ChipConfig config_;
   std::unique_ptr<workload::Workload> workload_;
   SimConfig sim_;
   arch::VariationMap variation_;
   std::vector<perf::PerfModel> perf_;    ///< one per core (variation-aware)
   std::vector<power::PowerModel> power_;
+  /// Columnized mirror of power_ for the vectorized epoch kernel
+  /// (bit-identical results; see power/batch_power.hpp). Optional only
+  /// because it is built after the per-core models.
+  std::optional<power::BatchPowerModel> power_batch_;
+  std::vector<double> power_scratch_;  ///< per-core batch power outputs
   thermal::ThermalModel thermal_;
   mem::DramModel dram_;
   /// One decorrelated noise substream per core, each a pure function of

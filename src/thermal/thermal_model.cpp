@@ -3,29 +3,108 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
+
+#include "util/check.hpp"
+#include "util/simd.hpp"
 
 namespace odrl::thermal {
 
 ThermalModel::ThermalModel(const arch::Mesh& mesh, arch::ThermalParams params)
     : mesh_(mesh), params_(params) {
   params_.validate();
-  temps_.assign(mesh_.size(), params_.ambient_c);
-  scratch_.assign(mesh_.size(), 0.0);
-  neighbors_.reserve(mesh_.size());
-  for (std::size_t i = 0; i < mesh_.size(); ++i) {
-    neighbors_.push_back(mesh_.neighbors(i));
+  const std::size_t n = mesh_.size();
+  temps_.assign(n, params_.ambient_c);
+  scratch_.assign(n, 0.0);
+  // Flatten the topology once: real-degree CSR for the Jacobi solve, plus
+  // the self-padded slot-major table the Euler kernel gathers from. Real
+  // neighbours occupy the leading slots in mesh order; a padded slot holds
+  // the tile's own index, whose flow term is exactly +0.0 (see header).
+  nbr_offset_.assign(n + 1, 0);
+  nbr_flat_.clear();
+  nbr_padded_.assign(kMaxDegree * n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::vector<std::size_t> nbrs = mesh_.neighbors(i);
+    nbr_offset_[i + 1] = nbr_offset_[i] + nbrs.size();
+    nbr_flat_.insert(nbr_flat_.end(), nbrs.begin(), nbrs.end());
+    for (std::size_t s = 0; s < kMaxDegree; ++s) {
+      nbr_padded_[s * n + i] = s < nbrs.size() ? nbrs[s] : i;
+    }
   }
+  // Contiguity flags for the vector load fast path: one byte per
+  // (slot, lane group) saying whether that group's padded indices are
+  // consecutive, in which case the gather collapses to a single
+  // element-aligned vector load of the very same temperatures.
+  const std::size_t groups = n / util::kSimdLanes;
+  nbr_contig_.assign(kMaxDegree * groups, 0);
+  for (std::size_t s = 0; s < kMaxDegree; ++s) {
+    for (std::size_t g = 0; g < groups; ++g) {
+      const std::size_t* idx = &nbr_padded_[s * n + g * util::kSimdLanes];
+      bool contig = true;
+      for (std::size_t k = 1; k < util::kSimdLanes; ++k) {
+        contig = contig && idx[k] == idx[0] + k;
+      }
+      nbr_contig_[s * groups + g] = contig ? 1 : 0;
+    }
+  }
+  // Stability: Euler needs dt < C / G_total where G_total is the largest
+  // total conductance of a node (vertical + up to 4 lateral links). Both
+  // constants depend only on the immutable RC parameters, so they are
+  // computed once here rather than on every step() call.
+  g_max_ = 1.0 / params_.r_vertical_c_per_w +
+           static_cast<double>(kMaxDegree) / params_.r_lateral_c_per_w;
+  dt_stable_ = 0.25 * params_.c_tile_j_per_c / g_max_;
 }
 
-void ThermalModel::euler_step(std::span<const double> power_w, double dt_s) {
-  for (std::size_t i = 0; i < temps_.size(); ++i) {
-    double flow = power_w[i];
-    flow -= (temps_[i] - params_.ambient_c) / params_.r_vertical_c_per_w;
-    for (std::size_t j : neighbors_[i]) {
-      flow -= (temps_[i] - temps_[j]) / params_.r_lateral_c_per_w;
-    }
-    scratch_[i] = temps_[i] + dt_s * flow / params_.c_tile_j_per_c;
+void ThermalModel::euler_tile(std::span<const double> power_w, double dt_s,
+                              std::size_t i) {
+  const std::size_t n = temps_.size();
+  double flow = power_w[i];
+  flow -= (temps_[i] - params_.ambient_c) / params_.r_vertical_c_per_w;
+  for (std::size_t s = 0; s < kMaxDegree; ++s) {
+    const std::size_t j = nbr_padded_[s * n + i];
+    flow -= (temps_[i] - temps_[j]) / params_.r_lateral_c_per_w;
   }
+  scratch_[i] = temps_[i] + dt_s * flow / params_.c_tile_j_per_c;
+}
+
+void ThermalModel::euler_step_scalar(std::span<const double> power_w,
+                                     double dt_s) {
+  for (std::size_t i = 0; i < temps_.size(); ++i) {
+    euler_tile(power_w, dt_s, i);
+  }
+  temps_.swap(scratch_);
+}
+
+void ThermalModel::euler_step_vec(std::span<const double> power_w,
+                                  double dt_s) {
+  using util::vdouble;
+  using util::kSimdLanes;
+  const std::size_t n = temps_.size();
+  const vdouble amb(params_.ambient_c);
+  const vdouble rv(params_.r_vertical_c_per_w);
+  const vdouble rl(params_.r_lateral_c_per_w);
+  const vdouble cap(params_.c_tile_j_per_c);
+  const vdouble dt(dt_s);
+  const std::size_t groups = n / kSimdLanes;
+  std::size_t i = 0;
+  for (std::size_t g = 0; g < groups; ++g, i += kSimdLanes) {
+    const vdouble t = util::vload(&temps_[i]);
+    vdouble flow = util::vload(&power_w[i]);
+    flow = flow - (t - amb) / rv;
+    for (std::size_t s = 0; s < kMaxDegree; ++s) {
+      const std::size_t* idx = &nbr_padded_[s * n + i];
+      // Contiguous groups (interior tiles) take one vector load; the
+      // gather below reads the identical elements, so both paths feed
+      // the arithmetic the same bits.
+      const vdouble tn = nbr_contig_[s * groups + g]
+                             ? util::vload(&temps_[idx[0]])
+                             : vdouble([&](auto k) { return temps_[idx[k]]; });
+      flow = flow - (t - tn) / rl;
+    }
+    util::vstore(&scratch_[i], t + dt * flow / cap);
+  }
+  for (; i < n; ++i) euler_tile(power_w, dt_s, i);
   temps_.swap(scratch_);
 }
 
@@ -36,44 +115,70 @@ void ThermalModel::step(std::span<const double> power_w, double dt_s) {
   if (dt_s <= 0.0) {
     throw std::invalid_argument("ThermalModel::step: dt_s <= 0");
   }
-  // Stability: Euler needs dt < C / G_total where G_total is the largest
-  // total conductance of a node (vertical + up to 4 lateral links).
-  const double g_max = 1.0 / params_.r_vertical_c_per_w +
-                       4.0 / params_.r_lateral_c_per_w;
-  const double dt_stable = 0.25 * params_.c_tile_j_per_c / g_max;
+  const double need = std::ceil(dt_s / dt_stable_);
+  if (!(need <= static_cast<double>(kMaxSubsteps))) {
+    throw std::invalid_argument(
+        "ThermalModel::step: dt_s = " + std::to_string(dt_s) +
+        " s needs " + std::to_string(need) + " stable substeps (dt_stable = " +
+        std::to_string(dt_stable_) + " s, cap " +
+        std::to_string(kMaxSubsteps) + ")");
+  }
   const auto substeps =
-      std::max<std::size_t>(1, static_cast<std::size_t>(
-                                   std::ceil(dt_s / dt_stable)));
+      std::max<std::size_t>(1, static_cast<std::size_t>(need));
   const double dt_sub = dt_s / static_cast<double>(substeps);
-  for (std::size_t s = 0; s < substeps; ++s) euler_step(power_w, dt_sub);
+  if (util::simd_active()) {
+    for (std::size_t s = 0; s < substeps; ++s) euler_step_vec(power_w, dt_sub);
+  } else {
+    for (std::size_t s = 0; s < substeps; ++s) {
+      euler_step_scalar(power_w, dt_sub);
+    }
+  }
 }
 
-std::vector<double> ThermalModel::steady_state(
+SteadyStateResult ThermalModel::steady_state_result(
     std::span<const double> power_w) const {
   if (power_w.size() != temps_.size()) {
     throw std::invalid_argument("ThermalModel::steady_state: size");
   }
-  // Jacobi on: T_i = (P_i + T_amb/R_v + sum_j T_j/R_lat) / G_i.
-  std::vector<double> t(temps_.size(), params_.ambient_c);
+  // Jacobi on: T_i = (P_i + T_amb/R_v + sum_j T_j/R_lat) / G_i. Uses the
+  // real-degree CSR: each neighbour adds conductance to the denominator,
+  // so the self-padded table would bias corner/edge tiles here.
+  SteadyStateResult result;
+  result.temps_c.assign(temps_.size(), params_.ambient_c);
   std::vector<double> next(temps_.size(), 0.0);
+  std::vector<double>& t = result.temps_c;
   const double gv = 1.0 / params_.r_vertical_c_per_w;
   const double gl = 1.0 / params_.r_lateral_c_per_w;
-  for (int iter = 0; iter < 10000; ++iter) {
+  constexpr std::size_t kMaxIters = 10000;
+  constexpr double kTol = 1e-9;
+  for (std::size_t iter = 0; iter < kMaxIters; ++iter) {
     double max_delta = 0.0;
     for (std::size_t i = 0; i < t.size(); ++i) {
       double num = power_w[i] + params_.ambient_c * gv;
       double den = gv;
-      for (std::size_t j : neighbors_[i]) {
-        num += t[j] * gl;
+      for (std::size_t o = nbr_offset_[i]; o < nbr_offset_[i + 1]; ++o) {
+        num += t[nbr_flat_[o]] * gl;
         den += gl;
       }
       next[i] = num / den;
       max_delta = std::max(max_delta, std::abs(next[i] - t[i]));
     }
     t.swap(next);
-    if (max_delta < 1e-9) break;
+    result.iterations = iter + 1;
+    if (max_delta < kTol) {
+      result.converged = true;
+      break;
+    }
   }
-  return t;
+  return result;
+}
+
+std::vector<double> ThermalModel::steady_state(
+    std::span<const double> power_w) const {
+  SteadyStateResult result = steady_state_result(power_w);
+  ODRL_CHECK(result.converged,
+             "ThermalModel::steady_state: Jacobi did not converge");
+  return std::move(result.temps_c);
 }
 
 double ThermalModel::temperature(std::size_t tile) const {

@@ -10,9 +10,21 @@
 // staying inside this model's safe envelope; the simulator additionally
 // reports thermal-violation epochs so experiments can check that budget
 // compliance actually keeps silicon cool.
+//
+// Hot-path layout: the neighbour lists are flattened at construction into
+// a CSR layout (nbr_offset_/nbr_flat_, real degrees) plus a padded
+// slot-major table (kMaxDegree slots per tile, missing neighbours padded
+// with the tile's own index). The padded table is what the vectorized
+// Euler substep gathers from: a self-padded slot contributes exactly
+// (T_i - T_i)/R_lat = +0.0 to the flow, and subtracting +0.0 is a bitwise
+// no-op, so the padded kernel is bit-identical to iterating the real
+// neighbour lists (DESIGN.md "Vectorized kernels"). The Jacobi
+// steady-state solve uses the real-degree CSR (padding is *not* neutral
+// there -- each neighbour also adds conductance to the denominator).
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -21,17 +33,43 @@
 
 namespace odrl::thermal {
 
+/// Outcome of the Jacobi steady-state solve. `converged` is false when the
+/// iteration cap was exhausted before the update fell under the tolerance
+/// -- callers that care (tests, calibration sweeps) must check it; the
+/// plain steady_state() wrapper asserts it under ODRL_CHECKED.
+struct SteadyStateResult {
+  std::vector<double> temps_c;
+  bool converged = false;
+  std::size_t iterations = 0;
+};
+
 class ThermalModel {
  public:
+  /// 4-neighbour mesh topology: the padded neighbour table has this many
+  /// slots per tile.
+  static constexpr std::size_t kMaxDegree = 4;
+  /// Hard ceiling on Euler substeps per step() call. With the default RC
+  /// constants this admits dt_s of ~5000 s -- far beyond any control epoch
+  /// -- while a hostile dt from a corrupt trace/config fails fast instead
+  /// of silently spinning millions of substeps.
+  static constexpr std::size_t kMaxSubsteps = 1u << 20;
+
   ThermalModel(const arch::Mesh& mesh, arch::ThermalParams params);
 
   /// Advances the network by dt_s seconds with per-tile powers `power_w`
   /// (size must equal mesh.size(); tiles beyond the core count get 0).
+  /// Throws std::invalid_argument when dt_s would need more than
+  /// kMaxSubsteps stable substeps.
   void step(std::span<const double> power_w, double dt_s);
 
   /// Steady-state temperatures for constant powers (solves the linear
   /// system by damped Jacobi iteration; exact for this diagonally-dominant
   /// network). Does not modify the transient state.
+  SteadyStateResult steady_state_result(std::span<const double> power_w) const;
+
+  /// Convenience wrapper returning only the temperatures. Non-convergence
+  /// is a contract violation under ODRL_CHECKED and silent otherwise --
+  /// callers that must know use steady_state_result().
   std::vector<double> steady_state(std::span<const double> power_w) const;
 
   const std::vector<double>& temperatures() const { return temps_; }
@@ -40,19 +78,47 @@ class ThermalModel {
   /// Number of tiles currently above the junction limit.
   std::size_t violation_count() const;
 
+  /// Largest Euler substep that keeps the explicit scheme stable (hoisted
+  /// to the constructor; exposed for tests and step-budget math).
+  double dt_stable_s() const noexcept { return dt_stable_; }
+
   void reset(double temp_c);
   const arch::ThermalParams& params() const { return params_; }
   std::size_t size() const { return temps_.size(); }
 
  private:
-  /// One Euler substep of `dt_s`.
-  void euler_step(std::span<const double> power_w, double dt_s);
+  /// One Euler substep of `dt_s` (scalar and vectorized variants; the
+  /// public step() dispatches on util::simd_active()).
+  void euler_step_scalar(std::span<const double> power_w, double dt_s);
+  void euler_step_vec(std::span<const double> power_w, double dt_s);
+  /// Scalar per-tile flow integration shared by the scalar variant and the
+  /// vectorized variant's remainder tail.
+  void euler_tile(std::span<const double> power_w, double dt_s,
+                  std::size_t i);
 
   arch::Mesh mesh_;
   arch::ThermalParams params_;
   std::vector<double> temps_;
   std::vector<double> scratch_;
-  std::vector<std::vector<std::size_t>> neighbors_;
+
+  // CSR neighbour topology (real degrees) for the Jacobi solve.
+  std::vector<std::size_t> nbr_offset_;  ///< size() + 1 offsets
+  std::vector<std::size_t> nbr_flat_;    ///< concatenated neighbour ids
+  /// Padded slot-major table for the Euler kernel: slot s of tile i is
+  /// nbr_padded_[s * size() + i]; missing neighbours hold i itself.
+  std::vector<std::size_t> nbr_padded_;
+  /// Per (slot, lane group) contiguity flags: 1 when the group's padded
+  /// indices are consecutive (idx[k] == idx[0] + k), so the Euler kernel
+  /// can replace the per-lane gather with one element-aligned vector load
+  /// of the same values -- a pure load-path change, bit-identical data.
+  /// Interior mesh tiles qualify for every slot; only boundary groups
+  /// (self-padded or wrapping a row edge) fall back to the gather.
+  std::vector<std::uint8_t> nbr_contig_;
+
+  // Stability constants, hoisted from step() (they depend only on the
+  // immutable RC parameters).
+  double g_max_ = 0.0;
+  double dt_stable_ = 0.0;
 };
 
 }  // namespace odrl::thermal

@@ -1,0 +1,34 @@
+#include "util/simd.hpp"
+
+#include <atomic>
+
+namespace odrl::util {
+
+namespace {
+/// Relaxed is enough: the flag is a test hook flipped between (not during)
+/// kernel launches; kernels read it once at dispatch.
+std::atomic<bool>& force_scalar_flag() noexcept {
+  static std::atomic<bool> flag{false};
+  return flag;
+}
+}  // namespace
+
+void set_simd_force_scalar(bool force) noexcept {
+  force_scalar_flag().store(force, std::memory_order_relaxed);
+}
+
+bool simd_force_scalar() noexcept {
+  return force_scalar_flag().load(std::memory_order_relaxed);
+}
+
+bool simd_compiled() noexcept {
+#ifdef ODRL_SIMD_NATIVE
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool simd_active() noexcept { return simd_compiled() && !simd_force_scalar(); }
+
+}  // namespace odrl::util

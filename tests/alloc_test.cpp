@@ -23,6 +23,7 @@
 
 #include "arch/chip_config.hpp"
 #include "core/odrl_controller.hpp"
+#include "power/batch_power.hpp"
 #include "sim/controller_registry.hpp"
 #include "sim/runner.hpp"
 #include "sim/system.hpp"
@@ -164,6 +165,29 @@ TEST(SteadyStateAllocs, ClosedLoopEpochsAreAllocationFree) {
   const std::size_t long_run = run_and_count(192);
   EXPECT_EQ(long_run, short_run)
       << "extra epochs allocated (per-epoch leak in the closed loop)";
+}
+
+// The batched power kernel is called inside the step_into hot loop; its
+// steady-state evaluation must not allocate either (the exp-v cache and
+// columns are built once at construction).
+TEST(SteadyStateAllocs, BatchPowerCorePowerIntoIsAllocationFree) {
+  const arch::ChipConfig c = chip();
+  std::vector<arch::CoreParams> per_core(kCores, c.core());
+  const power::BatchPowerModel batch(per_core, c.vf_table());
+  std::vector<std::size_t> level(kCores, 3);
+  std::vector<workload::PhaseSample> phases(
+      kCores, {.base_cpi = 1.0, .mpki = 5.0, .activity = 0.6});
+  std::vector<double> temp(kCores, 70.0);
+  std::vector<double> out(kCores, 0.0);
+  batch.core_power_into(0, kCores, level, phases, temp, out);  // warm
+
+  const std::size_t before = g_new_calls.load(std::memory_order_relaxed);
+  for (int rep = 0; rep < 256; ++rep) {
+    batch.core_power_into(0, kCores, level, phases, temp, out);
+  }
+  const std::size_t after = g_new_calls.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u)
+      << "core_power_into allocated in steady state";
 }
 
 // -- 2. Bit-identity of the in-place entry points ------------------------

@@ -1,0 +1,433 @@
+// SIMD-vs-scalar bit-identity for the four vectorized epoch kernels
+// (DESIGN.md "Vectorized kernels"): batch power, thermal euler step,
+// budget reallocation, and the batched TD update. Every test drives the
+// scalar reference and the vectorized variant over identical inputs and
+// asserts EXACT (bitwise, EXPECT_EQ on doubles) agreement -- the same
+// contract the golden digests and the threading tests pin end to end.
+//
+// When the build carries no native SIMD (ODRL_SIMD=OFF), the force-scalar
+// toggle is a no-op and both sides run the same code; the comparisons
+// still hold trivially, so the suite is safe to run in every
+// configuration.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "arch/chip_config.hpp"
+#include "arch/mesh.hpp"
+#include "arch/vf_table.hpp"
+#include "core/budget_realloc.hpp"
+#include "core/odrl_controller.hpp"
+#include "power/batch_power.hpp"
+#include "power/power_model.hpp"
+#include "rl/agent.hpp"
+#include "rl/td_batch.hpp"
+#include "sim/runner.hpp"
+#include "sim/system.hpp"
+#include "thermal/thermal_model.hpp"
+#include "util/check.hpp"
+#include "util/simd.hpp"
+#include "workload/workload.hpp"
+
+namespace oa = odrl::arch;
+namespace oc = odrl::core;
+namespace opw = odrl::power;
+namespace orl = odrl::rl;
+namespace os = odrl::sim;
+namespace ot = odrl::thermal;
+namespace ou = odrl::util;
+namespace ow = odrl::workload;
+
+namespace {
+
+/// RAII toggle for the util::set_simd_force_scalar test hook; restores the
+/// previous setting even when an assertion throws mid-test.
+class ForceScalarGuard {
+ public:
+  explicit ForceScalarGuard(bool force) : prev_(ou::simd_force_scalar()) {
+    ou::set_simd_force_scalar(force);
+  }
+  ~ForceScalarGuard() { ou::set_simd_force_scalar(prev_); }
+  ForceScalarGuard(const ForceScalarGuard&) = delete;
+  ForceScalarGuard& operator=(const ForceScalarGuard&) = delete;
+
+ private:
+  bool prev_;
+};
+
+/// Deterministic per-core parameter variation (no two cores identical, so
+/// a lane mixup cannot cancel out).
+std::vector<oa::CoreParams> varied_params(std::size_t n) {
+  std::vector<oa::CoreParams> per_core(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i % 17) / 16.0;
+    per_core[i].c_eff_nf = 1.6 + 0.6 * t;
+    per_core[i].leak_scale_w = 0.7 + 0.4 * t;
+    per_core[i].leak_t_coeff = 0.015 + 0.01 * t;
+    per_core[i].uncore_w = 0.2 + 0.1 * t;
+  }
+  return per_core;
+}
+
+/// Activity pattern mixing interior values with the exact boundaries and
+/// the tolerance-clamped just-outside values core_power_at accepts.
+double activity_at(std::size_t i) {
+  switch (i % 6) {
+    case 0: return 0.0;
+    case 1: return 1.0;
+    case 2: return 1.0 + 0.5e-6;  // inside kActivityTol: clamps to 1.0
+    case 3: return -0.5e-6;       // inside kActivityTol: clamps to 0.0
+    case 4: return 0.37 + 0.01 * static_cast<double>(i % 29);
+    default: return 0.85;
+  }
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ batch power
+
+TEST(SimdBatchPower, MatchesScalarPowerModelBitwise) {
+  const oa::VfTable table = oa::VfTable::default_table();
+  // Odd sizes force remainder tails; 67 > one cache line of lanes.
+  for (std::size_t n : {1u, 7u, 13u, 67u}) {
+    const std::vector<oa::CoreParams> per_core = varied_params(n);
+    const opw::BatchPowerModel batch(per_core, table);
+    std::vector<std::size_t> level(n);
+    std::vector<ow::PhaseSample> phases(n);
+    std::vector<double> temp(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      level[i] = i % table.size();
+      phases[i] = {.base_cpi = 1.0, .mpki = 5.0, .activity = activity_at(i)};
+      temp[i] = 45.0 + static_cast<double>(i % 50);
+    }
+
+    std::vector<double> out_vec(n, -1.0);
+    std::vector<double> out_scalar(n, -1.0);
+    batch.core_power_into(0, n, level, phases, temp, out_vec);
+    {
+      ForceScalarGuard guard(true);
+      batch.core_power_into(0, n, level, phases, temp, out_scalar);
+    }
+    // Reference: the scalar PowerModel, one core at a time.
+    for (std::size_t i = 0; i < n; ++i) {
+      const opw::PowerModel m(per_core[i]);
+      const double ref =
+          m.core_power_at(table[level[i]], phases[i].activity, temp[i])
+              .total_w();
+      EXPECT_EQ(out_vec[i], ref) << "core " << i << " n " << n;
+      EXPECT_EQ(out_scalar[i], ref) << "core " << i << " n " << n;
+    }
+  }
+}
+
+TEST(SimdBatchPower, ShardedRangesTouchOnlyTheirSlots) {
+  const oa::VfTable table = oa::VfTable::default_table();
+  const std::size_t n = 19;
+  const std::vector<oa::CoreParams> per_core = varied_params(n);
+  const opw::BatchPowerModel batch(per_core, table);
+  std::vector<std::size_t> level(n, 2);
+  std::vector<ow::PhaseSample> phases(
+      n, {.base_cpi = 1.0, .mpki = 5.0, .activity = 0.6});
+  std::vector<double> temp(n, 70.0);
+
+  std::vector<double> whole(n);
+  batch.core_power_into(0, n, level, phases, temp, whole);
+
+  std::vector<double> sharded(n, -7.0);
+  batch.core_power_into(0, 5, level, phases, temp, sharded);
+  batch.core_power_into(5, 11, level, phases, temp, sharded);
+  batch.core_power_into(11, n, level, phases, temp, sharded);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(sharded[i], whole[i]) << i;
+
+  // A partial fill must leave the out-of-range slots untouched.
+  std::vector<double> partial(n, -7.0);
+  batch.core_power_into(5, 11, level, phases, temp, partial);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i < 5 || i >= 11) {
+      EXPECT_EQ(partial[i], -7.0) << i;
+    }
+  }
+}
+
+TEST(SimdBatchPower, ActivityBeyondToleranceThrowsInBothVariants) {
+  const oa::VfTable table = oa::VfTable::default_table();
+  const std::size_t n = 4;
+  const opw::BatchPowerModel batch(varied_params(n), table);
+  std::vector<std::size_t> level(n, 1);
+  std::vector<double> temp(n, 60.0);
+  std::vector<double> out(n);
+  std::vector<ow::PhaseSample> phases(
+      n, {.base_cpi = 1.0, .mpki = 5.0, .activity = 0.5});
+  phases[2].activity = 1.1;  // far outside kActivityTol
+  if (ou::checks_enabled()) {
+    EXPECT_THROW(batch.core_power_into(0, n, level, phases, temp, out),
+                 ou::ContractViolation);
+    ForceScalarGuard guard(true);
+    EXPECT_THROW(batch.core_power_into(0, n, level, phases, temp, out),
+                 ou::ContractViolation);
+  } else {
+    EXPECT_THROW(batch.core_power_into(0, n, level, phases, temp, out),
+                 std::invalid_argument);
+    ForceScalarGuard guard(true);
+    EXPECT_THROW(batch.core_power_into(0, n, level, phases, temp, out),
+                 std::invalid_argument);
+  }
+}
+
+// ---------------------------------------------------------------- thermal
+
+TEST(SimdThermal, EulerStepMatchesScalarBitwise) {
+  for (auto [w, h] : {std::pair<std::size_t, std::size_t>{3, 3},
+                      {5, 7},
+                      {8, 8}}) {
+    ot::ThermalModel vec_model(oa::Mesh(w, h), oa::ThermalParams{});
+    ot::ThermalModel sca_model(oa::Mesh(w, h), oa::ThermalParams{});
+    const std::size_t n = vec_model.size();
+    std::vector<double> power(n);
+    for (std::size_t step = 0; step < 50; ++step) {
+      for (std::size_t i = 0; i < n; ++i) {
+        power[i] = 2.0 + std::sin(static_cast<double>(i + step)) * 1.5;
+      }
+      vec_model.step(power, 1e-3);
+      {
+        ForceScalarGuard guard(true);
+        sca_model.step(power, 1e-3);
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(vec_model.temperature(i), sca_model.temperature(i))
+            << w << "x" << h << " tile " << i << " step " << step;
+      }
+    }
+  }
+}
+
+TEST(SimdThermal, SubstepCapThrowsOnAbsurdTimestep) {
+  const ot::ThermalModel m(oa::Mesh(2, 2), oa::ThermalParams{});
+  const std::vector<double> power(m.size(), 1.0);
+  const double too_long =
+      m.dt_stable_s() *
+      static_cast<double>(ot::ThermalModel::kMaxSubsteps) * 4.0;
+  ot::ThermalModel mut = m;
+  EXPECT_THROW(mut.step(power, too_long), std::invalid_argument);
+  // Just inside the cap must not throw (one coarse but bounded step).
+  ot::ThermalModel ok = m;
+  EXPECT_NO_THROW(ok.step(power, m.dt_stable_s() * 8.0));
+}
+
+TEST(SimdThermal, SteadyStateResultReportsConvergence) {
+  const ot::ThermalModel m(oa::Mesh(3, 3), oa::ThermalParams{});
+  std::vector<double> power(m.size(), 0.0);
+  power[4] = 8.0;
+  const ot::SteadyStateResult r = m.steady_state_result(power);
+  EXPECT_TRUE(r.converged);
+  EXPECT_GT(r.iterations, 0u);
+  EXPECT_LT(r.iterations, 10000u);
+  // The convenience wrapper must return the same temperatures.
+  const std::vector<double> plain = m.steady_state(power);
+  ASSERT_EQ(plain.size(), r.temps_c.size());
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_EQ(plain[i], r.temps_c[i]) << i;
+  }
+}
+
+// ------------------------------------------------------------ reallocation
+
+TEST(SimdRealloc, BothBranchesMatchScalarBitwise) {
+  for (std::size_t n : {3u, 13u, 64u, 129u}) {
+    std::vector<oc::CoreDemand> demands(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      demands[i].power_w = 0.5 + 0.13 * static_cast<double>(i % 23);
+      demands[i].sensitivity =
+          0.05 * static_cast<double>(i % 21) - 0.02;  // strays past [0,1]
+      demands[i].can_raise = (i % 3) != 0;
+    }
+    double total = 0.0;
+    for (const oc::CoreDemand& d : demands) total += d.power_w;
+    // Surplus branch (budget comfortably above demand) and oversubscribed
+    // branch (budget well below demand), both exercised.
+    for (double budget : {total * 4.0, total * 0.4}) {
+      const std::vector<double> vec =
+          oc::reallocate_budget(demands, budget, {});
+      ForceScalarGuard guard(true);
+      const std::vector<double> sca =
+          oc::reallocate_budget(demands, budget, {});
+      ASSERT_EQ(vec.size(), sca.size());
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(vec[i], sca[i]) << "n " << n << " budget " << budget
+                                  << " core " << i;
+      }
+    }
+  }
+}
+
+// --------------------------------------------------------- batched TD
+
+namespace {
+
+orl::TdConfig td_config(orl::TdRule rule) {
+  orl::TdConfig cfg;
+  cfg.rule = rule;
+  cfg.gamma = 0.7;
+  cfg.q_init = 0.5;
+  return cfg;
+}
+
+/// Builds m agents and a deterministic batch of transitions, then applies
+/// the batch through td_update_batch on one set and through sequential
+/// learn() on a twin set; every Q-value and update counter must agree to
+/// the last bit.
+void check_td_batch(orl::TdRule rule, std::size_t m, bool pass_next_action) {
+  const std::size_t n_states = 12;
+  const std::size_t n_actions = 4;
+  std::vector<orl::TdAgent> batched;
+  std::vector<orl::TdAgent> sequential;
+  for (std::size_t j = 0; j < m; ++j) {
+    batched.emplace_back(n_states, n_actions, td_config(rule));
+    sequential.emplace_back(n_states, n_actions, td_config(rule));
+  }
+
+  std::vector<std::size_t> ps(m), pa(m), ns(m), na(m);
+  std::vector<double> reward(m);
+  std::vector<orl::TdAgent*> agents(m);
+  for (std::size_t round = 0; round < 9; ++round) {
+    for (std::size_t j = 0; j < m; ++j) {
+      ps[j] = (j + round) % n_states;
+      pa[j] = (j * 7 + round) % n_actions;
+      ns[j] = (j + round + 5) % n_states;
+      na[j] = (j + 2 * round) % n_actions;
+      reward[j] = std::sin(static_cast<double>(j * 31 + round)) * 2.0;
+      agents[j] = &batched[j];
+    }
+    orl::TdBatchSpans batch{
+        .agents = agents,
+        .prev_state = ps,
+        .prev_action = pa,
+        .next_state = ns,
+        .next_action = pass_next_action
+                           ? std::span<const std::size_t>(na)
+                           : std::span<const std::size_t>(),
+        .reward = reward};
+    std::vector<double> scratch(3 * m);
+    orl::td_update_batch(batch, scratch);
+    for (std::size_t j = 0; j < m; ++j) {
+      sequential[j].learn(ps[j], pa[j], reward[j], ns[j],
+                          pass_next_action
+                              ? std::optional<std::size_t>(na[j])
+                              : std::nullopt);
+    }
+  }
+
+  for (std::size_t j = 0; j < m; ++j) {
+    EXPECT_EQ(batched[j].updates(), sequential[j].updates()) << "agent " << j;
+    for (std::size_t s = 0; s < n_states; ++s) {
+      for (std::size_t a = 0; a < n_actions; ++a) {
+        ASSERT_EQ(batched[j].table().q(s, a), sequential[j].table().q(s, a))
+            << "agent " << j << " q(" << s << "," << a << ")";
+      }
+    }
+  }
+}
+
+}  // namespace
+
+TEST(SimdTdBatch, QLearningMatchesSequentialLearnBitwise) {
+  check_td_batch(orl::TdRule::kQLearning, 11, /*pass_next_action=*/false);
+  ForceScalarGuard guard(true);
+  check_td_batch(orl::TdRule::kQLearning, 11, /*pass_next_action=*/false);
+}
+
+TEST(SimdTdBatch, SarsaMatchesSequentialLearnBitwise) {
+  check_td_batch(orl::TdRule::kSarsa, 13, /*pass_next_action=*/true);
+  ForceScalarGuard guard(true);
+  check_td_batch(orl::TdRule::kSarsa, 13, /*pass_next_action=*/true);
+}
+
+TEST(SimdTdBatch, SarsaWithoutNextActionThrows) {
+  orl::TdAgent agent(4, 2, td_config(orl::TdRule::kSarsa));
+  orl::TdAgent* agents[] = {&agent};
+  const std::size_t ps[] = {0}, pa[] = {0}, ns[] = {1};
+  const double reward[] = {1.0};
+  orl::TdBatchSpans batch{.agents = agents,
+                          .prev_state = ps,
+                          .prev_action = pa,
+                          .next_state = ns,
+                          .next_action = {},
+                          .reward = reward};
+  std::vector<double> scratch(3);
+  EXPECT_THROW(orl::td_update_batch(batch, scratch), std::invalid_argument);
+}
+
+TEST(SimdTdBatch, UndersizedScratchThrows) {
+  orl::TdAgent agent(4, 2, td_config(orl::TdRule::kQLearning));
+  orl::TdAgent* agents[] = {&agent};
+  const std::size_t ps[] = {0}, pa[] = {0}, ns[] = {1};
+  const double reward[] = {1.0};
+  orl::TdBatchSpans batch{.agents = agents,
+                          .prev_state = ps,
+                          .prev_action = pa,
+                          .next_state = ns,
+                          .next_action = {},
+                          .reward = reward};
+  std::vector<double> scratch(2);  // needs 3 per agent
+  EXPECT_THROW(orl::td_update_batch(batch, scratch), std::invalid_argument);
+}
+
+// ----------------------------------------------- closed loop, end to end
+
+namespace {
+
+os::RunResult closed_loop_run(std::size_t threads) {
+  const std::size_t cores = 32;
+  const oa::ChipConfig chip = oa::ChipConfig::make(cores, 0.6);
+  os::SimConfig sim;
+  sim.sensor_noise_rel = 0.05;
+  sim.seed = 23;
+  sim.threads = threads;
+  os::ManyCoreSystem system(
+      chip,
+      std::make_unique<ow::GeneratedWorkload>(
+          ow::GeneratedWorkload::mixed_suite(cores, 5)),
+      sim);
+  oc::OdrlController controller(chip);
+  controller.set_threads(threads);
+  os::RunConfig cfg;
+  cfg.warmup_epochs = 10;
+  cfg.epochs = 80;
+  cfg.budget_events = {{0, chip.tdp_w() * 0.9}, {40, chip.tdp_w() * 0.55}};
+  return os::run_closed_loop(system, controller, cfg);
+}
+
+void expect_same_trace(const os::RunResult& a, const os::RunResult& b) {
+  EXPECT_EQ(a.total_instructions, b.total_instructions);
+  EXPECT_EQ(a.total_energy_j, b.total_energy_j);
+  EXPECT_EQ(a.peak_overshoot_w, b.peak_overshoot_w);
+  EXPECT_EQ(a.mean_power_w, b.mean_power_w);
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  for (std::size_t e = 0; e < a.trace.size(); ++e) {
+    ASSERT_EQ(a.trace[e].chip_power_w, b.trace[e].chip_power_w) << e;
+    ASSERT_EQ(a.trace[e].total_ips, b.trace[e].total_ips) << e;
+    ASSERT_EQ(a.trace[e].max_temp_c, b.trace[e].max_temp_c) << e;
+  }
+}
+
+}  // namespace
+
+TEST(SimdClosedLoop, ScalarAndVectorRunsAreBitIdenticalAcrossThreads) {
+  // The load-bearing end-to-end claim: flipping SIMD on/off changes not a
+  // single bit of a full OD-RL closed-loop run, at any thread count, and
+  // all six runs agree with each other.
+  std::vector<os::RunResult> runs;
+  for (std::size_t threads : {1u, 2u, 4u}) {
+    runs.push_back(closed_loop_run(threads));
+    ForceScalarGuard guard(true);
+    runs.push_back(closed_loop_run(threads));
+  }
+  for (std::size_t i = 1; i < runs.size(); ++i) {
+    expect_same_trace(runs[0], runs[i]);
+  }
+}

@@ -1,0 +1,220 @@
+#!/usr/bin/env python3
+"""Perf-ratchet gate: compare fresh bench JSONs against the committed ones.
+
+Two baselines live at the repo root and are regenerated deliberately, never
+by CI:
+
+  BENCH_kernels.json  -- bench/bench_kernels: per (kernel, cores) the scalar
+                         baseline and SIMD per-call times plus their ratio
+                         (`speedup`). The speedup is a within-machine ratio,
+                         so it transfers across machines; the raw ns do not.
+  BENCH_e5.json       -- bench/bench_e5_scalability: per (controller, cores)
+                         closed-loop throughput (epochs/s) and decide()
+                         latency. Absolute numbers are machine-dependent, so
+                         the check normalizes by the median fresh/committed
+                         ratio before applying the per-row tolerance: a
+                         uniformly slower runner passes, a single controller
+                         regressing relative to the rest fails.
+
+Fresh flags are repeatable; multiple fresh files are merged best-of-N per
+row (max speedup / max epochs_per_s / min mean_decide_us) to shave timing
+noise off the downside. Rules enforced:
+
+  kernels  per-row: best-of-N speedup >= committed speedup * (1 - tol)
+           floor:   >= 2 distinct kernels reach speedup >= 1.5 at >= 64
+                    cores (both in the committed file and in the fresh
+                    merge), and the fresh binary was compiled with SIMD on
+  e5       per-row: throughput ratio >= median ratio * (1 - tol), and
+                    decide-latency ratio <= median ratio * (1 + tol)
+
+Exit status 0 when every rule holds, 1 with a per-row report otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+
+ACCEPT_MIN_SPEEDUP = 1.5
+ACCEPT_MIN_CORES = 64
+ACCEPT_MIN_KERNELS = 2
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def kernel_rows(doc):
+    """{(kernel, cores): row} for a BENCH_kernels.json document."""
+    return {(r["kernel"], int(r["cores"])): r for r in doc["results"]}
+
+
+def e5_rows(doc):
+    """{(controller, cores): row} for a BENCH_e5.json document."""
+    return {(r["controller"], int(r["cores"])): r for r in doc["results"]}
+
+
+def merge_best(per_file_rows, better):
+    """Best-of-N merge: keep, per key, the row `better` prefers."""
+    merged = {}
+    for rows in per_file_rows:
+        for key, row in rows.items():
+            if key not in merged or better(row, merged[key]):
+                merged[key] = row
+    return merged
+
+
+def floor_failures(rows, label):
+    """Acceptance floor on one kernels table; returns failure strings."""
+    winners = {
+        k
+        for (k, cores), r in rows.items()
+        if cores >= ACCEPT_MIN_CORES and r["speedup"] >= ACCEPT_MIN_SPEEDUP
+    }
+    if len(winners) >= ACCEPT_MIN_KERNELS:
+        return []
+    return [
+        f"{label}: acceptance floor missed -- only {sorted(winners)} reach "
+        f"{ACCEPT_MIN_SPEEDUP}x at >= {ACCEPT_MIN_CORES} cores "
+        f"(need {ACCEPT_MIN_KERNELS} kernels)"
+    ]
+
+
+def check_kernels(baseline_path, fresh_paths, tol):
+    failures = []
+    base_doc = load(baseline_path)
+    fresh_docs = [load(p) for p in fresh_paths]
+    for path, doc in zip(fresh_paths, fresh_docs):
+        if not doc.get("simd_compiled", False):
+            failures.append(
+                f"kernels: {path} was produced by a scalar-only build "
+                "(simd_compiled false) -- speedups are meaningless"
+            )
+    base = kernel_rows(base_doc)
+    fresh = merge_best(
+        [kernel_rows(d) for d in fresh_docs],
+        lambda a, b: a["speedup"] > b["speedup"],
+    )
+
+    for key in sorted(base):
+        kernel, cores = key
+        if key not in fresh:
+            failures.append(f"kernels: row ({kernel}, {cores}) missing "
+                            "from fresh results")
+            continue
+        need = base[key]["speedup"] * (1.0 - tol)
+        got = fresh[key]["speedup"]
+        if got < need:
+            failures.append(
+                f"kernels: {kernel} @ {cores} cores regressed -- speedup "
+                f"{got:.3f} < {need:.3f} "
+                f"(committed {base[key]['speedup']:.3f} - {tol:.0%})"
+            )
+
+    failures += floor_failures(base, "kernels: committed baseline")
+    failures += floor_failures(fresh, "kernels: fresh best-of-N")
+    return failures
+
+
+def check_e5(baseline_path, fresh_paths, tol):
+    failures = []
+    base = e5_rows(load(baseline_path))
+    fresh = merge_best(
+        [e5_rows(load(p)) for p in fresh_paths],
+        lambda a, b: a["epochs_per_s"] > b["epochs_per_s"]
+        or (
+            a["epochs_per_s"] == b["epochs_per_s"]
+            and a["mean_decide_us"] < b["mean_decide_us"]
+        ),
+    )
+    # Latency best-of-N is independent of the throughput winner.
+    lat_best = merge_best(
+        [e5_rows(load(p)) for p in fresh_paths],
+        lambda a, b: a["mean_decide_us"] < b["mean_decide_us"],
+    )
+
+    missing = [k for k in base if k not in fresh]
+    for controller, cores in missing:
+        failures.append(f"e5: row ({controller}, {cores}) missing from "
+                        "fresh results")
+    keys = [k for k in sorted(base) if k not in missing]
+    if not keys:
+        return failures
+
+    tp_ratio = {k: fresh[k]["epochs_per_s"] / base[k]["epochs_per_s"]
+                for k in keys}
+    lat_ratio = {
+        k: lat_best[k]["mean_decide_us"] / base[k]["mean_decide_us"]
+        for k in keys
+    }
+    tp_med = statistics.median(tp_ratio.values())
+    lat_med = statistics.median(lat_ratio.values())
+
+    for key in keys:
+        controller, cores = key
+        if tp_ratio[key] < tp_med * (1.0 - tol):
+            failures.append(
+                f"e5: {controller} @ {cores} cores throughput regressed "
+                f"relative to the suite -- ratio {tp_ratio[key]:.3f} vs "
+                f"median {tp_med:.3f} (tolerance {tol:.0%})"
+            )
+        if lat_ratio[key] > lat_med * (1.0 + tol):
+            failures.append(
+                f"e5: {controller} @ {cores} cores decide latency regressed "
+                f"relative to the suite -- ratio {lat_ratio[key]:.3f} vs "
+                f"median {lat_med:.3f} (tolerance {tol:.0%})"
+            )
+    return failures
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--kernels-baseline",
+                        help="committed BENCH_kernels.json")
+    parser.add_argument("--kernels-fresh", action="append", default=[],
+                        help="fresh kernels JSON (repeatable, best-of-N)")
+    parser.add_argument("--e5-baseline", help="committed BENCH_e5.json")
+    parser.add_argument("--e5-fresh", action="append", default=[],
+                        help="fresh e5 JSON (repeatable, best-of-N)")
+    parser.add_argument("--tolerance", type=float, default=0.10,
+                        help="allowed per-row regression (default 0.10)")
+    args = parser.parse_args(argv)
+
+    do_kernels = args.kernels_baseline or args.kernels_fresh
+    do_e5 = args.e5_baseline or args.e5_fresh
+    if not do_kernels and not do_e5:
+        parser.error("nothing to check: pass --kernels-* and/or --e5-*")
+    if do_kernels and not (args.kernels_baseline and args.kernels_fresh):
+        parser.error("kernels check needs --kernels-baseline and at least "
+                     "one --kernels-fresh")
+    if do_e5 and not (args.e5_baseline and args.e5_fresh):
+        parser.error("e5 check needs --e5-baseline and at least one "
+                     "--e5-fresh")
+
+    failures = []
+    if do_kernels:
+        failures += check_kernels(args.kernels_baseline, args.kernels_fresh,
+                                  args.tolerance)
+    if do_e5:
+        failures += check_e5(args.e5_baseline, args.e5_fresh, args.tolerance)
+
+    if failures:
+        print("perf ratchet FAILED:")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    checked = []
+    if do_kernels:
+        checked.append(f"kernels ({len(args.kernels_fresh)} fresh run(s))")
+    if do_e5:
+        checked.append(f"e5 ({len(args.e5_fresh)} fresh run(s))")
+    print(f"perf ratchet OK: {', '.join(checked)}, "
+          f"tolerance {args.tolerance:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Project-specific lint rules for the ODRL hot path.
 
-Three rules, all aimed at the zero-allocation span/SoA epoch data path
+Four rules, all aimed at the zero-allocation span/SoA epoch data path
 (DESIGN.md "Epoch data path" / "Correctness tooling"); generic static
 analysis is clang-tidy's job (.clang-tidy), this script enforces what no
 off-the-shelf check can express:
@@ -24,8 +24,19 @@ off-the-shelf check can express:
       std::vector/std::string declarations inside them. Reused-capacity
       calls (resize/assign on members) are fine and not flagged.
 
+  raw-loop-reduction
+      A scalar accumulator (`double x = 0;` ... `x += ...`) inside a
+      *_into body folds in whatever order the surrounding loop takes.
+      Hot-path reductions must fold a materialized column in canonical
+      index order (util::ordered_sum) so the summation tree stays
+      independent of lane width and thread count (DESIGN.md "Vectorized
+      kernels") -- or carry a reasoned allow marker pinning why the fold
+      order is already fixed.
+
 Suppression: append `// lint: allow(<rule>): <reason>` to the offending
-line. Naked suppressions (no reason) are themselves findings.
+line, or place it on its own line directly above (for statements the
+column limit would otherwise wrap). Naked suppressions (no reason) are
+themselves findings.
 
 Usage:  python3 tools/lint_odrl.py [--root DIR]
 Exit status: 0 clean, 1 findings, 2 usage error.
@@ -103,14 +114,19 @@ def line_of(text: str, pos: int) -> int:
 
 def suppressed(raw_lines: list[str], line: int, rule: str,
                findings: list[Finding], path: Path) -> bool:
-    """True if `line` carries a reasoned allow marker for `rule`."""
-    m = ALLOW_RE.search(raw_lines[line - 1])
-    if not m or m.group("rule") != rule:
-        return False
-    if not m.group("reason").strip(" :"):
-        findings.append(Finding(path, line, rule,
-                                "suppression without a reason"))
-    return True
+    """True if `line` (or the line directly above it) carries a reasoned
+    allow marker for `rule`."""
+    for cand in (line, line - 1):
+        if cand < 1 or cand > len(raw_lines):
+            continue
+        m = ALLOW_RE.search(raw_lines[cand - 1])
+        if not m or m.group("rule") != rule:
+            continue
+        if not m.group("reason").strip(" :"):
+            findings.append(Finding(path, cand, rule,
+                                    "suppression without a reason"))
+        return True
+    return False
 
 
 def match_brace_block(text: str, open_brace: int) -> int:
@@ -213,6 +229,28 @@ def check_heap_in_hot_path(path: Path, text: str, raw_lines: list[str],
                     "capacity"))
 
 
+REDUCTION_DECL_RE = re.compile(r"\bdouble\s+(?P<name>\w+)\s*=\s*0(?:\.0*)?\s*;")
+
+
+def check_raw_loop_reduction(path: Path, text: str, raw_lines: list[str],
+                             findings: list[Finding]):
+    for label, start, end in hot_regions(text):
+        body = text[start:end]
+        for decl in REDUCTION_DECL_RE.finditer(body):
+            name = decl.group("name")
+            acc_re = re.compile(r"\b" + re.escape(name) + r"\s*\+=")
+            for hit in acc_re.finditer(body):
+                line = line_of(text, start + hit.start())
+                if suppressed(raw_lines, line, "raw-loop-reduction",
+                              findings, path):
+                    continue
+                findings.append(Finding(
+                    path, line, "raw-loop-reduction",
+                    f"raw '+=' reduction onto {name} inside {label}: fold "
+                    "a materialized column with util::ordered_sum, or add "
+                    "a reasoned allow marker pinning the fold order"))
+
+
 def lint_file(path: Path, root: Path, findings: list[Finding]):
     raw = path.read_text(encoding="utf-8")
     raw_lines = raw.splitlines()
@@ -224,6 +262,8 @@ def lint_file(path: Path, root: Path, findings: list[Finding]):
     if path.suffix == ".cpp" or rel.endswith(".hpp"):
         check_heap_in_hot_path(path.relative_to(root), text, raw_lines,
                                findings)
+        check_raw_loop_reduction(path.relative_to(root), text, raw_lines,
+                                 findings)
 
 
 def main() -> int:
