@@ -71,10 +71,12 @@ int main() {
         chip, std::make_unique<workload::ReplayWorkload>(trace), sc,
         layout.params);
     auto levels = controller.initial_levels(kCores);
+    std::vector<std::size_t> next(kCores, 0);
     sim::EpochResult obs;
     for (std::size_t e = 0; e < kWarmup; ++e) {
-      obs = system.step(levels);
-      levels = controller.decide(obs);
+      system.step_into(levels, obs);
+      controller.decide_into(obs, next);
+      levels.swap(next);
     }
     double big_budget = 0.0;
     double little_budget = 0.0;

@@ -58,8 +58,9 @@ double worst_pinned_power(const arch::ChipConfig& chip, double budget_w,
   const std::vector<std::size_t> pinned(
       chip.n_cores(), sim::safe_uniform_level(chip, budget_w));
   double worst = 0.0;
+  sim::EpochResult obs;
   for (std::size_t e = 0; e < epochs; ++e) {
-    const sim::EpochResult obs = system.step(pinned);
+    system.step_into(pinned, obs);
     worst = std::max(worst, obs.true_chip_power_w);
   }
   return worst;

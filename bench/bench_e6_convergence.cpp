@@ -45,6 +45,8 @@ int main() {
                      "OTB[mJ]", "mu"});
 
   auto levels = controller.initial_levels(kCores);
+  std::vector<std::size_t> next(kCores, 0);
+  sim::EpochResult obs;
   double window_reward = 0.0;
   double window_power = 0.0;
   double window_ips = 0.0;
@@ -55,8 +57,9 @@ int main() {
       system.set_budget_w(drop_w);
       controller.on_budget_change(drop_w);
     }
-    const auto obs = system.step(levels);
-    levels = controller.decide(obs);
+    system.step_into(levels, obs);
+    controller.decide_into(obs, next);
+    levels.swap(next);
 
     window_reward += controller.last_mean_reward();
     window_power += obs.true_chip_power_w;

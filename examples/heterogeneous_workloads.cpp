@@ -106,9 +106,12 @@ int main(int argc, char** argv) {
               "power", "level", "budget", "power", "level");
 
   auto levels = controller.initial_levels(cores);
+  std::vector<std::size_t> next(cores, 0);
+  sim::EpochResult obs;
   for (std::size_t e = 0; e < epochs; ++e) {
-    const auto obs = system.step(levels);
-    levels = controller.decide(obs);
+    system.step_into(levels, obs);
+    controller.decide_into(obs, next);
+    levels.swap(next);
     if ((e + 1) % 1000 == 0) {
       const GroupDigest a = digest(obs, 0);
       const GroupDigest b = digest(obs, 1);

@@ -37,8 +37,12 @@ int main(int argc, char** argv) {
               bench.c_str(), epochs, chip.tdp_w());
 
   auto levels = controller.initial_levels(1);
+  std::vector<std::size_t> next(1, 0);
+  sim::EpochResult obs;
   for (std::size_t e = 0; e < epochs; ++e) {
-    levels = controller.decide(system.step(levels));
+    system.step_into(levels, obs);
+    controller.decide_into(obs, next);
+    levels.swap(next);
   }
 
   const rl::TdAgent& agent = controller.agent(0);

@@ -11,6 +11,9 @@
 //                [--faults=storm.txt | --fault-storm-seed=7] [--watchdog]
 //                [--trace-out=run.jsonl] [--trace-format=jsonl|csv]
 //                [--trace-cores] [--trace-sample=k]
+//                [--save-snapshot=run.snap --snapshot-epoch=n]
+//                [--load-snapshot=run.snap]
+//                [--swap='epoch:controller[:k=v,...][;epoch:...]']
 //
 // --threads shards the per-core epoch and TD loops across a worker pool
 // (0 = hardware concurrency). Results are bit-identical for every value.
@@ -29,11 +32,25 @@
 // decide()-latency histogram. --trace-cores adds per-core rows;
 // --trace-sample=k keeps every k-th epoch. Recording never changes
 // results.
+//
+// --save-snapshot captures the learning run's full state (system,
+// controller, fault engine, runner bookkeeping) into a versioned binary
+// snapshot at the top of measured epoch --snapshot-epoch;
+// --load-snapshot resumes a run from such a file on freshly built
+// objects -- rerun with identical flags and the resumed tail is
+// bit-identical to the uninterrupted run. --swap hot-swaps the live
+// controller at the given measured epoch(s), e.g.
+// --swap='500:Greedy;1500:PID:kp=0.4' (registry overrides ride after the
+// controller name). Malformed or mismatched snapshots are rejected with a
+// structured status, never undefined behavior.
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "arch/chip_config.hpp"
 #include "metrics/metrics.hpp"
@@ -41,6 +58,7 @@
 #include "sim/faults.hpp"
 #include "sim/runner.hpp"
 #include "sim/system.hpp"
+#include "snapshot/snapshot.hpp"
 #include "telemetry/csv_sink.hpp"
 #include "telemetry/jsonl_sink.hpp"
 #include "telemetry/recorder.hpp"
@@ -51,13 +69,68 @@ using namespace odrl;
 
 namespace {
 
+/// Snapshot/hot-swap wiring for the main run (the static baseline never
+/// snapshots or swaps: it is the reference).
+struct SnapshotOptions {
+  std::vector<sim::SwapEvent> swaps;
+  std::size_t capture_epoch = 0;
+  std::string* capture_out = nullptr;     ///< --save-snapshot target
+  const std::string* resume = nullptr;    ///< --load-snapshot blob
+};
+
+/// Parses one "epoch:controller[:k=v,...]" swap spec.
+bool parse_one_swap(const std::string& one, sim::SwapEvent& ev) {
+  const std::size_t c1 = one.find(':');
+  if (c1 == std::string::npos || c1 == 0) return false;
+  try {
+    ev.epoch = static_cast<std::size_t>(std::stoul(one.substr(0, c1)));
+  } catch (const std::exception&) {
+    return false;
+  }
+  const std::size_t c2 = one.find(':', c1 + 1);
+  ev.controller = one.substr(
+      c1 + 1, c2 == std::string::npos ? std::string::npos : c2 - c1 - 1);
+  if (ev.controller.empty()) return false;
+  if (c2 != std::string::npos) {
+    std::size_t p = c2 + 1;
+    while (p <= one.size()) {
+      const std::size_t q = std::min(one.find(',', p), one.size());
+      const std::string kv = one.substr(p, q - p);
+      const std::size_t eq = kv.find('=');
+      if (eq == 0 || eq == std::string::npos) return false;
+      ev.overrides.set(kv.substr(0, eq), kv.substr(eq + 1));
+      p = q + 1;
+    }
+  }
+  return true;
+}
+
+/// Parses a ';'-separated list of swap specs into `out`.
+bool parse_swaps(const std::string& spec, std::vector<sim::SwapEvent>& out) {
+  std::size_t begin = 0;
+  while (begin <= spec.size()) {
+    const std::size_t end = std::min(spec.find(';', begin), spec.size());
+    sim::SwapEvent ev;
+    if (!parse_one_swap(spec.substr(begin, end - begin), ev)) return false;
+    out.push_back(std::move(ev));
+    begin = end + 1;
+  }
+  // The runner requires the schedule sorted by epoch; flag order is free.
+  std::stable_sort(out.begin(), out.end(),
+                   [](const sim::SwapEvent& a, const sim::SwapEvent& b) {
+                     return a.epoch < b.epoch;
+                   });
+  return true;
+}
+
 sim::RunResult run_one(const arch::ChipConfig& chip,
                        const workload::RecordedTrace& trace,
                        sim::Controller& controller, std::size_t epochs,
                        std::size_t threads,
                        telemetry::Recorder* recorder = nullptr,
                        const sim::FaultSchedule* faults = nullptr,
-                       bool watchdog = false) {
+                       bool watchdog = false,
+                       const SnapshotOptions* snap = nullptr) {
   auto workload = std::make_unique<workload::ReplayWorkload>(trace);
   sim::ManyCoreSystem system(chip, std::move(workload));
   sim::RunConfig run_cfg;
@@ -69,6 +142,12 @@ sim::RunResult run_one(const arch::ChipConfig& chip,
   run_cfg.recorder = recorder;
   run_cfg.faults = faults;
   run_cfg.watchdog.enabled = watchdog;
+  if (snap != nullptr) {
+    run_cfg.swaps = snap->swaps;
+    run_cfg.snapshot_epoch = snap->capture_epoch;
+    run_cfg.snapshot_out = snap->capture_out;
+    run_cfg.resume_snapshot = snap->resume;
+  }
   return sim::run_closed_loop(system, controller, run_cfg);
 }
 
@@ -152,9 +231,67 @@ int main(int argc, char** argv) {
                 faults_path.empty() ? " (random storm)" : "");
   }
 
-  const sim::RunResult main_run =
-      run_one(chip, trace, *main_ctl, epochs, threads, &recorder,
-              inject ? &faults : nullptr, watchdog);
+  // Optional snapshot capture/resume and controller hot-swaps (main run
+  // only; see the header comment for the flag grammar).
+  SnapshotOptions snap;
+  std::string snapshot_blob;
+  std::string resume_blob;
+  const std::string save_path = args.get("save-snapshot", "");
+  const std::string load_path = args.get("load-snapshot", "");
+  if (!save_path.empty()) {
+    snap.capture_epoch =
+        static_cast<std::size_t>(args.get_int("snapshot-epoch", 0));
+    snap.capture_out = &snapshot_blob;
+  }
+  if (!load_path.empty()) {
+    std::ifstream in(load_path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "error: cannot open %s\n", load_path.c_str());
+      return 1;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    resume_blob = std::move(buf).str();
+    snap.resume = &resume_blob;
+  }
+  const std::string swap_spec = args.get("swap", "");
+  if (!swap_spec.empty() && !parse_swaps(swap_spec, snap.swaps)) {
+    std::fprintf(stderr,
+                 "error: --swap expects epoch:controller[:k=v,...] specs "
+                 "separated by ';', got '%s'\n",
+                 swap_spec.c_str());
+    return 1;
+  }
+
+  sim::RunResult main_run;
+  try {
+    main_run = run_one(chip, trace, *main_ctl, epochs, threads, &recorder,
+                       inject ? &faults : nullptr, watchdog, &snap);
+  } catch (const snapshot::SnapshotError& e) {
+    std::fprintf(stderr, "error: snapshot rejected (%s): %s\n",
+                 snapshot::snapshot_status_name(e.status()), e.what());
+    return 1;
+  }
+  if (!save_path.empty()) {
+    std::ofstream out(save_path, std::ios::binary);
+    out.write(snapshot_blob.data(),
+              static_cast<std::streamsize>(snapshot_blob.size()));
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", save_path.c_str());
+      return 1;
+    }
+    std::printf("snapshot: %zu bytes captured at epoch %zu -> %s\n",
+                snapshot_blob.size(), snap.capture_epoch, save_path.c_str());
+  }
+  if (snap.resume != nullptr) {
+    std::printf("snapshot: resumed %s at epoch %zu (%zu epochs remain)\n",
+                load_path.c_str(), main_run.start_epoch, main_run.epochs);
+  }
+  for (const sim::SwapTrace& s : main_run.swaps) {
+    std::printf("swap: epoch %llu, %s -> %s\n",
+                static_cast<unsigned long long>(s.epoch), s.from.c_str(),
+                s.to.c_str());
+  }
   const sim::RunResult static_run =
       run_one(chip, trace, *static_ctl, epochs, threads, nullptr,
               inject ? &faults : nullptr, watchdog);

@@ -6,6 +6,8 @@
 
 #include "sim/controller_registry.hpp"
 #include "sim/validate.hpp"
+#include "snapshot/snapshot.hpp"
+#include "snapshot/state_io.hpp"
 #include "telemetry/recorder.hpp"
 #include "util/check.hpp"
 
@@ -62,6 +64,29 @@ void PidController::reset() {
   integral_ = 0.0;
   prev_error_ = 0.0;
   have_prev_ = false;
+}
+
+void PidController::save_state(snapshot::Writer& w) const {
+  w.f64(u_);
+  w.f64(integral_);
+  w.f64(prev_error_);
+  w.u8(have_prev_ ? 1 : 0);
+}
+
+void PidController::load_state(snapshot::Reader& r) {
+  const double u = r.f64();
+  const double integral = r.f64();
+  const double prev_error = r.f64();
+  if (!std::isfinite(u) || !std::isfinite(integral) ||
+      !std::isfinite(prev_error)) {
+    throw snapshot::SnapshotError(snapshot::SnapshotStatus::kNonFinite,
+                                  "PID loop state must be finite");
+  }
+  const bool have_prev = snapshot::load_bool(r, "have_prev");
+  u_ = u;
+  integral_ = integral;
+  prev_error_ = prev_error;
+  have_prev_ = have_prev;
 }
 
 // -- Registry wiring ("PID") --

@@ -32,6 +32,11 @@ class PidController final : public sim::Controller {
   void on_budget_change(double new_budget_w) override;
   void reset() override;
 
+  /// Snapshot hooks: the loop's continuous command, integral accumulator
+  /// and previous-error latch (see snapshot/snapshot.hpp).
+  void save_state(snapshot::Writer& w) const override;
+  void load_state(snapshot::Reader& r) override;
+
   /// Continuous control signal (level units) before quantization.
   double control_signal() const { return u_; }
 

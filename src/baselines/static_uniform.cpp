@@ -6,6 +6,7 @@
 #include "sim/controller_registry.hpp"
 #include "sim/faults.hpp"
 #include "sim/validate.hpp"
+#include "snapshot/snapshot.hpp"
 #include "util/check.hpp"
 
 namespace odrl::baselines {
@@ -33,6 +34,19 @@ void StaticUniformController::decide_into(const sim::EpochResult& obs,
 
 void StaticUniformController::on_budget_change(double new_budget_w) {
   level_ = safe_level_for(new_budget_w);
+}
+
+void StaticUniformController::save_state(snapshot::Writer& w) const {
+  w.u64(level_);
+}
+
+void StaticUniformController::load_state(snapshot::Reader& r) {
+  const std::uint64_t level = r.u64();
+  if (level >= chip_.vf_table().size()) {
+    throw snapshot::SnapshotError(snapshot::SnapshotStatus::kBadValue,
+                                  "provisioned level out of range");
+  }
+  level_ = static_cast<std::size_t>(level);
 }
 
 // -- Registry wiring ("Static") --

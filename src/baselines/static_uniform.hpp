@@ -22,6 +22,11 @@ class StaticUniformController final : public sim::Controller {
                    std::span<std::size_t> out) override;
   void on_budget_change(double new_budget_w) override;
 
+  /// Snapshot hooks: the provisioned level (it tracks budget events, so it
+  /// is run state, not configuration).
+  void save_state(snapshot::Writer& w) const override;
+  void load_state(snapshot::Reader& r) override;
+
   std::size_t chosen_level() const { return level_; }
 
  private:

@@ -4,10 +4,15 @@
 #include <cmath>
 #include <istream>
 #include <ostream>
+#include <sstream>
 #include <stdexcept>
 #include <string>
+#include <string_view>
+#include <utility>
 
 #include "rl/qtable_io.hpp"
+#include "snapshot/snapshot.hpp"
+#include "snapshot/state_io.hpp"
 #include "rl/td_batch.hpp"
 #include "sim/controller_registry.hpp"
 #include "sim/validate.hpp"
@@ -500,24 +505,149 @@ void OdrlController::reset() {
   chip_power_ema_.reset();
 }
 
+void OdrlController::save_state(snapshot::Writer& w) const {
+  w.u64(n_cores_);
+  for (std::size_t i = 0; i < n_cores_; ++i) {
+    agents_[i].save_state(w);
+    snapshot::save_rng(w, rngs_[i]);
+    w.f64(budgets_[i]);
+    snapshot::save_ema(w, power_ema_[i]);
+    snapshot::save_ema(w, sens_ema_[i]);
+    w.u64(prev_state_[i]);
+    w.u64(prev_action_[i]);
+    w.u8(was_offline_[i]);
+  }
+  w.f64(chip_budget_w_);
+  w.u8(have_prev_ ? 1 : 0);
+  w.f64(last_mean_reward_);
+  w.u64(realloc_count_);
+  w.u64(epochs_seen_);
+  w.f64(mu_);
+  snapshot::save_ema(w, chip_power_ema_);
+}
+
+void OdrlController::load_state(snapshot::Reader& r) {
+  const std::uint64_t cores = r.u64();
+  if (cores != n_cores_) {
+    throw snapshot::SnapshotError(
+        snapshot::SnapshotStatus::kDimensionMismatch,
+        "OD-RL snapshot is for " + std::to_string(cores) +
+            " cores, controller has " + std::to_string(n_cores_));
+  }
+  for (std::size_t i = 0; i < n_cores_; ++i) {
+    agents_[i].load_state(r);
+    snapshot::load_rng(r, rngs_[i]);
+    const double budget = r.f64();
+    if (!std::isfinite(budget) || budget <= 0.0) {
+      throw snapshot::SnapshotError(snapshot::SnapshotStatus::kBadValue,
+                                    "per-core budget must be finite > 0");
+    }
+    budgets_[i] = budget;
+    snapshot::load_ema(r, power_ema_[i]);
+    snapshot::load_ema(r, sens_ema_[i]);
+    const std::uint64_t state = r.u64();
+    if (state >= states_.size()) {
+      throw snapshot::SnapshotError(snapshot::SnapshotStatus::kBadValue,
+                                    "previous state id out of range");
+    }
+    prev_state_[i] = static_cast<std::size_t>(state);
+    const std::uint64_t action = r.u64();
+    if (action >= n_actions()) {
+      throw snapshot::SnapshotError(snapshot::SnapshotStatus::kBadValue,
+                                    "previous action id out of range");
+    }
+    prev_action_[i] = static_cast<std::size_t>(action);
+    was_offline_[i] = snapshot::load_bool(r, "was_offline") ? 1 : 0;
+  }
+  const double chip_budget = r.f64();
+  if (!std::isfinite(chip_budget) || chip_budget <= 0.0) {
+    throw snapshot::SnapshotError(snapshot::SnapshotStatus::kBadValue,
+                                  "chip budget must be finite > 0");
+  }
+  chip_budget_w_ = chip_budget;
+  have_prev_ = snapshot::load_bool(r, "have_prev");
+  const double mean_reward = r.f64();
+  if (!std::isfinite(mean_reward)) {
+    throw snapshot::SnapshotError(snapshot::SnapshotStatus::kNonFinite,
+                                  "last mean reward must be finite");
+  }
+  last_mean_reward_ = mean_reward;
+  realloc_count_ = static_cast<std::size_t>(r.u64());
+  epochs_seen_ = static_cast<std::size_t>(r.u64());
+  const double mu = r.f64();
+  if (!std::isfinite(mu) || mu <= 0.0) {
+    throw snapshot::SnapshotError(snapshot::SnapshotStatus::kBadValue,
+                                  "overcommit multiplier must be finite > 0");
+  }
+  mu_ = mu;
+  snapshot::load_ema(r, chip_power_ema_);
+}
+
+namespace {
+/// The 'POLI' section tag of the policy artifact (warm-start tables).
+constexpr std::uint32_t kPolicySectionTag = snapshot::section_tag("POLI");
+constexpr const char* kLegacyPolicyMagic = "# odrl-policy v1";
+}  // namespace
+
 void OdrlController::save_policy(std::ostream& out) const {
-  out << "# odrl-policy v1\n" << n_cores_ << '\n';
-  for (const auto& agent : agents_) rl::save_qtable(agent.table(), out);
+  snapshot::Writer w;
+  w.begin_section(kPolicySectionTag);
+  w.u64(n_cores_);
+  for (const auto& agent : agents_) {
+    rl::save_qtable_payload(w, agent.table());
+  }
+  w.end_section();
+  const std::string blob = std::move(w).finish();
+  out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+  if (!out) {
+    throw snapshot::SnapshotError(snapshot::SnapshotStatus::kIoError,
+                                  "save_policy: stream failure");
+  }
 }
 
 void OdrlController::load_policy(std::istream& in) {
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) {
+    throw snapshot::SnapshotError(snapshot::SnapshotStatus::kIoError,
+                                  "load_policy: stream failure");
+  }
+  const std::string blob = std::move(buf).str();
+  if (blob.size() >= snapshot::kMagic.size() &&
+      std::string_view(blob).substr(0, snapshot::kMagic.size()) ==
+          snapshot::kMagic) {
+    snapshot::Reader r(blob);
+    r.open_section(kPolicySectionTag);
+    const std::uint64_t cores = r.u64();
+    if (cores != n_cores_) {
+      throw snapshot::SnapshotError(
+          snapshot::SnapshotStatus::kDimensionMismatch,
+          "policy is for " + std::to_string(cores) + " cores, controller has " +
+              std::to_string(n_cores_));
+    }
+    for (auto& agent : agents_) {
+      agent.restore_table(rl::load_qtable_payload(r));
+    }
+    r.expect_section_end();
+    return;
+  }
+  // Legacy text artifact: header line, core count, then one legacy text
+  // Q-table block per core.
+  std::istringstream text(blob);
   std::string line;
-  if (!std::getline(in, line) || line != "# odrl-policy v1") {
-    throw std::runtime_error("OdrlController::load_policy: bad header");
+  if (!std::getline(text, line) || line != kLegacyPolicyMagic) {
+    throw snapshot::SnapshotError(snapshot::SnapshotStatus::kBadMagic,
+                                  "OdrlController::load_policy: bad header");
   }
   std::size_t cores = 0;
-  if (!(in >> cores) || cores != n_cores_) {
-    throw std::runtime_error(
+  if (!(text >> cores) || cores != n_cores_) {
+    throw snapshot::SnapshotError(
+        snapshot::SnapshotStatus::kDimensionMismatch,
         "OdrlController::load_policy: core count mismatch");
   }
   for (auto& agent : agents_) {
-    in >> std::ws;  // consume the newline left by formatted reads
-    agent.restore_table(rl::load_qtable(in));
+    text >> std::ws;  // consume the newline left by formatted reads
+    agent.restore_table(rl::load_legacy_qtable_text(text));
   }
 }
 

@@ -131,12 +131,25 @@ class OdrlController final : public sim::Controller {
   void reset() override;
   void set_threads(std::size_t threads) override;
 
+  /// Snapshot hooks (see snapshot/snapshot.hpp): serialize/restore every
+  /// field decide_into carries across epochs -- each core's agent (table,
+  /// exploration clock, update count), the exploration RNG streams, the
+  /// per-core budgets and sensor EMAs, the previous (s, a) bookkeeping,
+  /// the offline latches and the overcommit loop. Configuration and table
+  /// shape are construction-time inputs: load_state() must be called on a
+  /// controller built with the same configuration and rejects shape
+  /// mismatches with snapshot::SnapshotError(kDimensionMismatch).
+  void save_state(snapshot::Writer& w) const override;
+  void load_state(snapshot::Reader& r) override;
+
   // -- Policy persistence (warm start) --
-  /// Serializes every core's learned Q-table. A warm-started controller
-  /// skips the cold-start ramp E6 measures.
+  /// Serializes every core's learned Q-table as a single-section binary
+  /// snapshot (one 'POLI' section; see snapshot/snapshot.hpp). A
+  /// warm-started controller skips the cold-start ramp E6 measures.
   void save_policy(std::ostream& out) const;
   /// Restores tables saved by save_policy; core count and table shape must
-  /// match this controller's configuration.
+  /// match this controller's configuration. Sniffs the binary snapshot
+  /// magic first, then the legacy "# odrl-policy v1" text format.
   void load_policy(std::istream& in);
 
   // -- Introspection (examples, tests, convergence experiment) --

@@ -139,4 +139,10 @@ void VfiAdapter::on_budget_change(double new_budget_w) {
 
 void VfiAdapter::reset() { inner_->reset(); }
 
+void VfiAdapter::save_state(snapshot::Writer& w) const {
+  inner_->save_state(w);
+}
+
+void VfiAdapter::load_state(snapshot::Reader& r) { inner_->load_state(r); }
+
 }  // namespace odrl::core

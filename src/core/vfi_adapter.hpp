@@ -39,6 +39,11 @@ class VfiAdapter final : public sim::Controller {
   void on_budget_change(double new_budget_w) override;
   void reset() override;
 
+  /// Snapshot hooks: the adapter itself is stateless between epochs (the
+  /// island buffers are scratch); both forward to the inner controller.
+  void save_state(snapshot::Writer& w) const override;
+  void load_state(snapshot::Reader& r) override;
+
   const arch::VfiPartition& partition() const { return partition_; }
   sim::Controller& inner() { return *inner_; }
 

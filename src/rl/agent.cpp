@@ -1,6 +1,10 @@
 #include "rl/agent.hpp"
 
 #include <stdexcept>
+#include <utility>
+
+#include "rl/qtable_io.hpp"
+#include "snapshot/snapshot.hpp"
 
 namespace odrl::rl {
 
@@ -60,6 +64,28 @@ void TdAgent::restore_table(QTable table) {
     throw std::invalid_argument("TdAgent::restore_table: dimension mismatch");
   }
   table_ = std::move(table);
+}
+
+void TdAgent::save_state(snapshot::Writer& w) const {
+  save_qtable_payload(w, table_);
+  w.u64(epsilon_.step_count());
+  w.u64(updates_);
+}
+
+void TdAgent::load_state(snapshot::Reader& r) {
+  QTable table = load_qtable_payload(r);
+  if (table.n_states() != table_.n_states() ||
+      table.n_actions() != table_.n_actions()) {
+    throw snapshot::SnapshotError(
+        snapshot::SnapshotStatus::kDimensionMismatch,
+        "agent table is " + std::to_string(table_.n_states()) + "x" +
+            std::to_string(table_.n_actions()) + ", snapshot holds " +
+            std::to_string(table.n_states()) + "x" +
+            std::to_string(table.n_actions()));
+  }
+  table_ = std::move(table);
+  epsilon_.set_step_count(r.u64());
+  updates_ = r.u64();
 }
 
 void TdAgent::reset() {

@@ -12,6 +12,11 @@
 #include "rl/schedule.hpp"
 #include "util/rng.hpp"
 
+namespace odrl::snapshot {
+class Writer;
+class Reader;
+}  // namespace odrl::snapshot
+
 namespace odrl::rl {
 
 struct TdBatchSpans;
@@ -58,6 +63,14 @@ class TdAgent {
   std::size_t updates() const { return updates_; }
 
   void reset();
+
+  /// Serializes the full learning state (Q-values, visit counts, the
+  /// exploration schedule's position, update counter) into the caller's
+  /// open snapshot section. load_state validates dimensions against this
+  /// agent's configuration and rejects non-finite Q-values with the
+  /// snapshot failure taxonomy (snapshot::SnapshotError).
+  void save_state(snapshot::Writer& w) const;
+  void load_state(snapshot::Reader& r);
 
  private:
   /// The batched TD kernel (rl/td_batch.hpp) phases this agent's learn()

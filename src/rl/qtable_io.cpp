@@ -1,95 +1,88 @@
 #include "rl/qtable_io.hpp"
 
-#include <charconv>
 #include <cmath>
 #include <fstream>
 #include <limits>
-#include <stdexcept>
+#include <sstream>
 #include <string>
-#include <system_error>
 
 namespace odrl::rl {
 
+using snapshot::SnapshotError;
+using snapshot::SnapshotStatus;
+
 namespace {
-constexpr const char* kMagic = "# odrl-qtable v1";
-}
+constexpr const char* kLegacyMagic = "# odrl-qtable v1";
 
-void save_qtable(const QTable& table, std::ostream& out) {
-  out << kMagic << '\n';
-  out << table.n_states() << ' ' << table.n_actions() << '\n';
-  char buf[32];
-  for (std::size_t s = 0; s < table.n_states(); ++s) {
-    out << "q";
-    for (std::size_t a = 0; a < table.n_actions(); ++a) {
-      auto [ptr, ec] =
-          std::to_chars(buf, buf + sizeof(buf), table.q(s, a));
-      if (ec != std::errc()) {
-        // Never emit a partially-formatted value: a silently truncated
-        // number would corrupt the policy file and only fail at load time
-        // (if at all).
-        throw std::runtime_error("save_qtable: value formatting failed");
-      }
-      out << ' ' << std::string_view(buf,
-                                     static_cast<std::size_t>(ptr - buf));
-    }
-    out << '\n';
-    out << "v";
-    for (std::size_t a = 0; a < table.n_actions(); ++a) {
-      out << ' ' << table.visits(s, a);
-    }
-    out << '\n';
+void check_dims(std::uint64_t n_states, std::uint64_t n_actions) {
+  if (n_states == 0 || n_actions == 0) {
+    throw SnapshotError(SnapshotStatus::kBadValue,
+                        "qtable dimensions must be nonzero");
   }
-  if (!out) throw std::runtime_error("save_qtable: stream failure");
+  if (n_states > kMaxQtableCells ||
+      n_actions > kMaxQtableCells / n_states) {
+    throw SnapshotError(SnapshotStatus::kBadValue,
+                        "implausible qtable dimensions " +
+                            std::to_string(n_states) + "x" +
+                            std::to_string(n_actions));
+  }
 }
 
-QTable load_qtable(std::istream& in) {
+}  // namespace
+
+/// The pre-snapshot text format, kept readable behind the format sniff.
+QTable load_legacy_qtable_text(std::istream& in) {
   std::string line;
-  if (!std::getline(in, line) || line != kMagic) {
-    throw std::runtime_error("load_qtable: missing magic header");
+  if (!std::getline(in, line) || line != kLegacyMagic) {
+    throw SnapshotError(SnapshotStatus::kBadMagic,
+                        "missing qtable magic header");
   }
   std::size_t n_states = 0;
   std::size_t n_actions = 0;
-  if (!(in >> n_states >> n_actions) || n_states == 0 || n_actions == 0) {
-    throw std::runtime_error("load_qtable: bad dimensions");
+  if (!(in >> n_states >> n_actions)) {
+    throw SnapshotError(in.eof() ? SnapshotStatus::kTruncated
+                                 : SnapshotStatus::kBadValue,
+                        "bad qtable dimensions line");
   }
-  // Bound the declared size before allocating for it: a corrupt (or
-  // hostile) header must be rejected, not obeyed. The cap is far above any
-  // real policy -- the largest configured state space is a few thousand
-  // states by tens of actions.
-  constexpr std::size_t kMaxCells = std::size_t{1} << 26;
-  if (n_states > kMaxCells || n_actions > kMaxCells / n_states) {
-    throw std::runtime_error("load_qtable: implausible dimensions");
-  }
+  check_dims(n_states, n_actions);
   QTable table(n_states, n_actions);
   for (std::size_t s = 0; s < n_states; ++s) {
     std::string tag;
     if (!(in >> tag) || tag != "q") {
-      throw std::runtime_error("load_qtable: expected q row for state " +
-                               std::to_string(s));
+      throw SnapshotError(in.eof() ? SnapshotStatus::kTruncated
+                                   : SnapshotStatus::kBadValue,
+                          "expected q row for state " + std::to_string(s));
     }
     for (std::size_t a = 0; a < n_actions; ++a) {
       double q = 0.0;
       if (!(in >> q)) {
-        throw std::runtime_error("load_qtable: truncated q row");
+        throw SnapshotError(in.eof() ? SnapshotStatus::kTruncated
+                                     : SnapshotStatus::kBadValue,
+                            "truncated q row");
       }
       // A NaN/inf action value would poison every TD bootstrap that reads
       // it (the same invariant QTable::all_finite guards on the hot path),
       // so a corrupt policy file must be rejected at the door.
       if (!std::isfinite(q)) {
-        throw std::runtime_error("load_qtable: non-finite q value in state " +
-                                 std::to_string(s));
+        throw SnapshotError(SnapshotStatus::kNonFinite,
+                            "non-finite q value in state " +
+                                std::to_string(s));
       }
       table.set_q(s, a, q);
     }
     if (!(in >> tag) || tag != "v") {
-      throw std::runtime_error("load_qtable: expected v row for state " +
-                               std::to_string(s));
+      throw SnapshotError(in.eof() ? SnapshotStatus::kTruncated
+                                   : SnapshotStatus::kBadValue,
+                          "expected v row for state " + std::to_string(s));
     }
     for (std::size_t a = 0; a < n_actions; ++a) {
       long long visits = 0;
       if (!(in >> visits) || visits < 0 ||
           visits > std::numeric_limits<std::uint32_t>::max()) {
-        throw std::runtime_error("load_qtable: bad visit count");
+        throw SnapshotError(in.eof() && visits == 0
+                                ? SnapshotStatus::kTruncated
+                                : SnapshotStatus::kBadValue,
+                            "bad visit count");
       }
       table.set_visits(s, a, static_cast<std::uint32_t>(visits));
     }
@@ -97,21 +90,103 @@ QTable load_qtable(std::istream& in) {
   return table;
 }
 
+void save_qtable_payload(snapshot::Writer& w, const QTable& table) {
+  w.u64(table.n_states());
+  w.u64(table.n_actions());
+  for (std::size_t s = 0; s < table.n_states(); ++s) {
+    for (std::size_t a = 0; a < table.n_actions(); ++a) {
+      w.f64(table.q(s, a));
+    }
+  }
+  for (std::size_t s = 0; s < table.n_states(); ++s) {
+    for (std::size_t a = 0; a < table.n_actions(); ++a) {
+      w.u32(static_cast<std::uint32_t>(table.visits(s, a)));
+    }
+  }
+}
+
+QTable load_qtable_payload(snapshot::Reader& r) {
+  const std::uint64_t n_states = r.u64();
+  const std::uint64_t n_actions = r.u64();
+  check_dims(n_states, n_actions);
+  QTable table(static_cast<std::size_t>(n_states),
+               static_cast<std::size_t>(n_actions));
+  for (std::size_t s = 0; s < n_states; ++s) {
+    for (std::size_t a = 0; a < n_actions; ++a) {
+      const double q = r.f64();
+      if (!std::isfinite(q)) {
+        throw SnapshotError(SnapshotStatus::kNonFinite,
+                            "non-finite q value in state " +
+                                std::to_string(s));
+      }
+      table.set_q(s, a, q);
+    }
+  }
+  for (std::size_t s = 0; s < n_states; ++s) {
+    for (std::size_t a = 0; a < n_actions; ++a) {
+      table.set_visits(s, a, r.u32());
+    }
+  }
+  return table;
+}
+
+void save_qtable(const QTable& table, std::ostream& out) {
+  snapshot::Writer w;
+  w.begin_section(kQtableSectionTag);
+  save_qtable_payload(w, table);
+  w.end_section();
+  const std::string blob = std::move(w).finish();
+  out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+  if (!out) {
+    throw SnapshotError(SnapshotStatus::kIoError,
+                        "save_qtable: stream failure");
+  }
+}
+
+QTable load_qtable(std::istream& in) {
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) {
+    throw SnapshotError(SnapshotStatus::kIoError,
+                        "load_qtable: stream failure");
+  }
+  const std::string blob = std::move(buf).str();
+  if (blob.size() >= snapshot::kMagic.size() &&
+      std::string_view(blob).substr(0, snapshot::kMagic.size()) ==
+          snapshot::kMagic) {
+    snapshot::Reader r(blob);
+    r.open_section(kQtableSectionTag);
+    QTable table = load_qtable_payload(r);
+    r.expect_section_end();
+    return table;
+  }
+  // Legacy text artifact (or garbage -- the text path rejects that too).
+  std::istringstream text(blob);
+  return load_legacy_qtable_text(text);
+}
+
 void save_qtable_file(const QTable& table, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("save_qtable_file: cannot open " + path);
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw SnapshotError(SnapshotStatus::kIoError,
+                        "save_qtable_file: cannot open " + path);
+  }
   save_qtable(table, out);
   // Flush before the destructor would swallow the error: a full disk must
   // surface here, not as a silently truncated policy file.
   out.flush();
   if (!out) {
-    throw std::runtime_error("save_qtable_file: write failed for " + path);
+    throw SnapshotError(SnapshotStatus::kIoError,
+                        "save_qtable_file: write failed for " + path);
   }
 }
 
 QTable load_qtable_file(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) throw std::runtime_error("load_qtable_file: cannot open " + path);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw SnapshotError(SnapshotStatus::kIoError,
+                        "load_qtable_file: cannot open " + path);
+  }
   return load_qtable(in);
 }
 

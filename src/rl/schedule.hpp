@@ -23,6 +23,9 @@ class EpsilonSchedule {
   double next();
   double current() const { return at(t_); }
   void reset() { t_ = 0; }
+  /// Schedule position, exposed for snapshot/restore.
+  std::size_t step_count() const { return t_; }
+  void set_step_count(std::size_t t) { t_ = t; }
 
  private:
   double eps0_;

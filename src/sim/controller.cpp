@@ -1,48 +1,16 @@
 #include "sim/controller.hpp"
 
-#include <algorithm>
-#include <stdexcept>
+#include "snapshot/snapshot.hpp"
 
 namespace odrl::sim {
 
-namespace {
-// Clears the bridging flag on every exit path (including exceptions).
-struct BridgeGuard {
-  bool* flag;
-  ~BridgeGuard() { *flag = false; }
-};
-}  // namespace
+// Empty defaults: a controller with no state between epochs (Greedy,
+// MaxBIPS) snapshots as an empty payload and restores from one. Stateful
+// policies override both; forgetting one side shows up immediately in the
+// resume golden test (the restored decision stream diverges), not silently
+// in production.
+void Controller::save_state(snapshot::Writer& /*w*/) const {}
 
-void Controller::decide_into(const EpochResult& obs,
-                             std::span<std::size_t> out) {
-  if (bridging_) {
-    throw std::logic_error(
-        "Controller '" + name() +
-        "' overrides neither decide_into() nor decide()");
-  }
-  bridging_ = true;
-  BridgeGuard guard{&bridging_};
-  // The deprecated decide() bridge allocates by definition of the legacy
-  // API -- that is exactly why out-of-tree controllers should migrate.
-  const auto levels = decide(obs);  // lint: allow(heap-in-hot-path): bridge
-  if (levels.size() != out.size()) {
-    throw std::logic_error("Controller '" + name() +
-                           "': decide() returned wrong level count");
-  }
-  std::copy(levels.begin(), levels.end(), out.begin());
-}
-
-std::vector<std::size_t> Controller::decide(const EpochResult& obs) {
-  if (bridging_) {
-    throw std::logic_error(
-        "Controller '" + name() +
-        "' overrides neither decide_into() nor decide()");
-  }
-  bridging_ = true;
-  BridgeGuard guard{&bridging_};
-  std::vector<std::size_t> out(obs.n_cores());
-  decide_into(obs, out);
-  return out;
-}
+void Controller::load_state(snapshot::Reader& /*r*/) {}
 
 }  // namespace odrl::sim

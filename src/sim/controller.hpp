@@ -8,9 +8,11 @@
 //      epoch into the caller's output buffer (decide_into).
 // decide_into() is the timed hot path for the scalability experiment (E5):
 // its cost as a function of core count is a first-class result of the
-// paper, so it must not allocate in steady state. The legacy
-// vector-returning decide() survives as a deprecated forwarding default so
-// out-of-tree controllers keep compiling (see DESIGN.md "Epoch data path").
+// paper, so it must not allocate in steady state. It is the *only*
+// decision entry point -- the legacy vector-returning decide() bridge was
+// retired (see DESIGN.md "Epoch data path"); a non-virtual [[deprecated]]
+// shim remains so old call sites still compile, but overriding it no
+// longer does anything and tools/lint_odrl.py rejects new uses.
 #pragma once
 
 #include <cstddef>
@@ -23,6 +25,11 @@
 namespace odrl::telemetry {
 class Recorder;
 }
+
+namespace odrl::snapshot {
+class Writer;
+class Reader;
+}  // namespace odrl::snapshot
 
 namespace odrl::sim {
 
@@ -38,17 +45,21 @@ class Controller {
   /// Next-epoch level for every core, written into `out` (size must equal
   /// obs.n_cores()). This is the in-place hot path: implementations keep
   /// their scratch in members and perform zero heap allocations once
-  /// warmed up. The default forwards to the legacy decide() so existing
-  /// controllers that only override decide() keep working.
+  /// warmed up.
   virtual void decide_into(const EpochResult& obs,
-                           std::span<std::size_t> out);
+                           std::span<std::size_t> out) = 0;
 
-  /// \deprecated Legacy vector-returning decision API; allocates a fresh
-  /// vector per call. The default forwards to decide_into(). A controller
-  /// must override at least one of decide_into()/decide(); overriding
-  /// neither throws std::logic_error on first use instead of recursing.
-  /// New code should override decide_into().
-  virtual std::vector<std::size_t> decide(const EpochResult& obs);
+  /// \deprecated Allocating convenience shim over decide_into(), kept so
+  /// out-of-tree call sites keep compiling. Deliberately non-virtual: a
+  /// controller that used to override decide() now fails to compile (its
+  /// `override` no longer matches), which surfaces the migration instead
+  /// of silently never calling the override. New code uses decide_into().
+  [[deprecated("override/call decide_into() instead")]]
+  std::vector<std::size_t> decide(const EpochResult& obs) {
+    std::vector<std::size_t> out(obs.n_cores(), 0);
+    decide_into(obs, out);
+    return out;
+  }
 
   /// Notifies the controller that the chip budget changed (power-cap event,
   /// e.g. a rack-level RAPL reduction). Default: ignore.
@@ -57,17 +68,29 @@ class Controller {
   /// Clears any learned/internal state.
   virtual void reset() {}
 
-  /// Requests an execution width for decide() (1 = serial, 0 = hardware
-  /// concurrency). Controllers whose decide() is parallelizable (OD-RL's
-  /// per-core TD loop) honor it; the contract is that results are
-  /// bit-identical for every width. Default: ignore (serial controllers).
+  /// Snapshot hooks (see snapshot/snapshot.hpp): write/restore every field
+  /// that influences future decisions into the caller's open section --
+  /// learned tables, filters, schedule positions, RNG streams. The runner
+  /// uses these for checkpoint/resume and for seeding a hot-swapped
+  /// replacement from a saved section; the contract is that a restored
+  /// controller's decision stream is bit-identical to one that never
+  /// stopped. Defaults are empty: correct for stateless policies (Greedy,
+  /// MaxBIPS decide from the current observation alone).
+  virtual void save_state(snapshot::Writer& w) const;
+  virtual void load_state(snapshot::Reader& r);
+
+  /// Requests an execution width for decide_into() (1 = serial, 0 =
+  /// hardware concurrency). Controllers whose decision loop is
+  /// parallelizable (OD-RL's per-core TD loop) honor it; the contract is
+  /// that results are bit-identical for every width. Default: ignore
+  /// (serial controllers).
   virtual void set_threads(std::size_t /*threads*/) {}
 
   /// Attaches (or, with nullptr, detaches) a telemetry recorder. The runner
   /// calls this at run start/end with RunConfig::recorder; the recorder
   /// must outlive the run. Controllers emit internal signals (e.g. OD-RL's
-  /// reallocation events) through it, from decide()'s serial sections only,
-  /// and must never let recording alter their decisions -- runs are
+  /// reallocation events) through it, from decide_into()'s serial sections
+  /// only, and must never let recording alter their decisions -- runs are
   /// bit-identical with telemetry on or off. The default keeps the pointer
   /// for subclasses; override to forward (adapters) or add instruments.
   virtual void set_recorder(telemetry::Recorder* recorder) {
@@ -77,11 +100,6 @@ class Controller {
  protected:
   /// Null when telemetry is off; guard every use.
   telemetry::Recorder* recorder_ = nullptr;
-
- private:
-  /// Set while one default bridges to the other; detects a subclass that
-  /// overrides neither (which would otherwise recurse forever).
-  bool bridging_ = false;
 };
 
 }  // namespace odrl::sim

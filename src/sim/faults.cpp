@@ -8,6 +8,7 @@
 #include <stdexcept>
 #include <string_view>
 
+#include "snapshot/snapshot.hpp"
 #include "util/rng.hpp"
 
 namespace odrl::sim {
@@ -571,6 +572,123 @@ double FaultEngine::filter_power(std::size_t i, double measured) {
   }
   last_power_[i] = measured;
   return measured;
+}
+
+void FaultEngine::save_state(snapshot::Writer& w) const {
+  w.u64(n_cores_);
+  w.u64(next_event_);
+  w.u64(epoch_);
+  for (std::size_t i = 0; i < n_cores_; ++i) {
+    w.u8(static_cast<std::uint8_t>(sensor_mode_[i]));
+    w.u64(sensor_until_[i]);
+    w.f64(sensor_scale_[i]);
+    w.u8(static_cast<std::uint8_t>(act_mode_[i]));
+    w.u64(act_until_[i]);
+    w.u64(act_delay_[i]);
+    w.u64(offline_until_[i]);
+    w.u8(offline_[i]);
+    w.f64(last_ips_[i]);
+    w.f64(last_power_[i]);
+    w.u64(last_applied_[i]);
+  }
+  w.u64(history_depth_);
+  w.u64(history_head_);
+  w.u64(history_size_);
+  for (std::size_t level : history_) w.u64(level);
+  w.u8(have_last_applied_ ? 1 : 0);
+  w.u64(n_active_budgets_);
+  for (std::size_t i = 0; i < n_active_budgets_; ++i) {
+    w.u64(active_budgets_[i].until);
+    w.f64(active_budgets_[i].factor);
+  }
+  w.f64(budget_factor_);
+  w.u64(active_count_);
+  w.u64(sensor_active_);
+  w.u64(counts_.sensor);
+  w.u64(counts_.actuation);
+  w.u64(counts_.budget);
+  w.u64(counts_.hotplug);
+}
+
+void FaultEngine::load_state(snapshot::Reader& r) {
+  using snapshot::SnapshotError;
+  using snapshot::SnapshotStatus;
+  if (r.u64() != n_cores_) {
+    throw SnapshotError(SnapshotStatus::kDimensionMismatch,
+                        "fault-engine core count mismatch");
+  }
+  const std::uint64_t next_event = r.u64();
+  if (next_event > events_.size()) {
+    throw SnapshotError(SnapshotStatus::kBadValue,
+                        "fault-engine schedule cursor out of range");
+  }
+  next_event_ = static_cast<std::size_t>(next_event);
+  epoch_ = static_cast<std::size_t>(r.u64());
+  for (std::size_t i = 0; i < n_cores_; ++i) {
+    const std::uint8_t sensor_mode = r.u8();
+    if (sensor_mode > static_cast<std::uint8_t>(SensorMode::kSaturate)) {
+      throw SnapshotError(SnapshotStatus::kBadValue,
+                          "fault-engine sensor mode out of range");
+    }
+    sensor_mode_[i] = static_cast<SensorMode>(sensor_mode);
+    sensor_until_[i] = static_cast<std::size_t>(r.u64());
+    sensor_scale_[i] = r.f64();
+    const std::uint8_t act_mode = r.u8();
+    if (act_mode > static_cast<std::uint8_t>(ActMode::kDrop)) {
+      throw SnapshotError(SnapshotStatus::kBadValue,
+                          "fault-engine actuation mode out of range");
+    }
+    act_mode_[i] = static_cast<ActMode>(act_mode);
+    act_until_[i] = static_cast<std::size_t>(r.u64());
+    act_delay_[i] = static_cast<std::size_t>(r.u64());
+    offline_until_[i] = static_cast<std::size_t>(r.u64());
+    const std::uint8_t offline = r.u8();
+    if (offline > 1) {
+      throw SnapshotError(SnapshotStatus::kBadValue,
+                          "fault-engine offline flag must be 0 or 1");
+    }
+    offline_[i] = offline;
+    last_ips_[i] = r.f64();
+    last_power_[i] = r.f64();
+    last_applied_[i] = static_cast<std::size_t>(r.u64());
+  }
+  if (r.u64() != history_depth_) {
+    throw SnapshotError(SnapshotStatus::kDimensionMismatch,
+                        "fault-engine history depth mismatch");
+  }
+  const std::uint64_t head = r.u64();
+  const std::uint64_t size = r.u64();
+  if (head >= history_depth_ || size > history_depth_) {
+    throw SnapshotError(SnapshotStatus::kBadValue,
+                        "fault-engine history ring cursor out of range");
+  }
+  history_head_ = static_cast<std::size_t>(head);
+  history_size_ = static_cast<std::size_t>(size);
+  for (std::size_t& level : history_) {
+    level = static_cast<std::size_t>(r.u64());
+  }
+  have_last_applied_ = r.u8() != 0;
+  const std::uint64_t n_active = r.u64();
+  if (n_active > active_budgets_.size()) {
+    throw SnapshotError(SnapshotStatus::kBadValue,
+                        "fault-engine active-budget count out of range");
+  }
+  n_active_budgets_ = static_cast<std::size_t>(n_active);
+  for (std::size_t i = 0; i < n_active_budgets_; ++i) {
+    active_budgets_[i].until = static_cast<std::size_t>(r.u64());
+    active_budgets_[i].factor = r.f64();
+  }
+  budget_factor_ = r.f64();
+  if (!std::isfinite(budget_factor_) || budget_factor_ <= 0.0) {
+    throw SnapshotError(SnapshotStatus::kBadValue,
+                        "fault-engine budget factor must be > 0");
+  }
+  active_count_ = static_cast<std::size_t>(r.u64());
+  sensor_active_ = static_cast<std::size_t>(r.u64());
+  counts_.sensor = static_cast<std::size_t>(r.u64());
+  counts_.actuation = static_cast<std::size_t>(r.u64());
+  counts_.budget = static_cast<std::size_t>(r.u64());
+  counts_.hotplug = static_cast<std::size_t>(r.u64());
 }
 
 std::size_t safe_uniform_level(const arch::ChipConfig& chip,

@@ -34,6 +34,11 @@
 #include "arch/chip_config.hpp"
 #include "sim/observation.hpp"
 
+namespace odrl::snapshot {
+class Writer;
+class Reader;
+}  // namespace odrl::snapshot
+
 namespace odrl::sim {
 
 /// Marks a chip-wide event (budget steps) in FaultEvent::core.
@@ -205,6 +210,16 @@ class FaultEngine {
   double filter_power(std::size_t i, double measured);
 
   const FaultCounts& counts() const noexcept { return counts_; }
+
+  /// Snapshot hooks: serialize/restore the replay position and every
+  /// per-core fault latch (schedule cursor, active modes and expiries,
+  /// stuck-at-last memories, the actuation history ring, budget steps,
+  /// counters) into the caller's open section. The schedule itself is a
+  /// construction-time input: load_state() must be called on an engine
+  /// built from the same schedule and core count, and rejects shape
+  /// mismatches with snapshot::SnapshotError(kDimensionMismatch).
+  void save_state(snapshot::Writer& w) const;
+  void load_state(snapshot::Reader& r);
 
  private:
   enum class SensorMode : std::uint8_t { kNone, kZero, kLast, kSaturate };

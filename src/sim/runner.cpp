@@ -2,8 +2,11 @@
 
 #include <chrono>
 #include <cmath>
+#include <memory>
 #include <optional>
 #include <stdexcept>
+#include <string>
+#include <utility>
 
 #include "power/energy.hpp"
 #include "sim/validate.hpp"
@@ -33,6 +36,18 @@ void RunConfig::validate() const {
     if (i > 0 && budget_events[i].epoch < budget_events[i - 1].epoch) {
       throw std::invalid_argument("RunConfig: budget events not sorted");
     }
+  }
+  for (std::size_t i = 0; i < swaps.size(); ++i) {
+    if (swaps[i].controller.empty()) {
+      throw std::invalid_argument("RunConfig: swap with empty controller");
+    }
+    if (i > 0 && swaps[i].epoch < swaps[i - 1].epoch) {
+      throw std::invalid_argument("RunConfig: swap events not sorted");
+    }
+  }
+  if (snapshot_out != nullptr && snapshot_epoch >= epochs) {
+    throw std::invalid_argument(
+        "RunConfig: snapshot_epoch beyond the measured region");
   }
   watchdog.validate();
 }
@@ -94,12 +109,10 @@ RunResult run_closed_loop(ManyCoreSystem& system, Controller& controller,
                           const RunConfig& config) {
   config.validate();
   using Clock = std::chrono::steady_clock;
+  const bool resuming = config.resume_snapshot != nullptr;
 
   RunResult result;
-  result.controller_name = controller.name();
-  result.epochs = config.epochs;
   result.epoch_s = system.epoch_s();
-  if (config.keep_traces) result.trace.reserve(config.epochs);
 
   if (config.threads != 0) {
     system.set_threads(config.threads);
@@ -114,28 +127,25 @@ RunResult run_closed_loop(ManyCoreSystem& system, Controller& controller,
                                                      : nullptr;
   system.set_recorder(rec);
   controller.set_recorder(rec);
-  telemetry::Histogram* decide_hist = nullptr;
-  if (rec) {
-    rec->begin_run({controller.name(), system.n_cores(), config.epochs,
-                    system.epoch_s()});
-    // decide() latencies span sub-us table walks to ~1 s global solves:
-    // log-spaced microsecond bins covering 0.1 us .. 10 s.
-    decide_hist = &rec->histogram(
-        "decide_us", telemetry::Histogram::exponential_edges(0.1, 1e7, 17));
-  }
 
-  power::EnergyAccountant accountant(system.budget_w());
   const std::size_t n_cores = system.n_cores();
-  std::vector<std::size_t> levels = controller.initial_levels(n_cores);
-  if (levels.size() != n_cores) {
-    throw std::logic_error("controller initial_levels size mismatch");
-  }
+  const std::size_t n_levels = system.config().vf_table().size();
+
+  // Hot-swap bookkeeping: `active` is whichever controller currently
+  // drives the loop; replacements built through the registry are owned
+  // here so the caller's controller object is never deleted.
+  Controller* active = &controller;
+  std::vector<std::unique_ptr<Controller>> swapped_in;
+  std::size_t next_swap = 0;
+  std::size_t next_event = 0;
+  std::size_t start_epoch = 0;
 
   // Double-buffered hot-loop state: `levels` drives the next step while
   // `next_levels` receives the controller's decision, then the two swap.
   // The one EpochResult (SoA core block included) is rewritten in place
   // each epoch, so the steady-state loop performs zero heap allocations
   // (verified by tests/alloc_test.cpp).
+  std::vector<std::size_t> levels(n_cores, 0);
   std::vector<std::size_t> next_levels(n_cores, 0);
   EpochResult obs;
 
@@ -157,6 +167,124 @@ RunResult run_closed_loop(ManyCoreSystem& system, Controller& controller,
   std::size_t safe_level = 0;
   double safe_level_budget_w = -1.0;
 
+  if (resuming) {
+    // Restore the four sections in wire order (see runner.hpp). Every
+    // structural property was checked by the Reader's constructor; the
+    // checks here are the semantic ones -- does this blob describe *this*
+    // run's configuration?
+    snapshot::Reader r(*config.resume_snapshot);
+
+    r.open_section(kSnapshotRunnerTag);
+    const std::uint64_t e0 = r.u64();
+    const std::uint64_t saved_event = r.u64();
+    const std::uint64_t saved_swap = r.u64();
+    if (e0 >= config.epochs) {
+      throw snapshot::SnapshotError(
+          snapshot::SnapshotStatus::kBadValue,
+          "snapshot captured at epoch " + std::to_string(e0) +
+              " but the run has only " + std::to_string(config.epochs) +
+              " epochs");
+    }
+    if (saved_event > config.budget_events.size()) {
+      throw snapshot::SnapshotError(
+          snapshot::SnapshotStatus::kBadValue,
+          "snapshot budget-event cursor beyond the run's schedule");
+    }
+    if (saved_swap > config.swaps.size()) {
+      throw snapshot::SnapshotError(
+          snapshot::SnapshotStatus::kBadValue,
+          "snapshot swap cursor beyond the run's schedule");
+    }
+    const std::uint64_t saved_cores = r.u64();
+    if (saved_cores != n_cores) {
+      throw snapshot::SnapshotError(
+          snapshot::SnapshotStatus::kDimensionMismatch,
+          "snapshot has " + std::to_string(saved_cores) +
+              " cores, the system has " + std::to_string(n_cores));
+    }
+    for (std::size_t i = 0; i < n_cores; ++i) {
+      const std::uint64_t l = r.u64();
+      if (l >= n_levels) {
+        throw snapshot::SnapshotError(snapshot::SnapshotStatus::kBadValue,
+                                      "snapshot level out of range");
+      }
+      levels[i] = static_cast<std::size_t>(l);
+    }
+    for (std::size_t i = 0; i < n_cores; ++i) {
+      fallback_hold[i] = static_cast<std::size_t>(r.u64());
+    }
+    consecutive_violations = static_cast<std::size_t>(r.u64());
+    r.expect_section_end();
+
+    r.open_section(kSnapshotSystemTag);
+    system.load_state(r);
+    r.expect_section_end();
+
+    if (fault_engine.has_value() != r.has_section(kSnapshotFaultTag)) {
+      throw snapshot::SnapshotError(
+          snapshot::SnapshotStatus::kBadValue,
+          "run fault schedule and snapshot FLTE section must agree");
+    }
+    if (fault_engine.has_value()) {
+      r.open_section(kSnapshotFaultTag);
+      fault_engine->load_state(r);
+      r.expect_section_end();
+    }
+
+    start_epoch = static_cast<std::size_t>(e0);
+    next_event = static_cast<std::size_t>(saved_event);
+    next_swap = static_cast<std::size_t>(saved_swap);
+
+    // A swap had already fired when the snapshot was taken: rebuild the
+    // replacement through the registry. load_state() below covers its
+    // entire state, so no on_budget_change() replay is needed.
+    if (next_swap > 0) {
+      const SwapEvent& sw = config.swaps[next_swap - 1];
+      swapped_in.push_back(ControllerRegistry::instance().make(
+          sw.controller, system.config(), sw.overrides));
+      active = swapped_in.back().get();
+      if (config.threads != 0) active->set_threads(config.threads);
+      active->set_recorder(rec);
+    }
+
+    r.open_section(kSnapshotControllerTag);
+    const std::string saved_name = r.str();
+    if (saved_name != active->name()) {
+      throw snapshot::SnapshotError(
+          snapshot::SnapshotStatus::kBadValue,
+          "snapshot controller '" + saved_name +
+              "' does not match the run's '" + active->name() + "'");
+    }
+    active->load_state(r);
+    r.expect_section_end();
+
+    // The engine resumes exactly where it latched; attach now (the
+    // resumed loop has no warmup region).
+    if (fault_engine.has_value()) system.set_fault_engine(&*fault_engine);
+  } else {
+    levels = controller.initial_levels(n_cores);
+    if (levels.size() != n_cores) {
+      throw std::logic_error("controller initial_levels size mismatch");
+    }
+  }
+
+  result.controller_name = active->name();
+  result.start_epoch = start_epoch;
+  result.epochs = config.epochs - start_epoch;
+  if (config.keep_traces) result.trace.reserve(result.epochs);
+
+  telemetry::Histogram* decide_hist = nullptr;
+  if (rec) {
+    rec->begin_run(
+        {active->name(), n_cores, result.epochs, system.epoch_s()});
+    // decide() latencies span sub-us table walks to ~1 s global solves:
+    // log-spaced microsecond bins covering 0.1 us .. 10 s.
+    decide_hist = &rec->histogram(
+        "decide_us", telemetry::Histogram::exponential_edges(0.1, 1e7, 17));
+  }
+
+  power::EnergyAccountant accountant(system.budget_w());
+
   // One epoch of the closed loop -- the single code path both the warmup
   // and measured regions share; returns the decide_into() wall time. The
   // ODRL_CHECKED contracts bracket the controller boundary: the out-span
@@ -167,7 +295,6 @@ RunResult run_closed_loop(ManyCoreSystem& system, Controller& controller,
   // before the decision and sanitizes/overrides the decision *before*
   // validate_levels, so a misbehaving controller degrades to the safe
   // level instead of aborting a checked run.
-  const std::size_t n_levels = system.config().vf_table().size();
   auto run_epoch = [&]() -> double {
     system.step_into(levels, obs);
     if (wd.enabled) {
@@ -186,7 +313,7 @@ RunResult run_closed_loop(ManyCoreSystem& system, Controller& controller,
     }
     ODRL_VALIDATE(validate_out_span(obs, next_levels));
     const auto t0 = Clock::now();
-    controller.decide_into(obs, next_levels);
+    active->decide_into(obs, next_levels);
     const auto t1 = Clock::now();
     if (wd.enabled) {
       // Out-of-range decisions: sanitize per offending core.
@@ -223,36 +350,104 @@ RunResult run_closed_loop(ManyCoreSystem& system, Controller& controller,
     return std::chrono::duration<double>(t1 - t0).count();
   };
 
-  // Events at epoch 0 are the budget in force when measurement starts;
-  // apply them before warmup so warmup learns under that budget rather
-  // than the default TDP (see RunConfig::budget_events).
-  std::size_t next_event = 0;
-  while (next_event < config.budget_events.size() &&
-         config.budget_events[next_event].epoch == 0) {
-    const double new_budget = config.budget_events[next_event].budget_w;
-    system.set_budget_w(new_budget);
-    controller.on_budget_change(new_budget);
-    if (rec) rec->record_budget_change({system.epochs_run(), new_budget});
-    ++next_event;
-  }
+  if (!resuming) {
+    // Events at epoch 0 are the budget in force when measurement starts;
+    // apply them before warmup so warmup learns under that budget rather
+    // than the default TDP (see RunConfig::budget_events). A resumed run
+    // skips all of this: the snapshot's event cursor already sits past
+    // everything the original run processed.
+    while (next_event < config.budget_events.size() &&
+           config.budget_events[next_event].epoch == 0) {
+      const double new_budget = config.budget_events[next_event].budget_w;
+      system.set_budget_w(new_budget);
+      active->on_budget_change(new_budget);
+      if (rec) rec->record_budget_change({system.epochs_run(), new_budget});
+      ++next_event;
+    }
 
-  // Unmeasured warmup: the loop runs normally, results are discarded.
-  for (std::size_t e = 0; e < config.warmup_epochs; ++e) {
-    (void)run_epoch();
-  }
+    // Unmeasured warmup: the loop runs normally, results are discarded.
+    for (std::size_t e = 0; e < config.warmup_epochs; ++e) {
+      (void)run_epoch();
+    }
 
-  // Fault injection starts with the measured region: engine epoch 0 is
-  // measured epoch 0 (mirroring budget_events' clock).
-  if (fault_engine.has_value()) system.set_fault_engine(&*fault_engine);
+    // Fault injection starts with the measured region: engine epoch 0 is
+    // measured epoch 0 (mirroring budget_events' clock).
+    if (fault_engine.has_value()) system.set_fault_engine(&*fault_engine);
+  }
 
   accountant.set_budget_w(system.budget_w());
-  for (std::size_t e = 0; e < config.epochs; ++e) {
+  for (std::size_t e = start_epoch; e < config.epochs; ++e) {
+    // Snapshot capture first: the blob describes the state *before* this
+    // epoch's swap and budget events, so a resumed run re-processes them
+    // in exactly the order the uninterrupted run did.
+    if (config.snapshot_out != nullptr && e == config.snapshot_epoch) {
+      snapshot::Writer w;
+      w.begin_section(kSnapshotRunnerTag);
+      w.u64(e);
+      w.u64(next_event);
+      w.u64(next_swap);
+      w.u64(n_cores);
+      for (std::size_t i = 0; i < n_cores; ++i) w.u64(levels[i]);
+      for (std::size_t i = 0; i < n_cores; ++i) w.u64(fallback_hold[i]);
+      w.u64(consecutive_violations);
+      w.end_section();
+      w.begin_section(kSnapshotSystemTag);
+      system.save_state(w);
+      w.end_section();
+      if (fault_engine.has_value()) {
+        w.begin_section(kSnapshotFaultTag);
+        fault_engine->save_state(w);
+        w.end_section();
+      }
+      w.begin_section(kSnapshotControllerTag);
+      w.str(active->name());
+      active->save_state(w);
+      w.end_section();
+      *config.snapshot_out = std::move(w).finish();
+    }
+
+    // Controller hot-swaps land before the epoch's budget events: the
+    // incoming controller sees a same-epoch cap change the way any sitting
+    // controller would. It takes over from the current operating point --
+    // `levels` keeps driving the chip; initial_levels() is not consulted.
+    while (next_swap < config.swaps.size() &&
+           config.swaps[next_swap].epoch <= e) {
+      const SwapEvent& sw = config.swaps[next_swap];
+      std::unique_ptr<Controller> incoming =
+          ControllerRegistry::instance().make(sw.controller, system.config(),
+                                              sw.overrides);
+      if (config.threads != 0) incoming->set_threads(config.threads);
+      incoming->set_recorder(rec);
+      incoming->on_budget_change(system.budget_w());
+      if (sw.seed_snapshot != nullptr) {
+        snapshot::Reader seed(*sw.seed_snapshot);
+        seed.open_section(kSnapshotControllerTag);
+        const std::string seed_name = seed.str();
+        if (seed_name != incoming->name()) {
+          throw snapshot::SnapshotError(
+              snapshot::SnapshotStatus::kBadValue,
+              "seed snapshot controller '" + seed_name +
+                  "' does not match incoming '" + incoming->name() + "'");
+        }
+        incoming->load_state(seed);
+        seed.expect_section_end();
+      }
+      const SwapTrace swap_rec{system.epochs_run(), active->name(),
+                               incoming->name()};
+      result.swaps.push_back(swap_rec);
+      if (rec) rec->record_controller_swap(swap_rec);
+      active->set_recorder(nullptr);
+      active = incoming.get();
+      swapped_in.push_back(std::move(incoming));
+      ++next_swap;
+    }
+
     while (next_event < config.budget_events.size() &&
            config.budget_events[next_event].epoch <= e) {
       const double new_budget = config.budget_events[next_event].budget_w;
       system.set_budget_w(new_budget);
       accountant.set_budget_w(new_budget);
-      controller.on_budget_change(new_budget);
+      active->on_budget_change(new_budget);
       if (rec) rec->record_budget_change({system.epochs_run(), new_budget});
       ++next_event;
     }
@@ -319,7 +514,7 @@ RunResult run_closed_loop(ManyCoreSystem& system, Controller& controller,
   }
 
   if (rec) {
-    rec->counter("run.epochs").add(config.epochs);
+    rec->counter("run.epochs").add(result.epochs);
     rec->counter("run.decisions").add(result.decisions);
     rec->counter("run.thermal_violation_epochs")
         .add(result.thermal_violation_epochs);
@@ -349,6 +544,7 @@ RunResult run_closed_loop(ManyCoreSystem& system, Controller& controller,
   system.set_fault_engine(nullptr);
   system.set_recorder(nullptr);
   controller.set_recorder(nullptr);
+  active->set_recorder(nullptr);
   return result;
 }
 

@@ -9,12 +9,42 @@
 #include <vector>
 
 #include "sim/controller.hpp"
+#include "sim/controller_registry.hpp"
 #include "sim/faults.hpp"
 #include "sim/system.hpp"
+#include "snapshot/snapshot.hpp"
 #include "telemetry/record.hpp"
 #include "telemetry/recorder.hpp"
 
 namespace odrl::sim {
+
+// -- Run snapshot sections (see snapshot/snapshot.hpp for the framing) --
+//
+// A run snapshot is one versioned blob with four sections, captured at the
+// top of measured epoch RunConfig::snapshot_epoch, *before* that epoch's
+// swap and budget events are processed:
+//
+//   RUNR -- the runner's own bookkeeping: the measured epoch, event/swap
+//           cursors, the level double-buffer and watchdog latches.
+//   SYST -- ManyCoreSystem::save_state (thermal field, RNG streams,
+//           workload position, ...).
+//   FLTE -- FaultEngine::save_state, present only when the run had a fault
+//           schedule.
+//   CTRL -- the active controller's name() followed by its save_state
+//           payload.
+//
+// Resuming (RunConfig::resume_snapshot) on a freshly constructed
+// system/controller pair built from the same configuration continues the
+// run bit-identically to one that never stopped -- the resume golden
+// test's guarantee.
+inline constexpr std::uint32_t kSnapshotRunnerTag =
+    snapshot::section_tag("RUNR");
+inline constexpr std::uint32_t kSnapshotSystemTag =
+    snapshot::section_tag("SYST");
+inline constexpr std::uint32_t kSnapshotFaultTag =
+    snapshot::section_tag("FLTE");
+inline constexpr std::uint32_t kSnapshotControllerTag =
+    snapshot::section_tag("CTRL");
 
 /// One measured epoch of a run: the typed trace record. This *is* the
 /// telemetry schema's chip-level record -- RunResult::trace and every
@@ -27,6 +57,25 @@ using EpochTrace = telemetry::EpochRecord;
 struct BudgetEvent {
   std::size_t epoch = 0;
   double budget_w = 0.0;
+};
+
+/// At measured epoch `epoch` (same clock as BudgetEvent), the live
+/// controller is replaced: a fresh instance of `controller` is built
+/// through the ControllerRegistry with `overrides`, told the budget in
+/// force, optionally seeded from a snapshot's CTRL section, and takes over
+/// from the current operating point (the levels the outgoing controller
+/// last decided keep driving the chip; initial_levels is not consulted).
+/// The swap is recorded in RunResult::swaps and, when telemetry is on, as
+/// a controller_swap event.
+struct SwapEvent {
+  std::size_t epoch = 0;
+  std::string controller;
+  ControllerOverrides overrides;
+  /// Optional run snapshot whose CTRL section warm-starts the incoming
+  /// controller (nullptr = cold start). The section's recorded name must
+  /// match the incoming controller or the swap throws
+  /// snapshot::SnapshotError(kBadValue). Non-owning; must outlive the run.
+  const std::string* seed_snapshot = nullptr;
 };
 
 /// Graceful-degradation policy: a per-core fallback to the safe static
@@ -95,6 +144,29 @@ struct RunConfig {
   /// with no fault plumbing at all.
   const FaultSchedule* faults = nullptr;
 
+  /// Controller hot-swap schedule, sorted by epoch (measured clock, like
+  /// budget_events). Swaps with epoch <= e are processed at the top of
+  /// measured epoch e, before that epoch's budget events.
+  std::vector<SwapEvent> swaps;
+
+  /// Snapshot capture: when `snapshot_out` is non-null, the runner
+  /// serializes the full run state into it at the top of measured epoch
+  /// `snapshot_epoch` (before that epoch's swap/budget events). The
+  /// capture allocates; it is an event epoch, excluded from the
+  /// steady-state zero-allocation contract.
+  std::size_t snapshot_epoch = 0;
+  std::string* snapshot_out = nullptr;
+
+  /// Resume: when non-null, the run restores from this blob instead of
+  /// starting fresh. The system and controller passed to run_closed_loop
+  /// must be freshly constructed from the same configuration as the run
+  /// that captured the snapshot (same chip, workload, schedules, threads);
+  /// warmup and epoch-0 budget pre-application are skipped and the
+  /// measured loop continues from the captured epoch. Malformed or
+  /// mismatched blobs throw snapshot::SnapshotError. Non-owning; must
+  /// outlive the call.
+  const std::string* resume_snapshot = nullptr;
+
   /// Controller watchdog (off by default; see WatchdogConfig).
   WatchdogConfig watchdog;
 
@@ -103,10 +175,21 @@ struct RunConfig {
 
 /// Everything a run produced. Power/energy figures use *true* (noise-free)
 /// power: sensors may lie to the controller but never to the evaluation.
+/// A controller hot-swap the run performed (RunResult::swaps); the same
+/// record the telemetry stream carries.
+using SwapTrace = telemetry::ControllerSwapRecord;
+
 struct RunResult {
   std::string controller_name;
   std::size_t epochs = 0;
   double epoch_s = 0.0;
+  /// First measured epoch this result covers: 0 for a fresh run, the
+  /// captured epoch when resumed from a snapshot (the result then
+  /// aggregates the resumed tail only).
+  std::size_t start_epoch = 0;
+  /// Controller hot-swaps performed, in order (epochs on the system clock,
+  /// like `trace`).
+  std::vector<SwapTrace> swaps;
 
   double total_instructions = 0.0;
   double total_energy_j = 0.0;

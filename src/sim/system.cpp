@@ -5,6 +5,8 @@
 #include <stdexcept>
 
 #include "sim/validate.hpp"
+#include "snapshot/snapshot.hpp"
+#include "snapshot/state_io.hpp"
 #include "util/check.hpp"
 
 namespace odrl::sim {
@@ -371,6 +373,70 @@ void ManyCoreSystem::set_budget_w(double budget_w) {
     throw std::invalid_argument("ManyCoreSystem::set_budget_w: <= 0");
   }
   budget_w_ = budget_w;
+}
+
+void ManyCoreSystem::save_state(snapshot::Writer& w) const {
+  w.u64(epoch_);
+  w.f64(budget_w_);
+  w.u8(have_prev_levels_ ? 1 : 0);
+  w.u64(prev_levels_.size());
+  for (std::size_t level : prev_levels_) w.u64(level);
+  const std::vector<double>& temps = thermal_.temperatures();
+  w.u64(temps.size());
+  for (double t : temps) w.f64(t);
+  w.u64(noise_rngs_.size());
+  for (const util::Rng& rng : noise_rngs_) snapshot::save_rng(w, rng);
+  workload_->save_state(w);
+}
+
+void ManyCoreSystem::load_state(snapshot::Reader& r) {
+  using snapshot::SnapshotError;
+  using snapshot::SnapshotStatus;
+  epoch_ = r.u64();
+  const double budget = r.f64();
+  if (!std::isfinite(budget) || budget <= 0.0) {
+    throw SnapshotError(SnapshotStatus::kBadValue,
+                        "system budget must be finite and > 0");
+  }
+  budget_w_ = budget;
+  const bool have_prev = r.u8() != 0;
+  const std::uint64_t n_prev = r.u64();
+  if (n_prev != 0 && n_prev != config_.n_cores()) {
+    throw SnapshotError(SnapshotStatus::kDimensionMismatch,
+                        "prev-levels count does not match core count");
+  }
+  prev_levels_.resize(n_prev);
+  const std::size_t n_levels = config_.vf_table().size();
+  for (std::size_t& level : prev_levels_) {
+    const std::uint64_t v = r.u64();
+    if (v >= n_levels) {
+      throw SnapshotError(SnapshotStatus::kBadValue,
+                          "prev level indexes past the V/F table");
+    }
+    level = static_cast<std::size_t>(v);
+  }
+  have_prev_levels_ = have_prev;
+  const std::uint64_t n_temps = r.u64();
+  if (n_temps != thermal_.size()) {
+    throw SnapshotError(SnapshotStatus::kDimensionMismatch,
+                        "thermal field size does not match the mesh");
+  }
+  std::vector<double> temps(n_temps);
+  for (double& t : temps) {
+    t = r.f64();
+    if (!std::isfinite(t)) {
+      throw SnapshotError(SnapshotStatus::kNonFinite,
+                          "thermal field holds a non-finite temperature");
+    }
+  }
+  thermal_.set_temperatures(temps);
+  const std::uint64_t n_rngs = r.u64();
+  if (n_rngs != noise_rngs_.size()) {
+    throw SnapshotError(SnapshotStatus::kDimensionMismatch,
+                        "noise-stream count does not match core count");
+  }
+  for (util::Rng& rng : noise_rngs_) snapshot::load_rng(r, rng);
+  workload_->load_state(r);
 }
 
 }  // namespace odrl::sim

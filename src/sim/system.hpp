@@ -30,6 +30,11 @@
 #include "util/thread_pool.hpp"
 #include "workload/workload.hpp"
 
+namespace odrl::snapshot {
+class Writer;
+class Reader;
+}  // namespace odrl::snapshot
+
 namespace odrl::sim {
 
 struct SimConfig {
@@ -85,9 +90,24 @@ class ManyCoreSystem {
   /// EpochResult each epoch performs zero steady-state heap allocations.
   void step_into(std::span<const std::size_t> levels, EpochResult& out);
 
-  /// Convenience wrapper around step_into() that returns a fresh
-  /// EpochResult (allocates; prefer step_into() in hot loops).
+  /// \deprecated Allocating convenience wrapper around step_into();
+  /// returns a fresh EpochResult per call. Kept for out-of-tree callers;
+  /// in-tree code uses step_into().
+  [[deprecated("use step_into() instead")]]
   EpochResult step(std::span<const std::size_t> levels);
+
+  /// Snapshot hooks (see snapshot/snapshot.hpp): serialize/restore every
+  /// mutable field of the simulated machine -- epoch counter, budget,
+  /// switch-cost cache, thermal field, sensor-noise RNG streams and the
+  /// workload position -- into the caller's open section. The restored
+  /// system's step_into() stream is bit-identical to one that never
+  /// stopped (the resume golden test's guarantee). The chip topology,
+  /// models and variation map are construction-time inputs and are NOT
+  /// serialized: load_state() must be called on a system built from the
+  /// same configuration, and rejects shape mismatches with
+  /// snapshot::SnapshotError(kDimensionMismatch).
+  void save_state(snapshot::Writer& w) const;
+  void load_state(snapshot::Reader& r);
 
   const arch::ChipConfig& config() const { return config_; }
   std::size_t n_cores() const { return config_.n_cores(); }

@@ -1,0 +1,356 @@
+#include "snapshot/snapshot.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace odrl::snapshot {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+/// Little-endian encode/decode. The simulator only targets little-endian
+/// hosts today; memcpy keeps this well-defined either way and the explicit
+/// byte math below makes the wire order independent of the host.
+void put_le(std::string& out, std::uint64_t v, std::size_t n_bytes) {
+  for (std::size_t i = 0; i < n_bytes; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+std::uint64_t get_le(std::string_view data, std::size_t offset,
+                     std::size_t n_bytes) {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < n_bytes; ++i) {
+    v |= static_cast<std::uint64_t>(
+             static_cast<unsigned char>(data[offset + i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+const char* snapshot_status_name(SnapshotStatus status) {
+  switch (status) {
+    case SnapshotStatus::kOk:
+      return "ok";
+    case SnapshotStatus::kIoError:
+      return "io_error";
+    case SnapshotStatus::kBadMagic:
+      return "bad_magic";
+    case SnapshotStatus::kBadVersion:
+      return "bad_version";
+    case SnapshotStatus::kTruncated:
+      return "truncated";
+    case SnapshotStatus::kChecksumMismatch:
+      return "checksum_mismatch";
+    case SnapshotStatus::kBadSection:
+      return "bad_section";
+    case SnapshotStatus::kBadValue:
+      return "bad_value";
+    case SnapshotStatus::kDimensionMismatch:
+      return "dimension_mismatch";
+    case SnapshotStatus::kNonFinite:
+      return "non_finite";
+    case SnapshotStatus::kUnsupported:
+      return "unsupported";
+  }
+  return "unknown";
+}
+
+SnapshotError::SnapshotError(SnapshotStatus status,
+                             const std::string& message)
+    : std::runtime_error("snapshot: " +
+                         std::string(snapshot_status_name(status)) + ": " +
+                         message),
+      status_(status) {}
+
+std::uint64_t fnv1a64(std::string_view data) {
+  std::uint64_t h = kFnvOffset;
+  for (char c : data) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+// ---------------------------------------------------------------- Writer
+
+Writer::Writer() {
+  buf_.append(kMagic);
+  put_le(buf_, kFormatVersion, 4);
+}
+
+void Writer::begin_section(std::uint32_t tag) {
+  if (finished_) {
+    throw std::logic_error("snapshot::Writer: begin_section after finish");
+  }
+  if (in_section_) {
+    throw std::logic_error("snapshot::Writer: sections may not nest");
+  }
+  if (tag == 0) {
+    throw std::logic_error("snapshot::Writer: tag 0 is the end marker");
+  }
+  if (std::find(tags_seen_.begin(), tags_seen_.end(), tag) !=
+      tags_seen_.end()) {
+    throw std::logic_error("snapshot::Writer: duplicate section tag");
+  }
+  tags_seen_.push_back(tag);
+  put_le(buf_, tag, 4);
+  section_start_ = buf_.size();
+  put_le(buf_, 0, 8);  // length back-patched by end_section
+  in_section_ = true;
+}
+
+void Writer::end_section() {
+  if (!in_section_) {
+    throw std::logic_error("snapshot::Writer: end_section outside section");
+  }
+  const std::uint64_t len = buf_.size() - (section_start_ + 8);
+  for (std::size_t i = 0; i < 8; ++i) {
+    buf_[section_start_ + i] = static_cast<char>((len >> (8 * i)) & 0xff);
+  }
+  in_section_ = false;
+}
+
+void Writer::raw(const void* data, std::size_t n) {
+  if (!in_section_) {
+    throw std::logic_error("snapshot::Writer: write outside section");
+  }
+  buf_.append(static_cast<const char*>(data), n);
+}
+
+void Writer::u8(std::uint8_t v) { raw(&v, 1); }
+
+void Writer::u32(std::uint32_t v) {
+  if (!in_section_) {
+    throw std::logic_error("snapshot::Writer: write outside section");
+  }
+  put_le(buf_, v, 4);
+}
+
+void Writer::u64(std::uint64_t v) {
+  if (!in_section_) {
+    throw std::logic_error("snapshot::Writer: write outside section");
+  }
+  put_le(buf_, v, 8);
+}
+
+void Writer::f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+void Writer::bytes(std::span<const std::uint8_t> data) {
+  raw(data.data(), data.size());
+}
+
+void Writer::str(std::string_view s) {
+  u64(s.size());
+  raw(s.data(), s.size());
+}
+
+std::string Writer::finish() && {
+  if (in_section_) {
+    throw std::logic_error("snapshot::Writer: finish inside open section");
+  }
+  if (finished_) {
+    throw std::logic_error("snapshot::Writer: finish called twice");
+  }
+  finished_ = true;
+  const std::uint64_t checksum = fnv1a64(buf_);
+  put_le(buf_, 0, 4);  // end-of-sections marker
+  put_le(buf_, checksum, 8);
+  return std::move(buf_);
+}
+
+// ---------------------------------------------------------------- Reader
+
+Reader::Reader(std::string_view blob) : blob_(blob) {
+  if (blob_.size() < kMagic.size() ||
+      blob_.substr(0, kMagic.size()) != kMagic) {
+    throw SnapshotError(SnapshotStatus::kBadMagic,
+                        "stream does not start with ODRLSNAP");
+  }
+  if (blob_.size() < kMagic.size() + 4) {
+    throw SnapshotError(SnapshotStatus::kTruncated,
+                        "stream ends inside the version field");
+  }
+  const std::uint64_t version = get_le(blob_, kMagic.size(), 4);
+  if (version != kFormatVersion) {
+    throw SnapshotError(SnapshotStatus::kBadVersion,
+                        "format version " + std::to_string(version) +
+                            " (this build reads version " +
+                            std::to_string(kFormatVersion) + ")");
+  }
+
+  std::size_t pos = kMagic.size() + 4;
+  for (;;) {
+    if (blob_.size() - pos < 4) {
+      throw SnapshotError(SnapshotStatus::kTruncated,
+                          "stream ends inside a section tag");
+    }
+    const std::uint32_t tag =
+        static_cast<std::uint32_t>(get_le(blob_, pos, 4));
+    pos += 4;
+    if (tag == 0) {
+      // Trailer: checksum over every byte before the end marker.
+      if (blob_.size() - pos < 8) {
+        throw SnapshotError(SnapshotStatus::kTruncated,
+                            "stream ends inside the checksum trailer");
+      }
+      const std::uint64_t stored = get_le(blob_, pos, 8);
+      const std::uint64_t actual = fnv1a64(blob_.substr(0, pos - 4));
+      if (stored != actual) {
+        throw SnapshotError(SnapshotStatus::kChecksumMismatch,
+                            "trailer checksum does not match contents");
+      }
+      if (pos + 8 != blob_.size()) {
+        throw SnapshotError(SnapshotStatus::kBadSection,
+                            "trailing bytes after the checksum");
+      }
+      break;
+    }
+    if (blob_.size() - pos < 8) {
+      throw SnapshotError(SnapshotStatus::kTruncated,
+                          "stream ends inside a section length");
+    }
+    const std::uint64_t len = get_le(blob_, pos, 8);
+    pos += 8;
+    if (len > blob_.size() - pos) {
+      throw SnapshotError(SnapshotStatus::kTruncated,
+                          "section payload extends past end of stream");
+    }
+    for (const Section& s : sections_) {
+      if (s.tag == tag) {
+        throw SnapshotError(SnapshotStatus::kBadSection,
+                            "duplicate section tag");
+      }
+    }
+    sections_.push_back(
+        Section{tag, pos, static_cast<std::size_t>(len)});
+    pos += static_cast<std::size_t>(len);
+  }
+}
+
+const Reader::Section* Reader::find(std::uint32_t tag) const noexcept {
+  for (const Section& s : sections_) {
+    if (s.tag == tag) return &s;
+  }
+  return nullptr;
+}
+
+bool Reader::has_section(std::uint32_t tag) const noexcept {
+  return find(tag) != nullptr;
+}
+
+std::vector<std::uint32_t> Reader::section_tags() const {
+  std::vector<std::uint32_t> tags;
+  tags.reserve(sections_.size());
+  for (const Section& s : sections_) tags.push_back(s.tag);
+  return tags;
+}
+
+void Reader::open_section(std::uint32_t tag) {
+  const Section* s = find(tag);
+  if (s == nullptr) {
+    std::string name(4, '?');
+    for (std::size_t i = 0; i < 4; ++i) {
+      const char c = static_cast<char>((tag >> (8 * i)) & 0xff);
+      name[i] = (c >= 0x20 && c < 0x7f) ? c : '?';
+    }
+    throw SnapshotError(SnapshotStatus::kBadSection,
+                        "missing section '" + name + "'");
+  }
+  cursor_ = s->offset;
+  section_end_ = s->offset + s->size;
+}
+
+void Reader::need(std::size_t n) const {
+  if (section_end_ == 0) {
+    throw std::logic_error("snapshot::Reader: read before open_section");
+  }
+  if (section_end_ - cursor_ < n) {
+    throw SnapshotError(SnapshotStatus::kTruncated,
+                        "read past end of section");
+  }
+}
+
+std::uint8_t Reader::u8() {
+  need(1);
+  return static_cast<std::uint8_t>(get_le(blob_, cursor_++, 1));
+}
+
+std::uint32_t Reader::u32() {
+  need(4);
+  const auto v = static_cast<std::uint32_t>(get_le(blob_, cursor_, 4));
+  cursor_ += 4;
+  return v;
+}
+
+std::uint64_t Reader::u64() {
+  need(8);
+  const std::uint64_t v = get_le(blob_, cursor_, 8);
+  cursor_ += 8;
+  return v;
+}
+
+double Reader::f64() { return std::bit_cast<double>(u64()); }
+
+void Reader::bytes(std::span<std::uint8_t> out) {
+  need(out.size());
+  std::memcpy(out.data(), blob_.data() + cursor_, out.size());
+  cursor_ += out.size();
+}
+
+std::string Reader::str() {
+  const std::uint64_t len = u64();
+  need(len);
+  std::string s(blob_.substr(cursor_, len));
+  cursor_ += len;
+  return s;
+}
+
+std::size_t Reader::remaining() const noexcept {
+  return section_end_ - cursor_;
+}
+
+void Reader::expect_section_end() const {
+  if (cursor_ != section_end_) {
+    throw SnapshotError(SnapshotStatus::kBadSection,
+                        "section holds " + std::to_string(remaining()) +
+                            " unread trailing bytes");
+  }
+}
+
+// ------------------------------------------------------------- file I/O
+
+void save_snapshot_file(const std::string& blob, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw SnapshotError(SnapshotStatus::kIoError, "cannot open " + path);
+  }
+  out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+  out.flush();
+  if (!out) {
+    throw SnapshotError(SnapshotStatus::kIoError,
+                        "write failed for " + path);
+  }
+}
+
+std::string load_snapshot_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw SnapshotError(SnapshotStatus::kIoError, "cannot open " + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) {
+    throw SnapshotError(SnapshotStatus::kIoError, "read failed for " + path);
+  }
+  return std::move(buf).str();
+}
+
+}  // namespace odrl::snapshot

@@ -1,0 +1,208 @@
+// Versioned binary snapshot format: the serialization substrate for
+// save/restore of full simulation state (system, fault engine, controllers,
+// runner bookkeeping) and for the binary Q-table/trace/policy artifacts.
+//
+// Wire layout (all integers little-endian):
+//
+//   offset 0   8 bytes   magic "ODRLSNAP"
+//   offset 8   u32       format version (kFormatVersion)
+//   then, repeated:
+//              u32       section tag (FourCC, e.g. 'QTAB'; never 0)
+//              u64       payload length in bytes
+//              ...       payload
+//   trailer:   u32       0 (end-of-sections marker)
+//              u64       FNV-1a 64 checksum of every byte before the marker
+//
+// A Writer buffers everything in memory and seals the blob with finish();
+// a Reader validates magic, version, section framing and checksum up front
+// (before any caller touches a payload), then hands out bounds-checked
+// typed reads per section. All failures throw SnapshotError, which carries
+// a SnapshotStatus code -- the one failure taxonomy shared by the fuzz
+// harness, the Q-table loader and every load_state() implementation.
+//
+// Compatibility policy: the version is bumped whenever any section's
+// payload layout changes; readers reject versions they do not know
+// (kBadVersion) rather than guessing. Unknown *sections* in a known
+// version are skipped by construction (readers open sections by tag), so
+// adding a section is not a breaking change.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace odrl::snapshot {
+
+/// Current wire-format version written by Writer and accepted by Reader.
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+/// The 8-byte stream magic ("ODRLSNAP").
+inline constexpr std::string_view kMagic = "ODRLSNAP";
+
+/// Failure taxonomy for every snapshot-shaped artifact (full snapshots,
+/// binary Q-tables, policies, traces). Codes, not message parsing, are the
+/// contract: tests and the fuzz harness assert on the enum.
+enum class SnapshotStatus : std::uint8_t {
+  kOk = 0,
+  kIoError,            ///< file open/read/write failure
+  kBadMagic,           ///< stream does not start with kMagic
+  kBadVersion,         ///< version this reader does not understand
+  kTruncated,          ///< stream ends inside a header/section/trailer
+  kChecksumMismatch,   ///< trailer checksum does not match the bytes
+  kBadSection,         ///< malformed framing, duplicate or missing section
+  kBadValue,           ///< semantic rejection (implausible count, bad enum)
+  kDimensionMismatch,  ///< stored state shape != the restoring object's
+  kNonFinite,          ///< a float field that must be finite is not
+  kUnsupported,        ///< the object does not implement snapshotting
+};
+
+/// Stable lowercase name for a status code (error messages, fuzz logs).
+const char* snapshot_status_name(SnapshotStatus status);
+
+/// Thrown by every snapshot failure path. Derives std::runtime_error so
+/// pre-existing catch sites keep working; new code switches on status().
+class SnapshotError : public std::runtime_error {
+ public:
+  SnapshotError(SnapshotStatus status, const std::string& message);
+
+  SnapshotStatus status() const noexcept { return status_; }
+
+ private:
+  SnapshotStatus status_;
+};
+
+/// FourCC section tag, e.g. section_tag("QTAB").
+constexpr std::uint32_t section_tag(std::string_view name) {
+  return (name.size() == 4)
+             ? (static_cast<std::uint32_t>(
+                    static_cast<unsigned char>(name[0])) |
+                (static_cast<std::uint32_t>(
+                     static_cast<unsigned char>(name[1]))
+                 << 8) |
+                (static_cast<std::uint32_t>(
+                     static_cast<unsigned char>(name[2]))
+                 << 16) |
+                (static_cast<std::uint32_t>(
+                     static_cast<unsigned char>(name[3]))
+                 << 24))
+             : throw std::invalid_argument("section_tag: need 4 chars");
+}
+
+/// Builds a snapshot blob in memory. Usage:
+///
+///   Writer w;
+///   w.begin_section(section_tag("SYST"));
+///   w.u64(...); w.f64(...);
+///   w.end_section();
+///   std::string blob = std::move(w).finish();
+///
+/// Sections may not nest; duplicate tags are rejected at write time so a
+/// blob is always uniquely indexable by tag. finish() seals the trailer.
+class Writer {
+ public:
+  Writer();
+
+  void begin_section(std::uint32_t tag);
+  void end_section();
+
+  // -- Primitive encoders (only valid inside a section) --
+  void u8(std::uint8_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  /// IEEE-754 binary64 bit pattern: round-trips every value (NaN included)
+  /// exactly, which the bit-identical resume guarantee depends on.
+  void f64(double v);
+  void bytes(std::span<const std::uint8_t> data);
+  /// Length-prefixed (u64) string.
+  void str(std::string_view s);
+
+  /// Seals the blob (end marker + checksum) and returns it. The Writer is
+  /// spent afterwards.
+  std::string finish() &&;
+
+ private:
+  void raw(const void* data, std::size_t n);
+
+  std::string buf_;
+  std::vector<std::uint32_t> tags_seen_;
+  std::size_t section_start_ = 0;  ///< offset of the open section's length
+  bool in_section_ = false;
+  bool finished_ = false;
+};
+
+/// Parses and validates a snapshot blob, then serves bounds-checked reads.
+/// Construction verifies the full frame -- magic, version, every section
+/// header, the end marker, the checksum, and that nothing trails the
+/// checksum -- so a Reader that exists is structurally sound; only
+/// per-field semantic checks remain for load_state() implementations.
+///
+/// The Reader borrows the blob: the string/span handed to the constructor
+/// must outlive it.
+class Reader {
+ public:
+  explicit Reader(std::string_view blob);
+
+  /// Positions the cursor at the start of section `tag`. Throws
+  /// kBadSection when absent. Each section can be (re)opened any number of
+  /// times; reads never cross its end.
+  void open_section(std::uint32_t tag);
+  bool has_section(std::uint32_t tag) const noexcept;
+  /// Tags in stream order (introspection/tools).
+  std::vector<std::uint32_t> section_tags() const;
+
+  // -- Primitive decoders (only valid after open_section) --
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  double f64();
+  void bytes(std::span<std::uint8_t> out);
+  std::string str();
+
+  /// Bytes left in the open section.
+  std::size_t remaining() const noexcept;
+  /// Throws kBadSection unless the open section was fully consumed --
+  /// load_state() implementations call this to reject oversized payloads.
+  void expect_section_end() const;
+
+ private:
+  struct Section {
+    std::uint32_t tag = 0;
+    std::size_t offset = 0;  ///< payload start within blob_
+    std::size_t size = 0;
+  };
+
+  const Section* find(std::uint32_t tag) const noexcept;
+  void need(std::size_t n) const;
+
+  std::string_view blob_;
+  std::vector<Section> sections_;
+  std::size_t cursor_ = 0;
+  std::size_t section_end_ = 0;
+};
+
+/// The save/restore contract. Implementations write/read only their own
+/// payload fields -- the caller owns section framing, so one object's state
+/// can be embedded in a full snapshot or shipped alone (policy seeding).
+/// load_state() must either fully restore the object or throw
+/// SnapshotError without observable partial effects callers need to worry
+/// about (the runner treats any throw as fatal for the resume).
+class Snapshotable {
+ public:
+  virtual ~Snapshotable() = default;
+  virtual void save_state(Writer& w) const = 0;
+  virtual void load_state(Reader& r) = 0;
+};
+
+// -- Convenience file wrappers (tools / CLI; not hot paths) --
+void save_snapshot_file(const std::string& blob, const std::string& path);
+std::string load_snapshot_file(const std::string& path);
+
+/// FNV-1a 64-bit over a byte range (the trailer checksum; exposed for
+/// tests and tools).
+std::uint64_t fnv1a64(std::string_view data);
+
+}  // namespace odrl::snapshot

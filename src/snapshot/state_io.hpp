@@ -1,0 +1,64 @@
+// Inline payload helpers for the small util-layer value types that many
+// Snapshotable implementations embed (RNG streams, EMA filters). Kept
+// header-only so the snapshot library itself stays dependency-free; the
+// including layer already links odrl_util.
+#pragma once
+
+#include "snapshot/snapshot.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+#include <cmath>
+
+namespace odrl::snapshot {
+
+inline void save_rng(Writer& w, const util::Rng& rng) {
+  const util::Rng::State s = rng.state();
+  for (std::uint64_t word : s.s) w.u64(word);
+  w.f64(s.cached_gaussian);
+  w.u8(s.has_cached_gaussian ? 1 : 0);
+}
+
+inline void load_rng(Reader& r, util::Rng& rng) {
+  util::Rng::State s;
+  for (std::uint64_t& word : s.s) word = r.u64();
+  s.cached_gaussian = r.f64();
+  const std::uint8_t cached = r.u8();
+  if (cached > 1) {
+    throw SnapshotError(SnapshotStatus::kBadValue,
+                        "rng gaussian-cache flag must be 0 or 1");
+  }
+  s.has_cached_gaussian = cached != 0;
+  rng.set_state(s);
+}
+
+inline void save_ema(Writer& w, const util::Ema& ema) {
+  w.f64(ema.value());
+  w.u8(ema.primed() ? 1 : 0);
+}
+
+inline void load_ema(Reader& r, util::Ema& ema) {
+  const double value = r.f64();
+  const std::uint8_t primed = r.u8();
+  if (primed > 1) {
+    throw SnapshotError(SnapshotStatus::kBadValue,
+                        "ema primed flag must be 0 or 1");
+  }
+  if (primed != 0 && !std::isfinite(value)) {
+    throw SnapshotError(SnapshotStatus::kNonFinite,
+                        "ema value must be finite");
+  }
+  ema.restore(value, primed != 0);
+}
+
+/// Reads a u8 bool field, rejecting anything but 0/1.
+inline bool load_bool(Reader& r, const char* what) {
+  const std::uint8_t v = r.u8();
+  if (v > 1) {
+    throw SnapshotError(SnapshotStatus::kBadValue,
+                        std::string(what) + " flag must be 0 or 1");
+  }
+  return v != 0;
+}
+
+}  // namespace odrl::snapshot

@@ -119,6 +119,15 @@ void CsvSink::budget_change(const BudgetChangeRecord& rec) {
   row.write(*out_);
 }
 
+void CsvSink::controller_swap(const ControllerSwapRecord& rec) {
+  Row row;
+  row.set(kRecord, "controller_swap");
+  row.set(kEpoch, rec.epoch);
+  row.set(kName, rec.to);
+  row.set(kValue, rec.from);
+  row.write(*out_);
+}
+
 void CsvSink::metrics(const MetricsSnapshot& snap) {
   for (const auto& c : snap.counters) {
     Row row;

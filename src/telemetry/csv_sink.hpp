@@ -12,6 +12,7 @@
 //                     mean_reward, epsilon (per-core budget snapshots are
 //                     JSONL-only; CSV stays rectangular)
 //   budget_change  -- epoch, budget_w
+//   controller_swap-- epoch, name=new controller, value=old controller
 //   counter/gauge  -- name, value
 //   histogram_bin  -- name, edge (upper edge, "inf" = overflow), value=count
 //   histogram_sum  -- name, value=total observations, edge=sum of values
@@ -35,6 +36,7 @@ class CsvSink final : public Sink {
   void core(const CoreRecord& rec) override;
   void realloc(const ReallocRecord& rec) override;
   void budget_change(const BudgetChangeRecord& rec) override;
+  void controller_swap(const ControllerSwapRecord& rec) override;
   void metrics(const MetricsSnapshot& snap) override;
   void end_run() override;
 

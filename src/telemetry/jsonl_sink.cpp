@@ -125,6 +125,14 @@ void JsonlSink::budget_change(const BudgetChangeRecord& rec) {
       .write(*out_);
 }
 
+void JsonlSink::controller_swap(const ControllerSwapRecord& rec) {
+  Line("controller_swap")
+      .field("epoch", rec.epoch)
+      .field("from", rec.from)
+      .field("to", rec.to)
+      .write(*out_);
+}
+
 void JsonlSink::metrics(const MetricsSnapshot& snap) {
   for (const auto& c : snap.counters) {
     Line("counter").field("name", c.name).field("value", c.value).write(*out_);

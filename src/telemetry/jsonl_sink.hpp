@@ -3,7 +3,8 @@
 // the per-core budget snapshots CSV omits. Load with e.g.
 //   pandas.read_json("run.jsonl", lines=True)
 //
-// Line types: run_begin, epoch, core, realloc, budget_change, counter,
+// Line types: run_begin, epoch, core, realloc, budget_change,
+// controller_swap, counter,
 // gauge, histogram, run_end (see DESIGN.md "Telemetry" for the field
 // lists). Numbers use shortest round-trip formatting; non-finite values
 // serialize as null (JSON has no NaN/inf).
@@ -25,6 +26,7 @@ class JsonlSink final : public Sink {
   void core(const CoreRecord& rec) override;
   void realloc(const ReallocRecord& rec) override;
   void budget_change(const BudgetChangeRecord& rec) override;
+  void controller_swap(const ControllerSwapRecord& rec) override;
   void metrics(const MetricsSnapshot& snap) override;
   void end_run() override;
 

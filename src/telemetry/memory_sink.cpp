@@ -52,6 +52,10 @@ void MemorySink::budget_change(const BudgetChangeRecord& rec) {
   budget_changes_.push_back(rec);
 }
 
+void MemorySink::controller_swap(const ControllerSwapRecord& rec) {
+  controller_swaps_.push_back(rec);
+}
+
 void MemorySink::metrics(const MetricsSnapshot& snap) { metrics_ = snap; }
 
 void MemorySink::end_run() { ++runs_ended_; }

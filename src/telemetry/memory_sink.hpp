@@ -23,6 +23,7 @@ class MemorySink final : public Sink {
   void core(const CoreRecord& rec) override;
   void realloc(const ReallocRecord& rec) override;
   void budget_change(const BudgetChangeRecord& rec) override;
+  void controller_swap(const ControllerSwapRecord& rec) override;
   void metrics(const MetricsSnapshot& snap) override;
   void end_run() override;
 
@@ -32,6 +33,9 @@ class MemorySink final : public Sink {
   const std::vector<ReallocRecord>& reallocs() const { return reallocs_; }
   const std::vector<BudgetChangeRecord>& budget_changes() const {
     return budget_changes_;
+  }
+  const std::vector<ControllerSwapRecord>& controller_swaps() const {
+    return controller_swaps_;
   }
   const std::vector<RunInfo>& runs() const { return runs_; }
   const MetricsSnapshot& last_metrics() const { return metrics_; }
@@ -50,6 +54,7 @@ class MemorySink final : public Sink {
   std::size_t cores_seen_ = 0;
   std::vector<ReallocRecord> reallocs_;
   std::vector<BudgetChangeRecord> budget_changes_;
+  std::vector<ControllerSwapRecord> controller_swaps_;
   std::vector<RunInfo> runs_;
   MetricsSnapshot metrics_;
   std::size_t runs_ended_ = 0;

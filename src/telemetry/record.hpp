@@ -74,6 +74,14 @@ struct BudgetChangeRecord {
   double budget_w = 0.0;            ///< new chip budget
 };
 
+/// The runner hot-swapped the live controller (RunConfig::swaps). Stamped
+/// with the system's epoch counter, like every event record.
+struct ControllerSwapRecord {
+  std::uint64_t epoch = 0;
+  std::string from;                 ///< name of the controller replaced
+  std::string to;                   ///< name of the controller now active
+};
+
 // ---------------------------------------------------------------- metrics
 
 struct CounterSample {

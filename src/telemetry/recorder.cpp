@@ -53,6 +53,11 @@ void Recorder::record_budget_change(const BudgetChangeRecord& rec) {
   for (const auto& sink : sinks_) sink->budget_change(rec);
 }
 
+void Recorder::record_controller_swap(const ControllerSwapRecord& rec) {
+  if (!active()) return;
+  for (const auto& sink : sinks_) sink->controller_swap(rec);
+}
+
 Counter& Recorder::counter(const std::string& name) {
   return counters_[name];
 }

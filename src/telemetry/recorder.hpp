@@ -70,6 +70,7 @@ class Recorder {
   void record_core(const CoreRecord& rec);
   void record_realloc(const ReallocRecord& rec);
   void record_budget_change(const BudgetChangeRecord& rec);
+  void record_controller_swap(const ControllerSwapRecord& rec);
 
   /// Named instruments, created on first use. Names are sorted in the
   /// snapshot, so emission order never depends on creation order.

@@ -28,6 +28,7 @@ class Sink {
   virtual void core(const CoreRecord& /*rec*/) {}
   virtual void realloc(const ReallocRecord& /*rec*/) {}
   virtual void budget_change(const BudgetChangeRecord& /*rec*/) {}
+  virtual void controller_swap(const ControllerSwapRecord& /*rec*/) {}
   /// Counter/gauge/histogram totals, delivered just before end_run.
   virtual void metrics(const MetricsSnapshot& /*snap*/) {}
   virtual void end_run() {}

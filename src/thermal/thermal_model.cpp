@@ -203,4 +203,18 @@ void ThermalModel::reset(double temp_c) {
   std::fill(temps_.begin(), temps_.end(), temp_c);
 }
 
+void ThermalModel::set_temperatures(std::span<const double> temps_c) {
+  if (temps_c.size() != temps_.size()) {
+    throw std::invalid_argument(
+        "ThermalModel::set_temperatures: size mismatch");
+  }
+  for (double t : temps_c) {
+    if (!std::isfinite(t)) {
+      throw std::invalid_argument(
+          "ThermalModel::set_temperatures: non-finite temperature");
+    }
+  }
+  std::copy(temps_c.begin(), temps_c.end(), temps_.begin());
+}
+
 }  // namespace odrl::thermal

@@ -83,6 +83,10 @@ class ThermalModel {
   double dt_stable_s() const noexcept { return dt_stable_; }
 
   void reset(double temp_c);
+  /// Bulk restore of the transient field (snapshot/resume). `temps_c` must
+  /// hold exactly size() finite values; throws std::invalid_argument
+  /// otherwise.
+  void set_temperatures(std::span<const double> temps_c);
   const arch::ThermalParams& params() const { return params_; }
   std::size_t size() const { return temps_.size(); }
 

@@ -76,6 +76,24 @@ class Rng {
   /// parent's future output. Used to give each core its own stream.
   Rng fork();
 
+  /// The full generator state, exposed for snapshot/restore: the four
+  /// xoshiro words plus the Box-Muller pair cache (without it, a restored
+  /// stream would replay gaussian draws one call out of phase).
+  struct State {
+    std::array<std::uint64_t, 4> s{};
+    double cached_gaussian = 0.0;
+    bool has_cached_gaussian = false;
+  };
+
+  State state() const {
+    return State{s_, cached_gaussian_, has_cached_gaussian_};
+  }
+  void set_state(const State& state) {
+    s_ = state.s;
+    cached_gaussian_ = state.cached_gaussian;
+    has_cached_gaussian_ = state.has_cached_gaussian;
+  }
+
  private:
   std::array<std::uint64_t, 4> s_{};
   double cached_gaussian_ = 0.0;

@@ -52,6 +52,11 @@ class Ema {
   bool primed() const { return primed_; }
   void reset();
   double alpha() const { return alpha_; }
+  /// Bulk restore for snapshot/resume (alpha stays as constructed).
+  void restore(double value, bool primed) {
+    value_ = value;
+    primed_ = primed;
+  }
 
  private:
   double alpha_;

@@ -104,6 +104,14 @@ PhaseSample PhaseMachine::step(util::Rng& rng) {
   return s;
 }
 
+void PhaseMachine::restore(std::size_t current_phase, std::size_t dwell) {
+  if (current_phase >= phases_.size()) {
+    throw std::invalid_argument("PhaseMachine::restore: phase out of range");
+  }
+  current_ = current_phase;
+  dwell_ = dwell;
+}
+
 const Phase& PhaseMachine::phase(std::size_t i) const {
   if (i >= phases_.size()) {
     throw std::out_of_range("PhaseMachine::phase: out of range");

@@ -61,6 +61,10 @@ class PhaseMachine {
   /// Epochs spent in the current phase since last transition.
   std::size_t dwell() const { return dwell_; }
 
+  /// Bulk restore of the Markov position (snapshot/resume). Throws
+  /// std::invalid_argument when `current_phase` is out of range.
+  void restore(std::size_t current_phase, std::size_t dwell);
+
  private:
   std::vector<Phase> phases_;
   TransitionMatrix transitions_;

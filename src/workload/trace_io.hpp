@@ -1,11 +1,18 @@
-// RecordedTrace serialization (CSV).
+// RecordedTrace serialization.
 //
 // Experiments are reproducible from seeds alone, but shipping a recorded
 // trace lets others rerun a comparison on byte-identical workload inputs
 // without the generator (and lets real-machine traces, converted to the
 // phase-parameter schema, drive the simulator).
 //
-// Format (v1):
+// Since snapshot format v1 the on-disk artifact is a single-section binary
+// snapshot (magic ODRLSNAP, one 'TRCE' section: core count, labels, epoch
+// count, per-epoch-per-core phase samples; see snapshot/snapshot.hpp for
+// framing and the versioning policy). The previous CSV format
+// ("# odrl-trace v1") is still *read* behind a format sniff so existing
+// trace files keep loading; it is no longer written by the file wrapper.
+//
+// Legacy CSV (v1):
 //   # odrl-trace v1
 //   labels,<label core 0>,<label core 1>,...
 //   epoch,core,base_cpi,mpki,activity
@@ -17,18 +24,45 @@
 #include <iosfwd>
 #include <string>
 
+#include "snapshot/snapshot.hpp"
 #include "workload/workload.hpp"
 
 namespace odrl::workload {
 
-/// Writes the trace; throws std::invalid_argument on unserializable labels
-/// and std::runtime_error on stream failure.
+/// The 'TRCE' section tag of the binary trace artifact.
+inline constexpr std::uint32_t kTraceSectionTag =
+    snapshot::section_tag("TRCE");
+
+/// Hard cap on declared n_cores * n_epochs: a corrupt (or hostile) header
+/// must be rejected, not obeyed. Far above any real trace.
+inline constexpr std::size_t kMaxTraceCells = std::size_t{1} << 26;
+
+/// Writes the trace's payload (cores, labels, samples) into the caller's
+/// open snapshot section.
+void save_trace_payload(snapshot::Writer& w, const RecordedTrace& trace);
+/// Reads a payload written by save_trace_payload, enforcing the cell cap
+/// (kBadValue) and rejecting non-finite samples (kNonFinite).
+RecordedTrace load_trace_payload(snapshot::Reader& r);
+
+/// Writes the trace as a standalone single-section snapshot blob.
+void save_trace(const RecordedTrace& trace, std::ostream& out);
+
+/// Reads a trace: sniffs the binary snapshot magic first, then the legacy
+/// CSV header. Binary failures throw snapshot::SnapshotError; legacy CSV
+/// failures keep their historical std::runtime_error. Consumes the whole
+/// stream (the binary sniff needs the full frame).
+RecordedTrace load_trace(std::istream& in);
+
+/// Legacy CSV writer; throws std::invalid_argument on unserializable
+/// labels and std::runtime_error on stream failure. Kept for
+/// interoperability with external tooling that consumes the CSV schema.
 void save_trace_csv(const RecordedTrace& trace, std::ostream& out);
 
-/// Parses a trace; throws std::runtime_error on malformed input.
+/// Legacy CSV parser; throws std::runtime_error on malformed input.
 RecordedTrace load_trace_csv(std::istream& in);
 
-/// Convenience file wrappers.
+/// Convenience file wrappers: save writes the binary snapshot artifact,
+/// load sniffs both formats.
 void save_trace_file(const RecordedTrace& trace, const std::string& path);
 RecordedTrace load_trace_file(const std::string& path);
 

@@ -2,7 +2,20 @@
 
 #include <stdexcept>
 
+#include "snapshot/snapshot.hpp"
+#include "snapshot/state_io.hpp"
+
 namespace odrl::workload {
+
+void Workload::save_state(snapshot::Writer& /*w*/) const {
+  throw snapshot::SnapshotError(snapshot::SnapshotStatus::kUnsupported,
+                                "this workload does not support snapshot");
+}
+
+void Workload::load_state(snapshot::Reader& /*r*/) {
+  throw snapshot::SnapshotError(snapshot::SnapshotStatus::kUnsupported,
+                                "this workload does not support snapshot");
+}
 
 RecordedTrace::RecordedTrace(std::size_t n_cores,
                              std::vector<std::string> labels)
@@ -80,6 +93,37 @@ std::string GeneratedWorkload::core_label(std::size_t core) const {
   return labels_[core];
 }
 
+void GeneratedWorkload::save_state(snapshot::Writer& w) const {
+  w.u64(machines_.size());
+  for (std::size_t i = 0; i < machines_.size(); ++i) {
+    w.u64(machines_[i].current_phase());
+    w.u64(machines_[i].dwell());
+    snapshot::save_rng(w, rngs_[i]);
+  }
+}
+
+void GeneratedWorkload::load_state(snapshot::Reader& r) {
+  const std::uint64_t n = r.u64();
+  if (n != machines_.size()) {
+    throw snapshot::SnapshotError(
+        snapshot::SnapshotStatus::kDimensionMismatch,
+        "workload has " + std::to_string(machines_.size()) +
+            " cores, snapshot holds " + std::to_string(n));
+  }
+  for (std::size_t i = 0; i < machines_.size(); ++i) {
+    const std::uint64_t phase = r.u64();
+    const std::uint64_t dwell = r.u64();
+    if (phase >= machines_[i].phase_count()) {
+      throw snapshot::SnapshotError(snapshot::SnapshotStatus::kBadValue,
+                                    "phase index out of range for core " +
+                                        std::to_string(i));
+    }
+    machines_[i].restore(static_cast<std::size_t>(phase),
+                         static_cast<std::size_t>(dwell));
+    snapshot::load_rng(r, rngs_[i]);
+  }
+}
+
 RecordedTrace GeneratedWorkload::record(std::size_t n_epochs) {
   RecordedTrace trace(n_cores(), labels_);
   for (std::size_t e = 0; e < n_epochs; ++e) {
@@ -105,6 +149,22 @@ std::span<const PhaseSample> ReplayWorkload::step() {
 
 std::string ReplayWorkload::core_label(std::size_t core) const {
   return trace_.label(core);
+}
+
+void ReplayWorkload::save_state(snapshot::Writer& w) const {
+  w.u64(cursor_);
+}
+
+void ReplayWorkload::load_state(snapshot::Reader& r) {
+  const std::uint64_t cursor = r.u64();
+  if (cursor >= trace_.n_epochs()) {
+    throw snapshot::SnapshotError(
+        snapshot::SnapshotStatus::kBadValue,
+        "replay cursor " + std::to_string(cursor) +
+            " out of range for a " + std::to_string(trace_.n_epochs()) +
+            "-epoch trace");
+  }
+  cursor_ = static_cast<std::size_t>(cursor);
 }
 
 }  // namespace odrl::workload

@@ -19,6 +19,11 @@
 #include "workload/phase.hpp"
 #include "workload/phase_machine.hpp"
 
+namespace odrl::snapshot {
+class Writer;
+class Reader;
+}  // namespace odrl::snapshot
+
 namespace odrl::workload {
 
 /// Abstract per-epoch workload source for an n-core chip.
@@ -34,6 +39,15 @@ class Workload {
   virtual std::span<const PhaseSample> step() = 0;
   /// Human-readable label of what core i is running.
   virtual std::string core_label(std::size_t core) const = 0;
+
+  /// Snapshot/resume hooks: write/restore the generator position (phase
+  /// machines + RNG streams, or the replay cursor) within the caller's
+  /// open snapshot section. The defaults throw
+  /// snapshot::SnapshotError(kUnsupported) -- a workload that cannot
+  /// checkpoint makes the *run* un-checkpointable, and that must fail
+  /// loudly at save time, not corrupt a resume.
+  virtual void save_state(snapshot::Writer& w) const;
+  virtual void load_state(snapshot::Reader& r);
 };
 
 /// A fully materialized workload: samples[epoch][core].
@@ -73,6 +87,8 @@ class GeneratedWorkload final : public Workload {
   std::size_t n_cores() const override { return machines_.size(); }
   std::span<const PhaseSample> step() override;
   std::string core_label(std::size_t core) const override;
+  void save_state(snapshot::Writer& w) const override;
+  void load_state(snapshot::Reader& r) override;
 
   /// Runs the generator for n_epochs and materializes a trace (the
   /// generator is consumed/advanced by this).
@@ -94,6 +110,8 @@ class ReplayWorkload final : public Workload {
   std::size_t n_cores() const override { return trace_.n_cores(); }
   std::span<const PhaseSample> step() override;
   std::string core_label(std::size_t core) const override;
+  void save_state(snapshot::Writer& w) const override;
+  void load_state(snapshot::Reader& r) override;
   void rewind() { cursor_ = 0; }
   std::size_t cursor() const { return cursor_; }
 

@@ -12,10 +12,14 @@
 #include "sim/system.hpp"
 #include "workload/workload.hpp"
 
+#include "loop_helpers.hpp"
+
 namespace ob = odrl::baselines;
 namespace os = odrl::sim;
 namespace oa = odrl::arch;
 namespace ow = odrl::workload;
+using odrl::test::decide;
+using odrl::test::step;
 
 namespace {
 
@@ -25,7 +29,7 @@ os::EpochResult observe(std::size_t cores, std::size_t level,
   os::ManyCoreSystem sys(chip, std::make_unique<ow::GeneratedWorkload>(
                                    ow::GeneratedWorkload::mixed_suite(
                                        cores, seed)));
-  return sys.step(std::vector<std::size_t>(cores, level));
+  return step(sys, std::vector<std::size_t>(cores, level));
 }
 
 }  // namespace
@@ -112,7 +116,7 @@ TEST(StaticUniform, DecideIsConstant) {
   const oa::ChipConfig chip = oa::ChipConfig::make(4, 0.6);
   ob::StaticUniformController ctl(chip);
   const auto obs = observe(4, 2);
-  const auto levels = ctl.decide(obs);
+  const auto levels = decide(ctl, obs);
   for (auto l : levels) EXPECT_EQ(l, ctl.chosen_level());
   EXPECT_EQ(ctl.initial_levels(4), levels);
 }
@@ -133,7 +137,7 @@ TEST(Pid, RampsUpWhenUnderBudget) {
   os::EpochResult obs = observe(4, 0);
   obs.budget_w = 1000.0;  // vast headroom
   const double before = ctl.control_signal();
-  ctl.decide(obs);
+  decide(ctl, obs);
   EXPECT_GT(ctl.control_signal(), before);
 }
 
@@ -144,7 +148,7 @@ TEST(Pid, BacksOffWhenOverBudget) {
   obs.budget_w = obs.chip_power_w * 0.5;  // deep violation
   obs.chip_power_w = obs.budget_w * 2.0;
   const double before = ctl.control_signal();
-  ctl.decide(obs);
+  decide(ctl, obs);
   EXPECT_LT(ctl.control_signal(), before);
 }
 
@@ -153,7 +157,7 @@ TEST(Pid, OutputAlwaysUniformAndValid) {
   ob::PidController ctl(chip);
   auto obs = observe(4, 3);
   for (int i = 0; i < 50; ++i) {
-    const auto levels = ctl.decide(obs);
+    const auto levels = decide(ctl, obs);
     for (auto l : levels) {
       EXPECT_EQ(l, levels[0]);
       EXPECT_LT(l, chip.vf_table().size());
@@ -166,7 +170,7 @@ TEST(Pid, ResetRestoresMidpoint) {
   ob::PidController ctl(chip);
   auto obs = observe(4, 0);
   obs.budget_w = 1000.0;
-  for (int i = 0; i < 20; ++i) ctl.decide(obs);
+  for (int i = 0; i < 20; ++i) decide(ctl, obs);
   ctl.reset();
   EXPECT_NEAR(ctl.control_signal(),
               static_cast<double>(chip.vf_table().size() - 1) / 2.0, 1e-9);
@@ -179,7 +183,7 @@ TEST(Greedy, PredictedPowerStaysWithinBudget) {
   ob::GreedyController ctl(chip);
   ob::Predictor pred(chip);
   const auto obs = observe(8, 3);
-  const auto levels = ctl.decide(obs);
+  const auto levels = decide(ctl, obs);
   double predicted = 0.0;
   for (std::size_t i = 0; i < 8; ++i) {
     predicted += pred.predict(obs.cores[i], levels[i]).power_w;
@@ -192,7 +196,7 @@ TEST(Greedy, UsesMostOfTheBudget) {
   ob::GreedyController ctl(chip);
   ob::Predictor pred(chip);
   const auto obs = observe(8, 3);
-  const auto levels = ctl.decide(obs);
+  const auto levels = decide(ctl, obs);
   double predicted = 0.0;
   for (std::size_t i = 0; i < 8; ++i) {
     predicted += pred.predict(obs.cores[i], levels[i]).power_w;
@@ -213,8 +217,8 @@ TEST(Greedy, PrefersComputeBoundCores) {
   ob::GreedyController ctl(chip);
   auto levels = ctl.initial_levels(2);
   for (int e = 0; e < 50; ++e) {
-    const auto obs = sys.step(levels);
-    levels = ctl.decide(obs);
+    const auto obs = step(sys, levels);
+    levels = decide(ctl, obs);
   }
   EXPECT_GT(levels[0], levels[1]);
 }
@@ -240,8 +244,8 @@ TEST(MaxBips, DpMatchesExactOnSmallSystems) {
 
   for (std::uint64_t seed = 1; seed <= 5; ++seed) {
     const auto obs = observe(4, 3, seed);
-    const auto le = exact.decide(obs);
-    const auto ld = dp.decide(obs);
+    const auto le = decide(exact, obs);
+    const auto ld = decide(dp, obs);
     double ips_exact = 0.0;
     double ips_dp = 0.0;
     double power_dp = 0.0;
@@ -263,7 +267,7 @@ TEST(MaxBips, ExactRefusesLargeSystems) {
   cfg.exact_core_limit = 8;
   ob::MaxBipsController ctl(chip, cfg);
   const auto obs = observe(16, 3);
-  EXPECT_THROW(ctl.decide(obs), std::invalid_argument);
+  EXPECT_THROW(decide(ctl, obs), std::invalid_argument);
 }
 
 TEST(MaxBips, DpPredictedPowerWithinBudget) {
@@ -271,7 +275,7 @@ TEST(MaxBips, DpPredictedPowerWithinBudget) {
   ob::MaxBipsController ctl(chip);
   ob::Predictor pred(chip);
   const auto obs = observe(16, 4);
-  const auto levels = ctl.decide(obs);
+  const auto levels = decide(ctl, obs);
   double predicted = 0.0;
   for (std::size_t i = 0; i < 16; ++i) {
     predicted += pred.predict(obs.cores[i], levels[i]).power_w;
@@ -285,7 +289,7 @@ TEST(MaxBips, TinyBudgetFallsBackToFloor) {
   ob::MaxBipsController ctl(chip);
   auto obs = observe(4, 0);
   obs.budget_w = 0.1;  // nothing fits
-  const auto levels = ctl.decide(obs);
+  const auto levels = decide(ctl, obs);
   for (auto l : levels) EXPECT_EQ(l, 0u);
 }
 
@@ -296,8 +300,8 @@ TEST(MaxBips, BeatsGreedyOrTies) {
   ob::Predictor pred(chip);
   for (std::uint64_t seed = 1; seed <= 3; ++seed) {
     const auto obs = observe(8, 3, seed);
-    const auto lm = maxbips.decide(obs);
-    const auto lg = greedy.decide(obs);
+    const auto lm = decide(maxbips, obs);
+    const auto lg = decide(greedy, obs);
     double ips_m = 0.0;
     double ips_g = 0.0;
     for (std::size_t i = 0; i < 8; ++i) {

@@ -26,11 +26,14 @@
 #include "util/check.hpp"
 #include "workload/workload.hpp"
 
+#include "loop_helpers.hpp"
+
 namespace oa = odrl::arch;
 namespace oc = odrl::core;
 namespace os = odrl::sim;
 namespace ou = odrl::util;
 namespace ow = odrl::workload;
+using odrl::test::step;
 
 namespace {
 
@@ -50,7 +53,7 @@ os::ManyCoreSystem make_system(std::size_t n_cores = 4,
 /// validator passes genuine data and that exactly the seeded fault trips.
 os::EpochResult real_observation(os::ManyCoreSystem& sys) {
   const std::vector<std::size_t> levels(sys.config().n_cores(), 0);
-  return sys.step(levels);
+  return step(sys, levels);
 }
 
 /// Controller that emits an out-of-range V/F level for core 0: the classic

@@ -19,11 +19,14 @@
 #include "sim/system.hpp"
 #include "workload/workload.hpp"
 
+#include "loop_helpers.hpp"
+
 namespace oa = odrl::arch;
 namespace ob = odrl::baselines;
 namespace oc = odrl::core;
 namespace os = odrl::sim;
 namespace ow = odrl::workload;
+using odrl::test::step;
 
 namespace {
 
@@ -371,7 +374,7 @@ TEST(FaultSystem, SensorFaultLiesToTheControllerNotTheEvaluation) {
   sys.set_fault_engine(&engine);
   std::vector<std::size_t> levels(kCores, 3);
   for (int e = 0; e < 5; ++e) {
-    const os::EpochResult obs = sys.step(levels);
+    const os::EpochResult obs = step(sys, levels);
     EXPECT_EQ(obs.cores.power_w()[2], 0.0);  // the sensor lies...
     EXPECT_EQ(obs.cores.ips()[2], 0.0);
     EXPECT_GT(obs.cores.true_power_w()[2], 0.0);  // ...the truth does not
@@ -390,7 +393,7 @@ TEST(FaultSystem, OfflineCoreIsPowerGated) {
   sys.set_fault_engine(&engine);
   std::vector<std::size_t> levels(kCores, 4);
   for (int e = 0; e < 5; ++e) {
-    const os::EpochResult obs = sys.step(levels);
+    const os::EpochResult obs = step(sys, levels);
     const bool off = e >= 1 && e < 3;
     EXPECT_EQ(obs.cores.online()[5], off ? 0 : 1) << e;
     if (off) {
@@ -417,7 +420,7 @@ TEST(FaultSystem, BudgetStepScalesTheObservedBudget) {
   sys.set_fault_engine(&engine);
   std::vector<std::size_t> levels(kCores, 2);
   for (int e = 0; e < 5; ++e) {
-    const os::EpochResult obs = sys.step(levels);
+    const os::EpochResult obs = step(sys, levels);
     const double want = (e >= 1 && e < 3) ? base * 0.75 : base;
     EXPECT_DOUBLE_EQ(obs.budget_w, want) << e;
   }

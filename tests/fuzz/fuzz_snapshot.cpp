@@ -1,0 +1,11 @@
+// libFuzzer driver for the snapshot frame parser (ODRL_FUZZ builds).
+#include <cstddef>
+#include <cstdint>
+
+#include "harness.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  odrl::fuzz::fuzz_snapshot(data, size);
+  return 0;
+}

@@ -20,6 +20,7 @@
 
 #include "rl/qtable_io.hpp"
 #include "sim/faults.hpp"
+#include "snapshot/snapshot.hpp"
 #include "workload/trace_io.hpp"
 
 namespace odrl::fuzz {
@@ -61,12 +62,44 @@ inline void fuzz_fault_schedule(const std::uint8_t* data, std::size_t size) {
 inline void fuzz_trace(const std::uint8_t* data, std::size_t size) {
   std::istringstream in(as_string(data, size));
   try {
-    const workload::RecordedTrace trace = workload::load_trace_csv(in);
+    // load_trace sniffs both formats, so one harness covers the binary
+    // 'TRCE' artifact and the legacy CSV it still reads.
+    const workload::RecordedTrace trace = workload::load_trace(in);
     std::stringstream io;
-    workload::save_trace_csv(trace, io);
-    (void)workload::load_trace_csv(io);
+    workload::save_trace(trace, io);
+    (void)workload::load_trace(io);
   } catch (const std::runtime_error&) {
   } catch (const std::invalid_argument&) {
+  }
+}
+
+/// The snapshot frame itself: a Reader either parses the whole frame or
+/// throws SnapshotError (a runtime_error). Parsed frames must rebuild
+/// byte-identically -- the format is fully deterministic (ordered
+/// sections, length prefixes, one checksum), so reserialization is an
+/// exact round trip.
+inline void fuzz_snapshot(const std::uint8_t* data, std::size_t size) {
+  const std::string blob = as_string(data, size);
+  try {
+    snapshot::Reader r(blob);
+    snapshot::Writer w;
+    for (std::uint32_t tag : r.section_tags()) {
+      r.open_section(tag);
+      std::string payload(r.remaining(), '\0');
+      r.bytes({reinterpret_cast<std::uint8_t*>(payload.data()),
+               payload.size()});
+      r.expect_section_end();
+      w.begin_section(tag);
+      w.bytes({reinterpret_cast<const std::uint8_t*>(payload.data()),
+               payload.size()});
+      w.end_section();
+    }
+    const std::string rebuilt = std::move(w).finish();
+    if (rebuilt != blob) {
+      throw std::logic_error("snapshot frame round-trip changed bytes");
+    }
+  } catch (const std::runtime_error&) {
+    // SnapshotError: the documented rejection path.
   }
 }
 

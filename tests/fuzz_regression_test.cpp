@@ -64,3 +64,7 @@ TEST(FuzzRegression, TraceIoCorpus) {
 TEST(FuzzRegression, QtableIoCorpus) {
   replay("qtable_io", &odrl::fuzz::fuzz_qtable);
 }
+
+TEST(FuzzRegression, SnapshotCorpus) {
+  replay("snapshot", &odrl::fuzz::fuzz_snapshot);
+}

@@ -41,6 +41,7 @@ struct GoldenCase {
   const char* controller;
   std::size_t cores;
   bool faults;
+  bool resume;  ///< digest of the snapshot-resumed tail, not the full run
   std::uint64_t digest;
 };
 
@@ -76,22 +77,25 @@ void fold(std::uint64_t& h, std::uint64_t value) {
 }
 
 std::uint64_t run_digest(const std::string& controller, std::size_t cores,
-                         bool faults) {
+                         bool faults, bool resume) {
   const oa::ChipConfig chip = oa::ChipConfig::make(cores, 0.6);
   os::SimConfig sc;
   sc.sensor_noise_rel = 0.02;
   sc.seed = 23;
-  os::ManyCoreSystem system(
-      chip,
-      std::make_unique<ow::GeneratedWorkload>(
-          ow::GeneratedWorkload::mixed_suite(cores, 13)),
-      sc);
-  auto ctl = os::make_controller(controller, chip);
-
-  os::RunConfig cfg;
-  cfg.warmup_epochs = 20;
-  cfg.epochs = 150;
-  cfg.budget_events = {{0, chip.tdp_w() * 0.9}, {75, chip.tdp_w() * 0.6}};
+  auto make_system = [&] {
+    return os::ManyCoreSystem(
+        chip,
+        std::make_unique<ow::GeneratedWorkload>(
+            ow::GeneratedWorkload::mixed_suite(cores, 13)),
+        sc);
+  };
+  auto make_config = [&] {
+    os::RunConfig cfg;
+    cfg.warmup_epochs = 20;
+    cfg.epochs = 150;
+    cfg.budget_events = {{0, chip.tdp_w() * 0.9}, {75, chip.tdp_w() * 0.6}};
+    return cfg;
+  };
   os::FaultSchedule storm;
   if (faults) {
     os::StormConfig knobs;
@@ -99,11 +103,44 @@ std::uint64_t run_digest(const std::string& controller, std::size_t cores,
     knobs.actuation_rate = 0.005;
     knobs.offline_rate = 0.002;
     knobs.budget_rate = 0.01;
-    storm = os::FaultSchedule::random_storm(cores, cfg.epochs, 99, knobs);
-    cfg.faults = &storm;
-    cfg.watchdog.enabled = true;
+    storm = os::FaultSchedule::random_storm(cores, 150, 99, knobs);
   }
-  const os::RunResult r = os::run_closed_loop(system, *ctl, cfg);
+  auto arm = [&](os::RunConfig& cfg) {
+    if (faults) {
+      cfg.faults = &storm;
+      cfg.watchdog.enabled = true;
+    }
+  };
+
+  os::RunResult r;
+  if (!resume) {
+    os::ManyCoreSystem system = make_system();
+    auto ctl = os::make_controller(controller, chip);
+    os::RunConfig cfg = make_config();
+    arm(cfg);
+    r = os::run_closed_loop(system, *ctl, cfg);
+  } else {
+    // Capture at the midpoint of a full run, then resume on fresh objects
+    // and digest the resumed tail. The committed digest pins the resume
+    // path itself: a serialization or restore regression moves it even if
+    // the full-run digests hold.
+    std::string blob;
+    {
+      os::ManyCoreSystem system = make_system();
+      auto ctl = os::make_controller(controller, chip);
+      os::RunConfig cfg = make_config();
+      arm(cfg);
+      cfg.snapshot_epoch = 70;
+      cfg.snapshot_out = &blob;
+      (void)os::run_closed_loop(system, *ctl, cfg);
+    }
+    os::ManyCoreSystem system = make_system();
+    auto ctl = os::make_controller(controller, chip);
+    os::RunConfig cfg = make_config();
+    arm(cfg);
+    cfg.resume_snapshot = &blob;
+    r = os::run_closed_loop(system, *ctl, cfg);
+  }
 
   std::uint64_t h = kFnvOffset;
   for (const os::EpochTrace& t : r.trace) {
@@ -131,10 +168,10 @@ bool print_mode() {
 }
 
 const GoldenCase* find_case(const std::string& controller, std::size_t cores,
-                            bool faults) {
+                            bool faults, bool resume) {
   for (const GoldenCase& c : kGoldenCases) {
     if (controller == c.controller && cores == c.cores &&
-        faults == c.faults) {
+        faults == c.faults && resume == c.resume) {
       return &c;
     }
   }
@@ -143,28 +180,30 @@ const GoldenCase* find_case(const std::string& controller, std::size_t cores,
 
 class GoldenTrace
     : public ::testing::TestWithParam<
-          std::tuple<const char*, std::size_t, bool>> {};
+          std::tuple<const char*, std::size_t, bool, bool>> {};
 
 }  // namespace
 
 TEST_P(GoldenTrace, DigestMatchesCommittedTable) {
-  const auto [controller, cores, faults] = GetParam();
-  const std::uint64_t digest = run_digest(controller, cores, faults);
+  const auto [controller, cores, faults, resume] = GetParam();
+  const std::uint64_t digest = run_digest(controller, cores, faults, resume);
   if (print_mode()) {
     // Machine-readable line for tools/regen_goldens.py.
-    std::printf("GOLDEN %s %zu %d 0x%016llx\n", controller, cores,
-                faults ? 1 : 0, static_cast<unsigned long long>(digest));
+    std::printf("GOLDEN %s %zu %d %d 0x%016llx\n", controller, cores,
+                faults ? 1 : 0, resume ? 1 : 0,
+                static_cast<unsigned long long>(digest));
     GTEST_SKIP() << "ODRL_GOLDEN_PRINT set: emitting digests, not checking";
   }
-  const GoldenCase* want = find_case(controller, cores, faults);
+  const GoldenCase* want = find_case(controller, cores, faults, resume);
   ASSERT_NE(want, nullptr)
       << "no committed golden for controller=" << controller
-      << " cores=" << cores << " faults=" << faults
+      << " cores=" << cores << " faults=" << faults << " resume=" << resume
       << " -- regenerate the table with: python3 tools/regen_goldens.py";
   EXPECT_EQ(digest, want->digest)
       << "golden trace drifted for controller=" << controller
-      << " cores=" << cores << " faults=" << faults << ": got 0x" << std::hex
-      << digest << ", committed 0x" << want->digest << std::dec
+      << " cores=" << cores << " faults=" << faults << " resume=" << resume
+      << ": got 0x" << std::hex << digest << ", committed 0x" << want->digest
+      << std::dec
       << ". If this change is intentional, regenerate the table with: "
          "python3 tools/regen_goldens.py";
 }
@@ -172,7 +211,7 @@ TEST_P(GoldenTrace, DigestMatchesCommittedTable) {
 INSTANTIATE_TEST_SUITE_P(
     AllControllers, GoldenTrace,
     ::testing::Combine(::testing::ValuesIn(kControllers),
-                       ::testing::ValuesIn(kSizes),
+                       ::testing::ValuesIn(kSizes), ::testing::Bool(),
                        ::testing::Bool()),
     [](const auto& info) {
       std::string name = std::get<0>(info.param);
@@ -181,6 +220,7 @@ INSTANTIATE_TEST_SUITE_P(
       }
       name += "_" + std::to_string(std::get<1>(info.param));
       name += std::get<2>(info.param) ? "_storm" : "_clean";
+      name += std::get<3>(info.param) ? "_resume" : "_full";
       return name;
     });
 
@@ -192,9 +232,12 @@ TEST(GoldenTable, CoversExactlyTheParameterGrid) {
   for (const char* controller : kControllers) {
     for (std::size_t cores : kSizes) {
       for (bool faults : {false, true}) {
-        EXPECT_NE(find_case(controller, cores, faults), nullptr)
-            << controller << "/" << cores << "/" << faults;
-        ++grid;
+        for (bool resume : {false, true}) {
+          EXPECT_NE(find_case(controller, cores, faults, resume), nullptr)
+              << controller << "/" << cores << "/" << faults << "/"
+              << resume;
+          ++grid;
+        }
       }
     }
   }

@@ -11,10 +11,14 @@
 #include "sim/system.hpp"
 #include "workload/workload.hpp"
 
+#include "loop_helpers.hpp"
+
 namespace oa = odrl::arch;
 namespace oc = odrl::core;
 namespace os = odrl::sim;
 namespace ow = odrl::workload;
+using odrl::test::decide;
+using odrl::test::step;
 
 TEST(Hetero, CoreTypesAreValidAndDistinct) {
   const oa::CoreType big = oa::big_core();
@@ -80,7 +84,7 @@ TEST(Hetero, SimulatorUsesPerCoreParams) {
       std::make_unique<ow::GeneratedWorkload>(
           2, ow::benchmark_by_name("compute.dense"), 1),
       os::SimConfig{}, layout.params);
-  const auto obs = sys.step(std::vector<std::size_t>(2, 5));
+  const auto obs = step(sys, std::vector<std::size_t>(2, 5));
   EXPECT_GT(obs.cores[0].ips, obs.cores[1].ips * 1.5);
   EXPECT_GT(obs.cores[0].power_w, obs.cores[1].power_w * 1.5);
 }
@@ -112,7 +116,7 @@ TEST(Hetero, OdrlMigratesBudgetTowardBigCores) {
       os::SimConfig{}, layout.params);
   oc::OdrlController ctl(chip);
   auto levels = ctl.initial_levels(cores);
-  for (int e = 0; e < 4000; ++e) levels = ctl.decide(sys.step(levels));
+  for (int e = 0; e < 4000; ++e) levels = decide(ctl, step(sys, levels));
 
   double big_budget = 0.0;
   double little_budget = 0.0;

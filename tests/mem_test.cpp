@@ -9,10 +9,13 @@
 #include "sim/system.hpp"
 #include "workload/workload.hpp"
 
+#include "loop_helpers.hpp"
+
 namespace om = odrl::mem;
 namespace oa = odrl::arch;
 namespace os = odrl::sim;
 namespace ow = odrl::workload;
+using odrl::test::step;
 
 TEST(DramModel, DisabledIsIdentity) {
   const om::DramModel m(om::DramConfig{});
@@ -104,8 +107,8 @@ TEST(DramContention, ThrottlesMemoryHeavyChips) {
   auto contended = memory_heavy_system(20.0);
   auto unlimited = memory_heavy_system(0.0);
   const std::vector<std::size_t> levels(16, 7);
-  const auto obs_c = contended.step(levels);
-  const auto obs_u = unlimited.step(levels);
+  const auto obs_c = step(contended, levels);
+  const auto obs_u = step(unlimited, levels);
   EXPECT_GT(obs_c.mem_latency_mult, 1.05);
   EXPECT_GT(obs_c.dram_utilization, 0.5);
   EXPECT_LT(obs_c.total_ips, obs_u.total_ips);
@@ -117,8 +120,8 @@ TEST(DramContention, GenerousBandwidthIsTransparent) {
   auto generous = memory_heavy_system(10000.0);
   auto unlimited = memory_heavy_system(0.0);
   const std::vector<std::size_t> levels(16, 7);
-  const auto obs_g = generous.step(levels);
-  const auto obs_u = unlimited.step(levels);
+  const auto obs_g = step(generous, levels);
+  const auto obs_u = step(unlimited, levels);
   EXPECT_NEAR(obs_g.total_ips, obs_u.total_ips, obs_u.total_ips * 1e-3);
 }
 
@@ -131,8 +134,8 @@ TEST(DramContention, FrequencyBuysLessUnderContention) {
   auto gain = [&](double peak) {
     auto lo_sys = make(peak);
     auto hi_sys = make(peak);
-    const auto lo = lo_sys.step(std::vector<std::size_t>(16, 0));
-    const auto hi = hi_sys.step(std::vector<std::size_t>(16, 7));
+    const auto lo = step(lo_sys, std::vector<std::size_t>(16, 0));
+    const auto hi = step(hi_sys, std::vector<std::size_t>(16, 7));
     return hi.total_ips / lo.total_ips;
   };
   EXPECT_LT(gain(20.0), gain(0.0));

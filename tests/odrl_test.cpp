@@ -11,10 +11,14 @@
 #include "sim/system.hpp"
 #include "workload/workload.hpp"
 
+#include "loop_helpers.hpp"
+
 namespace oc = odrl::core;
 namespace os = odrl::sim;
 namespace oa = odrl::arch;
 namespace ow = odrl::workload;
+using odrl::test::decide;
+using odrl::test::step;
 
 namespace {
 
@@ -33,8 +37,8 @@ double tail_mean_power(os::ManyCoreSystem& sys, os::Controller& ctl,
   double sum = 0.0;
   std::size_t counted = 0;
   for (std::size_t e = 0; e < epochs; ++e) {
-    const auto obs = sys.step(levels);
-    levels = ctl.decide(obs);
+    const auto obs = step(sys, levels);
+    levels = decide(ctl, obs);
     if (e + tail >= epochs) {
       sum += obs.true_chip_power_w;
       ++counted;
@@ -66,8 +70,8 @@ TEST(OdrlController, DecideReturnsValidLevels) {
   oc::OdrlController ctl(chip);
   auto levels = ctl.initial_levels(4);
   for (int e = 0; e < 200; ++e) {
-    const auto obs = sys.step(levels);
-    levels = ctl.decide(obs);
+    const auto obs = step(sys, levels);
+    levels = decide(ctl, obs);
     ASSERT_EQ(levels.size(), 4u);
     for (auto l : levels) EXPECT_LT(l, chip.vf_table().size());
   }
@@ -82,8 +86,8 @@ TEST(OdrlController, RelativeActionsMoveAtMostOneLevel) {
   oc::OdrlController ctl(chip, cfg);
   auto levels = ctl.initial_levels(4);
   for (int e = 0; e < 300; ++e) {
-    const auto obs = sys.step(levels);
-    const auto next = ctl.decide(obs);
+    const auto obs = step(sys, levels);
+    const auto next = decide(ctl, obs);
     for (std::size_t i = 0; i < 4; ++i) {
       const auto diff = next[i] > levels[i] ? next[i] - levels[i]
                                             : levels[i] - next[i];
@@ -120,8 +124,8 @@ TEST(OdrlController, BudgetsAlwaysSumToVirtualBudget) {
   oc::OdrlController ctl(chip);
   auto levels = ctl.initial_levels(8);
   for (int e = 0; e < 500; ++e) {
-    const auto obs = sys.step(levels);
-    levels = ctl.decide(obs);
+    const auto obs = step(sys, levels);
+    levels = decide(ctl, obs);
     double sum = 0.0;
     for (double b : ctl.core_budgets()) {
       EXPECT_GT(b, 0.0);
@@ -161,20 +165,20 @@ TEST(OdrlController, BudgetJitterDoesNotRetriggerRescale) {
                                    ctl.core_budgets().end());
 
   auto levels = ctl.initial_levels(4);
-  auto obs = sys.step(levels);
+  auto obs = step(sys, levels);
   // Sub-tolerance jitter (e.g. the budget recomputed elsewhere in a
   // different order): must NOT be treated as a budget move.
   obs.budget_w = half * (1.0 + 1e-12);
-  ctl.decide(obs);
+  decide(ctl, obs);
   const auto after = ctl.core_budgets();
   for (std::size_t i = 0; i < after.size(); ++i) {
     EXPECT_EQ(after[i], before[i]) << "core " << i;  // bitwise untouched
   }
 
   // A real move must still rescale immediately.
-  obs = sys.step(levels);
+  obs = step(sys, levels);
   obs.budget_w = chip.tdp_w() * 0.25;
-  ctl.decide(obs);
+  decide(ctl, obs);
   const auto rescaled = ctl.core_budgets();
   for (std::size_t i = 0; i < rescaled.size(); ++i) {
     EXPECT_NEAR(rescaled[i], before[i] * 0.5, 1e-9);
@@ -207,7 +211,7 @@ TEST(OdrlController, ResetClearsLearnedState) {
                                    ow::GeneratedWorkload::mixed_suite(4, 2)));
   oc::OdrlController ctl(chip);
   auto levels = ctl.initial_levels(4);
-  for (int e = 0; e < 300; ++e) levels = ctl.decide(sys.step(levels));
+  for (int e = 0; e < 300; ++e) levels = decide(ctl, step(sys, levels));
   EXPECT_GT(ctl.agent(0).updates(), 0u);
   ctl.reset();
   EXPECT_EQ(ctl.agent(0).updates(), 0u);
@@ -228,8 +232,8 @@ TEST(OdrlController, AbsoluteActionModeWorks) {
   oc::OdrlController ctl(chip, cfg);
   auto levels = ctl.initial_levels(4);
   for (int e = 0; e < 300; ++e) {
-    const auto obs = sys.step(levels);
-    levels = ctl.decide(obs);
+    const auto obs = step(sys, levels);
+    levels = decide(ctl, obs);
     for (auto l : levels) EXPECT_LT(l, chip.vf_table().size());
   }
   // Absolute mode keeps the level in the state: bigger table.
@@ -244,7 +248,7 @@ TEST(OdrlController, GlobalReallocOffKeepsFairShares) {
   cfg.global_realloc = false;
   oc::OdrlController ctl(chip, cfg);
   auto levels = ctl.initial_levels(4);
-  for (int e = 0; e < 300; ++e) levels = ctl.decide(sys.step(levels));
+  for (int e = 0; e < 300; ++e) levels = decide(ctl, step(sys, levels));
   EXPECT_EQ(ctl.realloc_count(), 0u);
   for (double b : ctl.core_budgets()) {
     EXPECT_NEAR(b, chip.tdp_w() / 4.0, 1e-9);
@@ -263,7 +267,7 @@ TEST(OdrlController, DeterministicForSameSeed) {
     auto levels = ctl.initial_levels(4);
     std::vector<std::size_t> history;
     for (int e = 0; e < 200; ++e) {
-      levels = ctl.decide(sys.step(levels));
+      levels = decide(ctl, step(sys, levels));
       history.insert(history.end(), levels.begin(), levels.end());
     }
     return history;

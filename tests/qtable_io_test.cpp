@@ -11,7 +11,11 @@
 #include "util/rng.hpp"
 #include "workload/workload.hpp"
 
+#include "loop_helpers.hpp"
+
 namespace orl = odrl::rl;
+using odrl::test::decide;
+using odrl::test::step;
 namespace oa = odrl::arch;
 namespace oc = odrl::core;
 namespace os = odrl::sim;
@@ -147,7 +151,7 @@ TEST(PolicyIo, SaveLoadRoundTripAcrossControllers) {
                                    ow::GeneratedWorkload::mixed_suite(4, 2)));
   oc::OdrlController trained(chip);
   auto levels = trained.initial_levels(4);
-  for (int e = 0; e < 500; ++e) levels = trained.decide(sys.step(levels));
+  for (int e = 0; e < 500; ++e) levels = decide(trained, step(sys, levels));
 
   std::stringstream buffer;
   trained.save_policy(buffer);
@@ -193,7 +197,7 @@ TEST(PolicyIo, WarmStartSkipsTheRamp) {
                            std::make_unique<ow::ReplayWorkload>(trace));
     oc::OdrlController ctl(chip);
     auto levels = ctl.initial_levels(8);
-    for (int e = 0; e < 4000; ++e) levels = ctl.decide(sys.step(levels));
+    for (int e = 0; e < 4000; ++e) levels = decide(ctl, step(sys, levels));
     ctl.save_policy(policy);
   }
 
@@ -209,8 +213,8 @@ TEST(PolicyIo, WarmStartSkipsTheRamp) {
     auto levels = ctl.initial_levels(8);
     double instructions = 0.0;
     for (int e = 0; e < 600; ++e) {
-      const auto obs = sys.step(levels);
-      levels = ctl.decide(obs);
+      const auto obs = step(sys, levels);
+      levels = decide(ctl, obs);
       for (const auto& core : obs.cores) instructions += core.instructions;
     }
     return instructions;

@@ -183,8 +183,10 @@ class FixedLevelController final : public os::Controller {
   std::vector<std::size_t> initial_levels(std::size_t n_cores) override {
     return std::vector<std::size_t>(n_cores, level_);
   }
-  std::vector<std::size_t> decide(const os::EpochResult& obs) override {
-    return std::vector<std::size_t>(obs.cores.size(), level_);
+  void decide_into(const os::EpochResult& obs,
+                   std::span<std::size_t> out) override {
+    (void)obs;
+    std::fill(out.begin(), out.end(), level_);
   }
 
  private:

@@ -19,7 +19,11 @@
 #include "sim/system.hpp"
 #include "workload/workload.hpp"
 
+#include "loop_helpers.hpp"
+
 using namespace odrl;
+using odrl::test::decide;
+using odrl::test::step;
 
 namespace {
 
@@ -56,7 +60,7 @@ void run_all_controllers_under(const sim::FaultSchedule& schedule,
     auto ctl = sim::make_controller(name, c);
     auto levels = ctl->initial_levels(kCores);
     for (int e = 0; e < epochs; ++e) {
-      levels = ctl->decide(sys.step(levels));
+      levels = decide(*ctl, step(sys, levels));
       expect_valid_levels(levels, c);
     }
     sys.set_fault_engine(nullptr);
@@ -149,7 +153,7 @@ TEST(Robustness, HotplugRecoveryRestoresThroughput) {
   core::OdrlController ctl(c);
   auto levels = ctl.initial_levels(kCores);
   for (int e = 0; e < 30; ++e) {
-    const sim::EpochResult obs = sys.step(levels);
+    const sim::EpochResult obs = step(sys, levels);
     if (e >= 5 && e < 15) {
       EXPECT_EQ(obs.cores.online()[2], 0) << e;
       EXPECT_EQ(obs.cores.instructions()[2], 0.0) << e;
@@ -158,7 +162,7 @@ TEST(Robustness, HotplugRecoveryRestoresThroughput) {
       EXPECT_GT(obs.cores.instructions()[2], 0.0) << e;
       EXPECT_GT(obs.cores.true_power_w()[2], 0.0) << e;
     }
-    levels = ctl.decide(obs);
+    levels = decide(ctl, obs);
     expect_valid_levels(levels, c);
   }
   sys.set_fault_engine(nullptr);
@@ -175,7 +179,7 @@ TEST(Robustness, OdrlSurvivesHeavySensorNoise) {
   core::OdrlController ctl(c);
   auto levels = ctl.initial_levels(kCores);
   for (int e = 0; e < 1000; ++e) {
-    levels = ctl.decide(sys.step(levels));
+    levels = decide(ctl, step(sys, levels));
     expect_valid_levels(levels, c);
   }
 }
@@ -191,7 +195,7 @@ TEST(Robustness, TinyBudgetKeepsEveryoneAtFloor) {
   auto levels = ctl.initial_levels(kCores);
   std::size_t sum_levels = 0;
   for (int e = 0; e < 2000; ++e) {
-    levels = ctl.decide(sys.step(levels));
+    levels = decide(ctl, step(sys, levels));
     if (e >= 1500) {
       for (auto l : levels) sum_levels += l;
     }
@@ -210,7 +214,7 @@ TEST(Robustness, HugeBudgetSaturatesAtTopLevels) {
   auto levels = ctl.initial_levels(kCores);
   std::size_t top_count = 0;
   for (int e = 0; e < 3000; ++e) {
-    levels = ctl.decide(sys.step(levels));
+    levels = decide(ctl, step(sys, levels));
     if (e >= 2500) {
       for (auto l : levels) {
         if (l == c.vf_table().max_level()) ++top_count;
@@ -247,7 +251,7 @@ TEST_P(OdrlConfigGrid, ProducesValidDeterministicDecisions) {
     auto levels = ctl.initial_levels(kCores);
     std::vector<std::size_t> history;
     for (int e = 0; e < 200; ++e) {
-      levels = ctl.decide(sys.step(levels));
+      levels = decide(ctl, step(sys, levels));
       for (auto l : levels) {
         EXPECT_LT(l, c.vf_table().size());
         history.push_back(l);

@@ -1,7 +1,9 @@
 // Unit tests for the many-core system simulator and the closed-loop runner.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
+#include <span>
 
 #include "arch/chip_config.hpp"
 #include "sim/controller.hpp"
@@ -9,9 +11,13 @@
 #include "sim/system.hpp"
 #include "workload/workload.hpp"
 
+#include "loop_helpers.hpp"
+
 namespace os = odrl::sim;
 namespace oa = odrl::arch;
 namespace ow = odrl::workload;
+
+using odrl::test::step;
 
 namespace {
 
@@ -35,11 +41,12 @@ class FixedController final : public os::Controller {
   std::vector<std::size_t> initial_levels(std::size_t n) override {
     return std::vector<std::size_t>(n, level_);
   }
-  std::vector<std::size_t> decide(const os::EpochResult& obs) override {
+  void decide_into(const os::EpochResult& obs,
+                   std::span<std::size_t> out) override {
     last_budget_w = obs.budget_w;
     observed_budgets.push_back(obs.budget_w);
     ++decides;
-    return std::vector<std::size_t>(obs.cores.size(), level_);
+    std::fill(out.begin(), out.end(), level_);
   }
   void on_budget_change(double b) override { budget_changes.push_back(b); }
 
@@ -59,7 +66,7 @@ class FixedController final : public os::Controller {
 TEST(ManyCoreSystem, StepProducesConsistentObservation) {
   auto sys = make_system(4);
   const std::vector<std::size_t> levels(4, 3);
-  const auto obs = sys.step(levels);
+  const auto obs = step(sys, levels);
   ASSERT_EQ(obs.cores.size(), 4u);
   double sum_power = 0.0;
   double sum_ips = 0.0;
@@ -84,16 +91,16 @@ TEST(ManyCoreSystem, StepProducesConsistentObservation) {
 TEST(ManyCoreSystem, EpochCounterAdvances) {
   auto sys = make_system(2);
   const std::vector<std::size_t> levels(2, 0);
-  EXPECT_EQ(sys.step(levels).epoch, 0u);
-  EXPECT_EQ(sys.step(levels).epoch, 1u);
+  EXPECT_EQ(step(sys, levels).epoch, 0u);
+  EXPECT_EQ(step(sys, levels).epoch, 1u);
   EXPECT_EQ(sys.epochs_run(), 2u);
 }
 
 TEST(ManyCoreSystem, HigherLevelsDrawMorePower) {
   auto lo = make_system(4);
   auto hi = make_system(4);
-  const auto obs_lo = lo.step(std::vector<std::size_t>(4, 0));
-  const auto obs_hi = hi.step(std::vector<std::size_t>(4, 7));
+  const auto obs_lo = step(lo, std::vector<std::size_t>(4, 0));
+  const auto obs_hi = step(hi, std::vector<std::size_t>(4, 7));
   EXPECT_GT(obs_hi.true_chip_power_w, obs_lo.true_chip_power_w);
   EXPECT_GT(obs_hi.total_ips, obs_lo.total_ips);
 }
@@ -103,7 +110,7 @@ TEST(ManyCoreSystem, TemperatureRisesUnderLoad) {
   const std::vector<std::size_t> levels(4, 7);
   double first_max = 0.0;
   for (int i = 0; i < 200; ++i) {
-    const auto obs = sys.step(levels);
+    const auto obs = step(sys, levels);
     if (i == 0) first_max = obs.max_temp_c;
   }
   EXPECT_GT(sys.thermal().max_temperature(), first_max);
@@ -117,7 +124,7 @@ TEST(ManyCoreSystem, SensorNoiseDistortsMeasurementsOnly) {
   const std::vector<std::size_t> levels(4, 4);
   bool saw_difference = false;
   for (int i = 0; i < 20; ++i) {
-    const auto obs = sys.step(levels);
+    const auto obs = step(sys, levels);
     if (std::abs(obs.chip_power_w - obs.true_chip_power_w) > 1e-6) {
       saw_difference = true;
     }
@@ -138,8 +145,8 @@ TEST(ManyCoreSystem, NoiseSubstreamsIndependentOfCoreCount) {
   const std::vector<std::size_t> small_levels(4, 4);
   const std::vector<std::size_t> large_levels(8, 4);
   for (int e = 0; e < 20; ++e) {
-    const auto so = small.step(small_levels);
-    const auto lo = large.step(large_levels);
+    const auto so = step(small, small_levels);
+    const auto lo = step(large, large_levels);
     for (std::size_t i = 0; i < 4; ++i) {
       ASSERT_GT(so.cores[i].true_power_w, 0.0);
       const double small_factor =
@@ -158,7 +165,7 @@ TEST(ManyCoreSystem, TruePowerPerCoreSumsToChipTruePower) {
   cfg.sensor_noise_rel = 0.2;
   cfg.seed = 4;
   auto sys = make_system(4, cfg);
-  const auto obs = sys.step(std::vector<std::size_t>(4, 5));
+  const auto obs = step(sys, std::vector<std::size_t>(4, 5));
   double sum_true = 0.0;
   for (const auto& core : obs.cores) {
     EXPECT_NE(core.power_w, core.true_power_w);  // noise applied
@@ -172,8 +179,8 @@ TEST(ManyCoreSystem, DeterministicForSameSeed) {
   auto b = make_system(4);
   const std::vector<std::size_t> levels(4, 5);
   for (int i = 0; i < 100; ++i) {
-    const auto oa_ = a.step(levels);
-    const auto ob_ = b.step(levels);
+    const auto oa_ = step(a, levels);
+    const auto ob_ = step(b, levels);
     EXPECT_DOUBLE_EQ(oa_.true_chip_power_w, ob_.true_chip_power_w);
     EXPECT_DOUBLE_EQ(oa_.total_ips, ob_.total_ips);
   }
@@ -181,9 +188,9 @@ TEST(ManyCoreSystem, DeterministicForSameSeed) {
 
 TEST(ManyCoreSystem, ValidatesInputs) {
   auto sys = make_system(4);
-  EXPECT_THROW(sys.step(std::vector<std::size_t>(3, 0)),
+  EXPECT_THROW(step(sys, std::vector<std::size_t>(3, 0)),
                std::invalid_argument);
-  EXPECT_THROW(sys.step(std::vector<std::size_t>(4, 8)),
+  EXPECT_THROW(step(sys, std::vector<std::size_t>(4, 8)),
                std::invalid_argument);
   EXPECT_THROW(sys.set_budget_w(0.0), std::invalid_argument);
   EXPECT_THROW(os::ManyCoreSystem(oa::ChipConfig::make(4, 0.6),
@@ -353,11 +360,11 @@ TEST(SwitchCost, LevelChangeStallsAndDissipates) {
   // Epoch 0 establishes the previous levels.
   const std::vector<std::size_t> lo(2, 2);
   const std::vector<std::size_t> hi(2, 3);
-  costed.step(lo);
-  ideal.step(lo);
+  step(costed, lo);
+  step(ideal, lo);
   // Epoch 1: both switch to level 3; only `costed` pays.
-  const auto obs_costed = costed.step(hi);
-  const auto obs_ideal = ideal.step(hi);
+  const auto obs_costed = step(costed, hi);
+  const auto obs_ideal = step(ideal, hi);
   for (std::size_t i = 0; i < 2; ++i) {
     EXPECT_NEAR(obs_costed.cores[i].instructions,
                 0.8 * obs_ideal.cores[i].instructions, 1e-6);
@@ -368,8 +375,8 @@ TEST(SwitchCost, LevelChangeStallsAndDissipates) {
   // Epoch 2: no change -> no switch cost. A sub-milliwatt residual remains
   // because the switch energy of epoch 1 warmed the die and leakage is
   // temperature-dependent.
-  const auto obs3c = costed.step(hi);
-  const auto obs3i = ideal.step(hi);
+  const auto obs3c = step(costed, hi);
+  const auto obs3i = step(ideal, hi);
   EXPECT_NEAR(obs3c.true_chip_power_w, obs3i.true_chip_power_w, 1e-2);
 }
 
@@ -380,8 +387,8 @@ TEST(SwitchCost, FirstEpochIsNeverCharged) {
   auto costed = make_system(2, cfg);
   auto ideal = make_system(2, os::SimConfig{});
   const std::vector<std::size_t> levels(2, 5);
-  EXPECT_NEAR(costed.step(levels).true_chip_power_w,
-              ideal.step(levels).true_chip_power_w, 1e-9);
+  EXPECT_NEAR(step(costed, levels).true_chip_power_w,
+              step(ideal, levels).true_chip_power_w, 1e-9);
 }
 
 TEST(SwitchCost, ConfigValidation) {

@@ -1,12 +1,16 @@
-// Tests for RecordedTrace CSV serialization.
+// Tests for RecordedTrace serialization: the binary snapshot artifact and
+// the legacy CSV it still reads behind the format sniff.
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <sstream>
 
+#include "snapshot/snapshot.hpp"
 #include "workload/trace_io.hpp"
 #include "workload/workload.hpp"
 
 namespace ow = odrl::workload;
+namespace osn = odrl::snapshot;
 
 namespace {
 ow::RecordedTrace sample_trace(std::size_t cores = 4,
@@ -118,4 +122,103 @@ TEST(TraceIo, SaveFileSurfacesWriteFailure) {
 TEST(TraceIo, MissingFileThrows) {
   EXPECT_THROW(ow::load_trace_file("/nonexistent/odrl.csv"),
                std::runtime_error);
+}
+
+TEST(TraceIoBinary, RoundTripPreservesEverything) {
+  const ow::RecordedTrace original = sample_trace();
+  std::stringstream buffer;
+  ow::save_trace(original, buffer);
+  const ow::RecordedTrace loaded = ow::load_trace(buffer);
+
+  ASSERT_EQ(loaded.n_cores(), original.n_cores());
+  ASSERT_EQ(loaded.n_epochs(), original.n_epochs());
+  for (std::size_t c = 0; c < original.n_cores(); ++c) {
+    EXPECT_EQ(loaded.label(c), original.label(c));
+  }
+  for (std::size_t e = 0; e < original.n_epochs(); ++e) {
+    for (std::size_t c = 0; c < original.n_cores(); ++c) {
+      // f64 fields round-trip bit-exactly through the binary format.
+      EXPECT_EQ(loaded.epoch(e)[c].base_cpi, original.epoch(e)[c].base_cpi);
+      EXPECT_EQ(loaded.epoch(e)[c].mpki, original.epoch(e)[c].mpki);
+      EXPECT_EQ(loaded.epoch(e)[c].activity, original.epoch(e)[c].activity);
+    }
+  }
+}
+
+TEST(TraceIoBinary, SniffStillLoadsLegacyCsv) {
+  const ow::RecordedTrace original = sample_trace(3, 7);
+  std::stringstream buffer;
+  ow::save_trace_csv(original, buffer);
+  const ow::RecordedTrace loaded = ow::load_trace(buffer);
+  ASSERT_EQ(loaded.n_cores(), 3u);
+  ASSERT_EQ(loaded.n_epochs(), 7u);
+  EXPECT_EQ(loaded.label(1), original.label(1));
+  EXPECT_EQ(loaded.epoch(6)[2].mpki, original.epoch(6)[2].mpki);
+}
+
+namespace {
+// Builds a single-'TRCE'-section blob from a raw payload writer, then
+// asserts load_trace rejects it with the expected status.
+template <typename WritePayload>
+void expect_binary_reject(WritePayload write_payload,
+                          osn::SnapshotStatus want) {
+  osn::Writer w;
+  w.begin_section(ow::kTraceSectionTag);
+  write_payload(w);
+  w.end_section();
+  std::stringstream in(std::move(w).finish());
+  try {
+    ow::load_trace(in);
+    FAIL() << "malformed trace payload accepted";
+  } catch (const osn::SnapshotError& e) {
+    EXPECT_EQ(e.status(), want);
+  }
+}
+}  // namespace
+
+TEST(TraceIoBinary, RejectsZeroDimensions) {
+  expect_binary_reject([](osn::Writer& w) { w.u64(0); },
+                       osn::SnapshotStatus::kBadValue);
+  expect_binary_reject(
+      [](osn::Writer& w) {
+        w.u64(1);
+        w.str("a");
+        w.u64(0);
+      },
+      osn::SnapshotStatus::kBadValue);
+}
+
+TEST(TraceIoBinary, RejectsHostileDimensions) {
+  // A huge declared core count must be rejected from the header alone,
+  // before any allocation proportional to it.
+  expect_binary_reject(
+      [](osn::Writer& w) { w.u64(std::uint64_t{1} << 40); },
+      osn::SnapshotStatus::kBadValue);
+}
+
+TEST(TraceIoBinary, RejectsNonFiniteSamples) {
+  expect_binary_reject(
+      [](osn::Writer& w) {
+        w.u64(1);
+        w.str("a");
+        w.u64(1);
+        w.f64(std::numeric_limits<double>::quiet_NaN());
+        w.f64(1.0);
+        w.f64(0.5);
+      },
+      osn::SnapshotStatus::kNonFinite);
+}
+
+TEST(TraceIoBinary, RejectsTruncatedPayload) {
+  // Declares two epochs but carries one: the section runs dry mid-read.
+  expect_binary_reject(
+      [](osn::Writer& w) {
+        w.u64(1);
+        w.str("a");
+        w.u64(2);
+        w.f64(1.0);
+        w.f64(2.0);
+        w.f64(0.5);
+      },
+      osn::SnapshotStatus::kTruncated);
 }

@@ -12,7 +12,10 @@
 #include "util/stats.hpp"
 #include "workload/workload.hpp"
 
+#include "loop_helpers.hpp"
+
 namespace oa = odrl::arch;
+using odrl::test::step;
 namespace os = odrl::sim;
 namespace ob = odrl::baselines;
 namespace ow = odrl::workload;
@@ -145,8 +148,8 @@ TEST(Variation, VariedChipDrawsDifferentPower) {
   auto nominal_sys = make_system(std::nullopt);
   auto varied_sys = make_system(map);
   const std::vector<std::size_t> levels(16, 5);
-  const auto obs_n = nominal_sys.step(levels);
-  const auto obs_v = varied_sys.step(levels);
+  const auto obs_n = step(nominal_sys, levels);
+  const auto obs_v = step(varied_sys, levels);
   EXPECT_NE(obs_n.true_chip_power_w, obs_v.true_chip_power_w);
   // Per-core power differs in proportion to the leakage multiplier sign.
   bool some_higher = false;
@@ -172,11 +175,11 @@ TEST(Variation, NominalPredictorIsBiasedOnVariedChip) {
   ob::Predictor predictor(chip);  // nominal constants, as baselines use
 
   const std::vector<std::size_t> levels(16, 4);
-  const auto obs = sys.step(levels);
+  const auto obs = step(sys, levels);
   // Predict each core one level up, then actually run one level up and
   // compare: on the leakiest core the prediction must be noticeably off.
   const std::vector<std::size_t> up(16, 5);
-  const auto obs_up = sys.step(up);
+  const auto obs_up = step(sys, up);
   double worst_rel_error = 0.0;
   for (std::size_t i = 0; i < 16; ++i) {
     const double predicted = predictor.predict(obs.cores[i], 5).power_w;

@@ -11,10 +11,14 @@
 #include "sim/system.hpp"
 #include "workload/workload.hpp"
 
+#include "loop_helpers.hpp"
+
 namespace oa = odrl::arch;
 namespace oc = odrl::core;
 namespace os = odrl::sim;
 namespace ow = odrl::workload;
+using odrl::test::decide;
+using odrl::test::step;
 
 // -------------------------------------------------------- VfiPartition
 
@@ -85,8 +89,8 @@ TEST(VfiAdapter, MembersShareLevels) {
                                    ow::GeneratedWorkload::mixed_suite(16, 3)));
   auto levels = adapter->initial_levels(16);
   for (int e = 0; e < 200; ++e) {
-    const auto obs = sys.step(levels);
-    levels = adapter->decide(obs);
+    const auto obs = step(sys, levels);
+    levels = decide(*adapter, obs);
     ASSERT_EQ(levels.size(), 16u);
     for (std::size_t island = 0; island < 4; ++island) {
       for (std::size_t c = 0; c < 4; ++c) {
@@ -121,7 +125,7 @@ TEST(VfiAdapter, PerCorePartitionMatchesPlainController) {
     std::vector<std::size_t> history;
     auto levels = ctl.initial_levels(8);
     for (int e = 0; e < 300; ++e) {
-      levels = ctl.decide(sys.step(levels));
+      levels = decide(ctl, step(sys, levels));
       history.insert(history.end(), levels.begin(), levels.end());
     }
     return history;

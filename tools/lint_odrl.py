@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Project-specific lint rules for the ODRL hot path.
 
-Four rules, all aimed at the zero-allocation span/SoA epoch data path
+Five rules, all aimed at the zero-allocation span/SoA epoch data path
 (DESIGN.md "Epoch data path" / "Correctness tooling"); generic static
 analysis is clang-tidy's job (.clang-tidy), this script enforces what no
 off-the-shelf check can express:
@@ -23,6 +23,13 @@ off-the-shelf check can express:
       the per-epoch hot path: no `new`, make_unique/make_shared, or local
       std::vector/std::string declarations inside them. Reused-capacity
       calls (resize/assign on members) are fine and not flagged.
+
+  legacy-decide
+      The vector-returning Controller::decide() and ManyCoreSystem::step()
+      bridges are retired; exactly one [[deprecated]] shim of each remains
+      for out-of-tree callers mid-migration. New in-tree calls must use
+      decide_into()/step_into() -- the shims allocate every epoch and the
+      compiler only warns, so this rule makes the warning a failure.
 
   raw-loop-reduction
       A scalar accumulator (`double x = 0;` ... `x += ...`) inside a
@@ -229,6 +236,33 @@ def check_heap_in_hot_path(path: Path, text: str, raw_lines: list[str],
                     "capacity"))
 
 
+# Member calls only: declarations and qualified definitions
+# (Controller::decide(...)) carry no `.`/`->` receiver, so the one
+# [[deprecated]] shim each in src/sim/controller.hpp / src/sim/system.hpp
+# never trips this. decide() is unique to Controller; step() also exists
+# on workloads and thermal models, so it is only flagged on system-shaped
+# receivers.
+LEGACY_DECIDE_RE = re.compile(r"(?:\.|->)\s*decide\s*\(")
+LEGACY_STEP_RE = re.compile(r"\b\w*[Ss]ystem\w*\s*(?:\.|->)\s*step\s*\(")
+
+
+def check_legacy_decide(path: Path, text: str, raw_lines: list[str],
+                        findings: list[Finding]):
+    hits = [(m, "Controller::decide()") for m in LEGACY_DECIDE_RE.finditer(text)]
+    hits += [(m, "ManyCoreSystem::step()")
+             for m in LEGACY_STEP_RE.finditer(text)]
+    for m, what in hits:
+        line = line_of(text, m.start())
+        if suppressed(raw_lines, line, "legacy-decide", findings, path):
+            continue
+        findings.append(Finding(
+            path, line, "legacy-decide",
+            f"call to the retired {what} bridge: it allocates a fresh "
+            "vector every epoch; use the *_into() in-place API "
+            "(snapshot-capable callers get it for free via "
+            "run_closed_loop)"))
+
+
 REDUCTION_DECL_RE = re.compile(r"\bdouble\s+(?P<name>\w+)\s*=\s*0(?:\.0*)?\s*;")
 
 
@@ -259,6 +293,7 @@ def lint_file(path: Path, root: Path, findings: list[Finding]):
     check_std_function(path.relative_to(root), rel, text, raw_lines,
                        findings)
     check_decide_into(path.relative_to(root), text, raw_lines, findings)
+    check_legacy_decide(path.relative_to(root), text, raw_lines, findings)
     if path.suffix == ".cpp" or rel.endswith(".hpp"):
         check_heap_in_hot_path(path.relative_to(root), text, raw_lines,
                                findings)
