@@ -8,6 +8,7 @@
 //
 //   ./quickstart [--cores=16] [--epochs=2000] [--budget=0.6] [--seed=1]
 //                [--threads=1] [--controller=OD-RL]
+//                [--chips=1] [--workers=1]
 //                [--faults=storm.txt | --fault-storm-seed=7] [--watchdog]
 //                [--trace-out=run.jsonl] [--trace-format=jsonl|csv]
 //                [--trace-cores] [--trace-sample=k]
@@ -17,6 +18,15 @@
 //
 // --threads shards the per-core epoch and TD loops across a worker pool
 // (0 = hardware concurrency). Results are bit-identical for every value.
+//
+// --chips=N > 1 switches to multi-chip fleet mode: N independent chips
+// (per-chip seed substreams forked from --seed, see sim/multichip.hpp)
+// run concurrently on one shared work-stealing runtime with --workers
+// threads (0 = hardware concurrency). Prints a per-chip summary plus the
+// fleet aggregates and runtime counters; every figure is bit-identical
+// for every --workers value. Fleet mode composes with --faults and
+// --watchdog (the schedule applies to every chip) but not with the
+// trace/snapshot/swap flags, which are single-run concepts here.
 //
 // --faults replays a fault schedule (text format, see sim/faults.hpp)
 // against both runs: sensor dropouts, delayed/dropped actuation, core
@@ -56,6 +66,7 @@
 #include "metrics/metrics.hpp"
 #include "sim/controller_registry.hpp"
 #include "sim/faults.hpp"
+#include "sim/multichip.hpp"
 #include "sim/runner.hpp"
 #include "sim/system.hpp"
 #include "snapshot/snapshot.hpp"
@@ -151,6 +162,101 @@ sim::RunResult run_one(const arch::ChipConfig& chip,
   return sim::run_closed_loop(system, controller, run_cfg);
 }
 
+/// Parses --faults / --fault-storm-seed into `out` (shared by the
+/// single-chip and fleet paths). Returns false after printing an error.
+bool load_fault_flags(const util::CliArgs& args, std::size_t cores,
+                      std::size_t epochs, sim::FaultSchedule& out) {
+  const std::string faults_path = args.get("faults", "");
+  const auto storm_seed =
+      static_cast<std::uint64_t>(args.get_int("fault-storm-seed", 0));
+  if (!faults_path.empty() && storm_seed != 0) {
+    std::fprintf(stderr,
+                 "error: --faults and --fault-storm-seed are exclusive\n");
+    return false;
+  }
+  if (!faults_path.empty()) {
+    try {
+      out = sim::load_fault_schedule_file(faults_path);
+      out.validate(cores);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return false;
+    }
+  } else if (storm_seed != 0) {
+    out = sim::FaultSchedule::random_storm(cores, epochs, storm_seed);
+  }
+  return true;
+}
+
+/// Fleet mode (--chips > 1): N seed-forked copies of the configured chip
+/// stepped concurrently on one shared runtime. Returns the process exit
+/// code.
+int run_fleet(const util::CliArgs& args, std::size_t chips,
+              std::size_t cores, double budget_fraction, std::size_t epochs,
+              std::uint64_t seed, const std::string& controller_name) {
+  for (const char* flag : {"trace-out", "save-snapshot", "load-snapshot",
+                           "swap"}) {
+    if (!args.get(flag, "").empty()) {
+      std::fprintf(stderr, "error: --%s is not available in fleet mode\n",
+                   flag);
+      return 1;
+    }
+  }
+
+  sim::FaultSchedule faults;
+  if (!load_fault_flags(args, cores, epochs, faults)) return 1;
+  const bool inject = !faults.empty();
+  const bool watchdog = args.get_bool("watchdog", false) || inject;
+  if (inject) {
+    std::printf("faults: %zu scheduled events per chip, watchdog armed\n",
+                faults.size());
+  }
+
+  sim::FleetConfig fc;
+  fc.chips = chips;
+  fc.cores = cores;
+  fc.budget_fraction = budget_fraction;
+  fc.controller = controller_name;
+  fc.epochs = epochs;
+  fc.warmup_epochs = epochs;  // steady state, like the single-chip run
+  fc.seed = seed;
+  fc.keep_traces = false;
+  fc.faults = inject ? &faults : nullptr;
+  sim::Fleet fleet(fc);
+  if (watchdog) {
+    for (sim::ChipSpec& spec : fleet.specs()) {
+      spec.config.watchdog.enabled = true;
+    }
+  }
+
+  sim::MultiChipConfig mc;
+  mc.workers = static_cast<std::size_t>(args.get_int("workers", 1));
+  const sim::MultiChipResult fr = sim::run_multichip(fleet.specs(), mc);
+
+  std::printf("fleet: %zu chips x %zu cores under %s, %zu workers\n", chips,
+              cores, controller_name.c_str(),
+              task::Runtime::resolve_workers(mc.workers));
+  for (std::size_t i = 0; i < fr.chips.size(); ++i) {
+    const sim::RunResult& r = fr.chips[i];
+    std::printf(
+        "  chip %2zu: %7.3f bips, mean power %6.1f W, "
+        "time over budget %5.2f%%\n",
+        i, r.bips(), r.mean_power_w,
+        100.0 * r.overshoot_time_fraction());
+  }
+  std::printf(
+      "fleet totals: %.3f bips, mean power %.1f W, "
+      "energy over budget %.1f J, wall %.3f s\n",
+      fr.bips(), fr.mean_power_w, fr.otb_energy_j, fr.wall_s);
+  std::printf(
+      "runtime: %llu tasks, %llu steals (%llu attempts), %llu overflows\n",
+      static_cast<unsigned long long>(fr.runtime_stats.tasks_executed),
+      static_cast<unsigned long long>(fr.runtime_stats.steals),
+      static_cast<unsigned long long>(fr.runtime_stats.steal_attempts),
+      static_cast<unsigned long long>(fr.runtime_stats.overflows));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -161,6 +267,12 @@ int main(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
   const auto threads = static_cast<std::size_t>(args.get_int("threads", 1));
   const std::string controller_name = args.get("controller", "OD-RL");
+
+  const auto chips = static_cast<std::size_t>(args.get_int("chips", 1));
+  if (chips > 1) {
+    return run_fleet(args, chips, cores, budget_fraction, epochs, seed,
+                     controller_name);
+  }
 
   const arch::ChipConfig chip = arch::ChipConfig::make(cores, budget_fraction);
   std::printf("chip: %zu cores, %zu V/F levels, TDP = %.1f W (%.0f%% of %.1f W peak)\n",
@@ -204,31 +316,13 @@ int main(int argc, char** argv) {
   // Optional fault injection: load a schedule or generate a storm; either
   // arms the watchdog (and --watchdog arms it on a healthy run too).
   sim::FaultSchedule faults;
-  const std::string faults_path = args.get("faults", "");
-  const auto storm_seed =
-      static_cast<std::uint64_t>(args.get_int("fault-storm-seed", 0));
-  if (!faults_path.empty() && storm_seed != 0) {
-    std::fprintf(stderr,
-                 "error: --faults and --fault-storm-seed are exclusive\n");
-    return 1;
-  }
-  if (!faults_path.empty()) {
-    try {
-      faults = sim::load_fault_schedule_file(faults_path);
-      faults.validate(cores);
-    } catch (const std::exception& e) {
-      std::fprintf(stderr, "error: %s\n", e.what());
-      return 1;
-    }
-  } else if (storm_seed != 0) {
-    faults = sim::FaultSchedule::random_storm(cores, epochs, storm_seed);
-  }
+  if (!load_fault_flags(args, cores, epochs, faults)) return 1;
   const bool inject = !faults.empty();
   const bool watchdog = args.get_bool("watchdog", false) || inject;
   if (inject) {
     std::printf("faults: %zu scheduled events%s, watchdog armed\n",
                 faults.size(),
-                faults_path.empty() ? " (random storm)" : "");
+                args.get("faults", "").empty() ? " (random storm)" : "");
   }
 
   // Optional snapshot capture/resume and controller hot-swaps (main run
@@ -287,10 +381,19 @@ int main(int argc, char** argv) {
     std::printf("snapshot: resumed %s at epoch %zu (%zu epochs remain)\n",
                 load_path.c_str(), main_run.start_epoch, main_run.epochs);
   }
-  for (const sim::SwapTrace& s : main_run.swaps) {
+  // A/B report per hot-swap: budget compliance of the segments on either
+  // side (negative deltas mean the incoming controller did better).
+  for (const sim::SwapImpact& s : main_run.swap_report) {
     std::printf("swap: epoch %llu, %s -> %s\n",
                 static_cast<unsigned long long>(s.epoch), s.from.c_str(),
                 s.to.c_str());
+    std::printf(
+        "  overshoot %.3f W -> %.3f W (%+.3f), violations %.1f%% -> "
+        "%.1f%% (%+.1f pp) over %zu/%zu epochs\n",
+        s.mean_overshoot_w_before, s.mean_overshoot_w_after,
+        s.delta_mean_overshoot_w(), 100.0 * s.violation_frac_before,
+        100.0 * s.violation_frac_after, 100.0 * s.delta_violation_frac(),
+        s.epochs_before, s.epochs_after);
   }
   const sim::RunResult static_run =
       run_one(chip, trace, *static_ctl, epochs, threads, nullptr,

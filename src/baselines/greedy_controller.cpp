@@ -107,6 +107,9 @@ namespace {
 
 std::unique_ptr<sim::Controller> make_greedy(
     const arch::ChipConfig& chip, const sim::ControllerOverrides& ov) {
+  // Deterministic policy: the common "seed" override (fleet per-chip seed
+  // forking, see sim/multichip.hpp) is accepted and unused.
+  ov.get_u64("seed", 0);
   return std::make_unique<GreedyController>(chip,
                                             ov.get_double("fill_target", 1.0));
 }

@@ -212,6 +212,9 @@ std::unique_ptr<sim::Controller> make_maxbips(
   cfg.power_bins_min = ov.get_size("power_bins_min", cfg.power_bins_min);
   cfg.bins_per_core = ov.get_size("bins_per_core", cfg.bins_per_core);
   cfg.exact_core_limit = ov.get_size("exact_core_limit", cfg.exact_core_limit);
+  // Deterministic policy: the common "seed" override (fleet per-chip seed
+  // forking, see sim/multichip.hpp) is accepted and unused.
+  ov.get_u64("seed", 0);
   return std::make_unique<MaxBipsController>(chip, cfg);
 }
 

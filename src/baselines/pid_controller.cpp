@@ -99,6 +99,9 @@ std::unique_ptr<sim::Controller> make_pid(
   gains.ki = ov.get_double("ki", gains.ki);
   gains.kd = ov.get_double("kd", gains.kd);
   gains.integral_limit = ov.get_double("integral_limit", gains.integral_limit);
+  // Deterministic policy: the common "seed" override (fleet per-chip seed
+  // forking, see sim/multichip.hpp) is accepted and unused.
+  ov.get_u64("seed", 0);
   return std::make_unique<PidController>(chip, gains);
 }
 

@@ -54,7 +54,10 @@ namespace {
 
 std::unique_ptr<sim::Controller> make_static(
     const arch::ChipConfig& chip, const sim::ControllerOverrides& ov) {
-  (void)ov;  // no knobs: the level is derived from the chip and budget
+  // No knobs: the level is derived from the chip and budget. The common
+  // "seed" override (fleet per-chip seed forking, see sim/multichip.hpp)
+  // is accepted and unused.
+  ov.get_u64("seed", 0);
   return std::make_unique<StaticUniformController>(chip);
 }
 

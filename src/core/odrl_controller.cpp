@@ -91,7 +91,7 @@ OdrlController::OdrlController(const arch::ChipConfig& chip, OdrlConfig config)
       states_(state_dims(config, chip.vf_table().size())),
       chip_budget_w_(chip.tdp_w()) {
   config_.validate();
-  pool_ = std::make_unique<util::ThreadPool>(config_.threads);
+  runtime_ = std::make_shared<task::Runtime>(config_.threads);
   util::Rng root(config_.seed);
   agents_.reserve(n_cores_);
   rngs_.reserve(n_cores_);
@@ -301,14 +301,15 @@ void OdrlController::decide_into(const sim::EpochResult& obs,
     }
   }
 
-  // Fine grain: per-core TD step, sharded across the pool. Each core owns
+  // Fine grain: per-core TD step, sharded across the task runtime. Each
+  // core owns
   // its agent, exploration stream and bookkeeping slots, so the loop is
   // embarrassingly parallel; the reward sum is reduced over chunk-ordered
   // partials and stays bit-identical for every thread count. Each chunk
   // dispatches between the original fused loop and the vectorized
   // column/batch restructuring -- same results, bit for bit.
   const bool vec = util::simd_active();
-  const double reward_sum = pool_->parallel_reduce(
+  const double reward_sum = runtime_->parallel_reduce(
       n_cores_, kTdGrain, 0.0,
       [&](std::size_t begin, std::size_t end) {
         return vec ? td_chunk_vec(obs, out, begin, end)
@@ -487,7 +488,15 @@ void OdrlController::on_budget_change(double new_budget_w) {
 
 void OdrlController::set_threads(std::size_t threads) {
   config_.threads = threads;
-  pool_ = std::make_unique<util::ThreadPool>(threads);
+  runtime_ = std::make_shared<task::Runtime>(threads);
+}
+
+void OdrlController::set_runtime(std::shared_ptr<task::Runtime> runtime) {
+  if (!runtime) {
+    throw std::invalid_argument("OdrlController::set_runtime: null runtime");
+  }
+  config_.threads = runtime->size();
+  runtime_ = std::move(runtime);
 }
 
 void OdrlController::reset() {

@@ -31,9 +31,9 @@
 #include "rl/agent.hpp"
 #include "rl/discretizer.hpp"
 #include "sim/controller.hpp"
+#include "task/runtime.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
-#include "util/thread_pool.hpp"
 
 namespace odrl::core {
 
@@ -130,6 +130,7 @@ class OdrlController final : public sim::Controller {
   void on_budget_change(double new_budget_w) override;
   void reset() override;
   void set_threads(std::size_t threads) override;
+  void set_runtime(std::shared_ptr<task::Runtime> runtime) override;
 
   /// Snapshot hooks (see snapshot/snapshot.hpp): serialize/restore every
   /// field decide_into carries across epochs -- each core's agent (table,
@@ -197,7 +198,9 @@ class OdrlController final : public sim::Controller {
   rl::StateSpace states_;
   std::vector<rl::TdAgent> agents_;
   std::vector<util::Rng> rngs_;
-  std::unique_ptr<util::ThreadPool> pool_;  ///< shards the TD loop
+  /// Shards the TD loop; shared when installed by set_runtime()
+  /// (multi-chip), private otherwise.
+  std::shared_ptr<task::Runtime> runtime_;
 
   std::vector<double> budgets_;          ///< current per-core budgets
   std::vector<util::Ema> power_ema_;     ///< smoothed per-core power

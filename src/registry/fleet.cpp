@@ -1,0 +1,79 @@
+// Fleet: the homogeneous multi-chip builder (declared in
+// sim/multichip.hpp). Lives in the registry layer for the same reason
+// make_controller() does: constructing a fleet's controllers by name must
+// anchor every built-in controller library.
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "sim/multichip.hpp"
+#include "workload/workload.hpp"
+
+namespace odrl::sim {
+
+void FleetConfig::validate() const {
+  if (chips == 0) {
+    throw std::invalid_argument("FleetConfig: chips must be > 0");
+  }
+  if (cores == 0) {
+    throw std::invalid_argument("FleetConfig: cores must be > 0");
+  }
+  if (epochs == 0) {
+    throw std::invalid_argument("FleetConfig: epochs must be > 0");
+  }
+  if (!(budget_fraction > 0.0)) {
+    throw std::invalid_argument("FleetConfig: budget_fraction must be > 0");
+  }
+  if (controller.empty()) {
+    throw std::invalid_argument("FleetConfig: controller name is empty");
+  }
+}
+
+Fleet::Fleet(const FleetConfig& config) : config_(config) {
+  config_.validate();
+  systems_.resize(config_.chips);
+  controllers_.resize(config_.chips);
+  specs_.resize(config_.chips);
+  for (std::size_t i = 0; i < config_.chips; ++i) rebuild_chip(i);
+}
+
+void Fleet::rebuild_chip(std::size_t chip) {
+  if (chip >= specs_.size()) {
+    throw std::out_of_range("Fleet::rebuild_chip: chip " +
+                            std::to_string(chip) + " of " +
+                            std::to_string(specs_.size()));
+  }
+  const arch::ChipConfig cc =
+      arch::ChipConfig::make(config_.cores, config_.budget_fraction);
+
+  SimConfig sc;
+  sc.sensor_noise_rel = config_.sensor_noise_rel;
+  sc.seed = fleet_chip_seed(config_.seed, chip, /*stream=*/0);
+
+  auto workload = std::make_unique<workload::GeneratedWorkload>(
+      workload::GeneratedWorkload::mixed_suite(
+          config_.cores, fleet_chip_seed(config_.seed, chip, /*stream=*/1)));
+  systems_[chip] =
+      std::make_unique<ManyCoreSystem>(cc, std::move(workload), sc);
+
+  // Per-chip exploration seed, unless the caller pinned one explicitly
+  // (a shared seed across chips is a legitimate ablation).
+  ControllerOverrides ov = config_.overrides;
+  if (!ov.contains("seed")) {
+    ov.set("seed",
+           std::to_string(fleet_chip_seed(config_.seed, chip, /*stream=*/2)));
+  }
+  controllers_[chip] = make_controller(config_.controller, cc, ov);
+
+  ChipSpec& spec = specs_[chip];
+  spec.system = systems_[chip].get();
+  spec.controller = controllers_[chip].get();
+  spec.config.epochs = config_.epochs;
+  spec.config.warmup_epochs = config_.warmup_epochs;
+  spec.config.keep_traces = config_.keep_traces;
+  spec.config.faults = config_.faults;
+  spec.tag = "chip" + std::to_string(chip);
+}
+
+}  // namespace odrl::sim

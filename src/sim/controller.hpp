@@ -16,11 +16,16 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "sim/observation.hpp"
+
+namespace odrl::task {
+class Runtime;
+}
 
 namespace odrl::telemetry {
 class Recorder;
@@ -85,6 +90,13 @@ class Controller {
   /// that results are bit-identical for every width. Default: ignore
   /// (serial controllers).
   virtual void set_threads(std::size_t /*threads*/) {}
+
+  /// Shares an externally owned task runtime for decide_into()'s
+  /// parallel loops (MultiChipRun installs one runtime across every
+  /// chip's system *and* controller). Same bit-identity contract as
+  /// set_threads(); a later set_threads() reverts to a private runtime.
+  /// Default: ignore (serial controllers never submit tasks).
+  virtual void set_runtime(std::shared_ptr<task::Runtime> /*runtime*/) {}
 
   /// Attaches (or, with nullptr, detaches) a telemetry recorder. The runner
   /// calls this at run start/end with RunConfig::recorder; the recorder

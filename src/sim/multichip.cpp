@@ -1,0 +1,209 @@
+#include "sim/multichip.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <stdexcept>
+#include <string_view>
+#include <utility>
+
+#include "util/rng.hpp"
+
+namespace odrl::sim {
+
+std::uint64_t fleet_chip_seed(std::uint64_t root, std::size_t chip,
+                              std::uint64_t stream) {
+  util::SplitMix64 mix(root ^ (0x9e3779b97f4a7c15ULL * (stream + 1)));
+  std::uint64_t s = 0;
+  for (std::size_t i = 0; i <= chip; ++i) s = mix.next();
+  return s;
+}
+
+std::uint32_t chip_section_tag(std::size_t chip) {
+  if (chip >= 100) {
+    throw std::out_of_range(
+        "chip_section_tag: chip index " + std::to_string(chip) +
+        " exceeds the CHnn two-digit section namespace (max 99)");
+  }
+  char name[8];
+  std::snprintf(name, sizeof name, "CH%02zu", chip);
+  return snapshot::section_tag(std::string_view(name, 4));
+}
+
+void MultiChipConfig::validate(std::span<const ChipSpec> chips) const {
+  if (chips.empty()) {
+    throw std::invalid_argument("run_multichip: empty chip list");
+  }
+  if ((snapshot_out != nullptr || resume_snapshot != nullptr) &&
+      chips.size() > 100) {
+    throw std::invalid_argument(
+        "run_multichip: snapshot frame supports at most 100 chips");
+  }
+  for (std::size_t i = 0; i < chips.size(); ++i) {
+    const ChipSpec& spec = chips[i];
+    const std::string at = "run_multichip: chip " + std::to_string(i);
+    if (spec.system == nullptr || spec.controller == nullptr) {
+      throw std::invalid_argument(at + ": null system or controller");
+    }
+    if (spec.config.threads != 0 || spec.config.runtime != nullptr) {
+      throw std::invalid_argument(
+          at + ": per-chip threads/runtime must be unset (the fleet "
+               "installs one shared runtime)");
+    }
+    if ((snapshot_out != nullptr || resume_snapshot != nullptr) &&
+        (spec.config.snapshot_out != nullptr ||
+         spec.config.resume_snapshot != nullptr)) {
+      throw std::invalid_argument(
+          at + ": per-chip snapshot fields must be unset when the fleet "
+               "snapshot frame is used");
+    }
+    // Recorder instances are single-threaded; concurrent chips must not
+    // share one. (One recorder on exactly one chip is fine.)
+    if (spec.config.recorder != nullptr) {
+      for (std::size_t j = i + 1; j < chips.size(); ++j) {
+        if (chips[j].config.recorder == spec.config.recorder) {
+          throw std::invalid_argument(
+              at + ": recorder shared with chip " + std::to_string(j) +
+              " (recorders are single-threaded; give each chip its own)");
+        }
+      }
+    }
+  }
+}
+
+double MultiChipResult::bips() const {
+  double longest_s = 0.0;
+  for (const RunResult& r : chips) {
+    if (r.elapsed_s() > longest_s) longest_s = r.elapsed_s();
+  }
+  return longest_s > 0.0 ? total_instructions / longest_s / 1e9 : 0.0;
+}
+
+namespace {
+
+/// The per-chip whole-run task. Stored in a vector that outlives wait();
+/// the runtime invokes it by reference on whichever worker claims it.
+struct ChipTask {
+  ManyCoreSystem* system = nullptr;
+  Controller* controller = nullptr;
+  const RunConfig* config = nullptr;
+  RunResult* out = nullptr;
+
+  void operator()() const {
+    *out = run_closed_loop(*system, *controller, *config);
+  }
+};
+
+}  // namespace
+
+MultiChipResult run_multichip(std::span<ChipSpec> chips,
+                              const MultiChipConfig& config) {
+  config.validate(chips);
+  const std::size_t n = chips.size();
+
+  std::shared_ptr<task::Runtime> runtime = config.runtime;
+  if (runtime == nullptr) {
+    task::RuntimeConfig rc;
+    rc.workers = config.workers;
+    rc.pin_workers = config.pin_workers;
+    runtime = std::make_shared<task::Runtime>(rc);
+  }
+  const task::RuntimeStats stats0 = runtime->stats();
+
+  // Unpack the fleet resume frame into per-chip blobs (chip order).
+  std::vector<std::string> resume_blobs;
+  if (config.resume_snapshot != nullptr) {
+    snapshot::Reader r(*config.resume_snapshot);
+    r.open_section(kSnapshotMultiChipTag);
+    const std::uint64_t frame_chips = r.u64();
+    r.u64();  // capture epoch: informational; each chip re-checks its own
+    r.expect_section_end();
+    if (frame_chips != n) {
+      throw snapshot::SnapshotError(
+          snapshot::SnapshotStatus::kDimensionMismatch,
+          "run_multichip: snapshot frame has " + std::to_string(frame_chips) +
+              " chips, fleet has " + std::to_string(n));
+    }
+    resume_blobs.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      r.open_section(chip_section_tag(i));
+      resume_blobs[i] = r.str();
+      r.expect_section_end();
+    }
+  }
+
+  // Effective per-chip run configs: shared runtime plus the fleet's
+  // snapshot/resume plumbing. The spec's config is copied, never mutated.
+  std::vector<RunConfig> run_configs(n);
+  std::vector<std::string> capture_blobs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    run_configs[i] = chips[i].config;
+    run_configs[i].runtime = runtime;
+    if (config.snapshot_out != nullptr) {
+      run_configs[i].snapshot_epoch = config.snapshot_epoch;
+      run_configs[i].snapshot_out = &capture_blobs[i];
+    }
+    if (config.resume_snapshot != nullptr) {
+      run_configs[i].resume_snapshot = &resume_blobs[i];
+    }
+  }
+
+  MultiChipResult result;
+  result.chips.resize(n);
+
+  std::vector<ChipTask> tasks;
+  tasks.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    tasks.push_back(ChipTask{chips[i].system, chips[i].controller,
+                             &run_configs[i], &result.chips[i]});
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  {
+    task::Runtime::Group group;
+    for (ChipTask& t : tasks) runtime->submit(group, t);
+    runtime->wait(group);  // rethrows the first chip failure
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  result.wall_s = std::chrono::duration<double>(t1 - t0).count();
+
+  // Frame the fleet snapshot (chip order; assembled on this thread, after
+  // the barrier, so the frame is deterministic byte-for-byte).
+  if (config.snapshot_out != nullptr) {
+    snapshot::Writer w;
+    w.begin_section(kSnapshotMultiChipTag);
+    w.u64(n);
+    w.u64(config.snapshot_epoch);
+    w.end_section();
+    for (std::size_t i = 0; i < n; ++i) {
+      w.begin_section(chip_section_tag(i));
+      w.str(capture_blobs[i]);
+      w.end_section();
+    }
+    *config.snapshot_out = std::move(w).finish();
+  }
+
+  // Deterministic chip-index-order fold of the fleet aggregates.
+  for (const RunResult& r : result.chips) {
+    result.total_epochs += r.epochs;
+    result.total_instructions += r.total_instructions;
+    result.total_energy_j += r.total_energy_j;
+    result.otb_energy_j += r.otb_energy_j;
+    result.mean_power_w += r.mean_power_w;
+  }
+  result.mean_power_w /= static_cast<double>(n);
+
+  const task::RuntimeStats stats1 = runtime->stats();
+  result.runtime_stats.tasks_executed =
+      stats1.tasks_executed - stats0.tasks_executed;
+  result.runtime_stats.steals = stats1.steals - stats0.steals;
+  result.runtime_stats.steal_attempts =
+      stats1.steal_attempts - stats0.steal_attempts;
+  result.runtime_stats.overflows = stats1.overflows - stats0.overflows;
+  result.runtime_stats.max_queue_depth = stats1.max_queue_depth;
+  result.runtime_stats.worker_parks =
+      stats1.worker_parks - stats0.worker_parks;
+  result.runtime_stats.wait_parks = stats1.wait_parks - stats0.wait_parks;
+  return result;
+}
+
+}  // namespace odrl::sim

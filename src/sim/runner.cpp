@@ -49,6 +49,10 @@ void RunConfig::validate() const {
     throw std::invalid_argument(
         "RunConfig: snapshot_epoch beyond the measured region");
   }
+  if (threads != 0 && runtime != nullptr) {
+    throw std::invalid_argument(
+        "RunConfig: threads and runtime are mutually exclusive");
+  }
   watchdog.validate();
 }
 
@@ -118,6 +122,13 @@ RunResult run_closed_loop(ManyCoreSystem& system, Controller& controller,
     system.set_threads(config.threads);
     controller.set_threads(config.threads);
   }
+  if (config.runtime) {
+    system.set_runtime(config.runtime);
+    controller.set_runtime(config.runtime);
+  }
+  // Runtime counters are reported as this run's delta; the shared
+  // multi-chip runtime accumulates across every chip it drives.
+  const task::RuntimeStats runtime_stats0 = system.runtime().stats();
 
   // Telemetry attach. `rec` stays null when no sink is listening, so every
   // emission below is skipped with one branch -- recording only observes,
@@ -244,6 +255,7 @@ RunResult run_closed_loop(ManyCoreSystem& system, Controller& controller,
           sw.controller, system.config(), sw.overrides));
       active = swapped_in.back().get();
       if (config.threads != 0) active->set_threads(config.threads);
+      if (config.runtime) active->set_runtime(config.runtime);
       active->set_recorder(rec);
     }
 
@@ -284,6 +296,29 @@ RunResult run_closed_loop(ManyCoreSystem& system, Controller& controller,
   }
 
   power::EnergyAccountant accountant(system.budget_w());
+
+  // A/B swap report bookkeeping: one budget-compliance segment per
+  // controller tenure (swaps split the measured region). Plain sums kept
+  // in the loop -- no trace required, so the report exists even with
+  // keep_traces = false. `reserve` up front keeps swap epochs' vector
+  // growth out of the steady-state loop.
+  struct SwapSegment {
+    std::size_t epochs = 0;
+    double overshoot_sum_w = 0.0;
+    std::size_t violations = 0;
+    double mean_overshoot_w() const {
+      return epochs == 0 ? 0.0 : overshoot_sum_w / static_cast<double>(epochs);
+    }
+    double violation_frac() const {
+      return epochs == 0
+                 ? 0.0
+                 : static_cast<double>(violations) / static_cast<double>(epochs);
+    }
+  };
+  std::vector<SwapSegment> swap_segments;
+  swap_segments.reserve(config.swaps.size() + 1);
+  SwapSegment current_segment;
+  result.swap_report.reserve(config.swaps.size());
 
   // One epoch of the closed loop -- the single code path both the warmup
   // and measured regions share; returns the decide_into() wall time. The
@@ -417,6 +452,7 @@ RunResult run_closed_loop(ManyCoreSystem& system, Controller& controller,
           ControllerRegistry::instance().make(sw.controller, system.config(),
                                               sw.overrides);
       if (config.threads != 0) incoming->set_threads(config.threads);
+      if (config.runtime) incoming->set_runtime(config.runtime);
       incoming->set_recorder(rec);
       incoming->on_budget_change(system.budget_w());
       if (sw.seed_snapshot != nullptr) {
@@ -432,6 +468,10 @@ RunResult run_closed_loop(ManyCoreSystem& system, Controller& controller,
         incoming->load_state(seed);
         seed.expect_section_end();
       }
+      // Close the outgoing controller's compliance segment; the next one
+      // starts accumulating at this epoch's step.
+      swap_segments.push_back(current_segment);
+      current_segment = SwapSegment{};
       const SwapTrace swap_rec{system.epochs_run(), active->name(),
                                incoming->name()};
       result.swaps.push_back(swap_rec);
@@ -463,6 +503,11 @@ RunResult run_closed_loop(ManyCoreSystem& system, Controller& controller,
     // Fault-free this equals the accountant's current budget (no-op).
     accountant.set_budget_w(obs.budget_w);
     accountant.add_epoch(obs.true_chip_power_w, obs.epoch_s);
+    ++current_segment.epochs;
+    if (obs.true_chip_power_w > obs.budget_w) {
+      current_segment.overshoot_sum_w += obs.true_chip_power_w - obs.budget_w;
+      ++current_segment.violations;
+    }
     if (obs.thermal_violations > 0) ++result.thermal_violation_epochs;
     result.decision_time_s += decide_s;
     ++result.decisions;
@@ -503,6 +548,24 @@ RunResult run_closed_loop(ManyCoreSystem& system, Controller& controller,
     }
   }
 
+  // Assemble the A/B report: swap i sits between segments i and i+1.
+  swap_segments.push_back(current_segment);
+  for (std::size_t i = 0; i < result.swaps.size(); ++i) {
+    SwapImpact impact;
+    impact.epoch = result.swaps[i].epoch;
+    impact.from = result.swaps[i].from;
+    impact.to = result.swaps[i].to;
+    const SwapSegment& before = swap_segments[i];
+    const SwapSegment& after = swap_segments[i + 1];
+    impact.epochs_before = before.epochs;
+    impact.epochs_after = after.epochs;
+    impact.mean_overshoot_w_before = before.mean_overshoot_w();
+    impact.mean_overshoot_w_after = after.mean_overshoot_w();
+    impact.violation_frac_before = before.violation_frac();
+    impact.violation_frac_after = after.violation_frac();
+    result.swap_report.push_back(std::move(impact));
+  }
+
   result.total_energy_j = accountant.total_energy_j();
   result.otb_energy_j = accountant.otb_energy_j();
   result.time_over_s = accountant.time_over_budget_s();
@@ -526,6 +589,24 @@ RunResult run_closed_loop(ManyCoreSystem& system, Controller& controller,
       rec->counter("faults.actuation").add(counts.actuation);
       rec->counter("faults.budget").add(counts.budget);
       rec->counter("faults.hotplug").add(counts.hotplug);
+    }
+    // Task-runtime counters, as this run's delta. Observational and (for
+    // a runtime shared across concurrently stepped chips) approximate --
+    // sibling chips' tasks land in the same totals; MultiChipRun reports
+    // the fleet-wide figures itself.
+    {
+      const task::RuntimeStats ts = system.runtime().stats();
+      rec->counter("task.executed")
+          .add(ts.tasks_executed - runtime_stats0.tasks_executed);
+      rec->counter("task.steals").add(ts.steals - runtime_stats0.steals);
+      rec->counter("task.overflows")
+          .add(ts.overflows - runtime_stats0.overflows);
+      rec->counter("task.worker_parks")
+          .add(ts.worker_parks - runtime_stats0.worker_parks);
+      rec->counter("task.wait_parks")
+          .add(ts.wait_parks - runtime_stats0.wait_parks);
+      rec->gauge("task.max_queue_depth")
+          .set(static_cast<double>(ts.max_queue_depth));
     }
     if (wd.enabled) {
       rec->counter("watchdog.invalid_decisions")

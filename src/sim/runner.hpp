@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -126,8 +127,16 @@ struct RunConfig {
   /// Execution width handed to the system and controller for this run
   /// (ManyCoreSystem::set_threads / Controller::set_threads). 0 = leave
   /// both as configured (default); 1 = force serial; n = n-wide. Results
-  /// are bit-identical for every value.
+  /// are bit-identical for every value. Mutually exclusive with
+  /// `runtime`.
   std::size_t threads = 0;
+
+  /// Shared task runtime installed on the system and controller (and any
+  /// hot-swapped replacement) for this run. MultiChipRun sets this so
+  /// every chip's per-core chunks land on one worker fleet; a null
+  /// pointer (default) leaves each component on its own runtime. Results
+  /// are bit-identical either way. Mutually exclusive with `threads`.
+  std::shared_ptr<task::Runtime> runtime;
 
   /// Optional telemetry recorder (non-owning; must outlive the run). The
   /// runner threads it through the system and controller, emits per-epoch
@@ -179,6 +188,34 @@ struct RunConfig {
 /// record the telemetry stream carries.
 using SwapTrace = telemetry::ControllerSwapRecord;
 
+/// A/B report for one controller hot-swap: budget-compliance aggregates
+/// over the measured epochs immediately before the swap (back to the
+/// previous swap, or the start of the measured region) and immediately
+/// after it (up to the next swap, or the end of the run). Overshoot is
+/// judged the way the energy accountant judges it: *true* chip power
+/// against the budget observed in force that epoch.
+struct SwapImpact {
+  std::size_t epoch = 0;        ///< system clock, matches SwapTrace
+  std::string from;             ///< outgoing controller
+  std::string to;               ///< incoming controller
+  std::size_t epochs_before = 0;
+  std::size_t epochs_after = 0;
+  /// Mean of max(0, true_power - budget) over the segment, in watts.
+  double mean_overshoot_w_before = 0.0;
+  double mean_overshoot_w_after = 0.0;
+  /// Fraction of the segment's epochs with true power above budget.
+  double violation_frac_before = 0.0;
+  double violation_frac_after = 0.0;
+
+  /// Negative = the swap reduced overshoot / violations.
+  double delta_mean_overshoot_w() const {
+    return mean_overshoot_w_after - mean_overshoot_w_before;
+  }
+  double delta_violation_frac() const {
+    return violation_frac_after - violation_frac_before;
+  }
+};
+
 struct RunResult {
   std::string controller_name;
   std::size_t epochs = 0;
@@ -190,6 +227,10 @@ struct RunResult {
   /// Controller hot-swaps performed, in order (epochs on the system clock,
   /// like `trace`).
   std::vector<SwapTrace> swaps;
+  /// Pre/post budget-compliance aggregates, one per performed swap
+  /// (swap_report[i] describes swaps[i]). Computed from in-run segment
+  /// accumulators, so it is available even with keep_traces = false.
+  std::vector<SwapImpact> swap_report;
 
   double total_instructions = 0.0;
   double total_energy_j = 0.0;

@@ -46,7 +46,7 @@ ManyCoreSystem::ManyCoreSystem(arch::ChipConfig config,
                            : arch::VariationMap::none(config_.n_cores())),
       thermal_(config_.mesh(), config_.thermal()),
       dram_(sim.dram),
-      pool_(std::make_unique<util::ThreadPool>(sim.threads)),
+      runtime_(std::make_shared<task::Runtime>(sim.threads)),
       tile_power_(config_.mesh().size(), 0.0),
       budget_w_(config_.tdp_w()) {
   sim_.validate();
@@ -119,10 +119,18 @@ double ManyCoreSystem::noisy(std::size_t core, double value) {
 
 void ManyCoreSystem::set_threads(std::size_t threads) {
   sim_.threads = threads;
-  pool_ = std::make_unique<util::ThreadPool>(threads);
+  runtime_ = std::make_shared<task::Runtime>(threads);
 }
 
-std::size_t ManyCoreSystem::threads() const { return pool_->size(); }
+void ManyCoreSystem::set_runtime(std::shared_ptr<task::Runtime> runtime) {
+  if (!runtime) {
+    throw std::invalid_argument("ManyCoreSystem::set_runtime: null runtime");
+  }
+  sim_.threads = runtime->size();
+  runtime_ = std::move(runtime);
+}
+
+std::size_t ManyCoreSystem::threads() const { return runtime_->size(); }
 
 void ManyCoreSystem::set_fault_engine(FaultEngine* engine) {
   if (engine != nullptr && engine->n_cores() != config_.n_cores()) {
@@ -169,13 +177,13 @@ void ManyCoreSystem::step_into(std::span<const std::size_t> levels,
   // Shared-memory contention: fixed point of the chip's aggregate miss
   // traffic against the queueing latency multiplier. The per-core traffic
   // terms are independent, so each solver iteration shards the sum across
-  // the pool (chunk-ordered partials keep the result bit-identical for
+  // the runtime (chunk-ordered partials keep the result bit-identical for
   // every thread count).
   double mem_scale = 1.0;
   double dram_util = 0.0;
   if (dram_.enabled()) {
     auto traffic_at = [&](double m) {
-      return pool_->parallel_reduce(
+      return runtime_->parallel_reduce(
           n, kTrafficGrain, 0.0,
           [&](std::size_t begin, std::size_t end) {
             double bytes_per_s = 0.0;
@@ -217,11 +225,11 @@ void ManyCoreSystem::step_into(std::span<const std::size_t> levels,
 
   std::fill(tile_power_.begin(), tile_power_.end(), 0.0);
 
-  // Per-core perf/power/observation loop, sharded across the pool. Every
+  // Per-core perf/power/observation loop, sharded across the task runtime. Every
   // core touches only its own models, noise substream and output slots;
   // the three chip-level sums are reduced over chunk-ordered partials, so
   // the additions happen in a fixed tree regardless of thread count.
-  const StepSums sums = pool_->parallel_reduce(
+  const StepSums sums = runtime_->parallel_reduce(
       n, kCoreGrain, StepSums{},
       [&](std::size_t begin, std::size_t end) {
         StepSums local;

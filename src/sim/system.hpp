@@ -24,10 +24,10 @@
 #include "power/power_model.hpp"
 #include "sim/faults.hpp"
 #include "sim/observation.hpp"
+#include "task/runtime.hpp"
 #include "telemetry/recorder.hpp"
 #include "thermal/thermal_model.hpp"
 #include "util/rng.hpp"
-#include "util/thread_pool.hpp"
 #include "workload/workload.hpp"
 
 namespace odrl::snapshot {
@@ -118,11 +118,21 @@ class ManyCoreSystem {
   double budget_w() const noexcept { return budget_w_; }
   void set_budget_w(double budget_w);
 
-  /// Re-sizes the worker pool used by step() (1 = serial, 0 = hardware
-  /// concurrency). Never changes results -- the per-core loop is chunked
-  /// identically for every width.
+  /// Re-sizes the execution width of step_into() (1 = serial, 0 =
+  /// hardware concurrency) by installing a fresh private task runtime.
+  /// Never changes results -- the per-core loop is chunked identically
+  /// for every width.
   void set_threads(std::size_t threads);
   std::size_t threads() const;
+
+  /// Shares an externally owned task runtime (MultiChipRun installs one
+  /// runtime across every chip so chip tasks and per-core chunks
+  /// interleave on the same workers). Results stay bit-identical: the
+  /// runtime only changes who executes a chunk, never the chunk layout
+  /// or the reduction order. Rejects nullptr. set_threads() reverts to a
+  /// private runtime.
+  void set_runtime(std::shared_ptr<task::Runtime> runtime);
+  const task::Runtime& runtime() const { return *runtime_; }
 
   /// Attaches (nullptr detaches) a telemetry recorder; the runner wires
   /// this per run. The system only updates counters/gauges (level
@@ -172,7 +182,9 @@ class ManyCoreSystem {
   /// One decorrelated noise substream per core, each a pure function of
   /// (sim.seed, core index) -- independent of core count and thread count.
   std::vector<util::Rng> noise_rngs_;
-  std::unique_ptr<util::ThreadPool> pool_;
+  /// Shared when installed by set_runtime() (multi-chip), private
+  /// otherwise; never null after construction.
+  std::shared_ptr<task::Runtime> runtime_;
   std::vector<double> tile_power_;  ///< scratch, mesh-sized
   std::vector<std::size_t> prev_levels_;  ///< for switch-cost accounting
   /// Chunk partials for the per-core observation reduce (scratch; declared

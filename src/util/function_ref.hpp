@@ -1,7 +1,7 @@
 // Non-owning, non-allocating callable reference (a trimmed-down
 // std::function_ref from C++26). Two words: an opaque object pointer and a
 // trampoline. Unlike std::function it never heap-allocates, which keeps
-// per-epoch hot paths (ThreadPool jobs, the DRAM fixed-point closure)
+// per-epoch hot paths (task::Runtime jobs, the DRAM fixed-point closure)
 // allocation-free regardless of capture size.
 //
 // Lifetime rule: FunctionRef does not extend the referenced callable's

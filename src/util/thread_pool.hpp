@@ -1,119 +1,70 @@
-// Deterministic fork-join thread pool for the per-core hot loops.
-//
-// The design constraint is *bit-identical results regardless of thread
-// count*: every parallel_for/parallel_reduce partitions [0, n) into chunks
-// whose boundaries depend only on (n, grain) -- never on how many workers
-// exist or which worker claims which chunk. Reductions store one partial
-// per chunk and fold the partials serially in chunk order, so the
-// floating-point summation tree is fixed. An 8-thread run therefore
-// reproduces a 1-thread run to the last bit (see tests/threading_test.cpp
-// and DESIGN.md "Threading model").
-//
-// A pool of size 1 spawns no workers and executes inline through the same
-// chunked code path, so enabling threading never changes results -- only
-// wall time.
+// DEPRECATED fork-join façade over task::Runtime, kept so out-of-tree
+// callers (and the historical threading tests) keep compiling. The
+// fork-join pool this header used to implement was retired when the
+// epoch pipeline moved to the work-stealing task runtime (see DESIGN.md
+// "Task runtime & multi-chip sharding"); every method forwards to an
+// owned width-`threads` Runtime and preserves the original contracts
+// bit-for-bit -- chunk boundaries a pure function of (n, grain), one
+// partial per chunk, serial chunk-order fold. tools/lint_odrl.py rejects
+// new in-tree uses (`raw-thread` rule); new code takes a task::Runtime
+// (usually shared, see ManyCoreSystem::set_runtime).
 #pragma once
 
-#include <atomic>
-#include <condition_variable>
 #include <cstddef>
-#include <cstdint>
-#include <exception>
-#include <mutex>
-#include <thread>
+#include <utility>
 #include <vector>
 
+#include "task/runtime.hpp"
 #include "util/function_ref.hpp"
 
 namespace odrl::util {
 
 class ThreadPool {
  public:
-  /// `threads` = total execution width including the calling thread;
-  /// the pool spawns threads-1 workers. 0 means hardware_concurrency.
-  explicit ThreadPool(std::size_t threads = 1);
-  ~ThreadPool();
+  /// `threads` = total execution width including the calling thread.
+  /// 0 means hardware_concurrency.
+  explicit ThreadPool(std::size_t threads = 1) : runtime_(threads) {}
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Execution width (workers + the calling thread).
-  std::size_t size() const { return workers_.size() + 1; }
+  std::size_t size() const { return runtime_.size(); }
 
   /// 0 -> hardware_concurrency (>= 1), anything else unchanged. Throws
-  /// std::invalid_argument on absurd counts (> 4096), which in practice
-  /// means a negative value was cast to size_t on the way in.
-  static std::size_t resolve_threads(std::size_t requested);
+  /// std::invalid_argument on absurd counts (> 4096).
+  static std::size_t resolve_threads(std::size_t requested) {
+    return task::Runtime::resolve_workers(requested);
+  }
 
   /// Invokes body(begin, end) once per chunk of at most `grain` indices,
-  /// covering [0, n) exactly. Chunks run concurrently; the caller
-  /// participates and returns only when every chunk finished. The first
-  /// exception thrown by a chunk is rethrown here (remaining chunks still
-  /// run). `body` must not submit work to this same pool (no nesting).
-  /// The FunctionRef parameter keeps submission allocation-free: the
-  /// callable is borrowed for the duration of the (synchronous) call, never
-  /// copied into a std::function.
+  /// covering [0, n) exactly; returns when every chunk finished.
   void parallel_for(std::size_t n, std::size_t grain,
-                    FunctionRef<void(std::size_t, std::size_t)> body);
+                    FunctionRef<void(std::size_t, std::size_t)> body) {
+    runtime_.parallel_for(n, grain, body);
+  }
 
-  /// Chunked map/reduce: acc = combine(acc, map(chunk)) folded serially in
-  /// chunk order, starting from `identity`. Because the fold order is a
-  /// pure function of (n, grain), the result is bit-identical for any
-  /// thread count. This overload allocates a partials vector per call; hot
-  /// loops should pass a reusable scratch buffer to the overload below.
+  /// Chunked map/reduce folded serially in chunk order from `identity`;
+  /// bit-identical for any thread count.
   template <typename T, typename Map, typename Combine>
   T parallel_reduce(std::size_t n, std::size_t grain, T identity, Map&& map,
                     Combine&& combine) {
-    std::vector<T> partials;
-    return parallel_reduce(n, grain, std::move(identity),
-                           std::forward<Map>(map),
-                           std::forward<Combine>(combine), partials);
+    return runtime_.parallel_reduce(n, grain, std::move(identity),
+                                    std::forward<Map>(map),
+                                    std::forward<Combine>(combine));
   }
 
-  /// Scratch-buffer variant: `partials` is resized (capacity reused) to one
-  /// slot per chunk, so a warmed-up caller performs zero heap allocations.
+  /// Scratch-buffer variant: zero heap allocations once warmed up.
   template <typename T, typename Map, typename Combine>
   T parallel_reduce(std::size_t n, std::size_t grain, T identity, Map&& map,
                     Combine&& combine, std::vector<T>& partials) {
-    if (n == 0) return identity;
-    const std::size_t g = grain == 0 ? 1 : grain;
-    const std::size_t n_chunks = (n + g - 1) / g;
-    partials.assign(n_chunks, identity);
-    auto body = [&](std::size_t begin, std::size_t end) {
-      partials[begin / g] = map(begin, end);
-    };
-    parallel_for(n, g, body);
-    T acc = identity;
-    for (const T& partial : partials) acc = combine(acc, partial);
-    return acc;
+    return runtime_.parallel_reduce(n, grain, std::move(identity),
+                                    std::forward<Map>(map),
+                                    std::forward<Combine>(combine), partials);
   }
 
  private:
-  void worker_loop();
-  /// Claims and executes chunks of the current job until none remain.
-  void claim_chunks();
-
-  std::vector<std::thread> workers_;
-
-  /// Serializes run_chunks callers so only one job is in flight.
-  std::mutex submit_mutex_;
-
-  // Job slot. Written by the submitting thread under mutex_ while no worker
-  // is active; read by workers after a mutex-synchronized wakeup.
-  std::mutex mutex_;
-  std::condition_variable work_cv_;  ///< wakes workers on a new job / stop
-  std::condition_variable done_cv_;  ///< wakes the submitter on completion
-  std::condition_variable idle_cv_;  ///< signals all workers left a job
-  FunctionRef<void(std::size_t, std::size_t)> job_body_;
-  std::size_t job_n_ = 0;
-  std::size_t job_grain_ = 1;
-  std::size_t job_chunks_ = 0;
-  std::atomic<std::size_t> next_chunk_{0};  ///< next unclaimed chunk index
-  std::atomic<std::size_t> pending_{0};     ///< chunks not yet finished
-  std::size_t active_workers_ = 0;          ///< workers inside claim_chunks
-  std::uint64_t generation_ = 0;            ///< bumped per job
-  bool stop_ = false;
-  std::exception_ptr error_;
+  task::Runtime runtime_;
 };
 
 }  // namespace odrl::util

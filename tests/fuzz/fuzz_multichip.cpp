@@ -1,0 +1,12 @@
+// libFuzzer driver for the multi-chip snapshot frame: differential
+// resume + re-capture against the fixed harness fleet (ODRL_FUZZ builds).
+#include <cstddef>
+#include <cstdint>
+
+#include "harness.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  odrl::fuzz::fuzz_multichip(data, size);
+  return 0;
+}

@@ -1,5 +1,7 @@
-// Shared fuzz entry points for the three text parsers. Each harness feeds
-// arbitrary bytes to a loader and enforces the parser contract:
+// Shared fuzz entry points for the serialized formats: the three text
+// parsers, the raw snapshot frame, and the multi-chip snapshot frame
+// (a differential resume harness). Each harness feeds arbitrary bytes to
+// a loader and enforces the parser contract:
 //
 //   * malformed input throws std::runtime_error (or std::invalid_argument
 //     from nested validation) -- never crashes, never corrupts memory;
@@ -20,6 +22,7 @@
 
 #include "rl/qtable_io.hpp"
 #include "sim/faults.hpp"
+#include "sim/multichip.hpp"
 #include "snapshot/snapshot.hpp"
 #include "workload/trace_io.hpp"
 
@@ -100,6 +103,92 @@ inline void fuzz_snapshot(const std::uint8_t* data, std::size_t size) {
     }
   } catch (const std::runtime_error&) {
     // SnapshotError: the documented rejection path.
+  }
+}
+
+/// The fixed fleet every multichip fuzz input is interpreted against.
+/// The committed seeds under tests/fuzz/corpus/multichip were captured
+/// from exactly this configuration -- changing anything here (or the
+/// snapshot wire format) invalidates them; FuzzRegression.
+/// MultichipSeedsMatchCurrentFormat fails loudly when that happens and
+/// its comment explains how to regenerate.
+inline sim::FleetConfig multichip_fuzz_fleet() {
+  sim::FleetConfig fc;
+  fc.chips = 2;
+  fc.cores = 8;
+  fc.controller = "PID";
+  fc.epochs = 24;
+  fc.warmup_epochs = 0;
+  fc.seed = 7;
+  fc.sensor_noise_rel = 0.02;
+  fc.keep_traces = false;
+  return fc;
+}
+
+/// Differential resume harness for the multi-chip snapshot frame. Two
+/// contracts, selected by what the bytes turn out to be:
+///
+///   * any input: run_multichip's resume path either succeeds or throws
+///     SnapshotError / invalid_argument -- never crashes;
+///   * a *consistent* frame (MCHD chip count matches the fleet, MCHD
+///     capture epoch within the run and equal to every embedded chip's
+///     own captured epoch): resuming and re-capturing at that epoch must
+///     reproduce the input frame byte for byte. Snapshot capture and
+///     restore are exact inverses, so even a value-mutated frame that
+///     still parses must dump back out unchanged -- any canonicalization
+///     on load would break resumed-run reproducibility, and this harness
+///     exists to catch exactly that.
+inline void fuzz_multichip(const std::uint8_t* data, std::size_t size) {
+  const std::string blob = as_string(data, size);
+  const sim::FleetConfig fleet_config = multichip_fuzz_fleet();
+
+  // Structural pre-parse deciding whether the differential byte-compare
+  // applies. A frame that parses but disagrees with itself (header epoch
+  // vs. per-chip epochs) is still fed to the resume path below; only the
+  // byte-compare is skipped, because the fleet-level re-capture epoch is
+  // one number and cannot honor two.
+  bool differential = false;
+  std::uint64_t frame_epoch = 0;
+  try {
+    snapshot::Reader r(blob);
+    r.open_section(sim::kSnapshotMultiChipTag);
+    const std::uint64_t n_chips = r.u64();
+    frame_epoch = r.u64();
+    r.expect_section_end();
+    if (n_chips == fleet_config.chips && frame_epoch < fleet_config.epochs) {
+      differential = true;
+      for (std::size_t i = 0; i < fleet_config.chips && differential; ++i) {
+        r.open_section(sim::chip_section_tag(i));
+        snapshot::Reader chip(r.str());
+        r.expect_section_end();
+        chip.open_section(sim::kSnapshotRunnerTag);
+        if (chip.u64() != frame_epoch) differential = false;
+      }
+    }
+  } catch (const std::runtime_error&) {
+    // Not structurally a fleet frame; the resume below must reject it too.
+  }
+
+  try {
+    sim::Fleet fleet(fleet_config);
+    sim::MultiChipConfig mc;
+    mc.workers = 2;
+    mc.resume_snapshot = &blob;
+    std::string recaptured;
+    if (differential) {
+      mc.snapshot_epoch = static_cast<std::size_t>(frame_epoch);
+      mc.snapshot_out = &recaptured;
+    }
+    (void)sim::run_multichip(fleet.specs(), mc);
+    if (differential && recaptured != blob) {
+      // logic_error escapes the catch clauses below by design.
+      throw std::logic_error(
+          "multi-chip resume + re-capture changed the frame bytes");
+    }
+  } catch (const std::runtime_error&) {
+    // SnapshotError: the documented rejection path.
+  } catch (const std::invalid_argument&) {
+    // Config- and validation-level rejections.
   }
 }
 

@@ -6,9 +6,11 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "fuzz/harness.hpp"
@@ -67,4 +69,127 @@ TEST(FuzzRegression, QtableIoCorpus) {
 
 TEST(FuzzRegression, SnapshotCorpus) {
   replay("snapshot", &odrl::fuzz::fuzz_snapshot);
+}
+
+TEST(FuzzRegression, MultichipCorpus) {
+  replay("multichip", &odrl::fuzz::fuzz_multichip);
+}
+
+namespace {
+
+// The multichip seeds are deterministic functions of the harness fleet
+// (fuzz/harness.hpp multichip_fuzz_fleet) and the snapshot wire format,
+// so they can be rebuilt from scratch and compared byte for byte.
+std::string capture_fleet_frame(std::size_t epoch) {
+  odrl::sim::Fleet fleet(odrl::fuzz::multichip_fuzz_fleet());
+  std::string blob;
+  odrl::sim::MultiChipConfig mc;
+  mc.workers = 2;
+  mc.snapshot_epoch = epoch;
+  mc.snapshot_out = &blob;
+  (void)odrl::sim::run_multichip(fleet.specs(), mc);
+  return blob;
+}
+
+std::vector<std::pair<std::string, std::string>> expected_multichip_seeds() {
+  namespace snap = odrl::snapshot;
+  namespace sim = odrl::sim;
+  const std::string valid = capture_fleet_frame(16);
+
+  // Chip blobs of the valid frame, for building the derived seeds.
+  std::vector<std::string> chip_blobs;
+  {
+    snap::Reader r(valid);
+    r.open_section(sim::kSnapshotMultiChipTag);
+    r.u64();
+    r.u64();
+    r.expect_section_end();
+    for (std::size_t i = 0; i < 2; ++i) {
+      r.open_section(sim::chip_section_tag(i));
+      chip_blobs.push_back(r.str());
+      r.expect_section_end();
+    }
+  }
+
+  // Header epoch disagrees with the chips' captured epochs: parseable,
+  // resumable, but outside the differential byte-compare.
+  std::string epoch_mismatch;
+  {
+    snap::Writer w;
+    w.begin_section(sim::kSnapshotMultiChipTag);
+    w.u64(2);
+    w.u64(12);
+    w.end_section();
+    for (std::size_t i = 0; i < 2; ++i) {
+      w.begin_section(sim::chip_section_tag(i));
+      w.str(chip_blobs[i]);
+      w.end_section();
+    }
+    epoch_mismatch = std::move(w).finish();
+  }
+
+  // Three chips against a two-chip fleet: kDimensionMismatch rejection.
+  std::string chip_count_mismatch;
+  {
+    snap::Writer w;
+    w.begin_section(sim::kSnapshotMultiChipTag);
+    w.u64(3);
+    w.u64(16);
+    w.end_section();
+    for (std::size_t i = 0; i < 3; ++i) {
+      w.begin_section(sim::chip_section_tag(i));
+      w.str(chip_blobs[i % 2]);
+      w.end_section();
+    }
+    chip_count_mismatch = std::move(w).finish();
+  }
+
+  // Header promises two chips but no CHnn sections follow.
+  std::string headless;
+  {
+    snap::Writer w;
+    w.begin_section(sim::kSnapshotMultiChipTag);
+    w.u64(2);
+    w.u64(16);
+    w.end_section();
+    headless = std::move(w).finish();
+  }
+
+  return {
+      {"valid_midrun", valid},
+      {"epoch_mismatch_header", epoch_mismatch},
+      {"chip_count_mismatch", chip_count_mismatch},
+      {"missing_chip_sections", headless},
+      {"truncated", valid.substr(0, valid.size() / 2)},
+      {"garbage", "not a snapshot frame at all\n"},
+  };
+}
+
+}  // namespace
+
+// Guards the seeds against silently going stale: if the snapshot wire
+// format or the harness fleet changes, the committed blobs would parse as
+// mere rejections and the differential path would stop being exercised.
+// This test rebuilds every seed from the current code and compares bytes.
+// To regenerate after an intentional format change, run this binary with
+// ODRL_WRITE_FUZZ_SEEDS=1 (it rewrites tests/fuzz/corpus/multichip/ in
+// the source tree) and commit the result.
+TEST(FuzzRegression, MultichipSeedsMatchCurrentFormat) {
+  const fs::path dir = corpus_root() / "multichip";
+  const auto seeds = expected_multichip_seeds();
+  if (std::getenv("ODRL_WRITE_FUZZ_SEEDS") != nullptr) {
+    fs::create_directories(dir);
+    for (const auto& [name, bytes] : seeds) {
+      std::ofstream out(dir / name, std::ios::binary);
+      out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+      ASSERT_TRUE(out.good()) << "failed writing " << (dir / name);
+    }
+  }
+  for (const auto& [name, bytes] : seeds) {
+    SCOPED_TRACE("seed: " + name);
+    const auto on_disk = read_bytes(dir / name);
+    ASSERT_EQ(std::string(on_disk.begin(), on_disk.end()), bytes)
+        << "stale multichip fuzz seed -- regenerate with "
+           "ODRL_WRITE_FUZZ_SEEDS=1 ./fuzz_regression_test and commit";
+  }
 }

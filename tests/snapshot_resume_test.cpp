@@ -238,6 +238,78 @@ TEST(HotSwap, SwapAcceptsControllerOverrides) {
   EXPECT_EQ(r2.swaps.size(), 1u);
 }
 
+TEST(HotSwap, SwapReportMatchesTraceRecomputation) {
+  // The A/B report's segment aggregates must equal what the trace says:
+  // swap i splits the measured region at its epoch, overshoot is judged
+  // as max(0, true power - observed budget), and the accumulation order
+  // is the epoch order, so the doubles match bit for bit.
+  const oa::ChipConfig c = chip();
+  os::RunConfig cfg = base_config(c);
+  cfg.swaps.push_back({40, "Greedy", {}, nullptr});
+  cfg.swaps.push_back({80, "OD-RL", {}, nullptr});
+  os::ManyCoreSystem sys = make_system(c);
+  auto ctl = os::make_controller("OD-RL", c);
+  const os::RunResult r = os::run_closed_loop(sys, *ctl, cfg);
+
+  ASSERT_EQ(r.swaps.size(), 2u);
+  ASSERT_EQ(r.swap_report.size(), 2u);
+  ASSERT_EQ(r.trace.size(), kEpochs);
+
+  // Segment boundaries in measured-epoch space: [0,40), [40,80), [80,120).
+  const std::size_t bounds[] = {0, 40, 80, kEpochs};
+  double mean_overshoot[3];
+  double violation_frac[3];
+  for (std::size_t s = 0; s < 3; ++s) {
+    double sum = 0.0;
+    std::size_t violations = 0;
+    for (std::size_t e = bounds[s]; e < bounds[s + 1]; ++e) {
+      const auto& rec = r.trace[e];
+      if (rec.true_chip_power_w > rec.budget_w) {
+        sum += rec.true_chip_power_w - rec.budget_w;
+        ++violations;
+      }
+    }
+    const auto n = static_cast<double>(bounds[s + 1] - bounds[s]);
+    mean_overshoot[s] = sum / n;
+    violation_frac[s] = static_cast<double>(violations) / n;
+  }
+
+  for (std::size_t i = 0; i < 2; ++i) {
+    const os::SwapImpact& impact = r.swap_report[i];
+    EXPECT_EQ(impact.epoch, r.swaps[i].epoch);
+    EXPECT_EQ(impact.from, r.swaps[i].from);
+    EXPECT_EQ(impact.to, r.swaps[i].to);
+    EXPECT_EQ(impact.epochs_before, bounds[i + 1] - bounds[i]);
+    EXPECT_EQ(impact.epochs_after, bounds[i + 2] - bounds[i + 1]);
+    EXPECT_DOUBLE_EQ(impact.mean_overshoot_w_before, mean_overshoot[i]);
+    EXPECT_DOUBLE_EQ(impact.mean_overshoot_w_after, mean_overshoot[i + 1]);
+    EXPECT_DOUBLE_EQ(impact.violation_frac_before, violation_frac[i]);
+    EXPECT_DOUBLE_EQ(impact.violation_frac_after, violation_frac[i + 1]);
+    EXPECT_DOUBLE_EQ(
+        impact.delta_mean_overshoot_w(),
+        impact.mean_overshoot_w_after - impact.mean_overshoot_w_before);
+    EXPECT_DOUBLE_EQ(
+        impact.delta_violation_frac(),
+        impact.violation_frac_after - impact.violation_frac_before);
+  }
+
+  // The report survives keep_traces = false: it is built from in-run
+  // accumulators, not from the trace.
+  os::RunConfig no_trace = cfg;
+  no_trace.keep_traces = false;
+  os::ManyCoreSystem sys2 = make_system(c);
+  auto ctl2 = os::make_controller("OD-RL", c);
+  const os::RunResult r2 = os::run_closed_loop(sys2, *ctl2, no_trace);
+  ASSERT_EQ(r2.swap_report.size(), 2u);
+  EXPECT_TRUE(r2.trace.empty());
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_DOUBLE_EQ(r2.swap_report[i].mean_overshoot_w_after,
+                     r.swap_report[i].mean_overshoot_w_after);
+    EXPECT_DOUBLE_EQ(r2.swap_report[i].violation_frac_after,
+                     r.swap_report[i].violation_frac_after);
+  }
+}
+
 TEST(HotSwap, ResumeAcrossSwapBoundaryRebuildsTheActiveController) {
   // Capture *after* the swap fired: the resumed run must rebuild the
   // swapped-in controller (Greedy), not the original (OD-RL), and still

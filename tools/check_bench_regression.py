@@ -15,6 +15,15 @@ by CI:
                          ratio before applying the per-row tolerance: a
                          uniformly slower runner passes, a single controller
                          regressing relative to the rest fails.
+  BENCH_multichip.json -- bench/bench_multichip: per (chips, cores, workers)
+                         fleet throughput (chip-epochs/s) on the shared
+                         work-stealing runtime, median-normalized like e5.
+                         The JSON records the machine's `cpus`; the worker
+                         scaling floor (>= 3x from 1 to 8 workers at 8
+                         chips) is enforced only when both the committed
+                         and the fresh runs had >= 8 CPUs -- a 1-CPU
+                         container cannot measure scaling, and pretending
+                         otherwise would ratchet noise.
 
 Fresh flags are repeatable; multiple fresh files are merged best-of-N per
 row (max speedup / max epochs_per_s / min mean_decide_us) to shave timing
@@ -41,6 +50,11 @@ ACCEPT_MIN_SPEEDUP = 1.5
 ACCEPT_MIN_CORES = 64
 ACCEPT_MIN_KERNELS = 2
 
+MC_SCALING_FLOOR = 3.0   # epochs/s ratio, workers 8 vs 1, at 8 chips
+MC_SCALING_CHIPS = 8
+MC_SCALING_WORKERS = 8
+MC_MIN_CPUS = 8          # scaling is only measurable with enough CPUs
+
 
 def load(path):
     with open(path, "r", encoding="utf-8") as f:
@@ -55,6 +69,12 @@ def kernel_rows(doc):
 def e5_rows(doc):
     """{(controller, cores): row} for a BENCH_e5.json document."""
     return {(r["controller"], int(r["cores"])): r for r in doc["results"]}
+
+
+def mc_rows(doc):
+    """{(chips, cores, workers): row} for a BENCH_multichip.json document."""
+    return {(int(r["chips"]), int(r["cores"]), int(r["workers"])): r
+            for r in doc["results"]}
 
 
 def merge_best(per_file_rows, better):
@@ -170,6 +190,68 @@ def check_e5(baseline_path, fresh_paths, tol):
     return failures
 
 
+def mc_scaling_failures(rows, cpus, label):
+    """Worker-scaling floor on one multichip table (cpus-gated)."""
+    if cpus < MC_MIN_CPUS:
+        print(f"multichip: {label} ran on {cpus} CPU(s) -- worker-scaling "
+              f"floor skipped (needs >= {MC_MIN_CPUS})")
+        return []
+    ratios = []
+    for (chips, cores, workers), row in rows.items():
+        if chips != MC_SCALING_CHIPS or workers != MC_SCALING_WORKERS:
+            continue
+        base = rows.get((chips, cores, 1))
+        if base is None:
+            continue
+        ratios.append(row["chip_epochs_per_s"] / base["chip_epochs_per_s"])
+    if not ratios:
+        return [f"multichip: {label} has no (chips={MC_SCALING_CHIPS}, "
+                f"workers={MC_SCALING_WORKERS}) vs workers=1 pair"]
+    if max(ratios) >= MC_SCALING_FLOOR:
+        return []
+    return [
+        f"multichip: {label} scaling floor missed -- best workers-"
+        f"{MC_SCALING_WORKERS}/workers-1 ratio at {MC_SCALING_CHIPS} chips "
+        f"is {max(ratios):.2f}x (need >= {MC_SCALING_FLOOR}x)"
+    ]
+
+
+def check_multichip(baseline_path, fresh_paths, tol):
+    failures = []
+    base_doc = load(baseline_path)
+    fresh_docs = [load(p) for p in fresh_paths]
+    base = mc_rows(base_doc)
+    fresh = merge_best(
+        [mc_rows(d) for d in fresh_docs],
+        lambda a, b: a["chip_epochs_per_s"] > b["chip_epochs_per_s"],
+    )
+
+    missing = [k for k in base if k not in fresh]
+    for chips, cores, workers in missing:
+        failures.append(f"multichip: row ({chips} chips, {cores} cores, "
+                        f"{workers} workers) missing from fresh results")
+    keys = [k for k in sorted(base) if k not in missing]
+    if keys:
+        ratio = {k: fresh[k]["chip_epochs_per_s"] /
+                 base[k]["chip_epochs_per_s"] for k in keys}
+        med = statistics.median(ratio.values())
+        for key in keys:
+            chips, cores, workers = key
+            if ratio[key] < med * (1.0 - tol):
+                failures.append(
+                    f"multichip: {chips} chips @ {cores} cores, {workers} "
+                    f"workers throughput regressed relative to the suite -- "
+                    f"ratio {ratio[key]:.3f} vs median {med:.3f} "
+                    f"(tolerance {tol:.0%})"
+                )
+
+    failures += mc_scaling_failures(base, int(base_doc.get("cpus", 0)),
+                                    "committed baseline")
+    fresh_cpus = min(int(d.get("cpus", 0)) for d in fresh_docs)
+    failures += mc_scaling_failures(fresh, fresh_cpus, "fresh best-of-N")
+    return failures
+
+
 def main(argv):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--kernels-baseline",
@@ -179,20 +261,29 @@ def main(argv):
     parser.add_argument("--e5-baseline", help="committed BENCH_e5.json")
     parser.add_argument("--e5-fresh", action="append", default=[],
                         help="fresh e5 JSON (repeatable, best-of-N)")
+    parser.add_argument("--multichip-baseline",
+                        help="committed BENCH_multichip.json")
+    parser.add_argument("--multichip-fresh", action="append", default=[],
+                        help="fresh multichip JSON (repeatable, best-of-N)")
     parser.add_argument("--tolerance", type=float, default=0.10,
                         help="allowed per-row regression (default 0.10)")
     args = parser.parse_args(argv)
 
     do_kernels = args.kernels_baseline or args.kernels_fresh
     do_e5 = args.e5_baseline or args.e5_fresh
-    if not do_kernels and not do_e5:
-        parser.error("nothing to check: pass --kernels-* and/or --e5-*")
+    do_mc = args.multichip_baseline or args.multichip_fresh
+    if not do_kernels and not do_e5 and not do_mc:
+        parser.error("nothing to check: pass --kernels-*, --e5-* and/or "
+                     "--multichip-*")
     if do_kernels and not (args.kernels_baseline and args.kernels_fresh):
         parser.error("kernels check needs --kernels-baseline and at least "
                      "one --kernels-fresh")
     if do_e5 and not (args.e5_baseline and args.e5_fresh):
         parser.error("e5 check needs --e5-baseline and at least one "
                      "--e5-fresh")
+    if do_mc and not (args.multichip_baseline and args.multichip_fresh):
+        parser.error("multichip check needs --multichip-baseline and at "
+                     "least one --multichip-fresh")
 
     failures = []
     if do_kernels:
@@ -200,6 +291,9 @@ def main(argv):
                                   args.tolerance)
     if do_e5:
         failures += check_e5(args.e5_baseline, args.e5_fresh, args.tolerance)
+    if do_mc:
+        failures += check_multichip(args.multichip_baseline,
+                                    args.multichip_fresh, args.tolerance)
 
     if failures:
         print("perf ratchet FAILED:")
@@ -211,6 +305,9 @@ def main(argv):
         checked.append(f"kernels ({len(args.kernels_fresh)} fresh run(s))")
     if do_e5:
         checked.append(f"e5 ({len(args.e5_fresh)} fresh run(s))")
+    if do_mc:
+        checked.append(
+            f"multichip ({len(args.multichip_fresh)} fresh run(s))")
     print(f"perf ratchet OK: {', '.join(checked)}, "
           f"tolerance {args.tolerance:.0%}")
     return 0

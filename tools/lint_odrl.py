@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Project-specific lint rules for the ODRL hot path.
 
-Five rules, all aimed at the zero-allocation span/SoA epoch data path
+Six rules, all aimed at the zero-allocation span/SoA epoch data path
 (DESIGN.md "Epoch data path" / "Correctness tooling"); generic static
 analysis is clang-tidy's job (.clang-tidy), this script enforces what no
 off-the-shelf check can express:
@@ -40,6 +40,16 @@ off-the-shelf check can express:
       kernels") -- or carry a reasoned allow marker pinning why the fold
       order is already fixed.
 
+  raw-thread
+      All worker threads belong to the work-stealing runtime
+      (src/task/runtime.hpp): it owns parking, pinning, stealing and the
+      deterministic-reduction contract. New code spawning `std::thread`
+      (or resurrecting the retired util::ThreadPool, now a deprecated
+      shim over the runtime) forks that ownership and escapes the
+      runtime's counters and shutdown drain. Allowlist: the runtime's own
+      implementation and the shim. `std::thread::hardware_concurrency()`
+      and other static member accesses never trip this.
+
 Suppression: append `// lint: allow(<rule>): <reason>` to the offending
 line, or place it on its own line directly above (for statements the
 column limit would otherwise wrap). Naked suppressions (no reason) are
@@ -61,6 +71,14 @@ from pathlib import Path
 STD_FUNCTION_ALLOWLIST = {
     "src/sim/controller_registry.hpp",
     "bench/bench_common.hpp",
+}
+
+# The one place allowed to own threads, plus the deprecated compatibility
+# shim that forwards onto it.
+RAW_THREAD_ALLOWLIST = {
+    "src/task/runtime.hpp",
+    "src/task/runtime.cpp",
+    "src/util/thread_pool.hpp",
 }
 
 SCAN_DIRS = ("src", "bench", "examples")
@@ -263,6 +281,31 @@ def check_legacy_decide(path: Path, text: str, raw_lines: list[str],
             "run_closed_loop)"))
 
 
+# Flags std::thread/std::jthread uses that are not static member accesses
+# (hardware_concurrency() is fine everywhere), and any ThreadPool mention.
+RAW_THREAD_RE = re.compile(r"\bstd::j?thread\b(?!\s*::)")
+THREAD_POOL_RE = re.compile(r"\bThreadPool\b")
+
+
+def check_raw_thread(path: Path, rel: str, text: str,
+                     raw_lines: list[str], findings: list[Finding]):
+    if rel in RAW_THREAD_ALLOWLIST:
+        return
+    hits = [(m, "raw std::thread") for m in RAW_THREAD_RE.finditer(text)]
+    hits += [(m, "util::ThreadPool (retired)")
+             for m in THREAD_POOL_RE.finditer(text)]
+    for m, what in sorted(hits, key=lambda h: h[0].start()):
+        line = line_of(text, m.start())
+        if suppressed(raw_lines, line, "raw-thread", findings, path):
+            continue
+        findings.append(Finding(
+            path, line, "raw-thread",
+            f"{what}: worker threads belong to the task runtime "
+            "(task/runtime.hpp) -- submit work through Runtime or "
+            "parallel_for/parallel_reduce instead of spawning threads "
+            "(allowlist: " + ", ".join(sorted(RAW_THREAD_ALLOWLIST)) + ")"))
+
+
 REDUCTION_DECL_RE = re.compile(r"\bdouble\s+(?P<name>\w+)\s*=\s*0(?:\.0*)?\s*;")
 
 
@@ -294,6 +337,7 @@ def lint_file(path: Path, root: Path, findings: list[Finding]):
                        findings)
     check_decide_into(path.relative_to(root), text, raw_lines, findings)
     check_legacy_decide(path.relative_to(root), text, raw_lines, findings)
+    check_raw_thread(path.relative_to(root), rel, text, raw_lines, findings)
     if path.suffix == ".cpp" or rel.endswith(".hpp"):
         check_heap_in_hot_path(path.relative_to(root), text, raw_lines,
                                findings)
