@@ -106,6 +106,7 @@ void ControllerRegistry::add(std::string name, ControllerFactory factory) {
     throw std::invalid_argument("ControllerRegistry: null factory for \"" +
                                 name + "\"");
   }
+  util::MutexLock lock(mutex_);
   if (!factories_.emplace(std::move(name), std::move(factory)).second) {
     throw std::invalid_argument(
         "ControllerRegistry: duplicate registration");
@@ -113,10 +114,12 @@ void ControllerRegistry::add(std::string name, ControllerFactory factory) {
 }
 
 bool ControllerRegistry::contains(const std::string& name) const {
+  util::MutexLock lock(mutex_);
   return factories_.count(name) != 0;
 }
 
 std::vector<std::string> ControllerRegistry::names() const {
+  util::MutexLock lock(mutex_);
   std::vector<std::string> out;
   out.reserve(factories_.size());
   for (const auto& [name, factory] : factories_) out.push_back(name);
@@ -126,19 +129,27 @@ std::vector<std::string> ControllerRegistry::names() const {
 std::unique_ptr<Controller> ControllerRegistry::make(
     const std::string& name, const arch::ChipConfig& chip,
     const ControllerOverrides& overrides) const {
-  const auto it = factories_.find(name);
-  if (it == factories_.end()) {
-    std::ostringstream msg;
-    msg << "unknown controller \"" << name << "\"; registered:";
-    for (const auto& [known, factory] : factories_) {
-      msg << " \"" << known << "\"";
+  // Copy the factory out under the lock, then invoke it unlocked: a
+  // factory is arbitrary user code (it may construct telemetry, or even
+  // register further controllers) and must not run under kRegistry.
+  ControllerFactory factory;
+  {
+    util::MutexLock lock(mutex_);
+    const auto it = factories_.find(name);
+    if (it == factories_.end()) {
+      std::ostringstream msg;
+      msg << "unknown controller \"" << name << "\"; registered:";
+      for (const auto& [known, unused] : factories_) {
+        msg << " \"" << known << "\"";
+      }
+      throw std::invalid_argument(msg.str());
     }
-    throw std::invalid_argument(msg.str());
+    factory = it->second;
   }
   // Fresh copy so consumption tracking starts clean for this construction
   // even when the caller reuses one ControllerOverrides across makes.
   const ControllerOverrides local = overrides;
-  std::unique_ptr<Controller> controller = it->second(chip, local);
+  std::unique_ptr<Controller> controller = factory(chip, local);
   if (!controller) {
     throw std::logic_error("controller factory for \"" + name +
                            "\" returned null");

@@ -28,6 +28,8 @@
 
 #include "arch/chip_config.hpp"
 #include "sim/controller.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace odrl::sim {
 
@@ -74,7 +76,11 @@ class ControllerOverrides {
   const std::string* find(const std::string& key) const;
 
   std::map<std::string, std::string> values_;
-  mutable std::set<std::string> consumed_;  ///< read-tracking only
+  // Read-tracking only. Deliberately unguarded: an Overrides instance is
+  // confined to one construction (make() copies it per call), so there is
+  // no concurrent access to guard against.
+  // lint: allow(unguarded-capability): copied per-make(), never shared
+  mutable std::set<std::string> consumed_;
 };
 
 using ControllerFactory = std::function<std::unique_ptr<Controller>(
@@ -102,7 +108,16 @@ class ControllerRegistry {
 
  private:
   ControllerRegistry() = default;
-  std::map<std::string, ControllerFactory> factories_;
+
+  // The registry is a process-wide singleton written by static registrars
+  // (serial, pre-main) *and* by tests/downstream code at runtime, and read
+  // from every worker thread that hot-swaps a controller -- the
+  // single-writer phase is an accident of today's callers, not a contract,
+  // so the map is guarded. Rank kRegistry (lowest): make() may end up
+  // inside factories that touch telemetry.
+  mutable util::Mutex mutex_{util::LockRank::kRegistry,
+                             "controller-registry"};
+  std::map<std::string, ControllerFactory> factories_ ODRL_GUARDED_BY(mutex_);
 };
 
 /// Registers a factory at static-init time; declare one per controller at

@@ -2,13 +2,36 @@
 
 #include <chrono>
 #include <cstdio>
+#include <fstream>
+#include <memory>
+#include <set>
 #include <stdexcept>
 #include <string_view>
 #include <utility>
 
+#include "telemetry/csv_sink.hpp"
+#include "telemetry/jsonl_sink.hpp"
+#include "telemetry/recorder.hpp"
 #include "util/rng.hpp"
 
 namespace odrl::sim {
+
+std::string chip_session_tag(const ChipSpec& spec, std::size_t index) {
+  if (!spec.tag.empty()) return spec.tag;
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "chip%02zu", index);
+  return buf;
+}
+
+std::string sanitize_session_tag(const std::string& tag) {
+  std::string out = tag;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    if (!ok) c = '_';
+  }
+  return out;
+}
 
 std::uint64_t fleet_chip_seed(std::uint64_t root, std::size_t chip,
                               std::uint64_t stream) {
@@ -56,15 +79,30 @@ void MultiChipConfig::validate(std::span<const ChipSpec> chips) const {
           at + ": per-chip snapshot fields must be unset when the fleet "
                "snapshot frame is used");
     }
-    // Recorder instances are single-threaded; concurrent chips must not
-    // share one. (One recorder on exactly one chip is fine.)
+    // A recorder's record stream is serial per run; concurrent chips must
+    // not share one (their epochs would interleave nondeterministically).
     if (spec.config.recorder != nullptr) {
       for (std::size_t j = i + 1; j < chips.size(); ++j) {
         if (chips[j].config.recorder == spec.config.recorder) {
           throw std::invalid_argument(
               at + ": recorder shared with chip " + std::to_string(j) +
-              " (recorders are single-threaded; give each chip its own)");
+              " (give each chip its own; their records would interleave)");
         }
+      }
+    }
+  }
+  if (!telemetry_dir.empty()) {
+    // Distinct chips must land in distinct sink files; catching a tag
+    // collision here beats two runs silently clobbering one file.
+    std::set<std::string> stems;
+    for (std::size_t i = 0; i < chips.size(); ++i) {
+      const std::string stem =
+          sanitize_session_tag(chip_session_tag(chips[i], i));
+      if (!stems.insert(stem).second) {
+        throw std::invalid_argument(
+            "run_multichip: chip " + std::to_string(i) + " session tag \"" +
+            chip_session_tag(chips[i], i) +
+            "\" sanitizes to duplicate sink filename \"" + stem + "\"");
       }
     }
   }
@@ -147,6 +185,44 @@ MultiChipResult run_multichip(std::span<ChipSpec> chips,
     }
   }
 
+  // Per-chip telemetry sessions: every chip's records carry its session
+  // tag, and -- when telemetry_dir is set -- chips without a caller-provided
+  // recorder get a fleet-owned one writing to a file named after the tag.
+  // The streams/recorders outlive wait() below and flush on scope exit.
+  const bool want_csv =
+      config.telemetry_format == MultiChipConfig::TelemetryFormat::kCsv;
+  std::vector<std::unique_ptr<std::ofstream>> sink_streams;
+  std::vector<std::shared_ptr<telemetry::Sink>> sinks;
+  std::vector<std::unique_ptr<telemetry::Recorder>> recorders;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::string tag = chip_session_tag(chips[i], i);
+    if (run_configs[i].session_tag.empty()) run_configs[i].session_tag = tag;
+    if (config.telemetry_dir.empty() || run_configs[i].recorder != nullptr) {
+      continue;
+    }
+    const std::string path = config.telemetry_dir + "/" +
+                             sanitize_session_tag(tag) +
+                             (want_csv ? ".csv" : ".jsonl");
+    auto stream = std::make_unique<std::ofstream>(
+        path, std::ios::binary | std::ios::trunc);
+    if (!*stream) {
+      throw std::runtime_error(
+          "run_multichip: cannot open per-chip telemetry sink file " + path);
+    }
+    std::shared_ptr<telemetry::Sink> sink;
+    if (want_csv) {
+      sink = std::make_shared<telemetry::CsvSink>(*stream);
+    } else {
+      sink = std::make_shared<telemetry::JsonlSink>(*stream);
+    }
+    auto recorder = std::make_unique<telemetry::Recorder>();
+    recorder->add_sink(sink);
+    run_configs[i].recorder = recorder.get();
+    sink_streams.push_back(std::move(stream));
+    sinks.push_back(std::move(sink));
+    recorders.push_back(std::move(recorder));
+  }
+
   MultiChipResult result;
   result.chips.resize(n);
 
@@ -157,12 +233,16 @@ MultiChipResult run_multichip(std::span<ChipSpec> chips,
                              &run_configs[i], &result.chips[i]});
   }
 
+  // Wall-clock feeds MultiChipResult::wall_s (reporting only; every
+  // simulated quantity is deterministic regardless).
+  // lint: allow(nondeterminism): wall_s is observational fleet timing
   const auto t0 = std::chrono::steady_clock::now();
   {
     task::Runtime::Group group;
     for (ChipTask& t : tasks) runtime->submit(group, t);
     runtime->wait(group);  // rethrows the first chip failure
   }
+  // lint: allow(nondeterminism): wall_s is observational fleet timing
   const auto t1 = std::chrono::steady_clock::now();
   result.wall_s = std::chrono::duration<double>(t1 - t0).count();
 

@@ -76,8 +76,25 @@ struct MultiChipConfig {
   /// snapshot::SnapshotError(kDimensionMismatch). Non-owning.
   const std::string* resume_snapshot = nullptr;
 
+  /// Per-chip telemetry sessions. When non-empty, every chip WITHOUT its
+  /// own RunConfig::recorder gets a fleet-owned recorder writing to
+  /// `<telemetry_dir>/<sanitized tag>.<csv|jsonl>` (tag defaults to
+  /// "chip<%02zu index>"; characters outside [A-Za-z0-9._-] become '_').
+  /// Chips that do carry their own recorder keep it -- only the session
+  /// tag is threaded into their records. Duplicate sanitized filenames
+  /// throw std::invalid_argument before any chip starts.
+  std::string telemetry_dir;
+  enum class TelemetryFormat { kCsv, kJsonl };
+  TelemetryFormat telemetry_format = TelemetryFormat::kCsv;
+
   void validate(std::span<const ChipSpec> chips) const;
 };
+
+/// The effective session tag of chip `index` (spec.tag, or the
+/// "chip<%02zu>" default) and its sanitized sink filename stem. Exposed
+/// for tests and fleet monitors that need to locate a chip's sink file.
+std::string chip_session_tag(const ChipSpec& spec, std::size_t index);
+std::string sanitize_session_tag(const std::string& tag);
 
 struct MultiChipResult {
   /// Per-chip results, chip-index order (chips[i] ran specs[i]).

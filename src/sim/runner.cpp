@@ -112,6 +112,9 @@ std::vector<double> RunResult::max_temp_trace() const {
 RunResult run_closed_loop(ManyCoreSystem& system, Controller& controller,
                           const RunConfig& config) {
   config.validate();
+  // Wall-clock timing feeds decide_s / decide_us telemetry only -- never a
+  // simulated quantity, so determinism is untouched.
+  // lint: allow(nondeterminism): telemetry-only decide() latency timing
   using Clock = std::chrono::steady_clock;
   const bool resuming = config.resume_snapshot != nullptr;
 
@@ -287,8 +290,8 @@ RunResult run_closed_loop(ManyCoreSystem& system, Controller& controller,
 
   telemetry::Histogram* decide_hist = nullptr;
   if (rec) {
-    rec->begin_run(
-        {active->name(), n_cores, result.epochs, system.epoch_s()});
+    rec->begin_run({active->name(), n_cores, result.epochs, system.epoch_s(),
+                    config.session_tag});
     // decide() latencies span sub-us table walks to ~1 s global solves:
     // log-spaced microsecond bins covering 0.1 us .. 10 s.
     decide_hist = &rec->histogram(

@@ -179,6 +179,11 @@ struct RunConfig {
   /// Controller watchdog (off by default; see WatchdogConfig).
   WatchdogConfig watchdog;
 
+  /// Telemetry session identity, forwarded into RunInfo::tag (and from
+  /// there into sink filenames/records). run_multichip sets it from
+  /// ChipSpec::tag; empty means "untagged standalone run".
+  std::string session_tag;
+
   void validate() const;
 };
 

@@ -48,7 +48,7 @@ Runtime::TaskRing::TaskRing(std::size_t capacity)
     : slots_(std::max<std::size_t>(capacity, 1)) {}
 
 bool Runtime::TaskRing::push_bottom(const Task& task) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   if (count_ == slots_.size()) return false;
   slots_[(top_ + count_) % slots_.size()] = task;
   ++count_;
@@ -56,7 +56,7 @@ bool Runtime::TaskRing::push_bottom(const Task& task) {
 }
 
 bool Runtime::TaskRing::pop_bottom(Task& out) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   if (count_ == 0) return false;
   --count_;
   out = slots_[(top_ + count_) % slots_.size()];
@@ -64,7 +64,7 @@ bool Runtime::TaskRing::pop_bottom(Task& out) {
 }
 
 bool Runtime::TaskRing::pop_bottom_if(const Group* group, Task& out) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   if (count_ == 0) return false;
   const std::size_t bottom = (top_ + count_ - 1) % slots_.size();
   if (slots_[bottom].group != group) return false;
@@ -74,7 +74,7 @@ bool Runtime::TaskRing::pop_bottom_if(const Group* group, Task& out) {
 }
 
 bool Runtime::TaskRing::steal_top(Task& out) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   if (count_ == 0) return false;
   out = slots_[top_];
   top_ = (top_ + 1) % slots_.size();
@@ -83,7 +83,7 @@ bool Runtime::TaskRing::steal_top(Task& out) {
 }
 
 bool Runtime::TaskRing::steal_top_if(const Group* group, Task& out) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   if (count_ == 0 || slots_[top_].group != group) return false;
   out = slots_[top_];
   top_ = (top_ + 1) % slots_.size();
@@ -92,7 +92,7 @@ bool Runtime::TaskRing::steal_top_if(const Group* group, Task& out) {
 }
 
 std::size_t Runtime::TaskRing::depth() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return count_;
 }
 
@@ -141,7 +141,7 @@ Runtime::~Runtime() {
   Task task;
   while (find_task(current_slot(), task)) execute(task);
   {
-    std::lock_guard<std::mutex> lock(sched_mutex_);
+    util::MutexLock lock(sched_mutex_);
     stop_ = true;
     ++activity_;
   }
@@ -186,7 +186,7 @@ void Runtime::enqueue(const Task& task) {
 
 void Runtime::publish() {
   {
-    std::lock_guard<std::mutex> lock(sched_mutex_);
+    util::MutexLock lock(sched_mutex_);
     ++activity_;
   }
   sched_cv_.notify_all();
@@ -231,7 +231,7 @@ void Runtime::execute(const Task& task) {
     task.fn(task.ctx, task.begin, task.end);
   } catch (...) {
     if (task.group != nullptr) {
-      std::lock_guard<std::mutex> lock(task.group->mutex_);
+      util::MutexLock lock(task.group->mutex_);
       if (!task.group->error_) task.group->error_ = std::current_exception();
     }
   }
@@ -241,7 +241,7 @@ void Runtime::execute(const Task& task) {
     // Group declaration); completion wakeups go through the runtime CV.
     if (task.group->pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       {
-        std::lock_guard<std::mutex> lock(sched_mutex_);
+        util::MutexLock lock(sched_mutex_);
         ++activity_;
       }
       sched_cv_.notify_all();
@@ -265,27 +265,32 @@ void Runtime::wait(Group& group) {
     // bumps.
     std::uint64_t seen = 0;
     {
-      std::lock_guard<std::mutex> lock(sched_mutex_);
+      util::MutexLock lock(sched_mutex_);
       seen = activity_;
     }
     if (find_group_task(slot, group, task)) {  // close the publish race
       execute(task);
       continue;
     }
-    std::unique_lock<std::mutex> lock(sched_mutex_);
-    if (activity_ != seen ||
-        group.pending_.load(std::memory_order_acquire) == 0) {
-      continue;
+    {
+      // Manual predicate loop (not the wait(lock, pred) overload): the
+      // thread-safety analysis cannot follow locks across a predicate
+      // lambda, and the explicit shape keeps the park accounting exact --
+      // wait_parks counts callers that actually blocked.
+      util::MutexLock lock(sched_mutex_);
+      if (activity_ == seen &&
+          group.pending_.load(std::memory_order_acquire) != 0) {
+        wait_parks_.fetch_add(1, std::memory_order_relaxed);
+        while (activity_ == seen &&
+               group.pending_.load(std::memory_order_acquire) != 0) {
+          sched_cv_.wait(sched_mutex_);
+        }
+      }
     }
-    wait_parks_.fetch_add(1, std::memory_order_relaxed);
-    sched_cv_.wait(lock, [&] {
-      return activity_ != seen ||
-             group.pending_.load(std::memory_order_acquire) == 0;
-    });
   }
   std::exception_ptr error;
   {
-    std::lock_guard<std::mutex> lock(group.mutex_);
+    util::MutexLock lock(group.mutex_);
     error = group.error_;
     group.error_ = nullptr;
   }
@@ -339,7 +344,7 @@ void Runtime::worker_loop(std::size_t slot) {
   std::uint64_t seen = 0;
   for (;;) {
     {
-      std::lock_guard<std::mutex> lock(sched_mutex_);
+      util::MutexLock lock(sched_mutex_);
       if (stop_) return;
       seen = activity_;
     }
@@ -350,14 +355,15 @@ void Runtime::worker_loop(std::size_t slot) {
       ran = true;
     }
     if (ran) continue;  // rescan under a fresh generation
-    std::unique_lock<std::mutex> lock(sched_mutex_);
+    util::MutexLock lock(sched_mutex_);
     if (stop_) return;
     if (activity_ == seen) {
       // Per-worker epoch barrier: the scan at generation `seen` found
       // nothing, so sleep until a producer (or a group completion)
-      // advances the generation.
+      // advances the generation. Manual predicate loop, same reasoning
+      // as in wait().
       worker_parks_.fetch_add(1, std::memory_order_relaxed);
-      sched_cv_.wait(lock, [&] { return stop_ || activity_ != seen; });
+      while (!stop_ && activity_ == seen) sched_cv_.wait(sched_mutex_);
       if (stop_) return;
     }
   }

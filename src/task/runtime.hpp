@@ -19,6 +19,10 @@
 // tsan CI job can pin the whole epoch pipeline (see DESIGN.md "Task
 // runtime & multi-chip sharding"). At this library's task granularity
 // (a chunk of cores, or a whole chip run) the mutex cost is noise.
+// Every lock here is an annotated util::Mutex: guarded members are
+// machine-checked by Clang Thread Safety Analysis (CI builds src/ with
+// -Wthread-safety -Werror) and the ODRL_CHECKED lock-rank checker aborts
+// on any out-of-order acquisition (util/lock_rank.hpp rank table).
 //
 // Determinism contract (inherited verbatim from the retired fork-join
 // util::ThreadPool, pinned by tests/threading_test.cpp + golden suite):
@@ -32,16 +36,16 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <exception>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "util/function_ref.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace odrl::task {
 
@@ -95,8 +99,8 @@ class Runtime {
     // other threads. mutex_ guards only error_, and only *before* the
     // owning task's decrement, so the same argument covers it.
     std::atomic<std::size_t> pending_{0};
-    std::mutex mutex_;
-    std::exception_ptr error_;  ///< first task exception, under mutex_
+    util::Mutex mutex_{util::LockRank::kGroup, "task-group"};
+    std::exception_ptr error_ ODRL_GUARDED_BY(mutex_);  ///< first exception
   };
 
   /// `workers` = total execution width including the calling thread.
@@ -223,10 +227,13 @@ class Runtime {
     std::size_t depth() const;
 
    private:
-    mutable std::mutex mutex_;
-    std::vector<Task> slots_;
-    std::size_t top_ = 0;     ///< index of the oldest task
-    std::size_t count_ = 0;   ///< live tasks in [top_, top_ + count_)
+    // All rings share rank kRing: the runtime's discipline is "release
+    // the current ring before touching another", so two ring locks never
+    // nest (the rank checker enforces that, same-rank nesting aborts).
+    mutable util::Mutex mutex_{util::LockRank::kRing, "task-ring"};
+    std::vector<Task> slots_ ODRL_GUARDED_BY(mutex_);
+    std::size_t top_ ODRL_GUARDED_BY(mutex_) = 0;    ///< oldest task
+    std::size_t count_ ODRL_GUARDED_BY(mutex_) = 0;  ///< live task count
   };
 
   /// Per-slot state. Slot 0 belongs to external callers (the thread that
@@ -268,10 +275,10 @@ class Runtime {
   /// Epoch barrier for idle workers: producers bump the generation under
   /// the mutex after publishing work; a worker whose full scan came up
   /// empty parks until the generation moves past the one it scanned at.
-  std::mutex sched_mutex_;
-  std::condition_variable sched_cv_;
-  std::uint64_t activity_ = 0;
-  bool stop_ = false;
+  util::Mutex sched_mutex_{util::LockRank::kScheduler, "task-sched"};
+  util::CondVar sched_cv_;
+  std::uint64_t activity_ ODRL_GUARDED_BY(sched_mutex_) = 0;
+  bool stop_ ODRL_GUARDED_BY(sched_mutex_) = false;
 
   // Counters (relaxed; observational only).
   std::atomic<std::uint64_t> tasks_executed_{0};

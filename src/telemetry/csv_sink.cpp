@@ -63,16 +63,23 @@ struct Row {
 CsvSink::CsvSink(std::ostream& out) : out_(&out) { *out_ << kHeader << '\n'; }
 
 void CsvSink::begin_run(const RunInfo& info) {
+  util::MutexLock lock(mutex_);
   *out_ << "# run controller=" << util::csv_escape(info.controller)
         << " cores=" << info.n_cores << " epochs=" << info.epochs
-        << " epoch_s=" << fmt_double(info.epoch_s) << '\n';
+        << " epoch_s=" << fmt_double(info.epoch_s);
+  if (!info.tag.empty()) *out_ << " tag=" << util::csv_escape(info.tag);
+  *out_ << '\n';
   Row row;
   row.set(kRecord, "run_begin");
   row.set(kName, info.controller);
+  // Session tag in the value cell; untagged runs keep the cell empty so
+  // the pre-tag byte layout (and every golden digest) is preserved.
+  if (!info.tag.empty()) row.set(kValue, info.tag);
   row.write(*out_);
 }
 
 void CsvSink::epoch(const EpochRecord& rec) {
+  util::MutexLock lock(mutex_);
   Row row;
   row.set(kRecord, "epoch");
   row.set(kEpoch, rec.epoch);
@@ -87,6 +94,7 @@ void CsvSink::epoch(const EpochRecord& rec) {
 }
 
 void CsvSink::core(const CoreRecord& rec) {
+  util::MutexLock lock(mutex_);
   Row row;
   row.set(kRecord, "core");
   row.set(kEpoch, rec.epoch);
@@ -100,6 +108,7 @@ void CsvSink::core(const CoreRecord& rec) {
 }
 
 void CsvSink::realloc(const ReallocRecord& rec) {
+  util::MutexLock lock(mutex_);
   Row row;
   row.set(kRecord, "realloc");
   row.set(kEpoch, rec.epoch);
@@ -112,6 +121,7 @@ void CsvSink::realloc(const ReallocRecord& rec) {
 }
 
 void CsvSink::budget_change(const BudgetChangeRecord& rec) {
+  util::MutexLock lock(mutex_);
   Row row;
   row.set(kRecord, "budget_change");
   row.set(kEpoch, rec.epoch);
@@ -120,6 +130,7 @@ void CsvSink::budget_change(const BudgetChangeRecord& rec) {
 }
 
 void CsvSink::controller_swap(const ControllerSwapRecord& rec) {
+  util::MutexLock lock(mutex_);
   Row row;
   row.set(kRecord, "controller_swap");
   row.set(kEpoch, rec.epoch);
@@ -129,6 +140,7 @@ void CsvSink::controller_swap(const ControllerSwapRecord& rec) {
 }
 
 void CsvSink::metrics(const MetricsSnapshot& snap) {
+  util::MutexLock lock(mutex_);
   for (const auto& c : snap.counters) {
     Row row;
     row.set(kRecord, "counter");
@@ -163,6 +175,7 @@ void CsvSink::metrics(const MetricsSnapshot& snap) {
 }
 
 void CsvSink::end_run() {
+  util::MutexLock lock(mutex_);
   Row row;
   row.set(kRecord, "run_end");
   row.write(*out_);

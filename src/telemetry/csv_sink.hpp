@@ -17,11 +17,17 @@
 //   histogram_bin  -- name, edge (upper edge, "inf" = overflow), value=count
 //   histogram_sum  -- name, value=total observations, edge=sum of values
 //   run_end        -- (marker row)
+// When RunInfo::tag is non-empty (per-chip sessions under run_multichip)
+// the `# run ...` comment gains a `tag=` token and the run_begin row
+// carries the tag in its `value` cell; untagged runs are byte-identical to
+// the pre-tag format, so existing goldens and parsers are unaffected.
 #pragma once
 
 #include <ostream>
 
 #include "telemetry/sink.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace odrl::telemetry {
 
@@ -41,7 +47,10 @@ class CsvSink final : public Sink {
   void end_run() override;
 
  private:
-  std::ostream* out_;
+  // Guarded so interleaved writers corrupt nothing; one Recorder still
+  // delivers records serially, the lock covers shared-stream setups.
+  mutable util::Mutex mutex_{util::LockRank::kSink, "csv-sink"};
+  std::ostream* out_ ODRL_PT_GUARDED_BY(mutex_);
 };
 
 }  // namespace odrl::telemetry

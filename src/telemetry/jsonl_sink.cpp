@@ -73,15 +73,19 @@ class Line {
 }  // namespace
 
 void JsonlSink::begin_run(const RunInfo& info) {
-  Line("run_begin")
-      .field("controller", info.controller)
+  util::MutexLock lock(mutex_);
+  Line line("run_begin");
+  line.field("controller", info.controller)
       .field("cores", std::uint64_t{info.n_cores})
       .field("epochs", std::uint64_t{info.epochs})
-      .field("epoch_s", info.epoch_s)
-      .write(*out_);
+      .field("epoch_s", info.epoch_s);
+  // Session tag only when set: untagged runs keep the pre-tag byte layout.
+  if (!info.tag.empty()) line.field("tag", info.tag);
+  line.write(*out_);
 }
 
 void JsonlSink::epoch(const EpochRecord& rec) {
+  util::MutexLock lock(mutex_);
   Line("epoch")
       .field("epoch", rec.epoch)
       .field("budget_w", rec.budget_w)
@@ -95,6 +99,7 @@ void JsonlSink::epoch(const EpochRecord& rec) {
 }
 
 void JsonlSink::core(const CoreRecord& rec) {
+  util::MutexLock lock(mutex_);
   Line("core")
       .field("epoch", rec.epoch)
       .field("core", std::uint64_t{rec.core})
@@ -107,6 +112,7 @@ void JsonlSink::core(const CoreRecord& rec) {
 }
 
 void JsonlSink::realloc(const ReallocRecord& rec) {
+  util::MutexLock lock(mutex_);
   Line("realloc")
       .field("epoch", rec.epoch)
       .field("index", rec.index)
@@ -119,6 +125,7 @@ void JsonlSink::realloc(const ReallocRecord& rec) {
 }
 
 void JsonlSink::budget_change(const BudgetChangeRecord& rec) {
+  util::MutexLock lock(mutex_);
   Line("budget_change")
       .field("epoch", rec.epoch)
       .field("budget_w", rec.budget_w)
@@ -126,6 +133,7 @@ void JsonlSink::budget_change(const BudgetChangeRecord& rec) {
 }
 
 void JsonlSink::controller_swap(const ControllerSwapRecord& rec) {
+  util::MutexLock lock(mutex_);
   Line("controller_swap")
       .field("epoch", rec.epoch)
       .field("from", rec.from)
@@ -134,6 +142,7 @@ void JsonlSink::controller_swap(const ControllerSwapRecord& rec) {
 }
 
 void JsonlSink::metrics(const MetricsSnapshot& snap) {
+  util::MutexLock lock(mutex_);
   for (const auto& c : snap.counters) {
     Line("counter").field("name", c.name).field("value", c.value).write(*out_);
   }
@@ -152,6 +161,7 @@ void JsonlSink::metrics(const MetricsSnapshot& snap) {
 }
 
 void JsonlSink::end_run() {
+  util::MutexLock lock(mutex_);
   Line("run_end").write(*out_);
   out_->flush();
 }

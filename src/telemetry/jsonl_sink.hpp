@@ -8,11 +8,16 @@
 // gauge, histogram, run_end (see DESIGN.md "Telemetry" for the field
 // lists). Numbers use shortest round-trip formatting; non-finite values
 // serialize as null (JSON has no NaN/inf).
+// When RunInfo::tag is non-empty the run_begin line carries a `tag` field
+// (per-chip session identity under run_multichip); untagged runs emit the
+// pre-tag byte layout, keeping golden digests valid.
 #pragma once
 
 #include <ostream>
 
 #include "telemetry/sink.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace odrl::telemetry {
 
@@ -31,7 +36,10 @@ class JsonlSink final : public Sink {
   void end_run() override;
 
  private:
-  std::ostream* out_;
+  // Guarded so interleaved writers corrupt nothing; one Recorder still
+  // delivers records serially, the lock covers shared-stream setups.
+  mutable util::Mutex mutex_{util::LockRank::kSink, "jsonl-sink"};
+  std::ostream* out_ ODRL_PT_GUARDED_BY(mutex_);
 };
 
 }  // namespace odrl::telemetry

@@ -32,40 +32,96 @@ std::vector<T> ring_unroll(const std::vector<T>& buf, std::size_t capacity,
 
 }  // namespace
 
-void MemorySink::begin_run(const RunInfo& info) { runs_.push_back(info); }
+void MemorySink::begin_run(const RunInfo& info) {
+  util::MutexLock lock(mutex_);
+  runs_.push_back(info);
+}
 
 void MemorySink::epoch(const EpochRecord& rec) {
+  util::MutexLock lock(mutex_);
   ring_push(epochs_, capacity_, epochs_seen_, rec);
   ++epochs_seen_;
 }
 
 void MemorySink::core(const CoreRecord& rec) {
+  util::MutexLock lock(mutex_);
   ring_push(cores_, capacity_, cores_seen_, rec);
   ++cores_seen_;
 }
 
 void MemorySink::realloc(const ReallocRecord& rec) {
+  util::MutexLock lock(mutex_);
   reallocs_.push_back(rec);
 }
 
 void MemorySink::budget_change(const BudgetChangeRecord& rec) {
+  util::MutexLock lock(mutex_);
   budget_changes_.push_back(rec);
 }
 
 void MemorySink::controller_swap(const ControllerSwapRecord& rec) {
+  util::MutexLock lock(mutex_);
   controller_swaps_.push_back(rec);
 }
 
-void MemorySink::metrics(const MetricsSnapshot& snap) { metrics_ = snap; }
+void MemorySink::metrics(const MetricsSnapshot& snap) {
+  util::MutexLock lock(mutex_);
+  metrics_ = snap;
+}
 
-void MemorySink::end_run() { ++runs_ended_; }
+void MemorySink::end_run() {
+  util::MutexLock lock(mutex_);
+  ++runs_ended_;
+}
 
 std::vector<EpochRecord> MemorySink::epochs() const {
+  util::MutexLock lock(mutex_);
   return ring_unroll(epochs_, capacity_, epochs_seen_);
 }
 
 std::vector<CoreRecord> MemorySink::cores() const {
+  util::MutexLock lock(mutex_);
   return ring_unroll(cores_, capacity_, cores_seen_);
+}
+
+std::vector<ReallocRecord> MemorySink::reallocs() const {
+  util::MutexLock lock(mutex_);
+  return reallocs_;
+}
+
+std::vector<BudgetChangeRecord> MemorySink::budget_changes() const {
+  util::MutexLock lock(mutex_);
+  return budget_changes_;
+}
+
+std::vector<ControllerSwapRecord> MemorySink::controller_swaps() const {
+  util::MutexLock lock(mutex_);
+  return controller_swaps_;
+}
+
+std::vector<RunInfo> MemorySink::runs() const {
+  util::MutexLock lock(mutex_);
+  return runs_;
+}
+
+MetricsSnapshot MemorySink::last_metrics() const {
+  util::MutexLock lock(mutex_);
+  return metrics_;
+}
+
+std::size_t MemorySink::epochs_seen() const {
+  util::MutexLock lock(mutex_);
+  return epochs_seen_;
+}
+
+std::size_t MemorySink::cores_seen() const {
+  util::MutexLock lock(mutex_);
+  return cores_seen_;
+}
+
+std::size_t MemorySink::runs_ended() const {
+  util::MutexLock lock(mutex_);
+  return runs_ended_;
 }
 
 }  // namespace odrl::telemetry

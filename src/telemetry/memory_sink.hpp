@@ -3,12 +3,20 @@
 // `capacity` epoch/core records -- the bounded-memory option for long runs
 // where only the recent window matters (events and metrics, which are rare
 // and small, are always kept in full).
+//
+// Internally guarded (rank kSink): the recording side is serial per the
+// Recorder contract, but accessors may be polled from another thread (a
+// fleet monitor watching a chip mid-run), so every buffer sits behind an
+// annotated mutex and the accessors return *copies* taken under the lock
+// -- never references into storage a concurrent record could reallocate.
 #pragma once
 
 #include <cstddef>
 #include <vector>
 
 #include "telemetry/sink.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace odrl::telemetry {
 
@@ -30,34 +38,31 @@ class MemorySink final : public Sink {
   /// Buffered epoch records, oldest first (ring already unrolled).
   std::vector<EpochRecord> epochs() const;
   std::vector<CoreRecord> cores() const;
-  const std::vector<ReallocRecord>& reallocs() const { return reallocs_; }
-  const std::vector<BudgetChangeRecord>& budget_changes() const {
-    return budget_changes_;
-  }
-  const std::vector<ControllerSwapRecord>& controller_swaps() const {
-    return controller_swaps_;
-  }
-  const std::vector<RunInfo>& runs() const { return runs_; }
-  const MetricsSnapshot& last_metrics() const { return metrics_; }
+  std::vector<ReallocRecord> reallocs() const;
+  std::vector<BudgetChangeRecord> budget_changes() const;
+  std::vector<ControllerSwapRecord> controller_swaps() const;
+  std::vector<RunInfo> runs() const;
+  MetricsSnapshot last_metrics() const;
 
   std::size_t capacity() const { return capacity_; }
   /// Total records *offered*, including those the ring has since dropped.
-  std::size_t epochs_seen() const { return epochs_seen_; }
-  std::size_t cores_seen() const { return cores_seen_; }
-  std::size_t runs_ended() const { return runs_ended_; }
+  std::size_t epochs_seen() const;
+  std::size_t cores_seen() const;
+  std::size_t runs_ended() const;
 
  private:
-  std::size_t capacity_;
-  std::vector<EpochRecord> epochs_;   ///< ring storage when capacity_ > 0
-  std::vector<CoreRecord> cores_;
-  std::size_t epochs_seen_ = 0;
-  std::size_t cores_seen_ = 0;
-  std::vector<ReallocRecord> reallocs_;
-  std::vector<BudgetChangeRecord> budget_changes_;
-  std::vector<ControllerSwapRecord> controller_swaps_;
-  std::vector<RunInfo> runs_;
-  MetricsSnapshot metrics_;
-  std::size_t runs_ended_ = 0;
+  const std::size_t capacity_;  ///< immutable after construction
+  mutable util::Mutex mutex_{util::LockRank::kSink, "memory-sink"};
+  std::vector<EpochRecord> epochs_ ODRL_GUARDED_BY(mutex_);
+  std::vector<CoreRecord> cores_ ODRL_GUARDED_BY(mutex_);
+  std::size_t epochs_seen_ ODRL_GUARDED_BY(mutex_) = 0;
+  std::size_t cores_seen_ ODRL_GUARDED_BY(mutex_) = 0;
+  std::vector<ReallocRecord> reallocs_ ODRL_GUARDED_BY(mutex_);
+  std::vector<BudgetChangeRecord> budget_changes_ ODRL_GUARDED_BY(mutex_);
+  std::vector<ControllerSwapRecord> controller_swaps_ ODRL_GUARDED_BY(mutex_);
+  std::vector<RunInfo> runs_ ODRL_GUARDED_BY(mutex_);
+  MetricsSnapshot metrics_ ODRL_GUARDED_BY(mutex_);
+  std::size_t runs_ended_ ODRL_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace odrl::telemetry

@@ -26,6 +26,10 @@ struct RunInfo {
   std::size_t n_cores = 0;
   std::size_t epochs = 0;     ///< measured epochs the run will execute
   double epoch_s = 0.0;       ///< control epoch length in seconds
+  /// Session identity for fleet runs (ChipSpec::tag under run_multichip);
+  /// empty for standalone runs, and sinks omit it when empty so untagged
+  /// output stays byte-identical to the pre-tag format.
+  std::string tag;
 };
 
 /// Chip-level per-epoch record: the quantities every experiment plots.

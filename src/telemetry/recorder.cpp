@@ -17,16 +17,23 @@ Recorder::Recorder(RecorderConfig config) : config_(config) {
 
 void Recorder::add_sink(std::shared_ptr<Sink> sink) {
   if (!sink) throw std::invalid_argument("Recorder::add_sink: null sink");
+  util::MutexLock lock(mutex_);
   sinks_.push_back(std::move(sink));
+  n_sinks_.store(sinks_.size(), std::memory_order_release);
 }
 
 void Recorder::begin_run(const RunInfo& info) {
+  util::MutexLock lock(mutex_);
   for (const auto& sink : sinks_) sink->begin_run(info);
 }
 
 void Recorder::end_run() {
   if (!active()) return;
-  const MetricsSnapshot snap = snapshot();
+  // One lock for the whole epilogue (snapshot_locked, not the public
+  // snapshot(): re-locking here would self-deadlock, which is exactly what
+  // the ODRL_EXCLUDES annotations catch statically).
+  util::MutexLock lock(mutex_);
+  const MetricsSnapshot snap = snapshot_locked();
   for (const auto& sink : sinks_) {
     sink->metrics(snap);
     sink->end_run();
@@ -35,37 +42,47 @@ void Recorder::end_run() {
 
 void Recorder::record_epoch(const EpochRecord& rec) {
   if (!active() || !sampled(rec.epoch)) return;
+  util::MutexLock lock(mutex_);
   for (const auto& sink : sinks_) sink->epoch(rec);
 }
 
 void Recorder::record_core(const CoreRecord& rec) {
   if (!wants_cores(rec.epoch)) return;
+  util::MutexLock lock(mutex_);
   for (const auto& sink : sinks_) sink->core(rec);
 }
 
 void Recorder::record_realloc(const ReallocRecord& rec) {
   if (!active()) return;
+  util::MutexLock lock(mutex_);
   for (const auto& sink : sinks_) sink->realloc(rec);
 }
 
 void Recorder::record_budget_change(const BudgetChangeRecord& rec) {
   if (!active()) return;
+  util::MutexLock lock(mutex_);
   for (const auto& sink : sinks_) sink->budget_change(rec);
 }
 
 void Recorder::record_controller_swap(const ControllerSwapRecord& rec) {
   if (!active()) return;
+  util::MutexLock lock(mutex_);
   for (const auto& sink : sinks_) sink->controller_swap(rec);
 }
 
 Counter& Recorder::counter(const std::string& name) {
+  util::MutexLock lock(mutex_);
   return counters_[name];
 }
 
-Gauge& Recorder::gauge(const std::string& name) { return gauges_[name]; }
+Gauge& Recorder::gauge(const std::string& name) {
+  util::MutexLock lock(mutex_);
+  return gauges_[name];
+}
 
 Histogram& Recorder::histogram(const std::string& name,
                                std::vector<double> upper_edges) {
+  util::MutexLock lock(mutex_);
   const auto it = histograms_.find(name);
   if (it != histograms_.end()) {
     if (it->second.upper_edges() != upper_edges) {
@@ -79,6 +96,11 @@ Histogram& Recorder::histogram(const std::string& name,
 }
 
 MetricsSnapshot Recorder::snapshot() const {
+  util::MutexLock lock(mutex_);
+  return snapshot_locked();
+}
+
+MetricsSnapshot Recorder::snapshot_locked() const {
   MetricsSnapshot snap;
   snap.counters.reserve(counters_.size());
   for (const auto& [name, c] : counters_) {

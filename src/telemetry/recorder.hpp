@@ -9,14 +9,20 @@
 // the controllers' instrumentation sits outside their parallel loops and
 // behind a null check).
 //
-// Threading/determinism contract: all record_* and instrument calls must
-// come from one thread (the closed-loop driver's), in epoch order. The
-// parallel regions of the simulator and controllers never call into the
-// Recorder -- they hand their results to the serial section that does.
-// Sinks therefore observe a deterministic record sequence for any thread
-// count, and recording never changes RunResults (it only reads them).
+// Threading/determinism contract: all record_* and instrument calls of
+// ONE run must come from one thread (the closed-loop driver's), in epoch
+// order -- the parallel regions of the simulator and controllers never
+// call into the Recorder; they hand their results to the serial section
+// that does. Sinks therefore observe a deterministic record sequence for
+// any thread count, and recording never changes RunResults (it only reads
+// them). That single-writer shape used to be an implicit convention; the
+// internals are now guarded by an annotated mutex (rank kRecorder) so a
+// Recorder shared across threads -- e.g. fleet-level counters aggregated
+// over per-chip runs -- is merely *interleaved*, never corrupted, and the
+// guard is machine-checked by -Wthread-safety in CI.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <map>
 #include <memory>
@@ -26,6 +32,8 @@
 #include "telemetry/metric.hpp"
 #include "telemetry/record.hpp"
 #include "telemetry/sink.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace odrl::telemetry {
 
@@ -49,8 +57,10 @@ class Recorder {
   /// MemorySink to inspect after the run).
   void add_sink(std::shared_ptr<Sink> sink);
 
-  /// True once a sink is attached; the universal hot-path guard.
-  bool active() const { return !sinks_.empty(); }
+  /// True once a sink is attached; the universal hot-path guard. Lock-free
+  /// (one relaxed atomic load), so inactive instrumented paths still pay
+  /// nothing.
+  bool active() const { return n_sinks_.load(std::memory_order_acquire) != 0; }
   const RecorderConfig& config() const { return config_; }
 
   /// True when per-core records are wanted for this epoch -- callers check
@@ -64,7 +74,7 @@ class Recorder {
 
   void begin_run(const RunInfo& info);
   /// Emits the metrics snapshot, then end_run, to every sink.
-  void end_run();
+  void end_run() ODRL_EXCLUDES(mutex_);
 
   void record_epoch(const EpochRecord& rec);
   void record_core(const CoreRecord& rec);
@@ -73,7 +83,10 @@ class Recorder {
   void record_controller_swap(const ControllerSwapRecord& rec);
 
   /// Named instruments, created on first use. Names are sorted in the
-  /// snapshot, so emission order never depends on creation order.
+  /// snapshot, so emission order never depends on creation order. The
+  /// lookup locks (the maps may rebalance); the returned reference is
+  /// stable (std::map) and updated by the run's single recording thread
+  /// per the contract above.
   Counter& counter(const std::string& name);
   Gauge& gauge(const std::string& name);
   /// Get-or-create; on reuse the edges must match the existing histogram
@@ -81,14 +94,19 @@ class Recorder {
   Histogram& histogram(const std::string& name,
                        std::vector<double> upper_edges);
 
-  MetricsSnapshot snapshot() const;
+  MetricsSnapshot snapshot() const ODRL_EXCLUDES(mutex_);
 
  private:
+  MetricsSnapshot snapshot_locked() const ODRL_REQUIRES(mutex_);
+
   RecorderConfig config_;
-  std::vector<std::shared_ptr<Sink>> sinks_;
-  std::map<std::string, Counter> counters_;
-  std::map<std::string, Gauge> gauges_;
-  std::map<std::string, Histogram> histograms_;
+  mutable util::Mutex mutex_{util::LockRank::kRecorder, "recorder"};
+  /// Mirror of sinks_.size() so active() stays lock-free.
+  std::atomic<std::size_t> n_sinks_{0};
+  std::vector<std::shared_ptr<Sink>> sinks_ ODRL_GUARDED_BY(mutex_);
+  std::map<std::string, Counter> counters_ ODRL_GUARDED_BY(mutex_);
+  std::map<std::string, Gauge> gauges_ ODRL_GUARDED_BY(mutex_);
+  std::map<std::string, Histogram> histograms_ ODRL_GUARDED_BY(mutex_);
 };
 
 }  // namespace odrl::telemetry

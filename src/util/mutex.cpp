@@ -1,0 +1,27 @@
+#include "util/mutex.hpp"
+
+namespace odrl::util {
+
+// Out of line so the rank checker's presence is decided by the library's
+// own ODRL_CHECKED flag (see util/check.hpp's checks_enabled() for the
+// same pattern). The bodies acquire no capability the analysis can see --
+// they ARE the primitive -- which is the standard trusted-wrapper shape.
+
+void Mutex::lock(const char* file, int line) {
+#ifdef ODRL_CHECKED
+  lock_rank::note_acquire(this, rank_, name_, file, line);
+#else
+  (void)file;
+  (void)line;
+#endif
+  raw_.lock();
+}
+
+void Mutex::unlock() {
+  raw_.unlock();
+#ifdef ODRL_CHECKED
+  lock_rank::note_release(this);
+#endif
+}
+
+}  // namespace odrl::util

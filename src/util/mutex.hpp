@@ -1,0 +1,109 @@
+// Annotated locking primitives: the only mutexes the codebase is allowed
+// to use (lint rule `raw-mutex` blocks `std::mutex` outside src/util/).
+//
+// util::Mutex layers three guarantees over std::mutex:
+//   1. Clang Thread Safety Analysis capability (ODRL_CAPABILITY): guarded
+//      members declared ODRL_GUARDED_BY(mu) are compile-time checked under
+//      -Wthread-safety (promoted to an error in CI's static-analysis job).
+//   2. A LockRank checked at runtime under ODRL_CHECKED: out-of-order
+//      acquisition aborts with both lock sites (util/lock_rank.hpp).
+//   3. A name, so rank-violation diagnostics read "sched" vs "ring", not
+//      two hex pointers.
+//
+// lock()/unlock() are out of line in mutex.cpp so the rank bookkeeping
+// follows the *library's* ODRL_CHECKED state, exactly like
+// util::checks_enabled(): a Release caller linking a Debug library still
+// gets checked locks, and vice versa. The call-site file:line is captured
+// via __builtin_FILE()/__builtin_LINE() default arguments, keeping the
+// header free of <source_location>.
+//
+// CondVar wraps std::condition_variable_any waiting on Mutex directly
+// (BasicLockable), so the unlock/relock inside wait() flows through the
+// same rank bookkeeping. Prefer the manual `while (!pred) cv.wait(mu);`
+// shape over predicate-lambda overloads: the analysis cannot see locks
+// held across a lambda boundary, and the explicit loop keeps wait-park
+// accounting (RuntimeStats) honest.
+#pragma once
+
+#include <condition_variable>  // lint: allow(raw-mutex): the one annotated wrapper
+#include <mutex>               // lint: allow(raw-mutex): the one annotated wrapper
+
+#include "util/lock_rank.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace odrl::util {
+
+/// A std::mutex with a TSA capability, a deadlock-detection rank, and a
+/// diagnostic name. Constant-initializable (file-scope instances are safe
+/// before main).
+class ODRL_CAPABILITY("mutex") Mutex {
+ public:
+  constexpr explicit Mutex(LockRank rank = LockRank::kLeaf,
+                           const char* name = "mutex") noexcept
+      : rank_(rank), name_(name) {}
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  /// Callable with no arguments (BasicLockable, as CondVar::wait needs);
+  /// the defaults record the caller's site for rank diagnostics.
+  void lock(const char* file = __builtin_FILE(),
+            int line = __builtin_LINE()) ODRL_ACQUIRE();
+  void unlock() ODRL_RELEASE();
+
+  LockRank rank() const noexcept { return rank_; }
+  const char* name() const noexcept { return name_; }
+
+ private:
+  friend class CondVar;
+
+  std::mutex raw_;  // lint: allow(raw-mutex): the wrapped primitive itself
+  LockRank rank_;
+  const char* name_;
+};
+
+/// RAII scope lock over util::Mutex (the project's std::lock_guard).
+class ODRL_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu, const char* file = __builtin_FILE(),
+                     int line = __builtin_LINE()) ODRL_ACQUIRE(mu)
+      : mu_(mu) {
+    mu_.lock(file, line);
+  }
+
+  ~MutexLock() ODRL_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable waiting on util::Mutex, so blocked-wakeup paths keep
+/// their rank bookkeeping. The wait contract (caller holds `mu`) is
+/// machine-checked via ODRL_REQUIRES.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, blocks, and reacquires before returning.
+  /// Spurious wakeups happen; always call inside a predicate loop.
+  void wait(Mutex& mu) ODRL_REQUIRES(mu) {
+    cv_.wait(mu);  // lint: allow(raw-mutex): Mutex models BasicLockable
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  // condition_variable_any accepts any BasicLockable, routing the
+  // unlock/relock through Mutex::lock()/unlock() (rank bookkeeping
+  // included). Its internal allocation happens at construction, not in
+  // wait(), so the zero-steady-state-allocation contract holds.
+  std::condition_variable_any cv_;  // lint: allow(raw-mutex): wrapped here
+};
+
+}  // namespace odrl::util

@@ -2,23 +2,31 @@
 
 #include <atomic>
 
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
 namespace odrl::util {
 
 namespace {
-/// Relaxed is enough: the flag is a test hook flipped between (not during)
-/// kernel launches; kernels read it once at dispatch.
-std::atomic<bool>& force_scalar_flag() noexcept {
-  static std::atomic<bool> flag{false};
-  return flag;
-}
+/// The canonical flag is Mutex-guarded (machine-checked under
+/// -Wthread-safety; the lock serializes concurrent setters), with a
+/// release/acquire atomic mirror so the kernel-dispatch read stays a
+/// single lock-free load -- the hot paths consult it once per kernel
+/// launch and must not pay a lock there. Both are constant-initialized
+/// (constexpr Mutex ctor), so the hook is safe before main.
+constinit Mutex g_force_scalar_mutex{LockRank::kLeaf, "simd-force-scalar"};
+constinit bool g_force_scalar ODRL_GUARDED_BY(g_force_scalar_mutex) = false;
+constinit std::atomic<bool> g_force_scalar_mirror{false};
 }  // namespace
 
 void set_simd_force_scalar(bool force) noexcept {
-  force_scalar_flag().store(force, std::memory_order_relaxed);
+  MutexLock lock(g_force_scalar_mutex);
+  g_force_scalar = force;
+  g_force_scalar_mirror.store(force, std::memory_order_release);
 }
 
 bool simd_force_scalar() noexcept {
-  return force_scalar_flag().load(std::memory_order_relaxed);
+  return g_force_scalar_mirror.load(std::memory_order_acquire);
 }
 
 bool simd_compiled() noexcept {

@@ -8,6 +8,11 @@
 // partial per chunk, serial chunk-order fold. tools/lint_odrl.py rejects
 // new in-tree uses (`raw-thread` rule); new code takes a task::Runtime
 // (usually shared, see ManyCoreSystem::set_runtime).
+//
+// Concurrency coverage: the shim holds no locks of its own -- all of its
+// synchronization lives in the owned Runtime, whose util::Mutex-based
+// internals are checked by -Wthread-safety and the ODRL_CHECKED
+// lock-rank verifier, so this façade is covered end to end by both.
 #pragma once
 
 #include <cstddef>

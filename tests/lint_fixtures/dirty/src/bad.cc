@@ -1,0 +1,52 @@
+// Lint self-test fixture: one deliberate violation per rule under test.
+// tests/lint_selftest.py asserts lint_odrl.py exits 1 on this tree and
+// names every expected rule. Never compiled -- .cc keeps it out of the
+// clang-format/clang-tidy gates.
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.hpp"
+
+namespace fixture {
+
+// raw-mutex: std::mutex / lock_guard / condition_variable outside
+// src/util/mutex.{hpp,cpp}.
+class BadLocking {
+ public:
+  void poke() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    cv_.notify_one();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+};
+
+// unguarded-capability: mutable non-primitive member, no ODRL_GUARDED_BY,
+// no allow marker, in a file that includes thread_annotations.hpp.
+class BadGuarding {
+ private:
+  mutable int cache_ = 0;
+};
+
+// nondeterminism: clock type, random_device, time(), rand().
+inline unsigned bad_entropy() {
+  std::random_device rd;
+  const auto t = std::chrono::steady_clock::now();
+  (void)t;
+  return rd() + static_cast<unsigned>(time(nullptr)) +
+         static_cast<unsigned>(rand());
+}
+
+// raw-thread: threads outside the task runtime.
+inline void bad_thread() { std::thread worker([] {}); }
+
+// std-function-hot-path: type-erasure outside the registration allowlist.
+inline std::function<void()> bad_callback;
+
+// A suppression without a reason is itself a finding.
+// lint: allow(nondeterminism)
+inline const auto bad_naked_marker = std::chrono::steady_clock::now();
+
+}  // namespace fixture

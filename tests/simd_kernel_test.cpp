@@ -76,12 +76,17 @@ std::vector<oa::CoreParams> varied_params(std::size_t n) {
 
 /// Activity pattern mixing interior values with the exact boundaries and
 /// the tolerance-clamped just-outside values core_power_at accepts.
+/// Checked builds reject ANY excursion (the ODRL_CHECK precedes the
+/// tolerance clamp by contract), so the just-outside cases degrade to the
+/// exact boundaries when contracts are compiled in.
 double activity_at(std::size_t i) {
+  const double hi = ou::checks_enabled() ? 1.0 : 1.0 + 0.5e-6;
+  const double lo = ou::checks_enabled() ? 0.0 : -0.5e-6;
   switch (i % 6) {
     case 0: return 0.0;
     case 1: return 1.0;
-    case 2: return 1.0 + 0.5e-6;  // inside kActivityTol: clamps to 1.0
-    case 3: return -0.5e-6;       // inside kActivityTol: clamps to 0.0
+    case 2: return hi;  // inside kActivityTol: clamps to 1.0
+    case 3: return lo;  // inside kActivityTol: clamps to 0.0
     case 4: return 0.37 + 0.01 * static_cast<double>(i % 29);
     default: return 0.85;
   }

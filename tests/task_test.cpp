@@ -16,6 +16,8 @@
 #include <vector>
 
 #include "task/runtime.hpp"
+#include "util/lock_rank.hpp"
+#include "util/mutex.hpp"
 
 namespace ot = odrl::task;
 
@@ -318,4 +320,52 @@ TEST(TaskRuntime, ManyConsecutiveJobsStayCorrect) {
         combine, scratch);
     ASSERT_EQ(got, static_cast<double>(n)) << "job=" << job;
   }
+}
+
+// ---------------------------------------------------------------------------
+// Lock-rank checker (src/util/lock_rank.hpp). The checker is compiled into
+// util::Mutex only under ODRL_CHECKED; both tests skip cleanly in release
+// builds via util::lock_rank_enabled() so the suite's pass/fail shape is
+// identical across build types.
+
+TEST(LockRank, SeededInversionAborts) {
+  if (!odrl::util::lock_rank_enabled()) {
+    GTEST_SKIP() << "lock-rank checker compiled out (ODRL_CHECKED off)";
+  }
+  // Death test: acquiring a lower-ranked mutex while a higher-ranked one is
+  // held must abort with the "lock-rank violation" report naming both
+  // acquisition sites. Runs in a forked child; the parent matches stderr.
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  odrl::util::Mutex high(odrl::util::LockRank::kScheduler, "test-high");
+  odrl::util::Mutex low(odrl::util::LockRank::kRing, "test-low");
+  EXPECT_DEATH(
+      {
+        odrl::util::MutexLock outer(high);
+        odrl::util::MutexLock inner(low);  // kRing(40) under kScheduler(60)
+      },
+      "lock-rank violation");
+}
+
+TEST(LockRank, NestedRuntimeWaitHasNoFalsePositive) {
+  if (!odrl::util::lock_rank_enabled()) {
+    GTEST_SKIP() << "lock-rank checker compiled out (ODRL_CHECKED off)";
+  }
+  // The deepest lock nesting the runtime produces: submitted tasks that
+  // internally parallel_for on the same runtime, so Runtime::wait() parks
+  // (kScheduler) while workers cycle ring locks (kRing) and group error
+  // locks (kGroup) concurrently. Under ODRL_CHECKED every acquisition runs
+  // through the checker; any false positive aborts the whole test binary.
+  ot::Runtime rt(4);
+  std::atomic<int> counter{0};
+  auto nested_job = [&] {
+    rt.parallel_for(64, 8, [&](std::size_t begin, std::size_t end) {
+      counter += static_cast<int>(end - begin);
+    });
+  };
+  for (int round = 0; round < 16; ++round) {
+    ot::Runtime::Group group;
+    for (int t = 0; t < 4; ++t) rt.submit(group, nested_job);
+    rt.wait(group);
+  }
+  EXPECT_EQ(counter.load(), 16 * 4 * 64);
 }

@@ -135,7 +135,7 @@ TEST(JsonlSink, EscapesNamesAndNullsNonFinite) {
   std::ostringstream out;
   ot::Recorder rec;
   rec.add_sink(std::make_shared<ot::JsonlSink>(out));
-  rec.begin_run({"weird \"name\"\n", 4, 10, 1e-3});
+  rec.begin_run({"weird \"name\"\n", 4, 10, 1e-3, ""});
   rec.gauge("g.nan").set(std::numeric_limits<double>::quiet_NaN());
   rec.end_run();
 
@@ -158,7 +158,7 @@ TEST(CsvSink, QuotesFieldsWithCommasAndQuotes) {
   std::ostringstream out;
   ot::Recorder rec;
   rec.add_sink(std::make_shared<ot::CsvSink>(out));
-  rec.begin_run({"name,with \"quotes\"", 2, 5, 1e-3});
+  rec.begin_run({"name,with \"quotes\"", 2, 5, 1e-3, ""});
   rec.counter("c,1").add(3);
   rec.end_run();
 
@@ -167,6 +167,35 @@ TEST(CsvSink, QuotesFieldsWithCommasAndQuotes) {
   EXPECT_NE(text.find("\"name,with \"\"quotes\"\"\""), std::string::npos)
       << text;
   EXPECT_NE(text.find("\"c,1\""), std::string::npos) << text;
+}
+
+TEST(Sinks, SessionTagEmittedOnlyWhenSet) {
+  // RunInfo::tag is additive: an empty tag produces byte-identical output
+  // to a build that predates the field (the multi-chip golden digests and
+  // any downstream CSV/JSONL parsers rely on this).
+  auto run_once = [](const std::string& tag, bool jsonl) {
+    std::ostringstream out;
+    ot::Recorder rec;
+    if (jsonl) {
+      rec.add_sink(std::make_shared<ot::JsonlSink>(out));
+    } else {
+      rec.add_sink(std::make_shared<ot::CsvSink>(out));
+    }
+    rec.begin_run({"ctl", 4, 10, 1e-3, tag});
+    rec.counter("c").add(1);
+    rec.end_run();
+    return out.str();
+  };
+
+  for (bool jsonl : {false, true}) {
+    const std::string untagged = run_once("", jsonl);
+    const std::string tagged = run_once("chip03", jsonl);
+    EXPECT_EQ(untagged.find("tag"), std::string::npos) << untagged;
+    EXPECT_NE(tagged.find(jsonl ? "\"tag\":\"chip03\"" : "tag=chip03"),
+              std::string::npos)
+        << tagged;
+    EXPECT_NE(untagged, tagged);
+  }
 }
 
 // ------------------------------------------------------------- recorder
@@ -302,10 +331,12 @@ TEST(TelemetryDeterminism, RecordedRunsIdenticalAcrossThreadCounts) {
     ASSERT_EQ(e1[i].epoch, e8[i].epoch) << i;
     ASSERT_EQ(e1[i].true_chip_power_w, e8[i].true_chip_power_w) << i;
   }
-  ASSERT_EQ(sink1->reallocs().size(), sink8->reallocs().size());
-  for (std::size_t i = 0; i < sink1->reallocs().size(); ++i) {
-    const auto& ra = sink1->reallocs()[i];
-    const auto& rb = sink8->reallocs()[i];
+  const auto r1 = sink1->reallocs();
+  const auto r8 = sink8->reallocs();
+  ASSERT_EQ(r1.size(), r8.size());
+  for (std::size_t i = 0; i < r1.size(); ++i) {
+    const auto& ra = r1[i];
+    const auto& rb = r8[i];
     ASSERT_EQ(ra.epoch, rb.epoch) << i;
     ASSERT_EQ(ra.mu, rb.mu) << i;
     ASSERT_EQ(ra.mean_reward, rb.mean_reward) << i;

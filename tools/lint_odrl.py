@@ -1,10 +1,12 @@
 #!/usr/bin/env python3
 """Project-specific lint rules for the ODRL hot path.
 
-Six rules, all aimed at the zero-allocation span/SoA epoch data path
-(DESIGN.md "Epoch data path" / "Correctness tooling"); generic static
-analysis is clang-tidy's job (.clang-tidy), this script enforces what no
-off-the-shelf check can express:
+Nine rules -- six aimed at the zero-allocation span/SoA epoch data path
+(DESIGN.md "Epoch data path" / "Correctness tooling"), three at the
+concurrency/determinism contracts (DESIGN.md "Thread-safety model &
+static analysis"); generic static analysis is clang-tidy's job
+(.clang-tidy), this script enforces what no off-the-shelf check can
+express:
 
   std-function-hot-path
       `std::function` type-erases through a heap allocation and an
@@ -50,6 +52,33 @@ off-the-shelf check can express:
       implementation and the shim. `std::thread::hardware_concurrency()`
       and other static member accesses never trip this.
 
+  raw-mutex
+      All locking goes through the annotated util::Mutex / MutexLock /
+      CondVar (src/util/mutex.hpp): they carry the Clang Thread Safety
+      Analysis capability the -Wthread-safety CI build checks, and the
+      ODRL_CHECKED lock-rank checker that catches lock-order inversions
+      at runtime. A raw std::mutex / lock_guard / condition_variable is
+      invisible to both. Allowlist: the wrapper's own implementation.
+
+  nondeterminism
+      std::random_device, the std::chrono clocks, time()/rand()/srand()
+      inject run-to-run variation; every simulated quantity must come
+      from the seeded util RNG streams or the golden digests (and the
+      bit-identical resume/threads contracts) die. bench/ is allowlisted
+      (timing harnesses measure wall time by definition); observational
+      timing elsewhere (telemetry decide_s, fleet wall_s) carries a
+      reasoned allow marker at the use site.
+
+  unguarded-capability
+      In a file that uses the thread-annotation vocabulary (includes
+      thread_annotations.hpp or util/mutex.hpp), a `mutable` member is a
+      cross-thread mutation point: it must either be a synchronization
+      primitive itself (util::Mutex/CondVar, std::atomic), carry an
+      ODRL_GUARDED_BY/ODRL_PT_GUARDED_BY annotation, or carry a reasoned
+      allow marker saying why it needs no guard. `mutable` without one of
+      those is exactly the implicit single-writer convention this layer
+      exists to retire.
+
 Suppression: append `// lint: allow(<rule>): <reason>` to the offending
 line, or place it on its own line directly above (for statements the
 column limit would otherwise wrap). Naked suppressions (no reason) are
@@ -80,6 +109,17 @@ RAW_THREAD_ALLOWLIST = {
     "src/task/runtime.cpp",
     "src/util/thread_pool.hpp",
 }
+
+# The annotated wrapper's own implementation: the only files allowed to
+# touch the raw std primitives it wraps.
+RAW_MUTEX_ALLOWLIST = {
+    "src/util/mutex.hpp",
+    "src/util/mutex.cpp",
+}
+
+# Wall-clock timing is the product in benchmark harnesses; everywhere
+# else a clock/RNG-device use needs a reasoned allow marker.
+NONDET_ALLOW_PREFIXES = ("bench/",)
 
 SCAN_DIRS = ("src", "bench", "examples")
 HOT_SUFFIX = "_into"
@@ -306,6 +346,95 @@ def check_raw_thread(path: Path, rel: str, text: str,
             "(allowlist: " + ", ".join(sorted(RAW_THREAD_ALLOWLIST)) + ")"))
 
 
+# Raw locking primitives the annotated wrapper supersedes. Catching the
+# types (not just the lock sites) also flags member declarations.
+RAW_MUTEX_RE = re.compile(
+    r"\bstd::(?:mutex|timed_mutex|recursive_mutex|recursive_timed_mutex|"
+    r"shared_mutex|shared_timed_mutex|condition_variable(?:_any)?|"
+    r"lock_guard|unique_lock|scoped_lock|shared_lock)\b")
+
+
+def check_raw_mutex(path: Path, rel: str, text: str,
+                    raw_lines: list[str], findings: list[Finding]):
+    if rel in RAW_MUTEX_ALLOWLIST:
+        return
+    for m in RAW_MUTEX_RE.finditer(text):
+        line = line_of(text, m.start())
+        if suppressed(raw_lines, line, "raw-mutex", findings, path):
+            continue
+        findings.append(Finding(
+            path, line, "raw-mutex",
+            f"{m.group(0)}: locking goes through the annotated util::Mutex"
+            " / util::MutexLock / util::CondVar (util/mutex.hpp) so the"
+            " -Wthread-safety build and the lock-rank checker can see it"
+            " (allowlist: " + ", ".join(sorted(RAW_MUTEX_ALLOWLIST)) + ")"))
+
+
+# Sources of run-to-run variation. The clock *types* are matched (not just
+# ::now()) so `using Clock = std::chrono::steady_clock;` is flagged at the
+# alias, where the marker documents why the timing is determinism-safe.
+# The lookbehind on time( / rand( skips member calls and qualified names
+# (sim.time(...), util::rand(...)).
+NONDET_PATTERNS = (
+    (re.compile(r"\bstd::random_device\b"), "std::random_device"),
+    (re.compile(r"\bstd::chrono::(?:system_clock|steady_clock|"
+                r"high_resolution_clock)\b"), "a std::chrono clock"),
+    (re.compile(r"(?<![\w.:>])time\s*\("), "time()"),
+    (re.compile(r"(?<![\w.:>])s?rand\s*\("), "rand()/srand()"),
+)
+
+
+def check_nondeterminism(path: Path, rel: str, text: str,
+                         raw_lines: list[str], findings: list[Finding]):
+    if rel.startswith(NONDET_ALLOW_PREFIXES):
+        return
+    for pattern, what in NONDET_PATTERNS:
+        for m in pattern.finditer(text):
+            line = line_of(text, m.start())
+            if suppressed(raw_lines, line, "nondeterminism", findings, path):
+                continue
+            findings.append(Finding(
+                path, line, "nondeterminism",
+                f"{what} injects run-to-run variation: simulated behavior "
+                "must come from the seeded util RNG streams (golden digests"
+                " and resume bit-identity depend on it); observational "
+                "timing needs a reasoned allow marker"))
+
+
+# A mutable member that is itself a synchronization primitive never needs
+# a guard annotation; everything else in an annotation-aware file does.
+MUTABLE_MEMBER_RE = re.compile(r"^\s*(?:mutable)\s+(?P<decl>[^;{]*);",
+                               re.MULTILINE)
+SYNC_PRIMITIVE_RE = re.compile(
+    r"\b(?:util::)?(?:Mutex|CondVar)\b|\bstd::atomic\b")
+GUARD_ANNOTATION_RE = re.compile(r"\bODRL_(?:PT_)?GUARDED_BY\s*\(")
+ANNOTATION_AWARE_RE = re.compile(
+    r'#\s*include\s+"util/(?:thread_annotations|mutex)\.hpp"')
+
+
+def check_unguarded_capability(path: Path, raw: str, text: str,
+                               raw_lines: list[str],
+                               findings: list[Finding]):
+    if not ANNOTATION_AWARE_RE.search(raw):
+        return
+    for m in MUTABLE_MEMBER_RE.finditer(text):
+        decl = m.group("decl")
+        if SYNC_PRIMITIVE_RE.search(decl):
+            continue
+        if GUARD_ANNOTATION_RE.search(decl):
+            continue
+        line = line_of(text, m.start("decl"))
+        if suppressed(raw_lines, line, "unguarded-capability", findings,
+                      path):
+            continue
+        findings.append(Finding(
+            path, line, "unguarded-capability",
+            "mutable member without ODRL_GUARDED_BY in an annotation-aware"
+            " file: mutable means cross-thread mutation from const paths;"
+            " guard it, or add a reasoned allow marker explaining why it"
+            " is confined to one thread"))
+
+
 REDUCTION_DECL_RE = re.compile(r"\bdouble\s+(?P<name>\w+)\s*=\s*0(?:\.0*)?\s*;")
 
 
@@ -338,6 +467,11 @@ def lint_file(path: Path, root: Path, findings: list[Finding]):
     check_decide_into(path.relative_to(root), text, raw_lines, findings)
     check_legacy_decide(path.relative_to(root), text, raw_lines, findings)
     check_raw_thread(path.relative_to(root), rel, text, raw_lines, findings)
+    check_raw_mutex(path.relative_to(root), rel, text, raw_lines, findings)
+    check_nondeterminism(path.relative_to(root), rel, text, raw_lines,
+                         findings)
+    check_unguarded_capability(path.relative_to(root), raw, text, raw_lines,
+                               findings)
     if path.suffix == ".cpp" or rel.endswith(".hpp"):
         check_heap_in_hot_path(path.relative_to(root), text, raw_lines,
                                findings)
