@@ -9,6 +9,7 @@
 //   ./quickstart [--cores=16] [--epochs=2000] [--budget=0.6] [--seed=1]
 //                [--threads=1] [--controller=OD-RL]
 //                [--chips=1] [--workers=1]
+//                [--serve[=port]] [--serve-idle-polls=n]
 //                [--faults=storm.txt | --fault-storm-seed=7] [--watchdog]
 //                [--trace-out=run.jsonl] [--trace-format=jsonl|csv]
 //                [--trace-cores] [--trace-sample=k]
@@ -27,6 +28,17 @@
 // for every --workers value. Fleet mode composes with --faults and
 // --watchdog (the schedule applies to every chip) but not with the
 // trace/snapshot/swap flags, which are single-run concepts here.
+//
+// --serve switches to service mode: instead of simulating locally, the
+// process becomes a control-plane power-management server
+// (src/service/) on 127.0.0.1:<port> (0 or bare --serve = ephemeral;
+// the bound port is printed). External tenant hosts open sessions over
+// the length-prefixed wire protocol and stream measured epochs at it --
+// see DESIGN.md "Control-plane service & wire protocol" and the
+// in-process LoopbackClient for the message-level API. --workers sizes
+// the server's task runtime (replies are bit-identical for any value);
+// --serve-idle-polls=n exits after n consecutive idle pump iterations
+// (0 = serve until killed), which keeps smoke tests hermetic.
 //
 // --faults replays a fault schedule (text format, see sim/faults.hpp)
 // against both runs: sensor dropouts, delayed/dropped actuation, core
@@ -64,6 +76,8 @@
 
 #include "arch/chip_config.hpp"
 #include "metrics/metrics.hpp"
+#include "service/client.hpp"
+#include "service/tcp.hpp"
 #include "sim/controller_registry.hpp"
 #include "sim/faults.hpp"
 #include "sim/multichip.hpp"
@@ -257,6 +271,59 @@ int run_fleet(const util::CliArgs& args, std::size_t chips,
   return 0;
 }
 
+/// Service mode (--serve): the process becomes a control-plane server for
+/// external tenant hosts instead of simulating a chip itself. Returns the
+/// process exit code.
+int run_serve(const util::CliArgs& args) {
+  service::ServerConfig sc;
+  sc.workers = static_cast<std::size_t>(args.get_int("workers", 1));
+  service::Server server(sc);
+
+  // A loopback hello against our own server: the same message a remote
+  // tenant opens with, reused here to print the controller registry.
+  service::LoopbackClient probe(server, "quickstart");
+  const service::HelloReply hello = probe.hello();
+
+  // Bare --serve parses as the boolean "true": treat it as port 0
+  // (ephemeral) rather than an integer flag error.
+  const std::string port_arg = args.get("serve", "0");
+  const auto port = static_cast<std::uint16_t>(
+      port_arg == "true" ? 0 : args.get_int("serve", 0));
+  const auto idle_limit =
+      static_cast<std::size_t>(args.get_int("serve-idle-polls", 0));
+  try {
+    service::TcpServer tcp(server, port);
+    std::printf("service: %s listening on 127.0.0.1:%u (%zu workers)\n",
+                server.config().name.c_str(), tcp.port(),
+                task::Runtime::resolve_workers(sc.workers));
+    std::printf("service: controllers:");
+    for (const std::string& name : hello.controllers) {
+      std::printf(" %s", name.c_str());
+    }
+    std::printf("\n");
+    // Single-threaded pump: the adapter shuttles frames, the server's
+    // runtime does the work. Ctrl-C (or the idle limit) ends the process;
+    // Server's destructor drains in-flight requests before exiting.
+    std::size_t idle = 0;
+    while (idle_limit == 0 || idle < idle_limit) {
+      idle = tcp.poll_once(200) > 0 ? 0 : idle + 1;
+    }
+    std::printf("service: idle for %zu polls, shutting down\n", idle);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: service failed: %s\n", e.what());
+    return 1;
+  }
+  const service::ServerStats stats = server.stats();
+  std::printf(
+      "service: %llu requests (%llu errors), %llu sessions opened, "
+      "%llu epochs stepped\n",
+      static_cast<unsigned long long>(stats.requests),
+      static_cast<unsigned long long>(stats.errors),
+      static_cast<unsigned long long>(stats.sessions_opened),
+      static_cast<unsigned long long>(stats.epochs));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -267,6 +334,8 @@ int main(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
   const auto threads = static_cast<std::size_t>(args.get_int("threads", 1));
   const std::string controller_name = args.get("controller", "OD-RL");
+
+  if (args.has("serve")) return run_serve(args);
 
   const auto chips = static_cast<std::size_t>(args.get_int("chips", 1));
   if (chips > 1) {

@@ -1,0 +1,128 @@
+// Client-side conveniences over the wire protocol: a LoopbackClient that
+// drives a Server over an in-process Connection (the transport every test
+// and bench uses -- no sockets, no hardware), and a Tenant that closes
+// the loop end to end: a simulated chip whose epoch observations go up to
+// the service and whose V/F levels come back down, exactly the
+// deployment shape minus the network.
+//
+// A LoopbackClient is deliberately NOT thread-safe: it models one tenant
+// host pumping one connection. Concurrency comes from many clients (each
+// with its own Connection), which is also how the soak test exercises
+// worker counts -- per-session decision streams must not change when the
+// server's worker fleet grows.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "service/server.hpp"
+#include "service/wire.hpp"
+#include "sim/observation.hpp"
+#include "sim/system.hpp"
+
+namespace odrl::service {
+
+class LoopbackClient {
+ public:
+  /// Opens a fresh connection on `server` (which must outlive the
+  /// client).
+  explicit LoopbackClient(Server& server, std::string name = "loopback");
+
+  // -- Pipelined primitives --
+
+  /// Assigns the next sequence number, encodes, posts. Returns the seq
+  /// for matching against replies. The message's head.seq is overwritten.
+  std::uint64_t post(Message msg);
+  /// Blocks for the next reply (replies arrive in post order) and
+  /// decodes it. ErrorReply comes back as a value here -- pipelined
+  /// callers match status codes themselves.
+  Message wait_reply();
+
+  /// post() + wait_reply(): the synchronous RPC shape.
+  Message call(Message msg);
+
+  // -- Typed RPCs (throw ServiceError when the server answers with an
+  //    ErrorReply; the thrown status is the reply's status) --
+
+  HelloReply hello();
+  /// head fields of `req` are overwritten (seq assigned, session 0).
+  OpenSessionReply open_session(OpenSessionRequest req);
+  StepEpochReply step(std::uint64_t session_id, std::uint64_t epoch,
+                      const sim::EpochResult& obs);
+  SnapshotReply snapshot(std::uint64_t session_id);
+  CloseSessionReply close_session(std::uint64_t session_id);
+
+ private:
+  template <typename R>
+  R expect(Message reply);
+
+  std::shared_ptr<Server::Connection> conn_;
+  std::string name_;
+  std::uint64_t next_seq_ = 1;
+};
+
+/// Tenant knobs: what OpenSession asks for plus the local chip's own
+/// simulation seed (workload + sensors), forked from `seed` so two
+/// tenants with different seeds diverge on both sides of the wire.
+struct TenantConfig {
+  std::string controller = "OD-RL";
+  std::size_t cores = 8;
+  double budget_fraction = 0.6;
+  std::uint64_t seed = 1;
+  std::string tag;
+  bool watchdog = false;
+  std::map<std::string, std::string> overrides;
+};
+
+/// One simulated tenant chip under service control. Construction opens
+/// the session (and adopts the initial levels); each step() runs one
+/// epoch of the local ManyCoreSystem at the current levels, ships the
+/// measured observation to the service, and adopts the decided levels
+/// for the next epoch.
+///
+/// The split post_step()/complete_step() pair pipelines: several tenants
+/// sharing one client may each post_step(), then complete in the same
+/// order (replies on a connection are FIFO).
+class Tenant {
+ public:
+  Tenant(LoopbackClient& client, const TenantConfig& config);
+
+  std::uint64_t session_id() const noexcept { return session_id_; }
+  std::uint64_t epochs_stepped() const noexcept { return epoch_; }
+  const std::vector<std::size_t>& levels() const noexcept { return levels_; }
+  const StepEpochReply& last_reply() const noexcept { return last_; }
+
+  /// Synchronous epoch: sim step -> StepEpoch RPC -> adopt levels.
+  const StepEpochReply& step();
+
+  /// Pipelined halves of step(). Every post_step() must be matched by
+  /// complete_step() on this tenant before its next post_step(), and
+  /// tenants sharing a client must complete in post order.
+  void post_step();
+  const StepEpochReply& complete_step();
+
+  /// Rolling FNV-1a-style fold of every decided level so far -- the
+  /// bit-identity fingerprint the soak test compares across worker
+  /// counts.
+  std::uint64_t decision_digest() const noexcept { return digest_; }
+
+  CloseSessionReply close();
+
+ private:
+  void adopt(const StepEpochReply& reply);
+
+  LoopbackClient& client_;
+  std::uint64_t session_id_ = 0;
+  std::uint64_t epoch_ = 0;
+  sim::ManyCoreSystem system_;
+  sim::EpochResult obs_;
+  std::vector<std::size_t> levels_;
+  StepEpochReply last_;
+  std::uint64_t digest_ = 0xcbf29ce484222325ull;  ///< FNV-1a offset basis
+};
+
+}  // namespace odrl::service

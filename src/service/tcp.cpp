@@ -1,0 +1,216 @@
+#include "service/tcp.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace odrl::service {
+namespace {
+
+[[noreturn]] void sys_fail(const std::string& what) {
+  throw std::runtime_error("tcp: " + what + ": " + std::strerror(errno));
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    sys_fail("fcntl(O_NONBLOCK)");
+  }
+}
+
+}  // namespace
+
+TcpServer::TcpServer(Server& server, std::uint16_t port) : server_(server) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) sys_fail("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) < 0) {
+    const int saved = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    errno = saved;
+    sys_fail("bind");
+  }
+  if (::listen(listen_fd_, 64) < 0) {
+    const int saved = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    errno = saved;
+    sys_fail("listen");
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) <
+      0) {
+    sys_fail("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+  set_nonblocking(listen_fd_);
+}
+
+TcpServer::~TcpServer() {
+  for (Peer& peer : peers_) {
+    if (peer.fd >= 0) ::close(peer.fd);
+  }
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+void TcpServer::close_peer(std::size_t index) {
+  ::close(peers_[index].fd);
+  peers_.erase(peers_.begin() + static_cast<std::ptrdiff_t>(index));
+}
+
+std::size_t TcpServer::poll_once(int timeout_ms) {
+  // Drain pending replies into per-peer write buffers first, so the poll
+  // set below asks for POLLOUT exactly where bytes are waiting.
+  std::size_t moved = 0;
+  std::string payload;
+  for (Peer& peer : peers_) {
+    while (peer.conn->try_take_reply(payload)) {
+      peer.outbuf += encode_frame(payload);
+      ++moved;
+    }
+  }
+
+  std::vector<pollfd> fds;
+  fds.reserve(peers_.size() + 1);
+  fds.push_back({listen_fd_, POLLIN, 0});
+  for (const Peer& peer : peers_) {
+    short events = POLLIN;
+    if (!peer.outbuf.empty()) events |= POLLOUT;
+    fds.push_back({peer.fd, events, 0});
+  }
+  const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
+  if (ready < 0) {
+    if (errno == EINTR) return moved;
+    sys_fail("poll");
+  }
+
+  if ((fds[0].revents & POLLIN) != 0) {
+    for (;;) {
+      const int fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd < 0) break;  // EAGAIN or transient -- retry next pump
+      set_nonblocking(fd);
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      Peer peer;
+      peer.fd = fd;
+      peer.conn = server_.connect();
+      peers_.push_back(std::move(peer));
+    }
+  }
+
+  // Iterate backwards so close_peer's erase cannot skip a peer.
+  for (std::size_t i = peers_.size(); i-- > 0;) {
+    const pollfd& pfd = fds[i + 1];
+    Peer& peer = peers_[i];
+    bool dead = (pfd.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0;
+    if (!dead && (pfd.revents & POLLOUT) != 0 && !peer.outbuf.empty()) {
+      const ssize_t n =
+          ::send(peer.fd, peer.outbuf.data(), peer.outbuf.size(), 0);
+      if (n > 0) {
+        peer.outbuf.erase(0, static_cast<std::size_t>(n));
+      } else if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK) {
+        dead = true;
+      }
+    }
+    if (!dead && (pfd.revents & POLLIN) != 0) {
+      char buf[16384];
+      for (;;) {
+        const ssize_t n = ::recv(peer.fd, buf, sizeof(buf), 0);
+        if (n > 0) {
+          try {
+            peer.decoder.feed(std::string_view(buf,
+                                               static_cast<std::size_t>(n)));
+            while (peer.decoder.next(payload)) {
+              peer.conn->post(std::move(payload));
+              ++moved;
+            }
+          } catch (const ServiceError&) {
+            // Hostile length prefix: this peer is done, the server is not.
+            dead = true;
+            break;
+          }
+          continue;
+        }
+        if (n == 0) dead = true;  // orderly hangup
+        if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK) dead = true;
+        break;
+      }
+    }
+    if (dead) close_peer(i);
+  }
+  return moved;
+}
+
+TcpClient::TcpClient(std::uint16_t port, const std::string& host) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) sys_fail("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("tcp: bad host address " + host);
+  }
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) < 0) {
+    const int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = saved;
+    sys_fail("connect");
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+TcpClient::~TcpClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void TcpClient::post(std::string_view payload) {
+  std::string frame = encode_frame(payload);
+  std::size_t sent = 0;
+  while (sent < frame.size()) {
+    const ssize_t n =
+        ::send(fd_, frame.data() + sent, frame.size() - sent, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      sys_fail("send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+std::string TcpClient::take_reply() {
+  std::string payload;
+  while (!decoder_.next(payload)) {
+    char buf[16384];
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      sys_fail("recv");
+    }
+    if (n == 0) throw std::runtime_error("tcp: server closed connection");
+    decoder_.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+  }
+  return payload;
+}
+
+}  // namespace odrl::service

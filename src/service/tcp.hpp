@@ -1,0 +1,86 @@
+// Thin TCP adapter over the service wire protocol: length-prefixed frames
+// (wire.hpp framing) on a localhost/LAN socket. Deliberately minimal --
+// the in-process Connection is the primary transport; this adapter exists
+// so a real tenant host can talk to the service from outside the process.
+//
+// Threading: the adapter owns NO threads (lint rule raw-thread). The
+// caller pumps poll_once() from whatever thread it likes; request
+// handling still happens on the Server's task runtime (or inline at
+// width 1), so the pump is a pure byte shuttle. Socket failures on a
+// single peer close that peer, never the server.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "service/server.hpp"
+#include "service/wire.hpp"
+
+namespace odrl::service {
+
+/// Accepts TCP peers and bridges each one to a Server::Connection.
+class TcpServer {
+ public:
+  /// Binds and listens on 127.0.0.1:`port` (0 = ephemeral; read the
+  /// outcome back with port()). Throws std::runtime_error on socket
+  /// failures.
+  TcpServer(Server& server, std::uint16_t port);
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  std::uint16_t port() const noexcept { return port_; }
+  std::size_t peer_count() const noexcept { return peers_.size(); }
+
+  /// One pump iteration: waits up to `timeout_ms` for socket readiness
+  /// (0 = non-blocking), accepts pending peers, reads complete frames
+  /// into the server, flushes pending replies. Returns the number of
+  /// frames moved in either direction (0 = idle). A peer that sends a
+  /// hostile length prefix or hangs up is closed; the loop keeps serving
+  /// the rest.
+  std::size_t poll_once(int timeout_ms = 0);
+
+ private:
+  struct Peer {
+    int fd = -1;
+    std::shared_ptr<Server::Connection> conn;
+    FrameDecoder decoder;
+    std::string outbuf;  ///< framed reply bytes not yet written
+  };
+
+  void close_peer(std::size_t index);
+
+  Server& server_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::vector<Peer> peers_;
+};
+
+/// Blocking client socket speaking the same framing; the test-side
+/// counterpart of TcpServer (a real deployment would reimplement this
+/// loop in the tenant host's own language/runtime).
+class TcpClient {
+ public:
+  explicit TcpClient(std::uint16_t port,
+                     const std::string& host = "127.0.0.1");
+  ~TcpClient();
+
+  TcpClient(const TcpClient&) = delete;
+  TcpClient& operator=(const TcpClient&) = delete;
+
+  /// Frames and writes one request payload (blocking until written).
+  void post(std::string_view payload);
+  /// Blocks until one complete reply frame arrives and returns its
+  /// payload. Throws std::runtime_error if the server hangs up first.
+  std::string take_reply();
+
+ private:
+  int fd_ = -1;
+  FrameDecoder decoder_;
+};
+
+}  // namespace odrl::service

@@ -1,0 +1,463 @@
+#include "service/wire.hpp"
+
+#include <cstring>
+#include <limits>
+#include <utility>
+
+namespace odrl::service {
+namespace {
+
+using snapshot::Reader;
+using snapshot::SnapshotError;
+using snapshot::SnapshotStatus;
+using snapshot::Writer;
+
+[[noreturn]] void fail(ServiceStatus status, const std::string& message) {
+  throw ServiceError(status, message);
+}
+
+// Reads an element count and rejects it unless the open section could
+// physically contain `count * min_bytes_each` more bytes. This caps every
+// allocation a hostile payload can request at the payload's own size --
+// the same defence load_qtable uses -- so decode never turns a 40-byte
+// frame into a multi-gigabyte resize.
+std::uint64_t read_count(Reader& r, std::size_t min_bytes_each,
+                         const char* what) {
+  const std::uint64_t n = r.u64();
+  if (min_bytes_each == 0) min_bytes_each = 1;
+  if (n > r.remaining() / min_bytes_each) {
+    fail(ServiceStatus::kBadMessage,
+         std::string("wire: hostile ") + what + " count " +
+             std::to_string(n));
+  }
+  return n;
+}
+
+void write_header(Writer& w, const MsgHeader& head) {
+  w.begin_section(kMsgHeaderTag);
+  w.u32(kWireVersion);
+  w.u8(static_cast<std::uint8_t>(head.type));
+  w.u64(head.seq);
+  w.u64(head.session_id);
+  w.end_section();
+}
+
+void write_levels(Writer& w, const std::vector<std::size_t>& levels) {
+  w.u64(levels.size());
+  for (const std::size_t level : levels) w.u64(level);
+}
+
+std::vector<std::size_t> read_levels(Reader& r) {
+  const std::uint64_t n = read_count(r, 8, "level");
+  std::vector<std::size_t> levels(static_cast<std::size_t>(n));
+  for (std::size_t& level : levels) {
+    level = static_cast<std::size_t>(r.u64());
+  }
+  return levels;
+}
+
+// Bytes one core row occupies in an OBSV section: five f64 columns, one
+// u64 (level), one u8 (online). true_* never crosses the wire -- the
+// service is the controller side of the link and may only see what the
+// tenant's sensors measured.
+constexpr std::size_t kObsBytesPerCore = 5 * 8 + 8 + 1;
+
+void write_observation(Writer& w, std::uint64_t epoch,
+                       const sim::EpochResult& obs) {
+  w.begin_section(kObservationTag);
+  w.u64(epoch);
+  w.u64(obs.epoch);
+  w.f64(obs.epoch_s);
+  w.f64(obs.budget_w);
+  w.f64(obs.chip_power_w);
+  w.f64(obs.total_ips);
+  w.f64(obs.max_temp_c);
+  w.u64(obs.thermal_violations);
+  w.f64(obs.mem_latency_mult);
+  w.f64(obs.dram_utilization);
+  const std::size_t n = obs.cores.size();
+  w.u64(n);
+  const auto level = obs.cores.level();
+  const auto ips = obs.cores.ips();
+  const auto instructions = obs.cores.instructions();
+  const auto power = obs.cores.power_w();
+  const auto stall = obs.cores.mem_stall_frac();
+  const auto temp = obs.cores.temp_c();
+  const auto online = obs.cores.online();
+  for (std::size_t i = 0; i < n; ++i) w.u64(level[i]);
+  for (std::size_t i = 0; i < n; ++i) w.f64(ips[i]);
+  for (std::size_t i = 0; i < n; ++i) w.f64(instructions[i]);
+  for (std::size_t i = 0; i < n; ++i) w.f64(power[i]);
+  for (std::size_t i = 0; i < n; ++i) w.f64(stall[i]);
+  for (std::size_t i = 0; i < n; ++i) w.f64(temp[i]);
+  for (std::size_t i = 0; i < n; ++i) w.u8(online[i]);
+  w.end_section();
+}
+
+StepEpochRequest read_observation(Reader& r, const MsgHeader& head) {
+  StepEpochRequest req;
+  req.head = head;
+  r.open_section(kObservationTag);
+  req.epoch = r.u64();
+  sim::EpochResult& obs = req.obs;
+  obs.epoch = static_cast<std::size_t>(r.u64());
+  obs.epoch_s = r.f64();
+  obs.budget_w = r.f64();
+  obs.chip_power_w = r.f64();
+  obs.total_ips = r.f64();
+  obs.max_temp_c = r.f64();
+  obs.thermal_violations = static_cast<std::size_t>(r.u64());
+  obs.mem_latency_mult = r.f64();
+  obs.dram_utilization = r.f64();
+  const std::uint64_t n = read_count(r, kObsBytesPerCore, "core");
+  obs.cores.resize(static_cast<std::size_t>(n));
+  const auto level = obs.cores.level();
+  const auto ips = obs.cores.ips();
+  const auto instructions = obs.cores.instructions();
+  const auto power = obs.cores.power_w();
+  const auto stall = obs.cores.mem_stall_frac();
+  const auto temp = obs.cores.temp_c();
+  const auto online = obs.cores.online();
+  for (std::size_t i = 0; i < n; ++i) {
+    level[i] = static_cast<std::size_t>(r.u64());
+  }
+  for (std::size_t i = 0; i < n; ++i) ips[i] = r.f64();
+  for (std::size_t i = 0; i < n; ++i) instructions[i] = r.f64();
+  for (std::size_t i = 0; i < n; ++i) power[i] = r.f64();
+  for (std::size_t i = 0; i < n; ++i) stall[i] = r.f64();
+  for (std::size_t i = 0; i < n; ++i) temp[i] = r.f64();
+  for (std::size_t i = 0; i < n; ++i) online[i] = r.u8();
+  r.expect_section_end();
+  // The wire carries only measured values; mirror them into the true_*
+  // fields so downstream code that logs "true" power degrades to the
+  // measured signal instead of reading zeros.
+  const auto true_power = obs.cores.true_power_w();
+  for (std::size_t i = 0; i < n; ++i) true_power[i] = power[i];
+  obs.true_chip_power_w = obs.chip_power_w;
+  return req;
+}
+
+MsgHeader read_header(Reader& r) {
+  r.open_section(kMsgHeaderTag);
+  const std::uint32_t version = r.u32();
+  if (version != kWireVersion) {
+    fail(ServiceStatus::kBadVersion,
+         "wire: version " + std::to_string(version) + " != " +
+             std::to_string(kWireVersion));
+  }
+  const std::uint8_t type = r.u8();
+  switch (static_cast<MsgType>(type)) {
+    case MsgType::kHello:
+    case MsgType::kOpenSession:
+    case MsgType::kStepEpoch:
+    case MsgType::kSnapshot:
+    case MsgType::kCloseSession:
+    case MsgType::kHelloReply:
+    case MsgType::kOpenReply:
+    case MsgType::kStepReply:
+    case MsgType::kSnapshotReply:
+    case MsgType::kCloseReply:
+    case MsgType::kErrorReply:
+      break;
+    default:
+      fail(ServiceStatus::kUnknownType,
+           "wire: unknown message type " + std::to_string(type));
+  }
+  MsgHeader head;
+  head.type = static_cast<MsgType>(type);
+  head.seq = r.u64();
+  head.session_id = r.u64();
+  r.expect_section_end();
+  return head;
+}
+
+struct Encoder {
+  Writer& w;
+
+  void operator()(const HelloRequest& m) const {
+    w.begin_section(kHelloTag);
+    w.str(m.client);
+    w.end_section();
+  }
+  void operator()(const HelloReply& m) const {
+    w.begin_section(kHelloTag);
+    w.str(m.server);
+    w.u64(m.controllers.size());
+    for (const std::string& name : m.controllers) w.str(name);
+    w.end_section();
+  }
+  void operator()(const OpenSessionRequest& m) const {
+    w.begin_section(kOpenTag);
+    w.str(m.controller);
+    w.u64(m.cores);
+    w.f64(m.budget_fraction);
+    w.u64(m.seed);
+    w.str(m.tag);
+    w.u8(m.watchdog ? 1 : 0);
+    w.u64(m.overrides.size());
+    for (const auto& [key, value] : m.overrides) {
+      w.str(key);
+      w.str(value);
+    }
+    w.str(m.seed_blob);
+    w.end_section();
+  }
+  void operator()(const OpenSessionReply& m) const {
+    w.begin_section(kOpenReplyTag);
+    w.f64(m.budget_w);
+    write_levels(w, m.initial_levels);
+    w.end_section();
+  }
+  void operator()(const StepEpochRequest& m) const {
+    write_observation(w, m.epoch, m.obs);
+  }
+  void operator()(const StepEpochReply& m) const {
+    w.begin_section(kDecisionTag);
+    w.u64(m.epoch);
+    write_levels(w, m.levels);
+    w.u64(m.sanitized);
+    w.u8(m.watchdog_holding ? 1 : 0);
+    w.end_section();
+  }
+  void operator()(const SnapshotRequest&) const {
+    // Header-only request: the session id in MSGH says everything.
+  }
+  void operator()(const SnapshotReply& m) const {
+    w.begin_section(kSnapshotBlobTag);
+    w.u64(m.epoch);
+    w.str(m.blob);
+    w.end_section();
+  }
+  void operator()(const CloseSessionRequest&) const {
+    // Header-only request.
+  }
+  void operator()(const CloseSessionReply& m) const {
+    w.begin_section(kCloseReplyTag);
+    w.u64(m.epochs);
+    w.u64(m.sanitized);
+    w.end_section();
+  }
+  void operator()(const ErrorReply& m) const {
+    w.begin_section(kErrorTag);
+    w.u8(static_cast<std::uint8_t>(m.status));
+    w.str(m.message);
+    w.end_section();
+  }
+};
+
+}  // namespace
+
+const char* service_status_name(ServiceStatus status) {
+  switch (status) {
+    case ServiceStatus::kOk:
+      return "ok";
+    case ServiceStatus::kBadFrame:
+      return "bad_frame";
+    case ServiceStatus::kBadVersion:
+      return "bad_version";
+    case ServiceStatus::kBadMessage:
+      return "bad_message";
+    case ServiceStatus::kUnknownType:
+      return "unknown_type";
+    case ServiceStatus::kUnknownSession:
+      return "unknown_session";
+    case ServiceStatus::kSessionLimit:
+      return "session_limit";
+    case ServiceStatus::kDimensionMismatch:
+      return "dimension_mismatch";
+    case ServiceStatus::kOutOfOrderEpoch:
+      return "out_of_order_epoch";
+    case ServiceStatus::kBadValue:
+      return "bad_value";
+    case ServiceStatus::kShutdown:
+      return "shutdown";
+    case ServiceStatus::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+ServiceError::ServiceError(ServiceStatus status, const std::string& message)
+    : std::runtime_error(message), status_(status) {}
+
+const MsgHeader& header_of(const Message& msg) {
+  return std::visit([](const auto& m) -> const MsgHeader& { return m.head; },
+                    msg);
+}
+
+std::string encode_message(const Message& msg) {
+  Writer w;
+  write_header(w, header_of(msg));
+  std::visit(Encoder{w}, msg);
+  return std::move(w).finish();
+}
+
+Message decode_message(std::string_view payload) {
+  Reader r(payload);
+  const MsgHeader head = read_header(r);
+  switch (head.type) {
+    case MsgType::kHello: {
+      HelloRequest m;
+      m.head = head;
+      r.open_section(kHelloTag);
+      m.client = r.str();
+      r.expect_section_end();
+      return m;
+    }
+    case MsgType::kHelloReply: {
+      HelloReply m;
+      m.head = head;
+      r.open_section(kHelloTag);
+      m.server = r.str();
+      const std::uint64_t n = read_count(r, 8, "controller-name");
+      m.controllers.reserve(static_cast<std::size_t>(n));
+      for (std::uint64_t i = 0; i < n; ++i) m.controllers.push_back(r.str());
+      r.expect_section_end();
+      return m;
+    }
+    case MsgType::kOpenSession: {
+      OpenSessionRequest m;
+      m.head = head;
+      r.open_section(kOpenTag);
+      m.controller = r.str();
+      m.cores = r.u64();
+      m.budget_fraction = r.f64();
+      m.seed = r.u64();
+      m.tag = r.str();
+      m.watchdog = r.u8() != 0;
+      const std::uint64_t n = read_count(r, 16, "override");
+      for (std::uint64_t i = 0; i < n; ++i) {
+        std::string key = r.str();
+        m.overrides[std::move(key)] = r.str();
+      }
+      m.seed_blob = r.str();
+      r.expect_section_end();
+      return m;
+    }
+    case MsgType::kOpenReply: {
+      OpenSessionReply m;
+      m.head = head;
+      r.open_section(kOpenReplyTag);
+      m.budget_w = r.f64();
+      m.initial_levels = read_levels(r);
+      r.expect_section_end();
+      return m;
+    }
+    case MsgType::kStepEpoch:
+      return read_observation(r, head);
+    case MsgType::kStepReply: {
+      StepEpochReply m;
+      m.head = head;
+      r.open_section(kDecisionTag);
+      m.epoch = r.u64();
+      m.levels = read_levels(r);
+      m.sanitized = r.u64();
+      m.watchdog_holding = r.u8() != 0;
+      r.expect_section_end();
+      return m;
+    }
+    case MsgType::kSnapshot: {
+      SnapshotRequest m;
+      m.head = head;
+      return m;
+    }
+    case MsgType::kSnapshotReply: {
+      SnapshotReply m;
+      m.head = head;
+      r.open_section(kSnapshotBlobTag);
+      m.epoch = r.u64();
+      m.blob = r.str();
+      r.expect_section_end();
+      return m;
+    }
+    case MsgType::kCloseSession: {
+      CloseSessionRequest m;
+      m.head = head;
+      return m;
+    }
+    case MsgType::kCloseReply: {
+      CloseSessionReply m;
+      m.head = head;
+      r.open_section(kCloseReplyTag);
+      m.epochs = r.u64();
+      m.sanitized = r.u64();
+      r.expect_section_end();
+      return m;
+    }
+    case MsgType::kErrorReply: {
+      ErrorReply m;
+      m.head = head;
+      r.open_section(kErrorTag);
+      const std::uint8_t status = r.u8();
+      if (status > static_cast<std::uint8_t>(ServiceStatus::kInternal)) {
+        fail(ServiceStatus::kBadMessage,
+             "wire: unknown status code " + std::to_string(status));
+      }
+      m.status = static_cast<ServiceStatus>(status);
+      m.message = r.str();
+      r.expect_section_end();
+      return m;
+    }
+  }
+  // read_header already rejected every unknown type byte.
+  fail(ServiceStatus::kUnknownType, "wire: unreachable type");
+}
+
+std::string encode_frame(std::string_view payload) {
+  if (payload.size() > kMaxFrameBytes) {
+    fail(ServiceStatus::kBadFrame,
+         "wire: frame of " + std::to_string(payload.size()) +
+             " bytes exceeds cap");
+  }
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  std::string out;
+  out.reserve(4 + payload.size());
+  out.push_back(static_cast<char>(len & 0xff));
+  out.push_back(static_cast<char>((len >> 8) & 0xff));
+  out.push_back(static_cast<char>((len >> 16) & 0xff));
+  out.push_back(static_cast<char>((len >> 24) & 0xff));
+  out.append(payload);
+  return out;
+}
+
+void FrameDecoder::feed(std::string_view bytes) {
+  buf_.append(bytes);
+  // Validate the first pending length prefix eagerly so a hostile peer is
+  // rejected at ingest, before next() buffers toward an absurd target.
+  if (buf_.size() - pos_ >= 4) {
+    const auto* p = reinterpret_cast<const unsigned char*>(buf_.data() + pos_);
+    const std::uint32_t len = static_cast<std::uint32_t>(p[0]) |
+                              (static_cast<std::uint32_t>(p[1]) << 8) |
+                              (static_cast<std::uint32_t>(p[2]) << 16) |
+                              (static_cast<std::uint32_t>(p[3]) << 24);
+    if (len > kMaxFrameBytes) {
+      fail(ServiceStatus::kBadFrame,
+           "wire: frame length " + std::to_string(len) + " exceeds cap");
+    }
+  }
+}
+
+bool FrameDecoder::next(std::string& out) {
+  if (buf_.size() - pos_ < 4) return false;
+  const auto* p = reinterpret_cast<const unsigned char*>(buf_.data() + pos_);
+  const std::uint32_t len = static_cast<std::uint32_t>(p[0]) |
+                            (static_cast<std::uint32_t>(p[1]) << 8) |
+                            (static_cast<std::uint32_t>(p[2]) << 16) |
+                            (static_cast<std::uint32_t>(p[3]) << 24);
+  if (len > kMaxFrameBytes) {
+    fail(ServiceStatus::kBadFrame,
+         "wire: frame length " + std::to_string(len) + " exceeds cap");
+  }
+  if (buf_.size() - pos_ - 4 < len) return false;
+  out.assign(buf_, pos_ + 4, len);
+  pos_ += 4 + static_cast<std::size_t>(len);
+  // Compact once the consumed prefix dominates, so a long-lived connection
+  // does not grow its buffer without bound.
+  if (pos_ > 4096 && pos_ > buf_.size() / 2) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  return true;
+}
+
+}  // namespace odrl::service

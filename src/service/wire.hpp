@@ -1,0 +1,253 @@
+// Control-plane wire protocol: the message layer of the power-management
+// service (src/service/server.hpp). One *frame* on the wire is
+//
+//   u32 payload length (little-endian; kMaxFrameBytes cap)
+//   ...  payload: a complete snapshot frame (snapshot/snapshot.hpp --
+//        "ODRLSNAP" magic, FourCC sections, FNV-1a trailer)
+//
+// so every message payload is checksummed, versioned and section-indexed
+// by the same substrate that serializes Q-tables, traces and run
+// snapshots -- a pre-trained Q-table or a mid-run session snapshot rides
+// inside an OpenSession request without re-encoding.
+//
+// Every payload carries a "MSGH" header section (wire version, message
+// type, sequence number, session id) followed by the type's own sections.
+// Decoders are total: any byte string either decodes to a Message or
+// throws ServiceError / snapshot::SnapshotError -- never crashes, never
+// aborts -- which is the contract the fuzz driver (tests/fuzz/
+// fuzz_service.cpp) and the golden wire digests enforce.
+//
+// Compatibility policy mirrors the snapshot format: kWireVersion is
+// bumped whenever any section's layout changes and peers reject versions
+// they do not know (kBadVersion); adding a *section* to a message is not
+// a breaking change (readers open sections by tag).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "sim/observation.hpp"
+#include "snapshot/snapshot.hpp"
+
+namespace odrl::service {
+
+/// Wire-format version spoken by this build (Hello negotiates nothing:
+/// equal or rejected).
+inline constexpr std::uint32_t kWireVersion = 1;
+
+/// Frames larger than this are rejected with kBadFrame before any
+/// allocation happens -- a hostile length prefix must not become an
+/// out-of-memory abort.
+inline constexpr std::size_t kMaxFrameBytes = std::size_t{64} << 20;
+
+/// Per-message section tags.
+inline constexpr std::uint32_t kMsgHeaderTag = snapshot::section_tag("MSGH");
+inline constexpr std::uint32_t kHelloTag = snapshot::section_tag("HELO");
+inline constexpr std::uint32_t kOpenTag = snapshot::section_tag("OPEN");
+inline constexpr std::uint32_t kOpenReplyTag = snapshot::section_tag("OPNR");
+inline constexpr std::uint32_t kObservationTag =
+    snapshot::section_tag("OBSV");
+inline constexpr std::uint32_t kDecisionTag = snapshot::section_tag("DECV");
+inline constexpr std::uint32_t kSnapshotBlobTag =
+    snapshot::section_tag("SNAP");
+inline constexpr std::uint32_t kCloseReplyTag = snapshot::section_tag("CLOS");
+inline constexpr std::uint32_t kErrorTag = snapshot::section_tag("ERRS");
+/// Session snapshot bookkeeping section (epoch cursor, watchdog latches);
+/// the controller state rides in the runner's CTRL section so run
+/// snapshots and session snapshots share one warm-start door.
+inline constexpr std::uint32_t kSessionStateTag =
+    snapshot::section_tag("SESS");
+
+/// Message types. Requests and replies share one numbering space; replies
+/// start at 64 so a truncated type byte never aliases a request into a
+/// reply.
+enum class MsgType : std::uint8_t {
+  kHello = 1,
+  kOpenSession = 2,
+  kStepEpoch = 3,
+  kSnapshot = 4,
+  kCloseSession = 5,
+
+  kHelloReply = 64,
+  kOpenReply = 65,
+  kStepReply = 66,
+  kSnapshotReply = 67,
+  kCloseReply = 68,
+  kErrorReply = 69,
+};
+
+/// Failure taxonomy of the service layer. Codes, not message text, are
+/// the contract: clients and tests switch on the enum, and every reply
+/// the server refuses carries exactly one of these in an ErrorReply.
+/// Frame/section-level corruption below the message layer surfaces as
+/// snapshot::SnapshotStatus via SnapshotError instead -- the two enums
+/// deliberately do not overlap in meaning.
+enum class ServiceStatus : std::uint8_t {
+  kOk = 0,
+  kBadFrame,         ///< length prefix truncated or over kMaxFrameBytes
+  kBadVersion,       ///< wire version this peer does not speak
+  kBadMessage,       ///< header/section shape wrong for the message type
+  kUnknownType,      ///< MsgType byte outside the enum
+  kUnknownSession,   ///< session id not in the table (never opened/closed)
+  kSessionLimit,     ///< server at max_sessions
+  kDimensionMismatch,///< request shape != the session's chip (core count)
+  kOutOfOrderEpoch,  ///< StepEpoch::epoch != the session's next epoch
+  kBadValue,         ///< semantic rejection (non-finite sample, bad knob)
+  kShutdown,         ///< server is draining; no new work accepted
+  kInternal,         ///< handler failure that is not the client's fault
+};
+
+/// Stable lowercase name for a status code (error replies, fuzz logs).
+const char* service_status_name(ServiceStatus status);
+
+/// Thrown by decoders and by LoopbackClient when the server replies with
+/// an ErrorReply. Derives std::runtime_error so the fuzz harness's
+/// documented-rejection catch covers it; new code switches on status().
+class ServiceError : public std::runtime_error {
+ public:
+  ServiceError(ServiceStatus status, const std::string& message);
+
+  ServiceStatus status() const noexcept { return status_; }
+
+ private:
+  ServiceStatus status_;
+};
+
+// -- Message structs (the decoded forms) --
+
+/// Every message starts with this header; `seq` is chosen by the client
+/// and echoed verbatim in the matching reply so pipelined requests can be
+/// matched without transport-level bookkeeping.
+struct MsgHeader {
+  MsgType type = MsgType::kHello;
+  std::uint64_t seq = 0;
+  std::uint64_t session_id = 0;  ///< 0 for Hello/OpenSession
+};
+
+struct HelloRequest {
+  MsgHeader head;
+  std::string client;  ///< free-form client identity (diagnostics only)
+};
+
+struct HelloReply {
+  MsgHeader head;
+  std::string server;
+  std::vector<std::string> controllers;  ///< registry names, sorted
+};
+
+/// Opens one tenant session: a controller instance supervising one chip.
+struct OpenSessionRequest {
+  MsgHeader head;
+  std::string controller;        ///< registry name ("OD-RL", "PID", ...)
+  std::uint64_t cores = 0;       ///< chip size (1..ServerConfig::max_cores)
+  double budget_fraction = 0.6;  ///< of chip TDP, in (0, 1]
+  std::uint64_t seed = 1;        ///< controller "seed" override
+  std::string tag;               ///< telemetry session tag ("" = default)
+  bool watchdog = false;         ///< arm the per-tenant watchdog policy
+  std::map<std::string, std::string> overrides;  ///< registry overrides
+  /// Optional warm start: any snapshot blob with a CTRL section whose
+  /// recorded controller name matches `controller` -- a run snapshot from
+  /// run_closed_loop, a session snapshot from this service, or a bare
+  /// CTRL frame around a pre-trained Q-table. Empty = cold start.
+  std::string seed_blob;
+};
+
+struct OpenSessionReply {
+  MsgHeader head;  ///< session_id = the newly assigned id
+  double budget_w = 0.0;
+  std::vector<std::size_t> initial_levels;
+};
+
+/// One measured epoch of the tenant chip: the sensor columns a real part
+/// would report (measured, possibly noisy -- true power never crosses the
+/// wire; the service is a controller, not an oracle).
+struct StepEpochRequest {
+  MsgHeader head;
+  std::uint64_t epoch = 0;  ///< must equal the session's next epoch
+  sim::EpochResult obs;     ///< true_* fields mirror the measured ones
+};
+
+struct StepEpochReply {
+  MsgHeader head;
+  std::uint64_t epoch = 0;
+  std::vector<std::size_t> levels;     ///< next-epoch V/F level per core
+  std::uint64_t sanitized = 0;         ///< watchdog level corrections
+  bool watchdog_holding = false;       ///< chip-wide safe-level hold active
+};
+
+struct SnapshotRequest {
+  MsgHeader head;
+};
+
+struct SnapshotReply {
+  MsgHeader head;
+  std::uint64_t epoch = 0;  ///< next epoch the session expects
+  std::string blob;         ///< session snapshot (SESS + CTRL sections)
+};
+
+struct CloseSessionRequest {
+  MsgHeader head;
+};
+
+struct CloseSessionReply {
+  MsgHeader head;
+  std::uint64_t epochs = 0;     ///< epochs stepped over the session's life
+  std::uint64_t sanitized = 0;  ///< watchdog level corrections, total
+};
+
+struct ErrorReply {
+  MsgHeader head;  ///< seq/session echo the request that failed
+  ServiceStatus status = ServiceStatus::kInternal;
+  std::string message;
+};
+
+using Message =
+    std::variant<HelloRequest, HelloReply, OpenSessionRequest,
+                 OpenSessionReply, StepEpochRequest, StepEpochReply,
+                 SnapshotRequest, SnapshotReply, CloseSessionRequest,
+                 CloseSessionReply, ErrorReply>;
+
+/// Header of any decoded message (the variant's common prefix).
+const MsgHeader& header_of(const Message& msg);
+
+// -- Payload encode/decode --
+
+/// Encodes one message into a snapshot-framed payload (no length prefix).
+std::string encode_message(const Message& msg);
+
+/// Decodes a payload. Throws snapshot::SnapshotError for frame-level
+/// corruption (bad magic/checksum/section) and ServiceError for
+/// message-level violations (unknown type, bad version, hostile counts).
+Message decode_message(std::string_view payload);
+
+// -- Stream framing --
+
+/// Prepends the u32 length prefix. Throws ServiceError(kBadFrame) when
+/// the payload exceeds kMaxFrameBytes.
+std::string encode_frame(std::string_view payload);
+
+/// Incremental length-prefixed frame splitter for byte-stream transports
+/// (the TCP adapter). feed() appends bytes; next() yields complete
+/// payloads in order. A hostile length prefix throws ServiceError
+/// (kBadFrame) from feed() before any payload allocation.
+class FrameDecoder {
+ public:
+  void feed(std::string_view bytes);
+  /// Moves the next complete payload into `out`; false when more bytes
+  /// are needed.
+  bool next(std::string& out);
+  /// Bytes buffered but not yet returned (diagnostics/tests).
+  std::size_t buffered() const noexcept { return buf_.size() - pos_; }
+
+ private:
+  std::string buf_;
+  std::size_t pos_ = 0;  ///< consumed prefix of buf_
+};
+
+}  // namespace odrl::service

@@ -21,14 +21,25 @@
 // Rank table (acquire strictly upward; see DESIGN.md "Thread-safety model
 // & static analysis" for the capability map):
 //
-//   kRegistry   10  ControllerRegistry::mutex_ (factory map)
-//   kRecorder   20  telemetry::Recorder::mutex_ (sink list, instruments)
-//   kSink       30  telemetry sink internals (Memory/Csv/Jsonl)
-//   kRing       40  task::Runtime::TaskRing::mutex_ (deques + channels;
-//                   a thread holds at most one ring lock at a time)
-//   kGroup      50  task::Runtime::Group::mutex_ (first-exception slot)
-//   kScheduler  60  task::Runtime::sched_mutex_ (park/wake epoch barrier)
-//   kLeaf      100  standalone flags (SIMD force-scalar hook, default)
+//   kRegistry       10  ControllerRegistry::mutex_ (factory map)
+//   kRecorder       20  telemetry::Recorder::mutex_ (sink list, instruments)
+//   kSink           30  telemetry sink internals (Memory/Csv/Jsonl)
+//   kServiceTable   32  service::Server session table (id -> session)
+//   kServiceSession 34  one service session's state (controller, watchdog)
+//   kServiceQueue   36  service transport queues (inbox / reply FIFOs;
+//                       a thread holds at most one queue lock at a time)
+//   kRing           40  task::Runtime::TaskRing::mutex_ (deques + channels;
+//                       a thread holds at most one ring lock at a time)
+//   kGroup          50  task::Runtime::Group::mutex_ (first-exception slot)
+//   kScheduler      60  task::Runtime::sched_mutex_ (park/wake epoch barrier)
+//   kLeaf          100  standalone flags (SIMD force-scalar hook, default)
+//
+// The three service ranks sit below kRing because request handlers and
+// transport pumps submit tasks to the runtime (ring + scheduler locks)
+// while a service lock is held; they sit above kRecorder/kRegistry so
+// holding one across a recorder export or a registry make() would abort
+// -- the server builds controllers and exports counters with no service
+// lock held, by construction (see src/service/server.cpp).
 //
 // Two locks of the SAME rank never nest either (the relation is strict):
 // per-ring mutexes share kRing precisely because the runtime's discipline
@@ -45,6 +56,9 @@ enum class LockRank : std::uint32_t {
   kRegistry = 10,
   kRecorder = 20,
   kSink = 30,
+  kServiceTable = 32,
+  kServiceSession = 34,
+  kServiceQueue = 36,
   kRing = 40,
   kGroup = 50,
   kScheduler = 60,

@@ -1,0 +1,12 @@
+// libFuzzer driver for the service wire protocol and dispatcher
+// (ODRL_FUZZ builds).
+#include <cstddef>
+#include <cstdint>
+
+#include "harness.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  odrl::fuzz::fuzz_service(data, size);
+  return 0;
+}

@@ -19,8 +19,12 @@
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "rl/qtable_io.hpp"
+#include "service/server.hpp"
+#include "service/wire.hpp"
 #include "sim/faults.hpp"
 #include "sim/multichip.hpp"
 #include "snapshot/snapshot.hpp"
@@ -189,6 +193,62 @@ inline void fuzz_multichip(const std::uint8_t* data, std::size_t size) {
     // SnapshotError: the documented rejection path.
   } catch (const std::invalid_argument&) {
     // Config- and validation-level rejections.
+  }
+}
+
+/// The service wire protocol, three layers deep:
+///
+///   * FrameDecoder: the input interpreted as a TCP byte stream must split
+///     into payloads or throw ServiceError(kBadFrame) -- never crash,
+///     never allocate a hostile length prefix;
+///   * decode_message: every payload (and the raw input) either decodes or
+///     throws ServiceError/SnapshotError; what decodes must re-encode and
+///     decode again to a stable byte string (the codec is deterministic);
+///   * Server::handle: the full dispatcher must answer *every* payload
+///     with a decodable reply -- client bytes can never throw out of it
+///     (a logic_error escaping is a contract violation in the server, and
+///     crashes the fuzz target by design).
+inline void fuzz_service(const std::uint8_t* data, std::size_t size) {
+  const std::string bytes = as_string(data, size);
+
+  std::vector<std::string> payloads;
+  try {
+    service::FrameDecoder decoder;
+    decoder.feed(bytes);
+    std::string payload;
+    while (decoder.next(payload)) payloads.push_back(std::move(payload));
+  } catch (const std::runtime_error&) {
+    // Hostile or truncated length prefix: documented rejection.
+    payloads.clear();
+  }
+  // The raw input as one payload too, so unframed corpus seeds (bare
+  // snapshot-framed messages) exercise the codec directly.
+  payloads.push_back(bytes);
+
+  for (const std::string& payload : payloads) {
+    try {
+      const service::Message msg = service::decode_message(payload);
+      const std::string re = service::encode_message(msg);
+      const service::Message again = service::decode_message(re);
+      if (service::encode_message(again) != re) {
+        throw std::logic_error("service message re-encode is not stable");
+      }
+    } catch (const std::runtime_error&) {
+      // ServiceError / SnapshotError: the documented rejection paths.
+    }
+  }
+
+  // A small fresh server per input keeps state bounded while still letting
+  // a lucky valid frame open sessions and step them.
+  service::ServerConfig config;
+  config.workers = 1;
+  config.max_sessions = 4;
+  config.max_cores = 64;
+  service::Server server(config);
+  for (const std::string& payload : payloads) {
+    // handle() never throws on client bytes; replies always decode. Either
+    // failing escapes this harness and fails the target.
+    (void)service::decode_message(server.handle(payload));
   }
 }
 

@@ -13,7 +13,12 @@
 #include <utility>
 #include <vector>
 
+#include <memory>
+
+#include "arch/chip_config.hpp"
 #include "fuzz/harness.hpp"
+#include "service/client.hpp"
+#include "workload/workload.hpp"
 
 namespace fs = std::filesystem;
 
@@ -73,6 +78,10 @@ TEST(FuzzRegression, SnapshotCorpus) {
 
 TEST(FuzzRegression, MultichipCorpus) {
   replay("multichip", &odrl::fuzz::fuzz_multichip);
+}
+
+TEST(FuzzRegression, ServiceCorpus) {
+  replay("service", &odrl::fuzz::fuzz_service);
 }
 
 namespace {
@@ -167,16 +176,14 @@ std::vector<std::pair<std::string, std::string>> expected_multichip_seeds() {
 
 }  // namespace
 
-// Guards the seeds against silently going stale: if the snapshot wire
-// format or the harness fleet changes, the committed blobs would parse as
-// mere rejections and the differential path would stop being exercised.
-// This test rebuilds every seed from the current code and compares bytes.
-// To regenerate after an intentional format change, run this binary with
-// ODRL_WRITE_FUZZ_SEEDS=1 (it rewrites tests/fuzz/corpus/multichip/ in
-// the source tree) and commit the result.
-TEST(FuzzRegression, MultichipSeedsMatchCurrentFormat) {
-  const fs::path dir = corpus_root() / "multichip";
-  const auto seeds = expected_multichip_seeds();
+namespace {
+
+/// Rebuilds one generated corpus directory (ODRL_WRITE_FUZZ_SEEDS=1) and
+/// verifies every seed byte for byte against the committed files.
+void check_generated_seeds(
+    const char* target,
+    const std::vector<std::pair<std::string, std::string>>& seeds) {
+  const fs::path dir = corpus_root() / target;
   if (std::getenv("ODRL_WRITE_FUZZ_SEEDS") != nullptr) {
     fs::create_directories(dir);
     for (const auto& [name, bytes] : seeds) {
@@ -186,10 +193,114 @@ TEST(FuzzRegression, MultichipSeedsMatchCurrentFormat) {
     }
   }
   for (const auto& [name, bytes] : seeds) {
-    SCOPED_TRACE("seed: " + name);
+    SCOPED_TRACE(std::string("seed: ") + target + "/" + name);
     const auto on_disk = read_bytes(dir / name);
     ASSERT_EQ(std::string(on_disk.begin(), on_disk.end()), bytes)
-        << "stale multichip fuzz seed -- regenerate with "
-           "ODRL_WRITE_FUZZ_SEEDS=1 ./fuzz_regression_test and commit";
+        << "stale " << target << " fuzz seed -- regenerate with "
+        << "ODRL_WRITE_FUZZ_SEEDS=1 ./fuzz_regression_test and commit";
   }
+}
+
+}  // namespace
+
+// Guards the seeds against silently going stale: if the snapshot wire
+// format or the harness fleet changes, the committed blobs would parse as
+// mere rejections and the differential path would stop being exercised.
+// This test rebuilds every seed from the current code and compares bytes.
+// To regenerate after an intentional format change, run this binary with
+// ODRL_WRITE_FUZZ_SEEDS=1 (it rewrites tests/fuzz/corpus/multichip/ in
+// the source tree) and commit the result.
+TEST(FuzzRegression, MultichipSeedsMatchCurrentFormat) {
+  check_generated_seeds("multichip", expected_multichip_seeds());
+}
+
+namespace {
+
+// The service seeds are deterministic functions of the wire format, the
+// simulator, and the controllers: a session is actually opened and
+// stepped so the corpus carries a *mid-run* session snapshot -- both as
+// an OpenSession seed_blob (warm-start path) and as a bare payload (the
+// snapshot-frame-that-is-not-a-message rejection path).
+std::vector<std::pair<std::string, std::string>> expected_service_seeds() {
+  namespace sv = odrl::service;
+
+  sv::ServerConfig config;
+  config.workers = 1;
+  sv::Server server(config);
+  sv::LoopbackClient client(server, "seed-builder");
+
+  sv::TenantConfig tc;
+  tc.controller = "OD-RL";
+  tc.cores = 4;
+  tc.seed = 17;
+  tc.watchdog = true;
+  sv::Tenant tenant(client, tc);
+  for (int i = 0; i < 6; ++i) (void)tenant.step();
+  const sv::SnapshotReply snap = client.snapshot(tenant.session_id());
+
+  sv::HelloRequest hello;
+  hello.head.type = sv::MsgType::kHello;
+  hello.head.seq = 1;
+  hello.client = "fuzz-seed";
+  const std::string hello_payload = sv::encode_message(hello);
+
+  sv::OpenSessionRequest open;
+  open.head.type = sv::MsgType::kOpenSession;
+  open.head.seq = 2;
+  open.controller = "OD-RL";
+  open.cores = 4;
+  open.seed = 17;
+  open.tag = "fuzz-tenant";
+  open.watchdog = true;
+  open.overrides = {{"alpha", "0.1"}};
+  open.seed_blob = snap.blob;  // the mid-run warm-start door
+  const std::string open_payload = sv::encode_message(open);
+
+  // A real measured epoch so the OBSV columns carry live values, not
+  // zeros the decoder's validators never look at twice.
+  sv::StepEpochRequest step;
+  step.head.type = sv::MsgType::kStepEpoch;
+  step.head.seq = 3;
+  step.head.session_id = tenant.session_id();
+  step.epoch = 6;
+  {
+    odrl::sim::SimConfig sim;
+    sim.seed = 17;
+    odrl::sim::ManyCoreSystem system(
+        odrl::arch::ChipConfig::make(4, 0.6),
+        std::make_unique<odrl::workload::GeneratedWorkload>(
+            odrl::workload::GeneratedWorkload::mixed_suite(4, 17)),
+        sim);
+    system.step_into(tenant.levels(), step.obs);
+  }
+  const std::string step_payload = sv::encode_message(step);
+
+  sv::ErrorReply err;
+  err.head.type = sv::MsgType::kErrorReply;
+  err.head.seq = 4;
+  err.status = sv::ServiceStatus::kUnknownSession;
+  err.message = "seed";
+  const std::string error_payload = sv::encode_message(err);
+
+  return {
+      {"hello", hello_payload},
+      {"open_with_snapshot_blob", open_payload},
+      {"step_measured_obs", step_payload},
+      {"error_reply", error_payload},
+      {"session_snapshot_bare", snap.blob},
+      {"framed_stream",
+       sv::encode_frame(hello_payload) + sv::encode_frame(open_payload)},
+      {"truncated", open_payload.substr(0, open_payload.size() / 2)},
+      {"garbage", "not a service frame at all\n"},
+  };
+}
+
+}  // namespace
+
+// Same staleness guard for the service wire corpus: the seeds embed a
+// mid-run session snapshot, so a format or simulator change regenerates
+// them via ODRL_WRITE_FUZZ_SEEDS=1 rather than silently degrading the
+// corpus into rejection-only inputs.
+TEST(FuzzRegression, ServiceSeedsMatchCurrentFormat) {
+  check_generated_seeds("service", expected_service_seeds());
 }

@@ -32,6 +32,14 @@ inline double good_timing() {
 // Strings and comments never trip rules: "std::mutex", `time(`, rand(.
 inline const char* kDoc = "std::mutex in a string literal is fine";
 
+// Static member accesses never trip raw-thread, and non-std async
+// helpers (my::async, launch_async) do not alias onto std::async.
+inline unsigned good_thread_query() {
+  return std::thread::hardware_concurrency();
+}
+inline void launch_async() {}
+inline void good_async_name() { launch_async(); }
+
 // Member calls named like banned free functions are fine: the
 // lookbehind skips qualified/receiver forms.
 struct Sim {

@@ -39,8 +39,13 @@ inline unsigned bad_entropy() {
          static_cast<unsigned>(rand());
 }
 
-// raw-thread: threads outside the task runtime.
+// raw-thread: threads outside the task runtime -- direct spawn, the
+// std::async side door, and the pthread C API all count.
 inline void bad_thread() { std::thread worker([] {}); }
+inline void bad_async() { auto f = std::async([] {}); }
+inline void bad_pthread(pthread_t* t) {
+  pthread_create(t, nullptr, nullptr, nullptr);
+}
 
 // std-function-hot-path: type-erasure outside the registration allowlist.
 inline std::function<void()> bad_callback;

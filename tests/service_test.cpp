@@ -1,0 +1,660 @@
+// Loopback unit tests for the control-plane service: wire round-trips,
+// frame decoding, the open/step/snapshot/close lifecycle, the structured
+// error taxonomy, warm starts from snapshot blobs, and the worker-count
+// bit-identity contract.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arch/chip_config.hpp"
+#include "service/client.hpp"
+#include "service/server.hpp"
+#include "service/tcp.hpp"
+#include "service/wire.hpp"
+#include "sim/controller_registry.hpp"
+#include "sim/runner.hpp"
+#include "sim/system.hpp"
+#include "snapshot/snapshot.hpp"
+#include "telemetry/recorder.hpp"
+#include "workload/workload.hpp"
+
+namespace sv = odrl::service;
+namespace os = odrl::sim;
+namespace oa = odrl::arch;
+namespace ow = odrl::workload;
+namespace snap = odrl::snapshot;
+
+namespace {
+
+os::ManyCoreSystem make_system(std::size_t cores, std::uint64_t seed = 1) {
+  os::SimConfig sim;
+  sim.seed = seed;
+  return os::ManyCoreSystem(
+      oa::ChipConfig::make(cores, 0.6),
+      std::make_unique<ow::GeneratedWorkload>(
+          ow::GeneratedWorkload::mixed_suite(cores, seed)),
+      sim);
+}
+
+sv::ServiceStatus status_of(const sv::Message& reply) {
+  const auto* err = std::get_if<sv::ErrorReply>(&reply);
+  return err == nullptr ? sv::ServiceStatus::kOk : err->status;
+}
+
+/// Sends a raw request message and returns the reply's status (kOk when
+/// the reply is not an error).
+sv::ServiceStatus call_status(sv::LoopbackClient& client, sv::Message msg) {
+  return status_of(client.call(std::move(msg)));
+}
+
+sv::StepEpochRequest step_request(std::uint64_t session_id,
+                                  std::uint64_t epoch,
+                                  const os::EpochResult& obs) {
+  sv::StepEpochRequest req;
+  req.head.type = sv::MsgType::kStepEpoch;
+  req.head.session_id = session_id;
+  req.epoch = epoch;
+  req.obs = obs;
+  return req;
+}
+
+// -- Wire layer --
+
+TEST(ServiceWire, FrameRoundTripAndChunkedDecode) {
+  const std::string a = "payload-a";
+  const std::string b(1000, 'x');
+  const std::string stream =
+      sv::encode_frame(a) + sv::encode_frame(b) + sv::encode_frame("");
+
+  // Feed the whole stream at once.
+  {
+    sv::FrameDecoder dec;
+    dec.feed(stream);
+    std::string out;
+    ASSERT_TRUE(dec.next(out));
+    EXPECT_EQ(out, a);
+    ASSERT_TRUE(dec.next(out));
+    EXPECT_EQ(out, b);
+    ASSERT_TRUE(dec.next(out));
+    EXPECT_EQ(out, "");
+    EXPECT_FALSE(dec.next(out));
+    EXPECT_EQ(dec.buffered(), 0u);
+  }
+  // Feed byte by byte: identical frames must fall out.
+  {
+    sv::FrameDecoder dec;
+    std::vector<std::string> got;
+    std::string out;
+    for (const char c : stream) {
+      dec.feed(std::string_view(&c, 1));
+      while (dec.next(out)) got.push_back(out);
+    }
+    ASSERT_EQ(got.size(), 3u);
+    EXPECT_EQ(got[0], a);
+    EXPECT_EQ(got[1], b);
+    EXPECT_EQ(got[2], "");
+  }
+}
+
+TEST(ServiceWire, HostileLengthPrefixThrowsBadFrame) {
+  std::string hostile = "\xff\xff\xff\xff";  // ~4 GiB frame
+  sv::FrameDecoder dec;
+  try {
+    dec.feed(hostile);
+    FAIL() << "hostile prefix accepted";
+  } catch (const sv::ServiceError& e) {
+    EXPECT_EQ(e.status(), sv::ServiceStatus::kBadFrame);
+  }
+  const std::string big(sv::kMaxFrameBytes + 1, 'x');
+  EXPECT_THROW((void)sv::encode_frame(big), sv::ServiceError);
+}
+
+TEST(ServiceWire, MessageRoundTripsPreserveFields) {
+  sv::OpenSessionRequest open;
+  open.head.type = sv::MsgType::kOpenSession;
+  open.head.seq = 42;
+  open.controller = "PID";
+  open.cores = 16;
+  open.budget_fraction = 0.45;
+  open.seed = 99;
+  open.tag = "tenant-a";
+  open.watchdog = true;
+  open.overrides = {{"kp", "0.5"}, {"ki", "0.01"}};
+  open.seed_blob = "not-a-real-blob";
+
+  const sv::Message decoded =
+      sv::decode_message(sv::encode_message(open));
+  const auto* round = std::get_if<sv::OpenSessionRequest>(&decoded);
+  ASSERT_NE(round, nullptr);
+  EXPECT_EQ(round->head.seq, 42u);
+  EXPECT_EQ(round->controller, "PID");
+  EXPECT_EQ(round->cores, 16u);
+  EXPECT_DOUBLE_EQ(round->budget_fraction, 0.45);
+  EXPECT_EQ(round->seed, 99u);
+  EXPECT_EQ(round->tag, "tenant-a");
+  EXPECT_TRUE(round->watchdog);
+  EXPECT_EQ(round->overrides, open.overrides);
+  EXPECT_EQ(round->seed_blob, "not-a-real-blob");
+
+  sv::StepEpochReply step;
+  step.head.type = sv::MsgType::kStepReply;
+  step.head.seq = 7;
+  step.head.session_id = 3;
+  step.epoch = 12;
+  step.levels = {0, 1, 2, 7};
+  step.sanitized = 2;
+  step.watchdog_holding = true;
+  const sv::Message decoded2 =
+      sv::decode_message(sv::encode_message(step));
+  const auto* round2 = std::get_if<sv::StepEpochReply>(&decoded2);
+  ASSERT_NE(round2, nullptr);
+  EXPECT_EQ(round2->levels, step.levels);
+  EXPECT_EQ(round2->sanitized, 2u);
+  EXPECT_TRUE(round2->watchdog_holding);
+}
+
+TEST(ServiceWire, ObservationRoundTripMirrorsMeasuredIntoTrue) {
+  os::ManyCoreSystem system = make_system(4);
+  os::EpochResult obs;
+  std::vector<std::size_t> levels(4, 2);
+  system.step_into(levels, obs);
+
+  const sv::Message decoded = sv::decode_message(
+      sv::encode_message(step_request(1, 0, obs)));
+  const auto* req = std::get_if<sv::StepEpochRequest>(&decoded);
+  ASSERT_NE(req, nullptr);
+  ASSERT_EQ(req->obs.n_cores(), 4u);
+  EXPECT_DOUBLE_EQ(req->obs.chip_power_w, obs.chip_power_w);
+  // true_* never crosses the wire: the decoder mirrors the measured
+  // columns into them.
+  EXPECT_DOUBLE_EQ(req->obs.true_chip_power_w, req->obs.chip_power_w);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(req->obs.cores.true_power_w()[i],
+                     req->obs.cores.power_w()[i]);
+    EXPECT_EQ(req->obs.cores.level()[i], obs.cores.level()[i]);
+  }
+}
+
+TEST(ServiceWire, DecodeRejectsHostileCountsAndVersions) {
+  // Version bump: rejected as kBadVersion.
+  {
+    snap::Writer w;
+    w.begin_section(sv::kMsgHeaderTag);
+    w.u32(sv::kWireVersion + 1);
+    w.u8(static_cast<std::uint8_t>(sv::MsgType::kHello));
+    w.u64(0);
+    w.u64(0);
+    w.end_section();
+    try {
+      (void)sv::decode_message(std::move(w).finish());
+      FAIL() << "bad version accepted";
+    } catch (const sv::ServiceError& e) {
+      EXPECT_EQ(e.status(), sv::ServiceStatus::kBadVersion);
+    }
+  }
+  // Unknown type byte: kUnknownType.
+  {
+    snap::Writer w;
+    w.begin_section(sv::kMsgHeaderTag);
+    w.u32(sv::kWireVersion);
+    w.u8(200);
+    w.u64(0);
+    w.u64(0);
+    w.end_section();
+    try {
+      (void)sv::decode_message(std::move(w).finish());
+      FAIL() << "unknown type accepted";
+    } catch (const sv::ServiceError& e) {
+      EXPECT_EQ(e.status(), sv::ServiceStatus::kUnknownType);
+    }
+  }
+  // Hostile element count: an OBSV section claiming 2^32 cores in a
+  // 100-byte payload must be rejected before any allocation.
+  {
+    snap::Writer w;
+    w.begin_section(sv::kMsgHeaderTag);
+    w.u32(sv::kWireVersion);
+    w.u8(static_cast<std::uint8_t>(sv::MsgType::kStepEpoch));
+    w.u64(0);
+    w.u64(1);
+    w.end_section();
+    w.begin_section(sv::kObservationTag);
+    w.u64(0);  // epoch
+    w.u64(0);  // obs.epoch
+    for (int i = 0; i < 7; ++i) w.f64(0.0);
+    w.u64(0);  // thermal_violations
+    w.u64(std::uint64_t{1} << 32);  // hostile core count
+    w.end_section();
+    try {
+      (void)sv::decode_message(std::move(w).finish());
+      FAIL() << "hostile count accepted";
+    } catch (const sv::ServiceError& e) {
+      EXPECT_EQ(e.status(), sv::ServiceStatus::kBadMessage);
+    }
+  }
+  // Plain garbage: the snapshot layer rejects it (bad magic).
+  EXPECT_THROW((void)sv::decode_message("garbage bytes"),
+               snap::SnapshotError);
+}
+
+// -- Server lifecycle --
+
+TEST(ServiceServer, HelloListsControllers) {
+  sv::Server server;
+  sv::LoopbackClient client(server, "test-client");
+  const sv::HelloReply hello = client.hello();
+  EXPECT_EQ(hello.server, "odrl-service");
+  const auto names = hello.controllers;
+  EXPECT_NE(std::find(names.begin(), names.end(), "OD-RL"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "PID"), names.end());
+}
+
+TEST(ServiceServer, OpenStepSnapshotCloseLifecycle) {
+  sv::Server server;
+  sv::LoopbackClient client(server);
+
+  sv::TenantConfig tc;
+  tc.controller = "PID";
+  tc.cores = 4;
+  tc.seed = 3;
+  sv::Tenant tenant(client, tc);
+  EXPECT_EQ(tenant.levels().size(), 4u);
+  EXPECT_EQ(server.session_count(), 1u);
+
+  for (int i = 0; i < 20; ++i) {
+    const sv::StepEpochReply& reply = tenant.step();
+    ASSERT_EQ(reply.levels.size(), 4u);
+    EXPECT_EQ(reply.epoch, static_cast<std::uint64_t>(i));
+  }
+
+  const sv::SnapshotReply snap_reply = client.snapshot(tenant.session_id());
+  EXPECT_EQ(snap_reply.epoch, 20u);
+  EXPECT_FALSE(snap_reply.blob.empty());
+  // The blob is a well-formed snapshot frame with SESS + CTRL sections.
+  snap::Reader r(snap_reply.blob);
+  EXPECT_TRUE(r.has_section(sv::kSessionStateTag));
+  EXPECT_TRUE(r.has_section(os::kSnapshotControllerTag));
+
+  const sv::CloseSessionReply closed = tenant.close();
+  EXPECT_EQ(closed.epochs, 20u);
+  EXPECT_EQ(server.session_count(), 0u);
+
+  const sv::ServerStats stats = server.stats();
+  EXPECT_EQ(stats.sessions_opened, 1u);
+  EXPECT_EQ(stats.sessions_closed, 1u);
+  EXPECT_EQ(stats.epochs, 20u);
+}
+
+TEST(ServiceServer, StructuredErrors) {
+  sv::Server server;
+  sv::LoopbackClient client(server);
+
+  os::ManyCoreSystem system = make_system(4);
+  os::EpochResult obs;
+  std::vector<std::size_t> levels(4, 2);
+  system.step_into(levels, obs);
+
+  // Unknown session.
+  EXPECT_EQ(call_status(client, step_request(999, 0, obs)),
+            sv::ServiceStatus::kUnknownSession);
+
+  sv::OpenSessionRequest open;
+  open.controller = "PID";
+  open.cores = 4;
+  const sv::OpenSessionReply opened = client.open_session(open);
+  const std::uint64_t sid = opened.head.session_id;
+  ASSERT_NE(sid, 0u);
+
+  // Dimension mismatch: 3-core observation into a 4-core session.
+  {
+    os::ManyCoreSystem small = make_system(3);
+    os::EpochResult obs3;
+    std::vector<std::size_t> levels3(3, 2);
+    small.step_into(levels3, obs3);
+    EXPECT_EQ(call_status(client, step_request(sid, 0, obs3)),
+              sv::ServiceStatus::kDimensionMismatch);
+  }
+
+  // Out-of-order epoch: the session expects 0 first.
+  EXPECT_EQ(call_status(client, step_request(sid, 5, obs)),
+            sv::ServiceStatus::kOutOfOrderEpoch);
+  EXPECT_EQ(call_status(client, step_request(sid, 0, obs)),
+            sv::ServiceStatus::kOk);
+  EXPECT_EQ(call_status(client, step_request(sid, 0, obs)),
+            sv::ServiceStatus::kOutOfOrderEpoch);
+
+  // Non-finite sensor data: rejected before it reaches the controller.
+  {
+    os::EpochResult bad = obs;
+    bad.chip_power_w = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_EQ(call_status(client, step_request(sid, 1, bad)),
+              sv::ServiceStatus::kBadValue);
+  }
+  {
+    os::EpochResult bad = obs;
+    bad.cores.level()[2] = 999;  // beyond the V/F table
+    EXPECT_EQ(call_status(client, step_request(sid, 1, bad)),
+              sv::ServiceStatus::kBadValue);
+  }
+
+  // Unknown controller and unconsumed override keys.
+  {
+    sv::OpenSessionRequest bad;
+    bad.controller = "NoSuchController";
+    bad.cores = 4;
+    EXPECT_THROW((void)client.open_session(bad), sv::ServiceError);
+  }
+  {
+    sv::OpenSessionRequest bad;
+    bad.controller = "PID";
+    bad.cores = 4;
+    bad.overrides = {{"no_such_knob", "1"}};
+    try {
+      (void)client.open_session(bad);
+      FAIL() << "unconsumed override accepted";
+    } catch (const sv::ServiceError& e) {
+      EXPECT_EQ(e.status(), sv::ServiceStatus::kBadValue);
+    }
+  }
+  // Hostile chip shapes.
+  {
+    sv::OpenSessionRequest bad;
+    bad.controller = "PID";
+    bad.cores = 0;
+    try {
+      (void)client.open_session(bad);
+      FAIL() << "0-core session accepted";
+    } catch (const sv::ServiceError& e) {
+      EXPECT_EQ(e.status(), sv::ServiceStatus::kBadValue);
+    }
+  }
+
+  // A reply type posted as a request.
+  {
+    sv::StepEpochReply reply;
+    reply.head.type = sv::MsgType::kStepReply;
+    EXPECT_EQ(call_status(client, reply), sv::ServiceStatus::kBadMessage);
+  }
+
+  // Raw garbage straight into handle(): an ErrorReply, not a throw.
+  {
+    const std::string reply_payload = server.handle("complete garbage");
+    const sv::Message reply = sv::decode_message(reply_payload);
+    EXPECT_EQ(status_of(reply), sv::ServiceStatus::kBadFrame);
+  }
+
+  const sv::ServerStats stats = server.stats();
+  EXPECT_GE(stats.errors, 8u);
+}
+
+TEST(ServiceServer, SessionLimitAndShutdown) {
+  sv::ServerConfig config;
+  config.max_sessions = 1;
+  sv::Server server(config);
+  sv::LoopbackClient client(server);
+
+  sv::OpenSessionRequest open;
+  open.controller = "PID";
+  open.cores = 2;
+  (void)client.open_session(open);
+  try {
+    (void)client.open_session(open);
+    FAIL() << "session limit not enforced";
+  } catch (const sv::ServiceError& e) {
+    EXPECT_EQ(e.status(), sv::ServiceStatus::kSessionLimit);
+  }
+
+  server.begin_shutdown();
+  try {
+    (void)client.hello();
+    FAIL() << "shutdown not enforced";
+  } catch (const sv::ServiceError& e) {
+    EXPECT_EQ(e.status(), sv::ServiceStatus::kShutdown);
+  }
+}
+
+TEST(ServiceServer, BudgetChangeReachesController) {
+  sv::Server server;
+  sv::LoopbackClient client(server);
+  sv::OpenSessionRequest open;
+  open.controller = "PID";
+  open.cores = 4;
+  const sv::OpenSessionReply opened = client.open_session(open);
+  const std::uint64_t sid = opened.head.session_id;
+
+  os::ManyCoreSystem system = make_system(4);
+  os::EpochResult obs;
+  std::vector<std::size_t> levels = opened.initial_levels;
+  system.step_into(levels, obs);
+  (void)client.step(sid, 0, obs);
+
+  // Lower the reported budget: the controller sees on_budget_change and
+  // its decisions adapt (PID tracks the cap, so levels must not rise).
+  system.set_budget_w(opened.budget_w * 0.5);
+  system.step_into(levels, obs);
+  const sv::StepEpochReply reply = client.step(sid, 1, obs);
+  EXPECT_EQ(reply.levels.size(), 4u);
+}
+
+// -- Warm starts --
+
+TEST(ServiceServer, SessionSnapshotWarmStartsMatchingSession) {
+  sv::Server server;
+  sv::LoopbackClient client(server);
+
+  sv::OpenSessionRequest open;
+  open.controller = "OD-RL";
+  open.cores = 4;
+  open.seed = 11;
+  const sv::OpenSessionReply s1 = client.open_session(open);
+  const std::uint64_t sid1 = s1.head.session_id;
+
+  // Drive session 1 for a while so the controller accumulates state.
+  os::ManyCoreSystem system = make_system(4, 11);
+  os::EpochResult obs;
+  std::vector<std::size_t> levels = s1.initial_levels;
+  for (std::uint64_t e = 0; e < 12; ++e) {
+    system.step_into(levels, obs);
+    levels = client.step(sid1, e, obs).levels;
+  }
+
+  const sv::SnapshotReply snap_reply = client.snapshot(sid1);
+
+  // A fresh session seeded from the blob must continue bit-identically
+  // with the original when both see the same observation stream.
+  sv::OpenSessionRequest open2 = open;
+  open2.seed_blob = snap_reply.blob;
+  const sv::OpenSessionReply s2 = client.open_session(open2);
+  const std::uint64_t sid2 = s2.head.session_id;
+
+  for (std::uint64_t e = 0; e < 8; ++e) {
+    system.step_into(levels, obs);
+    const auto r1 = client.step(sid1, 12 + e, obs);
+    const auto r2 = client.step(sid2, e, obs);
+    ASSERT_EQ(r1.levels, r2.levels) << "diverged at epoch " << e;
+    levels = r1.levels;
+  }
+
+  // Mismatched controller name: rejected as kBadValue.
+  sv::OpenSessionRequest bad = open2;
+  bad.controller = "PID";
+  try {
+    (void)client.open_session(bad);
+    FAIL() << "mismatched seed blob accepted";
+  } catch (const sv::ServiceError& e) {
+    EXPECT_EQ(e.status(), sv::ServiceStatus::kBadValue);
+  }
+}
+
+TEST(ServiceServer, RunSnapshotWarmStartsSession) {
+  // A run_closed_loop snapshot (the PR 7 format) carries the same CTRL
+  // section; OpenSession accepts it as a warm start directly.
+  os::ManyCoreSystem system = make_system(4, 5);
+  auto controller = os::make_controller("OD-RL", system.config(),
+                                        os::ControllerOverrides{}.set(
+                                            "seed", "5"));
+  std::string blob;
+  os::RunConfig rc;
+  rc.epochs = 10;
+  rc.snapshot_epoch = 8;
+  rc.snapshot_out = &blob;
+  rc.keep_traces = false;
+  (void)os::run_closed_loop(system, *controller, rc);
+  ASSERT_FALSE(blob.empty());
+
+  sv::Server server;
+  sv::LoopbackClient client(server);
+  sv::OpenSessionRequest open;
+  open.controller = "OD-RL";
+  open.cores = 4;
+  open.seed = 5;
+  open.seed_blob = blob;
+  const sv::OpenSessionReply reply = client.open_session(open);
+  EXPECT_NE(reply.head.session_id, 0u);
+  EXPECT_EQ(reply.initial_levels.size(), 4u);
+}
+
+// -- Watchdog policy --
+
+TEST(ServiceServer, WatchdogTripsOnSustainedOvershoot) {
+  sv::ServerConfig config;
+  config.watchdog.violation_epochs = 3;
+  config.watchdog.hold_epochs = 5;
+  sv::Server server(config);
+  sv::LoopbackClient client(server);
+
+  sv::OpenSessionRequest open;
+  open.controller = "PID";
+  open.cores = 4;
+  open.watchdog = true;
+  const sv::OpenSessionReply opened = client.open_session(open);
+  const std::uint64_t sid = opened.head.session_id;
+
+  // Fabricate observations reporting power way over the budget: after
+  // violation_epochs consecutive overshoots every core must fall back to
+  // the safe uniform level, regardless of what the controller decides.
+  os::ManyCoreSystem system = make_system(4);
+  os::EpochResult obs;
+  std::vector<std::size_t> levels = opened.initial_levels;
+  system.step_into(levels, obs);
+  obs.budget_w = opened.budget_w;  // no budget-change event
+  obs.chip_power_w = opened.budget_w * 2.0;
+  const std::size_t safe =
+      os::safe_uniform_level(oa::ChipConfig::make(4, 0.6), obs.budget_w);
+
+  bool held = false;
+  std::uint64_t total_fixed = 0;
+  for (std::uint64_t e = 0; e < 6; ++e) {
+    const sv::StepEpochReply reply = client.step(sid, e, obs);
+    total_fixed += reply.sanitized;
+    if (reply.watchdog_holding) {
+      held = true;
+      for (const std::size_t level : reply.levels) EXPECT_EQ(level, safe);
+    }
+  }
+  EXPECT_TRUE(held);
+  EXPECT_GT(total_fixed, 0u);
+  EXPECT_EQ(server.stats().sanitized, total_fixed);
+}
+
+// -- Determinism across worker counts --
+
+TEST(ServiceServer, DecisionsBitIdenticalAcrossWorkerCounts) {
+  constexpr std::size_t kTenants = 8;
+  constexpr std::uint64_t kEpochs = 25;
+
+  auto run_fleet = [&](std::size_t workers) {
+    sv::ServerConfig config;
+    config.workers = workers;
+    sv::Server server(config);
+    std::vector<std::unique_ptr<sv::LoopbackClient>> clients;
+    std::vector<std::unique_ptr<sv::Tenant>> tenants;
+    for (std::size_t t = 0; t < kTenants; ++t) {
+      clients.push_back(std::make_unique<sv::LoopbackClient>(server));
+      sv::TenantConfig tc;
+      tc.controller = (t % 2 == 0) ? "OD-RL" : "PID";
+      tc.cores = 4;
+      tc.seed = 100 + t;
+      tenants.push_back(std::make_unique<sv::Tenant>(*clients[t], tc));
+    }
+    // Pipeline: post every tenant's step, then complete in post order --
+    // with workers > 1 the drains run concurrently across connections.
+    for (std::uint64_t e = 0; e < kEpochs; ++e) {
+      for (auto& tenant : tenants) tenant->post_step();
+      for (auto& tenant : tenants) (void)tenant->complete_step();
+    }
+    std::vector<std::uint64_t> digests;
+    for (auto& tenant : tenants) {
+      digests.push_back(tenant->decision_digest());
+      (void)tenant->close();
+    }
+    return digests;
+  };
+
+  const auto d1 = run_fleet(1);
+  const auto d2 = run_fleet(2);
+  const auto d4 = run_fleet(4);
+  EXPECT_EQ(d1, d2);
+  EXPECT_EQ(d1, d4);
+}
+
+// -- Telemetry export --
+
+TEST(ServiceServer, ExportCountersReachesRecorder) {
+  sv::Server server;
+  sv::LoopbackClient client(server);
+  sv::TenantConfig tc;
+  tc.controller = "PID";
+  tc.cores = 2;
+  tc.tag = "tenant-x";
+  sv::Tenant tenant(client, tc);
+  for (int i = 0; i < 5; ++i) (void)tenant.step();
+
+  odrl::telemetry::Recorder recorder;
+  server.export_counters(recorder);
+  EXPECT_EQ(recorder.counter("service.epochs").value(), 5u);
+  EXPECT_EQ(recorder.counter("service.sessions_opened").value(), 1u);
+  EXPECT_EQ(recorder.counter("service.session.tenant-x.epochs").value(), 5u);
+}
+
+// -- TCP adapter --
+
+TEST(ServiceTcp, HelloOverLocalhostSocket) {
+  sv::Server server;
+  std::unique_ptr<sv::TcpServer> tcp;
+  try {
+    tcp = std::make_unique<sv::TcpServer>(server, 0);
+  } catch (const std::runtime_error& e) {
+    GTEST_SKIP() << "no loopback sockets in this environment: " << e.what();
+  }
+  ASSERT_NE(tcp->port(), 0);
+
+  sv::TcpClient client(tcp->port());
+  sv::HelloRequest hello;
+  hello.head.type = sv::MsgType::kHello;
+  hello.head.seq = 1;
+  hello.client = "tcp-test";
+  client.post(sv::encode_message(hello));
+
+  // Pump the adapter until it has moved the request in AND the reply out
+  // (two frames); the width-1 server handles inline during post(). A few
+  // extra pumps flush any residual bytes before the blocking read.
+  std::size_t moved = 0;
+  for (int i = 0; i < 1000 && moved < 2; ++i) moved += tcp->poll_once(10);
+  ASSERT_GE(moved, 2u) << "reply never crossed the adapter";
+  for (int i = 0; i < 4; ++i) (void)tcp->poll_once(0);
+
+  const std::string payload = client.take_reply();
+  const sv::Message reply = sv::decode_message(payload);
+  const auto* hr = std::get_if<sv::HelloReply>(&reply);
+  ASSERT_NE(hr, nullptr);
+  EXPECT_EQ(hr->head.seq, 1u);
+  EXPECT_EQ(hr->server, "odrl-service");
+}
+
+}  // namespace

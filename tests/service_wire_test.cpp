@@ -1,0 +1,224 @@
+// Golden wire-format suite: one canonical message per wire type (fields
+// all pinned to literals -- no simulator dependence, so the bytes are
+// identical on every platform) is encoded and reduced to an FNV-1a-64
+// digest that must match the committed table in service_wire_digests.inc.
+// A digest moving means the wire format changed: that requires a
+// kWireVersion bump and a deliberate regeneration, never a silent drift.
+//
+// When the format legitimately changes, regenerate the table:
+//
+//   python3 tools/regen_goldens.py
+//
+// which reruns this test with ODRL_GOLDEN_PRINT=1 and rewrites
+// tests/service_wire_digests.inc from its WIREGOLDEN output lines.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "service/wire.hpp"
+#include "sim/observation.hpp"
+#include "snapshot/snapshot.hpp"
+
+namespace sv = odrl::service;
+namespace snap = odrl::snapshot;
+
+namespace {
+
+struct WireGoldenCase {
+  const char* name;
+  std::size_t size;       ///< encoded byte count
+  std::uint64_t digest;   ///< fnv1a64 over the encoded bytes
+};
+
+#include "service_wire_digests.inc"
+
+sv::MsgHeader head(sv::MsgType type, std::uint64_t seq,
+                   std::uint64_t session) {
+  sv::MsgHeader h;
+  h.type = type;
+  h.seq = seq;
+  h.session_id = session;
+  return h;
+}
+
+/// A fully literal observation: every column value exactly representable,
+/// so the encoded bytes cannot wobble across compilers.
+odrl::sim::EpochResult canonical_obs() {
+  odrl::sim::EpochResult obs;
+  obs.cores.resize(3);
+  obs.epoch = 41;
+  obs.epoch_s = 0.001;
+  obs.budget_w = 48.5;
+  obs.chip_power_w = 45.25;
+  obs.true_chip_power_w = 45.25;
+  obs.total_ips = 6.5e9;
+  obs.max_temp_c = 71.5;
+  obs.thermal_violations = 1;
+  obs.mem_latency_mult = 1.25;
+  obs.dram_utilization = 0.5;
+  for (std::size_t i = 0; i < 3; ++i) {
+    obs.cores.level()[i] = i + 1;
+    obs.cores.ips()[i] = 2.0e9 + static_cast<double>(i) * 0.25e9;
+    obs.cores.instructions()[i] = 1.0e6 * static_cast<double>(i + 1);
+    obs.cores.power_w()[i] = 15.0 + static_cast<double>(i) * 0.125;
+    obs.cores.true_power_w()[i] = 15.0 + static_cast<double>(i) * 0.125;
+    obs.cores.mem_stall_frac()[i] = 0.25 * static_cast<double>(i);
+    obs.cores.temp_c()[i] = 65.0 + static_cast<double>(i);
+    obs.cores.online()[i] = i == 2 ? 0 : 1;
+  }
+  return obs;
+}
+
+/// The canonical frame per message type. Every field pinned; adding a
+/// message type here requires a row in the committed digest table (the
+/// coverage test below fails otherwise).
+std::vector<std::pair<std::string, std::string>> canonical_frames() {
+  std::vector<std::pair<std::string, std::string>> out;
+
+  sv::HelloRequest hello;
+  hello.head = head(sv::MsgType::kHello, 7, 0);
+  hello.client = "golden-client";
+  out.emplace_back("hello_request", sv::encode_message(hello));
+
+  sv::HelloReply hello_reply;
+  hello_reply.head = head(sv::MsgType::kHelloReply, 7, 0);
+  hello_reply.server = "golden-server";
+  hello_reply.controllers = {"Greedy", "OD-RL", "PID", "Static"};
+  out.emplace_back("hello_reply", sv::encode_message(hello_reply));
+
+  sv::OpenSessionRequest open;
+  open.head = head(sv::MsgType::kOpenSession, 8, 0);
+  open.controller = "OD-RL";
+  open.cores = 16;
+  open.budget_fraction = 0.5;
+  open.seed = 99;
+  open.tag = "golden-tenant";
+  open.watchdog = true;
+  open.overrides = {{"alpha", "0.125"}, {"epsilon", "0.0625"}};
+  open.seed_blob = "opaque warm-start bytes";
+  out.emplace_back("open_request", sv::encode_message(open));
+
+  sv::OpenSessionReply open_reply;
+  open_reply.head = head(sv::MsgType::kOpenReply, 8, 3);
+  open_reply.budget_w = 64.0;
+  open_reply.initial_levels = {4, 4, 4, 4};
+  out.emplace_back("open_reply", sv::encode_message(open_reply));
+
+  sv::StepEpochRequest step;
+  step.head = head(sv::MsgType::kStepEpoch, 9, 3);
+  step.epoch = 41;
+  step.obs = canonical_obs();
+  out.emplace_back("step_request", sv::encode_message(step));
+
+  sv::StepEpochReply step_reply;
+  step_reply.head = head(sv::MsgType::kStepReply, 9, 3);
+  step_reply.epoch = 41;
+  step_reply.levels = {0, 3, 7};
+  step_reply.sanitized = 1;
+  step_reply.watchdog_holding = true;
+  out.emplace_back("step_reply", sv::encode_message(step_reply));
+
+  sv::SnapshotRequest snap_req;
+  snap_req.head = head(sv::MsgType::kSnapshot, 10, 3);
+  out.emplace_back("snapshot_request", sv::encode_message(snap_req));
+
+  sv::SnapshotReply snap_reply;
+  snap_reply.head = head(sv::MsgType::kSnapshotReply, 10, 3);
+  snap_reply.epoch = 42;
+  snap_reply.blob = "opaque session snapshot bytes";
+  out.emplace_back("snapshot_reply", sv::encode_message(snap_reply));
+
+  sv::CloseSessionRequest close_req;
+  close_req.head = head(sv::MsgType::kCloseSession, 11, 3);
+  out.emplace_back("close_request", sv::encode_message(close_req));
+
+  sv::CloseSessionReply close_reply;
+  close_reply.head = head(sv::MsgType::kCloseReply, 11, 3);
+  close_reply.epochs = 42;
+  close_reply.sanitized = 5;
+  out.emplace_back("close_reply", sv::encode_message(close_reply));
+
+  sv::ErrorReply err;
+  err.head = head(sv::MsgType::kErrorReply, 12, 3);
+  err.status = sv::ServiceStatus::kOutOfOrderEpoch;
+  err.message = "golden error text";
+  out.emplace_back("error_reply", sv::encode_message(err));
+
+  // One length-prefixed stream, so the frame layer itself is pinned too.
+  out.emplace_back("framed_hello_stream",
+                   sv::encode_frame(sv::encode_message(hello)) +
+                       sv::encode_frame(sv::encode_message(hello_reply)));
+  return out;
+}
+
+bool print_mode() {
+  const char* v = std::getenv("ODRL_GOLDEN_PRINT");
+  return v != nullptr && std::strcmp(v, "0") != 0;
+}
+
+const WireGoldenCase* find_case(const std::string& name) {
+  for (const WireGoldenCase& c : kWireGoldenCases) {
+    if (name == c.name) return &c;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+TEST(ServiceWireGolden, DigestsMatchCommittedTable) {
+  const auto frames = canonical_frames();
+  for (const auto& [name, bytes] : frames) {
+    const std::uint64_t digest = snap::fnv1a64(bytes);
+    if (print_mode()) {
+      // Machine-readable line for tools/regen_goldens.py.
+      std::printf("WIREGOLDEN %s %zu 0x%016llx\n", name.c_str(), bytes.size(),
+                  static_cast<unsigned long long>(digest));
+      continue;
+    }
+    SCOPED_TRACE("frame: " + name);
+    const WireGoldenCase* want = find_case(name);
+    ASSERT_NE(want, nullptr)
+        << "no committed wire golden for '" << name
+        << "' -- regenerate with: python3 tools/regen_goldens.py";
+    EXPECT_EQ(bytes.size(), want->size)
+        << "wire frame size drifted. The wire format changed: bump "
+           "kWireVersion and regenerate with: python3 tools/regen_goldens.py";
+    EXPECT_EQ(digest, want->digest)
+        << "wire bytes drifted (got 0x" << std::hex << digest
+        << ", committed 0x" << want->digest << std::dec
+        << "). The wire format changed: bump kWireVersion and regenerate "
+           "with: python3 tools/regen_goldens.py";
+  }
+  if (print_mode()) {
+    GTEST_SKIP() << "ODRL_GOLDEN_PRINT set: emitting digests, not checking";
+  }
+}
+
+TEST(ServiceWireGolden, TableCoversExactlyTheCanonicalFrames) {
+  if (print_mode()) GTEST_SKIP() << "regenerating, table may be stale";
+  const auto frames = canonical_frames();
+  for (const auto& [name, bytes] : frames) {
+    EXPECT_NE(find_case(name), nullptr) << name;
+  }
+  EXPECT_EQ(std::size(kWireGoldenCases), frames.size())
+      << "service_wire_digests.inc rows do not match the canonical frame "
+         "list -- regenerate with: python3 tools/regen_goldens.py";
+}
+
+TEST(ServiceWireGolden, CanonicalFramesRoundTrip) {
+  // Independent of the committed table: every canonical frame must decode
+  // and re-encode to the same bytes (the codec is deterministic and
+  // total on its own output).
+  for (const auto& [name, bytes] : canonical_frames()) {
+    if (name == std::string("framed_hello_stream")) continue;  // stream, not
+                                                               // a payload
+    SCOPED_TRACE("frame: " + name);
+    const sv::Message msg = sv::decode_message(bytes);
+    EXPECT_EQ(sv::encode_message(msg), bytes);
+  }
+}

@@ -24,6 +24,14 @@ by CI:
                          and the fresh runs had >= 8 CPUs -- a 1-CPU
                          container cannot measure scaling, and pretending
                          otherwise would ratchet noise.
+  BENCH_service.json   -- bench/bench_service: per (sessions, workers) the
+                         control-plane service's session-epochs/s through
+                         the full loopback stack (sim step, wire encode/
+                         decode, server decide), median-normalized like e5.
+                         No scaling floor: the cells exist to catch a
+                         single configuration regressing relative to the
+                         suite, not to assert parallel speedup on an
+                         unknown runner.
 
 Fresh flags are repeatable; multiple fresh files are merged best-of-N per
 row (max speedup / max epochs_per_s / min mean_decide_us) to shave timing
@@ -74,6 +82,12 @@ def e5_rows(doc):
 def mc_rows(doc):
     """{(chips, cores, workers): row} for a BENCH_multichip.json document."""
     return {(int(r["chips"]), int(r["cores"]), int(r["workers"])): r
+            for r in doc["results"]}
+
+
+def service_rows(doc):
+    """{(sessions, cores, workers): row} for a BENCH_service.json document."""
+    return {(int(r["sessions"]), int(r["cores"]), int(r["workers"])): r
             for r in doc["results"]}
 
 
@@ -252,6 +266,37 @@ def check_multichip(baseline_path, fresh_paths, tol):
     return failures
 
 
+def check_service(baseline_path, fresh_paths, tol):
+    failures = []
+    base = service_rows(load(baseline_path))
+    fresh = merge_best(
+        [service_rows(load(p)) for p in fresh_paths],
+        lambda a, b: a["epochs_per_s"] > b["epochs_per_s"],
+    )
+
+    missing = [k for k in base if k not in fresh]
+    for sessions, cores, workers in missing:
+        failures.append(f"service: row ({sessions} sessions, {cores} cores, "
+                        f"{workers} workers) missing from fresh results")
+    keys = [k for k in sorted(base) if k not in missing]
+    if not keys:
+        return failures
+
+    ratio = {k: fresh[k]["epochs_per_s"] / base[k]["epochs_per_s"]
+             for k in keys}
+    med = statistics.median(ratio.values())
+    for key in keys:
+        sessions, cores, workers = key
+        if ratio[key] < med * (1.0 - tol):
+            failures.append(
+                f"service: {sessions} sessions @ {cores} cores, {workers} "
+                f"workers throughput regressed relative to the suite -- "
+                f"ratio {ratio[key]:.3f} vs median {med:.3f} "
+                f"(tolerance {tol:.0%})"
+            )
+    return failures
+
+
 def main(argv):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--kernels-baseline",
@@ -265,6 +310,10 @@ def main(argv):
                         help="committed BENCH_multichip.json")
     parser.add_argument("--multichip-fresh", action="append", default=[],
                         help="fresh multichip JSON (repeatable, best-of-N)")
+    parser.add_argument("--service-baseline",
+                        help="committed BENCH_service.json")
+    parser.add_argument("--service-fresh", action="append", default=[],
+                        help="fresh service JSON (repeatable, best-of-N)")
     parser.add_argument("--tolerance", type=float, default=0.10,
                         help="allowed per-row regression (default 0.10)")
     args = parser.parse_args(argv)
@@ -272,9 +321,10 @@ def main(argv):
     do_kernels = args.kernels_baseline or args.kernels_fresh
     do_e5 = args.e5_baseline or args.e5_fresh
     do_mc = args.multichip_baseline or args.multichip_fresh
-    if not do_kernels and not do_e5 and not do_mc:
-        parser.error("nothing to check: pass --kernels-*, --e5-* and/or "
-                     "--multichip-*")
+    do_service = args.service_baseline or args.service_fresh
+    if not do_kernels and not do_e5 and not do_mc and not do_service:
+        parser.error("nothing to check: pass --kernels-*, --e5-*, "
+                     "--multichip-* and/or --service-*")
     if do_kernels and not (args.kernels_baseline and args.kernels_fresh):
         parser.error("kernels check needs --kernels-baseline and at least "
                      "one --kernels-fresh")
@@ -284,6 +334,9 @@ def main(argv):
     if do_mc and not (args.multichip_baseline and args.multichip_fresh):
         parser.error("multichip check needs --multichip-baseline and at "
                      "least one --multichip-fresh")
+    if do_service and not (args.service_baseline and args.service_fresh):
+        parser.error("service check needs --service-baseline and at least "
+                     "one --service-fresh")
 
     failures = []
     if do_kernels:
@@ -294,6 +347,9 @@ def main(argv):
     if do_mc:
         failures += check_multichip(args.multichip_baseline,
                                     args.multichip_fresh, args.tolerance)
+    if do_service:
+        failures += check_service(args.service_baseline, args.service_fresh,
+                                  args.tolerance)
 
     if failures:
         print("perf ratchet FAILED:")
@@ -308,6 +364,8 @@ def main(argv):
     if do_mc:
         checked.append(
             f"multichip ({len(args.multichip_fresh)} fresh run(s))")
+    if do_service:
+        checked.append(f"service ({len(args.service_fresh)} fresh run(s))")
     print(f"perf ratchet OK: {', '.join(checked)}, "
           f"tolerance {args.tolerance:.0%}")
     return 0

@@ -45,12 +45,15 @@ express:
   raw-thread
       All worker threads belong to the work-stealing runtime
       (src/task/runtime.hpp): it owns parking, pinning, stealing and the
-      deterministic-reduction contract. New code spawning `std::thread`
-      (or resurrecting the retired util::ThreadPool, now a deprecated
-      shim over the runtime) forks that ownership and escapes the
-      runtime's counters and shutdown drain. Allowlist: the runtime's own
-      implementation and the shim. `std::thread::hardware_concurrency()`
-      and other static member accesses never trip this.
+      deterministic-reduction contract. New code spawning `std::thread`,
+      launching through `std::async` or `pthread_create`, or resurrecting
+      the retired util::ThreadPool (now a deprecated shim over the
+      runtime) forks that ownership and escapes the runtime's counters
+      and shutdown drain -- the service layer (src/service/) in
+      particular must post sessions onto the runtime, never side-spawn.
+      Allowlist: the runtime's own implementation and the shim.
+      `std::thread::hardware_concurrency()` and other static member
+      accesses never trip this.
 
   raw-mutex
       All locking goes through the annotated util::Mutex / MutexLock /
@@ -322,9 +325,14 @@ def check_legacy_decide(path: Path, text: str, raw_lines: list[str],
 
 
 # Flags std::thread/std::jthread uses that are not static member accesses
-# (hardware_concurrency() is fine everywhere), and any ThreadPool mention.
+# (hardware_concurrency() is fine everywhere), any ThreadPool mention, and
+# the side-door spawners: std::async launches an unmanaged thread per call
+# and pthread_create bypasses C++ entirely -- both escape the runtime's
+# counters and shutdown drain just as thoroughly as a raw std::thread.
 RAW_THREAD_RE = re.compile(r"\bstd::j?thread\b(?!\s*::)")
 THREAD_POOL_RE = re.compile(r"\bThreadPool\b")
+ASYNC_RE = re.compile(r"\bstd::async\s*[(<]")
+PTHREAD_CREATE_RE = re.compile(r"\bpthread_create\s*\(")
 
 
 def check_raw_thread(path: Path, rel: str, text: str,
@@ -334,6 +342,8 @@ def check_raw_thread(path: Path, rel: str, text: str,
     hits = [(m, "raw std::thread") for m in RAW_THREAD_RE.finditer(text)]
     hits += [(m, "util::ThreadPool (retired)")
              for m in THREAD_POOL_RE.finditer(text)]
+    hits += [(m, "std::async") for m in ASYNC_RE.finditer(text)]
+    hits += [(m, "pthread_create") for m in PTHREAD_CREATE_RE.finditer(text)]
     for m, what in sorted(hits, key=lambda h: h[0].start()):
         line = line_of(text, m.start())
         if suppressed(raw_lines, line, "raw-thread", findings, path):
