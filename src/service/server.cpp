@@ -70,10 +70,15 @@ void Server::Connection::DrainTask::operator()() const {
 }
 
 void Server::Connection::post(std::string payload) {
+  // Capture the shutdown cut here, not at drain time: a request that
+  // beat begin_shutdown() is answered normally no matter when its drain
+  // actually runs (the documented ~Server contract).
+  const bool accepted =
+      !server_->shutdown_.load(std::memory_order_acquire);
   bool schedule = false;
   {
     util::MutexLock lock(mutex_);
-    inbox_.push_back(std::move(payload));
+    inbox_.push_back(Inbound{std::move(payload), accepted});
     if (!drain_scheduled_) {
       drain_scheduled_ = true;
       schedule = true;
@@ -138,17 +143,18 @@ void Server::schedule_drain(Connection& conn) {
 
 void Server::drain(Connection& conn) {
   for (;;) {
-    std::string payload;
+    Connection::Inbound item;
     {
       util::MutexLock lock(conn.mutex_);
       if (conn.inbox_.empty()) {
         conn.drain_scheduled_ = false;
         return;
       }
-      payload = std::move(conn.inbox_.front());
+      item = std::move(conn.inbox_.front());
       conn.inbox_.pop_front();
     }
-    std::string reply = handle(payload);
+    std::string reply = item.accepted ? handle(item.payload)
+                                      : reject_shutdown(item.payload);
     {
       util::MutexLock lock(conn.mutex_);
       conn.outbox_.push_back(std::move(reply));
@@ -163,10 +169,6 @@ std::string Server::handle(std::string_view payload) {
   std::string detail;
   try {
     Message msg = decode_message(payload);
-    if (shutdown_.load(std::memory_order_acquire)) {
-      throw ServiceError(ServiceStatus::kShutdown,
-                         "service: server is shutting down");
-    }
     Message reply = std::visit(
         [&](auto& m) -> Message {
           using T = std::decay_t<decltype(m)>;
@@ -217,6 +219,16 @@ std::string Server::handle(std::string_view payload) {
   err.head = reply_header(MsgType::kErrorReply, recover_header(payload));
   err.status = status;
   err.message = std::move(detail);
+  return encode_message(Message(std::move(err)));
+}
+
+std::string Server::reject_shutdown(std::string_view payload) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  errors_.fetch_add(1, std::memory_order_relaxed);
+  ErrorReply err;
+  err.head = reply_header(MsgType::kErrorReply, recover_header(payload));
+  err.status = ServiceStatus::kShutdown;
+  err.message = "service: server is shutting down";
   return encode_message(Message(std::move(err)));
 }
 

@@ -110,10 +110,19 @@ class Server {
     friend class Server;
     explicit Connection(Server* server) : server_(server) {}
 
+    /// One queued request. The shutdown cut is taken at post() time:
+    /// `accepted` records whether the payload beat begin_shutdown(), so a
+    /// drain running after shutdown still answers pre-shutdown requests
+    /// normally.
+    struct Inbound {
+      std::string payload;
+      bool accepted = true;
+    };
+
     Server* server_;
     util::Mutex mutex_{util::LockRank::kServiceQueue, "service-conn"};
     util::CondVar reply_ready_;
-    std::deque<std::string> inbox_ ODRL_GUARDED_BY(mutex_);
+    std::deque<Inbound> inbox_ ODRL_GUARDED_BY(mutex_);
     std::deque<std::string> outbox_ ODRL_GUARDED_BY(mutex_);
     /// True while a drain task is queued or running for this connection
     /// (at most one at a time -- the per-connection FIFO guarantee).
@@ -128,11 +137,12 @@ class Server {
   };
 
   explicit Server(ServerConfig config = {});
-  /// Stops accepting work (in-flight requests finish, answered normally;
-  /// anything posted after this point is answered kShutdown), waits for
-  /// every scheduled drain, then joins the runtime. No post() may be
-  /// concurrent with destruction's *completion* -- same contract as
-  /// task::Runtime.
+  /// Stops accepting work (everything posted before this point --
+  /// including requests still queued in a connection inbox -- finishes
+  /// and is answered normally; anything posted after is answered
+  /// kShutdown), waits for every scheduled drain, then joins the runtime.
+  /// No post() may be concurrent with destruction's *completion* -- same
+  /// contract as task::Runtime.
   ~Server();
 
   Server(const Server&) = delete;
@@ -146,11 +156,15 @@ class Server {
 
   /// The synchronous request core: decodes `payload`, dispatches, returns
   /// the encoded reply. Exposed publicly for the fuzz driver and direct
-  /// tests; transports go through Connection::post().
+  /// tests; transports go through Connection::post(). Shutdown is
+  /// enforced at post() time, so direct handle() calls are always served.
   std::string handle(std::string_view payload);
 
-  /// Rejects all subsequent requests with kShutdown (idempotent). The
-  /// destructor calls this; exposed so a host can drain gracefully first.
+  /// Rejects all requests posted after this call with kShutdown
+  /// (idempotent). The cut is taken at Connection::post() time:
+  /// already-queued requests still get real replies even if their drain
+  /// runs later. The destructor calls this; exposed so a host can drain
+  /// gracefully first.
   void begin_shutdown();
 
   ServerStats stats() const;
@@ -219,6 +233,10 @@ class Server {
   /// section, so the blob warm-starts a future OpenSession).
   static std::string snapshot_session(Session& session)
       ODRL_REQUIRES(session.mutex);
+
+  /// Builds the kShutdown ErrorReply for a payload that was posted after
+  /// begin_shutdown() (counted in requests_ and errors_).
+  std::string reject_shutdown(std::string_view payload);
 
   /// Drains `conn`'s inbox (FIFO) until empty; the body of DrainTask.
   void drain(Connection& conn);

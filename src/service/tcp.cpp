@@ -79,15 +79,25 @@ std::size_t TcpServer::poll_once(int timeout_ms) {
   // set below asks for POLLOUT exactly where bytes are waiting.
   std::size_t moved = 0;
   std::string payload;
-  for (Peer& peer : peers_) {
-    while (peer.conn->try_take_reply(payload)) {
-      peer.outbuf += encode_frame(payload);
-      ++moved;
+  for (std::size_t i = peers_.size(); i-- > 0;) {
+    Peer& peer = peers_[i];
+    try {
+      while (peer.conn->try_take_reply(payload)) {
+        peer.outbuf += encode_frame(payload);
+        ++moved;
+      }
+    } catch (const ServiceError&) {
+      // A reply too large to frame (kBadFrame): this peer cannot be
+      // served its answer, but the rest of the fleet can.
+      close_peer(i);
     }
   }
 
+  // fds[i + 1] mirrors peers_[i] only for peers that exist NOW; accepts
+  // below append past `polled` and get polled on the next pump.
+  const std::size_t polled = peers_.size();
   std::vector<pollfd> fds;
-  fds.reserve(peers_.size() + 1);
+  fds.reserve(polled + 1);
   fds.push_back({listen_fd_, POLLIN, 0});
   for (const Peer& peer : peers_) {
     short events = POLLIN;
@@ -114,14 +124,15 @@ std::size_t TcpServer::poll_once(int timeout_ms) {
     }
   }
 
-  // Iterate backwards so close_peer's erase cannot skip a peer.
-  for (std::size_t i = peers_.size(); i-- > 0;) {
+  // Iterate backwards so close_peer's erase cannot skip a peer; only the
+  // `polled` peers the poll set was built from have valid revents.
+  for (std::size_t i = polled; i-- > 0;) {
     const pollfd& pfd = fds[i + 1];
     Peer& peer = peers_[i];
     bool dead = (pfd.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0;
     if (!dead && (pfd.revents & POLLOUT) != 0 && !peer.outbuf.empty()) {
-      const ssize_t n =
-          ::send(peer.fd, peer.outbuf.data(), peer.outbuf.size(), 0);
+      const ssize_t n = ::send(peer.fd, peer.outbuf.data(),
+                               peer.outbuf.size(), MSG_NOSIGNAL);
       if (n > 0) {
         peer.outbuf.erase(0, static_cast<std::size_t>(n));
       } else if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK) {
@@ -188,8 +199,8 @@ void TcpClient::post(std::string_view payload) {
   std::string frame = encode_frame(payload);
   std::size_t sent = 0;
   while (sent < frame.size()) {
-    const ssize_t n =
-        ::send(fd_, frame.data() + sent, frame.size() - sent, 0);
+    const ssize_t n = ::send(fd_, frame.data() + sent, frame.size() - sent,
+                             MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       sys_fail("send");

@@ -7,7 +7,9 @@
 // caller pumps poll_once() from whatever thread it likes; request
 // handling still happens on the Server's task runtime (or inline at
 // width 1), so the pump is a pure byte shuttle. Socket failures on a
-// single peer close that peer, never the server.
+// single peer close that peer, never the server: sends use MSG_NOSIGNAL
+// so a peer that resets mid-write surfaces as EPIPE (dead peer), not
+// SIGPIPE (dead process).
 #pragma once
 
 #include <cstddef>
@@ -40,8 +42,8 @@ class TcpServer {
   /// (0 = non-blocking), accepts pending peers, reads complete frames
   /// into the server, flushes pending replies. Returns the number of
   /// frames moved in either direction (0 = idle). A peer that sends a
-  /// hostile length prefix or hangs up is closed; the loop keeps serving
-  /// the rest.
+  /// hostile length prefix, hangs up, or is owed a reply too large to
+  /// frame (> kMaxFrameBytes) is closed; the loop keeps serving the rest.
   std::size_t poll_once(int timeout_ms = 0);
 
  private:

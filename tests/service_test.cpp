@@ -418,6 +418,30 @@ TEST(ServiceServer, SessionLimitAndShutdown) {
   }
 }
 
+TEST(ServiceServer, ShutdownCutIsAtPostTimeNotHandleTime) {
+  // The ~Server contract: requests that beat begin_shutdown() are
+  // answered normally even if handled later. handle() itself therefore
+  // carries no shutdown check -- only payloads posted after the cut are
+  // rejected.
+  sv::Server server;
+  server.begin_shutdown();
+
+  sv::HelloRequest hello;
+  hello.head.type = sv::MsgType::kHello;
+  hello.head.seq = 7;
+  const sv::Message direct =
+      sv::decode_message(server.handle(sv::encode_message(hello)));
+  const auto* hr = std::get_if<sv::HelloReply>(&direct);
+  ASSERT_NE(hr, nullptr) << "direct handle() must bypass the post-time cut";
+  EXPECT_EQ(hr->head.seq, 7u);
+
+  // The transport path takes the cut: a post after shutdown is rejected.
+  auto conn = server.connect();
+  conn->post(sv::encode_message(hello));
+  const sv::Message posted = sv::decode_message(conn->take_reply());
+  EXPECT_EQ(status_of(posted), sv::ServiceStatus::kShutdown);
+}
+
 TEST(ServiceServer, BudgetChangeReachesController) {
   sv::Server server;
   sv::LoopbackClient client(server);
@@ -655,6 +679,50 @@ TEST(ServiceTcp, HelloOverLocalhostSocket) {
   ASSERT_NE(hr, nullptr);
   EXPECT_EQ(hr->head.seq, 1u);
   EXPECT_EQ(hr->server, "odrl-service");
+}
+
+TEST(ServiceTcp, AcceptWhilePeersActiveServesBothIndependently) {
+  // Regression: poll_once once indexed the poll set with the *post*-
+  // accept peer count, reading past fds' end for every freshly accepted
+  // peer. Connecting a second client while the first is mid-conversation
+  // exercises exactly that accept-with-existing-peers path (ASan guards
+  // the indexing).
+  sv::Server server;
+  std::unique_ptr<sv::TcpServer> tcp;
+  try {
+    tcp = std::make_unique<sv::TcpServer>(server, 0);
+  } catch (const std::runtime_error& e) {
+    GTEST_SKIP() << "no loopback sockets in this environment: " << e.what();
+  }
+
+  sv::TcpClient first(tcp->port());
+  sv::HelloRequest hello;
+  hello.head.type = sv::MsgType::kHello;
+  hello.head.seq = 11;
+  first.post(sv::encode_message(hello));
+  std::size_t moved = 0;
+  for (int i = 0; i < 1000 && moved < 2; ++i) moved += tcp->poll_once(10);
+  ASSERT_GE(moved, 2u);
+
+  // Second peer arrives while the first is connected: the accept and the
+  // first peer's I/O happen inside the same pump iterations.
+  sv::TcpClient second(tcp->port());
+  hello.head.seq = 22;
+  second.post(sv::encode_message(hello));
+  moved = 0;
+  for (int i = 0; i < 1000 && moved < 2; ++i) moved += tcp->poll_once(10);
+  ASSERT_GE(moved, 2u);
+  for (int i = 0; i < 4; ++i) (void)tcp->poll_once(0);
+  EXPECT_EQ(tcp->peer_count(), 2u);
+
+  const auto expect_hello_seq = [](sv::TcpClient& c, std::uint64_t seq) {
+    const sv::Message reply = sv::decode_message(c.take_reply());
+    const auto* hr = std::get_if<sv::HelloReply>(&reply);
+    ASSERT_NE(hr, nullptr);
+    EXPECT_EQ(hr->head.seq, seq);
+  };
+  expect_hello_seq(first, 11);
+  expect_hello_seq(second, 22);
 }
 
 }  // namespace
